@@ -1,0 +1,122 @@
+//! Criterion benchmarks for the substrate and the pipeline.
+//!
+//! These measure the *reproduction's* own performance (compiler and
+//! simulator throughput, end-to-end pipeline cost per benchmark task) —
+//! the numbers that determine how long the table harnesses take. The
+//! paper-shaped experiments themselves live in `src/bin/{table1,table2,
+//! figure3,ablation}`.
+
+use aivril_bench::{build_library, Harness, HarnessConfig};
+use aivril_core::{Aivril2, Aivril2Config, TaskInput};
+use aivril_eda::{HdlFile, ToolSuite, XsimToolSuite};
+use aivril_llm::{profiles, SimLlm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn harness() -> Harness {
+    Harness::new(HarnessConfig { samples: 1, task_limit: 156, ..HarnessConfig::default() })
+}
+
+/// Verilog frontend throughput: lex+parse+elaborate a mid-size golden
+/// DUT + testbench pair.
+fn bench_compile_verilog(c: &mut Criterion) {
+    let h = harness();
+    let p = h
+        .problems()
+        .iter()
+        .find(|p| p.name.contains("alu4op_w8"))
+        .expect("alu problem present");
+    let tools = XsimToolSuite::new();
+    let files = [
+        HdlFile::new("dut.v", p.verilog.dut.clone()),
+        HdlFile::new("tb.v", p.verilog.tb.clone()),
+    ];
+    c.bench_function("compile_verilog_alu8", |b| {
+        b.iter(|| black_box(tools.compile(black_box(&files))))
+    });
+}
+
+/// VHDL frontend throughput on the same design.
+fn bench_compile_vhdl(c: &mut Criterion) {
+    let h = harness();
+    let p = h
+        .problems()
+        .iter()
+        .find(|p| p.name.contains("alu4op_w8"))
+        .expect("alu problem present");
+    let tools = XsimToolSuite::new();
+    let files = [
+        HdlFile::new("dut.vhd", p.vhdl.dut.clone()),
+        HdlFile::new("tb.vhd", p.vhdl.tb.clone()),
+    ];
+    c.bench_function("compile_vhdl_alu8", |b| {
+        b.iter(|| black_box(tools.compile(black_box(&files))))
+    });
+}
+
+/// Event-kernel throughput: full simulation of an exhaustive
+/// combinational testbench (64 vectors) and a sequential one.
+fn bench_simulate(c: &mut Criterion) {
+    let h = harness();
+    let tools = XsimToolSuite::new();
+    for name in ["adder_cout_w8", "count_mod10_tc"] {
+        let p = h
+            .problems()
+            .iter()
+            .find(|p| p.name.contains(name))
+            .expect("problem present");
+        let files = [
+            HdlFile::new("dut.v", p.verilog.dut.clone()),
+            HdlFile::new("tb.v", p.verilog.tb.clone()),
+        ];
+        c.bench_function(&format!("simulate_{name}"), |b| {
+            b.iter(|| black_box(tools.simulate(black_box(&files), Some("tb"))))
+        });
+    }
+}
+
+/// End-to-end AIVRIL2 pipeline cost for one task sample (Claude
+/// profile): two generations, the loops, and all tool runs.
+fn bench_pipeline(c: &mut Criterion) {
+    let h = harness();
+    let p = h
+        .problems()
+        .iter()
+        .find(|p| p.name.contains("count_up_w4"))
+        .expect("counter present");
+    let lib = build_library(h.problems());
+    let tools = XsimToolSuite::new();
+    let pipeline = Aivril2::new(&tools, Aivril2Config::default());
+    c.bench_function("aivril2_pipeline_counter", |b| {
+        let mut model = SimLlm::new(profiles::claude35_sonnet(), lib.clone());
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let task = TaskInput {
+                name: p.name.clone(),
+                module_name: p.module_name.clone(),
+                spec: p.spec.clone(),
+                verilog: true,
+                seed,
+            };
+            black_box(pipeline.run(&mut model, &task))
+        })
+    });
+}
+
+/// Suite generation cost (all 156 problems with their testbenches).
+fn bench_suite_generation(c: &mut Criterion) {
+    c.bench_function("generate_suite_156", |b| {
+        b.iter(|| black_box(aivril_verilogeval::suite()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compile_verilog,
+    bench_compile_vhdl,
+    bench_simulate,
+    bench_pipeline,
+    bench_suite_generation
+);
+criterion_main!(benches);

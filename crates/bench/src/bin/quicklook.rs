@@ -1,0 +1,32 @@
+//! Smoke-test harness: a miniature Table-1-shaped run (few tasks, few
+//! samples, one model) that finishes in seconds. Useful for sanity
+//! checking after changes, before committing to the full table runs.
+
+use aivril_bench::{Flow, Harness, HarnessConfig};
+use aivril_llm::profiles;
+use aivril_metrics::suite_metric;
+
+fn main() {
+    let config = HarnessConfig {
+        samples: 2,
+        task_limit: 10,
+        ..HarnessConfig::from_env()
+    };
+    let harness = Harness::new(config);
+    let profile = profiles::claude35_sonnet();
+    println!("quicklook: {} tasks x {} samples, {}", harness.problems().len(), config.samples, profile.name);
+
+    for verilog in [true, false] {
+        let lang = if verilog { "Verilog" } else { "VHDL" };
+        let base = harness.evaluate(&profile, verilog, Flow::Baseline);
+        let full = harness.evaluate(&profile, verilog, Flow::Aivril2);
+        println!(
+            "  {lang:8}  baseline S {:5.1}% F {:5.1}%   AIVRIL2 S {:5.1}% F {:5.1}%",
+            suite_metric(&base, 1, |s| s.syntax) * 100.0,
+            suite_metric(&base, 1, |s| s.functional) * 100.0,
+            suite_metric(&full, 1, |s| s.syntax) * 100.0,
+            suite_metric(&full, 1, |s| s.functional) * 100.0,
+        );
+    }
+    println!("ok");
+}

@@ -1,0 +1,223 @@
+//! The Code Agent: the system's only source of generated code.
+//!
+//! It translates the user spec into a testbench and then RTL, ingests
+//! corrective prompts from the other two agents, and keeps every
+//! version it produced so the orchestrator can roll back (Sec. 3.1).
+
+use crate::task::TaskInput;
+use aivril_llm::{
+    extract_code, protocol, task_header, ChatRequest, GenParams, LanguageModel, Message,
+};
+
+/// A generated artefact with its modeled latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generation {
+    /// Extracted source code.
+    pub code: String,
+    /// Modeled LLM seconds for the call.
+    pub latency_s: f64,
+}
+
+/// The Code Agent: owns the conversation with the underlying model.
+pub struct CodeAgent<'m> {
+    model: &'m mut dyn LanguageModel,
+    messages: Vec<Message>,
+    params: GenParams,
+    versions: Vec<String>,
+}
+
+impl<'m> CodeAgent<'m> {
+    /// Starts a conversation for `task` on top of `model`.
+    pub fn new(model: &'m mut dyn LanguageModel, task: &TaskInput, params: GenParams) -> Self {
+        let language = if task.verilog { "Verilog" } else { "VHDL" };
+        let system = format!(
+            "You are the Code Agent of the AIVRIL2 RTL design framework. \
+             You write complete, synthesizable {language} and comprehensive \
+             self-checking testbenches. Always answer with a single fenced \
+             code block containing the full file."
+        );
+        let mut params = params;
+        params.seed = task.seed;
+        CodeAgent {
+            model,
+            messages: vec![Message::system(system)],
+            params,
+            versions: Vec::new(),
+        }
+    }
+
+    fn roundtrip(&mut self, prompt: String) -> Generation {
+        self.messages.push(Message::user(prompt));
+        let request = ChatRequest { messages: self.messages.clone(), params: self.params };
+        let response = self.model.chat(&request);
+        self.messages.push(Message::assistant(response.content.clone()));
+        let code = extract_code(&response.content);
+        self.versions.push(code.clone());
+        Generation { code, latency_s: response.latency_s }
+    }
+
+    /// Step ②: generate the testbench from the spec, before any RTL
+    /// exists (the testbench-first methodology).
+    pub fn generate_testbench(&mut self, task: &TaskInput) -> Generation {
+        let prompt = format!(
+            "{}{} named `tb` for the design described below. Cover every \
+             behaviour a correct implementation must exhibit; report each \
+             mismatch as a numbered failing test case and print \
+             \"All tests passed successfully!\" when everything passes.\n\n\
+             Specification:\n{}",
+            task_header(&task.name, task.verilog),
+            protocol::REQ_TB,
+            task.spec
+        );
+        self.roundtrip(prompt)
+    }
+
+    /// Step ③: generate the RTL, with the (frozen) testbench as an
+    /// additional reference.
+    pub fn generate_rtl(&mut self, task: &TaskInput, testbench: &str) -> Generation {
+        let prompt = format!(
+            "{}{} `{}` implementing the specification below. The testbench \
+             that will verify it is attached for reference; do not modify \
+             it.\n\nSpecification:\n{}\nReference testbench:\n```\n{}```",
+            task_header(&task.name, task.verilog),
+            protocol::REQ_RTL,
+            task.module_name,
+            task.spec,
+            testbench
+        );
+        self.roundtrip(prompt)
+    }
+
+    /// Applies a corrective prompt from the Review or Verification
+    /// agent and returns the revised artefact.
+    pub fn revise(&mut self, corrective_prompt: String) -> Generation {
+        self.roundtrip(corrective_prompt)
+    }
+
+    /// All versions produced so far, oldest first — the implicit version
+    /// history Sec. 3.1 describes.
+    #[must_use]
+    pub fn versions(&self) -> &[String] {
+        &self.versions
+    }
+
+    /// Rolls the conversation back to just after version `index` was
+    /// produced, discarding later exchanges (used when a revision made
+    /// things worse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn rollback_to(&mut self, index: usize) {
+        assert!(index < self.versions.len(), "rollback index out of range");
+        self.versions.truncate(index + 1);
+        // Each version corresponds to one (user, assistant) pair after
+        // the system message.
+        self.messages.truncate(1 + 2 * (index + 1));
+    }
+}
+
+impl std::fmt::Debug for CodeAgent<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodeAgent")
+            .field("model", &self.model.name())
+            .field("messages", &self.messages.len())
+            .field("versions", &self.versions.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivril_llm::{ChatResponse, TokenUsage};
+
+    /// A scripted fake model for agent-level tests.
+    struct Scripted {
+        replies: Vec<String>,
+        at: usize,
+    }
+
+    impl LanguageModel for Scripted {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+        fn chat(&mut self, _request: &ChatRequest) -> ChatResponse {
+            let content = self.replies[self.at.min(self.replies.len() - 1)].clone();
+            self.at += 1;
+            ChatResponse { content, usage: TokenUsage::default(), latency_s: 1.0 }
+        }
+    }
+
+    fn task() -> TaskInput {
+        TaskInput {
+            name: "t".into(),
+            module_name: "m".into(),
+            spec: "do things".into(),
+            verilog: true,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn generation_tracks_versions_and_extracts_code() {
+        let mut model = Scripted {
+            replies: vec![
+                "```verilog\nmodule tb;\nendmodule\n```".into(),
+                "```verilog\nmodule m;\nendmodule\n```".into(),
+                "```verilog\nmodule m2;\nendmodule\n```".into(),
+            ],
+            at: 0,
+        };
+        let t = task();
+        let mut agent = CodeAgent::new(&mut model, &t, GenParams::default());
+        let tb = agent.generate_testbench(&t);
+        assert_eq!(tb.code, "module tb;\nendmodule\n");
+        let rtl = agent.generate_rtl(&t, &tb.code);
+        assert_eq!(rtl.code, "module m;\nendmodule\n");
+        let fixed = agent.revise("There is a syntax error.".into());
+        assert_eq!(fixed.code, "module m2;\nendmodule\n");
+        assert_eq!(agent.versions().len(), 3);
+    }
+
+    #[test]
+    fn rollback_discards_later_versions() {
+        let mut model = Scripted {
+            replies: vec![
+                "```verilog\nv0\n```".into(),
+                "```verilog\nv1\n```".into(),
+                "```verilog\nv2\n```".into(),
+            ],
+            at: 0,
+        };
+        let t = task();
+        let mut agent = CodeAgent::new(&mut model, &t, GenParams::default());
+        agent.generate_testbench(&t);
+        agent.revise("fix".into());
+        agent.revise("fix again".into());
+        assert_eq!(agent.versions().len(), 3);
+        agent.rollback_to(0);
+        assert_eq!(agent.versions().len(), 1);
+        assert_eq!(agent.versions()[0], "v0\n");
+    }
+
+    #[test]
+    fn prompts_carry_protocol_headers() {
+        let mut model = Scripted { replies: vec!["```verilog\nx\n```".into()], at: 0 };
+        let t = task();
+        let mut agent = CodeAgent::new(&mut model, &t, GenParams::default());
+        agent.generate_testbench(&t);
+        let prompt = &agent.messages[1].content;
+        assert!(prompt.contains("Design task: t."));
+        assert!(prompt.contains("Target language: Verilog."));
+        assert!(prompt.contains(protocol::REQ_TB));
+    }
+
+    #[test]
+    fn seed_comes_from_task() {
+        let mut model = Scripted { replies: vec!["x".into()], at: 0 };
+        let t = task();
+        let agent = CodeAgent::new(&mut model, &t, GenParams::default());
+        assert_eq!(agent.params.seed, 9);
+    }
+}

@@ -1,0 +1,9 @@
+//! The three specialised agents of the AIVRIL2 architecture.
+
+mod code;
+mod review;
+mod verify;
+
+pub use code::CodeAgent;
+pub use review::ReviewAgent;
+pub use verify::VerificationAgent;

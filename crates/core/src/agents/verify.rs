@@ -1,0 +1,106 @@
+//! The Verification Agent: turns simulation logs into corrective
+//! prompts.
+//!
+//! Per Sec. 3.3, it runs the design against the *frozen* testbench,
+//! extracts the discrepancies between expected and observed behaviour
+//! ("Test Case 2 Failed: shift_ena should be 0 after 4 clock cycles"),
+//! and guides the Code Agent until every test passes or the iteration
+//! budget is exhausted. The testbench is never edited in this loop,
+//! keeping every RTL revision evaluated against the same yardstick.
+
+use aivril_eda::SimReport;
+
+/// The Verification Agent. Stateless.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerificationAgent;
+
+impl VerificationAgent {
+    /// Creates the agent.
+    #[must_use]
+    pub fn new() -> VerificationAgent {
+        VerificationAgent
+    }
+
+    /// `true` when the report shows full functional success.
+    #[must_use]
+    pub fn all_tests_passed(&self, report: &SimReport) -> bool {
+        report.passed
+    }
+
+    /// Builds the corrective prompt for the Code Agent. Always contains
+    /// the phrase `failing test case` (the protocol marker) plus the
+    /// extracted failures.
+    #[must_use]
+    pub fn corrective_prompt(&self, report: &SimReport) -> String {
+        let mut p = format!(
+            "The simulation reported {} failing test case(s) against the \
+             reference testbench. Analyse each failure, correct the RTL \
+             logic, and return the complete fixed file. Do not change the \
+             testbench.\n\n",
+            report.failures.len().max(1)
+        );
+        for f in report.failures.iter().take(8) {
+            p.push_str(&format!("- {}\n", f.message));
+        }
+        if report.failures.len() > 8 {
+            p.push_str(&format!("(and {} more)\n", report.failures.len() - 8));
+        }
+        if report.failures.is_empty() {
+            // Ran to a limit or never finished: report what the log shows.
+            let tail: Vec<&str> = report.log.lines().rev().take(5).collect();
+            p.push_str("The simulation did not complete normally. Last log lines:\n");
+            for line in tail.iter().rev() {
+                p.push_str(&format!("  {line}\n"));
+            }
+        }
+        p
+    }
+
+    /// Low-detail variant (failure count only) for the prompt-detail
+    /// ablation.
+    #[must_use]
+    pub fn corrective_prompt_brief(&self, report: &SimReport) -> String {
+        format!(
+            "The simulation reported {} failing test case(s). Fix the RTL.\n",
+            report.failures.len().max(1)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivril_eda::{HdlFile, ToolSuite, XsimToolSuite};
+
+    const DUT_BAD: &str = "module inv(input a, output y);\n  assign y = a;\nendmodule\n";
+    const TB: &str = "module tb;\n  reg a; wire y;\n  inv dut(.a(a), .y(y));\n\
+        initial begin\n    a = 0; #1;\n    if (y !== 1'b1) $error(\"Test Case 1 Failed: y should be 1\");\n\
+        else $display(\"All tests passed successfully!\");\n    $finish;\n  end\nendmodule\n";
+
+    #[test]
+    fn corrective_prompt_lists_failures_with_marker() {
+        let tools = XsimToolSuite::new();
+        let report = tools.simulate(
+            &[HdlFile::new("inv.v", DUT_BAD), HdlFile::new("tb.v", TB)],
+            Some("tb"),
+        );
+        let agent = VerificationAgent::new();
+        assert!(!agent.all_tests_passed(&report));
+        let prompt = agent.corrective_prompt(&report);
+        assert!(prompt.contains("failing test case"), "{prompt}");
+        assert!(prompt.contains("Test Case 1 Failed"), "{prompt}");
+        assert!(prompt.contains("Do not change the testbench"));
+    }
+
+    #[test]
+    fn passing_report_is_recognised() {
+        let good = "module inv(input a, output y);\n  assign y = ~a;\nendmodule\n";
+        let tools = XsimToolSuite::new();
+        let report = tools.simulate(
+            &[HdlFile::new("inv.v", good), HdlFile::new("tb.v", TB)],
+            Some("tb"),
+        );
+        let agent = VerificationAgent::new();
+        assert!(agent.all_tests_passed(&report));
+    }
+}

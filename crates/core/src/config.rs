@@ -1,0 +1,64 @@
+//! Pipeline configuration.
+
+use aivril_llm::GenParams;
+
+/// How much distilled detail corrective prompts carry — the ablation
+/// knob behind the paper's claim (Sec. 3.2) that detailed prompts
+/// minimise iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PromptDetail {
+    /// Locations, code snippets and fixing hints (the AIVRIL2 default).
+    #[default]
+    Detailed,
+    /// Error identifiers only — no locations or snippets.
+    ErrorsOnly,
+}
+
+/// Iteration budgets and sampling parameters for the two loops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aivril2Config {
+    /// Maximum corrective iterations of each Syntax Optimization loop
+    /// (testbench and RTL each get this budget).
+    pub max_syntax_iters: u32,
+    /// Maximum corrective iterations of the Functional Optimization
+    /// loop.
+    pub max_functional_iters: u32,
+    /// LLM sampling parameters (the paper fixes temperature 0.2 /
+    /// top_p 0.1; the seed field is overwritten per task sample).
+    pub gen_params: GenParams,
+    /// `true` (default) runs the testbench-first methodology: the
+    /// testbench is generated and syntax-validated before any RTL
+    /// exists. `false` reproduces the AIVRIL(1)-style simultaneous
+    /// flow the paper improved on: the testbench is taken as generated,
+    /// unvalidated.
+    pub testbench_first: bool,
+    /// Corrective-prompt detail level.
+    pub prompt_detail: PromptDetail,
+}
+
+impl Default for Aivril2Config {
+    fn default() -> Aivril2Config {
+        Aivril2Config {
+            max_syntax_iters: 5,
+            max_functional_iters: 5,
+            gen_params: GenParams::default(),
+            testbench_first: true,
+            prompt_detail: PromptDetail::Detailed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_bounded() {
+        let c = Aivril2Config::default();
+        assert!(c.max_syntax_iters >= 1);
+        assert!(c.max_functional_iters >= 1);
+        assert!((c.gen_params.temperature - 0.2).abs() < 1e-9);
+        assert!(c.testbench_first);
+        assert_eq!(c.prompt_detail, PromptDetail::Detailed);
+    }
+}

@@ -1,0 +1,60 @@
+//! Task description handed to the pipeline.
+
+/// One RTL design task, as presented to AIVRIL2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskInput {
+    /// Benchmark task name (unique key, e.g. `prob042_count_mod10_w4`).
+    pub name: String,
+    /// Required module/entity name for the generated design.
+    pub module_name: String,
+    /// Natural-language specification (the user prompt of Fig. 2 ①).
+    pub spec: String,
+    /// `true` targets Verilog, `false` targets VHDL.
+    pub verilog: bool,
+    /// Sample seed (pass@k evaluation draws several samples per task).
+    pub seed: u64,
+}
+
+impl TaskInput {
+    /// Conventional DUT file name (`<module>.v` / `<module>.vhd`).
+    #[must_use]
+    pub fn dut_file_name(&self) -> String {
+        format!("{}.{}", self.module_name, self.extension())
+    }
+
+    /// Conventional testbench file name.
+    #[must_use]
+    pub fn tb_file_name(&self) -> String {
+        format!("tb_{}.{}", self.module_name, self.extension())
+    }
+
+    /// File extension for the target language.
+    #[must_use]
+    pub fn extension(&self) -> &'static str {
+        if self.verilog {
+            "v"
+        } else {
+            "vhd"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_names_follow_language() {
+        let mut t = TaskInput {
+            name: "n".into(),
+            module_name: "adder".into(),
+            spec: String::new(),
+            verilog: true,
+            seed: 0,
+        };
+        assert_eq!(t.dut_file_name(), "adder.v");
+        assert_eq!(t.tb_file_name(), "tb_adder.v");
+        t.verilog = false;
+        assert_eq!(t.dut_file_name(), "adder.vhd");
+    }
+}

@@ -1,0 +1,174 @@
+//! Run traces: the per-stage record from which iteration counts and the
+//! Figure 3 latency breakdown are computed.
+
+use std::fmt;
+
+/// The pipeline stage an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Testbench generation (Fig. 2 step ②).
+    TbGeneration,
+    /// Syntax Optimization loop over the testbench.
+    TbSyntaxLoop,
+    /// Initial RTL generation (step ③).
+    RtlGeneration,
+    /// Syntax Optimization loop over the RTL (steps ④ and successors).
+    RtlSyntaxLoop,
+    /// Functional Optimization loop (steps ⑤–⑧).
+    FunctionalLoop,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::TbGeneration => "testbench generation",
+            Stage::TbSyntaxLoop => "testbench syntax loop",
+            Stage::RtlGeneration => "RTL generation",
+            Stage::RtlSyntaxLoop => "RTL syntax loop",
+            Stage::FunctionalLoop => "functional loop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Stage the event belongs to.
+    pub stage: Stage,
+    /// Short narration, e.g. `compile: 2 syntax errors`.
+    pub what: String,
+    /// Modeled LLM seconds spent in this event.
+    pub llm_latency: f64,
+    /// Modeled EDA-tool seconds spent in this event.
+    pub tool_latency: f64,
+}
+
+/// Complete record of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// Events in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RunTrace {
+    /// Appends an event.
+    pub fn push(
+        &mut self,
+        stage: Stage,
+        what: impl Into<String>,
+        llm_latency: f64,
+        tool_latency: f64,
+    ) {
+        self.events.push(TraceEvent {
+            stage,
+            what: what.into(),
+            llm_latency,
+            tool_latency,
+        });
+    }
+
+    /// Total modeled seconds (LLM + tools).
+    #[must_use]
+    pub fn total_latency(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.llm_latency + e.tool_latency)
+            .sum()
+    }
+
+    /// Modeled seconds spent in `stage`.
+    #[must_use]
+    pub fn stage_latency(&self, stage: Stage) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.stage == stage)
+            .map(|e| e.llm_latency + e.tool_latency)
+            .sum()
+    }
+
+    /// Seconds attributable to the Syntax Optimization loops (testbench
+    /// generation + both syntax loops + initial RTL generation), the way
+    /// Figure 3 buckets them.
+    #[must_use]
+    pub fn syntax_phase_latency(&self) -> f64 {
+        self.stage_latency(Stage::TbGeneration)
+            + self.stage_latency(Stage::TbSyntaxLoop)
+            + self.stage_latency(Stage::RtlGeneration)
+            + self.stage_latency(Stage::RtlSyntaxLoop)
+    }
+
+    /// Seconds attributable to the Functional Optimization loop.
+    #[must_use]
+    pub fn functional_phase_latency(&self) -> f64 {
+        self.stage_latency(Stage::FunctionalLoop)
+    }
+
+    /// Number of corrective iterations recorded for `stage` (events
+    /// whose narration marks a revision).
+    #[must_use]
+    pub fn iterations(&self, stage: Stage) -> u32 {
+        self.events
+            .iter()
+            .filter(|e| e.stage == stage && e.what.starts_with("revise"))
+            .count() as u32
+    }
+
+    /// Renders a compact, human-readable workflow narration (the Fig. 2
+    /// style step list).
+    #[must_use]
+    pub fn narration(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(&format!(
+                "{:2}. [{}] {} (llm {:.2}s, tools {:.2}s)\n",
+                i + 1,
+                e.stage,
+                e.what,
+                e.llm_latency,
+                e.tool_latency
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunTrace {
+        let mut t = RunTrace::default();
+        t.push(Stage::TbGeneration, "generate testbench", 4.0, 0.0);
+        t.push(Stage::TbSyntaxLoop, "compile: clean", 0.0, 1.0);
+        t.push(Stage::RtlGeneration, "generate RTL", 5.0, 0.0);
+        t.push(Stage::RtlSyntaxLoop, "compile: 1 syntax error", 0.0, 1.0);
+        t.push(Stage::RtlSyntaxLoop, "revise after syntax feedback", 3.0, 0.0);
+        t.push(Stage::FunctionalLoop, "simulate: 1 failing test", 0.0, 2.0);
+        t.push(Stage::FunctionalLoop, "revise after functional feedback", 3.5, 0.0);
+        t
+    }
+
+    #[test]
+    fn latency_buckets() {
+        let t = sample();
+        assert!((t.total_latency() - 19.5).abs() < 1e-9);
+        assert!((t.syntax_phase_latency() - 14.0).abs() < 1e-9);
+        assert!((t.functional_phase_latency() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_counting() {
+        let t = sample();
+        assert_eq!(t.iterations(Stage::RtlSyntaxLoop), 1);
+        assert_eq!(t.iterations(Stage::FunctionalLoop), 1);
+        assert_eq!(t.iterations(Stage::TbSyntaxLoop), 0);
+    }
+
+    #[test]
+    fn narration_lists_steps() {
+        let n = sample().narration();
+        assert_eq!(n.lines().count(), 7);
+        assert!(n.contains("functional loop"));
+    }
+}

@@ -1,0 +1,77 @@
+//! The user side of the clarification dialogue.
+//!
+//! Sec. 3.1: *"If the prompt lacks sufficient detail, the Code Agent
+//! initiates an interactive dialogue with the user to gather further
+//! information."* The pipeline models the user as a [`UserProxy`]; in
+//! batch evaluation it is a [`StaticUser`] holding the full task
+//! description, while an interactive frontend would forward the
+//! question to a human.
+
+/// Answers the Code Agent's clarification questions.
+pub trait UserProxy {
+    /// Responds to `question` with additional specification detail.
+    /// An empty answer means no more information is available.
+    fn clarify(&self, question: &str) -> String;
+}
+
+/// A user who never answers — the pipeline proceeds with whatever the
+/// original prompt contained.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoClarification;
+
+impl UserProxy for NoClarification {
+    fn clarify(&self, _question: &str) -> String {
+        String::new()
+    }
+}
+
+/// A scripted user holding the complete specification, returned on the
+/// first (and any) clarification request — the batch-evaluation stand-in
+/// for the interactive dialogue.
+#[derive(Debug, Clone)]
+pub struct StaticUser {
+    /// The full specification to supply on request.
+    pub full_spec: String,
+}
+
+impl StaticUser {
+    /// Creates a scripted user.
+    #[must_use]
+    pub fn new(full_spec: impl Into<String>) -> StaticUser {
+        StaticUser { full_spec: full_spec.into() }
+    }
+}
+
+impl UserProxy for StaticUser {
+    fn clarify(&self, _question: &str) -> String {
+        self.full_spec.clone()
+    }
+}
+
+/// Heuristic sufficiency check: a workable RTL prompt must carry the
+/// task identification header and name the required module.
+#[must_use]
+pub fn spec_is_sufficient(spec: &str, module_name: &str) -> bool {
+    spec.contains("Design task:") && spec.contains(module_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sufficiency_heuristic() {
+        assert!(spec_is_sufficient(
+            "Design task: t.\nImplement `adder` ...",
+            "adder"
+        ));
+        assert!(!spec_is_sufficient("make me an adder please", "adder"));
+        assert!(!spec_is_sufficient("Design task: t.\nsomething", "adder"));
+    }
+
+    #[test]
+    fn proxies_answer() {
+        assert_eq!(NoClarification.clarify("?"), "");
+        assert_eq!(StaticUser::new("full").clarify("?"), "full");
+    }
+}

@@ -1,0 +1,146 @@
+//! Structured tool reports paired with their textual logs.
+
+use aivril_hdl::diag::Severity;
+
+/// One parsed tool message (mirrors a rendered log line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolMessage {
+    /// Severity.
+    pub severity: Severity,
+    /// Message id, e.g. `VRFC 10-91`.
+    pub code: String,
+    /// Message text.
+    pub message: String,
+    /// Source file, when the message is located.
+    pub file: Option<String>,
+    /// 1-based line number, when located.
+    pub line: Option<u32>,
+}
+
+impl ToolMessage {
+    /// `true` for error-or-worse severities.
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.severity >= Severity::Error
+    }
+}
+
+/// Result of the analysis/elaboration step (`xvlog`/`xvhdl` + `xelab`).
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// `true` when no errors occurred.
+    pub success: bool,
+    /// Vivado-style log text — what the Review Agent reads.
+    pub log: String,
+    /// The same information, structured (for metrics and tests).
+    pub messages: Vec<ToolMessage>,
+    /// Modeled tool wall-clock in seconds (drives Figure 3).
+    pub modeled_latency: f64,
+}
+
+impl CompileReport {
+    /// Count of error messages.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.messages.iter().filter(|m| m.is_error()).count()
+    }
+}
+
+/// One testbench failure extracted from the simulation log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestFailure {
+    /// Test case index when the log line follows the
+    /// `Test Case N Failed` convention.
+    pub case: Option<u32>,
+    /// Full failure message.
+    pub message: String,
+}
+
+/// Result of the simulation step (`xsim`).
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// `true` when compilation succeeded (simulation was attempted).
+    pub compiled: bool,
+    /// `true` when the run finished with zero test failures.
+    pub passed: bool,
+    /// Full log: compile log followed by simulation output.
+    pub log: String,
+    /// Extracted test failures.
+    pub failures: Vec<TestFailure>,
+    /// Compile-step messages (empty when compilation was clean).
+    pub compile_messages: Vec<ToolMessage>,
+    /// Final simulation time (0 when simulation never ran).
+    pub end_time: u64,
+    /// `true` when the run ended via `$finish`/`severity failure`.
+    pub finished: bool,
+    /// Modeled tool wall-clock in seconds (compile + simulate).
+    pub modeled_latency: f64,
+}
+
+/// Extracts `Test Case N Failed ...` style failures from raw log text;
+/// any other `ERROR:`-prefixed simulation line is kept as an unnumbered
+/// failure.
+#[must_use]
+pub fn extract_failures(log: &str) -> Vec<TestFailure> {
+    let mut out = Vec::new();
+    for line in log.lines() {
+        let is_sim_error = line.starts_with("ERROR:") || line.starts_with("FATAL:");
+        if let Some(pos) = line.find("Test Case ") {
+            let rest = &line[pos + "Test Case ".len()..];
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            if rest[digits.len()..].trim_start().starts_with("Failed") {
+                out.push(TestFailure {
+                    case: digits.parse().ok(),
+                    message: line.trim().to_string(),
+                });
+                continue;
+            }
+        }
+        if is_sim_error && !line.contains("[VRFC") {
+            out.push(TestFailure { case: None, message: line.trim().to_string() });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_numbered_failures() {
+        let log = "some output\n\
+                   ERROR: Test Case 2 Failed: shift_ena should be 0 after 4 clock cycles (at time 52)\n\
+                   All tests passed successfully!\n";
+        let fails = extract_failures(log);
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].case, Some(2));
+        assert!(fails[0].message.contains("shift_ena"));
+    }
+
+    #[test]
+    fn keeps_unnumbered_errors() {
+        let log = "ERROR: something exploded (at time 10)\n";
+        let fails = extract_failures(log);
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].case, None);
+    }
+
+    #[test]
+    fn ignores_compile_errors_and_clean_lines() {
+        let log = "INFO: [VRFC 10-2263] analyzing\nERROR: [VRFC 10-91] syntax [f.v:1]\nok\n";
+        assert!(extract_failures(log).is_empty());
+    }
+
+    #[test]
+    fn tool_message_severity() {
+        let m = ToolMessage {
+            severity: Severity::Error,
+            code: "VRFC 10-91".into(),
+            message: "m".into(),
+            file: None,
+            line: None,
+        };
+        assert!(m.is_error());
+    }
+}

@@ -1,0 +1,100 @@
+//! HDL source files as the tool suite sees them.
+
+use std::fmt;
+
+/// Which hardware description language a file is written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// Verilog-2001.
+    Verilog,
+    /// VHDL-93.
+    Vhdl,
+}
+
+impl Language {
+    /// Guesses the language from a file extension (`.v`/`.sv` →
+    /// Verilog, `.vhd`/`.vhdl` → VHDL); defaults to Verilog.
+    #[must_use]
+    pub fn from_file_name(name: &str) -> Language {
+        let lower = name.to_ascii_lowercase();
+        if lower.ends_with(".vhd") || lower.ends_with(".vhdl") {
+            Language::Vhdl
+        } else {
+            Language::Verilog
+        }
+    }
+
+    /// Conventional file extension.
+    #[must_use]
+    pub fn extension(self) -> &'static str {
+        match self {
+            Language::Verilog => "v",
+            Language::Vhdl => "vhd",
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Language::Verilog => f.write_str("Verilog"),
+            Language::Vhdl => f.write_str("VHDL"),
+        }
+    }
+}
+
+/// One named HDL source file handed to the tools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HdlFile {
+    /// File name shown in logs (e.g. `shift_register.v`).
+    pub name: String,
+    /// Source text.
+    pub text: String,
+    /// Language, normally derived from the extension.
+    pub language: Language,
+}
+
+impl HdlFile {
+    /// Creates a file, deriving the language from the name's extension.
+    #[must_use]
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> HdlFile {
+        let name = name.into();
+        let language = Language::from_file_name(&name);
+        HdlFile { name, text: text.into(), language }
+    }
+
+    /// Total size in bytes — the workload measure for compile latency.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.text.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn language_detection() {
+        assert_eq!(Language::from_file_name("a.v"), Language::Verilog);
+        assert_eq!(Language::from_file_name("a.sv"), Language::Verilog);
+        assert_eq!(Language::from_file_name("a.VHD"), Language::Vhdl);
+        assert_eq!(Language::from_file_name("a.vhdl"), Language::Vhdl);
+        assert_eq!(Language::from_file_name("noext"), Language::Verilog);
+    }
+
+    #[test]
+    fn file_construction() {
+        let f = HdlFile::new("top.vhd", "entity top is end;");
+        assert_eq!(f.language, Language::Vhdl);
+        assert_eq!(f.byte_len(), 18);
+    }
+
+    #[test]
+    fn extensions_roundtrip() {
+        for lang in [Language::Verilog, Language::Vhdl] {
+            let name = format!("x.{}", lang.extension());
+            assert_eq!(Language::from_file_name(&name), lang);
+        }
+    }
+}

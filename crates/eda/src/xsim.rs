@@ -1,0 +1,465 @@
+//! The Vivado-like tool suite implementation.
+
+use crate::latency::ToolLatencyModel;
+use crate::report::{extract_failures, CompileReport, SimReport, ToolMessage};
+use crate::source::{HdlFile, Language};
+use crate::ToolSuite;
+use aivril_hdl::diag::Diagnostics;
+use aivril_hdl::ir::Design;
+use aivril_hdl::source::SourceMap;
+use aivril_sim::{SimConfig, Simulator};
+
+/// The testbench completion marker AIVRIL2's agents look for — the same
+/// phrase the paper's Fig. 2 example prints on success.
+pub const PASS_MARKER: &str = "All tests passed successfully!";
+
+/// In-process tool suite with Vivado-style logs and modeled latency.
+///
+/// `compile` corresponds to `xvlog`/`xvhdl` + `xelab` (syntax, semantic
+/// and elaboration checks); `simulate` additionally runs the event
+/// kernel like `xsim -runall`.
+#[derive(Debug, Clone, Default)]
+pub struct XsimToolSuite {
+    latency: ToolLatencyModel,
+    sim_config: SimConfig,
+}
+
+impl XsimToolSuite {
+    /// Creates a suite with default limits and latency constants.
+    #[must_use]
+    pub fn new() -> XsimToolSuite {
+        XsimToolSuite::default()
+    }
+
+    /// Overrides the simulation limits.
+    #[must_use]
+    pub fn with_sim_config(mut self, config: SimConfig) -> XsimToolSuite {
+        self.sim_config = config;
+        self
+    }
+
+    /// Overrides the latency model.
+    #[must_use]
+    pub fn with_latency_model(mut self, latency: ToolLatencyModel) -> XsimToolSuite {
+        self.latency = latency;
+        self
+    }
+
+    /// Compiles `files` into a design, returning the elaborated design
+    /// alongside the report so callers (and `simulate`) don't repeat the
+    /// work ([C-INTERMEDIATE]).
+    ///
+    /// [C-INTERMEDIATE]: https://rust-lang.github.io/api-guidelines/flexibility.html
+    #[must_use]
+    pub fn compile_to_design(
+        &self,
+        files: &[HdlFile],
+        top: Option<&str>,
+    ) -> (CompileReport, Option<Design>) {
+        let mut sources = SourceMap::new();
+        for f in files {
+            sources.add_file(f.name.clone(), f.text.clone());
+        }
+        let language = files.first().map_or(Language::Verilog, |f| f.language);
+        let mixed = files.iter().any(|f| f.language != language);
+
+        let mut log = String::new();
+        for f in files {
+            let tool = match f.language {
+                Language::Verilog => "xvlog",
+                Language::Vhdl => "xvhdl",
+            };
+            log.push_str(&format!(
+                "INFO: [{tool}] Analyzing {} file \"{}\" into library work\n",
+                f.language, f.name
+            ));
+        }
+        if mixed {
+            log.push_str(
+                "ERROR: [XSIM 43-4100] mixed-language compilation units must be elaborated per language\n",
+            );
+            let report = CompileReport {
+                success: false,
+                log,
+                messages: vec![ToolMessage {
+                    severity: aivril_hdl::diag::Severity::Error,
+                    code: "XSIM 43-4100".into(),
+                    message: "mixed-language compilation units must be elaborated per language"
+                        .into(),
+                    file: None,
+                    line: None,
+                }],
+                modeled_latency: self.latency.compile_seconds(total_bytes(files)),
+            };
+            return (report, None);
+        }
+
+        let (design, diags) = match language {
+            Language::Verilog => {
+                let (unit, mut diags) = aivril_verilog::analyze(&sources);
+                if diags.has_errors() {
+                    (None, diags)
+                } else {
+                    let top = top
+                        .map(String::from)
+                        .or_else(|| aivril_verilog::find_top(&unit))
+                        .unwrap_or_default();
+                    let design = aivril_verilog::elaborate(&unit, &top, &mut diags);
+                    (design.filter(|_| !diags.has_errors()), diags)
+                }
+            }
+            Language::Vhdl => {
+                let (unit, mut diags) = aivril_vhdl::analyze(&sources);
+                if diags.has_errors() {
+                    (None, diags)
+                } else {
+                    let top = top
+                        .map(String::from)
+                        .or_else(|| aivril_vhdl::find_top(&unit))
+                        .unwrap_or_default();
+                    let design = aivril_vhdl::elaborate(&unit, &top, &mut diags);
+                    (design.filter(|_| !diags.has_errors()), diags)
+                }
+            }
+        };
+        log.push_str(&diags.render(&sources));
+        let success = design.is_some();
+        if success {
+            log.push_str("INFO: [xelab] Elaboration completed successfully\n");
+        } else {
+            log.push_str(&format!(
+                "ERROR: [xelab] {} error(s) during analysis/elaboration\n",
+                diags.error_count().max(1)
+            ));
+        }
+        let messages = to_messages(&diags, &sources);
+        let report = CompileReport {
+            success,
+            log,
+            messages,
+            modeled_latency: self.latency.compile_seconds(total_bytes(files)),
+        };
+        (report, design)
+    }
+}
+
+fn total_bytes(files: &[HdlFile]) -> usize {
+    files.iter().map(HdlFile::byte_len).sum()
+}
+
+fn to_messages(diags: &Diagnostics, sources: &SourceMap) -> Vec<ToolMessage> {
+    diags
+        .all()
+        .iter()
+        .map(|d| {
+            let (file, line) = match d.span {
+                Some(span) => {
+                    let f = sources.file(span.file);
+                    (Some(f.name().to_string()), Some(f.line_of(span.start)))
+                }
+                None => (None, None),
+            };
+            ToolMessage {
+                severity: d.severity,
+                code: d.code.clone(),
+                message: d.message.clone(),
+                file,
+                line,
+            }
+        })
+        .collect()
+}
+
+impl XsimToolSuite {
+    /// Like [`ToolSuite::simulate`], additionally returning a VCD
+    /// waveform dump of the whole run (when compilation succeeded) —
+    /// the `xsim` `--wdb`-style debug artefact.
+    #[must_use]
+    pub fn simulate_with_waves(
+        &self,
+        files: &[HdlFile],
+        top: Option<&str>,
+    ) -> (SimReport, Option<String>) {
+        let (compile_report, design) = self.compile_to_design(files, top);
+        let mut log = compile_report.log.clone();
+        let Some(design) = design else {
+            return (
+                SimReport {
+                    compiled: false,
+                    passed: false,
+                    log,
+                    failures: Vec::new(),
+                    compile_messages: compile_report.messages,
+                    end_time: 0,
+                    finished: false,
+                    modeled_latency: compile_report.modeled_latency,
+                },
+                None,
+            );
+        };
+        log.push_str(&format!("INFO: [xsim] Running simulation of '{}'\n", design.top));
+        let mut sim = Simulator::new(&design, self.sim_config);
+        sim.record_waves();
+        let result = sim.run();
+        let vcd = sim.vcd();
+        log.push_str(&result.log_text());
+        let failures = extract_failures(&log);
+        let passed = result.is_clean()
+            && failures.is_empty()
+            && (result.finished || result.starved)
+            && log.contains(PASS_MARKER);
+        (
+            SimReport {
+                compiled: true,
+                passed,
+                log,
+                failures,
+                compile_messages: compile_report.messages,
+                end_time: result.end_time,
+                finished: result.finished,
+                modeled_latency: compile_report.modeled_latency
+                    + self.latency.sim_seconds(result.instructions_executed),
+            },
+            vcd,
+        )
+    }
+}
+
+impl ToolSuite for XsimToolSuite {
+    fn analyze(&self, files: &[HdlFile]) -> CompileReport {
+        let mut sources = SourceMap::new();
+        for f in files {
+            sources.add_file(f.name.clone(), f.text.clone());
+        }
+        let mut log = String::new();
+        let mut diags = aivril_hdl::diag::Diagnostics::new();
+        for f in files {
+            let tool = match f.language {
+                Language::Verilog => "xvlog",
+                Language::Vhdl => "xvhdl",
+            };
+            log.push_str(&format!(
+                "INFO: [{tool}] Analyzing {} file \"{}\" into library work\n",
+                f.language, f.name
+            ));
+        }
+        for (id, source) in sources.iter() {
+            let name = source.name().to_ascii_lowercase();
+            if name.ends_with(".vhd") || name.ends_with(".vhdl") {
+                let mut sub = aivril_hdl::diag::Diagnostics::new();
+                let toks = aivril_vhdl::lex(id, source.text(), &mut sub);
+                let _ = aivril_vhdl::parse(toks, &mut sub);
+                diags.extend(sub);
+            } else {
+                let mut sub = aivril_hdl::diag::Diagnostics::new();
+                let toks = aivril_verilog::lex(id, source.text(), &mut sub);
+                let _ = aivril_verilog::parse(toks, &mut sub);
+                diags.extend(sub);
+            }
+        }
+        log.push_str(&diags.render(&sources));
+        let success = !diags.has_errors();
+        if success {
+            log.push_str("INFO: [xvlog] Analysis completed successfully\n");
+        } else {
+            log.push_str(&format!(
+                "ERROR: [xvlog] {} error(s) during analysis\n",
+                diags.error_count()
+            ));
+        }
+        CompileReport {
+            success,
+            log,
+            messages: to_messages(&diags, &sources),
+            modeled_latency: self.latency.compile_seconds(total_bytes(files)),
+        }
+    }
+
+    fn compile(&self, files: &[HdlFile]) -> CompileReport {
+        self.compile_to_design(files, None).0
+    }
+
+    fn simulate(&self, files: &[HdlFile], top: Option<&str>) -> SimReport {
+        let (compile_report, design) = self.compile_to_design(files, top);
+        let mut log = compile_report.log.clone();
+        let Some(design) = design else {
+            return SimReport {
+                compiled: false,
+                passed: false,
+                log,
+                failures: Vec::new(),
+                compile_messages: compile_report.messages,
+                end_time: 0,
+                finished: false,
+                modeled_latency: compile_report.modeled_latency,
+            };
+        };
+        log.push_str(&format!("INFO: [xsim] Running simulation of '{}'\n", design.top));
+        let result = Simulator::new(&design, self.sim_config).run();
+        log.push_str(&result.log_text());
+        if result.finished {
+            log.push_str(&format!(
+                "INFO: [xsim] $finish called at time : {} ns\n",
+                result.end_time
+            ));
+        } else if result.starved {
+            log.push_str(&format!(
+                "INFO: [xsim] simulation stopped (event starvation) at time : {} ns\n",
+                result.end_time
+            ));
+        }
+        let failures = extract_failures(&log);
+        // A run passes when it is error-free, produced no test failures,
+        // ended of its own accord (no resource limit), and printed the
+        // completion marker the paper's workflow relies on (Fig. 2 ⑧).
+        let passed = result.is_clean()
+            && failures.is_empty()
+            && (result.finished || result.starved)
+            && log.contains(PASS_MARKER);
+        SimReport {
+            compiled: true,
+            passed,
+            log,
+            failures,
+            compile_messages: compile_report.messages,
+            end_time: result.end_time,
+            finished: result.finished,
+            modeled_latency: compile_report.modeled_latency
+                + self.latency.sim_seconds(result.instructions_executed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_V: &str = "module inv(input a, output y);\n  assign y = ~a;\nendmodule\n";
+    const GOOD_TB: &str = "module tb;\n  reg a; wire y;\n  inv dut(.a(a), .y(y));\n\
+        initial begin\n    a = 0; #1;\n    if (y !== 1'b1) $error(\"Test Case 1 Failed: y should be 1\");\n\
+        else $display(\"All tests passed successfully!\");\n    $finish;\n  end\nendmodule\n";
+    const BAD_V: &str = "module inv(input a, output y)\n  assign y = ~a;\nendmodule\n";
+
+    #[test]
+    fn clean_compile_logs_success() {
+        let tools = XsimToolSuite::new();
+        let report = tools.compile(&[HdlFile::new("inv.v", GOOD_V)]);
+        assert!(report.success);
+        assert!(report.log.contains("Analyzing Verilog file \"inv.v\""));
+        assert!(report.log.contains("Elaboration completed successfully"));
+        assert!(report.modeled_latency > 0.0);
+    }
+
+    #[test]
+    fn syntax_error_produces_located_log() {
+        let tools = XsimToolSuite::new();
+        let report = tools.compile(&[HdlFile::new("inv.v", BAD_V)]);
+        assert!(!report.success);
+        assert!(report.log.contains("ERROR: [VRFC"), "log: {}", report.log);
+        assert!(report.log.contains("[inv.v:"), "log: {}", report.log);
+        assert!(report.error_count() >= 1);
+        let m = report.messages.iter().find(|m| m.is_error()).expect("msg");
+        assert_eq!(m.file.as_deref(), Some("inv.v"));
+        assert!(m.line.is_some());
+    }
+
+    #[test]
+    fn passing_simulation() {
+        let tools = XsimToolSuite::new();
+        let report = tools.simulate(
+            &[HdlFile::new("inv.v", GOOD_V), HdlFile::new("tb.v", GOOD_TB)],
+            Some("tb"),
+        );
+        assert!(report.compiled);
+        assert!(report.passed, "log: {}", report.log);
+        assert!(report.failures.is_empty());
+        assert!(report.log.contains("All tests passed successfully!"));
+        assert!(report.log.contains("$finish called"));
+    }
+
+    #[test]
+    fn functional_failure_extracted() {
+        // DUT mutated: ~a became a (a classic functional fault).
+        let broken = "module inv(input a, output y);\n  assign y = a;\nendmodule\n";
+        let tools = XsimToolSuite::new();
+        let report = tools.simulate(
+            &[HdlFile::new("inv.v", broken), HdlFile::new("tb.v", GOOD_TB)],
+            Some("tb"),
+        );
+        assert!(report.compiled);
+        assert!(!report.passed);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].case, Some(1));
+    }
+
+    #[test]
+    fn simulate_with_compile_errors_skips_sim() {
+        let tools = XsimToolSuite::new();
+        let report = tools.simulate(&[HdlFile::new("inv.v", BAD_V)], None);
+        assert!(!report.compiled);
+        assert!(!report.passed);
+        assert_eq!(report.end_time, 0);
+    }
+
+    #[test]
+    fn vhdl_flow_works() {
+        let dut = "entity inv is port (a : in std_logic; y : out std_logic); end entity;\n\
+                   architecture rtl of inv is begin y <= not a; end architecture;\n";
+        let tb = "entity tb is end entity;\narchitecture sim of tb is\n\
+                  signal a, y : std_logic;\nbegin\n\
+                  dut: entity work.inv port map (a => a, y => y);\n\
+                  process begin\n  a <= '0'; wait for 1 ns;\n\
+                  assert y = '1' report \"Test Case 1 Failed\" severity error;\n\
+                  report \"All tests passed successfully!\";\n  wait;\nend process;\n\
+                  end architecture;\n";
+        let tools = XsimToolSuite::new();
+        let report = tools.simulate(
+            &[HdlFile::new("inv.vhd", dut), HdlFile::new("tb.vhd", tb)],
+            Some("tb"),
+        );
+        assert!(report.compiled, "log: {}", report.log);
+        assert!(report.log.contains("Analyzing VHDL file"));
+        // VHDL testbenches end by event starvation; the completion
+        // marker makes the run count as a pass anyway.
+        assert!(!report.finished);
+        assert!(report.passed, "log: {}", report.log);
+    }
+
+    #[test]
+    fn mixed_language_rejected() {
+        let tools = XsimToolSuite::new();
+        let report = tools.compile(&[
+            HdlFile::new("a.v", GOOD_V),
+            HdlFile::new("b.vhd", "entity e is end;"),
+        ]);
+        assert!(!report.success);
+        assert!(report.log.contains("mixed-language"));
+    }
+
+    #[test]
+    fn waveform_dump_covers_the_run() {
+        let tools = XsimToolSuite::new();
+        let (report, vcd) = tools.simulate_with_waves(
+            &[HdlFile::new("inv.v", GOOD_V), HdlFile::new("tb.v", GOOD_TB)],
+            Some("tb"),
+        );
+        assert!(report.passed);
+        let vcd = vcd.expect("compiled run yields waves");
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("$dumpvars"));
+        assert!(vcd.contains(" a $end"), "tb signals declared: {vcd}");
+        let (_, vcd) = tools.simulate_with_waves(&[HdlFile::new("inv.v", BAD_V)], None);
+        assert!(vcd.is_none(), "no waves when compilation fails");
+    }
+
+    #[test]
+    fn latency_accumulates_compile_plus_sim() {
+        let tools = XsimToolSuite::new();
+        let c = tools.compile(&[HdlFile::new("inv.v", GOOD_V)]);
+        let s = tools.simulate(
+            &[HdlFile::new("inv.v", GOOD_V), HdlFile::new("tb.v", GOOD_TB)],
+            Some("tb"),
+        );
+        assert!(s.modeled_latency > c.modeled_latency);
+    }
+}

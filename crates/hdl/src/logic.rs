@@ -1,0 +1,235 @@
+//! Four-state scalar logic values.
+//!
+//! Verilog (IEEE 1364) and VHDL (`std_logic`, collapsed onto four states)
+//! both model signals with the values `0`, `1`, `X` (unknown) and `Z`
+//! (high impedance). [`Logic`] implements the standard resolution tables
+//! for the bitwise operators; anything touching `X` or `Z` degrades to
+//! `X` exactly as a real simulator kernel would.
+
+use std::fmt;
+
+/// A single four-state logic value.
+///
+/// # Example
+///
+/// ```
+/// use aivril_hdl::logic::Logic;
+///
+/// assert_eq!(Logic::One.and(Logic::X), Logic::X);
+/// assert_eq!(Logic::Zero.and(Logic::X), Logic::Zero);
+/// assert_eq!(Logic::One.or(Logic::X), Logic::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Logic {
+    /// Logic low.
+    #[default]
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown value.
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl Logic {
+    /// Returns `true` for [`Logic::X`] and [`Logic::Z`].
+    #[must_use]
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Logic::X | Logic::Z)
+    }
+
+    /// Converts a boolean into `0`/`1`.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(true)`/`Some(false)` for `1`/`0` and `None` for `X`/`Z`.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// Standard (aval, bval) simulator encoding: `0 = (0,0)`, `1 = (1,0)`,
+    /// `Z = (0,1)`, `X = (1,1)`.
+    #[must_use]
+    pub fn to_avab(self) -> (bool, bool) {
+        match self {
+            Logic::Zero => (false, false),
+            Logic::One => (true, false),
+            Logic::Z => (false, true),
+            Logic::X => (true, true),
+        }
+    }
+
+    /// Inverse of [`Logic::to_avab`].
+    #[must_use]
+    pub fn from_avab(aval: bool, bval: bool) -> Logic {
+        match (aval, bval) {
+            (false, false) => Logic::Zero,
+            (true, false) => Logic::One,
+            (false, true) => Logic::Z,
+            (true, true) => Logic::X,
+        }
+    }
+
+    /// Four-state AND: `0` dominates, otherwise unknowns yield `X`.
+    #[must_use]
+    pub fn and(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-state OR: `1` dominates, otherwise unknowns yield `X`.
+    #[must_use]
+    pub fn or(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-state XOR: any unknown input yields `X`.
+    #[must_use]
+    pub fn xor(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Four-state NOT: unknown input yields `X`.
+    #[allow(clippy::should_implement_trait)] // domain op, deliberately `not`
+    #[must_use]
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X | Logic::Z => Logic::X,
+        }
+    }
+
+    /// Parses one of `0 1 x X z Z` into a logic value.
+    #[must_use]
+    pub fn from_char(c: char) -> Option<Logic> {
+        match c {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' | 'X' => Some(Logic::X),
+            'z' | 'Z' | '?' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase display character.
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Logic::Zero.and(Logic::X), Logic::Zero);
+        assert_eq!(Logic::X.and(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::One.and(Logic::One), Logic::One);
+        assert_eq!(Logic::One.and(Logic::Z), Logic::X);
+        assert_eq!(Logic::X.and(Logic::X), Logic::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Logic::One.or(Logic::X), Logic::One);
+        assert_eq!(Logic::Zero.or(Logic::Zero), Logic::Zero);
+        assert_eq!(Logic::Zero.or(Logic::Z), Logic::X);
+    }
+
+    #[test]
+    fn xor_propagates_unknowns() {
+        for v in ALL {
+            assert_eq!(Logic::X.xor(v), Logic::X);
+            assert_eq!(v.xor(Logic::Z), Logic::X);
+        }
+        assert_eq!(Logic::One.xor(Logic::One), Logic::Zero);
+        assert_eq!(Logic::One.xor(Logic::Zero), Logic::One);
+    }
+
+    #[test]
+    fn not_maps_z_to_x() {
+        assert_eq!(Logic::Z.not(), Logic::X);
+        assert_eq!(Logic::X.not(), Logic::X);
+        assert_eq!(Logic::Zero.not(), Logic::One);
+    }
+
+    #[test]
+    fn avab_roundtrip() {
+        for v in ALL {
+            let (a, b) = v.to_avab();
+            assert_eq!(Logic::from_avab(a, b), v);
+        }
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for v in ALL {
+            assert_eq!(Logic::from_char(v.to_char()), Some(v));
+        }
+        assert_eq!(Logic::from_char('q'), None);
+    }
+
+    #[test]
+    fn and_or_commutative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.xor(b), b.xor(a));
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_on_known_values() {
+        for a in [Logic::Zero, Logic::One] {
+            for b in [Logic::Zero, Logic::One] {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+            }
+        }
+    }
+}

@@ -1,0 +1,819 @@
+//! Packed four-state bit vectors with Verilog evaluation semantics.
+//!
+//! [`LogicVec`] stores a vector of [`Logic`] values in the classic
+//! simulator (aval, bval) packed encoding: two bit-planes of `u64` words.
+//! All operations follow IEEE 1364 semantics: bitwise operators resolve
+//! per bit, while arithmetic and relational operators degrade to all-`X`
+//! as soon as any operand bit is unknown.
+
+use crate::logic::Logic;
+use std::fmt;
+
+/// A fixed-width vector of four-state logic values.
+///
+/// Bit 0 is the least-significant bit, matching Verilog `[msb:0]`
+/// declarations.
+///
+/// # Example
+///
+/// ```
+/// use aivril_hdl::vec::LogicVec;
+///
+/// let a = LogicVec::from_u64(4, 0b1010);
+/// let b = LogicVec::from_u64(4, 0b0011);
+/// assert_eq!(a.add(&b).to_u64(), Some(0b1101));
+/// assert_eq!(a.xor(&b).to_u64(), Some(0b1001));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicVec {
+    width: u32,
+    /// Value plane: bit set = `1` or `X`.
+    aval: Vec<u64>,
+    /// Unknown plane: bit set = `Z` or `X`.
+    bval: Vec<u64>,
+}
+
+fn words_for(width: u32) -> usize {
+    (width as usize).div_ceil(64)
+}
+
+impl LogicVec {
+    /// Creates a vector of `width` bits, every bit set to `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn filled(width: u32, fill: Logic) -> LogicVec {
+        assert!(width > 0, "LogicVec width must be non-zero");
+        let n = words_for(width);
+        let (a, b) = fill.to_avab();
+        let mut v = LogicVec {
+            width,
+            aval: vec![if a { u64::MAX } else { 0 }; n],
+            bval: vec![if b { u64::MAX } else { 0 }; n],
+        };
+        v.mask_top();
+        v
+    }
+
+    /// All-zero vector of `width` bits.
+    #[must_use]
+    pub fn zeros(width: u32) -> LogicVec {
+        LogicVec::filled(width, Logic::Zero)
+    }
+
+    /// All-`X` vector of `width` bits — the reset state of every register.
+    #[must_use]
+    pub fn xes(width: u32) -> LogicVec {
+        LogicVec::filled(width, Logic::X)
+    }
+
+    /// Builds a vector of `width` bits from the low bits of `value`.
+    #[must_use]
+    pub fn from_u64(width: u32, value: u64) -> LogicVec {
+        let mut v = LogicVec::zeros(width);
+        v.aval[0] = value;
+        if width < 64 {
+            v.aval[0] &= (1u64 << width) - 1;
+        }
+        v
+    }
+
+    /// Builds a single-bit vector from a scalar logic value.
+    #[must_use]
+    pub fn from_logic(value: Logic) -> LogicVec {
+        LogicVec::filled(1, value)
+    }
+
+    /// Builds a vector from bits listed MSB-first, as they appear in a
+    /// Verilog literal such as `4'b10x1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    #[must_use]
+    pub fn from_bits_msb_first(bits: &[Logic]) -> LogicVec {
+        assert!(!bits.is_empty(), "bit list must be non-empty");
+        let width = bits.len() as u32;
+        let mut v = LogicVec::zeros(width);
+        for (i, bit) in bits.iter().rev().enumerate() {
+            v.set(i as u32, *bit);
+        }
+        v
+    }
+
+    /// Parses a string of `0 1 x z` characters (MSB first).
+    ///
+    /// Returns `None` on empty input or invalid characters.
+    #[must_use]
+    pub fn parse_binary(s: &str) -> Option<LogicVec> {
+        let bits: Option<Vec<Logic>> = s.chars().map(Logic::from_char).collect();
+        let bits = bits?;
+        if bits.is_empty() {
+            return None;
+        }
+        Some(LogicVec::from_bits_msb_first(&bits))
+    }
+
+    /// Width of this vector in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Returns the bit at `index` (LSB = 0), or `Logic::X` when out of
+    /// range (matching Verilog out-of-bounds select semantics).
+    #[must_use]
+    pub fn get(&self, index: u32) -> Logic {
+        if index >= self.width {
+            return Logic::X;
+        }
+        let (w, b) = ((index / 64) as usize, index % 64);
+        Logic::from_avab(self.aval[w] >> b & 1 == 1, self.bval[w] >> b & 1 == 1)
+    }
+
+    /// Sets the bit at `index` (LSB = 0). Out-of-range writes are ignored,
+    /// matching Verilog semantics for out-of-bounds part-select targets.
+    pub fn set(&mut self, index: u32, value: Logic) {
+        if index >= self.width {
+            return;
+        }
+        let (w, b) = ((index / 64) as usize, index % 64);
+        let (a, bb) = value.to_avab();
+        let mask = 1u64 << b;
+        if a {
+            self.aval[w] |= mask;
+        } else {
+            self.aval[w] &= !mask;
+        }
+        if bb {
+            self.bval[w] |= mask;
+        } else {
+            self.bval[w] &= !mask;
+        }
+    }
+
+    /// `true` if any bit is `X` or `Z`.
+    #[must_use]
+    pub fn has_unknown(&self) -> bool {
+        self.bval.iter().any(|&w| w != 0)
+    }
+
+    /// Interprets the vector as an unsigned integer.
+    ///
+    /// Returns `None` if any bit is unknown or the width exceeds 64 bits
+    /// with non-zero high bits.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.has_unknown() {
+            return None;
+        }
+        if self.aval.iter().skip(1).any(|&w| w != 0) {
+            return None;
+        }
+        Some(self.aval[0])
+    }
+
+    /// Truthiness in a Verilog `if`: `Some(true)` when any bit is `1`,
+    /// `Some(false)` when all bits are `0`, `None` when the answer depends
+    /// on unknown bits.
+    #[must_use]
+    pub fn to_bool(&self) -> Option<bool> {
+        let any_one = self
+            .aval
+            .iter()
+            .zip(&self.bval)
+            .any(|(&a, &b)| a & !b != 0);
+        if any_one {
+            return Some(true);
+        }
+        if self.has_unknown() {
+            return None;
+        }
+        Some(false)
+    }
+
+    /// Iterates over bits from LSB to MSB.
+    pub fn iter(&self) -> impl Iterator<Item = Logic> + '_ {
+        (0..self.width).map(move |i| self.get(i))
+    }
+
+    fn mask_top(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            let mask = (1u64 << rem) - 1;
+            let last = self.aval.len() - 1;
+            self.aval[last] &= mask;
+            self.bval[last] &= mask;
+        }
+    }
+
+    /// Zero-extends or truncates to `width` bits.
+    #[must_use]
+    pub fn resize(&self, width: u32) -> LogicVec {
+        let mut out = LogicVec::zeros(width);
+        let n = out.aval.len().min(self.aval.len());
+        out.aval[..n].copy_from_slice(&self.aval[..n]);
+        out.bval[..n].copy_from_slice(&self.bval[..n]);
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise AND with Verilog four-state resolution, computed
+    /// word-parallel over the (aval, bval) planes:
+    /// a bit is known-0 iff `!a & !b`; the result is 0 where either
+    /// operand is known-0, 1 where both are known-1, X otherwise.
+    #[must_use]
+    pub fn and(&self, rhs: &LogicVec) -> LogicVec {
+        self.word_bitwise(rhs, |a1, b1, a2, b2| {
+            let r0 = (!a1 & !b1) | (!a2 & !b2);
+            let r1 = (a1 & !b1) & (a2 & !b2);
+            (!r0, !r0 & !r1)
+        })
+    }
+
+    /// Bitwise OR with Verilog four-state resolution (word-parallel):
+    /// 1 where either operand is known-1, 0 where both are known-0, X
+    /// otherwise.
+    #[must_use]
+    pub fn or(&self, rhs: &LogicVec) -> LogicVec {
+        self.word_bitwise(rhs, |a1, b1, a2, b2| {
+            let r1 = (a1 & !b1) | (a2 & !b2);
+            let r0 = (!a1 & !b1) & (!a2 & !b2);
+            (r1 | !(r0 | r1), !(r0 | r1))
+        })
+    }
+
+    /// Bitwise XOR with Verilog four-state resolution (word-parallel):
+    /// X wherever either operand is unknown, else the plain XOR.
+    #[must_use]
+    pub fn xor(&self, rhs: &LogicVec) -> LogicVec {
+        self.word_bitwise(rhs, |a1, b1, a2, b2| {
+            let unk = b1 | b2;
+            ((a1 ^ a2) | unk, unk)
+        })
+    }
+
+    /// Bitwise XNOR with Verilog four-state resolution (word-parallel).
+    #[must_use]
+    pub fn xnor(&self, rhs: &LogicVec) -> LogicVec {
+        self.word_bitwise(rhs, |a1, b1, a2, b2| {
+            let unk = b1 | b2;
+            (!(a1 ^ a2) | unk, unk)
+        })
+    }
+
+    /// Word-parallel bitwise combinator: `f` receives one 64-bit word of
+    /// each operand's (aval, bval) planes (zero-extended to the common
+    /// width) and returns the result word's planes.
+    fn word_bitwise(
+        &self,
+        rhs: &LogicVec,
+        f: impl Fn(u64, u64, u64, u64) -> (u64, u64),
+    ) -> LogicVec {
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        let mut out = LogicVec::zeros(width);
+        for i in 0..out.aval.len() {
+            let (av, bv) = f(a.aval[i], a.bval[i], b.aval[i], b.bval[i]);
+            out.aval[i] = av;
+            out.bval[i] = bv;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise NOT with four-state resolution (word-parallel): known
+    /// bits invert; X/Z become X.
+    #[must_use]
+    pub fn not(&self) -> LogicVec {
+        let mut out = LogicVec::zeros(self.width);
+        for i in 0..self.aval.len() {
+            let unk = self.bval[i];
+            out.aval[i] = !self.aval[i] | unk;
+            out.bval[i] = unk;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Reduction AND over all bits.
+    #[must_use]
+    pub fn reduce_and(&self) -> Logic {
+        self.iter().fold(Logic::One, Logic::and)
+    }
+
+    /// Reduction OR over all bits.
+    #[must_use]
+    pub fn reduce_or(&self) -> Logic {
+        self.iter().fold(Logic::Zero, Logic::or)
+    }
+
+    /// Reduction XOR over all bits (parity).
+    #[must_use]
+    pub fn reduce_xor(&self) -> Logic {
+        self.iter().fold(Logic::Zero, Logic::xor)
+    }
+
+    /// Word-level arithmetic helper, exact for results that fit in the low
+    /// 64 bits (multiplication of wider values keeps only the low word, the
+    /// same truncation Verilog applies at the result width).
+    fn binary_arith(
+        &self,
+        rhs: &LogicVec,
+        width: u32,
+        op: impl Fn(u64, u64) -> u64,
+    ) -> LogicVec {
+        if self.has_unknown() || rhs.has_unknown() {
+            return LogicVec::xes(width);
+        }
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        let mut out = LogicVec::zeros(width);
+        out.aval[0] = op(a.aval[0], b.aval[0]);
+        out.mask_top();
+        out
+    }
+
+    /// Addition with Verilog X-propagation: any unknown operand bit makes
+    /// the whole result `X`. Result width is the max operand width.
+    #[must_use]
+    pub fn add(&self, rhs: &LogicVec) -> LogicVec {
+        let width = self.width.max(rhs.width);
+        if self.has_unknown() || rhs.has_unknown() {
+            return LogicVec::xes(width);
+        }
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        let mut out = LogicVec::zeros(width);
+        let mut carry = 0u128;
+        for i in 0..out.aval.len() {
+            let sum = a.aval[i] as u128 + b.aval[i] as u128 + carry;
+            out.aval[i] = sum as u64;
+            carry = sum >> 64;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Subtraction (two's complement wraparound) with X-propagation.
+    #[must_use]
+    pub fn sub(&self, rhs: &LogicVec) -> LogicVec {
+        let width = self.width.max(rhs.width);
+        if self.has_unknown() || rhs.has_unknown() {
+            return LogicVec::xes(width);
+        }
+        self.add(&rhs.resize(width).negate())
+    }
+
+    /// Two's-complement negation with X-propagation.
+    #[must_use]
+    pub fn negate(&self) -> LogicVec {
+        if self.has_unknown() {
+            return LogicVec::xes(self.width);
+        }
+        self.not().add(&LogicVec::from_u64(self.width, 1))
+    }
+
+    /// Multiplication (low bits) with X-propagation.
+    #[must_use]
+    pub fn mul(&self, rhs: &LogicVec) -> LogicVec {
+        let width = self.width.max(rhs.width);
+        self.binary_arith(rhs, width, u64::wrapping_mul)
+    }
+
+    /// Division; division by zero or unknown operands yield all-`X`,
+    /// matching IEEE 1364.
+    #[must_use]
+    pub fn div(&self, rhs: &LogicVec) -> LogicVec {
+        let width = self.width.max(rhs.width);
+        match (self.to_u64(), rhs.to_u64()) {
+            (Some(a), Some(b)) if b != 0 => LogicVec::from_u64(width, a / b),
+            _ => LogicVec::xes(width),
+        }
+    }
+
+    /// Remainder; modulo zero or unknown operands yield all-`X`.
+    #[must_use]
+    pub fn rem(&self, rhs: &LogicVec) -> LogicVec {
+        let width = self.width.max(rhs.width);
+        match (self.to_u64(), rhs.to_u64()) {
+            (Some(a), Some(b)) if b != 0 => LogicVec::from_u64(width, a % b),
+            _ => LogicVec::xes(width),
+        }
+    }
+
+    /// Logical shift left; an unknown shift amount yields all-`X`.
+    #[must_use]
+    pub fn shl(&self, amount: &LogicVec) -> LogicVec {
+        match amount.to_u64() {
+            Some(n) => self.shift_left_const(n as u32),
+            None => LogicVec::xes(self.width),
+        }
+    }
+
+    /// Logical shift right; an unknown shift amount yields all-`X`.
+    #[must_use]
+    pub fn shr(&self, amount: &LogicVec) -> LogicVec {
+        match amount.to_u64() {
+            Some(n) => self.shift_right_const(n as u32),
+            None => LogicVec::xes(self.width),
+        }
+    }
+
+    /// Shift left by a constant amount, filling with zeros.
+    #[must_use]
+    pub fn shift_left_const(&self, n: u32) -> LogicVec {
+        let mut out = LogicVec::zeros(self.width);
+        for i in n..self.width {
+            out.set(i, self.get(i - n));
+        }
+        out
+    }
+
+    /// Shift right by a constant amount, filling with zeros.
+    #[must_use]
+    pub fn shift_right_const(&self, n: u32) -> LogicVec {
+        let mut out = LogicVec::zeros(self.width);
+        if n < self.width {
+            for i in 0..self.width - n {
+                out.set(i, self.get(i + n));
+            }
+        }
+        out
+    }
+
+    /// Logical equality (`==`): returns `X` if either operand has unknown
+    /// bits, else `0`/`1`.
+    #[must_use]
+    pub fn logic_eq(&self, rhs: &LogicVec) -> Logic {
+        if self.has_unknown() || rhs.has_unknown() {
+            return Logic::X;
+        }
+        Logic::from_bool(self.known_equal(rhs))
+    }
+
+    /// Case equality (`===`): exact four-state comparison, always `0`/`1`.
+    #[must_use]
+    pub fn case_eq(&self, rhs: &LogicVec) -> bool {
+        let width = self.width.max(rhs.width);
+        (0..width).all(|i| {
+            let a = if i < self.width { self.get(i) } else { Logic::Zero };
+            let b = if i < rhs.width { rhs.get(i) } else { Logic::Zero };
+            a == b
+        })
+    }
+
+    fn known_equal(&self, rhs: &LogicVec) -> bool {
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        a.aval == b.aval
+    }
+
+    /// Unsigned less-than: `X` on unknown operands.
+    #[must_use]
+    pub fn lt(&self, rhs: &LogicVec) -> Logic {
+        match self.value_cmp(rhs) {
+            Some(ord) => Logic::from_bool(ord == std::cmp::Ordering::Less),
+            None => Logic::X,
+        }
+    }
+
+    /// Unsigned less-or-equal: `X` on unknown operands.
+    #[must_use]
+    pub fn le(&self, rhs: &LogicVec) -> Logic {
+        match self.value_cmp(rhs) {
+            Some(ord) => Logic::from_bool(ord != std::cmp::Ordering::Greater),
+            None => Logic::X,
+        }
+    }
+
+    /// Unsigned greater-than: `X` on unknown operands.
+    #[must_use]
+    pub fn gt(&self, rhs: &LogicVec) -> Logic {
+        rhs.lt(self)
+    }
+
+    /// Unsigned greater-or-equal: `X` on unknown operands.
+    #[must_use]
+    pub fn ge(&self, rhs: &LogicVec) -> Logic {
+        rhs.le(self)
+    }
+
+    /// Unsigned value comparison; `None` when unknown bits are present.
+    #[must_use]
+    pub fn value_cmp(&self, rhs: &LogicVec) -> Option<std::cmp::Ordering> {
+        if self.has_unknown() || rhs.has_unknown() {
+            return None;
+        }
+        let width = self.width.max(rhs.width);
+        let a = self.resize(width);
+        let b = rhs.resize(width);
+        for i in (0..a.aval.len()).rev() {
+            match a.aval[i].cmp(&b.aval[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return Some(ord),
+            }
+        }
+        Some(std::cmp::Ordering::Equal)
+    }
+
+    /// Concatenates `{self, low}` — `self` supplies the high bits, as in
+    /// the Verilog concatenation `{a, b}` where `a` is written first.
+    #[must_use]
+    pub fn concat(&self, low: &LogicVec) -> LogicVec {
+        let width = self.width + low.width;
+        let mut out = LogicVec::zeros(width);
+        for i in 0..low.width {
+            out.set(i, low.get(i));
+        }
+        for i in 0..self.width {
+            out.set(low.width + i, self.get(i));
+        }
+        out
+    }
+
+    /// Replicates the vector `count` times, as in `{count{v}}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn replicate(&self, count: u32) -> LogicVec {
+        assert!(count > 0, "replication count must be non-zero");
+        let mut out = self.clone();
+        for _ in 1..count {
+            out = out.concat(self);
+        }
+        out
+    }
+
+    /// Extracts bits `[msb:lsb]` (inclusive, LSB-0 indexing).
+    ///
+    /// Out-of-range bits read as `X`, matching Verilog.
+    #[must_use]
+    pub fn slice(&self, msb: u32, lsb: u32) -> LogicVec {
+        let (msb, lsb) = if msb >= lsb { (msb, lsb) } else { (lsb, msb) };
+        let width = msb - lsb + 1;
+        let mut out = LogicVec::zeros(width);
+        for i in 0..width {
+            out.set(i, self.get(lsb + i));
+        }
+        out
+    }
+
+    /// Writes `value` into bits `[msb:lsb]`, truncating or zero-extending
+    /// `value` as needed.
+    pub fn set_slice(&mut self, msb: u32, lsb: u32, value: &LogicVec) {
+        let (msb, lsb) = if msb >= lsb { (msb, lsb) } else { (lsb, msb) };
+        for i in 0..=(msb - lsb) {
+            let bit = if i < value.width { value.get(i) } else { Logic::Zero };
+            self.set(lsb + i, bit);
+        }
+    }
+
+    /// Population count of `1` bits; `None` if any bit is unknown.
+    #[must_use]
+    pub fn count_ones(&self) -> Option<u32> {
+        if self.has_unknown() {
+            return None;
+        }
+        Some(self.aval.iter().map(|w| w.count_ones()).sum())
+    }
+
+    /// Renders as a binary digit string, MSB first (no width prefix).
+    #[must_use]
+    pub fn to_binary_string(&self) -> String {
+        (0..self.width)
+            .rev()
+            .map(|i| self.get(i).to_char())
+            .collect()
+    }
+
+    /// Renders as lowercase hex; nibbles containing unknown bits render
+    /// as `x`/`z` like a Verilog `%h` format.
+    #[must_use]
+    pub fn to_hex_string(&self) -> String {
+        let nibbles = self.width.div_ceil(4);
+        let mut s = String::new();
+        for n in (0..nibbles).rev() {
+            let lsb = n * 4;
+            let msb = (lsb + 3).min(self.width - 1);
+            let nib = self.slice(msb, lsb);
+            if nib.has_unknown() {
+                let all_z = nib.iter().all(|b| b == Logic::Z);
+                s.push(if all_z { 'z' } else { 'x' });
+            } else {
+                let v = nib.to_u64().expect("known nibble");
+                s.push(char::from_digit(v as u32, 16).expect("nibble < 16"));
+            }
+        }
+        s
+    }
+
+    /// Renders as decimal, or `x`/`z` when unknown bits are present.
+    #[must_use]
+    pub fn to_decimal_string(&self) -> String {
+        match self.to_u64() {
+            Some(v) => v.to_string(),
+            None => {
+                if self.iter().all(|b| b == Logic::Z) {
+                    "z".to_string()
+                } else {
+                    "x".to_string()
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b{}", self.width, self.to_binary_string())
+    }
+}
+
+impl From<bool> for LogicVec {
+    fn from(b: bool) -> LogicVec {
+        LogicVec::from_logic(Logic::from_bool(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_u64_roundtrip() {
+        let v = LogicVec::from_u64(16, 0xBEEF);
+        assert_eq!(v.to_u64(), Some(0xBEEF));
+        assert_eq!(v.width(), 16);
+    }
+
+    #[test]
+    fn width_truncates_value() {
+        let v = LogicVec::from_u64(4, 0xFF);
+        assert_eq!(v.to_u64(), Some(0xF));
+    }
+
+    #[test]
+    fn parse_binary_with_unknowns() {
+        let v = LogicVec::parse_binary("10xz").expect("valid literal");
+        assert_eq!(v.get(3), Logic::One);
+        assert_eq!(v.get(2), Logic::Zero);
+        assert_eq!(v.get(1), Logic::X);
+        assert_eq!(v.get(0), Logic::Z);
+        assert!(v.has_unknown());
+        assert_eq!(v.to_u64(), None);
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        let a = LogicVec::from_u64(4, 0xF);
+        let b = LogicVec::from_u64(4, 1);
+        assert_eq!(a.add(&b).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn add_propagates_x() {
+        let a = LogicVec::parse_binary("1x00").expect("valid");
+        let b = LogicVec::from_u64(4, 1);
+        let sum = a.add(&b);
+        assert!(sum.iter().all(|bit| bit == Logic::X));
+    }
+
+    #[test]
+    fn wide_add_carries_across_words() {
+        let a = LogicVec::from_u64(128, u64::MAX).resize(128);
+        let b = LogicVec::from_u64(128, 1);
+        let sum = a.add(&b);
+        assert_eq!(sum.get(64), Logic::One);
+        for i in 0..64 {
+            assert_eq!(sum.get(i), Logic::Zero);
+        }
+    }
+
+    #[test]
+    fn sub_wraps_two_complement() {
+        let a = LogicVec::from_u64(8, 3);
+        let b = LogicVec::from_u64(8, 5);
+        assert_eq!(a.sub(&b).to_u64(), Some(0xFE));
+    }
+
+    #[test]
+    fn div_by_zero_is_x() {
+        let a = LogicVec::from_u64(8, 42);
+        let z = LogicVec::from_u64(8, 0);
+        assert!(a.div(&z).has_unknown());
+        assert!(a.rem(&z).has_unknown());
+    }
+
+    #[test]
+    fn logic_eq_vs_case_eq() {
+        let a = LogicVec::parse_binary("1x").expect("valid");
+        let b = LogicVec::parse_binary("1x").expect("valid");
+        assert_eq!(a.logic_eq(&b), Logic::X);
+        assert!(a.case_eq(&b));
+        let c = LogicVec::parse_binary("10").expect("valid");
+        assert!(!a.case_eq(&c));
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = LogicVec::from_u64(8, 5);
+        let b = LogicVec::from_u64(8, 9);
+        assert_eq!(a.lt(&b), Logic::One);
+        assert_eq!(b.lt(&a), Logic::Zero);
+        assert_eq!(a.le(&a), Logic::One);
+        assert_eq!(b.gt(&a), Logic::One);
+        assert_eq!(a.ge(&b), Logic::Zero);
+    }
+
+    #[test]
+    fn comparison_with_x_is_x() {
+        let a = LogicVec::parse_binary("0x").expect("valid");
+        let b = LogicVec::from_u64(2, 1);
+        assert_eq!(a.lt(&b), Logic::X);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let hi = LogicVec::from_u64(4, 0xA);
+        let lo = LogicVec::from_u64(4, 0x5);
+        let v = hi.concat(&lo);
+        assert_eq!(v.to_u64(), Some(0xA5));
+        assert_eq!(v.slice(7, 4).to_u64(), Some(0xA));
+        assert_eq!(v.slice(3, 0).to_u64(), Some(0x5));
+    }
+
+    #[test]
+    fn replicate() {
+        let v = LogicVec::from_u64(2, 0b10);
+        assert_eq!(v.replicate(3).to_u64(), Some(0b101010));
+    }
+
+    #[test]
+    fn set_slice_updates_range() {
+        let mut v = LogicVec::zeros(8);
+        v.set_slice(7, 4, &LogicVec::from_u64(4, 0xF));
+        assert_eq!(v.to_u64(), Some(0xF0));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = LogicVec::from_u64(8, 0b0000_0110);
+        assert_eq!(v.shift_left_const(2).to_u64(), Some(0b0001_1000));
+        assert_eq!(v.shift_right_const(1).to_u64(), Some(0b0000_0011));
+        assert_eq!(v.shift_left_const(8).to_u64(), Some(0));
+        assert_eq!(v.shift_right_const(20).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(LogicVec::from_u64(4, 0xF).reduce_and(), Logic::One);
+        assert_eq!(LogicVec::from_u64(4, 0x7).reduce_and(), Logic::Zero);
+        assert_eq!(LogicVec::from_u64(4, 0).reduce_or(), Logic::Zero);
+        assert_eq!(LogicVec::from_u64(4, 0b0110).reduce_xor(), Logic::Zero);
+        assert_eq!(LogicVec::from_u64(4, 0b0111).reduce_xor(), Logic::One);
+    }
+
+    #[test]
+    fn to_bool_semantics() {
+        assert_eq!(LogicVec::from_u64(4, 2).to_bool(), Some(true));
+        assert_eq!(LogicVec::from_u64(4, 0).to_bool(), Some(false));
+        // 1x -> true because a known 1 exists.
+        let v = LogicVec::parse_binary("1x").expect("valid");
+        assert_eq!(v.to_bool(), Some(true));
+        // 0x -> unknown.
+        let v = LogicVec::parse_binary("0x").expect("valid");
+        assert_eq!(v.to_bool(), None);
+    }
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(LogicVec::from_u64(12, 0xABC).to_hex_string(), "abc");
+        let v = LogicVec::parse_binary("1010xxxx").expect("valid");
+        assert_eq!(v.to_hex_string(), "ax");
+    }
+
+    #[test]
+    fn decimal_rendering() {
+        assert_eq!(LogicVec::from_u64(8, 77).to_decimal_string(), "77");
+        assert_eq!(LogicVec::xes(8).to_decimal_string(), "x");
+        assert_eq!(LogicVec::filled(8, Logic::Z).to_decimal_string(), "z");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(LogicVec::from_u64(4, 0b1010).to_string(), "4'b1010");
+    }
+
+    #[test]
+    fn out_of_range_reads_x() {
+        let v = LogicVec::from_u64(4, 0xF);
+        assert_eq!(v.get(10), Logic::X);
+    }
+}

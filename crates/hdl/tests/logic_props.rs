@@ -1,0 +1,148 @@
+//! Property-based tests for the four-state logic substrate.
+
+use aivril_hdl::logic::Logic;
+use aivril_hdl::vec::LogicVec;
+use proptest::prelude::*;
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop_oneof![
+        Just(Logic::Zero),
+        Just(Logic::One),
+        Just(Logic::X),
+        Just(Logic::Z),
+    ]
+}
+
+fn arb_vec(max_width: u32) -> impl Strategy<Value = LogicVec> {
+    (1..=max_width).prop_flat_map(|w| {
+        proptest::collection::vec(arb_logic(), w as usize)
+            .prop_map(|bits| LogicVec::from_bits_msb_first(&bits))
+    })
+}
+
+proptest! {
+    /// The scalar resolution tables are commutative and X-dominant.
+    #[test]
+    fn scalar_ops_commute(a in arb_logic(), b in arb_logic()) {
+        prop_assert_eq!(a.and(b), b.and(a));
+        prop_assert_eq!(a.or(b), b.or(a));
+        prop_assert_eq!(a.xor(b), b.xor(a));
+    }
+
+    /// Vector bitwise ops distribute over per-bit scalar ops.
+    #[test]
+    fn bitwise_is_per_bit(a in arb_vec(24), b in arb_vec(24)) {
+        let width = a.width().max(b.width());
+        let and = a.and(&b);
+        for i in 0..width {
+            let ab = if i < a.width() { a.get(i) } else { Logic::Zero };
+            let bb = if i < b.width() { b.get(i) } else { Logic::Zero };
+            prop_assert_eq!(and.get(i), ab.and(bb));
+        }
+    }
+
+    /// Double negation over known values is the identity.
+    #[test]
+    fn not_not_identity(v in 0u64..u64::MAX, w in 1u32..60) {
+        let v = v & ((1 << w) - 1);
+        let lv = LogicVec::from_u64(w, v);
+        prop_assert_eq!(lv.not().not().to_u64(), Some(v));
+        prop_assert_eq!(lv.negate().negate().to_u64(), Some(v));
+    }
+
+    /// Case equality is reflexive for every four-state pattern; logical
+    /// equality is reflexive only on fully-known values.
+    #[test]
+    fn equality_semantics(v in arb_vec(20)) {
+        prop_assert!(v.case_eq(&v));
+        if v.has_unknown() {
+            prop_assert_eq!(v.logic_eq(&v), Logic::X);
+        } else {
+            prop_assert_eq!(v.logic_eq(&v), Logic::One);
+        }
+    }
+
+    /// `set_slice` then `slice` reads back exactly what was written.
+    #[test]
+    fn slice_write_read(base in 0u64..1u64<<32, hi in 0u32..31, lo in 0u32..31, val in 0u64..1u64<<31) {
+        let (hi, lo) = if hi >= lo { (hi, lo) } else { (lo, hi) };
+        let mut v = LogicVec::from_u64(32, base);
+        let w = hi - lo + 1;
+        let val = val & ((1u64 << w) - 1);
+        v.set_slice(hi, lo, &LogicVec::from_u64(w, val));
+        prop_assert_eq!(v.slice(hi, lo).to_u64(), Some(val));
+        // Bits outside the slice are untouched.
+        for i in 0..32u32 {
+            if i < lo || i > hi {
+                prop_assert_eq!(v.get(i), Logic::from_bool(base >> i & 1 == 1));
+            }
+        }
+    }
+
+    /// Shifts agree with u64 shifts.
+    #[test]
+    fn shifts_match_u64(v in 0u64..u64::MAX, w in 1u32..60, n in 0u32..64) {
+        let v = v & ((1 << w) - 1);
+        let lv = LogicVec::from_u64(w, v);
+        let mask = (1u64 << w) - 1;
+        let expect_l = if n >= 64 { 0 } else { (v << n) & mask };
+        let expect_r = if n >= 64 { 0 } else { v >> n };
+        prop_assert_eq!(lv.shift_left_const(n).to_u64(), Some(expect_l));
+        prop_assert_eq!(lv.shift_right_const(n).to_u64(), Some(expect_r));
+    }
+
+    /// Binary literal rendering round-trips through parsing.
+    #[test]
+    fn binary_string_roundtrip(v in arb_vec(24)) {
+        let s = v.to_binary_string();
+        let back = LogicVec::parse_binary(&s).expect("rendered string parses");
+        prop_assert!(back.case_eq(&v));
+        prop_assert_eq!(back.width(), v.width());
+    }
+
+    /// Resize up then back down is the identity.
+    #[test]
+    fn resize_roundtrip(v in 0u64..u64::MAX, w in 1u32..48, extra in 1u32..32) {
+        let v = v & ((1 << w) - 1);
+        let lv = LogicVec::from_u64(w, v);
+        prop_assert_eq!(lv.resize(w + extra).resize(w).to_u64(), Some(v));
+    }
+
+    /// Replication multiplies the popcount.
+    #[test]
+    fn replicate_popcount(v in 0u64..256, n in 1u32..6) {
+        let lv = LogicVec::from_u64(8, v);
+        let rep = lv.replicate(n);
+        prop_assert_eq!(rep.width(), 8 * n);
+        prop_assert_eq!(rep.count_ones(), lv.count_ones().map(|c| c * n));
+    }
+}
+
+proptest! {
+    /// Differential oracle: the word-parallel bitwise implementations
+    /// must agree bit-for-bit with the scalar resolution tables.
+    #[test]
+    fn word_parallel_matches_scalar(a in arb_vec(80), b in arb_vec(80)) {
+        let width = a.width().max(b.width());
+        type OpPair = (&'static str, fn(&LogicVec, &LogicVec) -> LogicVec, fn(Logic, Logic) -> Logic);
+        let ops: [OpPair; 4] = [
+            ("and", LogicVec::and, Logic::and),
+            ("or", LogicVec::or, Logic::or),
+            ("xor", LogicVec::xor, Logic::xor),
+            ("xnor", LogicVec::xnor, |x, y| x.xor(y).not()),
+        ];
+        for (name, vec_op, bit_op) in ops {
+            let fast = vec_op(&a, &b);
+            for i in 0..width {
+                let ab = if i < a.width() { a.get(i) } else { Logic::Zero };
+                let bb = if i < b.width() { b.get(i) } else { Logic::Zero };
+                prop_assert_eq!(fast.get(i), bit_op(ab, bb), "{} bit {}", name, i);
+            }
+        }
+        // NOT as well.
+        let n = a.not();
+        for i in 0..a.width() {
+            prop_assert_eq!(n.get(i), a.get(i).not());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Chat message and request/response types.
+
+/// Who authored a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// System instructions (agent persona).
+    System,
+    /// The agent's prompt.
+    User,
+    /// Model output.
+    Assistant,
+}
+
+/// One chat message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Author.
+    pub role: Role,
+    /// Text content.
+    pub content: String,
+}
+
+impl Message {
+    /// Creates a system message.
+    #[must_use]
+    pub fn system(content: impl Into<String>) -> Message {
+        Message { role: Role::System, content: content.into() }
+    }
+
+    /// Creates a user message.
+    #[must_use]
+    pub fn user(content: impl Into<String>) -> Message {
+        Message { role: Role::User, content: content.into() }
+    }
+
+    /// Creates an assistant message.
+    #[must_use]
+    pub fn assistant(content: impl Into<String>) -> Message {
+        Message { role: Role::Assistant, content: content.into() }
+    }
+}
+
+/// Sampling parameters; the paper fixes `temperature = 0.2` and
+/// `top_p = 0.1` for every model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenParams {
+    /// Sampling temperature.
+    pub temperature: f64,
+    /// Nucleus sampling mass.
+    pub top_p: f64,
+    /// Determinism seed (per task × sample).
+    pub seed: u64,
+    /// Generation cap.
+    pub max_tokens: u32,
+}
+
+impl Default for GenParams {
+    fn default() -> GenParams {
+        GenParams { temperature: 0.2, top_p: 0.1, seed: 0, max_tokens: 4096 }
+    }
+}
+
+/// A chat-completion request: full history plus parameters, exactly the
+/// stateless shape of production LLM APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatRequest {
+    /// Conversation so far (system + alternating user/assistant).
+    pub messages: Vec<Message>,
+    /// Sampling parameters.
+    pub params: GenParams,
+}
+
+impl ChatRequest {
+    /// The most recent user message, if any.
+    #[must_use]
+    pub fn last_user(&self) -> Option<&Message> {
+        self.messages.iter().rev().find(|m| m.role == Role::User)
+    }
+}
+
+/// Token accounting for a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TokenUsage {
+    /// Tokens consumed by the prompt.
+    pub prompt_tokens: u64,
+    /// Tokens generated.
+    pub completion_tokens: u64,
+}
+
+/// The model's reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatResponse {
+    /// Assistant message text.
+    pub content: String,
+    /// Token accounting.
+    pub usage: TokenUsage,
+    /// Modeled wall-clock latency in seconds.
+    pub latency_s: f64,
+}
+
+/// Rough token estimate used for latency and usage accounting
+/// (≈ 4 characters per token, the usual English-code average).
+#[must_use]
+pub fn estimate_tokens(text: &str) -> u64 {
+    (text.len() as u64).div_ceil(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = GenParams::default();
+        assert!((p.temperature - 0.2).abs() < 1e-9);
+        assert!((p.top_p - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_user_finds_most_recent() {
+        let req = ChatRequest {
+            messages: vec![
+                Message::system("s"),
+                Message::user("first"),
+                Message::assistant("a"),
+                Message::user("second"),
+            ],
+            params: GenParams::default(),
+        };
+        assert_eq!(req.last_user().map(|m| m.content.as_str()), Some("second"));
+    }
+
+    #[test]
+    fn token_estimate_rounds_up() {
+        assert_eq!(estimate_tokens(""), 0);
+        assert_eq!(estimate_tokens("abcd"), 1);
+        assert_eq!(estimate_tokens("abcde"), 2);
+    }
+}

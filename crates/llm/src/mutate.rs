@@ -1,0 +1,386 @@
+//! Fault catalogue: the concrete syntax and functional mistakes the
+//! simulated models make.
+//!
+//! Faults are *textual but real*: a syntax fault produces source the
+//! compiler rejects with a located error, and a functional fault
+//! produces source that compiles but fails the reference testbench —
+//! which is what makes the closed agent loop in this reproduction
+//! genuine rather than mocked.
+
+/// Whether a fault breaks compilation or behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Compiler-visible mistake (missing `;`, misspelled keyword, ...).
+    Syntax,
+    /// Compiles, but the logic is wrong (swapped operator, wrong edge...).
+    Functional,
+}
+
+/// HDL dialect a fault catalogue applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dialect {
+    /// Verilog-2001.
+    Verilog,
+    /// VHDL-93.
+    Vhdl,
+}
+
+/// One way of corrupting a source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultTemplate {
+    /// Search pattern (must occur in the source to be applicable).
+    pub pattern: &'static str,
+    /// Replacement text.
+    pub replacement: &'static str,
+    /// Human-readable description (useful in traces).
+    pub description: &'static str,
+}
+
+/// A fault chosen for a concrete source: template plus which occurrence
+/// of the pattern it corrupts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedFault {
+    /// Corruption recipe.
+    pub template: FaultTemplate,
+    /// 0-based occurrence index of the pattern.
+    pub occurrence: usize,
+    /// Breaks compilation or behaviour.
+    pub kind: FaultKind,
+}
+
+/// Syntax fault catalogue for `dialect`.
+#[must_use]
+pub fn syntax_templates(dialect: Dialect) -> &'static [FaultTemplate] {
+    match dialect {
+        Dialect::Verilog => &[
+            FaultTemplate { pattern: ";\n", replacement: "\n", description: "missing semicolon" },
+            FaultTemplate {
+                pattern: "endmodule",
+                replacement: "endmodul",
+                description: "misspelled 'endmodule'",
+            },
+            FaultTemplate {
+                pattern: "assign ",
+                replacement: "asign ",
+                description: "misspelled 'assign'",
+            },
+            FaultTemplate {
+                pattern: "always",
+                replacement: "alway",
+                description: "misspelled 'always'",
+            },
+            FaultTemplate {
+                pattern: "output ",
+                replacement: "ouput ",
+                description: "misspelled 'output'",
+            },
+            FaultTemplate {
+                pattern: "begin",
+                replacement: "begn",
+                description: "misspelled 'begin'",
+            },
+            FaultTemplate {
+                pattern: ");",
+                replacement: ";",
+                description: "missing closing parenthesis",
+            },
+        ],
+        Dialect::Vhdl => &[
+            FaultTemplate { pattern: ";\n", replacement: "\n", description: "missing semicolon" },
+            FaultTemplate {
+                pattern: "end process",
+                replacement: "end proces",
+                description: "misspelled 'end process'",
+            },
+            FaultTemplate {
+                pattern: "entity ",
+                replacement: "entiy ",
+                description: "misspelled 'entity'",
+            },
+            FaultTemplate {
+                pattern: "signal ",
+                replacement: "signl ",
+                description: "misspelled 'signal'",
+            },
+            FaultTemplate {
+                pattern: "begin",
+                replacement: "begn",
+                description: "misspelled 'begin'",
+            },
+            FaultTemplate {
+                pattern: "elsif",
+                replacement: "elseif",
+                description: "misspelled 'elsif'",
+            },
+            FaultTemplate {
+                pattern: "downto",
+                replacement: "dwnto",
+                description: "misspelled 'downto'",
+            },
+        ],
+    }
+}
+
+/// Functional fault catalogue for `dialect`. Every template preserves
+/// syntactic validity on the golden sources (the generators emit spaced
+/// operators so the patterns bind to real operator sites).
+#[must_use]
+pub fn functional_templates(dialect: Dialect) -> &'static [FaultTemplate] {
+    match dialect {
+        Dialect::Verilog => &[
+            FaultTemplate { pattern: " & ", replacement: " | ", description: "AND became OR" },
+            FaultTemplate { pattern: " | ", replacement: " & ", description: "OR became AND" },
+            FaultTemplate { pattern: " ^ ", replacement: " & ", description: "XOR became AND" },
+            FaultTemplate {
+                pattern: "posedge",
+                replacement: "negedge",
+                description: "wrong clock edge",
+            },
+            FaultTemplate { pattern: " + 1", replacement: " + 2", description: "wrong increment" },
+            FaultTemplate { pattern: " + ", replacement: " - ", description: "ADD became SUB" },
+            FaultTemplate { pattern: " - ", replacement: " + ", description: "SUB became ADD" },
+            FaultTemplate {
+                pattern: " == ",
+                replacement: " != ",
+                description: "inverted equality test",
+            },
+            FaultTemplate {
+                pattern: " < ",
+                replacement: " <= ",
+                description: "off-by-one comparison",
+            },
+            FaultTemplate {
+                pattern: " > ",
+                replacement: " >= ",
+                description: "off-by-one comparison",
+            },
+            FaultTemplate { pattern: "~", replacement: "", description: "dropped inversion" },
+            FaultTemplate {
+                pattern: "1'b1",
+                replacement: "1'b0",
+                description: "flipped constant bit",
+            },
+            FaultTemplate {
+                pattern: "if (rst)",
+                replacement: "if (!rst)",
+                description: "inverted reset polarity",
+            },
+            FaultTemplate {
+                pattern: " ? ",
+                replacement: " == 0 ? ",
+                description: "inverted mux select",
+            },
+            FaultTemplate {
+                pattern: "case (",
+                replacement: "case (~",
+                description: "inverted case selector",
+            },
+            FaultTemplate {
+                pattern: "casez (",
+                replacement: "casez (~",
+                description: "inverted priority selector",
+            },
+            FaultTemplate { pattern: " << ", replacement: " >> ", description: "wrong shift direction" },
+            FaultTemplate { pattern: " >> ", replacement: " << ", description: "wrong shift direction" },
+            FaultTemplate { pattern: " && ", replacement: " || ", description: "AND became OR" },
+            FaultTemplate { pattern: " || ", replacement: " && ", description: "OR became AND" },
+            FaultTemplate { pattern: " ~^ ", replacement: " ^ ", description: "XNOR became XOR" },
+            FaultTemplate {
+                pattern: "= ^",
+                replacement: "= ~^",
+                description: "inverted reduction parity",
+            },
+            FaultTemplate {
+                pattern: "= |",
+                replacement: "= ~|",
+                description: "inverted reduction OR",
+            },
+            FaultTemplate {
+                pattern: ", a[",
+                replacement: ", ~a[",
+                description: "inverted concatenation operand",
+            },
+            FaultTemplate {
+                pattern: "{a[",
+                replacement: "{~a[",
+                description: "inverted concatenation operand",
+            },
+        ],
+        Dialect::Vhdl => &[
+            FaultTemplate { pattern: " and ", replacement: " or ", description: "AND became OR" },
+            FaultTemplate { pattern: " or ", replacement: " and ", description: "OR became AND" },
+            FaultTemplate {
+                pattern: " xor ",
+                replacement: " and ",
+                description: "XOR became AND",
+            },
+            FaultTemplate {
+                pattern: "rising_edge",
+                replacement: "falling_edge",
+                description: "wrong clock edge",
+            },
+            FaultTemplate { pattern: " + 1", replacement: " + 2", description: "wrong increment" },
+            FaultTemplate { pattern: " + ", replacement: " - ", description: "ADD became SUB" },
+            FaultTemplate { pattern: " - ", replacement: " + ", description: "SUB became ADD" },
+            FaultTemplate {
+                pattern: "rst = '1'",
+                replacement: "rst = '0'",
+                description: "inverted reset polarity",
+            },
+            FaultTemplate {
+                pattern: " < ",
+                replacement: " <= ",
+                description: "off-by-one comparison",
+            },
+            FaultTemplate {
+                pattern: " > ",
+                replacement: " >= ",
+                description: "off-by-one comparison",
+            },
+            FaultTemplate { pattern: "not ", replacement: "", description: "dropped inversion" },
+            FaultTemplate {
+                pattern: "case ",
+                replacement: "case not ",
+                description: "inverted case selector",
+            },
+            FaultTemplate {
+                pattern: " = '1' else",
+                replacement: " = '0' else",
+                description: "inverted select condition",
+            },
+            FaultTemplate {
+                pattern: " & '0';",
+                replacement: " & '1';",
+                description: "wrong shift fill bit",
+            },
+            FaultTemplate { pattern: " xnor ", replacement: " xor ", description: "XNOR became XOR" },
+            FaultTemplate {
+                pattern: " = '1' then",
+                replacement: " = '0' then",
+                description: "inverted level test",
+            },
+            FaultTemplate {
+                pattern: "'1' when ",
+                replacement: "'0' when ",
+                description: "flipped conditional constant",
+            },
+            FaultTemplate {
+                pattern: "0\";",
+                replacement: "1\";",
+                description: "flipped constant bit",
+            },
+            FaultTemplate {
+                pattern: "'0' when ",
+                replacement: "'1' when ",
+                description: "flipped conditional constant",
+            },
+            FaultTemplate {
+                pattern: " & a(",
+                replacement: " & not a(",
+                description: "inverted concatenation operand",
+            },
+        ],
+    }
+}
+
+/// Counts non-overlapping occurrences of `pattern` in `text`.
+#[must_use]
+pub fn count_occurrences(text: &str, pattern: &str) -> usize {
+    if pattern.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut at = 0;
+    while let Some(i) = text[at..].find(pattern) {
+        n += 1;
+        at += i + pattern.len();
+    }
+    n
+}
+
+/// Replaces the `occurrence`-th (0-based) match of `fault.template` in
+/// `text`. Returns the text unchanged when the occurrence is absent.
+#[must_use]
+pub fn apply_fault(text: &str, fault: &AppliedFault) -> String {
+    let pattern = fault.template.pattern;
+    let mut at = 0;
+    let mut seen = 0;
+    while let Some(i) = text[at..].find(pattern) {
+        let pos = at + i;
+        if seen == fault.occurrence {
+            let mut out = String::with_capacity(text.len());
+            out.push_str(&text[..pos]);
+            out.push_str(fault.template.replacement);
+            out.push_str(&text[pos + pattern.len()..]);
+            return out;
+        }
+        seen += 1;
+        at = pos + pattern.len();
+    }
+    text.to_string()
+}
+
+/// Applies a set of faults in order. Later faults see the text produced
+/// by earlier ones, so occurrence indices are chosen against the golden
+/// text and may shift slightly — acceptable, since any landed corruption
+/// serves the purpose.
+#[must_use]
+pub fn apply_all(text: &str, faults: &[AppliedFault]) -> String {
+    faults.iter().fold(text.to_string(), |t, f| apply_fault(&t, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "module m(input a, output y);\n  assign y = a & a;\nendmodule\n";
+
+    #[test]
+    fn count_occurrences_basic() {
+        assert_eq!(count_occurrences(SRC, ";\n"), 2);
+        assert_eq!(count_occurrences(SRC, "assign "), 1);
+        assert_eq!(count_occurrences(SRC, "zzz"), 0);
+        assert_eq!(count_occurrences("aaaa", "aa"), 2, "non-overlapping");
+    }
+
+    #[test]
+    fn apply_fault_targets_occurrence() {
+        let fault = AppliedFault {
+            template: FaultTemplate { pattern: ";\n", replacement: "\n", description: "x" },
+            occurrence: 1,
+            kind: FaultKind::Syntax,
+        };
+        let out = apply_fault(SRC, &fault);
+        assert!(out.contains("output y);\n"), "first ; kept");
+        assert!(out.contains("a & a\nendmodule"), "second ; dropped: {out}");
+    }
+
+    #[test]
+    fn apply_fault_missing_occurrence_is_noop() {
+        let fault = AppliedFault {
+            template: FaultTemplate { pattern: "assign ", replacement: "asign ", description: "x" },
+            occurrence: 5,
+            kind: FaultKind::Syntax,
+        };
+        assert_eq!(apply_fault(SRC, &fault), SRC);
+    }
+
+    #[test]
+    fn catalogues_are_nonempty_for_both_dialects() {
+        for d in [Dialect::Verilog, Dialect::Vhdl] {
+            assert!(!syntax_templates(d).is_empty());
+            assert!(!functional_templates(d).is_empty());
+        }
+    }
+
+    #[test]
+    fn functional_swap_keeps_compilable_shape() {
+        let fault = AppliedFault {
+            template: FaultTemplate { pattern: " & ", replacement: " | ", description: "x" },
+            occurrence: 0,
+            kind: FaultKind::Functional,
+        };
+        let out = apply_fault(SRC, &fault);
+        assert!(out.contains("a | a"));
+    }
+}

@@ -1,0 +1,111 @@
+//! The simulated model's "knowledge": golden solutions per task.
+
+use std::collections::HashMap;
+
+/// Golden artefacts for one task in both languages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskKnowledge {
+    /// Golden Verilog DUT.
+    pub verilog_dut: String,
+    /// Golden Verilog testbench.
+    pub verilog_tb: String,
+    /// Golden VHDL DUT.
+    pub vhdl_dut: String,
+    /// Golden VHDL testbench.
+    pub vhdl_tb: String,
+}
+
+impl TaskKnowledge {
+    /// DUT for the selected language.
+    #[must_use]
+    pub fn dut(&self, verilog: bool) -> &str {
+        if verilog {
+            &self.verilog_dut
+        } else {
+            &self.vhdl_dut
+        }
+    }
+
+    /// Testbench for the selected language.
+    #[must_use]
+    pub fn tb(&self, verilog: bool) -> &str {
+        if verilog {
+            &self.verilog_tb
+        } else {
+            &self.vhdl_tb
+        }
+    }
+}
+
+/// Maps task names to golden solutions. This models what a competent
+/// LLM "knows" about each benchmark design; the fault-injection engine
+/// then degrades that knowledge at the profile's calibrated rates.
+#[derive(Debug, Clone, Default)]
+pub struct TaskLibrary {
+    tasks: HashMap<String, TaskKnowledge>,
+}
+
+impl TaskLibrary {
+    /// Creates an empty library.
+    #[must_use]
+    pub fn new() -> TaskLibrary {
+        TaskLibrary::default()
+    }
+
+    /// Registers a task's golden artefacts.
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        verilog_dut: impl Into<String>,
+        verilog_tb: impl Into<String>,
+        vhdl_dut: impl Into<String>,
+        vhdl_tb: impl Into<String>,
+    ) {
+        self.tasks.insert(
+            name.into(),
+            TaskKnowledge {
+                verilog_dut: verilog_dut.into(),
+                verilog_tb: verilog_tb.into(),
+                vhdl_dut: vhdl_dut.into(),
+                vhdl_tb: vhdl_tb.into(),
+            },
+        );
+    }
+
+    /// Looks up a task by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&TaskKnowledge> {
+        self.tasks.get(name)
+    }
+
+    /// Number of known tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when no tasks are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut lib = TaskLibrary::new();
+        assert!(lib.is_empty());
+        lib.add_task("t1", "vdut", "vtb", "hdut", "htb");
+        assert_eq!(lib.len(), 1);
+        let k = lib.get("t1").expect("present");
+        assert_eq!(k.dut(true), "vdut");
+        assert_eq!(k.dut(false), "hdut");
+        assert_eq!(k.tb(true), "vtb");
+        assert_eq!(k.tb(false), "htb");
+        assert!(lib.get("t2").is_none());
+    }
+}

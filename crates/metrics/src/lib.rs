@@ -1,0 +1,20 @@
+//! Evaluation metrics and paper-table assembly.
+//!
+//! * [`pass_at_k`] — the unbiased estimator of Chen et al. (2021), the
+//!   metric the paper reports (`k = 1` throughout).
+//! * [`EvalOutcome`]/[`SampleOutcome`] — per-task, per-sample results
+//!   collected by the benchmark harness.
+//! * [`render_table1`], [`render_table2`], [`figure3`]/[`render_figure3`]
+//!   — assembly and ASCII rendering of every table and figure in the
+//!   paper's evaluation section.
+
+#![warn(missing_docs)]
+
+mod passk;
+mod tables;
+
+pub use passk::{pass_at_k, suite_pass_at_k};
+pub use tables::{
+    delta_f, figure3, render_figure3, render_table1, render_table2, suite_metric, suite_metric_with_se,
+    table2_literature, EvalOutcome, Figure3Row, LiteratureEntry, SampleOutcome, Table1Row,
+};

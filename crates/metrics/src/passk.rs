@@ -1,0 +1,95 @@
+//! The unbiased pass@k estimator.
+
+/// Unbiased pass@k of Chen et al. (2021): given `n` samples of which
+/// `c` are correct, estimates the probability that at least one of `k`
+/// drawn samples is correct:
+///
+/// `pass@k = 1 - C(n-c, k) / C(n, k)`
+///
+/// computed in the numerically stable product form.
+///
+/// # Panics
+///
+/// Panics if `c > n` or `k > n` or `k == 0`.
+#[must_use]
+pub fn pass_at_k(n: u64, c: u64, k: u64) -> f64 {
+    assert!(c <= n, "correct count exceeds sample count");
+    assert!(k >= 1 && k <= n, "k must be in 1..=n");
+    if c == 0 {
+        return 0.0;
+    }
+    if n - c < k {
+        return 1.0;
+    }
+    // 1 - prod_{i=n-c+1..=n} (1 - k/i)
+    let mut prod = 1.0;
+    for i in (n - c + 1)..=n {
+        prod *= 1.0 - k as f64 / i as f64;
+    }
+    1.0 - prod
+}
+
+/// Average pass@k across a suite: `per_task` holds `(n, c)` pairs.
+///
+/// # Panics
+///
+/// Panics when `per_task` is empty, or on any invalid `(n, c, k)` triple.
+#[must_use]
+pub fn suite_pass_at_k(per_task: &[(u64, u64)], k: u64) -> f64 {
+    assert!(!per_task.is_empty(), "need at least one task");
+    let sum: f64 = per_task.iter().map(|&(n, c)| pass_at_k(n, c, k)).sum();
+    sum / per_task.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k1_is_fraction_correct() {
+        assert!((pass_at_k(10, 3, 1) - 0.3).abs() < 1e-12);
+        assert!((pass_at_k(1, 1, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(pass_at_k(10, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn all_correct_is_one() {
+        assert_eq!(pass_at_k(5, 5, 3), 1.0);
+    }
+
+    #[test]
+    fn matches_combinatorial_definition() {
+        // n=5, c=2, k=2: 1 - C(3,2)/C(5,2) = 1 - 3/10 = 0.7
+        assert!((pass_at_k(5, 2, 2) - 0.7).abs() < 1e-12);
+        // n=4, c=1, k=2: 1 - C(3,2)/C(4,2) = 1 - 3/6 = 0.5
+        assert!((pass_at_k(4, 1, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_c_and_k() {
+        for c in 0..10u64 {
+            assert!(pass_at_k(10, c + 1, 1) > pass_at_k(10, c, 1) - 1e-12);
+        }
+        for k in 1..9u64 {
+            assert!(pass_at_k(10, 3, k + 1) >= pass_at_k(10, 3, k) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn suite_average() {
+        let v = suite_pass_at_k(&[(10, 10), (10, 0)], 1);
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "correct count exceeds")]
+    fn rejects_c_above_n() {
+        let _ = pass_at_k(3, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn rejects_zero_k() {
+        let _ = pass_at_k(3, 1, 0);
+    }
+}

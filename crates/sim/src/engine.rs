@@ -1,0 +1,969 @@
+//! The event-driven simulation kernel.
+
+use crate::eval::EvalCtx;
+use crate::format::render_format;
+use crate::result::{LimitKind, LogLine, SimConfig, SimResult};
+use crate::vcd;
+use aivril_hdl::ir::{Design, Instr, LValue, NetId, SysTaskKind, Trigger};
+use aivril_hdl::logic::Logic;
+use aivril_hdl::vec::LogicVec;
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Suspended at a `WaitEvent`; triggers stored in `ProcState::waits`.
+    Waiting,
+    /// Suspended at a `Delay`; wake-up queued in `Simulator::future`.
+    Sleeping,
+    Halted,
+}
+
+#[derive(Debug)]
+struct ProcState {
+    pc: usize,
+    status: Status,
+    /// Bumped on every wake/suspend so stale watcher and timer entries
+    /// can be skipped lazily instead of being unlinked eagerly.
+    generation: u64,
+    waits: Vec<Trigger>,
+    /// The net whose change last resumed this process (drives
+    /// [`aivril_hdl::ir::Expr::EdgeFlag`] evaluation).
+    last_wake: Option<NetId>,
+}
+
+/// The simulator instance for one elaborated design.
+///
+/// Construct with [`Simulator::new`], execute with [`Simulator::run`],
+/// then optionally inspect final net values with
+/// [`Simulator::net_value`].
+#[derive(Debug)]
+pub struct Simulator<'d> {
+    design: &'d Design,
+    config: SimConfig,
+    values: Vec<LogicVec>,
+    procs: Vec<ProcState>,
+    runnable: VecDeque<usize>,
+    /// `#0`-delayed processes (inactive region of the current step).
+    inactive: Vec<usize>,
+    /// (wake time) -> [(process, generation)]
+    future: BTreeMap<u64, Vec<(usize, u64)>>,
+    /// Pending nonblocking commits: (net, msb, lsb, value).
+    nba: Vec<(NetId, u32, u32, LogicVec)>,
+    /// Per-net list of (process, generation) waiting on that net.
+    watchers: Vec<Vec<(usize, u64)>>,
+    time: u64,
+    lines: Vec<LogLine>,
+    partial_line: String,
+    error_count: u32,
+    finished: bool,
+    starved: bool,
+    limit_hit: Option<LimitKind>,
+    total_instrs: u64,
+    activations_this_step: u64,
+    /// When recording, the initial values and every subsequent change.
+    waves: Option<(Vec<LogicVec>, Vec<vcd::Change>)>,
+    /// The active `$monitor`: format, argument expressions, and the
+    /// values last printed (None = not yet printed).
+    monitor: Option<MonitorSlot>,
+}
+
+/// Registered `$monitor` state: format, args, last printed values.
+type MonitorSlot = (Option<String>, Vec<aivril_hdl::ir::Expr>, Option<Vec<LogicVec>>);
+
+impl<'d> Simulator<'d> {
+    /// Prepares a simulation of `design` under the given limits.
+    ///
+    /// All nets start at their declared initial value, or all-`X` when
+    /// none was declared (matching `reg`/`signal` power-on semantics).
+    #[must_use]
+    pub fn new(design: &'d Design, config: SimConfig) -> Simulator<'d> {
+        let values = design
+            .nets
+            .iter()
+            .map(|n| n.init.clone().unwrap_or_else(|| LogicVec::xes(n.width)))
+            .collect();
+        let procs = design
+            .processes
+            .iter()
+            .map(|_| ProcState {
+                pc: 0,
+                status: Status::Runnable,
+                generation: 0,
+                waits: Vec::new(),
+                last_wake: None,
+            })
+            .collect();
+        let runnable = (0..design.processes.len()).collect();
+        Simulator {
+            design,
+            config,
+            values,
+            procs,
+            runnable,
+            inactive: Vec::new(),
+            future: BTreeMap::new(),
+            nba: Vec::new(),
+            watchers: vec![Vec::new(); design.nets.len()],
+            time: 0,
+            lines: Vec::new(),
+            partial_line: String::new(),
+            error_count: 0,
+            finished: false,
+            starved: false,
+            limit_hit: None,
+            total_instrs: 0,
+            activations_this_step: 0,
+            waves: None,
+            monitor: None,
+        }
+    }
+
+    /// Enables waveform recording; [`Simulator::vcd`] renders the dump
+    /// after [`Simulator::run`] returns.
+    pub fn record_waves(&mut self) {
+        if self.waves.is_none() {
+            self.waves = Some((self.values.clone(), Vec::new()));
+        }
+    }
+
+    /// Renders the recorded waveform as a standard VCD document.
+    /// Returns `None` unless [`Simulator::record_waves`] was called
+    /// before the run.
+    #[must_use]
+    pub fn vcd(&self) -> Option<String> {
+        self.waves
+            .as_ref()
+            .map(|(initial, changes)| vcd::render(self.design, initial, changes, self.time))
+    }
+
+    /// Runs the simulation to completion (`$finish`, event starvation,
+    /// the time horizon, or a resource limit) and returns the outcome.
+    pub fn run(&mut self) -> SimResult {
+        while !self.finished && self.limit_hit.is_none() {
+            if let Some(pid) = self.runnable.pop_front() {
+                self.activations_this_step += 1;
+                if self.activations_this_step > u64::from(self.config.max_deltas_per_step) {
+                    self.hit_limit(LimitKind::DeltaCycles);
+                    break;
+                }
+                self.run_process(pid);
+                continue;
+            }
+            if !self.inactive.is_empty() {
+                let batch = std::mem::take(&mut self.inactive);
+                for pid in batch {
+                    self.procs[pid].status = Status::Runnable;
+                    self.runnable.push_back(pid);
+                }
+                continue;
+            }
+            if !self.nba.is_empty() {
+                let batch = std::mem::take(&mut self.nba);
+                for (net, msb, lsb, value) in batch {
+                    self.write_slice(net, msb, lsb, &value);
+                }
+                continue;
+            }
+            // Time step is quiescent: the $monitor observes it, then time
+            // advances to the next scheduled event.
+            self.fire_monitor();
+            match self.future.keys().next().copied() {
+                Some(t) if t <= self.config.max_time => {
+                    self.time = t;
+                    self.activations_this_step = 0;
+                    let batch = self.future.remove(&t).expect("key just observed");
+                    for (pid, generation) in batch {
+                        let p = &mut self.procs[pid];
+                        if p.generation == generation && p.status == Status::Sleeping {
+                            p.status = Status::Runnable;
+                            p.generation += 1;
+                            p.last_wake = None;
+                            self.runnable.push_back(pid);
+                        }
+                    }
+                }
+                Some(_) => break, // beyond the time horizon
+                None => {
+                    self.starved = true;
+                    break;
+                }
+            }
+        }
+        self.flush_partial();
+        SimResult {
+            end_time: self.time,
+            lines: self.lines.clone(),
+            error_count: self.error_count,
+            finished: self.finished,
+            starved: self.starved,
+            limit_hit: self.limit_hit,
+            instructions_executed: self.total_instrs,
+        }
+    }
+
+    /// Looks up a net's final value by hierarchical name after [`run`]
+    /// returned. Returns `None` for unknown names.
+    ///
+    /// [`run`]: Simulator::run
+    #[must_use]
+    pub fn net_value(&self, name: &str) -> Option<&LogicVec> {
+        self.design
+            .find_net(name)
+            .map(|id| &self.values[id.0 as usize])
+    }
+
+    fn hit_limit(&mut self, kind: LimitKind) {
+        self.limit_hit = Some(kind);
+        self.error_count += 1;
+        self.lines.push(LogLine {
+            time: self.time,
+            text: format!("ERROR: [XSIM 43-3225] {kind}"),
+            is_error: true,
+        });
+    }
+
+    fn eval(&self, expr: &aivril_hdl::ir::Expr) -> LogicVec {
+        self.eval_with_wake(expr, None)
+    }
+
+    fn eval_with_wake(&self, expr: &aivril_hdl::ir::Expr, last_wake: Option<NetId>) -> LogicVec {
+        EvalCtx { values: &self.values, time: self.time, last_wake }.eval(expr)
+    }
+
+    fn run_process(&mut self, pid: usize) {
+        let body = &self.design.processes[pid].body;
+        let wake = self.procs[pid].last_wake;
+        let mut instrs_this_activation = 0u64;
+        loop {
+            let pc = self.procs[pid].pc;
+            if pc >= body.len() {
+                self.procs[pid].status = Status::Halted;
+                return;
+            }
+            instrs_this_activation += 1;
+            self.total_instrs += 1;
+            if instrs_this_activation > self.config.max_instrs_per_activation {
+                self.hit_limit(LimitKind::ProcessInstructions);
+                self.procs[pid].status = Status::Halted;
+                return;
+            }
+            if self.total_instrs > self.config.max_total_instrs {
+                self.hit_limit(LimitKind::TotalInstructions);
+                self.procs[pid].status = Status::Halted;
+                return;
+            }
+            match &body[pc] {
+                Instr::BlockingAssign { lvalue, expr } => {
+                    let value = self.eval_with_wake(expr, wake);
+                    self.write_lvalue(lvalue, value);
+                    self.procs[pid].pc = pc + 1;
+                }
+                Instr::NonblockingAssign { lvalue, expr } => {
+                    let value = self.eval_with_wake(expr, wake);
+                    let mut slices = Vec::new();
+                    self.resolve_lvalue(lvalue, &value, &mut slices);
+                    self.nba.extend(slices);
+                    self.procs[pid].pc = pc + 1;
+                }
+                Instr::Delay { amount } => {
+                    let amt = self.eval(amount).to_u64().unwrap_or(0);
+                    self.procs[pid].pc = pc + 1;
+                    self.procs[pid].generation += 1;
+                    if amt == 0 {
+                        self.procs[pid].status = Status::Runnable;
+                        self.inactive.push(pid);
+                    } else {
+                        self.procs[pid].status = Status::Sleeping;
+                        let generation = self.procs[pid].generation;
+                        self.future
+                            .entry(self.time + amt)
+                            .or_default()
+                            .push((pid, generation));
+                    }
+                    return;
+                }
+                Instr::WaitEvent { triggers } => {
+                    self.procs[pid].pc = pc + 1;
+                    self.procs[pid].generation += 1;
+                    self.procs[pid].status = Status::Waiting;
+                    self.procs[pid].waits = triggers.clone();
+                    let generation = self.procs[pid].generation;
+                    for t in triggers {
+                        self.watchers[t.net().0 as usize].push((pid, generation));
+                    }
+                    return;
+                }
+                Instr::Jump(target) => {
+                    self.procs[pid].pc = *target;
+                }
+                Instr::BranchIfFalse { cond, target } => {
+                    let taken = self.eval_with_wake(cond, wake).to_bool() != Some(true);
+                    self.procs[pid].pc = if taken { *target } else { pc + 1 };
+                }
+                Instr::SysCall { kind: SysTaskKind::Monitor, format, args } => {
+                    self.monitor = Some((format.clone(), args.clone(), None));
+                    self.procs[pid].pc = pc + 1;
+                }
+                Instr::SysCall { kind, format, args } => {
+                    let kind = *kind;
+                    let rendered = {
+                        let values: Vec<LogicVec> =
+                            args.iter().map(|a| self.eval_with_wake(a, wake)).collect();
+                        match format {
+                            Some(f) => render_format(f, &values),
+                            None => values
+                                .iter()
+                                .map(LogicVec::to_decimal_string)
+                                .collect::<Vec<_>>()
+                                .join(" "),
+                        }
+                    };
+                    self.procs[pid].pc = pc + 1;
+                    match kind {
+                        SysTaskKind::Display => self.emit_line(rendered, false),
+                        SysTaskKind::Write => self.partial_line.push_str(&rendered),
+                        SysTaskKind::Error => {
+                            self.error_count += 1;
+                            let text = format!("ERROR: {rendered} (at time {})", self.time);
+                            self.emit_line(text, true);
+                        }
+                        SysTaskKind::Fatal => {
+                            self.error_count += 1;
+                            let text = format!("FATAL: {rendered} (at time {})", self.time);
+                            self.emit_line(text, true);
+                            self.finished = true;
+                            return;
+                        }
+                        SysTaskKind::Finish => {
+                            self.finished = true;
+                            return;
+                        }
+                        SysTaskKind::Monitor => unreachable!("registered above"),
+                    }
+                }
+                Instr::Halt => {
+                    self.procs[pid].status = Status::Halted;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Prints the active `$monitor` line when any argument changed since
+    /// the last print (and always on its first quiescent step). `$time`
+    /// arguments are excluded from change detection, per IEEE 1364 §17.1.
+    fn fire_monitor(&mut self) {
+        let Some((format, args, last)) = &self.monitor else { return };
+        let (values, watched): (Vec<LogicVec>, Vec<LogicVec>) = {
+            let ctx = EvalCtx { values: &self.values, time: self.time, last_wake: None };
+            let values: Vec<LogicVec> = args.iter().map(|a| ctx.eval(a)).collect();
+            let watched = args
+                .iter()
+                .zip(&values)
+                .filter(|(a, _)| !matches!(a, aivril_hdl::ir::Expr::Time))
+                .map(|(_, v)| v.clone())
+                .collect();
+            (values, watched)
+        };
+        if last.as_ref() == Some(&watched) {
+            return;
+        }
+        let text = match format {
+            Some(f) => render_format(f, &values),
+            None => values
+                .iter()
+                .map(LogicVec::to_decimal_string)
+                .collect::<Vec<_>>()
+                .join(" "),
+        };
+        if let Some((_, _, last)) = &mut self.monitor {
+            *last = Some(watched);
+        }
+        self.emit_line(text, false);
+    }
+
+    fn emit_line(&mut self, text: String, is_error: bool) {
+        let full = if self.partial_line.is_empty() {
+            text
+        } else {
+            let mut s = std::mem::take(&mut self.partial_line);
+            s.push_str(&text);
+            s
+        };
+        self.lines.push(LogLine { time: self.time, text: full, is_error });
+    }
+
+    fn flush_partial(&mut self) {
+        if !self.partial_line.is_empty() {
+            let text = std::mem::take(&mut self.partial_line);
+            self.lines.push(LogLine { time: self.time, text, is_error: false });
+        }
+    }
+
+    /// Resolves an l-value into concrete `(net, msb, lsb, value)` slices.
+    /// Concatenation targets split the value MSB-first, per IEEE 1364.
+    fn resolve_lvalue(
+        &self,
+        lvalue: &LValue,
+        value: &LogicVec,
+        out: &mut Vec<(NetId, u32, u32, LogicVec)>,
+    ) {
+        match lvalue {
+            LValue::Net(id) => {
+                let w = self.design.net(*id).width;
+                out.push((*id, w - 1, 0, value.resize(w)));
+            }
+            LValue::Range(id, msb, lsb) => {
+                let w = msb - lsb + 1;
+                out.push((*id, *msb, *lsb, value.resize(w)));
+            }
+            LValue::Index(id, idx_expr) => {
+                let idx = self.eval(idx_expr);
+                if let Some(i) = idx.to_u64() {
+                    let w = self.design.net(*id).width;
+                    if (i as u32) < w {
+                        out.push((*id, i as u32, i as u32, value.resize(1)));
+                    }
+                }
+                // Unknown/out-of-range index: write vanishes (IEEE 1364).
+            }
+            LValue::Concat(parts) => {
+                // Split MSB-first: compute widths, then hand out slices.
+                let widths: Vec<u32> = parts.iter().map(|p| self.lvalue_width(p)).collect();
+                let total: u32 = widths.iter().sum();
+                let v = value.resize(total);
+                let mut hi = total;
+                for (part, w) in parts.iter().zip(widths) {
+                    let slice = v.slice(hi - 1, hi - w);
+                    self.resolve_lvalue(part, &slice, out);
+                    hi -= w;
+                }
+            }
+        }
+    }
+
+    fn lvalue_width(&self, lvalue: &LValue) -> u32 {
+        match lvalue {
+            LValue::Net(id) => self.design.net(*id).width,
+            LValue::Range(_, msb, lsb) => msb - lsb + 1,
+            LValue::Index(_, _) => 1,
+            LValue::Concat(parts) => parts.iter().map(|p| self.lvalue_width(p)).sum(),
+        }
+    }
+
+    fn write_lvalue(&mut self, lvalue: &LValue, value: LogicVec) {
+        let mut slices = Vec::new();
+        self.resolve_lvalue(lvalue, &value, &mut slices);
+        for (net, msb, lsb, v) in slices {
+            self.write_slice(net, msb, lsb, &v);
+        }
+    }
+
+    fn write_slice(&mut self, net: NetId, msb: u32, lsb: u32, value: &LogicVec) {
+        let idx = net.0 as usize;
+        let old = self.values[idx].clone();
+        let mut new = old.clone();
+        new.set_slice(msb, lsb, value);
+        if new == old {
+            return;
+        }
+        self.values[idx] = new.clone();
+        if let Some((_, changes)) = &mut self.waves {
+            changes.push(vcd::Change { time: self.time, net: idx, value: new.clone() });
+        }
+        self.notify_watchers(net, &old, &new);
+    }
+
+    fn notify_watchers(&mut self, net: NetId, old: &LogicVec, new: &LogicVec) {
+        let idx = net.0 as usize;
+        if self.watchers[idx].is_empty() {
+            return;
+        }
+        let old_bit = old.get(0);
+        let new_bit = new.get(0);
+        let entries = std::mem::take(&mut self.watchers[idx]);
+        let mut kept = Vec::new();
+        for (pid, generation) in entries {
+            let p = &self.procs[pid];
+            if p.generation != generation || p.status != Status::Waiting {
+                continue; // stale
+            }
+            let woken = p.waits.iter().any(|t| match t {
+                Trigger::AnyChange(n) => *n == net,
+                Trigger::Posedge(n) => {
+                    *n == net && new_bit == Logic::One && old_bit != Logic::One
+                }
+                Trigger::Negedge(n) => {
+                    *n == net && new_bit == Logic::Zero && old_bit != Logic::Zero
+                }
+            });
+            if woken {
+                let p = &mut self.procs[pid];
+                p.status = Status::Runnable;
+                p.generation += 1;
+                p.waits.clear();
+                p.last_wake = Some(net);
+                self.runnable.push_back(pid);
+            } else {
+                kept.push((pid, generation));
+            }
+        }
+        self.watchers[idx].extend(kept);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivril_hdl::ir::{
+        BinaryOp, Expr, Net, NetKind, Process, ProcessKind, SysTaskKind, UnaryOp,
+    };
+
+    fn reg(name: &str, width: u32, init: Option<u64>) -> Net {
+        Net {
+            name: name.into(),
+            width,
+            kind: NetKind::Reg,
+            init: init.map(|v| LogicVec::from_u64(width, v)),
+        }
+    }
+
+    /// Builds a clock + posedge-triggered counter + finishing testbench.
+    fn counter_design(cycles: u64) -> Design {
+        let mut d = Design::new("tb");
+        let clk = d.add_net(reg("clk", 1, Some(0)));
+        let count = d.add_net(reg("count", 8, Some(0)));
+        // initial forever #5 clk = ~clk;
+        d.add_process(Process {
+            name: "clkgen".into(),
+            kind: ProcessKind::Always,
+            body: vec![
+                Instr::Delay { amount: Expr::constant(32, 5) },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(clk),
+                    expr: Expr::Unary {
+                        op: UnaryOp::Not,
+                        operand: Box::new(Expr::Net(clk)),
+                    },
+                },
+                Instr::Jump(0),
+            ],
+        });
+        // always @(posedge clk) count <= count + 1;
+        d.add_process(Process {
+            name: "count".into(),
+            kind: ProcessKind::Always,
+            body: vec![
+                Instr::WaitEvent { triggers: vec![Trigger::Posedge(clk)] },
+                Instr::NonblockingAssign {
+                    lvalue: LValue::Net(count),
+                    expr: Expr::Binary {
+                        op: BinaryOp::Add,
+                        lhs: Box::new(Expr::Net(count)),
+                        rhs: Box::new(Expr::constant(8, 1)),
+                    },
+                },
+                Instr::Jump(0),
+            ],
+        });
+        // initial begin #(10*cycles); $display("count=%0d", count); $finish; end
+        d.add_process(Process {
+            name: "tb".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::Delay { amount: Expr::constant(32, 10 * cycles + 2) },
+                Instr::SysCall {
+                    kind: SysTaskKind::Display,
+                    format: Some("count=%0d".into()),
+                    args: vec![Expr::Net(count)],
+                },
+                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Halt,
+            ],
+        });
+        d
+    }
+
+    #[test]
+    fn counter_counts_posedges() {
+        let d = counter_design(7);
+        let mut sim = Simulator::new(&d, SimConfig::default());
+        let r = sim.run();
+        assert!(r.finished);
+        assert!(r.is_clean());
+        assert_eq!(r.lines[0].text, "count=7");
+        assert_eq!(sim.net_value("count").and_then(LogicVec::to_u64), Some(7));
+    }
+
+    #[test]
+    fn nba_reads_old_values_register_swap() {
+        // a <= b; b <= a; at a posedge must swap, not duplicate.
+        let mut d = Design::new("swap");
+        let clk = d.add_net(reg("clk", 1, Some(0)));
+        let a = d.add_net(reg("a", 4, Some(3)));
+        let b = d.add_net(reg("b", 4, Some(9)));
+        d.add_process(Process {
+            name: "swap".into(),
+            kind: ProcessKind::Always,
+            body: vec![
+                Instr::WaitEvent { triggers: vec![Trigger::Posedge(clk)] },
+                Instr::NonblockingAssign { lvalue: LValue::Net(a), expr: Expr::Net(b) },
+                Instr::NonblockingAssign { lvalue: LValue::Net(b), expr: Expr::Net(a) },
+                Instr::Jump(0),
+            ],
+        });
+        d.add_process(Process {
+            name: "stim".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::Delay { amount: Expr::constant(32, 5) },
+                Instr::BlockingAssign { lvalue: LValue::Net(clk), expr: Expr::constant(1, 1) },
+                Instr::Delay { amount: Expr::constant(32, 5) },
+                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Halt,
+            ],
+        });
+        let mut sim = Simulator::new(&d, SimConfig::default());
+        sim.run();
+        assert_eq!(sim.net_value("a").and_then(LogicVec::to_u64), Some(9));
+        assert_eq!(sim.net_value("b").and_then(LogicVec::to_u64), Some(3));
+    }
+
+    #[test]
+    fn continuous_assign_tracks_inputs() {
+        let mut d = Design::new("comb");
+        let a = d.add_net(reg("a", 4, Some(0)));
+        let y = d.add_net(Net { name: "y".into(), width: 4, kind: NetKind::Wire, init: None });
+        d.add_continuous_assign(
+            LValue::Net(y),
+            Expr::Unary { op: UnaryOp::Not, operand: Box::new(Expr::Net(a)) },
+        );
+        d.add_process(Process {
+            name: "stim".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::Delay { amount: Expr::constant(32, 1) },
+                Instr::BlockingAssign { lvalue: LValue::Net(a), expr: Expr::constant(4, 0b0101) },
+                Instr::Delay { amount: Expr::constant(32, 1) },
+                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Halt,
+            ],
+        });
+        let mut sim = Simulator::new(&d, SimConfig::default());
+        sim.run();
+        assert_eq!(sim.net_value("y").and_then(LogicVec::to_u64), Some(0b1010));
+    }
+
+    #[test]
+    fn error_and_fatal_counting() {
+        let mut d = Design::new("t");
+        d.add_process(Process {
+            name: "p".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::SysCall {
+                    kind: SysTaskKind::Error,
+                    format: Some("Test Case 2 Failed".into()),
+                    args: vec![],
+                },
+                Instr::SysCall {
+                    kind: SysTaskKind::Fatal,
+                    format: Some("giving up".into()),
+                    args: vec![],
+                },
+                Instr::Halt,
+            ],
+        });
+        let r = Simulator::new(&d, SimConfig::default()).run();
+        assert_eq!(r.error_count, 2);
+        assert!(r.finished, "$fatal ends the run");
+        assert!(r.lines[0].text.contains("Test Case 2 Failed"));
+        assert!(r.lines[0].is_error);
+    }
+
+    #[test]
+    fn infinite_procedural_loop_hits_limit() {
+        let mut d = Design::new("t");
+        d.add_process(Process {
+            name: "spin".into(),
+            kind: ProcessKind::Initial,
+            body: vec![Instr::Jump(0)],
+        });
+        let r = Simulator::new(&d, SimConfig::default()).run();
+        assert_eq!(r.limit_hit, Some(LimitKind::ProcessInstructions));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn zero_delay_oscillation_hits_delta_limit() {
+        // A zero-delay ping-pong: each process toggles its own net and
+        // waits on the other's, re-waking each other forever at time 0.
+        let mut d = Design::new("t");
+        let a = d.add_net(reg("a", 1, Some(0)));
+        let b = d.add_net(reg("b", 1, Some(0)));
+        let toggler = |own: aivril_hdl::ir::NetId, other: aivril_hdl::ir::NetId, name: &str| {
+            Process {
+                name: name.into(),
+                kind: ProcessKind::Always,
+                body: vec![
+                    Instr::BlockingAssign {
+                        lvalue: LValue::Net(own),
+                        expr: Expr::Unary {
+                            op: UnaryOp::Not,
+                            operand: Box::new(Expr::Net(own)),
+                        },
+                    },
+                    Instr::WaitEvent { triggers: vec![Trigger::AnyChange(other)] },
+                    Instr::Jump(0),
+                ],
+            }
+        };
+        d.add_process(toggler(a, b, "p1"));
+        d.add_process(toggler(b, a, "p2"));
+        let r = Simulator::new(&d, SimConfig::default()).run();
+        assert_eq!(r.limit_hit, Some(LimitKind::DeltaCycles));
+    }
+
+    #[test]
+    fn starvation_without_finish() {
+        let mut d = Design::new("t");
+        let a = d.add_net(reg("a", 1, Some(0)));
+        d.add_process(Process {
+            name: "once".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::BlockingAssign { lvalue: LValue::Net(a), expr: Expr::constant(1, 1) },
+                Instr::Halt,
+            ],
+        });
+        let r = Simulator::new(&d, SimConfig::default()).run();
+        assert!(r.starved);
+        assert!(!r.finished);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn zero_delay_orders_after_active() {
+        // #0 lets another same-time process run first.
+        let mut d = Design::new("t");
+        let a = d.add_net(reg("a", 4, Some(0)));
+        let seen = d.add_net(reg("seen", 4, Some(0)));
+        d.add_process(Process {
+            name: "reader".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::Delay { amount: Expr::constant(32, 0) },
+                Instr::BlockingAssign { lvalue: LValue::Net(seen), expr: Expr::Net(a) },
+                Instr::Halt,
+            ],
+        });
+        d.add_process(Process {
+            name: "writer".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::BlockingAssign { lvalue: LValue::Net(a), expr: Expr::constant(4, 7) },
+                Instr::Halt,
+            ],
+        });
+        let mut sim = Simulator::new(&d, SimConfig::default());
+        sim.run();
+        assert_eq!(sim.net_value("seen").and_then(LogicVec::to_u64), Some(7));
+    }
+
+    #[test]
+    fn concat_lvalue_splits_msb_first() {
+        let mut d = Design::new("t");
+        let hi = d.add_net(reg("hi", 4, Some(0)));
+        let lo = d.add_net(reg("lo", 4, Some(0)));
+        d.add_process(Process {
+            name: "p".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::BlockingAssign {
+                    lvalue: LValue::Concat(vec![LValue::Net(hi), LValue::Net(lo)]),
+                    expr: Expr::constant(8, 0xA5),
+                },
+                Instr::Halt,
+            ],
+        });
+        let mut sim = Simulator::new(&d, SimConfig::default());
+        sim.run();
+        assert_eq!(sim.net_value("hi").and_then(LogicVec::to_u64), Some(0xA));
+        assert_eq!(sim.net_value("lo").and_then(LogicVec::to_u64), Some(0x5));
+    }
+
+    #[test]
+    fn write_then_display_concatenates() {
+        let mut d = Design::new("t");
+        d.add_process(Process {
+            name: "p".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::SysCall {
+                    kind: SysTaskKind::Write,
+                    format: Some("part1 ".into()),
+                    args: vec![],
+                },
+                Instr::SysCall {
+                    kind: SysTaskKind::Display,
+                    format: Some("part2".into()),
+                    args: vec![],
+                },
+                Instr::Halt,
+            ],
+        });
+        let r = Simulator::new(&d, SimConfig::default()).run();
+        assert_eq!(r.lines[0].text, "part1 part2");
+    }
+
+    #[test]
+    fn negedge_trigger() {
+        let mut d = Design::new("t");
+        let clk = d.add_net(reg("clk", 1, Some(1)));
+        let hits = d.add_net(reg("hits", 4, Some(0)));
+        d.add_process(Process {
+            name: "neg".into(),
+            kind: ProcessKind::Always,
+            body: vec![
+                Instr::WaitEvent { triggers: vec![Trigger::Negedge(clk)] },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(hits),
+                    expr: Expr::Binary {
+                        op: BinaryOp::Add,
+                        lhs: Box::new(Expr::Net(hits)),
+                        rhs: Box::new(Expr::constant(4, 1)),
+                    },
+                },
+                Instr::Jump(0),
+            ],
+        });
+        d.add_process(Process {
+            name: "stim".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::Delay { amount: Expr::constant(32, 5) },
+                Instr::BlockingAssign { lvalue: LValue::Net(clk), expr: Expr::constant(1, 0) },
+                Instr::Delay { amount: Expr::constant(32, 5) },
+                Instr::BlockingAssign { lvalue: LValue::Net(clk), expr: Expr::constant(1, 1) },
+                Instr::Delay { amount: Expr::constant(32, 5) },
+                Instr::BlockingAssign { lvalue: LValue::Net(clk), expr: Expr::constant(1, 0) },
+                Instr::Delay { amount: Expr::constant(32, 1) },
+                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Halt,
+            ],
+        });
+        let mut sim = Simulator::new(&d, SimConfig::default());
+        sim.run();
+        assert_eq!(sim.net_value("hits").and_then(LogicVec::to_u64), Some(2));
+    }
+}
+
+#[cfg(test)]
+mod vcd_tests {
+    use super::*;
+    use aivril_hdl::ir::{Expr, Net, NetKind, Process, ProcessKind, SysTaskKind, UnaryOp};
+
+    #[test]
+    fn vcd_records_clock_toggles() {
+        let mut d = Design::new("tb");
+        let clk = d.add_net(Net {
+            name: "tb.clk".into(),
+            width: 1,
+            kind: NetKind::Reg,
+            init: Some(LogicVec::zeros(1)),
+        });
+        d.add_process(Process {
+            name: "clkgen".into(),
+            kind: ProcessKind::Always,
+            body: vec![
+                Instr::Delay { amount: Expr::constant(32, 5) },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(clk),
+                    expr: Expr::Unary {
+                        op: UnaryOp::Not,
+                        operand: Box::new(Expr::Net(clk)),
+                    },
+                },
+                Instr::Jump(0),
+            ],
+        });
+        d.add_process(Process {
+            name: "stop".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::Delay { amount: Expr::constant(32, 22) },
+                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Halt,
+            ],
+        });
+        let mut sim = Simulator::new(&d, SimConfig::default());
+        assert!(sim.vcd().is_none(), "no dump without recording");
+        sim.record_waves();
+        sim.run();
+        let vcd = sim.vcd().expect("recorded");
+        assert!(vcd.contains("$var wire 1 ! tb.clk $end"));
+        assert!(vcd.contains("#0\n$dumpvars\n0!\n$end\n"));
+        assert!(vcd.contains("#5\n1!\n"));
+        assert!(vcd.contains("#10\n0!\n"));
+        assert!(vcd.contains("#15\n1!\n"));
+        assert!(vcd.contains("#20\n0!\n"));
+    }
+}
+
+#[cfg(test)]
+mod monitor_tests {
+    use super::*;
+    use aivril_hdl::ir::{BinaryOp, Expr, Net, NetKind, Process, ProcessKind, SysTaskKind};
+
+    #[test]
+    fn monitor_prints_only_on_change() {
+        // A counter that increments at t=10,20 and holds at t=30; the
+        // monitor must print at t=0 (first observation), 10 and 20 only.
+        let mut d = Design::new("tb");
+        let n = d.add_net(Net {
+            name: "n".into(),
+            width: 4,
+            kind: NetKind::Reg,
+            init: Some(LogicVec::zeros(4)),
+        });
+        let bump = |d: &mut Design, delay: u64, inc: u64| {
+            d.add_process(Process {
+                name: format!("bump{delay}"),
+                kind: ProcessKind::Initial,
+                body: vec![
+                    Instr::Delay { amount: Expr::constant(32, delay) },
+                    Instr::BlockingAssign {
+                        lvalue: LValue::Net(n),
+                        expr: Expr::Binary {
+                            op: BinaryOp::Add,
+                            lhs: Box::new(Expr::Net(n)),
+                            rhs: Box::new(Expr::constant(4, inc)),
+                        },
+                    },
+                    Instr::Halt,
+                ],
+            });
+        };
+        bump(&mut d, 10, 1);
+        bump(&mut d, 20, 1);
+        bump(&mut d, 30, 0); // same value: no print expected
+        d.add_process(Process {
+            name: "mon".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::SysCall {
+                    kind: SysTaskKind::Monitor,
+                    format: Some("t=%t n=%0d".into()),
+                    args: vec![Expr::Time, Expr::Net(n)],
+                },
+                Instr::Delay { amount: Expr::constant(32, 40) },
+                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Halt,
+            ],
+        });
+        let r = Simulator::new(&d, SimConfig::default()).run();
+        let texts: Vec<&str> = r.lines.iter().map(|l| l.text.as_str()).collect();
+        assert_eq!(texts, vec!["t=0 n=0", "t=10 n=1", "t=20 n=2"], "log: {texts:?}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Value Change Dump (IEEE 1364 §18) waveform output.
+//!
+//! The simulator can record every net change and render it as a
+//! standard `.vcd` file loadable by GTKWave & friends — the waveform
+//! side-channel real debugging flows (and tools like VerilogCoder's
+//! waveform tracer) rely on.
+
+use aivril_hdl::ir::Design;
+use aivril_hdl::vec::LogicVec;
+
+/// One recorded value change.
+#[derive(Debug, Clone)]
+pub(crate) struct Change {
+    pub time: u64,
+    pub net: usize,
+    pub value: LogicVec,
+}
+
+/// Generates the short printable identifier code VCD uses for net `i`.
+fn id_code(mut i: usize) -> String {
+    // Base-94 over the printable ASCII range '!'..='~'.
+    let mut s = String::new();
+    loop {
+        s.push(char::from(b'!' + (i % 94) as u8));
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn format_value(v: &LogicVec, code: &str) -> String {
+    if v.width() == 1 {
+        format!("{}{}\n", v.get(0).to_char(), code)
+    } else {
+        format!("b{} {}\n", v.to_binary_string(), code)
+    }
+}
+
+/// Renders a full VCD document from the design's net declarations, the
+/// initial values and the time-ordered change list.
+pub(crate) fn render(
+    design: &Design,
+    initial: &[LogicVec],
+    changes: &[Change],
+    end_time: u64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("$date\n  (deterministic reproduction run)\n$end\n");
+    out.push_str("$version\n  aivril-sim\n$end\n");
+    out.push_str("$timescale 1ns $end\n");
+    out.push_str(&format!("$scope module {} $end\n", design.top));
+    for (i, net) in design.nets.iter().enumerate() {
+        let range = if net.width == 1 {
+            String::new()
+        } else {
+            format!(" [{}:0]", net.width - 1)
+        };
+        // VCD identifiers may not contain spaces; hierarchical dots are
+        // conventional and accepted by viewers.
+        out.push_str(&format!(
+            "$var wire {} {} {}{} $end\n",
+            net.width,
+            id_code(i),
+            net.name,
+            range
+        ));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+    out.push_str("#0\n$dumpvars\n");
+    for (i, v) in initial.iter().enumerate() {
+        out.push_str(&format_value(v, &id_code(i)));
+    }
+    out.push_str("$end\n");
+    let mut current = 0u64;
+    for c in changes {
+        if c.time != current {
+            out.push_str(&format!("#{}\n", c.time));
+            current = c.time;
+        }
+        out.push_str(&format_value(&c.value, &id_code(c.net)));
+    }
+    if end_time > current {
+        out.push_str(&format!("#{end_time}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivril_hdl::ir::{Net, NetKind};
+
+    fn design() -> Design {
+        let mut d = Design::new("tb");
+        d.add_net(Net { name: "tb.clk".into(), width: 1, kind: NetKind::Reg, init: None });
+        d.add_net(Net { name: "tb.count".into(), width: 4, kind: NetKind::Reg, init: None });
+        d
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let code = id_code(i);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code), "duplicate at {i}");
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(94), "\"!".to_string().chars().rev().collect::<String>());
+    }
+
+    #[test]
+    fn renders_header_and_changes() {
+        let d = design();
+        let initial = vec![LogicVec::zeros(1), LogicVec::xes(4)];
+        let changes = vec![
+            Change { time: 5, net: 0, value: LogicVec::from_u64(1, 1) },
+            Change { time: 5, net: 1, value: LogicVec::from_u64(4, 3) },
+            Change { time: 10, net: 0, value: LogicVec::from_u64(1, 0) },
+        ];
+        let vcd = render(&d, &initial, &changes, 20);
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$var wire 1 ! tb.clk $end"));
+        assert!(vcd.contains("$var wire 4 \" tb.count [3:0] $end"));
+        assert!(vcd.contains("#0\n$dumpvars\n0!\nbxxxx \"\n$end\n"));
+        assert!(vcd.contains("#5\n1!\nb0011 \"\n"));
+        assert!(vcd.contains("#10\n0!\n"));
+        assert!(vcd.ends_with("#20\n"));
+    }
+}

@@ -1,0 +1,1743 @@
+//! Elaboration: AST → shared simulatable IR.
+//!
+//! Resolves the module hierarchy from a chosen top, propagates
+//! parameters, flattens instances (ports become continuous assignments
+//! between parent and child nets, the classic interpreted-simulator
+//! approach), performs the semantic checks whose messages the Review
+//! Agent consumes (undeclared identifiers, illegal assignment targets,
+//! port mismatches), and compiles behavioural statements into the
+//! [`aivril_hdl::ir::Instr`] programs the simulator executes.
+
+use crate::ast::{self, BinOp, Connections, EventExpr, Item, Module, NetType, PortDir, UnOp};
+use crate::literal::parse_literal;
+use aivril_hdl::diag::{codes, Diagnostic, Diagnostics};
+use aivril_hdl::ir::{
+    BinaryOp, Design, Expr, Instr, LValue, Net, NetId, NetKind, Process, ProcessKind, SysTaskKind,
+    Trigger, UnaryOp,
+};
+use aivril_hdl::logic::Logic;
+use aivril_hdl::source::Span;
+use aivril_hdl::vec::LogicVec;
+use std::collections::HashMap;
+
+const MAX_DEPTH: u32 = 64;
+
+/// Elaborates `top` from the parsed `unit`, appending problems to
+/// `diags`. Returns `None` when errors prevent producing a design.
+pub fn elaborate(unit: &ast::SourceUnit, top: &str, diags: &mut Diagnostics) -> Option<Design> {
+    let mut modules: HashMap<&str, &Module> = HashMap::new();
+    for m in &unit.modules {
+        if modules.insert(m.name.as_str(), m).is_some() {
+            diags.push(Diagnostic::error(
+                codes::VLOG_REDECLARED,
+                format!("module '{}' is defined more than once", m.name),
+                m.span,
+            ));
+        }
+    }
+    let Some(&top_module) = modules.get(top) else {
+        diags.push(Diagnostic::global_error(
+            codes::ELAB_UNKNOWN_MODULE,
+            format!("top module '{top}' not found in the compiled sources"),
+        ));
+        return None;
+    };
+    let mut el = Elaborator {
+        modules,
+        design: Design::new(top),
+        diags,
+        inline_counter: 0,
+        inline_depth: 0,
+    };
+    el.instantiate(top_module, String::new(), HashMap::new(), None, 0);
+    if el.diags.has_errors() {
+        None
+    } else {
+        Some(el.design)
+    }
+}
+
+/// Everything known about one name inside a module scope.
+#[derive(Debug, Clone, Copy)]
+struct NetInfo {
+    id: NetId,
+    net_type: NetType,
+}
+
+/// A module function, resolved at declaration time.
+#[derive(Debug, Clone)]
+struct FunctionSig {
+    width: u32,
+    inputs: Vec<(String, u32)>,
+    body: ast::Stmt,
+}
+
+/// One declared memory: its element nets in address order.
+#[derive(Debug, Clone)]
+struct MemInfo {
+    elems: Vec<NetId>,
+    width: u32,
+    /// Lowest legal address.
+    base: i64,
+}
+
+#[derive(Debug, Default)]
+struct Scope {
+    prefix: String,
+    params: HashMap<String, i64>,
+    nets: HashMap<String, NetInfo>,
+    functions: HashMap<String, FunctionSig>,
+    mems: HashMap<String, MemInfo>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AssignCtx {
+    Continuous,
+    Procedural,
+}
+
+struct Elaborator<'a, 'd> {
+    modules: HashMap<&'a str, &'a Module>,
+    design: Design,
+    diags: &'d mut Diagnostics,
+    /// Unique id source for function-inlining temporaries.
+    inline_counter: u32,
+    /// Guard against (mutually) recursive functions.
+    inline_depth: u32,
+}
+
+impl<'a> Elaborator<'a, '_> {
+    fn error(&mut self, code: &str, message: String, span: Span) {
+        self.diags.push(Diagnostic::error(code, message, span));
+    }
+
+    fn warning(&mut self, code: &str, message: String, span: Span) {
+        self.diags.push(Diagnostic::warning(code, message, span));
+    }
+
+    /// Instantiates `module` under hierarchical `prefix`; `bindings`
+    /// carries evaluated parameter overrides. `conns` describes the
+    /// parent-side port connections (absent for the top instance).
+    fn instantiate(
+        &mut self,
+        module: &'a Module,
+        prefix: String,
+        bindings: HashMap<String, i64>,
+        conns: Option<PortBinding<'a, '_>>,
+        depth: u32,
+    ) {
+        if depth > MAX_DEPTH {
+            self.error(
+                codes::ELAB_UNKNOWN_MODULE,
+                format!("hierarchy deeper than {MAX_DEPTH} levels (recursive instantiation?)"),
+                module.span,
+            );
+            return;
+        }
+        let mut scope = Scope { prefix, ..Scope::default() };
+
+        // Non-ANSI headers list bare names; their direction/type/range
+        // come from body `input`/`output` declarations.
+        let ports: Vec<ast::Port> = if module.nonansi_ports.is_empty() {
+            module.ports.clone()
+        } else {
+            self.resolve_nonansi_ports(module)
+        };
+        let ports = &ports;
+
+        // --- Pass 0: header parameters (defaults overridden by bindings).
+        for p in &module.params {
+            let value = match bindings.get(&p.name) {
+                Some(&v) => v,
+                None => self.eval_const(&p.default, &scope).unwrap_or(0),
+            };
+            scope.params.insert(p.name.clone(), value);
+        }
+
+        // --- Pass 1: declarations (ports, nets, body params).
+        for port in ports {
+            if port.dir == PortDir::Inout {
+                self.error(
+                    codes::ELAB_PORT_MISMATCH,
+                    format!("inout port '{}' is not supported", port.name),
+                    port.span,
+                );
+            }
+            let width = self.range_width(&port.range, &scope);
+            self.declare_net(&mut scope, &port.name, width, port.net_type, None, port.span);
+        }
+        for item in &module.items {
+            match item {
+                Item::PortDecl { .. } => {}
+                Item::Param(p) => {
+                    let value = if p.local {
+                        self.eval_const(&p.default, &scope).unwrap_or(0)
+                    } else {
+                        match bindings.get(&p.name) {
+                            Some(&v) => v,
+                            None => self.eval_const(&p.default, &scope).unwrap_or(0),
+                        }
+                    };
+                    scope.params.insert(p.name.clone(), value);
+                }
+                Item::NetDecl { net_type, range, names } => {
+                    let width = self.range_width(range, &scope);
+                    for (name, span, init) in names {
+                        // `output q; reg q;` legally re-types a non-ANSI
+                        // port as a register.
+                        if let Some(info) = scope.nets.get(name).copied() {
+                            let is_port = ports.iter().any(|p| &p.name == name);
+                            if is_port
+                                && info.net_type == NetType::Wire
+                                && *net_type == NetType::Reg
+                                && self.design.net(info.id).width == width
+                            {
+                                scope
+                                    .nets
+                                    .insert(name.clone(), NetInfo { id: info.id, net_type: NetType::Reg });
+                                self.design.nets[info.id.0 as usize].kind = NetKind::Reg;
+                                continue;
+                            }
+                        }
+                        let init_value = init.as_ref().and_then(|e| {
+                            self.eval_const(e, &scope)
+                                .map(|v| LogicVec::from_u64(width, v as u64))
+                        });
+                        self.declare_net(&mut scope, name, width, *net_type, init_value, *span);
+                    }
+                }
+                Item::IntegerDecl { names } => {
+                    for (name, span) in names {
+                        self.declare_net(&mut scope, name, 32, NetType::Reg, None, *span);
+                    }
+                }
+                Item::MemDecl { width_range, names } => {
+                    let width = self.range_width(width_range, &scope);
+                    for (name, (a, b), span) in names {
+                        let av = self.eval_const(a, &scope).unwrap_or(0);
+                        let bv = self.eval_const(b, &scope).unwrap_or(0);
+                        let (lo, hi) = if av <= bv { (av, bv) } else { (bv, av) };
+                        let depth = (hi - lo + 1).max(1);
+                        if depth > 1024 {
+                            self.error(
+                                codes::VLOG_SYNTAX,
+                                format!("memory '{name}' has {depth} words; at most 1024 are supported"),
+                                *span,
+                            );
+                            continue;
+                        }
+                        if scope.nets.contains_key(name)
+                            || scope.mems.contains_key(name)
+                            || scope.params.contains_key(name)
+                        {
+                            self.error(
+                                codes::VLOG_REDECLARED,
+                                format!("'{name}' is already declared in this scope"),
+                                *span,
+                            );
+                            continue;
+                        }
+                        let elems: Vec<NetId> = (0..depth)
+                            .map(|k| {
+                                self.design.add_net(Net {
+                                    name: format!("{}{}[{}]", scope.prefix, name, lo + k),
+                                    width,
+                                    kind: NetKind::Reg,
+                                    init: None,
+                                })
+                            })
+                            .collect();
+                        scope
+                            .mems
+                            .insert(name.clone(), MemInfo { elems, width, base: lo });
+                    }
+                }
+                Item::Function(f) => {
+                    let width = self.range_width(&f.range, &scope);
+                    let inputs: Vec<(String, u32)> = f
+                        .inputs
+                        .iter()
+                        .map(|(n, r, _)| (n.clone(), self.range_width(r, &scope)))
+                        .collect();
+                    if scope
+                        .functions
+                        .insert(
+                            f.name.clone(),
+                            FunctionSig { width, inputs, body: f.body.clone() },
+                        )
+                        .is_some()
+                    {
+                        self.error(
+                            codes::VLOG_REDECLARED,
+                            format!("function '{}' is already declared", f.name),
+                            f.span,
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // --- Pass 2: port connections from the parent side.
+        if let Some(binding) = conns {
+            self.connect_ports(&module.name, ports, &scope, binding);
+        }
+
+        // --- Pass 3: behaviour.
+        for item in &module.items {
+            match item {
+                Item::PortDecl { .. }
+                | Item::Param(_)
+                | Item::NetDecl { .. }
+                | Item::MemDecl { .. }
+                | Item::IntegerDecl { .. }
+                | Item::Function(_) => {}
+                Item::ContinuousAssign { target, expr, span } => {
+                    if expr_contains_call(expr) {
+                        // Function calls need statement context: compile
+                        // the assign as an inferred-sensitivity process.
+                        let mut b = Builder::default();
+                        let wait_slot = b.emit(Instr::WaitEvent { triggers: Vec::new() });
+                        let rhs = self.lower_expr_proc(expr, &scope, &mut b);
+                        if let Some(lv) = self.lower_lvalue(target, &scope, AssignCtx::Continuous) {
+                            let rhs = self.fit_expr(&lv, rhs, *span);
+                            b.emit(Instr::BlockingAssign { lvalue: lv, expr: rhs });
+                            b.emit(Instr::Jump(0));
+                            let mut reads = Vec::new();
+                            collect_instr_reads(&b.instrs, &mut reads);
+                            reads.sort_unstable();
+                            reads.dedup();
+                            b.instrs[wait_slot] = Instr::WaitEvent {
+                                triggers: reads.into_iter().map(Trigger::AnyChange).collect(),
+                            };
+                            self.design.add_process(Process {
+                                name: format!("{}assign_fn@{}", scope.prefix, span.start),
+                                kind: ProcessKind::Always,
+                                body: b.instrs,
+                            });
+                        }
+                    } else {
+                        let rhs = self.lower_expr(expr, &scope);
+                        if let Some(lv) = self.lower_lvalue(target, &scope, AssignCtx::Continuous) {
+                            let rhs = self.fit_expr(&lv, rhs, *span);
+                            self.design.add_continuous_assign(lv, rhs);
+                        }
+                    }
+                }
+                Item::Always { events, body, span } => {
+                    self.compile_always(events, body, &scope, *span);
+                }
+                Item::Initial { body, span } => {
+                    let mut b = Builder::default();
+                    self.compile_stmt(body, &scope, &mut b);
+                    b.emit(Instr::Halt);
+                    self.design.add_process(Process {
+                        name: format!("{}initial@{}", scope.prefix, span_line(*span)),
+                        kind: ProcessKind::Initial,
+                        body: b.instrs,
+                    });
+                }
+                Item::Instance { module: child_name, name, param_overrides, connections, span } => {
+                    let Some(&child) = self.modules.get(child_name.as_str()) else {
+                        self.error(
+                            codes::ELAB_UNKNOWN_MODULE,
+                            format!("unknown module '{child_name}' instantiated as '{name}'"),
+                            *span,
+                        );
+                        continue;
+                    };
+                    // Evaluate parameter overrides in the parent scope.
+                    let mut bindings = HashMap::new();
+                    for (i, (pname, expr)) in param_overrides.iter().enumerate() {
+                        let value = self.eval_const(expr, &scope).unwrap_or(0);
+                        let key = if pname.is_empty() {
+                            match child.params.get(i) {
+                                Some(p) => p.name.clone(),
+                                None => continue,
+                            }
+                        } else {
+                            pname.clone()
+                        };
+                        if !child.params.iter().any(|p| p.name == key) {
+                            self.error(
+                                codes::ELAB_PORT_MISMATCH,
+                                format!("module '{child_name}' has no parameter '{key}'"),
+                                *span,
+                            );
+                            continue;
+                        }
+                        bindings.insert(key, value);
+                    }
+                    let child_prefix = format!("{}{}.", scope.prefix, name);
+                    self.instantiate(
+                        child,
+                        child_prefix,
+                        bindings,
+                        Some(PortBinding { connections, parent_scope: &scope, span: *span }),
+                        depth + 1,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Builds the effective port list of a non-ANSI module from its
+    /// header names and body `input`/`output` declarations.
+    fn resolve_nonansi_ports(&mut self, module: &Module) -> Vec<ast::Port> {
+        use std::collections::HashMap as Map;
+        let mut decls: Map<&str, ast::Port> = Map::new();
+        for item in &module.items {
+            if let Item::PortDecl { dir, net_type, range, names } = item {
+                for (name, span) in names {
+                    decls.insert(
+                        name.as_str(),
+                        ast::Port {
+                            dir: *dir,
+                            net_type: *net_type,
+                            range: range.clone(),
+                            name: name.clone(),
+                            span: *span,
+                        },
+                    );
+                }
+            }
+        }
+        let mut ports = Vec::new();
+        for (name, span) in &module.nonansi_ports {
+            match decls.remove(name.as_str()) {
+                Some(port) => ports.push(port),
+                None => self.error(
+                    codes::ELAB_PORT_MISMATCH,
+                    format!("port '{name}' has no input/output declaration in the module body"),
+                    *span,
+                ),
+            }
+        }
+        for (name, port) in decls {
+            self.error(
+                codes::ELAB_PORT_MISMATCH,
+                format!("'{name}' is declared input/output but is not in the port list"),
+                port.span,
+            );
+        }
+        ports
+    }
+
+    fn declare_net(
+        &mut self,
+        scope: &mut Scope,
+        name: &str,
+        width: u32,
+        net_type: NetType,
+        init: Option<LogicVec>,
+        span: Span,
+    ) {
+        if scope.nets.contains_key(name) || scope.params.contains_key(name) {
+            self.error(
+                codes::VLOG_REDECLARED,
+                format!("'{name}' is already declared in this scope"),
+                span,
+            );
+            return;
+        }
+        let id = self.design.add_net(Net {
+            name: format!("{}{}", scope.prefix, name),
+            width,
+            kind: match net_type {
+                NetType::Wire => NetKind::Wire,
+                NetType::Reg => NetKind::Reg,
+            },
+            init,
+        });
+        scope.nets.insert(name.to_string(), NetInfo { id, net_type });
+    }
+
+    fn range_width(&mut self, range: &Option<(ast::Expr, ast::Expr)>, scope: &Scope) -> u32 {
+        match range {
+            None => 1,
+            Some((msb, lsb)) => {
+                let m = self.eval_const(msb, scope).unwrap_or(0);
+                let l = self.eval_const(lsb, scope).unwrap_or(0);
+                (m - l).unsigned_abs() as u32 + 1
+            }
+        }
+    }
+
+    // ------------------------------------------------------ connections
+
+    fn connect_ports(
+        &mut self,
+        module_name: &str,
+        ports: &[ast::Port],
+        child_scope: &Scope,
+        binding: PortBinding<'a, '_>,
+    ) {
+        let PortBinding { connections, parent_scope, span } = binding;
+        let pairs: Vec<(&ast::Port, Option<&ast::Expr>, Span)> = match connections {
+            Connections::Positional(exprs) => {
+                if exprs.len() > ports.len() {
+                    self.error(
+                        codes::ELAB_PORT_MISMATCH,
+                        format!(
+                            "too many port connections: module '{module_name}' has {} ports, {} given",
+                            ports.len(),
+                            exprs.len()
+                        ),
+                        span,
+                    );
+                }
+                ports
+                    .iter()
+                    .zip(exprs.iter().map(Some).chain(std::iter::repeat(None)))
+                    .map(|(p, e)| (p, e, span))
+                    .collect()
+            }
+            Connections::Named(named) => {
+                let mut pairs = Vec::new();
+                for (pname, expr, cspan) in named {
+                    match ports.iter().find(|p| &p.name == pname) {
+                        Some(port) => pairs.push((port, expr.as_ref(), *cspan)),
+                        None => self.error(
+                            codes::ELAB_PORT_MISMATCH,
+                            format!("module '{module_name}' has no port named '{pname}'"),
+                            *cspan,
+                        ),
+                    }
+                }
+                pairs
+            }
+        };
+        for (port, expr, cspan) in pairs {
+            let Some(&info) = child_scope.nets.get(&port.name) else { continue };
+            match (port.dir, expr) {
+                (PortDir::Input, Some(e)) => {
+                    let rhs = self.lower_expr(e, parent_scope);
+                    let lv = LValue::Net(info.id);
+                    let rhs = self.fit_expr(&lv, rhs, cspan);
+                    self.design.add_continuous_assign(lv, rhs);
+                }
+                (PortDir::Input, None) => {
+                    self.warning(
+                        codes::ELAB_PORT_MISMATCH,
+                        format!("input port '{}' is unconnected", port.name),
+                        cspan,
+                    );
+                }
+                (PortDir::Output, Some(e)) => {
+                    if let Some(lv) =
+                        self.lower_lvalue(e, parent_scope, AssignCtx::Continuous)
+                    {
+                        let rhs = self.fit_expr(&lv, Expr::Net(info.id), cspan);
+                        self.design.add_continuous_assign(lv, rhs);
+                    }
+                }
+                (PortDir::Output, None) | (PortDir::Inout, _) => {}
+            }
+        }
+    }
+
+    /// Adjusts `rhs` to the target width: context-determined operators
+    /// are widened recursively (matching IEEE 1364 context-determined
+    /// expression sizing), narrower self-determined values are
+    /// zero-padded, and truncation earns a Vivado-style warning.
+    fn fit_expr(&mut self, lv: &LValue, rhs: Expr, span: Span) -> Expr {
+        let lw = self.lvalue_width(lv);
+        let rw = self.expr_width(&rhs);
+        if rw > lw {
+            self.warning(
+                codes::WIDTH_MISMATCH,
+                format!(
+                    "assignment truncates a {rw}-bit expression to {lw} bits"
+                ),
+                span,
+            );
+            rhs
+        } else {
+            // Even at equal widths, context sizing must reach narrower
+            // inner operands (e.g. `credit + (dime << 1)` where `dime`
+            // is 1 bit): recurse unconditionally.
+            self.widen_expr(rhs, lw)
+        }
+    }
+
+    /// Recursively widens context-determined operators to `w` bits.
+    fn widen_expr(&self, e: Expr, w: u32) -> Expr {
+        let context_determined = matches!(
+            &e,
+            Expr::Const(_)
+                | Expr::Ternary { .. }
+                | Expr::Binary {
+                    op: BinaryOp::Add
+                        | BinaryOp::Sub
+                        | BinaryOp::Mul
+                        | BinaryOp::Div
+                        | BinaryOp::Rem
+                        | BinaryOp::And
+                        | BinaryOp::Or
+                        | BinaryOp::Xor
+                        | BinaryOp::Xnor
+                        | BinaryOp::Shl
+                        | BinaryOp::Shr,
+                    ..
+                }
+                | Expr::Unary { op: UnaryOp::Not | UnaryOp::Negate, .. }
+        );
+        if !context_determined {
+            return self.pad_expr(e, w);
+        }
+        match e {
+            Expr::Const(v) if v.width() >= w => Expr::Const(v),
+            Expr::Const(v) => Expr::Const(v.resize(w)),
+            Expr::Binary { op: op @ (BinaryOp::Shl | BinaryOp::Shr), lhs, rhs } => Expr::Binary {
+                op,
+                lhs: Box::new(self.widen_expr(*lhs, w)),
+                rhs,
+            },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op,
+                lhs: Box::new(self.widen_expr(*lhs, w)),
+                rhs: Box::new(self.widen_expr(*rhs, w)),
+            },
+            Expr::Unary { op, operand } => Expr::Unary {
+                op,
+                operand: Box::new(self.widen_expr(*operand, w)),
+            },
+            Expr::Ternary { cond, then, els } => Expr::Ternary {
+                cond,
+                then: Box::new(self.widen_expr(*then, w)),
+                els: Box::new(self.widen_expr(*els, w)),
+            },
+            other => self.pad_expr(other, w),
+        }
+    }
+
+    /// Zero-extends a self-determined expression by concatenating
+    /// leading zero bits.
+    fn pad_expr(&self, e: Expr, w: u32) -> Expr {
+        let cur = self.expr_width(&e);
+        if cur >= w {
+            return e;
+        }
+        Expr::Concat(vec![Expr::Const(LogicVec::zeros(w - cur)), e])
+    }
+
+    fn lvalue_width(&self, lv: &LValue) -> u32 {
+        match lv {
+            LValue::Net(id) => self.design.net(*id).width,
+            LValue::Range(_, msb, lsb) => msb - lsb + 1,
+            LValue::Index(_, _) => 1,
+            LValue::Concat(parts) => parts.iter().map(|p| self.lvalue_width(p)).sum(),
+        }
+    }
+
+    fn expr_width(&self, e: &Expr) -> u32 {
+        match e {
+            Expr::Const(v) => v.width(),
+            Expr::Net(id) => self.design.net(*id).width,
+            Expr::Index { .. } => 1,
+            Expr::Range { msb, lsb, .. } => msb - lsb + 1,
+            Expr::Unary { op, operand } => match op {
+                UnaryOp::Not | UnaryOp::Negate => self.expr_width(operand),
+                _ => 1,
+            },
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::CaseEq
+                | BinaryOp::CaseNe
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::LogicalAnd
+                | BinaryOp::LogicalOr => 1,
+                BinaryOp::Shl | BinaryOp::Shr => self.expr_width(lhs),
+                _ => self.expr_width(lhs).max(self.expr_width(rhs)),
+            },
+            Expr::Ternary { then, els, .. } => self.expr_width(then).max(self.expr_width(els)),
+            Expr::Concat(parts) => parts.iter().map(|p| self.expr_width(p)).sum(),
+            Expr::Repeat { count, operand } => count * self.expr_width(operand),
+            Expr::Time => 64,
+            Expr::EdgeFlag { .. } => 1,
+        }
+    }
+
+    // ---------------------------------------------------- const folding
+
+    fn eval_const(&mut self, e: &ast::Expr, scope: &Scope) -> Option<i64> {
+        match self.try_eval_const(e, scope) {
+            Some(v) => Some(v),
+            None => {
+                let span = e.span().unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
+                self.error(
+                    codes::VLOG_SYNTAX,
+                    "expected a constant expression".to_string(),
+                    span,
+                );
+                None
+            }
+        }
+    }
+
+    fn try_eval_const(&self, e: &ast::Expr, scope: &Scope) -> Option<i64> {
+        match e {
+            ast::Expr::Number { text, .. } => {
+                let v = crate::literal::try_parse_literal(text)?;
+                v.to_u64().map(|u| u as i64)
+            }
+            ast::Expr::Ident { name, .. } => scope.params.get(name).copied(),
+            ast::Expr::Unary { op, operand } => {
+                let v = self.try_eval_const(operand, scope)?;
+                Some(match op {
+                    UnOp::Negate => -v,
+                    UnOp::Not => !v,
+                    UnOp::LogicalNot => i64::from(v == 0),
+                    UnOp::Plus => v,
+                    _ => return None,
+                })
+            }
+            ast::Expr::Binary { op, lhs, rhs } => {
+                let a = self.try_eval_const(lhs, scope)?;
+                let b = self.try_eval_const(rhs, scope)?;
+                Some(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => a.checked_div(b)?,
+                    BinOp::Rem => a.checked_rem(b)?,
+                    BinOp::Shl => a.wrapping_shl(b as u32),
+                    BinOp::Shr => a.wrapping_shr(b as u32),
+                    BinOp::Pow => (a as f64).powi(b as i32) as i64,
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Eq => i64::from(a == b),
+                    BinOp::Ne => i64::from(a != b),
+                    BinOp::Lt => i64::from(a < b),
+                    BinOp::Le => i64::from(a <= b),
+                    BinOp::Gt => i64::from(a > b),
+                    BinOp::Ge => i64::from(a >= b),
+                    _ => return None,
+                })
+            }
+            ast::Expr::Ternary { cond, then, els } => {
+                let c = self.try_eval_const(cond, scope)?;
+                if c != 0 {
+                    self.try_eval_const(then, scope)
+                } else {
+                    self.try_eval_const(els, scope)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    // -------------------------------------------------------- lowering
+
+    fn lower_expr(&mut self, e: &ast::Expr, scope: &Scope) -> Expr {
+        match e {
+            ast::Expr::Number { text, span } => {
+                Expr::Const(parse_literal(text, *span, self.diags))
+            }
+            ast::Expr::Ident { name, span } => {
+                if let Some(&v) = scope.params.get(name) {
+                    return Expr::Const(LogicVec::from_u64(32, v as u64));
+                }
+                match scope.nets.get(name) {
+                    Some(info) => Expr::Net(info.id),
+                    None => {
+                        self.error(
+                            codes::VLOG_UNDECLARED,
+                            format!("'{name}' is not declared"),
+                            *span,
+                        );
+                        Expr::Const(LogicVec::xes(1))
+                    }
+                }
+            }
+            ast::Expr::Index { base, index } => {
+                if let ast::Expr::Ident { name, .. } = base.as_ref() {
+                    if let Some(mem) = scope.mems.get(name).cloned() {
+                        let idx = self.lower_expr(index, scope);
+                        return mem_read_mux(&mem, idx);
+                    }
+                }
+                let Some(net) = self.base_net(base, scope) else {
+                    return Expr::Const(LogicVec::xes(1));
+                };
+                let idx = self.lower_expr(index, scope);
+                Expr::Index { net, index: Box::new(idx) }
+            }
+            ast::Expr::RangeSel { base, msb, lsb } => {
+                let Some(net) = self.base_net(base, scope) else {
+                    return Expr::Const(LogicVec::xes(1));
+                };
+                let m = self.eval_const(msb, scope).unwrap_or(0).max(0) as u32;
+                let l = self.eval_const(lsb, scope).unwrap_or(0).max(0) as u32;
+                let (m, l) = if m >= l { (m, l) } else { (l, m) };
+                Expr::Range { net, msb: m, lsb: l }
+            }
+            ast::Expr::Unary { op, operand } => {
+                let inner = self.lower_expr(operand, scope);
+                let op = match op {
+                    UnOp::Not => UnaryOp::Not,
+                    UnOp::LogicalNot => UnaryOp::LogicalNot,
+                    UnOp::Negate => UnaryOp::Negate,
+                    UnOp::Plus => return inner,
+                    UnOp::ReduceAnd => UnaryOp::ReduceAnd,
+                    UnOp::ReduceOr => UnaryOp::ReduceOr,
+                    UnOp::ReduceXor => UnaryOp::ReduceXor,
+                    UnOp::ReduceNand => UnaryOp::ReduceNand,
+                    UnOp::ReduceNor => UnaryOp::ReduceNor,
+                    UnOp::ReduceXnor => UnaryOp::ReduceXnor,
+                };
+                Expr::Unary { op, operand: Box::new(inner) }
+            }
+            ast::Expr::Binary { op, lhs, rhs } => {
+                if *op == BinOp::Pow {
+                    // Support constant powers only (all the suite needs).
+                    if let Some(v) = self.try_eval_const(e, scope) {
+                        return Expr::Const(LogicVec::from_u64(32, v as u64));
+                    }
+                    let span = e.span().unwrap_or_else(|| {
+                        Span::file_start(aivril_hdl::source::FileId(0))
+                    });
+                    self.error(
+                        codes::VLOG_SYNTAX,
+                        "the power operator '**' requires constant operands".to_string(),
+                        span,
+                    );
+                    return Expr::Const(LogicVec::xes(32));
+                }
+                let l = self.lower_expr(lhs, scope);
+                let r = self.lower_expr(rhs, scope);
+                let op = match op {
+                    BinOp::And => BinaryOp::And,
+                    BinOp::Or => BinaryOp::Or,
+                    BinOp::Xor => BinaryOp::Xor,
+                    BinOp::Xnor => BinaryOp::Xnor,
+                    BinOp::LogicalAnd => BinaryOp::LogicalAnd,
+                    BinOp::LogicalOr => BinaryOp::LogicalOr,
+                    BinOp::Add => BinaryOp::Add,
+                    BinOp::Sub => BinaryOp::Sub,
+                    BinOp::Mul => BinaryOp::Mul,
+                    BinOp::Div => BinaryOp::Div,
+                    BinOp::Rem => BinaryOp::Rem,
+                    BinOp::Shl => BinaryOp::Shl,
+                    BinOp::Shr => BinaryOp::Shr,
+                    BinOp::Eq => BinaryOp::Eq,
+                    BinOp::Ne => BinaryOp::Ne,
+                    BinOp::CaseEq => BinaryOp::CaseEq,
+                    BinOp::CaseNe => BinaryOp::CaseNe,
+                    BinOp::Lt => BinaryOp::Lt,
+                    BinOp::Le => BinaryOp::Le,
+                    BinOp::Gt => BinaryOp::Gt,
+                    BinOp::Ge => BinaryOp::Ge,
+                    BinOp::Pow => unreachable!("handled above"),
+                };
+                Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) }
+            }
+            ast::Expr::Ternary { cond, then, els } => Expr::Ternary {
+                cond: Box::new(self.lower_expr(cond, scope)),
+                then: Box::new(self.lower_expr(then, scope)),
+                els: Box::new(self.lower_expr(els, scope)),
+            },
+            ast::Expr::Concat(parts) => {
+                Expr::Concat(parts.iter().map(|p| self.lower_expr(p, scope)).collect())
+            }
+            ast::Expr::Repeat { count, value } => {
+                let n = self.eval_const(count, scope).unwrap_or(1).max(1) as u32;
+                Expr::Repeat { count: n, operand: Box::new(self.lower_expr(value, scope)) }
+            }
+            ast::Expr::Time { .. } => Expr::Time,
+            ast::Expr::Call { name, span, .. } => {
+                self.error(
+                    codes::VLOG_SYNTAX,
+                    format!(
+                        "function call '{name}(...)' is not allowed in this context \
+                         (functions are supported in procedural code and continuous assignments)"
+                    ),
+                    *span,
+                );
+                Expr::Const(LogicVec::xes(1))
+            }
+        }
+    }
+
+    /// Lowers an expression in a statement context, inlining any
+    /// function calls into `b` (temporaries + the function body) and
+    /// substituting the call site with the return temporary.
+    fn lower_expr_proc(&mut self, e: &ast::Expr, scope: &Scope, b: &mut Builder) -> Expr {
+        if !expr_contains_call(e) {
+            return self.lower_expr(e, scope);
+        }
+        match e {
+            ast::Expr::Call { name, args, span } => self.inline_call(name, args, *span, scope, b),
+            ast::Expr::Unary { op, operand } => {
+                let inner = self.lower_expr_proc(operand, scope, b);
+                match unop_of(*op) {
+                    Some(op) => Expr::Unary { op, operand: Box::new(inner) },
+                    None => inner, // unary `+` is the identity
+                }
+            }
+            ast::Expr::Binary { op, lhs, rhs } => {
+                let l = self.lower_expr_proc(lhs, scope, b);
+                let r = self.lower_expr_proc(rhs, scope, b);
+                match binop_of(*op) {
+                    Some(op) => Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    None => {
+                        let span = e.span().unwrap_or_else(|| {
+                            Span::file_start(aivril_hdl::source::FileId(0))
+                        });
+                        self.error(
+                            codes::VLOG_SYNTAX,
+                            "the power operator '**' cannot take function-call operands"
+                                .to_string(),
+                            span,
+                        );
+                        Expr::Const(LogicVec::xes(32))
+                    }
+                }
+            }
+            ast::Expr::Ternary { cond, then, els } => Expr::Ternary {
+                cond: Box::new(self.lower_expr_proc(cond, scope, b)),
+                then: Box::new(self.lower_expr_proc(then, scope, b)),
+                els: Box::new(self.lower_expr_proc(els, scope, b)),
+            },
+            ast::Expr::Concat(parts) => Expr::Concat(
+                parts
+                    .iter()
+                    .map(|p| self.lower_expr_proc(p, scope, b))
+                    .collect(),
+            ),
+            ast::Expr::Repeat { count, value } => {
+                let n = self.eval_const(count, scope).unwrap_or(1).max(1) as u32;
+                Expr::Repeat {
+                    count: n,
+                    operand: Box::new(self.lower_expr_proc(value, scope, b)),
+                }
+            }
+            ast::Expr::Index { base, index } => {
+                if let ast::Expr::Ident { name, .. } = base.as_ref() {
+                    if let Some(mem) = scope.mems.get(name).cloned() {
+                        let idx = self.lower_expr_proc(index, scope, b);
+                        return mem_read_mux(&mem, idx);
+                    }
+                }
+                let Some(net) = self.base_net(base, scope) else {
+                    return Expr::Const(LogicVec::xes(1));
+                };
+                let idx = self.lower_expr_proc(index, scope, b);
+                Expr::Index { net, index: Box::new(idx) }
+            }
+            other => self.lower_expr(other, scope),
+        }
+    }
+
+    /// Inlines one function call: binds arguments to fresh temporaries,
+    /// compiles the function body with the argument/return overlay, and
+    /// returns the return temporary.
+    fn inline_call(
+        &mut self,
+        name: &str,
+        args: &[ast::Expr],
+        span: Span,
+        scope: &Scope,
+        b: &mut Builder,
+    ) -> Expr {
+        let Some(sig) = scope.functions.get(name).cloned() else {
+            self.error(
+                codes::VLOG_UNDECLARED,
+                format!("'{name}' is not a declared function"),
+                span,
+            );
+            return Expr::Const(LogicVec::xes(1));
+        };
+        if args.len() != sig.inputs.len() {
+            self.error(
+                codes::ELAB_PORT_MISMATCH,
+                format!(
+                    "function '{name}' takes {} argument(s), {} given",
+                    sig.inputs.len(),
+                    args.len()
+                ),
+                span,
+            );
+            return Expr::Const(LogicVec::xes(sig.width));
+        }
+        if self.inline_depth >= 16 {
+            self.error(
+                codes::VLOG_SYNTAX,
+                format!("function '{name}': call nesting exceeds 16 (recursion?)"),
+                span,
+            );
+            return Expr::Const(LogicVec::xes(sig.width));
+        }
+        self.inline_counter += 1;
+        let uid = self.inline_counter;
+        // Overlay scope: arguments and the return variable shadow module
+        // names; everything else (nets, params, functions) stays visible.
+        let mut inner = Scope {
+            prefix: scope.prefix.clone(),
+            params: scope.params.clone(),
+            nets: scope.nets.clone(),
+            functions: scope.functions.clone(),
+            mems: scope.mems.clone(),
+        };
+        for ((arg_name, width), arg_expr) in sig.inputs.iter().zip(args) {
+            let id = self.design.add_net(Net {
+                name: format!("{}$fn{uid}${arg_name}", scope.prefix),
+                width: *width,
+                kind: NetKind::Reg,
+                init: None,
+            });
+            let value = self.lower_expr_proc(arg_expr, scope, b);
+            let lv = LValue::Net(id);
+            let value = self.fit_expr(&lv, value, span);
+            b.emit(Instr::BlockingAssign { lvalue: lv, expr: value });
+            inner.nets.insert(arg_name.clone(), NetInfo { id, net_type: NetType::Reg });
+        }
+        let ret = self.design.add_net(Net {
+            name: format!("{}$fn{uid}$return", scope.prefix),
+            width: sig.width,
+            kind: NetKind::Reg,
+            init: None,
+        });
+        inner
+            .nets
+            .insert(name.to_string(), NetInfo { id: ret, net_type: NetType::Reg });
+        let body_start = b.here();
+        self.inline_depth += 1;
+        self.compile_stmt(&sig.body, &inner, b);
+        self.inline_depth -= 1;
+        // IEEE 1364 §10.3.4: function bodies may not contain timing
+        // controls or nonblocking assignments.
+        if b.instrs[body_start..].iter().any(|i| {
+            matches!(
+                i,
+                Instr::Delay { .. } | Instr::WaitEvent { .. } | Instr::NonblockingAssign { .. }
+            )
+        }) {
+            self.error(
+                codes::VLOG_SYNTAX,
+                format!(
+                    "function '{name}' contains timing controls or nonblocking \
+                     assignments, which functions may not use"
+                ),
+                span,
+            );
+        }
+        Expr::Net(ret)
+    }
+
+    /// Resolves the base of a select, which must be a plain identifier.
+    fn base_net(&mut self, base: &ast::Expr, scope: &Scope) -> Option<NetId> {
+        match base {
+            ast::Expr::Ident { name, span } => match scope.nets.get(name) {
+                Some(info) => Some(info.id),
+                None => {
+                    self.error(
+                        codes::VLOG_UNDECLARED,
+                        format!("'{name}' is not declared"),
+                        *span,
+                    );
+                    None
+                }
+            },
+            other => {
+                let span = other
+                    .span()
+                    .unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
+                self.error(
+                    codes::VLOG_SYNTAX,
+                    "bit/part select base must be a simple identifier".to_string(),
+                    span,
+                );
+                None
+            }
+        }
+    }
+
+    fn lower_lvalue(
+        &mut self,
+        e: &ast::Expr,
+        scope: &Scope,
+        ctx: AssignCtx,
+    ) -> Option<LValue> {
+        match e {
+            ast::Expr::Ident { name, span } => {
+                let info = self.lvalue_net(name, *span, scope, ctx)?;
+                Some(LValue::Net(info.id))
+            }
+            ast::Expr::Index { base, index } => {
+                let (name, span) = ident_of(base)?;
+                let info = self.lvalue_net(name, span, scope, ctx)?;
+                let idx = self.lower_expr(index, scope);
+                Some(LValue::Index(info.id, idx))
+            }
+            ast::Expr::RangeSel { base, msb, lsb } => {
+                let (name, span) = ident_of(base)?;
+                let info = self.lvalue_net(name, span, scope, ctx)?;
+                let m = self.eval_const(msb, scope)?.max(0) as u32;
+                let l = self.eval_const(lsb, scope)?.max(0) as u32;
+                let (m, l) = if m >= l { (m, l) } else { (l, m) };
+                Some(LValue::Range(info.id, m, l))
+            }
+            ast::Expr::Concat(parts) => {
+                let mut lvs = Vec::new();
+                for p in parts {
+                    lvs.push(self.lower_lvalue(p, scope, ctx)?);
+                }
+                Some(LValue::Concat(lvs))
+            }
+            other => {
+                let span = other
+                    .span()
+                    .unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
+                self.error(
+                    codes::VLOG_BAD_ASSIGN,
+                    "illegal assignment target".to_string(),
+                    span,
+                );
+                None
+            }
+        }
+    }
+
+    fn lvalue_net(
+        &mut self,
+        name: &str,
+        span: Span,
+        scope: &Scope,
+        ctx: AssignCtx,
+    ) -> Option<NetInfo> {
+        let Some(&info) = scope.nets.get(name) else {
+            self.error(codes::VLOG_UNDECLARED, format!("'{name}' is not declared"), span);
+            return None;
+        };
+        match (ctx, info.net_type) {
+            (AssignCtx::Continuous, NetType::Reg) => {
+                self.error(
+                    codes::VLOG_BAD_ASSIGN,
+                    format!("continuous assignment to reg '{name}' is illegal"),
+                    span,
+                );
+                None
+            }
+            (AssignCtx::Procedural, NetType::Wire) => {
+                self.error(
+                    codes::VLOG_BAD_ASSIGN,
+                    format!("procedural assignment to wire '{name}' is illegal (declare it as reg)"),
+                    span,
+                );
+                None
+            }
+            _ => Some(info),
+        }
+    }
+
+    // ------------------------------------------------- statement compile
+
+    fn compile_always(
+        &mut self,
+        events: &Option<Vec<EventExpr>>,
+        body: &ast::Stmt,
+        scope: &Scope,
+        span: Span,
+    ) {
+        let mut b = Builder::default();
+        match events {
+            Some(list) if !list.is_empty() => {
+                let triggers = self.lower_events(list, scope);
+                b.emit(Instr::WaitEvent { triggers });
+                self.compile_stmt(body, scope, &mut b);
+                b.emit(Instr::Jump(0));
+            }
+            Some(_) => {
+                // @* — infer sensitivity from every net the body reads.
+                let wait_slot = b.emit(Instr::WaitEvent { triggers: Vec::new() });
+                self.compile_stmt(body, scope, &mut b);
+                b.emit(Instr::Jump(0));
+                let mut reads = Vec::new();
+                collect_instr_reads(&b.instrs, &mut reads);
+                reads.sort_unstable();
+                reads.dedup();
+                if reads.is_empty() {
+                    self.warning(
+                        codes::SIM_RUNTIME,
+                        "always @* block reads no signals; it will run once".to_string(),
+                        span,
+                    );
+                }
+                let triggers = reads.into_iter().map(Trigger::AnyChange).collect();
+                b.instrs[wait_slot] = Instr::WaitEvent { triggers };
+            }
+            None => {
+                self.compile_stmt(body, scope, &mut b);
+                b.emit(Instr::Jump(0));
+                // An always block with no timing control at all would spin
+                // forever within one time step: reject it, as linting
+                // compilers do.
+                let has_timing = b
+                    .instrs
+                    .iter()
+                    .any(|i| matches!(i, Instr::Delay { .. } | Instr::WaitEvent { .. }));
+                if !has_timing {
+                    self.error(
+                        codes::VLOG_SYNTAX,
+                        "always block contains no timing control (# or @)".to_string(),
+                        span,
+                    );
+                }
+            }
+        }
+        self.design.add_process(Process {
+            name: format!("{}always@{}", scope.prefix, span_line(span)),
+            kind: ProcessKind::Always,
+            body: b.instrs,
+        });
+    }
+
+    fn lower_events(&mut self, list: &[EventExpr], scope: &Scope) -> Vec<Trigger> {
+        let mut triggers = Vec::new();
+        for ev in list {
+            let (expr, ctor): (&ast::Expr, fn(NetId) -> Trigger) = match ev {
+                EventExpr::Posedge(e) => (e, Trigger::Posedge),
+                EventExpr::Negedge(e) => (e, Trigger::Negedge),
+                EventExpr::Any(e) => (e, Trigger::AnyChange),
+            };
+            match expr {
+                ast::Expr::Ident { name, span } => match scope.nets.get(name) {
+                    Some(info) => triggers.push(ctor(info.id)),
+                    None => self.error(
+                        codes::VLOG_UNDECLARED,
+                        format!("'{name}' is not declared"),
+                        *span,
+                    ),
+                },
+                other => {
+                    let span = other
+                        .span()
+                        .unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
+                    self.error(
+                        codes::VLOG_SYNTAX,
+                        "event expression must be a simple signal name".to_string(),
+                        span,
+                    );
+                }
+            }
+        }
+        triggers
+    }
+
+    fn compile_stmt(&mut self, stmt: &ast::Stmt, scope: &Scope, b: &mut Builder) {
+        match stmt {
+            ast::Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.compile_stmt(s, scope, b);
+                }
+            }
+            ast::Stmt::Blocking { target, value, span } => {
+                let expr = self.lower_expr_proc(value, scope, b);
+                if self.try_mem_write(target, expr.clone(), false, *span, scope, b) {
+                    return;
+                }
+                if let Some(lv) = self.lower_lvalue(target, scope, AssignCtx::Procedural) {
+                    let expr = self.fit_expr(&lv, expr, *span);
+                    b.emit(Instr::BlockingAssign { lvalue: lv, expr });
+                }
+            }
+            ast::Stmt::Nonblocking { target, value, span } => {
+                let expr = self.lower_expr_proc(value, scope, b);
+                if self.try_mem_write(target, expr.clone(), true, *span, scope, b) {
+                    return;
+                }
+                if let Some(lv) = self.lower_lvalue(target, scope, AssignCtx::Procedural) {
+                    let expr = self.fit_expr(&lv, expr, *span);
+                    b.emit(Instr::NonblockingAssign { lvalue: lv, expr });
+                }
+            }
+            ast::Stmt::If { cond, then, els } => {
+                let c = self.lower_expr_proc(cond, scope, b);
+                let branch = b.emit_branch(c);
+                self.compile_stmt(then, scope, b);
+                match els {
+                    Some(e) => {
+                        let jump_end = b.emit(Instr::Jump(usize::MAX));
+                        b.patch(branch, b.here());
+                        self.compile_stmt(e, scope, b);
+                        b.patch(jump_end, b.here());
+                    }
+                    None => b.patch(branch, b.here()),
+                }
+            }
+            ast::Stmt::Case { subject, arms, default, wildcard, span } => {
+                self.compile_case(subject, arms, default.as_deref(), *wildcard, *span, scope, b);
+            }
+            ast::Stmt::For { init, cond, step, body } => {
+                self.compile_stmt(
+                    &ast::Stmt::Blocking {
+                        target: init.0.clone(),
+                        value: init.1.clone(),
+                        span: Span::file_start(aivril_hdl::source::FileId(0)),
+                    },
+                    scope,
+                    b,
+                );
+                let head = b.here();
+                let c = self.lower_expr_proc(cond, scope, b);
+                let exit = b.emit_branch(c);
+                self.compile_stmt(body, scope, b);
+                self.compile_stmt(
+                    &ast::Stmt::Blocking {
+                        target: step.0.clone(),
+                        value: step.1.clone(),
+                        span: Span::file_start(aivril_hdl::source::FileId(0)),
+                    },
+                    scope,
+                    b,
+                );
+                b.emit(Instr::Jump(head));
+                b.patch(exit, b.here());
+            }
+            ast::Stmt::While { cond, body } => {
+                let head = b.here();
+                let c = self.lower_expr_proc(cond, scope, b);
+                let exit = b.emit_branch(c);
+                self.compile_stmt(body, scope, b);
+                b.emit(Instr::Jump(head));
+                b.patch(exit, b.here());
+            }
+            ast::Stmt::Repeat { count, body } => {
+                // Dedicated hidden counter so nested repeats don't clash.
+                let counter = self.design.add_net(Net {
+                    name: format!("{}$repeat{}", scope.prefix, self.design.nets.len()),
+                    width: 32,
+                    kind: NetKind::Reg,
+                    init: Some(LogicVec::zeros(32)),
+                });
+                let n = self.lower_expr(count, scope);
+                b.emit(Instr::BlockingAssign { lvalue: LValue::Net(counter), expr: n });
+                let head = b.here();
+                let cond = Expr::Binary {
+                    op: BinaryOp::Gt,
+                    lhs: Box::new(Expr::Net(counter)),
+                    rhs: Box::new(Expr::constant(32, 0)),
+                };
+                let exit = b.emit_branch(cond);
+                self.compile_stmt(body, scope, b);
+                b.emit(Instr::BlockingAssign {
+                    lvalue: LValue::Net(counter),
+                    expr: Expr::Binary {
+                        op: BinaryOp::Sub,
+                        lhs: Box::new(Expr::Net(counter)),
+                        rhs: Box::new(Expr::constant(32, 1)),
+                    },
+                });
+                b.emit(Instr::Jump(head));
+                b.patch(exit, b.here());
+            }
+            ast::Stmt::Forever { body } => {
+                let head = b.here();
+                self.compile_stmt(body, scope, b);
+                b.emit(Instr::Jump(head));
+            }
+            ast::Stmt::Delay { amount, then } => {
+                let amt = self.lower_expr(amount, scope);
+                b.emit(Instr::Delay { amount: amt });
+                if let Some(s) = then {
+                    self.compile_stmt(s, scope, b);
+                }
+            }
+            ast::Stmt::EventControl { events, then } => {
+                if events.is_empty() {
+                    self.error(
+                        codes::VLOG_SYNTAX,
+                        "@* is only supported at the top of an always block".to_string(),
+                        Span::file_start(aivril_hdl::source::FileId(0)),
+                    );
+                } else {
+                    let triggers = self.lower_events(events, scope);
+                    b.emit(Instr::WaitEvent { triggers });
+                }
+                if let Some(s) = then {
+                    self.compile_stmt(s, scope, b);
+                }
+            }
+            ast::Stmt::WaitCond { cond, then } => {
+                // head: if (cond) goto end; wait(any net in cond); goto head;
+                let c = self.lower_expr(cond, scope);
+                let mut reads = Vec::new();
+                c.collect_reads(&mut reads);
+                reads.sort_unstable();
+                reads.dedup();
+                let head = b.here();
+                let to_wait = b.emit_branch(c);
+                let jump_end = b.emit(Instr::Jump(usize::MAX));
+                b.patch(to_wait, b.here());
+                b.emit(Instr::WaitEvent {
+                    triggers: reads.into_iter().map(Trigger::AnyChange).collect(),
+                });
+                b.emit(Instr::Jump(head));
+                b.patch(jump_end, b.here());
+                if let Some(s) = then {
+                    self.compile_stmt(s, scope, b);
+                }
+            }
+            ast::Stmt::SysCall { name, args, span } => {
+                self.compile_syscall(name, args, *span, scope, b);
+            }
+            ast::Stmt::Null => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the AST node's fields
+    /// Compiles `mem[addr] = v` / `mem[addr] <= v` as a per-element
+    /// conditional write (address demultiplexer). Returns `false` when
+    /// the target is not a memory element.
+    #[allow(clippy::too_many_arguments)] // one logical operation, many facets
+    fn try_mem_write(
+        &mut self,
+        target: &ast::Expr,
+        value: Expr,
+        nonblocking: bool,
+        span: Span,
+        scope: &Scope,
+        b: &mut Builder,
+    ) -> bool {
+        let ast::Expr::Index { base, index } = target else { return false };
+        let ast::Expr::Ident { name, .. } = base.as_ref() else { return false };
+        let Some(mem) = scope.mems.get(name).cloned() else { return false };
+        let idx = self.lower_expr_proc(index, scope, b);
+        // Evaluate address and data once into temporaries so the demux
+        // arms agree even if the expressions have function calls.
+        self.inline_counter += 1;
+        let uid = self.inline_counter;
+        let addr_net = self.design.add_net(Net {
+            name: format!("{}$mem{uid}$addr", scope.prefix),
+            width: 32,
+            kind: NetKind::Reg,
+            init: None,
+        });
+        let nw = |id: NetId| self.design.net(id).width;
+        b.emit(Instr::BlockingAssign {
+            lvalue: LValue::Net(addr_net),
+            expr: idx.padded_to(32, &nw),
+        });
+        let data_net = self.design.add_net(Net {
+            name: format!("{}$mem{uid}$data", scope.prefix),
+            width: mem.width,
+            kind: NetKind::Reg,
+            init: None,
+        });
+        let data_lv = LValue::Net(data_net);
+        let value = self.fit_expr(&data_lv, value, span);
+        b.emit(Instr::BlockingAssign { lvalue: data_lv, expr: value });
+        for (k, id) in mem.elems.iter().enumerate() {
+            let addr = mem.base + k as i64;
+            let cond = Expr::Binary {
+                op: BinaryOp::Eq,
+                lhs: Box::new(Expr::Net(addr_net)),
+                rhs: Box::new(Expr::constant(32, addr as u64)),
+            };
+            let skip = b.emit_branch(cond);
+            let instr = if nonblocking {
+                Instr::NonblockingAssign { lvalue: LValue::Net(*id), expr: Expr::Net(data_net) }
+            } else {
+                Instr::BlockingAssign { lvalue: LValue::Net(*id), expr: Expr::Net(data_net) }
+            };
+            b.emit(instr);
+            b.patch(skip, b.here());
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the AST node's fields
+    fn compile_case(
+        &mut self,
+        subject: &ast::Expr,
+        arms: &[(Vec<ast::Expr>, ast::Stmt)],
+        default: Option<&ast::Stmt>,
+        wildcard: bool,
+        span: Span,
+        scope: &Scope,
+        b: &mut Builder,
+    ) {
+        let subj = self.lower_expr(subject, scope);
+        let mut end_jumps = Vec::new();
+        for (labels, body) in arms {
+            let mut cond: Option<Expr> = None;
+            for label in labels {
+                let c = if wildcard {
+                    // casez/casex: constant label with z/?/x as don't-care.
+                    match label {
+                        ast::Expr::Number { text, span } => {
+                            let lit = parse_literal(text, *span, self.diags);
+                            let width = lit.width();
+                            let mut mask = LogicVec::zeros(width);
+                            let mut want = LogicVec::zeros(width);
+                            for i in 0..width {
+                                match lit.get(i) {
+                                    Logic::Zero => mask.set(i, Logic::One),
+                                    Logic::One => {
+                                        mask.set(i, Logic::One);
+                                        want.set(i, Logic::One);
+                                    }
+                                    Logic::X | Logic::Z => {}
+                                }
+                            }
+                            Expr::Binary {
+                                op: BinaryOp::CaseEq,
+                                lhs: Box::new(Expr::Binary {
+                                    op: BinaryOp::And,
+                                    lhs: Box::new(subj.clone()),
+                                    rhs: Box::new(Expr::Const(mask)),
+                                }),
+                                rhs: Box::new(Expr::Const(want)),
+                            }
+                        }
+                        other => {
+                            let s = other.span().unwrap_or(span);
+                            self.error(
+                                codes::VLOG_SYNTAX,
+                                "casez/casex labels must be constant literals".to_string(),
+                                s,
+                            );
+                            Expr::constant(1, 0)
+                        }
+                    }
+                } else {
+                    Expr::Binary {
+                        op: BinaryOp::CaseEq,
+                        lhs: Box::new(subj.clone()),
+                        rhs: Box::new(self.lower_expr(label, scope)),
+                    }
+                };
+                cond = Some(match cond {
+                    None => c,
+                    Some(prev) => Expr::Binary {
+                        op: BinaryOp::LogicalOr,
+                        lhs: Box::new(prev),
+                        rhs: Box::new(c),
+                    },
+                });
+            }
+            let cond = cond.unwrap_or_else(|| Expr::constant(1, 0));
+            let skip = b.emit_branch(cond);
+            self.compile_stmt(body, scope, b);
+            end_jumps.push(b.emit(Instr::Jump(usize::MAX)));
+            b.patch(skip, b.here());
+        }
+        if let Some(d) = default {
+            self.compile_stmt(d, scope, b);
+        }
+        for j in end_jumps {
+            b.patch(j, b.here());
+        }
+    }
+
+    fn compile_syscall(
+        &mut self,
+        name: &str,
+        args: &[ast::SysArg],
+        span: Span,
+        scope: &Scope,
+        b: &mut Builder,
+    ) {
+        let kind = match name {
+            "$display" | "$strobe" => SysTaskKind::Display,
+            "$monitor" => SysTaskKind::Monitor,
+            "$write" => SysTaskKind::Write,
+            "$error" => SysTaskKind::Error,
+            "$fatal" => SysTaskKind::Fatal,
+            "$finish" | "$stop" => SysTaskKind::Finish,
+            other => {
+                self.warning(
+                    codes::SIM_RUNTIME,
+                    format!("system task '{other}' is not supported and will be ignored"),
+                    span,
+                );
+                return;
+            }
+        };
+        let mut format = None;
+        let mut exprs = Vec::new();
+        for (i, arg) in args.iter().enumerate() {
+            match arg {
+                ast::SysArg::Str(s) if i == 0 => format = Some(s.clone()),
+                ast::SysArg::Str(s) => {
+                    // Non-leading strings print literally: fold into format.
+                    match &mut format {
+                        Some(f) => f.push_str(s),
+                        None => format = Some(s.clone()),
+                    }
+                }
+                ast::SysArg::Expr(e) => exprs.push(self.lower_expr_proc(e, scope, b)),
+            }
+        }
+        // $fatal's first argument may be a finish-code number.
+        if kind == SysTaskKind::Fatal && format.is_none() && exprs.len() == 1 {
+            exprs.clear();
+        }
+        b.emit(Instr::SysCall { kind, format, args: exprs });
+    }
+}
+
+struct PortBinding<'a, 's> {
+    connections: &'a Connections,
+    parent_scope: &'s Scope,
+    span: Span,
+}
+
+fn ident_of(e: &ast::Expr) -> Option<(&str, Span)> {
+    match e {
+        ast::Expr::Ident { name, span } => Some((name, *span)),
+        _ => None,
+    }
+}
+
+fn span_line(span: Span) -> u32 {
+    // Best-effort debug tag; real line numbers come from the SourceMap
+    // when diagnostics render.
+    span.start
+}
+
+#[derive(Default)]
+struct Builder {
+    instrs: Vec<Instr>,
+}
+
+impl Builder {
+    fn emit(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    fn emit_branch(&mut self, cond: Expr) -> usize {
+        self.emit(Instr::BranchIfFalse { cond, target: usize::MAX })
+    }
+
+    fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        match &mut self.instrs[at] {
+            Instr::Jump(t) => *t = target,
+            Instr::BranchIfFalse { target: t, .. } => *t = target,
+            other => unreachable!("patched a non-branch instruction: {other:?}"),
+        }
+    }
+}
+
+/// Builds the read multiplexer for `mem[idx]`: a ternary chain over the
+/// element nets; out-of-range addresses read all-`X`, like real memory
+/// models.
+fn mem_read_mux(mem: &MemInfo, idx: Expr) -> Expr {
+    let mut out = Expr::Const(LogicVec::xes(mem.width));
+    for (k, id) in mem.elems.iter().enumerate().rev() {
+        let addr = mem.base + k as i64;
+        out = Expr::Ternary {
+            cond: Box::new(Expr::Binary {
+                op: BinaryOp::Eq,
+                lhs: Box::new(idx.clone()),
+                rhs: Box::new(Expr::constant(32, addr as u64)),
+            }),
+            then: Box::new(Expr::Net(*id)),
+            els: Box::new(out),
+        };
+    }
+    out
+}
+
+/// `true` when the AST expression contains a function call anywhere.
+fn expr_contains_call(e: &ast::Expr) -> bool {
+    match e {
+        ast::Expr::Call { .. } => true,
+        ast::Expr::Unary { operand, .. } => expr_contains_call(operand),
+        ast::Expr::Binary { lhs, rhs, .. } => {
+            expr_contains_call(lhs) || expr_contains_call(rhs)
+        }
+        ast::Expr::Ternary { cond, then, els } => {
+            expr_contains_call(cond) || expr_contains_call(then) || expr_contains_call(els)
+        }
+        ast::Expr::Concat(parts) => parts.iter().any(expr_contains_call),
+        ast::Expr::Repeat { count, value } => {
+            expr_contains_call(count) || expr_contains_call(value)
+        }
+        ast::Expr::Index { base, index } => {
+            expr_contains_call(base) || expr_contains_call(index)
+        }
+        ast::Expr::RangeSel { base, msb, lsb } => {
+            expr_contains_call(base) || expr_contains_call(msb) || expr_contains_call(lsb)
+        }
+        ast::Expr::Number { .. } | ast::Expr::Ident { .. } | ast::Expr::Time { .. } => false,
+    }
+}
+
+/// AST → IR unary-operator mapping (`None` for the identity `+`).
+fn unop_of(op: UnOp) -> Option<UnaryOp> {
+    Some(match op {
+        UnOp::Not => UnaryOp::Not,
+        UnOp::LogicalNot => UnaryOp::LogicalNot,
+        UnOp::Negate => UnaryOp::Negate,
+        UnOp::Plus => return None,
+        UnOp::ReduceAnd => UnaryOp::ReduceAnd,
+        UnOp::ReduceOr => UnaryOp::ReduceOr,
+        UnOp::ReduceXor => UnaryOp::ReduceXor,
+        UnOp::ReduceNand => UnaryOp::ReduceNand,
+        UnOp::ReduceNor => UnaryOp::ReduceNor,
+        UnOp::ReduceXnor => UnaryOp::ReduceXnor,
+    })
+}
+
+/// AST → IR binary-operator mapping (`None` for `**`, which only exists
+/// as a constant fold).
+fn binop_of(op: BinOp) -> Option<BinaryOp> {
+    Some(match op {
+        BinOp::And => BinaryOp::And,
+        BinOp::Or => BinaryOp::Or,
+        BinOp::Xor => BinaryOp::Xor,
+        BinOp::Xnor => BinaryOp::Xnor,
+        BinOp::LogicalAnd => BinaryOp::LogicalAnd,
+        BinOp::LogicalOr => BinaryOp::LogicalOr,
+        BinOp::Add => BinaryOp::Add,
+        BinOp::Sub => BinaryOp::Sub,
+        BinOp::Mul => BinaryOp::Mul,
+        BinOp::Div => BinaryOp::Div,
+        BinOp::Rem => BinaryOp::Rem,
+        BinOp::Pow => return None,
+        BinOp::Shl => BinaryOp::Shl,
+        BinOp::Shr => BinaryOp::Shr,
+        BinOp::Eq => BinaryOp::Eq,
+        BinOp::Ne => BinaryOp::Ne,
+        BinOp::CaseEq => BinaryOp::CaseEq,
+        BinOp::CaseNe => BinaryOp::CaseNe,
+        BinOp::Lt => BinaryOp::Lt,
+        BinOp::Le => BinaryOp::Le,
+        BinOp::Gt => BinaryOp::Gt,
+        BinOp::Ge => BinaryOp::Ge,
+    })
+}
+
+/// Collects every net read by the instructions (for `@*` inference).
+fn collect_instr_reads(instrs: &[Instr], out: &mut Vec<NetId>) {
+    for i in instrs {
+        match i {
+            Instr::BlockingAssign { lvalue, expr } | Instr::NonblockingAssign { lvalue, expr } => {
+                expr.collect_reads(out);
+                if let LValue::Index(_, idx) = lvalue {
+                    idx.collect_reads(out);
+                }
+            }
+            Instr::Delay { amount } => amount.collect_reads(out),
+            Instr::BranchIfFalse { cond, .. } => cond.collect_reads(out),
+            Instr::SysCall { args, .. } => {
+                for a in args {
+                    a.collect_reads(out);
+                }
+            }
+            Instr::WaitEvent { .. } | Instr::Jump(_) | Instr::Halt => {}
+        }
+    }
+}

@@ -1,0 +1,1194 @@
+//! Recursive-descent parser for the Verilog-2001 subset.
+//!
+//! The parser is resilient: syntax errors are recorded as Vivado-style
+//! diagnostics and parsing resynchronises at `;` / `endmodule`
+//! boundaries, so a single fault produces a focused log rather than an
+//! avalanche — important for the quality of the Review Agent's
+//! corrective prompts.
+
+use crate::ast::*;
+use crate::token::{Keyword as Kw, Punct, Token, TokenKind};
+use aivril_hdl::diag::{codes, Diagnostic, Diagnostics};
+use aivril_hdl::source::Span;
+
+/// Parses a token stream into modules, appending errors to `diags`.
+pub fn parse(tokens: Vec<Token>, diags: &mut Diagnostics) -> SourceUnit {
+    let mut p = Parser { tokens, pos: 0, diags };
+    let mut unit = SourceUnit::default();
+    while !p.at_eof() {
+        if p.eat_kw(Kw::Module) {
+            if let Some(m) = p.parse_module() {
+                unit.modules.push(m);
+            }
+        } else {
+            let tok = p.peek().clone();
+            p.error(format!("expected 'module', found {}", tok.describe()), tok.span);
+            p.bump();
+            // Skip forward to the next 'module'.
+            while !p.at_eof() && !p.check_kw(Kw::Module) {
+                p.bump();
+            }
+        }
+    }
+    unit
+}
+
+struct Parser<'d> {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: &'d mut Diagnostics,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, p: Punct) -> bool {
+        self.peek().kind == TokenKind::Punct(p)
+    }
+
+    fn check_kw(&self, k: Kw) -> bool {
+        self.peek().kind == TokenKind::Keyword(k)
+    }
+
+    fn eat(&mut self, p: Punct) -> bool {
+        if self.check(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.check_kw(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&mut self, message: String, span: Span) {
+        // Cap the error count so corrupted files produce focused logs.
+        if self.diags.error_count() < 20 {
+            self.diags.push(Diagnostic::error(codes::VLOG_SYNTAX, message, span));
+        }
+    }
+
+    fn expect(&mut self, p: Punct) -> Option<Token> {
+        if self.check(p) {
+            return Some(self.bump());
+        }
+        let tok = self.peek().clone();
+        self.error(format!("expected '{p}', found {}", tok.describe()), tok.span);
+        None
+    }
+
+    fn expect_ident(&mut self) -> Option<(String, Span)> {
+        if self.peek().kind == TokenKind::Ident {
+            let t = self.bump();
+            return Some((t.text, t.span));
+        }
+        let tok = self.peek().clone();
+        self.error(format!("expected identifier, found {}", tok.describe()), tok.span);
+        None
+    }
+
+    /// Skips tokens until after the next `;`, or until a module boundary.
+    fn sync_to_semi(&mut self) {
+        while !self.at_eof() {
+            if self.eat(Punct::Semi) {
+                return;
+            }
+            if self.check_kw(Kw::Endmodule) || self.check_kw(Kw::Module) {
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    // ------------------------------------------------------ module level
+
+    fn parse_module(&mut self) -> Option<Module> {
+        let (name, span) = self.expect_ident()?;
+        let mut params = Vec::new();
+        let mut ports = Vec::new();
+        let mut nonansi_ports = Vec::new();
+        if self.eat(Punct::Hash) {
+            self.expect(Punct::LParen)?;
+            self.parse_param_list(&mut params);
+            self.expect(Punct::RParen);
+        }
+        if self.eat(Punct::LParen) {
+            // A header whose first entry is a bare identifier is the
+            // non-ANSI style: directions come from body declarations.
+            if self.peek().kind == TokenKind::Ident {
+                while let Some((pname, pspan)) = self.expect_ident() {
+                    nonansi_ports.push((pname, pspan));
+                    if !self.eat(Punct::Comma) {
+                        break;
+                    }
+                }
+            } else {
+                self.parse_port_list(&mut ports);
+            }
+            self.expect(Punct::RParen);
+        }
+        if self.expect(Punct::Semi).is_none() {
+            self.sync_to_semi();
+        }
+        let mut items = Vec::new();
+        loop {
+            if self.eat_kw(Kw::Endmodule) {
+                break;
+            }
+            if self.at_eof() {
+                let tok = self.peek().clone();
+                self.error("expected 'endmodule', found end of file".into(), tok.span);
+                break;
+            }
+            match self.parse_item() {
+                Some(mut found) => items.append(&mut found),
+                None => self.sync_to_semi(),
+            }
+        }
+        Some(Module { name, span, params, ports, nonansi_ports, items })
+    }
+
+    fn parse_param_list(&mut self, params: &mut Vec<ParamDecl>) {
+        loop {
+            self.eat_kw(Kw::Parameter);
+            let Some((name, span)) = self.expect_ident() else { return };
+            if self.expect(Punct::Assign).is_none() {
+                return;
+            }
+            let default = self.parse_expr();
+            params.push(ParamDecl { name, default, span, local: false });
+            if !self.eat(Punct::Comma) {
+                return;
+            }
+        }
+    }
+
+    fn parse_port_list(&mut self, ports: &mut Vec<Port>) {
+        if self.check(Punct::RParen) {
+            return;
+        }
+        let mut dir = PortDir::Input;
+        let mut net_type = NetType::Wire;
+        let mut range: Option<(Expr, Expr)> = None;
+        loop {
+            let explicit_dir = if self.eat_kw(Kw::Input) {
+                Some(PortDir::Input)
+            } else if self.eat_kw(Kw::Output) {
+                Some(PortDir::Output)
+            } else if self.eat_kw(Kw::Inout) {
+                Some(PortDir::Inout)
+            } else {
+                None
+            };
+            if let Some(d) = explicit_dir {
+                dir = d;
+                net_type = if self.eat_kw(Kw::Reg) {
+                    NetType::Reg
+                } else {
+                    self.eat_kw(Kw::Wire);
+                    NetType::Wire
+                };
+                self.eat_kw(Kw::Signed);
+                range = if self.check(Punct::LBracket) {
+                    self.parse_range()
+                } else {
+                    None
+                };
+            }
+            let Some((name, span)) = self.expect_ident() else { return };
+            ports.push(Port { dir, net_type, range: range.clone(), name, span });
+            if !self.eat(Punct::Comma) {
+                return;
+            }
+        }
+    }
+
+    fn parse_range(&mut self) -> Option<(Expr, Expr)> {
+        self.expect(Punct::LBracket)?;
+        let msb = self.parse_expr();
+        self.expect(Punct::Colon)?;
+        let lsb = self.parse_expr();
+        self.expect(Punct::RBracket)?;
+        Some((msb, lsb))
+    }
+
+    fn parse_item(&mut self) -> Option<Vec<Item>> {
+        let tok = self.peek().clone();
+        match &tok.kind {
+            TokenKind::Keyword(Kw::Input)
+            | TokenKind::Keyword(Kw::Output)
+            | TokenKind::Keyword(Kw::Inout) => {
+                let dir = if self.eat_kw(Kw::Input) {
+                    PortDir::Input
+                } else if self.eat_kw(Kw::Output) {
+                    PortDir::Output
+                } else {
+                    self.bump();
+                    PortDir::Inout
+                };
+                let net_type = if self.eat_kw(Kw::Reg) {
+                    NetType::Reg
+                } else {
+                    self.eat_kw(Kw::Wire);
+                    NetType::Wire
+                };
+                self.eat_kw(Kw::Signed);
+                let range = if self.check(Punct::LBracket) {
+                    self.parse_range()
+                } else {
+                    None
+                };
+                let mut names = Vec::new();
+                loop {
+                    let (name, span) = self.expect_ident()?;
+                    names.push((name, span));
+                    if !self.eat(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Punct::Semi)?;
+                Some(vec![Item::PortDecl { dir, net_type, range, names }])
+            }
+            TokenKind::Keyword(Kw::Wire) | TokenKind::Keyword(Kw::Reg) => {
+                let net_type = if self.eat_kw(Kw::Reg) {
+                    NetType::Reg
+                } else {
+                    self.bump();
+                    NetType::Wire
+                };
+                self.eat_kw(Kw::Signed);
+                let range = if self.check(Punct::LBracket) {
+                    self.parse_range()
+                } else {
+                    None
+                };
+                let mut names = Vec::new();
+                let mut mems = Vec::new();
+                loop {
+                    let (name, span) = self.expect_ident()?;
+                    if self.check(Punct::LBracket) {
+                        // Array dimension: a memory declaration.
+                        let (a, b) = self.parse_range()?;
+                        if net_type != NetType::Reg {
+                            self.error("memories must be declared as 'reg'".into(), span);
+                        }
+                        mems.push((name, (a, b), span));
+                    } else {
+                        let init = if self.eat(Punct::Assign) {
+                            Some(self.parse_expr())
+                        } else {
+                            None
+                        };
+                        names.push((name, span, init));
+                    }
+                    if !self.eat(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Punct::Semi)?;
+                let mut items = Vec::new();
+                if !names.is_empty() {
+                    items.push(Item::NetDecl { net_type, range: range.clone(), names });
+                }
+                if !mems.is_empty() {
+                    items.push(Item::MemDecl { width_range: range, names: mems });
+                }
+                Some(items)
+            }
+            TokenKind::Keyword(Kw::Integer) => {
+                self.bump();
+                let mut names = Vec::new();
+                loop {
+                    let (name, span) = self.expect_ident()?;
+                    names.push((name, span));
+                    if !self.eat(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Punct::Semi)?;
+                Some(vec![Item::IntegerDecl { names }])
+            }
+            TokenKind::Keyword(Kw::Parameter) | TokenKind::Keyword(Kw::Localparam) => {
+                let local = tok.kind == TokenKind::Keyword(Kw::Localparam);
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    let (name, span) = self.expect_ident()?;
+                    self.expect(Punct::Assign)?;
+                    let default = self.parse_expr();
+                    items.push(Item::Param(ParamDecl { name, default, span, local }));
+                    if !self.eat(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Punct::Semi)?;
+                Some(items)
+            }
+            TokenKind::Keyword(Kw::Assign) => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    let target = self.parse_lvalue_expr()?;
+                    self.expect(Punct::Assign)?;
+                    let expr = self.parse_expr();
+                    items.push(Item::ContinuousAssign { target, expr, span: tok.span });
+                    if !self.eat(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Punct::Semi)?;
+                Some(items)
+            }
+            TokenKind::Keyword(Kw::Always) => {
+                self.bump();
+                let events = if self.eat(Punct::At) {
+                    Some(self.parse_event_list()?)
+                } else {
+                    None
+                };
+                let body = self.parse_stmt()?;
+                Some(vec![Item::Always { events, body, span: tok.span }])
+            }
+            TokenKind::Keyword(Kw::Initial) => {
+                self.bump();
+                let body = self.parse_stmt()?;
+                Some(vec![Item::Initial { body, span: tok.span }])
+            }
+            TokenKind::Keyword(Kw::Function) => {
+                self.bump();
+                // Tolerate `automatic`.
+                if self.peek().kind == TokenKind::Ident && self.peek().text == "automatic" {
+                    self.bump();
+                }
+                let range = if self.check(Punct::LBracket) {
+                    self.parse_range()
+                } else {
+                    None
+                };
+                let (name, _) = self.expect_ident()?;
+                self.expect(Punct::Semi)?;
+                let mut inputs = Vec::new();
+                while self.eat_kw(Kw::Input) {
+                    self.eat_kw(Kw::Wire);
+                    self.eat_kw(Kw::Signed);
+                    let arange = if self.check(Punct::LBracket) {
+                        self.parse_range()
+                    } else {
+                        None
+                    };
+                    loop {
+                        let (aname, aspan) = self.expect_ident()?;
+                        inputs.push((aname, arange.clone(), aspan));
+                        if !self.eat(Punct::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Punct::Semi)?;
+                }
+                let body = self.parse_stmt()?;
+                if !self.eat_kw(Kw::Endfunction) {
+                    let t = self.peek().clone();
+                    self.error(
+                        format!("expected 'endfunction', found {}", t.describe()),
+                        t.span,
+                    );
+                    return None;
+                }
+                Some(vec![Item::Function(FunctionDecl {
+                    name,
+                    range,
+                    inputs,
+                    body,
+                    span: tok.span,
+                })])
+            }
+            TokenKind::Ident => {
+                // Module instantiation: modname [#(...)] instname ( ... ) ;
+                let module = self.bump().text;
+                let mut param_overrides = Vec::new();
+                if self.eat(Punct::Hash) {
+                    self.expect(Punct::LParen)?;
+                    loop {
+                        if self.eat(Punct::Dot) {
+                            let (pname, _) = self.expect_ident()?;
+                            self.expect(Punct::LParen)?;
+                            let e = self.parse_expr();
+                            self.expect(Punct::RParen)?;
+                            param_overrides.push((pname, e));
+                        } else {
+                            // Positional parameter override — rare; named
+                            // slot is synthesised by ordinal later.
+                            let e = self.parse_expr();
+                            param_overrides.push((String::new(), e));
+                        }
+                        if !self.eat(Punct::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Punct::RParen)?;
+                }
+                let (name, _) = self.expect_ident()?;
+                self.expect(Punct::LParen)?;
+                let connections = self.parse_connections()?;
+                self.expect(Punct::RParen)?;
+                self.expect(Punct::Semi)?;
+                Some(vec![Item::Instance {
+                    module,
+                    name,
+                    param_overrides,
+                    connections,
+                    span: tok.span,
+                }])
+            }
+            _ => {
+                self.error(
+                    format!("syntax error near {}", tok.describe()),
+                    tok.span,
+                );
+                None
+            }
+        }
+    }
+
+    fn parse_connections(&mut self) -> Option<Connections> {
+        if self.check(Punct::RParen) {
+            return Some(Connections::Positional(Vec::new()));
+        }
+        if self.check(Punct::Dot) {
+            let mut conns = Vec::new();
+            loop {
+                let dot = self.expect(Punct::Dot)?;
+                let (pname, _) = self.expect_ident()?;
+                self.expect(Punct::LParen)?;
+                let expr = if self.check(Punct::RParen) {
+                    None
+                } else {
+                    Some(self.parse_expr())
+                };
+                self.expect(Punct::RParen)?;
+                conns.push((pname, expr, dot.span));
+                if !self.eat(Punct::Comma) {
+                    break;
+                }
+            }
+            Some(Connections::Named(conns))
+        } else {
+            let mut exprs = Vec::new();
+            loop {
+                exprs.push(self.parse_expr());
+                if !self.eat(Punct::Comma) {
+                    break;
+                }
+            }
+            Some(Connections::Positional(exprs))
+        }
+    }
+
+    fn parse_event_list(&mut self) -> Option<Vec<EventExpr>> {
+        // Forms: @* | @(*) | @(ev [or|, ev]*)
+        if self.check(Punct::Star) {
+            self.bump();
+            return Some(Vec::new());
+        }
+        self.expect(Punct::LParen)?;
+        if self.eat(Punct::Star) {
+            self.expect(Punct::RParen)?;
+            return Some(Vec::new());
+        }
+        let mut events = Vec::new();
+        loop {
+            let ev = if self.eat_kw(Kw::Posedge) {
+                EventExpr::Posedge(self.parse_expr())
+            } else if self.eat_kw(Kw::Negedge) {
+                EventExpr::Negedge(self.parse_expr())
+            } else {
+                EventExpr::Any(self.parse_expr())
+            };
+            events.push(ev);
+            if !(self.eat_kw(Kw::Or) || self.eat(Punct::Comma)) {
+                break;
+            }
+        }
+        self.expect(Punct::RParen)?;
+        Some(events)
+    }
+
+    // ------------------------------------------------------- statements
+
+    fn parse_stmt(&mut self) -> Option<Stmt> {
+        let tok = self.peek().clone();
+        match &tok.kind {
+            TokenKind::Keyword(Kw::Begin) => {
+                self.bump();
+                // Optional block label.
+                if self.eat(Punct::Colon) {
+                    self.expect_ident();
+                }
+                let mut stmts = Vec::new();
+                loop {
+                    if self.eat_kw(Kw::End) {
+                        break;
+                    }
+                    if self.at_eof() {
+                        self.error("expected 'end', found end of file".into(), tok.span);
+                        break;
+                    }
+                    match self.parse_stmt() {
+                        Some(s) => stmts.push(s),
+                        None => {
+                            self.sync_to_semi();
+                            if self.check_kw(Kw::Endmodule) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Some(Stmt::Block(stmts))
+            }
+            TokenKind::Keyword(Kw::If) => {
+                self.bump();
+                self.expect(Punct::LParen)?;
+                let cond = self.parse_expr();
+                self.expect(Punct::RParen)?;
+                let then = Box::new(self.parse_stmt()?);
+                let els = if self.eat_kw(Kw::Else) {
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                Some(Stmt::If { cond, then, els })
+            }
+            TokenKind::Keyword(Kw::Case)
+            | TokenKind::Keyword(Kw::Casez)
+            | TokenKind::Keyword(Kw::Casex) => {
+                let wildcard = !matches!(tok.kind, TokenKind::Keyword(Kw::Case));
+                self.bump();
+                self.expect(Punct::LParen)?;
+                let subject = self.parse_expr();
+                self.expect(Punct::RParen)?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                loop {
+                    if self.eat_kw(Kw::Endcase) {
+                        break;
+                    }
+                    if self.at_eof() {
+                        self.error("expected 'endcase', found end of file".into(), tok.span);
+                        break;
+                    }
+                    if self.eat_kw(Kw::Default) {
+                        self.eat(Punct::Colon);
+                        default = Some(Box::new(self.parse_stmt()?));
+                        continue;
+                    }
+                    let mut labels = vec![self.parse_expr()];
+                    while self.eat(Punct::Comma) {
+                        labels.push(self.parse_expr());
+                    }
+                    self.expect(Punct::Colon)?;
+                    let body = self.parse_stmt()?;
+                    arms.push((labels, body));
+                }
+                Some(Stmt::Case { subject, arms, default, wildcard, span: tok.span })
+            }
+            TokenKind::Keyword(Kw::For) => {
+                self.bump();
+                self.expect(Punct::LParen)?;
+                let init_t = self.parse_lvalue_expr()?;
+                self.expect(Punct::Assign)?;
+                let init_v = self.parse_expr();
+                self.expect(Punct::Semi)?;
+                let cond = self.parse_expr();
+                self.expect(Punct::Semi)?;
+                let step_t = self.parse_lvalue_expr()?;
+                self.expect(Punct::Assign)?;
+                let step_v = self.parse_expr();
+                self.expect(Punct::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                Some(Stmt::For { init: (init_t, init_v), cond, step: (step_t, step_v), body })
+            }
+            TokenKind::Keyword(Kw::While) => {
+                self.bump();
+                self.expect(Punct::LParen)?;
+                let cond = self.parse_expr();
+                self.expect(Punct::RParen)?;
+                Some(Stmt::While { cond, body: Box::new(self.parse_stmt()?) })
+            }
+            TokenKind::Keyword(Kw::Repeat) => {
+                self.bump();
+                self.expect(Punct::LParen)?;
+                let count = self.parse_expr();
+                self.expect(Punct::RParen)?;
+                Some(Stmt::Repeat { count, body: Box::new(self.parse_stmt()?) })
+            }
+            TokenKind::Keyword(Kw::Forever) => {
+                self.bump();
+                Some(Stmt::Forever { body: Box::new(self.parse_stmt()?) })
+            }
+            TokenKind::Keyword(Kw::Wait) => {
+                self.bump();
+                self.expect(Punct::LParen)?;
+                let cond = self.parse_expr();
+                self.expect(Punct::RParen)?;
+                let then = self.parse_controlled_stmt()?;
+                Some(Stmt::WaitCond { cond, then })
+            }
+            TokenKind::Punct(Punct::Hash) => {
+                self.bump();
+                let amount = self.parse_delay_value();
+                let then = self.parse_controlled_stmt()?;
+                Some(Stmt::Delay { amount, then })
+            }
+            TokenKind::Punct(Punct::At) => {
+                self.bump();
+                let events = self.parse_event_list()?;
+                let then = self.parse_controlled_stmt()?;
+                Some(Stmt::EventControl { events, then })
+            }
+            TokenKind::SysIdent => {
+                let name = self.bump().text;
+                let mut args = Vec::new();
+                if self.eat(Punct::LParen) {
+                    if !self.check(Punct::RParen) {
+                        loop {
+                            if self.peek().kind == TokenKind::Str {
+                                args.push(SysArg::Str(self.bump().text));
+                            } else {
+                                args.push(SysArg::Expr(self.parse_expr()));
+                            }
+                            if !self.eat(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Punct::RParen)?;
+                }
+                self.expect(Punct::Semi)?;
+                Some(Stmt::SysCall { name, args, span: tok.span })
+            }
+            TokenKind::Punct(Punct::Semi) => {
+                self.bump();
+                Some(Stmt::Null)
+            }
+            TokenKind::Ident | TokenKind::Punct(Punct::LBrace) => {
+                let target = self.parse_lvalue_expr()?;
+                let span = tok.span;
+                if self.eat(Punct::Assign) {
+                    // Optional intra-assignment delay: `a = #1 b;` — the
+                    // delay is honoured as a pre-assignment wait.
+                    if self.eat(Punct::Hash) {
+                        let amount = self.parse_delay_value();
+                        let value = self.parse_expr();
+                        self.expect(Punct::Semi)?;
+                        return Some(Stmt::Block(vec![
+                            Stmt::Delay { amount, then: None },
+                            Stmt::Blocking { target, value, span },
+                        ]));
+                    }
+                    let value = self.parse_expr();
+                    self.expect(Punct::Semi)?;
+                    Some(Stmt::Blocking { target, value, span })
+                } else if self.eat(Punct::LtEqual) {
+                    let value = self.parse_expr();
+                    self.expect(Punct::Semi)?;
+                    Some(Stmt::Nonblocking { target, value, span })
+                } else {
+                    let t = self.peek().clone();
+                    self.error(
+                        format!("expected '=' or '<=' after assignment target, found {}", t.describe()),
+                        t.span,
+                    );
+                    None
+                }
+            }
+            _ => {
+                self.error(format!("syntax error near {}", tok.describe()), tok.span);
+                None
+            }
+        }
+    }
+
+    /// Statement controlled by `#d` / `@(...)`: either a real statement
+    /// or a bare `;`.
+    fn parse_controlled_stmt(&mut self) -> Option<Option<Box<Stmt>>> {
+        if self.eat(Punct::Semi) {
+            return Some(None);
+        }
+        Some(Some(Box::new(self.parse_stmt()?)))
+    }
+
+    fn parse_delay_value(&mut self) -> Expr {
+        if self.eat(Punct::LParen) {
+            let e = self.parse_expr();
+            self.expect(Punct::RParen);
+            e
+        } else {
+            // number or identifier
+            let tok = self.peek().clone();
+            match tok.kind {
+                TokenKind::Number => {
+                    self.bump();
+                    Expr::Number { text: tok.text, span: tok.span }
+                }
+                TokenKind::Ident => {
+                    self.bump();
+                    Expr::Ident { name: tok.text, span: tok.span }
+                }
+                _ => {
+                    self.error(
+                        format!("expected delay value, found {}", tok.describe()),
+                        tok.span,
+                    );
+                    Expr::Number { text: "0".into(), span: tok.span }
+                }
+            }
+        }
+    }
+
+    /// Restricted expression for assignment targets: identifier with
+    /// optional select, or a concatenation of such.
+    fn parse_lvalue_expr(&mut self) -> Option<Expr> {
+        if self.eat(Punct::LBrace) {
+            let mut parts = Vec::new();
+            loop {
+                parts.push(self.parse_lvalue_expr()?);
+                if !self.eat(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect(Punct::RBrace)?;
+            return Some(Expr::Concat(parts));
+        }
+        let (name, span) = self.expect_ident()?;
+        let mut expr = Expr::Ident { name, span };
+        if self.eat(Punct::LBracket) {
+            let first = self.parse_expr();
+            if self.eat(Punct::Colon) {
+                let lsb = self.parse_expr();
+                self.expect(Punct::RBracket)?;
+                expr = Expr::RangeSel {
+                    base: Box::new(expr),
+                    msb: Box::new(first),
+                    lsb: Box::new(lsb),
+                };
+            } else {
+                self.expect(Punct::RBracket)?;
+                expr = Expr::Index { base: Box::new(expr), index: Box::new(first) };
+            }
+        }
+        Some(expr)
+    }
+
+    // ------------------------------------------------------ expressions
+
+    fn parse_expr(&mut self) -> Expr {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Expr {
+        let cond = self.parse_binary(0);
+        if self.eat(Punct::Question) {
+            let then = self.parse_expr();
+            if self.expect(Punct::Colon).is_none() {
+                return cond;
+            }
+            let els = self.parse_expr();
+            return Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            };
+        }
+        cond
+    }
+
+    fn binop_at(&self, level: u8) -> Option<BinOp> {
+        use Punct::*;
+        let p = match self.peek().kind {
+            TokenKind::Punct(p) => p,
+            _ => return None,
+        };
+        let (op, l) = match p {
+            PipePipe => (BinOp::LogicalOr, 0),
+            AmpAmp => (BinOp::LogicalAnd, 1),
+            Pipe => (BinOp::Or, 2),
+            Caret => (BinOp::Xor, 3),
+            TildeCaret => (BinOp::Xnor, 3),
+            Amp => (BinOp::And, 4),
+            EqEq => (BinOp::Eq, 5),
+            NotEq => (BinOp::Ne, 5),
+            CaseEq => (BinOp::CaseEq, 5),
+            CaseNotEq => (BinOp::CaseNe, 5),
+            Lt => (BinOp::Lt, 6),
+            LtEqual => (BinOp::Le, 6),
+            Gt => (BinOp::Gt, 6),
+            GtEq => (BinOp::Ge, 6),
+            Shl => (BinOp::Shl, 7),
+            Shr => (BinOp::Shr, 7),
+            Plus => (BinOp::Add, 8),
+            Minus => (BinOp::Sub, 8),
+            Star => (BinOp::Mul, 9),
+            Slash => (BinOp::Div, 9),
+            Percent => (BinOp::Rem, 9),
+            Star2 => (BinOp::Pow, 10),
+            _ => return None,
+        };
+        (l == level).then_some(op)
+    }
+
+    fn parse_binary(&mut self, level: u8) -> Expr {
+        if level > 10 {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_binary(level + 1);
+        while let Some(op) = self.binop_at(level) {
+            self.bump();
+            let rhs = self.parse_binary(level + 1);
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        lhs
+    }
+
+    fn parse_unary(&mut self) -> Expr {
+        use Punct::*;
+        let op = match self.peek().kind {
+            TokenKind::Punct(Tilde) => Some(UnOp::Not),
+            TokenKind::Punct(Bang) => Some(UnOp::LogicalNot),
+            TokenKind::Punct(Minus) => Some(UnOp::Negate),
+            TokenKind::Punct(Plus) => Some(UnOp::Plus),
+            TokenKind::Punct(Amp) => Some(UnOp::ReduceAnd),
+            TokenKind::Punct(Pipe) => Some(UnOp::ReduceOr),
+            TokenKind::Punct(Caret) => Some(UnOp::ReduceXor),
+            TokenKind::Punct(TildeAmp) => Some(UnOp::ReduceNand),
+            TokenKind::Punct(TildePipe) => Some(UnOp::ReduceNor),
+            TokenKind::Punct(TildeCaret) => Some(UnOp::ReduceXnor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.parse_unary();
+            return Expr::Unary { op, operand: Box::new(operand) };
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Expr {
+        let mut expr = self.parse_primary();
+        while self.check(Punct::LBracket) {
+            self.bump();
+            let first = self.parse_expr();
+            if self.eat(Punct::Colon) {
+                let lsb = self.parse_expr();
+                self.expect(Punct::RBracket);
+                expr = Expr::RangeSel {
+                    base: Box::new(expr),
+                    msb: Box::new(first),
+                    lsb: Box::new(lsb),
+                };
+            } else {
+                self.expect(Punct::RBracket);
+                expr = Expr::Index { base: Box::new(expr), index: Box::new(first) };
+            }
+        }
+        expr
+    }
+
+    fn parse_primary(&mut self) -> Expr {
+        let tok = self.peek().clone();
+        match &tok.kind {
+            TokenKind::Number => {
+                self.bump();
+                Expr::Number { text: tok.text, span: tok.span }
+            }
+            TokenKind::Ident => {
+                self.bump();
+                if self.check(Punct::LParen) {
+                    // Function call in expression position.
+                    self.bump();
+                    let mut call_args = Vec::new();
+                    if !self.check(Punct::RParen) {
+                        loop {
+                            call_args.push(self.parse_expr());
+                            if !self.eat(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Punct::RParen);
+                    return Expr::Call { name: tok.text, args: call_args, span: tok.span };
+                }
+                Expr::Ident { name: tok.text, span: tok.span }
+            }
+            TokenKind::SysIdent if tok.text == "$time" => {
+                self.bump();
+                Expr::Time { span: tok.span }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.parse_expr();
+                self.expect(Punct::RParen);
+                e
+            }
+            TokenKind::Punct(Punct::LBrace) => {
+                self.bump();
+                let first = self.parse_expr();
+                if self.check(Punct::LBrace) {
+                    // Replication {n{v}}
+                    self.bump();
+                    let value = self.parse_expr();
+                    // Additional items inside replication braces would be a
+                    // nested concat; support {n{a,b}} via Concat.
+                    let value = if self.eat(Punct::Comma) {
+                        let mut parts = vec![value];
+                        loop {
+                            parts.push(self.parse_expr());
+                            if !self.eat(Punct::Comma) {
+                                break;
+                            }
+                        }
+                        Expr::Concat(parts)
+                    } else {
+                        value
+                    };
+                    self.expect(Punct::RBrace);
+                    self.expect(Punct::RBrace);
+                    return Expr::Repeat { count: Box::new(first), value: Box::new(value) };
+                }
+                let mut parts = vec![first];
+                while self.eat(Punct::Comma) {
+                    parts.push(self.parse_expr());
+                }
+                self.expect(Punct::RBrace);
+                Expr::Concat(parts)
+            }
+            _ => {
+                self.error(format!("syntax error near {}", tok.describe()), tok.span);
+                self.bump();
+                Expr::Number { text: "0".into(), span: tok.span }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use aivril_hdl::source::SourceMap;
+
+    fn parse_src(src: &str) -> (SourceUnit, Diagnostics) {
+        let mut sources = SourceMap::new();
+        let file = sources.add_file("t.v", src);
+        let mut diags = Diagnostics::new();
+        let toks = lex(file, src, &mut diags);
+        let unit = parse(toks, &mut diags);
+        (unit, diags)
+    }
+
+    fn parse_clean(src: &str) -> SourceUnit {
+        let (unit, diags) = parse_src(src);
+        assert!(!diags.has_errors(), "unexpected errors: {:?}", diags.all());
+        unit
+    }
+
+    #[test]
+    fn minimal_module() {
+        let unit = parse_clean("module m; endmodule");
+        assert_eq!(unit.modules.len(), 1);
+        assert_eq!(unit.modules[0].name, "m");
+    }
+
+    #[test]
+    fn ansi_ports_with_inherited_direction() {
+        let unit = parse_clean(
+            "module m(input wire a, b, output reg [7:0] q, input [3:0] sel); endmodule",
+        );
+        let ports = &unit.modules[0].ports;
+        assert_eq!(ports.len(), 4);
+        assert_eq!(ports[0].dir, PortDir::Input);
+        assert_eq!(ports[1].dir, PortDir::Input, "b inherits input");
+        assert_eq!(ports[1].name, "b");
+        assert_eq!(ports[2].dir, PortDir::Output);
+        assert_eq!(ports[2].net_type, NetType::Reg);
+        assert!(ports[2].range.is_some());
+        assert_eq!(ports[3].name, "sel");
+    }
+
+    #[test]
+    fn parameters_header_and_body() {
+        let unit = parse_clean(
+            "module m #(parameter W = 8, N = 4); localparam D = W*N; endmodule",
+        );
+        let m = &unit.modules[0];
+        assert_eq!(m.params.len(), 2);
+        assert!(matches!(m.items[0], Item::Param(ref p) if p.local && p.name == "D"));
+    }
+
+    #[test]
+    fn always_posedge_with_nonblocking() {
+        let unit = parse_clean(
+            "module m(input clk, input d, output reg q);\n\
+             always @(posedge clk) q <= d;\nendmodule",
+        );
+        match &unit.modules[0].items[0] {
+            Item::Always { events: Some(ev), body, .. } => {
+                assert_eq!(ev.len(), 1);
+                assert!(matches!(ev[0], EventExpr::Posedge(_)));
+                assert!(matches!(body, Stmt::Nonblocking { .. }));
+            }
+            other => panic!("expected always, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn always_star_and_case() {
+        let unit = parse_clean(
+            "module m(input [1:0] s, output reg y);\n\
+             always @* begin\n  case (s)\n    2'b00: y = 1;\n    2'b01, 2'b10: y = 0;\n\
+             default: y = 1'bx;\n  endcase\nend\nendmodule",
+        );
+        match &unit.modules[0].items[0] {
+            Item::Always { events: Some(ev), body, .. } => {
+                assert!(ev.is_empty(), "@* parses as empty event list");
+                match body {
+                    Stmt::Block(stmts) => match &stmts[0] {
+                        Stmt::Case { arms, default, wildcard, .. } => {
+                            assert_eq!(arms.len(), 2);
+                            assert_eq!(arms[1].0.len(), 2, "multi-label arm");
+                            assert!(default.is_some());
+                            assert!(!wildcard);
+                        }
+                        other => panic!("expected case, got {other:?}"),
+                    },
+                    other => panic!("expected block, got {other:?}"),
+                }
+            }
+            other => panic!("expected always, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instance_with_named_connections_and_params() {
+        let unit = parse_clean(
+            "module tb; wire [3:0] y; reg [3:0] a;\n\
+             adder #(.W(4)) u_add (.sum(y), .a(a), .b(4'd3));\nendmodule",
+        );
+        match unit.modules[0].items.last().expect("instance item") {
+            Item::Instance { module, name, param_overrides, connections, .. } => {
+                assert_eq!(module, "adder");
+                assert_eq!(name, "u_add");
+                assert_eq!(param_overrides.len(), 1);
+                match connections {
+                    Connections::Named(c) => assert_eq!(c.len(), 3),
+                    Connections::Positional(_) => panic!("expected named"),
+                }
+            }
+            other => panic!("expected instance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let unit = parse_clean("module m; wire y; assign y = 1 + 2 * 3 == 7 && 1;\nendmodule");
+        match &unit.modules[0].items[1] {
+            Item::ContinuousAssign { expr, .. } => {
+                // Top must be &&.
+                assert!(matches!(expr, Expr::Binary { op: BinOp::LogicalAnd, .. }));
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn testbench_constructs() {
+        let unit = parse_clean(
+            "module tb;\nreg clk = 0;\nreg [7:0] i;\ninitial begin\n\
+             clk = 0;\n  forever #5 clk = ~clk;\nend\n\
+             initial begin\n  for (i = 0; i < 8; i = i + 1) begin\n    #10;\n\
+             if (i === 3) $display(\"i=%0d\", i);\n  end\n  $finish;\nend\nendmodule",
+        );
+        assert_eq!(unit.modules[0].items.len(), 4);
+    }
+
+    #[test]
+    fn missing_semicolon_is_reported_with_location() {
+        let (_, diags) = parse_src("module m;\nwire a\nwire b;\nendmodule");
+        assert!(diags.has_errors());
+        let msg = &diags.all()[0];
+        assert!(msg.message.contains("';'"), "got: {}", msg.message);
+    }
+
+    #[test]
+    fn unbalanced_end_is_reported() {
+        let (_, diags) = parse_src(
+            "module m(input clk); reg q; always @(posedge clk) begin q <= 1; endmodule",
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn misspelled_keyword_is_reported() {
+        let (_, diags) = parse_src("module m; asign y = 1; endmodule");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn recovery_parses_later_modules() {
+        let (unit, diags) = parse_src(
+            "module bad; wire ; endmodule\nmodule good; wire w; endmodule",
+        );
+        assert!(diags.has_errors());
+        assert!(unit.modules.iter().any(|m| m.name == "good"));
+    }
+
+    #[test]
+    fn concat_replication_and_selects() {
+        let unit = parse_clean(
+            "module m(input [7:0] a, output [15:0] y);\n\
+             assign y = {{2{a[7:4]}}, a[3:0], 4'b0000};\nendmodule",
+        );
+        assert_eq!(unit.modules.len(), 1);
+    }
+
+    #[test]
+    fn intra_assignment_delay() {
+        let unit = parse_clean("module m; reg a; initial a = #5 1; endmodule");
+        match &unit.modules[0].items[1] {
+            Item::Initial { body: Stmt::Block(stmts), .. } => {
+                assert!(matches!(stmts[0], Stmt::Delay { .. }));
+                assert!(matches!(stmts[1], Stmt::Blocking { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_statement() {
+        let unit = parse_clean("module m; reg a; initial wait (a) $finish; endmodule");
+        match &unit.modules[0].items[1] {
+            Item::Initial { body: Stmt::WaitCond { .. }, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Token definitions for the Verilog-2001 subset.
+
+use aivril_hdl::source::Span;
+use std::fmt;
+
+/// Kinds of token the lexer produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword text is kept in [`Token::text`]; keywords
+    /// are distinguished by [`TokenKind::Keyword`].
+    Ident,
+    /// Reserved word (`module`, `always`, ...).
+    Keyword(Keyword),
+    /// System task/function name including the `$` (e.g. `$display`).
+    SysIdent,
+    /// Integer literal, possibly sized/based (`8'hFF`, `42`).
+    Number,
+    /// String literal; [`Token::text`] holds the unquoted contents.
+    Str,
+    /// Operator or punctuation.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// All reserved words recognised by this subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Integer,
+    Parameter,
+    Localparam,
+    Assign,
+    Always,
+    Initial,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Casex,
+    Endcase,
+    Default,
+    For,
+    While,
+    Repeat,
+    Forever,
+    Posedge,
+    Negedge,
+    Or,
+    Signed,
+    Generate,
+    Endgenerate,
+    Genvar,
+    Function,
+    Endfunction,
+    Task,
+    Endtask,
+    Wait,
+}
+
+impl Keyword {
+    /// Looks up a keyword from identifier text.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not parsing
+    #[must_use]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "module" => Module,
+            "endmodule" => Endmodule,
+            "input" => Input,
+            "output" => Output,
+            "inout" => Inout,
+            "wire" => Wire,
+            "reg" => Reg,
+            "integer" => Integer,
+            "parameter" => Parameter,
+            "localparam" => Localparam,
+            "assign" => Assign,
+            "always" => Always,
+            "initial" => Initial,
+            "begin" => Begin,
+            "end" => End,
+            "if" => If,
+            "else" => Else,
+            "case" => Case,
+            "casez" => Casez,
+            "casex" => Casex,
+            "endcase" => Endcase,
+            "default" => Default,
+            "for" => For,
+            "while" => While,
+            "repeat" => Repeat,
+            "forever" => Forever,
+            "posedge" => Posedge,
+            "negedge" => Negedge,
+            "or" => Or,
+            "signed" => Signed,
+            "generate" => Generate,
+            "endgenerate" => Endgenerate,
+            "genvar" => Genvar,
+            "function" => Function,
+            "endfunction" => Endfunction,
+            "task" => Task,
+            "endtask" => Endtask,
+            "wait" => Wait,
+            _ => return None,
+        })
+    }
+
+    /// Canonical source spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Module => "module",
+            Endmodule => "endmodule",
+            Input => "input",
+            Output => "output",
+            Inout => "inout",
+            Wire => "wire",
+            Reg => "reg",
+            Integer => "integer",
+            Parameter => "parameter",
+            Localparam => "localparam",
+            Assign => "assign",
+            Always => "always",
+            Initial => "initial",
+            Begin => "begin",
+            End => "end",
+            If => "if",
+            Else => "else",
+            Case => "case",
+            Casez => "casez",
+            Casex => "casex",
+            Endcase => "endcase",
+            Default => "default",
+            For => "for",
+            While => "while",
+            Repeat => "repeat",
+            Forever => "forever",
+            Posedge => "posedge",
+            Negedge => "negedge",
+            Or => "or",
+            Signed => "signed",
+            Generate => "generate",
+            Endgenerate => "endgenerate",
+            Genvar => "genvar",
+            Function => "function",
+            Endfunction => "endfunction",
+            Task => "task",
+            Endtask => "endtask",
+            Wait => "wait",
+        }
+    }
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Colon,
+    Dot,
+    Hash,
+    At,
+    Question,
+    Assign,     // =
+    LtEqual,    // <= (both relational and nonblocking)
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,        // &
+    AmpAmp,     // &&
+    Pipe,       // |
+    PipePipe,   // ||
+    Caret,      // ^
+    TildeCaret, // ~^ (also ^~)
+    Tilde,      // ~
+    TildeAmp,   // ~&
+    TildePipe,  // ~|
+    Bang,       // !
+    EqEq,       // ==
+    NotEq,      // !=
+    CaseEq,     // ===
+    CaseNotEq,  // !==
+    Lt,
+    Gt,
+    GtEq,
+    Shl, // <<
+    Shr, // >>
+    Star2, // **
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Punct::*;
+        let s = match self {
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            LBrace => "{",
+            RBrace => "}",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            Dot => ".",
+            Hash => "#",
+            At => "@",
+            Question => "?",
+            Assign => "=",
+            LtEqual => "<=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            AmpAmp => "&&",
+            Pipe => "|",
+            PipePipe => "||",
+            Caret => "^",
+            TildeCaret => "~^",
+            Tilde => "~",
+            TildeAmp => "~&",
+            TildePipe => "~|",
+            Bang => "!",
+            EqEq => "==",
+            NotEq => "!=",
+            CaseEq => "===",
+            CaseNotEq => "!==",
+            Lt => "<",
+            Gt => ">",
+            GtEq => ">=",
+            Shl => "<<",
+            Shr => ">>",
+            Star2 => "**",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Source text (unquoted for strings).
+    pub text: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Token {
+    /// Short human-readable description for error messages, e.g. `';'`
+    /// or `'endmodule'`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            TokenKind::Eof => "end of file".to_string(),
+            TokenKind::Str => format!("\"{}\"", self.text),
+            _ => format!("'{}'", self.text),
+        }
+    }
+}

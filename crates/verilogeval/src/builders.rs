@@ -1,0 +1,527 @@
+//! Problem construction: DUT codegen + self-checking testbench
+//! generation for both languages, from a family-provided spec and a
+//! Rust golden model.
+
+use crate::port::{vhdl_lit, vlog_lit, Port, SplitMix};
+use crate::{Difficulty, Family, GoldenPair, Problem};
+
+/// Description of a combinational problem, provided by a family module.
+pub struct CombSpec {
+    /// Short name, e.g. `mux4to1_w8` (the builder prefixes the id).
+    pub name: String,
+    /// Family tag.
+    pub family: Family,
+    /// Difficulty bucket.
+    pub difficulty: Difficulty,
+    /// Behavioural description used in the prompt.
+    pub description: String,
+    /// Input ports.
+    pub inputs: Vec<Port>,
+    /// Output ports.
+    pub outputs: Vec<Port>,
+    /// Verilog module body (between header and `endmodule`).
+    pub vlog_body: String,
+    /// `true` when the body drives outputs procedurally (`always @*`),
+    /// so the ports must be declared `reg`.
+    pub vlog_out_reg: bool,
+    /// VHDL architecture body.
+    pub vhdl_body: String,
+    /// Extra VHDL declarations (signals) for the architecture.
+    pub vhdl_decls: String,
+    /// Golden model: input values → output values.
+    pub eval: GoldenEval,
+}
+
+/// A boxed golden-model function: input values → output values.
+pub type GoldenEval = Box<dyn Fn(&[u64]) -> Vec<u64>>;
+
+/// Description of a sequential (posedge-clocked, Moore-style) problem.
+pub struct SeqSpec {
+    /// Short name.
+    pub name: String,
+    /// Family tag.
+    pub family: Family,
+    /// Difficulty bucket.
+    pub difficulty: Difficulty,
+    /// Behavioural description used in the prompt.
+    pub description: String,
+    /// Input ports, excluding the implicit `clk`.
+    pub inputs: Vec<Port>,
+    /// Output ports (registered).
+    pub outputs: Vec<Port>,
+    /// Verilog module body.
+    pub vlog_body: String,
+    /// VHDL architecture body.
+    pub vhdl_body: String,
+    /// Extra VHDL declarations.
+    pub vhdl_decls: String,
+    /// Per-cycle input values (sampled at each rising edge).
+    pub stimulus: Vec<Vec<u64>>,
+    /// Per-cycle expected outputs *after* the rising edge; `None` skips
+    /// the check for that cycle.
+    pub expected: Vec<Option<Vec<u64>>>,
+}
+
+/// Builds a combinational [`Problem`].
+#[must_use]
+pub fn comb_problem(spec: CombSpec) -> Problem {
+    let vectors = choose_vectors(&spec.inputs, &spec.name);
+    let expected: Vec<Vec<u64>> = vectors.iter().map(|v| (spec.eval)(v)).collect();
+    let verilog = GoldenPair {
+        dut: vlog_dut(&spec.name, &spec.inputs, &spec.outputs, &spec.vlog_body, spec.vlog_out_reg, false),
+        tb: vlog_comb_tb(&spec.name, &spec.inputs, &spec.outputs, &vectors, &expected),
+    };
+    let vhdl = GoldenPair {
+        dut: vhdl_dut(&spec.name, &spec.inputs, &spec.outputs, &spec.vhdl_decls, &spec.vhdl_body, false),
+        tb: vhdl_comb_tb(&spec.name, &spec.inputs, &spec.outputs, &vectors, &expected),
+    };
+    Problem {
+        id: 0,
+        name: spec.name.clone(),
+        family: spec.family,
+        difficulty: spec.difficulty,
+        spec: prompt(&spec.name, &spec.description, &spec.inputs, &spec.outputs, false),
+        module_name: spec.name,
+        verilog,
+        vhdl,
+    }
+}
+
+/// Builds a sequential [`Problem`].
+#[must_use]
+pub fn seq_problem(spec: SeqSpec) -> Problem {
+    assert_eq!(
+        spec.stimulus.len(),
+        spec.expected.len(),
+        "stimulus and expected timelines must align"
+    );
+    let verilog = GoldenPair {
+        dut: vlog_dut(&spec.name, &spec.inputs, &spec.outputs, &spec.vlog_body, true, true),
+        tb: vlog_seq_tb(&spec.name, &spec.inputs, &spec.outputs, &spec.stimulus, &spec.expected),
+    };
+    let vhdl = GoldenPair {
+        dut: vhdl_dut(&spec.name, &spec.inputs, &spec.outputs, &spec.vhdl_decls, &spec.vhdl_body, true),
+        tb: vhdl_seq_tb(&spec.name, &spec.inputs, &spec.outputs, &spec.stimulus, &spec.expected),
+    };
+    Problem {
+        id: 0,
+        name: spec.name.clone(),
+        family: spec.family,
+        difficulty: spec.difficulty,
+        spec: prompt(&spec.name, &spec.description, &spec.inputs, &spec.outputs, true),
+        module_name: spec.name,
+        verilog,
+        vhdl,
+    }
+}
+
+// ----------------------------------------------------------- prompts
+
+fn prompt(name: &str, description: &str, inputs: &[Port], outputs: &[Port], seq: bool) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("Design task: {name}.\n"));
+    s.push_str(&format!(
+        "Implement a hardware module named `{name}` with the following interface:\n"
+    ));
+    if seq {
+        s.push_str("  - input clk (1 bit): clock\n");
+    }
+    for p in inputs {
+        s.push_str(&format!("  - input {} ({} bit{})\n", p.name, p.width, plural(p.width)));
+    }
+    for p in outputs {
+        s.push_str(&format!("  - output {} ({} bit{})\n", p.name, p.width, plural(p.width)));
+    }
+    s.push_str(&format!("Behaviour: {description}\n"));
+    if seq {
+        s.push_str("All state updates occur on the rising edge of `clk`; outputs are registered.\n");
+    }
+    s
+}
+
+fn plural(w: u32) -> &'static str {
+    if w == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+// ------------------------------------------------------ vector choice
+
+/// Exhaustive when the input space is at most 2^10, otherwise 64 seeded
+/// pseudo-random vectors with the all-zeros / all-ones corners pinned.
+fn choose_vectors(inputs: &[Port], name: &str) -> Vec<Vec<u64>> {
+    let total_bits: u32 = inputs.iter().map(|p| p.width).sum();
+    if total_bits <= 10 {
+        let count = 1u64 << total_bits;
+        (0..count)
+            .map(|n| {
+                let mut fields = Vec::with_capacity(inputs.len());
+                let mut shift = 0;
+                for p in inputs {
+                    fields.push((n >> shift) & mask(p.width));
+                    shift += p.width;
+                }
+                fields
+            })
+            .collect()
+    } else {
+        let seed = name.bytes().fold(0xA5A5u64, |h, b| {
+            h.wrapping_mul(0x100000001B3).wrapping_add(u64::from(b))
+        });
+        let mut rng = SplitMix::new(seed);
+        let mut vectors = vec![
+            inputs.iter().map(|_| 0u64).collect::<Vec<u64>>(),
+            inputs.iter().map(|p| mask(p.width)).collect::<Vec<u64>>(),
+        ];
+        for _ in 0..62 {
+            vectors.push(inputs.iter().map(|p| rng.bits(p.width)).collect());
+        }
+        vectors
+    }
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+// -------------------------------------------------------- DUT codegen
+
+fn vlog_dut(
+    name: &str,
+    inputs: &[Port],
+    outputs: &[Port],
+    body: &str,
+    out_reg: bool,
+    seq: bool,
+) -> String {
+    let mut ports = Vec::new();
+    if seq {
+        ports.push("  input wire clk".to_string());
+    }
+    for p in inputs {
+        ports.push(format!("  input wire {}{}", p.vlog_range(), p.name));
+    }
+    let out_kind = if out_reg { "reg" } else { "wire" };
+    for p in outputs {
+        ports.push(format!("  output {} {}{}", out_kind, p.vlog_range(), p.name));
+    }
+    format!("module {name}(\n{}\n);\n{body}endmodule\n", ports.join(",\n"))
+}
+
+fn vhdl_dut(
+    name: &str,
+    inputs: &[Port],
+    outputs: &[Port],
+    decls: &str,
+    body: &str,
+    seq: bool,
+) -> String {
+    let mut ports = Vec::new();
+    if seq {
+        ports.push("    clk : in std_logic".to_string());
+    }
+    for p in inputs {
+        ports.push(format!("    {} : in {}", p.name, p.vhdl_type()));
+    }
+    for p in outputs {
+        ports.push(format!("    {} : out {}", p.name, p.vhdl_type()));
+    }
+    format!(
+        "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n\
+         entity {name} is\n  port (\n{}\n  );\nend entity;\n\n\
+         architecture rtl of {name} is\n{decls}begin\n{body}end architecture;\n",
+        ports.join(";\n")
+    )
+}
+
+// ------------------------------------------------- combinational TBs
+
+fn vlog_comb_tb(
+    name: &str,
+    inputs: &[Port],
+    outputs: &[Port],
+    vectors: &[Vec<u64>],
+    expected: &[Vec<u64>],
+) -> String {
+    let mut s = String::from("module tb;\n");
+    for p in inputs {
+        s.push_str(&format!("  reg {}{};\n", p.vlog_range(), p.name));
+    }
+    for p in outputs {
+        s.push_str(&format!("  wire {}{};\n", p.vlog_range(), p.name));
+    }
+    s.push_str(&format!("  {name} dut("));
+    let conns: Vec<String> = inputs
+        .iter()
+        .chain(outputs)
+        .map(|p| format!(".{}({})", p.name, p.name))
+        .collect();
+    s.push_str(&conns.join(", "));
+    s.push_str(");\n  integer errors;\n  initial begin\n    errors = 0;\n");
+    let mut case_no = 1u32;
+    for (vec, exp) in vectors.iter().zip(expected) {
+        for (p, v) in inputs.iter().zip(vec) {
+            s.push_str(&format!("    {} = {};\n", p.name, vlog_lit(p.width, *v)));
+        }
+        s.push_str("    #10;\n");
+        for (p, e) in outputs.iter().zip(exp) {
+            let lit = vlog_lit(p.width, *e);
+            s.push_str(&format!(
+                "    if ({} !== {}) begin $error(\"Test Case {} Failed: {} should be {}, got %b\", {}); errors = errors + 1; end\n",
+                p.name, lit, case_no, p.name, lit, p.name
+            ));
+            case_no += 1;
+        }
+    }
+    s.push_str(
+        "    if (errors == 0) $display(\"All tests passed successfully!\");\n\
+         \x20   else $display(\"%0d test case(s) failed.\", errors);\n\
+         \x20   $finish;\n  end\nendmodule\n",
+    );
+    s
+}
+
+fn vhdl_comb_tb(
+    name: &str,
+    inputs: &[Port],
+    outputs: &[Port],
+    vectors: &[Vec<u64>],
+    expected: &[Vec<u64>],
+) -> String {
+    let mut s = String::from(
+        "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n\
+         entity tb is\nend entity;\n\narchitecture sim of tb is\n",
+    );
+    for p in inputs.iter().chain(outputs) {
+        s.push_str(&format!("  signal {} : {};\n", p.name, p.vhdl_type()));
+    }
+    s.push_str(&format!("begin\n  dut: entity work.{name} port map ("));
+    let conns: Vec<String> = inputs
+        .iter()
+        .chain(outputs)
+        .map(|p| format!("{} => {}", p.name, p.name))
+        .collect();
+    s.push_str(&conns.join(", "));
+    s.push_str(");\n\n  stim: process\n  begin\n");
+    let mut case_no = 1u32;
+    for (vec, exp) in vectors.iter().zip(expected) {
+        for (p, v) in inputs.iter().zip(vec) {
+            s.push_str(&format!("    {} <= {};\n", p.name, vhdl_lit(p.width, *v)));
+        }
+        s.push_str("    wait for 10 ns;\n");
+        for (p, e) in outputs.iter().zip(exp) {
+            let lit = vhdl_lit(p.width, *e);
+            // Strip quotes so the literal can sit inside the report string.
+            let shown = lit.replace('"', "");
+            s.push_str(&format!(
+                "    assert {} = {} report \"Test Case {} Failed: {} should be {}\" severity error;\n",
+                p.name, lit, case_no, p.name, shown
+            ));
+            case_no += 1;
+        }
+    }
+    s.push_str(
+        "    report \"All tests passed successfully!\" severity note;\n    wait;\n\
+         \x20 end process;\nend architecture;\n",
+    );
+    s
+}
+
+// --------------------------------------------------- sequential TBs
+
+fn vlog_seq_tb(
+    name: &str,
+    inputs: &[Port],
+    outputs: &[Port],
+    stimulus: &[Vec<u64>],
+    expected: &[Option<Vec<u64>>],
+) -> String {
+    let mut s = String::from("module tb;\n  reg clk;\n");
+    for p in inputs {
+        s.push_str(&format!("  reg {}{};\n", p.vlog_range(), p.name));
+    }
+    for p in outputs {
+        s.push_str(&format!("  wire {}{};\n", p.vlog_range(), p.name));
+    }
+    s.push_str(&format!("  {name} dut(.clk(clk), "));
+    let conns: Vec<String> = inputs
+        .iter()
+        .chain(outputs)
+        .map(|p| format!(".{}({})", p.name, p.name))
+        .collect();
+    s.push_str(&conns.join(", "));
+    s.push_str(");\n  integer errors;\n  initial begin\n    errors = 0;\n    clk = 0;\n");
+    let mut case_no = 1u32;
+    for (vec, exp) in stimulus.iter().zip(expected) {
+        for (p, v) in inputs.iter().zip(vec) {
+            s.push_str(&format!("    {} = {};\n", p.name, vlog_lit(p.width, *v)));
+        }
+        s.push_str("    #4; clk = 1;\n    #2;\n");
+        if let Some(exp) = exp {
+            for (p, e) in outputs.iter().zip(exp) {
+                let lit = vlog_lit(p.width, *e);
+                s.push_str(&format!(
+                    "    if ({} !== {}) begin $error(\"Test Case {} Failed: {} should be {}, got %b\", {}); errors = errors + 1; end\n",
+                    p.name, lit, case_no, p.name, lit, p.name
+                ));
+                case_no += 1;
+            }
+        }
+        // The extra #1 separates next-cycle input changes from the
+        // falling edge, so a wrong-clock-edge fault samples stale inputs
+        // and is caught by the checks.
+        s.push_str("    #3; clk = 0;\n    #1;\n");
+    }
+    s.push_str(
+        "    if (errors == 0) $display(\"All tests passed successfully!\");\n\
+         \x20   else $display(\"%0d test case(s) failed.\", errors);\n\
+         \x20   $finish;\n  end\nendmodule\n",
+    );
+    s
+}
+
+fn vhdl_seq_tb(
+    name: &str,
+    inputs: &[Port],
+    outputs: &[Port],
+    stimulus: &[Vec<u64>],
+    expected: &[Option<Vec<u64>>],
+) -> String {
+    let mut s = String::from(
+        "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n\
+         entity tb is\nend entity;\n\narchitecture sim of tb is\n  signal clk : std_logic := '0';\n",
+    );
+    for p in inputs.iter().chain(outputs) {
+        s.push_str(&format!("  signal {} : {};\n", p.name, p.vhdl_type()));
+    }
+    s.push_str(&format!("begin\n  dut: entity work.{name} port map (clk => clk, "));
+    let conns: Vec<String> = inputs
+        .iter()
+        .chain(outputs)
+        .map(|p| format!("{} => {}", p.name, p.name))
+        .collect();
+    s.push_str(&conns.join(", "));
+    s.push_str(");\n\n  stim: process\n  begin\n");
+    let mut case_no = 1u32;
+    for (vec, exp) in stimulus.iter().zip(expected) {
+        for (p, v) in inputs.iter().zip(vec) {
+            s.push_str(&format!("    {} <= {};\n", p.name, vhdl_lit(p.width, *v)));
+        }
+        s.push_str("    wait for 4 ns;\n    clk <= '1';\n    wait for 2 ns;\n");
+        if let Some(exp) = exp {
+            for (p, e) in outputs.iter().zip(exp) {
+                let lit = vhdl_lit(p.width, *e);
+                let shown = lit.replace('"', "");
+                s.push_str(&format!(
+                    "    assert {} = {} report \"Test Case {} Failed: {} should be {}\" severity error;\n",
+                    p.name, lit, case_no, p.name, shown
+                ));
+                case_no += 1;
+            }
+        }
+        s.push_str("    wait for 3 ns;\n    clk <= '0';\n    wait for 1 ns;\n");
+    }
+    s.push_str(
+        "    report \"All tests passed successfully!\" severity note;\n    wait;\n\
+         \x20 end process;\nend architecture;\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_comb() -> CombSpec {
+        CombSpec {
+            name: "andgate".into(),
+            family: Family::Gates,
+            difficulty: Difficulty::Easy,
+            description: "y is the logical AND of a and b.".into(),
+            inputs: vec![Port::new("a", 1), Port::new("b", 1)],
+            outputs: vec![Port::new("y", 1)],
+            vlog_body: "  assign y = a & b;\n".into(),
+            vlog_out_reg: false,
+            vhdl_body: "  y <= a and b;\n".into(),
+            vhdl_decls: String::new(),
+            eval: Box::new(|v| vec![v[0] & v[1]]),
+        }
+    }
+
+    #[test]
+    fn comb_problem_generates_exhaustive_tb() {
+        let p = comb_problem(tiny_comb());
+        // 2 inputs → 4 vectors → 4 checks in each testbench.
+        assert_eq!(p.verilog.tb.matches("Test Case").count(), 4);
+        assert_eq!(p.vhdl.tb.matches("Test Case").count(), 4);
+        assert!(p.verilog.dut.contains("module andgate("));
+        assert!(p.vhdl.dut.contains("entity andgate is"));
+        assert!(p.spec.contains("input a (1 bit)"));
+    }
+
+    #[test]
+    fn wide_inputs_use_sampled_vectors() {
+        let spec = CombSpec {
+            name: "wide".into(),
+            family: Family::Adder,
+            difficulty: Difficulty::Medium,
+            description: "sum".into(),
+            inputs: vec![Port::new("a", 8), Port::new("b", 8)],
+            outputs: vec![Port::new("y", 8)],
+            vlog_body: "  assign y = a + b;\n".into(),
+            vlog_out_reg: false,
+            vhdl_body: "  y <= std_logic_vector(unsigned(a) + unsigned(b));\n".into(),
+            vhdl_decls: String::new(),
+            eval: Box::new(|v| vec![(v[0] + v[1]) & 0xFF]),
+        };
+        let p = comb_problem(spec);
+        assert_eq!(p.verilog.tb.matches("Test Case").count(), 64);
+    }
+
+    #[test]
+    fn seq_problem_timeline_checks() {
+        let spec = SeqSpec {
+            name: "dff".into(),
+            family: Family::ShiftRegister,
+            difficulty: Difficulty::Medium,
+            description: "q follows d one cycle later.".into(),
+            inputs: vec![Port::new("d", 1)],
+            outputs: vec![Port::new("q", 1)],
+            vlog_body: "  always @(posedge clk) q <= d;\n".into(),
+            vhdl_body: "  process (clk)\n  begin\n    if rising_edge(clk) then\n      q <= d;\n    end if;\n  end process;\n".into(),
+            vhdl_decls: String::new(),
+            stimulus: vec![vec![1], vec![0], vec![1]],
+            expected: vec![Some(vec![1]), Some(vec![0]), Some(vec![1])],
+        };
+        let p = seq_problem(spec);
+        assert_eq!(p.verilog.tb.matches("Test Case").count(), 3);
+        assert!(p.verilog.dut.contains("input wire clk"));
+        assert!(p.vhdl.tb.contains("clk <= '1';"));
+        assert!(p.spec.contains("rising edge"));
+    }
+
+    #[test]
+    #[should_panic(expected = "timelines must align")]
+    fn seq_timeline_mismatch_panics() {
+        let spec = SeqSpec {
+            name: "bad".into(),
+            family: Family::Counter,
+            difficulty: Difficulty::Easy,
+            description: String::new(),
+            inputs: vec![],
+            outputs: vec![Port::new("q", 1)],
+            vlog_body: String::new(),
+            vhdl_body: String::new(),
+            vhdl_decls: String::new(),
+            stimulus: vec![vec![]],
+            expected: vec![],
+        };
+        let _ = seq_problem(spec);
+    }
+}

@@ -1,0 +1,24 @@
+//! The 16 circuit families making up the 156-problem suite.
+//!
+//! Each family module exposes `extend(&mut Vec<Problem>)`, contributing
+//! its instances: a Rust golden model, golden Verilog and VHDL DUTs,
+//! and (via the crate's builder helpers, re-exported as
+//! [`crate::CombSpec`]/[`crate::SeqSpec`]) exhaustive self-checking
+//! testbenches.
+
+pub mod adder;
+pub mod alu;
+pub mod comparator;
+pub mod counter;
+pub mod decoder;
+pub mod edge;
+pub mod encoder;
+pub mod fsm;
+pub mod gates;
+pub mod gray;
+pub mod mux;
+pub mod parity;
+pub mod popcount;
+pub mod sevenseg;
+pub mod shifter;
+pub mod shiftreg;

@@ -1,0 +1,131 @@
+//! Port descriptions and HDL literal formatting shared by the
+//! testbench/DUT generators.
+
+/// One DUT port (direction is implied by which list it sits in).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+}
+
+impl Port {
+    /// Creates a port.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: u32) -> Port {
+        Port { name: name.into(), width }
+    }
+
+    /// Verilog range prefix: `[3:0] ` or the empty string for 1 bit.
+    #[must_use]
+    pub fn vlog_range(&self) -> String {
+        if self.width == 1 {
+            String::new()
+        } else {
+            format!("[{}:0] ", self.width - 1)
+        }
+    }
+
+    /// VHDL subtype: `std_logic` or `std_logic_vector(3 downto 0)`.
+    #[must_use]
+    pub fn vhdl_type(&self) -> String {
+        if self.width == 1 {
+            "std_logic".to_string()
+        } else {
+            format!("std_logic_vector({} downto 0)", self.width - 1)
+        }
+    }
+}
+
+/// Formats a Verilog sized binary literal, e.g. `4'b0101`.
+#[must_use]
+pub fn vlog_lit(width: u32, value: u64) -> String {
+    format!("{}'b{}", width, bin_digits(width, value))
+}
+
+/// Formats a VHDL literal: `'0'` for 1 bit, `"0101"` otherwise.
+#[must_use]
+pub fn vhdl_lit(width: u32, value: u64) -> String {
+    if width == 1 {
+        format!("'{}'", value & 1)
+    } else {
+        format!("\"{}\"", bin_digits(width, value))
+    }
+}
+
+fn bin_digits(width: u32, value: u64) -> String {
+    (0..width)
+        .rev()
+        .map(|i| if value >> i & 1 == 1 { '1' } else { '0' })
+        .collect()
+}
+
+/// Deterministic pseudo-random stream (splitmix64) used to pick test
+/// vectors when exhaustive enumeration would be too large. Lives here —
+/// not on `rand` — so the suite is byte-stable regardless of dependency
+/// versions.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    pub(crate) fn new(seed: u64) -> SplitMix {
+        SplitMix { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..=mask` for a `width`-bit field.
+    pub(crate) fn bits(&mut self, width: u32) -> u64 {
+        if width >= 64 {
+            self.next_u64()
+        } else {
+            self.next_u64() & ((1u64 << width) - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vlog_range_formatting() {
+        assert_eq!(Port::new("a", 1).vlog_range(), "");
+        assert_eq!(Port::new("a", 8).vlog_range(), "[7:0] ");
+    }
+
+    #[test]
+    fn vhdl_types() {
+        assert_eq!(Port::new("a", 1).vhdl_type(), "std_logic");
+        assert_eq!(Port::new("a", 4).vhdl_type(), "std_logic_vector(3 downto 0)");
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(vlog_lit(4, 0b0101), "4'b0101");
+        assert_eq!(vhdl_lit(1, 1), "'1'");
+        assert_eq!(vhdl_lit(4, 0b1010), "\"1010\"");
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_masked() {
+        let mut a = SplitMix::new(7);
+        let mut b = SplitMix::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SplitMix::new(3);
+        for _ in 0..100 {
+            assert!(r.bits(5) < 32);
+        }
+    }
+}

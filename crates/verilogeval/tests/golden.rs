@@ -1,0 +1,67 @@
+//! The suite's core invariant: every golden DUT passes its own
+//! reference testbench, in both languages, under the EDA tool suite.
+//! This is what makes the benchmark usable for pass@1 scoring — a
+//! correct submission is guaranteed to score as functionally correct.
+
+use aivril_eda::{HdlFile, ToolSuite, XsimToolSuite};
+use aivril_verilogeval::suite;
+
+#[test]
+fn all_verilog_goldens_pass_their_testbenches() {
+    let tools = XsimToolSuite::new();
+    let mut failures = Vec::new();
+    for p in suite() {
+        let files = [
+            HdlFile::new(format!("{}.v", p.module_name), p.verilog.dut.clone()),
+            HdlFile::new("tb.v", p.verilog.tb.clone()),
+        ];
+        let report = tools.simulate(&files, Some("tb"));
+        if !report.passed {
+            failures.push(format!(
+                "{}:\n--- dut ---\n{}\n--- log ---\n{}",
+                p.name,
+                p.verilog.dut,
+                tail(&report.log, 30)
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} Verilog golden(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n=====\n")
+    );
+}
+
+#[test]
+fn all_vhdl_goldens_pass_their_testbenches() {
+    let tools = XsimToolSuite::new();
+    let mut failures = Vec::new();
+    for p in suite() {
+        let files = [
+            HdlFile::new(format!("{}.vhd", p.module_name), p.vhdl.dut.clone()),
+            HdlFile::new("tb.vhd", p.vhdl.tb.clone()),
+        ];
+        let report = tools.simulate(&files, Some("tb"));
+        if !report.passed {
+            failures.push(format!(
+                "{}:\n--- dut ---\n{}\n--- log ---\n{}",
+                p.name,
+                p.vhdl.dut,
+                tail(&report.log, 30)
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} VHDL golden(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n=====\n")
+    );
+}
+
+fn tail(s: &str, n: usize) -> String {
+    let lines: Vec<&str> = s.lines().collect();
+    let start = lines.len().saturating_sub(n);
+    lines[start..].join("\n")
+}

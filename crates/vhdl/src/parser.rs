@@ -1,0 +1,1161 @@
+//! Recursive-descent parser for the VHDL-93 subset.
+
+use crate::ast::*;
+use crate::lexer::{Keyword as Kw, Punct, Token, TokenKind};
+use aivril_hdl::diag::{codes, Diagnostic, Diagnostics};
+use aivril_hdl::source::Span;
+
+/// Parses a token stream into a design file, appending errors to `diags`.
+pub fn parse(tokens: Vec<Token>, diags: &mut Diagnostics) -> DesignFile {
+    let mut p = Parser { tokens, pos: 0, diags };
+    let mut file = DesignFile::default();
+    while !p.at_eof() {
+        if p.eat_kw(Kw::Library) {
+            p.parse_library_clause();
+        } else if p.eat_kw(Kw::Use) {
+            p.parse_use_clause();
+        } else if p.check_kw(Kw::Entity) {
+            p.bump();
+            if let Some(e) = p.parse_entity() {
+                file.entities.push(e);
+            } else {
+                p.skip_to_design_unit();
+            }
+        } else if p.check_kw(Kw::Architecture) {
+            p.bump();
+            if let Some(a) = p.parse_architecture() {
+                file.architectures.push(a);
+            } else {
+                p.skip_to_design_unit();
+            }
+        } else {
+            let tok = p.peek().clone();
+            p.error(
+                format!("expected 'entity' or 'architecture', found {}", tok.describe()),
+                tok.span,
+            );
+            p.bump();
+            p.skip_to_design_unit();
+        }
+    }
+    file
+}
+
+struct Parser<'d> {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: &'d mut Diagnostics,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, p: Punct) -> bool {
+        self.peek().kind == TokenKind::Punct(p)
+    }
+
+    fn check_kw(&self, k: Kw) -> bool {
+        self.peek().kind == TokenKind::Keyword(k)
+    }
+
+    fn eat(&mut self, p: Punct) -> bool {
+        if self.check(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.check_kw(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&mut self, message: String, span: Span) {
+        if self.diags.error_count() < 20 {
+            self.diags
+                .push(Diagnostic::error(codes::VHDL_SYNTAX, message, span));
+        }
+    }
+
+    fn expect(&mut self, p: Punct) -> Option<Token> {
+        if self.check(p) {
+            return Some(self.bump());
+        }
+        let tok = self.peek().clone();
+        self.error(format!("expected '{p}', found {}", tok.describe()), tok.span);
+        None
+    }
+
+    fn expect_kw(&mut self, k: Kw) -> Option<()> {
+        if self.eat_kw(k) {
+            return Some(());
+        }
+        let tok = self.peek().clone();
+        self.error(
+            format!("expected '{}', found {}", k.as_str(), tok.describe()),
+            tok.span,
+        );
+        None
+    }
+
+    fn expect_ident(&mut self) -> Option<(String, Span)> {
+        if self.peek().kind == TokenKind::Ident {
+            let t = self.bump();
+            return Some((t.text, t.span));
+        }
+        let tok = self.peek().clone();
+        self.error(format!("expected identifier, found {}", tok.describe()), tok.span);
+        None
+    }
+
+    fn skip_past_semi(&mut self) {
+        while !self.at_eof() {
+            if self.eat(Punct::Semi) {
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// `library ident {, ident} ;` — names are recorded nowhere (only
+    /// `work`/`ieee` exist here) but the syntax is checked strictly.
+    fn parse_library_clause(&mut self) {
+        if self.expect_ident().is_none() {
+            self.skip_past_semi();
+            return;
+        }
+        while self.eat(Punct::Comma) {
+            if self.expect_ident().is_none() {
+                self.skip_past_semi();
+                return;
+            }
+        }
+        self.expect(Punct::Semi);
+    }
+
+    /// `use name.name.all ;` — checked strictly, contents ignored.
+    fn parse_use_clause(&mut self) {
+        if self.expect_ident().is_none() {
+            self.skip_past_semi();
+            return;
+        }
+        while self.eat(Punct::Dot) {
+            if self.eat_kw(Kw::All) {
+                break;
+            }
+            if self.expect_ident().is_none() {
+                self.skip_past_semi();
+                return;
+            }
+        }
+        self.expect(Punct::Semi);
+    }
+
+    fn skip_to_design_unit(&mut self) {
+        while !self.at_eof() && !self.check_kw(Kw::Entity) && !self.check_kw(Kw::Architecture) {
+            self.bump();
+        }
+    }
+
+    // -------------------------------------------------------- entities
+
+    fn parse_entity(&mut self) -> Option<Entity> {
+        let (name, span) = self.expect_ident()?;
+        self.expect_kw(Kw::Is)?;
+        let mut generics = Vec::new();
+        let mut ports = Vec::new();
+        if self.eat_kw(Kw::Generic) {
+            self.expect(Punct::LParen)?;
+            loop {
+                let mut names = vec![self.expect_ident()?];
+                while self.eat(Punct::Comma) {
+                    names.push(self.expect_ident()?);
+                }
+                self.expect(Punct::Colon)?;
+                let _ty = self.parse_type_mark()?;
+                let default = if self.eat(Punct::Assign) {
+                    Some(self.parse_expr())
+                } else {
+                    None
+                };
+                for (n, s) in names {
+                    generics.push(GenericDecl { name: n, default: default.clone(), span: s });
+                }
+                if !self.eat(Punct::Semi) {
+                    break;
+                }
+            }
+            self.expect(Punct::RParen)?;
+            self.expect(Punct::Semi)?;
+        }
+        if self.eat_kw(Kw::Port) {
+            self.expect(Punct::LParen)?;
+            loop {
+                let mut names = vec![self.expect_ident()?];
+                while self.eat(Punct::Comma) {
+                    names.push(self.expect_ident()?);
+                }
+                self.expect(Punct::Colon)?;
+                let dir = if self.eat_kw(Kw::In) {
+                    PortDir::In
+                } else if self.eat_kw(Kw::Out) {
+                    PortDir::Out
+                } else if self.eat_kw(Kw::Inout) {
+                    PortDir::Inout
+                } else {
+                    let tok = self.peek().clone();
+                    self.error(
+                        format!("expected port direction, found {}", tok.describe()),
+                        tok.span,
+                    );
+                    PortDir::In
+                };
+                let ty = self.parse_type_mark()?;
+                for (n, s) in names {
+                    ports.push(PortDecl { name: n, dir, ty: ty.clone(), span: s });
+                }
+                if !self.eat(Punct::Semi) {
+                    break;
+                }
+            }
+            self.expect(Punct::RParen)?;
+            self.expect(Punct::Semi)?;
+        }
+        self.expect_kw(Kw::End)?;
+        self.eat_kw(Kw::Entity);
+        if self.peek().kind == TokenKind::Ident {
+            self.bump();
+        }
+        self.expect(Punct::Semi)?;
+        Some(Entity { name, generics, ports, span })
+    }
+
+    fn parse_type_mark(&mut self) -> Option<TypeMark> {
+        let (name, span) = self.expect_ident()?;
+        match name.as_str() {
+            "std_logic" | "std_ulogic" | "bit" => Some(TypeMark::StdLogic),
+            "boolean" => Some(TypeMark::Boolean),
+            "integer" | "natural" | "positive" => {
+                // Optional range constraint: `integer range 0 to 255`.
+                if self.peek().kind == TokenKind::Ident && self.peek().text == "range" {
+                    self.bump();
+                    let _ = self.parse_expr();
+                    if !(self.eat_kw(Kw::To) || self.eat_kw(Kw::Downto)) {
+                        let tok = self.peek().clone();
+                        self.error(
+                            format!("expected 'to' or 'downto', found {}", tok.describe()),
+                            tok.span,
+                        );
+                    }
+                    let _ = self.parse_expr();
+                }
+                Some(TypeMark::Integer)
+            }
+            "std_logic_vector" | "unsigned" | "signed" | "bit_vector" => {
+                self.expect(Punct::LParen)?;
+                let left = self.parse_expr();
+                let downto = if self.eat_kw(Kw::Downto) {
+                    true
+                } else if self.eat_kw(Kw::To) {
+                    false
+                } else {
+                    let tok = self.peek().clone();
+                    self.error(
+                        format!("expected 'downto' or 'to', found {}", tok.describe()),
+                        tok.span,
+                    );
+                    true
+                };
+                let right = self.parse_expr();
+                self.expect(Punct::RParen)?;
+                let (high, low) = if downto { (left, right) } else { (right, left) };
+                Some(TypeMark::Vector { high, low, downto })
+            }
+            other => {
+                self.error(format!("unsupported type '{other}'"), span);
+                None
+            }
+        }
+    }
+
+    // --------------------------------------------------- architectures
+
+    fn parse_architecture(&mut self) -> Option<Architecture> {
+        let (name, span) = self.expect_ident()?;
+        self.expect_kw(Kw::Of)?;
+        let (entity, _) = self.expect_ident()?;
+        self.expect_kw(Kw::Is)?;
+        let mut decls = Vec::new();
+        while !self.check_kw(Kw::Begin) && !self.at_eof() {
+            if self.eat_kw(Kw::Signal) {
+                let mut names = vec![self.expect_ident()?];
+                while self.eat(Punct::Comma) {
+                    names.push(self.expect_ident()?);
+                }
+                self.expect(Punct::Colon)?;
+                let ty = self.parse_type_mark()?;
+                let init = if self.eat(Punct::Assign) {
+                    Some(self.parse_expr())
+                } else {
+                    None
+                };
+                self.expect(Punct::Semi)?;
+                decls.push(Decl::Signal { names, ty, init });
+            } else if self.eat_kw(Kw::Constant) {
+                let (cname, cspan) = self.expect_ident()?;
+                self.expect(Punct::Colon)?;
+                let _ty = self.parse_type_mark()?;
+                self.expect(Punct::Assign)?;
+                let value = self.parse_expr();
+                self.expect(Punct::Semi)?;
+                decls.push(Decl::Constant { name: cname, value, span: cspan });
+            } else if self.eat_kw(Kw::Component) {
+                // Component declarations are tolerated and skipped; only
+                // direct entity instantiation is supported.
+                while !self.at_eof() {
+                    if self.eat_kw(Kw::End) && self.eat_kw(Kw::Component) {
+                        if self.peek().kind == TokenKind::Ident {
+                            self.bump();
+                        }
+                        self.expect(Punct::Semi)?;
+                        break;
+                    }
+                    self.bump();
+                }
+            } else {
+                let tok = self.peek().clone();
+                self.error(
+                    format!("expected declaration or 'begin', found {}", tok.describe()),
+                    tok.span,
+                );
+                return None;
+            }
+        }
+        self.expect_kw(Kw::Begin)?;
+        let mut stmts = Vec::new();
+        loop {
+            if self.check_kw(Kw::End) {
+                self.bump();
+                self.eat_kw(Kw::Architecture);
+                if self.peek().kind == TokenKind::Ident {
+                    self.bump();
+                }
+                self.expect(Punct::Semi)?;
+                break;
+            }
+            if self.at_eof() {
+                self.error("expected 'end', found end of file".into(), span);
+                break;
+            }
+            match self.parse_concurrent_stmt() {
+                Some(s) => stmts.push(s),
+                None => self.skip_past_semi(),
+            }
+        }
+        Some(Architecture { name, entity, decls, stmts, span })
+    }
+
+    fn parse_concurrent_stmt(&mut self) -> Option<ConcurrentStmt> {
+        // Optional label.
+        let label = if self.peek().kind == TokenKind::Ident
+            && self.peek2().kind == TokenKind::Punct(Punct::Colon)
+        {
+            let (l, _) = self.expect_ident()?;
+            self.bump(); // ':'
+            Some(l)
+        } else {
+            None
+        };
+        if self.check_kw(Kw::Process) {
+            let span = self.bump().span;
+            let mut sensitivity = Vec::new();
+            if self.eat(Punct::LParen) {
+                loop {
+                    sensitivity.push(self.expect_ident()?);
+                    if !self.eat(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Punct::RParen)?;
+            }
+            self.eat_kw(Kw::Is);
+            // Process-declarative part: variable declarations.
+            let mut variables = Vec::new();
+            while !self.check_kw(Kw::Begin) && !self.at_eof() {
+                let tok = self.peek().clone();
+                if self.eat_kw(Kw::Variable) {
+                    let mut names = vec![self.expect_ident()?];
+                    while self.eat(Punct::Comma) {
+                        names.push(self.expect_ident()?);
+                    }
+                    self.expect(Punct::Colon)?;
+                    let ty = self.parse_type_mark()?;
+                    let init = if self.eat(Punct::Assign) {
+                        Some(self.parse_expr())
+                    } else {
+                        None
+                    };
+                    self.expect(Punct::Semi)?;
+                    variables.push(VarDecl { names, ty, init });
+                } else {
+                    self.error(
+                        format!("expected 'variable' or 'begin', found {}", tok.describe()),
+                        tok.span,
+                    );
+                    return None;
+                }
+            }
+            self.expect_kw(Kw::Begin)?;
+            let body = self.parse_seq_stmts(&[Kw::End])?;
+            self.expect_kw(Kw::End)?;
+            self.expect_kw(Kw::Process)?;
+            if self.peek().kind == TokenKind::Ident {
+                self.bump();
+            }
+            self.expect(Punct::Semi)?;
+            return Some(ConcurrentStmt::Process { label, sensitivity, variables, body, span });
+        }
+        if self.check_kw(Kw::Entity) {
+            let span = self.bump().span;
+            let Some(label) = label else {
+                self.error("entity instantiation requires a label".into(), span);
+                return None;
+            };
+            // work.NAME
+            let (lib, _) = self.expect_ident()?;
+            let entity = if self.eat(Punct::Dot) {
+                let (n, _) = self.expect_ident()?;
+                n
+            } else {
+                lib
+            };
+            let mut generic_map = Vec::new();
+            if self.eat_kw(Kw::Generic) {
+                self.expect_kw(Kw::Map)?;
+                self.expect(Punct::LParen)?;
+                loop {
+                    let (gname, _) = self.expect_ident()?;
+                    self.expect(Punct::Arrow)?;
+                    generic_map.push((gname, self.parse_expr()));
+                    if !self.eat(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Punct::RParen)?;
+            }
+            self.expect_kw(Kw::Port)?;
+            self.expect_kw(Kw::Map)?;
+            self.expect(Punct::LParen)?;
+            let mut port_map = Vec::new();
+            loop {
+                let (pname, pspan) = self.expect_ident()?;
+                self.expect(Punct::Arrow)?;
+                // `open` connection.
+                if self.peek().kind == TokenKind::Ident && self.peek().text == "open" {
+                    self.bump();
+                    port_map.push((pname, None, pspan));
+                } else {
+                    port_map.push((pname, Some(self.parse_expr()), pspan));
+                }
+                if !self.eat(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect(Punct::RParen)?;
+            self.expect(Punct::Semi)?;
+            return Some(ConcurrentStmt::Instance { label, entity, generic_map, port_map, span });
+        }
+        // Concurrent signal assignment.
+        let target = self.parse_name_expr()?;
+        let span = target.span().unwrap_or_else(|| self.peek().span);
+        self.expect(Punct::SigAssign)?;
+        let value = self.parse_when_expr();
+        self.expect(Punct::Semi)?;
+        Some(ConcurrentStmt::Assign { target, value, span })
+    }
+
+    // ----------------------------------------------------- sequentials
+
+    /// Parses sequential statements until one of `stops` is the lookahead.
+    fn parse_seq_stmts(&mut self, stops: &[Kw]) -> Option<Vec<SeqStmt>> {
+        let mut out = Vec::new();
+        loop {
+            if self.at_eof() || stops.iter().any(|&k| self.check_kw(k)) {
+                return Some(out);
+            }
+            match self.parse_seq_stmt() {
+                Some(s) => out.push(s),
+                None => {
+                    self.skip_past_semi();
+                    if self.at_eof() {
+                        return Some(out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_seq_stmt(&mut self) -> Option<SeqStmt> {
+        let tok = self.peek().clone();
+        if self.eat_kw(Kw::If) {
+            let mut arms = Vec::new();
+            let cond = self.parse_expr();
+            self.expect_kw(Kw::Then)?;
+            let body = self.parse_seq_stmts(&[Kw::Elsif, Kw::Else, Kw::End])?;
+            arms.push((cond, body));
+            let mut els = None;
+            loop {
+                if self.eat_kw(Kw::Elsif) {
+                    let c = self.parse_expr();
+                    self.expect_kw(Kw::Then)?;
+                    let b = self.parse_seq_stmts(&[Kw::Elsif, Kw::Else, Kw::End])?;
+                    arms.push((c, b));
+                } else if self.eat_kw(Kw::Else) {
+                    els = Some(self.parse_seq_stmts(&[Kw::End])?);
+                    break;
+                } else {
+                    break;
+                }
+            }
+            self.expect_kw(Kw::End)?;
+            self.expect_kw(Kw::If)?;
+            self.expect(Punct::Semi)?;
+            return Some(SeqStmt::If { arms, els });
+        }
+        if self.eat_kw(Kw::Case) {
+            let subject = self.parse_expr();
+            self.expect_kw(Kw::Is)?;
+            let mut arms = Vec::new();
+            while self.eat_kw(Kw::When) {
+                let mut choices = Vec::new();
+                if !self.eat_kw(Kw::Others) {
+                    loop {
+                        choices.push(self.parse_expr());
+                        if !self.eat(Punct::Bar) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Punct::Arrow)?;
+                let body = self.parse_seq_stmts(&[Kw::When, Kw::End])?;
+                arms.push((choices, body));
+            }
+            self.expect_kw(Kw::End)?;
+            self.expect_kw(Kw::Case)?;
+            self.expect(Punct::Semi)?;
+            return Some(SeqStmt::Case { subject, arms, span: tok.span });
+        }
+        if self.eat_kw(Kw::For) {
+            let (var, _) = self.expect_ident()?;
+            if !(self.peek().kind == TokenKind::Keyword(Kw::In)) {
+                let t = self.peek().clone();
+                self.error(format!("expected 'in', found {}", t.describe()), t.span);
+                return None;
+            }
+            self.bump();
+            let from = self.parse_expr();
+            let downto = if self.eat_kw(Kw::Downto) {
+                true
+            } else {
+                self.expect_kw(Kw::To)?;
+                false
+            };
+            let to = self.parse_expr();
+            self.expect_kw(Kw::Loop)?;
+            let body = self.parse_seq_stmts(&[Kw::End])?;
+            self.expect_kw(Kw::End)?;
+            self.expect_kw(Kw::Loop)?;
+            self.expect(Punct::Semi)?;
+            return Some(SeqStmt::For { var, from, to, downto, body, span: tok.span });
+        }
+        if self.eat_kw(Kw::While) {
+            let cond = self.parse_expr();
+            self.expect_kw(Kw::Loop)?;
+            let body = self.parse_seq_stmts(&[Kw::End])?;
+            self.expect_kw(Kw::End)?;
+            self.expect_kw(Kw::Loop)?;
+            self.expect(Punct::Semi)?;
+            return Some(SeqStmt::While { cond, body });
+        }
+        if self.eat_kw(Kw::Wait) {
+            if self.eat_kw(Kw::For) {
+                let amount = self.parse_time_expr();
+                self.expect(Punct::Semi)?;
+                return Some(SeqStmt::WaitFor { amount, span: tok.span });
+            }
+            if self.eat_kw(Kw::Until) {
+                let cond = self.parse_expr();
+                // Optional trailing `for <time>` is unsupported; tolerate.
+                self.expect(Punct::Semi)?;
+                return Some(SeqStmt::WaitUntil { cond, span: tok.span });
+            }
+            self.expect(Punct::Semi)?;
+            return Some(SeqStmt::WaitForever { span: tok.span });
+        }
+        if self.eat_kw(Kw::Assert) {
+            let cond = self.parse_expr();
+            let report = if self.eat_kw(Kw::Report) {
+                Some(self.parse_message()?)
+            } else {
+                None
+            };
+            let severity = self.parse_severity(SeverityLevel::Error)?;
+            self.expect(Punct::Semi)?;
+            return Some(SeqStmt::Assert { cond, report, severity, span: tok.span });
+        }
+        if self.eat_kw(Kw::Report) {
+            let message = self.parse_message()?;
+            let severity = self.parse_severity(SeverityLevel::Note)?;
+            self.expect(Punct::Semi)?;
+            return Some(SeqStmt::Report { message, severity, span: tok.span });
+        }
+        if self.eat_kw(Kw::Null) {
+            self.expect(Punct::Semi)?;
+            return Some(SeqStmt::Null);
+        }
+        // Signal (`<=`) or variable (`:=`) assignment.
+        let target = self.parse_name_expr()?;
+        let span = target.span().unwrap_or(tok.span);
+        if self.eat(Punct::Assign) {
+            let value = self.parse_expr();
+            self.expect(Punct::Semi)?;
+            return Some(SeqStmt::VariableAssign { target, value, span });
+        }
+        self.expect(Punct::SigAssign)?;
+        let value = self.parse_expr();
+        if self.eat_kw(Kw::After) {
+            let t = self.peek().clone();
+            self.error("'after' delays are not supported".into(), t.span);
+            let _ = self.parse_time_expr();
+        }
+        self.expect(Punct::Semi)?;
+        Some(SeqStmt::SignalAssign { target, value, span })
+    }
+
+    fn parse_message(&mut self) -> Option<String> {
+        if self.peek().kind == TokenKind::StrLit {
+            return Some(self.bump().text);
+        }
+        let tok = self.peek().clone();
+        self.error(
+            format!("expected a string message, found {}", tok.describe()),
+            tok.span,
+        );
+        None
+    }
+
+    fn parse_severity(&mut self, default: SeverityLevel) -> Option<SeverityLevel> {
+        if !self.eat_kw(Kw::Severity) {
+            return Some(default);
+        }
+        let (name, span) = self.expect_ident()?;
+        match name.as_str() {
+            "note" => Some(SeverityLevel::Note),
+            "warning" => Some(SeverityLevel::Warning),
+            "error" => Some(SeverityLevel::Error),
+            "failure" => Some(SeverityLevel::Failure),
+            other => {
+                self.error(format!("unknown severity level '{other}'"), span);
+                Some(default)
+            }
+        }
+    }
+
+    /// Parses an expression followed by an optional time unit, folding
+    /// the unit's multiplier into integer literals (`10 ns` → `10`).
+    fn parse_time_expr(&mut self) -> Expr {
+        let e = self.parse_expr();
+        if self.peek().kind == TokenKind::Ident {
+            let unit = self.peek().text.clone();
+            let mult: Option<i64> = match unit.as_str() {
+                "ns" => Some(1),
+                "us" => Some(1_000),
+                "ms" => Some(1_000_000),
+                "ps" | "fs" => Some(0),
+                _ => None,
+            };
+            if let Some(m) = mult {
+                self.bump();
+                if let Expr::Int { value, span } = e {
+                    return Expr::Int { value: value * m, span };
+                }
+                return e;
+            }
+        }
+        e
+    }
+
+    // ------------------------------------------------------ expressions
+
+    /// Concurrent conditional value: `a when c else b when c2 else d`.
+    fn parse_when_expr(&mut self) -> Expr {
+        let value = self.parse_expr();
+        if self.eat_kw(Kw::When) {
+            let cond = self.parse_expr();
+            if self.expect_kw(Kw::Else).is_none() {
+                return value;
+            }
+            let els = self.parse_when_expr();
+            return Expr::When {
+                value: Box::new(value),
+                cond: Box::new(cond),
+                els: Box::new(els),
+            };
+        }
+        value
+    }
+
+    fn parse_expr(&mut self) -> Expr {
+        // Logical operators (lowest precedence, left-assoc chain).
+        let mut lhs = self.parse_relational();
+        loop {
+            let op = if self.eat_kw(Kw::And) {
+                BinOp::And
+            } else if self.eat_kw(Kw::Or) {
+                BinOp::Or
+            } else if self.eat_kw(Kw::Xor) {
+                BinOp::Xor
+            } else if self.eat_kw(Kw::Nand) {
+                BinOp::Nand
+            } else if self.eat_kw(Kw::Nor) {
+                BinOp::Nor
+            } else if self.eat_kw(Kw::Xnor) {
+                BinOp::Xnor
+            } else {
+                return lhs;
+            };
+            let rhs = self.parse_relational();
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn parse_relational(&mut self) -> Expr {
+        let lhs = self.parse_shift();
+        let op = match self.peek().kind {
+            TokenKind::Punct(Punct::Eq) => BinOp::Eq,
+            TokenKind::Punct(Punct::Ne) => BinOp::Ne,
+            TokenKind::Punct(Punct::Lt) => BinOp::Lt,
+            TokenKind::Punct(Punct::SigAssign) => BinOp::Le,
+            TokenKind::Punct(Punct::Gt) => BinOp::Gt,
+            TokenKind::Punct(Punct::Ge) => BinOp::Ge,
+            _ => return lhs,
+        };
+        self.bump();
+        let rhs = self.parse_shift();
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    fn parse_shift(&mut self) -> Expr {
+        let lhs = self.parse_adding();
+        let op = if self.eat_kw(Kw::Sll) {
+            BinOp::Sll
+        } else if self.eat_kw(Kw::Srl) {
+            BinOp::Srl
+        } else {
+            return lhs;
+        };
+        let rhs = self.parse_adding();
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    fn parse_adding(&mut self) -> Expr {
+        let mut lhs = self.parse_term();
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Punct(Punct::Plus) => BinOp::Add,
+                TokenKind::Punct(Punct::Minus) => BinOp::Sub,
+                TokenKind::Punct(Punct::Amp) => BinOp::Concat,
+                _ => return lhs,
+            };
+            self.bump();
+            let rhs = self.parse_term();
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn parse_term(&mut self) -> Expr {
+        let mut lhs = self.parse_factor();
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Punct(Punct::Star) => BinOp::Mul,
+                TokenKind::Punct(Punct::Slash) => BinOp::Div,
+                TokenKind::Keyword(Kw::Mod) => BinOp::Mod,
+                TokenKind::Keyword(Kw::Rem) => BinOp::Rem,
+                _ => return lhs,
+            };
+            self.bump();
+            let rhs = self.parse_factor();
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn parse_factor(&mut self) -> Expr {
+        if self.eat_kw(Kw::Not) {
+            let operand = self.parse_factor();
+            return Expr::Unary { op: UnOp::Not, operand: Box::new(operand) };
+        }
+        if self.eat(Punct::Minus) {
+            let operand = self.parse_factor();
+            return Expr::Unary { op: UnOp::Negate, operand: Box::new(operand) };
+        }
+        if self.eat(Punct::Plus) {
+            let operand = self.parse_factor();
+            return Expr::Unary { op: UnOp::Plus, operand: Box::new(operand) };
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Expr {
+        let tok = self.peek().clone();
+        match &tok.kind {
+            TokenKind::Number => {
+                self.bump();
+                let value = tok.text.parse::<i64>().unwrap_or({
+                    // Lexer guarantees digits; overflow falls back to 0.
+                    0
+                });
+                Expr::Int { value, span: tok.span }
+            }
+            TokenKind::CharLit => {
+                self.bump();
+                Expr::CharLit {
+                    ch: tok.text.chars().next().unwrap_or('0'),
+                    span: tok.span,
+                }
+            }
+            TokenKind::StrLit => {
+                self.bump();
+                let is_bits = !tok.text.is_empty()
+                    && tok.text.chars().all(|c| matches!(c, '0' | '1' | 'x' | 'X' | 'z' | 'Z'));
+                if is_bits {
+                    Expr::BitString { bits: tok.text, span: tok.span }
+                } else {
+                    Expr::StrLit { text: tok.text, span: tok.span }
+                }
+            }
+            TokenKind::HexString => {
+                self.bump();
+                Expr::HexString { digits: tok.text, span: tok.span }
+            }
+            TokenKind::Keyword(Kw::True) => {
+                self.bump();
+                Expr::Bool { value: true, span: tok.span }
+            }
+            TokenKind::Keyword(Kw::False) => {
+                self.bump();
+                Expr::Bool { value: false, span: tok.span }
+            }
+            TokenKind::Keyword(Kw::Others) => {
+                // Bare `others` only appears inside aggregates; handled in
+                // the LParen branch. Reaching it here is an error.
+                self.bump();
+                self.error("'others' is only valid inside an aggregate".into(), tok.span);
+                Expr::Int { value: 0, span: tok.span }
+            }
+            TokenKind::Ident => {
+                self.bump();
+                let name = tok.text;
+                // Attribute?
+                if self.check(Punct::Tick) {
+                    self.bump();
+                    let (attr, _) = match self.expect_ident() {
+                        Some(a) => a,
+                        None => ("event".to_string(), tok.span),
+                    };
+                    return Expr::Attr { name, attr, span: tok.span };
+                }
+                // Call / index / slice?
+                if self.eat(Punct::LParen) {
+                    let first = self.parse_expr();
+                    if self.eat_kw(Kw::Downto) {
+                        let right = self.parse_expr();
+                        self.expect(Punct::RParen);
+                        return Expr::Slice {
+                            name,
+                            left: Box::new(first),
+                            right: Box::new(right),
+                            downto: true,
+                            span: tok.span,
+                        };
+                    }
+                    if self.eat_kw(Kw::To) {
+                        let right = self.parse_expr();
+                        self.expect(Punct::RParen);
+                        return Expr::Slice {
+                            name,
+                            left: Box::new(first),
+                            right: Box::new(right),
+                            downto: false,
+                            span: tok.span,
+                        };
+                    }
+                    let mut args = vec![first];
+                    while self.eat(Punct::Comma) {
+                        args.push(self.parse_expr());
+                    }
+                    self.expect(Punct::RParen);
+                    return Expr::Call { name, args, span: tok.span };
+                }
+                Expr::Ident { name, span: tok.span }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                if self.eat_kw(Kw::Others) {
+                    self.expect(Punct::Arrow);
+                    let fill = self.parse_expr();
+                    self.expect(Punct::RParen);
+                    return Expr::Aggregate { fill: Box::new(fill), span: tok.span };
+                }
+                let e = self.parse_expr();
+                self.expect(Punct::RParen);
+                e
+            }
+            _ => {
+                self.error(format!("syntax error near {}", tok.describe()), tok.span);
+                self.bump();
+                Expr::Int { value: 0, span: tok.span }
+            }
+        }
+    }
+
+    /// Restricted name expression for assignment targets: identifier,
+    /// index `a(3)`, or slice `a(7 downto 0)`.
+    fn parse_name_expr(&mut self) -> Option<Expr> {
+        let tok = self.peek().clone();
+        if tok.kind != TokenKind::Ident {
+            self.error(
+                format!("expected a signal name, found {}", tok.describe()),
+                tok.span,
+            );
+            return None;
+        }
+        match self.parse_primary() {
+            e @ (Expr::Ident { .. } | Expr::Call { .. } | Expr::Slice { .. }) => Some(e),
+            _ => {
+                self.error("illegal assignment target".into(), tok.span);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use aivril_hdl::source::SourceMap;
+
+    fn parse_src(src: &str) -> (DesignFile, Diagnostics) {
+        let mut sources = SourceMap::new();
+        let file = sources.add_file("t.vhd", src);
+        let mut diags = Diagnostics::new();
+        let toks = lex(file, src, &mut diags);
+        let unit = parse(toks, &mut diags);
+        (unit, diags)
+    }
+
+    fn parse_clean(src: &str) -> DesignFile {
+        let (unit, diags) = parse_src(src);
+        assert!(!diags.has_errors(), "unexpected: {:?}", diags.all());
+        unit
+    }
+
+    const COUNTER: &str = "\
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity counter is
+  generic (WIDTH : integer := 4);
+  port (
+    clk : in std_logic;
+    rst : in std_logic;
+    q   : out std_logic_vector(WIDTH-1 downto 0)
+  );
+end entity;
+
+architecture rtl of counter is
+  signal count : unsigned(WIDTH-1 downto 0) := (others => '0');
+begin
+  process (clk, rst)
+  begin
+    if rst = '1' then
+      count <= (others => '0');
+    elsif rising_edge(clk) then
+      count <= count + 1;
+    end if;
+  end process;
+  q <= std_logic_vector(count);
+end architecture;
+";
+
+    #[test]
+    fn parses_counter() {
+        let unit = parse_clean(COUNTER);
+        assert_eq!(unit.entities.len(), 1);
+        assert_eq!(unit.architectures.len(), 1);
+        let e = &unit.entities[0];
+        assert_eq!(e.name, "counter");
+        assert_eq!(e.generics.len(), 1);
+        assert_eq!(e.ports.len(), 3);
+        assert_eq!(e.ports[2].dir, PortDir::Out);
+        let a = &unit.architectures[0];
+        assert_eq!(a.entity, "counter");
+        assert_eq!(a.decls.len(), 1);
+        assert_eq!(a.stmts.len(), 2);
+    }
+
+    #[test]
+    fn process_if_elsif_shape() {
+        let unit = parse_clean(COUNTER);
+        match &unit.architectures[0].stmts[0] {
+            ConcurrentStmt::Process { sensitivity, body, .. } => {
+                assert_eq!(sensitivity.len(), 2);
+                match &body[0] {
+                    SeqStmt::If { arms, els } => {
+                        assert_eq!(arms.len(), 2, "if + elsif");
+                        assert!(els.is_none());
+                    }
+                    other => panic!("expected if, got {other:?}"),
+                }
+            }
+            other => panic!("expected process, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn testbench_constructs() {
+        let unit = parse_clean(
+            "entity tb is end entity;\n\
+             architecture sim of tb is\n  signal clk : std_logic := '0';\nbegin\n\
+             clk <= not clk; -- placeholder\n\
+             process\nbegin\n  wait for 10 ns;\n\
+             assert clk = '1' report \"Test Case 1 Failed: clk should be 1\" severity error;\n\
+             report \"All tests passed successfully!\" severity note;\n  wait;\nend process;\n\
+             end architecture;\n",
+        );
+        match &unit.architectures[0].stmts[1] {
+            ConcurrentStmt::Process { sensitivity, body, .. } => {
+                assert!(sensitivity.is_empty());
+                assert!(matches!(body[0], SeqStmt::WaitFor { .. }));
+                assert!(matches!(body[1], SeqStmt::Assert { severity: SeverityLevel::Error, .. }));
+                assert!(matches!(body[2], SeqStmt::Report { .. }));
+                assert!(matches!(body[3], SeqStmt::WaitForever { .. }));
+            }
+            other => panic!("expected process, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instance_with_maps() {
+        let unit = parse_clean(
+            "entity tb is end entity;\narchitecture sim of tb is\n\
+             signal a, y : std_logic;\nbegin\n\
+             dut: entity work.counter generic map (WIDTH => 8) port map (clk => a, q => open);\n\
+             end architecture;\n",
+        );
+        match &unit.architectures[0].stmts[0] {
+            ConcurrentStmt::Instance { label, entity, generic_map, port_map, .. } => {
+                assert_eq!(label, "dut");
+                assert_eq!(entity, "counter");
+                assert_eq!(generic_map.len(), 1);
+                assert_eq!(port_map.len(), 2);
+                assert!(port_map[1].1.is_none(), "open connection");
+            }
+            other => panic!("expected instance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditional_concurrent_assignment() {
+        let unit = parse_clean(
+            "entity m is end entity;\narchitecture a of m is\n\
+             signal s, x, y, z : std_logic;\nbegin\n\
+             z <= x when s = '1' else y;\nend architecture;\n",
+        );
+        match &unit.architectures[0].stmts[0] {
+            ConcurrentStmt::Assign { value: Expr::When { .. }, .. } => {}
+            other => panic!("expected when-assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_with_others_and_alternatives() {
+        let unit = parse_clean(
+            "entity m is end entity;\narchitecture a of m is\n\
+             signal s : std_logic_vector(1 downto 0);\n  signal y : std_logic;\nbegin\n\
+             process (s)\n  begin\n    case s is\n\
+             when \"00\" | \"11\" => y <= '1';\n      when others => y <= '0';\n\
+             end case;\n  end process;\nend architecture;\n",
+        );
+        match &unit.architectures[0].stmts[0] {
+            ConcurrentStmt::Process { body, .. } => match &body[0] {
+                SeqStmt::Case { arms, .. } => {
+                    assert_eq!(arms.len(), 2);
+                    assert_eq!(arms[0].0.len(), 2, "two alternatives");
+                    assert!(arms[1].0.is_empty(), "others = empty choices");
+                }
+                other => panic!("expected case, got {other:?}"),
+            },
+            other => panic!("expected process, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        let (_, diags) = parse_src(
+            "entity e is\n  port (a : in std_logic)\nend entity;\n",
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn missing_end_if_is_error() {
+        let (_, diags) = parse_src(
+            "entity e is end entity;\narchitecture a of e is\nsignal x : std_logic;\nbegin\n\
+             process (x)\nbegin\n  if x = '1' then\n    x <= '0';\nend process;\n\
+             end architecture;\n",
+        );
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn for_loop_in_testbench() {
+        let unit = parse_clean(
+            "entity tb is end entity;\narchitecture sim of tb is\n\
+             signal v : std_logic_vector(3 downto 0);\nbegin\n\
+             process\nbegin\n  for i in 0 to 15 loop\n    wait for 5 ns;\n  end loop;\n\
+             wait;\nend process;\nend architecture;\n",
+        );
+        match &unit.architectures[0].stmts[0] {
+            ConcurrentStmt::Process { body, .. } => {
+                assert!(matches!(body[0], SeqStmt::For { downto: false, .. }));
+            }
+            other => panic!("expected process, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the VHDL frontend.
+
+use aivril_hdl::source::SourceMap;
+use aivril_vhdl::{analyze, compile};
+use aivril_verilogeval::Problem;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn suite() -> &'static [Problem] {
+    static SUITE: OnceLock<Vec<Problem>> = OnceLock::new();
+    SUITE.get_or_init(aivril_verilogeval::suite)
+}
+
+proptest! {
+    /// The lexer and parser never panic on printable noise.
+    #[test]
+    fn frontend_total_on_noise(src in "[ -~\\n\\t]{0,400}") {
+        let mut sources = SourceMap::new();
+        sources.add_file("noise.vhd", src);
+        let _ = analyze(&sources);
+    }
+
+    /// Case-insensitivity: uppercasing a whole golden design must not
+    /// change whether it elaborates (VHDL is case-insensitive).
+    #[test]
+    fn case_insensitive_elaboration(idx in 0usize..32) {
+        let problems = suite();
+        let p = &problems[idx * 5 % problems.len()];
+        let upper = p.vhdl.dut.to_ascii_uppercase();
+        let mut sources = SourceMap::new();
+        sources.add_file("dut.vhd", upper);
+        let design = compile(&sources, &p.module_name);
+        prop_assert!(design.is_ok(), "{}: {:?}", p.name, design.err().map(|d| d.render(&SourceMap::new())));
+    }
+
+    /// Generic widths elaborate and control port width.
+    #[test]
+    fn generic_widths_elaborate(w in 1u32..40) {
+        let src = format!(
+            "entity wide is\n  generic (w : integer := 4);\n\
+             \x20 port (a : in std_logic_vector(w-1 downto 0); y : out std_logic_vector(w-1 downto 0));\n\
+             end entity;\n\
+             architecture rtl of wide is begin y <= not a; end architecture;\n\
+             entity top is end entity;\n\
+             architecture s of top is\n  signal a, y : std_logic_vector({hi} downto 0);\nbegin\n\
+             \x20 u: entity work.wide generic map (w => {w}) port map (a => a, y => y);\n\
+             end architecture;\n",
+            hi = w - 1
+        );
+        let mut sources = SourceMap::new();
+        sources.add_file("t.vhd", src);
+        let design = compile(&sources, "top").expect("elaborates");
+        let net = design.find_net("u.a").expect("child port");
+        prop_assert_eq!(design.net(net).width, w);
+    }
+
+    /// Deleting an arbitrary line from a golden VHDL design is always
+    /// diagnosed or still compiles.
+    #[test]
+    fn line_deletion_is_diagnosed(idx in 0usize..16, line in 0usize..40) {
+        let problems = suite();
+        let p = &problems[idx * 7 % problems.len()];
+        let lines: Vec<&str> = p.vhdl.dut.lines().collect();
+        let drop = line % lines.len();
+        let mutated: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let mut sources = SourceMap::new();
+        sources.add_file("m.vhd", mutated);
+        match compile(&sources, &p.module_name) {
+            Ok(design) => prop_assert!(!design.nets.is_empty()),
+            Err(diags) => prop_assert!(diags.has_errors()),
+        }
+    }
+}
+
+/// Every golden VHDL DUT+TB pair analyzes without errors.
+#[test]
+fn all_golden_duts_analyze_cleanly() {
+    for p in suite() {
+        let mut sources = SourceMap::new();
+        sources.add_file("dut.vhd", p.vhdl.dut.clone());
+        sources.add_file("tb.vhd", p.vhdl.tb.clone());
+        let (_, diags) = analyze(&sources);
+        assert!(!diags.has_errors(), "{}: {}", p.name, diags.render(&sources));
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: the paper's Fig. 2 walkthrough.
+//!
+//! Runs the full AIVRIL2 pipeline on the shift-register-style benchmark
+//! task with the Claude 3.5 Sonnet profile and prints the step-by-step
+//! agent workflow (testbench generation → syntax loop → RTL generation
+//! → syntax loop → functional loop), then the final RTL.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p aivril-bench --example quickstart
+//! ```
+
+use aivril_bench::{build_library, Harness, HarnessConfig};
+use aivril_core::{Aivril2, Aivril2Config, TaskInput};
+use aivril_eda::XsimToolSuite;
+use aivril_llm::{profiles, SimLlm};
+
+fn main() {
+    // The benchmark suite supplies the task; `sipo_w4` is the closest
+    // relative of the paper's shift-register example.
+    let harness = Harness::new(HarnessConfig::default());
+    let problem = harness
+        .problems()
+        .iter()
+        .find(|p| p.name.contains("sipo_w4"))
+        .expect("shift-register task present in the suite");
+
+    println!("=== Fig. 2 step 1: the user requirement ===\n{}", problem.spec);
+
+    // A simulated Claude 3.5 Sonnet stands in for the hosted model; seed
+    // 16 is a sample whose initial code carries both a syntax and a
+    // functional fault, so every loop has work to do — and, like the
+    // paper's Fig. 2 run, it ends in "All tests passed successfully!"
+    // (try other seeds to see clean one-shot runs or budget exhaustion).
+    let mut model = SimLlm::new(profiles::claude35_sonnet(), build_library(harness.problems()));
+    let tools = XsimToolSuite::new();
+    let pipeline = Aivril2::new(&tools, Aivril2Config::default());
+    let task = TaskInput {
+        name: problem.name.clone(),
+        module_name: problem.module_name.clone(),
+        spec: problem.spec.clone(),
+        verilog: true,
+        seed: 16,
+    };
+    let result = pipeline.run(&mut model, &task);
+
+    println!("=== Fig. 2 steps 2-8: the agent workflow ===");
+    println!("{}", result.trace.narration());
+    println!(
+        "pipeline verdict: syntax {} / functional {}",
+        if result.syntax_pass { "PASS" } else { "FAIL" },
+        if result.functional_pass { "PASS" } else { "FAIL" },
+    );
+
+    // External scoring, exactly as the evaluation does it: compile the
+    // final RTL alone, then run the benchmark's reference testbench.
+    let (syntax, functional) = harness.score(problem, &result.final_rtl, true);
+    println!("reference-testbench verdict: syntax {syntax} / functional {functional}");
+    println!(
+        "total modeled latency: {:.1}s ({:.1}s syntax phase, {:.1}s functional phase)\n",
+        result.trace.total_latency(),
+        result.trace.syntax_phase_latency(),
+        result.trace.functional_phase_latency(),
+    );
+    println!("=== final RTL ===\n{}", result.final_rtl);
+}

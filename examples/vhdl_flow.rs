@@ -1,0 +1,58 @@
+//! Language-agnosticism demo: the identical pipeline, agents, prompts
+//! and tools run a **VHDL** task — only the `verilog` flag changes.
+//!
+//! Uses the Llama3-70B profile, whose VHDL is the paper's stress case
+//! (1.28 % baseline syntax rate): watch the Syntax Optimization loop
+//! claw its way to a compiling design.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p aivril-bench --example vhdl_flow
+//! ```
+
+use aivril_bench::{build_library, Harness, HarnessConfig};
+use aivril_core::{Aivril2, Aivril2Config, TaskInput};
+use aivril_eda::XsimToolSuite;
+use aivril_llm::{profiles, SimLlm};
+
+fn main() {
+    let harness = Harness::new(HarnessConfig::default());
+    let problem = harness
+        .problems()
+        .iter()
+        .find(|p| p.name.contains("count_mod10_tc"))
+        .expect("counter task present");
+
+    println!("task: {}\n{}", problem.name, problem.spec);
+
+    let mut model = SimLlm::new(profiles::llama3_70b(), build_library(harness.problems()));
+    let tools = XsimToolSuite::new();
+    let pipeline = Aivril2::new(&tools, Aivril2Config::default());
+
+    // Try a few samples: with a 1.28% zero-shot VHDL syntax rate, most
+    // need several corrective iterations; some exhaust the budget.
+    for seed in 0..4u64 {
+        let task = TaskInput {
+            name: problem.name.clone(),
+            module_name: problem.module_name.clone(),
+            spec: problem.spec.clone(),
+            verilog: false,
+            seed,
+        };
+        let result = pipeline.run(&mut model, &task);
+        let (syntax, functional) = harness.score(problem, &result.final_rtl, false);
+        println!(
+            "sample {seed}: {} events, syntax {} functional {} ({:.1}s modeled)",
+            result.trace.events.len(),
+            if syntax { "PASS" } else { "FAIL" },
+            if functional { "PASS" } else { "FAIL" },
+            result.trace.total_latency(),
+        );
+        if seed == 0 {
+            println!("--- workflow for sample 0 ---\n{}", result.trace.narration());
+        }
+    }
+    println!("\nNothing in the framework knew the language: the same agents drove");
+    println!("xvhdl-style analysis and the same simulator kernel executed the");
+    println!("VHDL design via the shared IR.");
+}
