@@ -14,7 +14,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn harness() -> Harness {
-    Harness::new(HarnessConfig { samples: 1, task_limit: 156, ..HarnessConfig::default() })
+    Harness::new(HarnessConfig {
+        samples: 1,
+        task_limit: 156,
+        ..HarnessConfig::default()
+    })
 }
 
 /// Verilog frontend throughput: lex+parse+elaborate a mid-size golden

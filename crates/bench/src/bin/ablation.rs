@@ -10,16 +10,21 @@
 //!    (locations + snippets + hints) minimise iterations; this compares
 //!    them against error-id-only prompts.
 //!
-//! Scale with `AIVRIL_SAMPLES` / `AIVRIL_TASKS`.
+//! Scale with `AIVRIL_SAMPLES` / `AIVRIL_TASKS` / `AIVRIL_THREADS`.
 
 use aivril_bench::{Flow, Harness, HarnessConfig};
 use aivril_core::{Aivril2Config, PromptDetail};
 use aivril_llm::profiles;
 use aivril_metrics::suite_metric;
 
-fn run(config: HarnessConfig, profile: &aivril_llm::ModelProfile, verilog: bool) -> (f64, f64, f64) {
+fn run(
+    config: HarnessConfig,
+    profile: &aivril_llm::ModelProfile,
+    verilog: bool,
+) -> (f64, f64, f64) {
     let harness = Harness::new(config);
-    let outcomes = harness.evaluate(profile, verilog, Flow::Aivril2);
+    let (outcomes, stats) = harness.evaluate_with_stats(profile, verilog, Flow::Aivril2);
+    eprintln!("   {stats}");
     let s = suite_metric(&outcomes, 1, |x| x.syntax) * 100.0;
     let f = suite_metric(&outcomes, 1, |x| x.functional) * 100.0;
     let iters: f64 = {
@@ -38,35 +43,51 @@ fn run(config: HarnessConfig, profile: &aivril_llm::ModelProfile, verilog: bool)
 fn main() {
     let base = HarnessConfig::from_env();
     println!(
-        "Ablation experiments, {} tasks x {} samples\n",
+        "Ablation experiments, {} tasks x {} samples on {} thread(s)\n",
         base.task_limit.min(156),
-        base.samples
+        base.samples,
+        base.effective_threads()
     );
 
     // -- 1. testbench-first vs simultaneous. Llama3-70B has the weakest
     // testbench generation (tb_syntax_ok 0.80 Verilog / 0.55 VHDL), so
     // the pre-validation loop matters most there.
     println!("1. Testbench-first methodology (Llama3-70B; the AIVRIL -> AIVRIL2 delta)");
-    println!("{:<34}{:>10}{:>10}", "configuration", "pass@1_S", "pass@1_F");
+    println!(
+        "{:<34}{:>10}{:>10}",
+        "configuration", "pass@1_S", "pass@1_F"
+    );
     for verilog in [true, false] {
         let lang = if verilog { "Verilog" } else { "VHDL" };
         for tb_first in [true, false] {
             let mut cfg = base;
-            cfg.pipeline = Aivril2Config { testbench_first: tb_first, ..cfg.pipeline };
+            cfg.pipeline = Aivril2Config {
+                testbench_first: tb_first,
+                ..cfg.pipeline
+            };
             let (s, f, _) = run(cfg, &profiles::llama3_70b(), verilog);
             println!(
                 "{:<34}{s:>10.2}{f:>10.2}",
                 format!(
                     "{lang} / {}",
-                    if tb_first { "testbench-first" } else { "simultaneous" }
+                    if tb_first {
+                        "testbench-first"
+                    } else {
+                        "simultaneous"
+                    }
                 )
             );
         }
     }
 
     // -- 2. iteration-budget sweep (Claude 3.5 Sonnet, Verilog).
-    println!("\n2. Iteration-budget sweep (Claude 3.5 Sonnet, Verilog; budget applies to both loops)");
-    println!("{:<10}{:>10}{:>10}{:>14}", "budget", "pass@1_S", "pass@1_F", "avg cycles");
+    println!(
+        "\n2. Iteration-budget sweep (Claude 3.5 Sonnet, Verilog; budget applies to both loops)"
+    );
+    println!(
+        "{:<10}{:>10}{:>10}{:>14}",
+        "budget", "pass@1_S", "pass@1_F", "avg cycles"
+    );
     for k in 1..=6u32 {
         let mut cfg = base;
         cfg.pipeline = Aivril2Config {
@@ -81,11 +102,19 @@ fn main() {
     // -- 3. corrective-prompt detail (Llama3-70B, VHDL: the most
     // iteration-hungry configuration, where distillation quality shows).
     println!("\n3. Corrective-prompt detail (Llama3-70B, VHDL)");
-    println!("{:<16}{:>10}{:>10}{:>14}", "detail", "pass@1_S", "pass@1_F", "avg cycles");
-    for (label, detail) in [("detailed", PromptDetail::Detailed), ("errors-only", PromptDetail::ErrorsOnly)]
-    {
+    println!(
+        "{:<16}{:>10}{:>10}{:>14}",
+        "detail", "pass@1_S", "pass@1_F", "avg cycles"
+    );
+    for (label, detail) in [
+        ("detailed", PromptDetail::Detailed),
+        ("errors-only", PromptDetail::ErrorsOnly),
+    ] {
         let mut cfg = base;
-        cfg.pipeline = Aivril2Config { prompt_detail: detail, ..cfg.pipeline };
+        cfg.pipeline = Aivril2Config {
+            prompt_detail: detail,
+            ..cfg.pipeline
+        };
         let (s, f, it) = run(cfg, &profiles::llama3_70b(), false);
         println!("{label:<16}{s:>10.2}{f:>10.2}{it:>14.2}");
     }

@@ -91,12 +91,19 @@ fn main() -> ExitCode {
         "suite" => match args.get(1).map(String::as_str) {
             Some("list") => {
                 for p in aivril_verilogeval::suite() {
-                    println!("{:<34} {:<16} {:?}", p.name, p.family.to_string(), p.difficulty);
+                    println!(
+                        "{:<34} {:<16} {:?}",
+                        p.name,
+                        p.family.to_string(),
+                        p.difficulty
+                    );
                 }
                 ExitCode::SUCCESS
             }
             Some("show") => {
-                let Some(name) = args.get(2) else { return usage() };
+                let Some(name) = args.get(2) else {
+                    return usage();
+                };
                 let vhdl = args.iter().any(|a| a == "--vhdl");
                 let problems = aivril_verilogeval::suite();
                 let Some(p) = problems.iter().find(|p| &p.name == name) else {

@@ -1,31 +1,62 @@
 //! Calibration utility: measures what fraction of single functional
 //! faults from the catalogue actually fail the reference testbench.
 use aivril_bench::{Harness, HarnessConfig};
-use aivril_llm::mutate::{apply_fault, count_occurrences, functional_templates, AppliedFault, Dialect, FaultKind};
+use aivril_llm::mutate::{
+    apply_fault, count_occurrences, functional_templates, AppliedFault, Dialect, FaultKind,
+};
 
 fn main() {
     for verilog in [true, false] {
-        let h = Harness::new(HarnessConfig { samples: 1, task_limit: 156, ..HarnessConfig::default() });
-        let dialect = if verilog { Dialect::Verilog } else { Dialect::Vhdl };
+        let h = Harness::new(HarnessConfig {
+            samples: 1,
+            task_limit: 156,
+            ..HarnessConfig::default()
+        });
+        let dialect = if verilog {
+            Dialect::Verilog
+        } else {
+            Dialect::Vhdl
+        };
         let (mut total, mut caught, mut broke_syntax, mut noop) = (0, 0, 0, 0);
         let mut immune = 0;
         for p in h.problems() {
             let golden = &p.golden(verilog).dut;
-            if functional_templates(dialect).iter().all(|t| count_occurrences(golden, t.pattern) == 0) {
+            if functional_templates(dialect)
+                .iter()
+                .all(|t| count_occurrences(golden, t.pattern) == 0)
+            {
                 immune += 1;
-                println!("IMMUNE {} {}", if verilog {"V"} else {"H"}, p.name);
+                println!("IMMUNE {} {}", if verilog { "V" } else { "H" }, p.name);
             }
             for t in functional_templates(dialect) {
                 let n = count_occurrences(golden, t.pattern);
                 for occ in 0..n.min(2) {
-                    let f = AppliedFault { template: t.clone(), occurrence: occ, kind: FaultKind::Functional };
+                    let f = AppliedFault {
+                        template: t.clone(),
+                        occurrence: occ,
+                        kind: FaultKind::Functional,
+                    };
                     let mutated = apply_fault(golden, &f);
-                    if mutated == *golden { noop += 1; continue; }
+                    if mutated == *golden {
+                        noop += 1;
+                        continue;
+                    }
                     total += 1;
                     let (s, func) = h.score(p, &mutated, verilog);
-                    if !s { broke_syntax += 1; println!("SYNTAXBREAK {} {} '{}'->'{}'", p.name, t.description, t.pattern, t.replacement); }
-                    else if !func { caught += 1; }
-                    else { println!("UNCAUGHT {} {} '{}'->'{}' occ{}", p.name, t.description, t.pattern, t.replacement, occ); }
+                    if !s {
+                        broke_syntax += 1;
+                        println!(
+                            "SYNTAXBREAK {} {} '{}'->'{}'",
+                            p.name, t.description, t.pattern, t.replacement
+                        );
+                    } else if !func {
+                        caught += 1;
+                    } else {
+                        println!(
+                            "UNCAUGHT {} {} '{}'->'{}' occ{}",
+                            p.name, t.description, t.pattern, t.replacement, occ
+                        );
+                    }
                 }
             }
         }

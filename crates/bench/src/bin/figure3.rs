@@ -12,9 +12,11 @@ fn main() {
     let config = HarnessConfig::from_env();
     let harness = Harness::new(config);
     println!(
-        "Running Figure 3: {} tasks x {} samples x 3 models x 2 languages x 2 flows\n",
+        "Running Figure 3: {} tasks x {} samples x 3 models x 2 languages x 2 flows \
+         on {} thread(s)\n",
         harness.problems().len(),
-        config.samples
+        config.samples,
+        config.effective_threads()
     );
 
     let mut rows = Vec::new();
@@ -23,7 +25,8 @@ fn main() {
             let lang = if verilog { "Verilog" } else { "VHDL" };
             eprintln!("== {} / {lang} ==", profile.name);
             let base = harness.evaluate(&profile, verilog, Flow::Baseline);
-            let full = harness.evaluate(&profile, verilog, Flow::Aivril2);
+            let (full, stats) = harness.evaluate_with_stats(&profile, verilog, Flow::Aivril2);
+            eprintln!("   {stats}");
             rows.push(figure3(format!("{} / {lang}", profile.name), &base, &full));
         }
     }

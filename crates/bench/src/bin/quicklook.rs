@@ -14,12 +14,18 @@ fn main() {
     };
     let harness = Harness::new(config);
     let profile = profiles::claude35_sonnet();
-    println!("quicklook: {} tasks x {} samples, {}", harness.problems().len(), config.samples, profile.name);
+    println!(
+        "quicklook: {} tasks x {} samples on {} thread(s), {}",
+        harness.problems().len(),
+        config.samples,
+        config.effective_threads(),
+        profile.name
+    );
 
     for verilog in [true, false] {
         let lang = if verilog { "Verilog" } else { "VHDL" };
         let base = harness.evaluate(&profile, verilog, Flow::Baseline);
-        let full = harness.evaluate(&profile, verilog, Flow::Aivril2);
+        let (full, stats) = harness.evaluate_with_stats(&profile, verilog, Flow::Aivril2);
         println!(
             "  {lang:8}  baseline S {:5.1}% F {:5.1}%   AIVRIL2 S {:5.1}% F {:5.1}%",
             suite_metric(&base, 1, |s| s.syntax) * 100.0,
@@ -27,6 +33,7 @@ fn main() {
             suite_metric(&full, 1, |s| s.syntax) * 100.0,
             suite_metric(&full, 1, |s| s.functional) * 100.0,
         );
+        println!("  {stats}");
     }
     println!("ok");
 }

@@ -1,9 +1,10 @@
 //! Regenerates the paper's **Table 1**: pass@1_S / pass@1_F / Δ_F for
 //! three models × two languages × {baseline, AIVRIL2}.
 //!
-//! Scale with `AIVRIL_SAMPLES` (default 5) and `AIVRIL_TASKS`
-//! (default 156). Run with `--release`; the full table is ~19k pipeline
-//! executions.
+//! Scale with `AIVRIL_SAMPLES` (default 5), `AIVRIL_TASKS`
+//! (default 156) and `AIVRIL_THREADS` (default: all cores; results are
+//! bit-identical for any thread count). Run with `--release`; the full
+//! table is ~19k pipeline executions.
 
 use aivril_bench::{Flow, Harness, HarnessConfig};
 use aivril_llm::profiles;
@@ -13,10 +14,13 @@ fn main() {
     let config = HarnessConfig::from_env();
     let harness = Harness::new(config);
     println!(
-        "Running Table 1: {} tasks x {} samples x 3 models x 2 languages x 2 flows\n",
+        "Running Table 1: {} tasks x {} samples x 3 models x 2 languages x 2 flows \
+         on {} thread(s)\n",
         harness.problems().len(),
-        config.samples
+        config.samples,
+        config.effective_threads()
     );
+    let start = std::time::Instant::now();
 
     let mut rows = Vec::new();
     let mut max_se: Option<f64> = None;
@@ -26,9 +30,11 @@ fn main() {
         for (li, verilog) in [(0usize, true), (1usize, false)] {
             let lang = if verilog { "Verilog" } else { "VHDL" };
             eprintln!("   baseline / {lang} ...");
-            let base = harness.evaluate(&profile, verilog, Flow::Baseline);
+            let (base, base_stats) = harness.evaluate_with_stats(&profile, verilog, Flow::Baseline);
+            eprintln!("   {base_stats}");
             eprintln!("   AIVRIL2  / {lang} ...");
-            let full = harness.evaluate(&profile, verilog, Flow::Aivril2);
+            let (full, full_stats) = harness.evaluate_with_stats(&profile, verilog, Flow::Aivril2);
+            eprintln!("   {full_stats}");
             cells[0][li] = suite_metric(&base, 1, |s| s.syntax) * 100.0;
             cells[1][li] = suite_metric(&base, 1, |s| s.functional) * 100.0;
             cells[2][li] = suite_metric(&full, 1, |s| s.syntax) * 100.0;
@@ -56,6 +62,11 @@ fn main() {
         });
     }
 
+    println!(
+        "Completed in {:.2}s wall on {} thread(s).\n",
+        start.elapsed().as_secs_f64(),
+        config.effective_threads()
+    );
     println!("{}", render_table1(&rows));
     if let Some(se) = max_se {
         println!(

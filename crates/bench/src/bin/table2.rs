@@ -10,22 +10,29 @@ fn main() {
     let config = HarnessConfig::from_env();
     let harness = Harness::new(config);
     println!(
-        "Running Table 2: {} tasks x {} samples x 3 models (Verilog, AIVRIL2)\n",
+        "Running Table 2: {} tasks x {} samples x 3 models (Verilog, AIVRIL2) \
+         on {} thread(s)\n",
         harness.problems().len(),
-        config.samples
+        config.samples,
+        config.effective_threads()
     );
 
     let mut measured = Vec::new();
     for profile in profiles::all() {
         eprintln!("== AIVRIL2 ({}) ==", profile.name);
-        let outcomes = harness.evaluate(&profile, true, Flow::Aivril2);
+        let (outcomes, stats) = harness.evaluate_with_stats(&profile, true, Flow::Aivril2);
+        eprintln!("   {stats}");
         let f = suite_metric(&outcomes, 1, |s| s.functional) * 100.0;
         let license = if profile.name.contains("Llama") {
             "Open Source"
         } else {
             "Closed Source"
         };
-        measured.push((format!("AIVRIL2 ({})", profile.name), license.to_string(), f));
+        measured.push((
+            format!("AIVRIL2 ({})", profile.name),
+            license.to_string(),
+            f,
+        ));
     }
 
     println!("{}", render_table2(&measured));

@@ -3,6 +3,20 @@
 //! paper does — pass@1_S from the compiler, pass@1_F from the
 //! benchmark's *reference* testbenches (not the self-generated ones).
 //!
+//! # Parallel, deterministic evaluation
+//!
+//! The problem × sample grid is embarrassingly parallel: each pipeline
+//! run touches only its own model conversation and tool invocations
+//! (the framework is LLM-agnostic and the simulated models are pure
+//! functions of `(model, task, seed)`). [`Harness::evaluate`] therefore
+//! shards the grid across a worker pool (`AIVRIL_THREADS`, default: all
+//! cores); each worker owns its own [`SimLlm`] clone, pipeline and
+//! [`XsimToolSuite`] instance. Because every run's seed is derived
+//! explicitly from its grid coordinates ([`run_seed`]) and results are
+//! merged back in problem/sample order, parallel and serial runs
+//! produce **bit-identical** [`EvalOutcome`]s — `tests/determinism.rs`
+//! enforces this.
+//!
 //! The binaries in `src/bin` regenerate each table/figure:
 //!
 //! * `table1` — pass-rate summary (paper Table 1)
@@ -18,6 +32,10 @@ use aivril_eda::{HdlFile, ToolSuite, XsimToolSuite};
 use aivril_llm::{ModelProfile, SimLlm, TaskLibrary};
 use aivril_metrics::{EvalOutcome, SampleOutcome};
 use aivril_verilogeval::{suite, Problem};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Which pipeline to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +54,10 @@ pub struct HarnessConfig {
     /// Cap on the number of tasks (156 = full suite); useful for quick
     /// runs.
     pub task_limit: usize,
+    /// Worker threads for [`Harness::evaluate`]; `0` (the default)
+    /// auto-detects the machine's parallelism. Results are
+    /// bit-identical for every thread count.
+    pub threads: usize,
     /// Pipeline budgets.
     pub pipeline: Aivril2Config,
 }
@@ -45,28 +67,108 @@ impl Default for HarnessConfig {
         HarnessConfig {
             samples: 5,
             task_limit: usize::MAX,
+            threads: 0,
             pipeline: Aivril2Config::default(),
         }
     }
 }
 
 impl HarnessConfig {
-    /// Reads `AIVRIL_SAMPLES` / `AIVRIL_TASKS` from the environment so
-    /// the table binaries can be scaled without recompiling.
+    /// Reads `AIVRIL_SAMPLES` / `AIVRIL_TASKS` / `AIVRIL_THREADS` from
+    /// the environment so the table binaries can be scaled without
+    /// recompiling.
     #[must_use]
     pub fn from_env() -> HarnessConfig {
+        Self::from_vars(|key| std::env::var(key).ok())
+    }
+
+    /// Like [`HarnessConfig::from_env`], but with an injectable
+    /// variable lookup — tests pass a closure over a local map instead
+    /// of mutating the process-global environment (which races against
+    /// other tests running in the same process).
+    #[must_use]
+    pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> HarnessConfig {
         let mut c = HarnessConfig::default();
-        if let Ok(v) = std::env::var("AIVRIL_SAMPLES") {
-            if let Ok(n) = v.parse() {
-                c.samples = n;
-            }
+        if let Some(n) = get("AIVRIL_SAMPLES").and_then(|v| v.parse().ok()) {
+            c.samples = n;
         }
-        if let Ok(v) = std::env::var("AIVRIL_TASKS") {
-            if let Ok(n) = v.parse() {
-                c.task_limit = n;
-            }
+        if let Some(n) = get("AIVRIL_TASKS").and_then(|v| v.parse().ok()) {
+            c.task_limit = n;
+        }
+        if let Some(n) = get("AIVRIL_THREADS").and_then(|v| v.parse().ok()) {
+            c.threads = n;
         }
         c
+    }
+
+    /// The worker count [`Harness::evaluate`] will actually use:
+    /// `threads`, or the machine's available parallelism when `0`.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// The seed of one evaluation run, derived purely from its grid
+/// coordinates:
+///
+/// ```text
+/// seed(problem_index, sample) = problem_index * 1_000_003 + sample * 7_919 + 17
+/// ```
+///
+/// Every run is therefore independent of execution order — the
+/// foundation of the parallel harness's bit-for-bit determinism. The
+/// multipliers keep `(problem, sample)` pairs collision-free for any
+/// sample count below 127 (the full suite uses 5), and [`SimLlm`]
+/// additionally hashes the task *name* into its streams, so equal seeds
+/// on different problems would not correlate anyway.
+#[must_use]
+pub fn run_seed(problem_index: usize, sample: u32) -> u64 {
+    problem_index as u64 * 1_000_003 + u64::from(sample) * 7_919 + 17
+}
+
+/// Aggregate statistics of one [`Harness::evaluate_with_stats`] call:
+/// the progress/throughput layer the table binaries surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalStats {
+    /// Pipeline runs completed (problems × samples).
+    pub runs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Real elapsed seconds of the evaluation.
+    pub wall_seconds: f64,
+    /// Modeled end-to-end seconds (what Figure 3 reports): LLM + tools.
+    pub modeled_seconds: f64,
+    /// Modeled seconds attributable to the language model.
+    pub modeled_llm_seconds: f64,
+    /// Modeled seconds attributable to the EDA tools.
+    pub modeled_tool_seconds: f64,
+    /// Total corrective iterations of the syntax loops.
+    pub syntax_iters: u64,
+    /// Total corrective iterations of the functional loop.
+    pub functional_iters: u64,
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let per_run = |v: u64| v as f64 / self.runs.max(1) as f64;
+        write!(
+            f,
+            "[stats] {} runs on {} thread(s) in {:.2}s wall | modeled {:.1}s \
+             (llm {:.1}s + tools {:.1}s) | iters/run: {:.2} syntax, {:.2} functional",
+            self.runs,
+            self.threads,
+            self.wall_seconds,
+            self.modeled_seconds,
+            self.modeled_llm_seconds,
+            self.modeled_tool_seconds,
+            per_run(self.syntax_iters),
+            per_run(self.functional_iters),
+        )
     }
 }
 
@@ -87,6 +189,21 @@ pub fn build_library(problems: &[Problem]) -> TaskLibrary {
     lib
 }
 
+/// One completed run, as stored by the worker pool.
+struct RunRecord {
+    outcome: SampleOutcome,
+    llm_seconds: f64,
+    tool_seconds: f64,
+}
+
+/// Per-worker execution state: one model conversation context and one
+/// pipeline instance, shared with no other worker.
+struct Worker<'t> {
+    model: SimLlm,
+    pipeline: Aivril2<'t>,
+    baseline: BaselineFlow,
+}
+
 /// The evaluation harness: tools + suite + model knowledge.
 pub struct Harness {
     tools: XsimToolSuite,
@@ -98,7 +215,11 @@ impl Harness {
     /// Creates a harness over the full 156-problem suite.
     #[must_use]
     pub fn new(config: HarnessConfig) -> Harness {
-        Harness { tools: XsimToolSuite::new(), problems: suite(), config }
+        Harness {
+            tools: XsimToolSuite::new(),
+            problems: suite(),
+            config,
+        }
     }
 
     /// The benchmark problems in use (after the task cap).
@@ -140,53 +261,172 @@ impl Harness {
             &[dut, HdlFile::new(format!("tb.{ext}"), golden.tb.clone())],
             Some("tb"),
         );
-        ((true, report.passed), compile.0.modeled_latency + report.modeled_latency)
+        (
+            (true, report.passed),
+            compile.0.modeled_latency + report.modeled_latency,
+        )
+    }
+
+    /// Executes one cell of the problem × sample grid. Self-contained:
+    /// everything a run needs arrives through its arguments, so calls
+    /// are order-independent and trivially parallel.
+    fn run_one(
+        &self,
+        worker: &mut Worker<'_>,
+        problem: &Problem,
+        problem_index: usize,
+        sample: u32,
+        verilog: bool,
+        flow: Flow,
+    ) -> RunRecord {
+        let task = TaskInput {
+            name: problem.name.clone(),
+            module_name: problem.module_name.clone(),
+            spec: problem.spec.clone(),
+            verilog,
+            seed: run_seed(problem_index, sample),
+        };
+        let result: RunResult = match flow {
+            Flow::Baseline => worker
+                .baseline
+                .run(&mut worker.model, &task, &self.config.pipeline),
+            Flow::Aivril2 => worker.pipeline.run(&mut worker.model, &task),
+        };
+        let ((syntax, functional), score_latency) =
+            self.score_with_latency(problem, &result.final_rtl, verilog);
+        // Baseline latency includes its single EDA evaluation pass
+        // (the paper's baseline bars include EDA tool time);
+        // AIVRIL2's tool time is already inside its trace.
+        let extra = if flow == Flow::Baseline {
+            score_latency
+        } else {
+            0.0
+        };
+        let outcome = SampleOutcome {
+            syntax,
+            functional,
+            total_latency: result.trace.total_latency() + extra,
+            syntax_phase_latency: result.trace.syntax_phase_latency(),
+            functional_phase_latency: result.trace.functional_phase_latency(),
+            syntax_iters: result.trace.iterations(Stage::TbSyntaxLoop)
+                + result.trace.iterations(Stage::RtlSyntaxLoop),
+            functional_iters: result.trace.iterations(Stage::FunctionalLoop),
+        };
+        RunRecord {
+            outcome,
+            llm_seconds: result.trace.llm_latency(),
+            tool_seconds: result.trace.tool_latency() + extra,
+        }
     }
 
     /// Runs one flow over the suite for one model × language, returning
     /// per-task outcomes ready for the metrics crate.
+    ///
+    /// Work is sharded across [`HarnessConfig::effective_threads`]
+    /// workers; results are merged back in problem/sample order and are
+    /// bit-identical for every thread count (see the crate docs).
     pub fn evaluate(&self, profile: &ModelProfile, verilog: bool, flow: Flow) -> Vec<EvalOutcome> {
-        let library = build_library(self.problems());
-        let mut model = SimLlm::new(profile.clone(), library);
-        let pipeline = Aivril2::new(&self.tools, self.config.pipeline);
-        let baseline = BaselineFlow::new();
-        let mut outcomes = Vec::new();
-        for problem in self.problems() {
-            let mut samples = Vec::new();
-            for sample in 0..self.config.samples {
-                let task = TaskInput {
-                    name: problem.name.clone(),
-                    module_name: problem.module_name.clone(),
-                    spec: problem.spec.clone(),
-                    verilog,
-                    seed: u64::from(sample) * 7919 + 17,
-                };
-                let result: RunResult = match flow {
-                    Flow::Baseline => baseline.run(&mut model, &task, &self.config.pipeline),
-                    Flow::Aivril2 => pipeline.run(&mut model, &task),
-                };
-                let ((syntax, functional), score_latency) =
-                    self.score_with_latency(problem, &result.final_rtl, verilog);
-                // Baseline latency includes its single EDA evaluation pass
-                // (the paper's baseline bars include EDA tool time);
-                // AIVRIL2's tool time is already inside its trace.
-                let extra = if flow == Flow::Baseline { score_latency } else { 0.0 };
-                samples.push(SampleOutcome {
-                    syntax,
-                    functional,
-                    total_latency: result.trace.total_latency() + extra,
-                    syntax_phase_latency: result.trace.syntax_phase_latency(),
-                    functional_phase_latency: result.trace.functional_phase_latency(),
-                    syntax_iters: result.trace.iterations(Stage::TbSyntaxLoop)
-                        + result.trace.iterations(Stage::RtlSyntaxLoop),
-                    functional_iters: result.trace.iterations(Stage::FunctionalLoop),
+        self.evaluate_with_stats(profile, verilog, flow).0
+    }
+
+    /// Like [`Harness::evaluate`], also returning wall-clock and
+    /// iteration statistics ([`EvalStats`]).
+    pub fn evaluate_with_stats(
+        &self,
+        profile: &ModelProfile,
+        verilog: bool,
+        flow: Flow,
+    ) -> (Vec<EvalOutcome>, EvalStats) {
+        let start = Instant::now();
+        let problems = self.problems();
+        let samples = self.config.samples as usize;
+        let total = problems.len() * samples;
+        let threads = self.config.effective_threads().clamp(1, total.max(1));
+        let library = std::sync::Arc::new(build_library(problems));
+
+        // One write-once slot per grid cell: workers claim cells through
+        // the atomic cursor and publish results lock-free; the merge
+        // below reads them back in grid order, making the output
+        // independent of scheduling.
+        let slots: Vec<OnceLock<RunRecord>> = (0..total).map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // Per-worker instances: the model clone is cheap
+                    // (profile + shared task knowledge) and the tool
+                    // suite is plain data; no worker shares mutable
+                    // state with another.
+                    let tools = self.tools.clone();
+                    let mut worker = Worker {
+                        model: SimLlm::new(profile.clone(), library.clone()),
+                        pipeline: Aivril2::new(&tools, self.config.pipeline),
+                        baseline: BaselineFlow::new(),
+                    };
+                    loop {
+                        let cell = cursor.fetch_add(1, Ordering::Relaxed);
+                        if cell >= total {
+                            break;
+                        }
+                        let (pi, si) = (cell / samples, (cell % samples) as u32);
+                        let record =
+                            self.run_one(&mut worker, &problems[pi], pi, si, verilog, flow);
+                        let won = slots[cell].set(record).is_ok();
+                        debug_assert!(won, "grid cell {cell} computed twice");
+                    }
                 });
             }
-            outcomes.push(EvalOutcome { task: problem.name.clone(), samples });
+        });
+
+        let mut stats = EvalStats {
+            runs: total,
+            threads,
+            wall_seconds: 0.0,
+            modeled_seconds: 0.0,
+            modeled_llm_seconds: 0.0,
+            modeled_tool_seconds: 0.0,
+            syntax_iters: 0,
+            functional_iters: 0,
+        };
+        let mut outcomes = Vec::with_capacity(problems.len());
+        let mut slots = slots.into_iter();
+        for problem in problems {
+            let mut task_samples = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let record = slots
+                    .next()
+                    .expect("one slot per grid cell")
+                    .into_inner()
+                    .expect("worker pool fills every slot");
+                stats.modeled_seconds += record.outcome.total_latency;
+                stats.modeled_llm_seconds += record.llm_seconds;
+                stats.modeled_tool_seconds += record.tool_seconds;
+                stats.syntax_iters += u64::from(record.outcome.syntax_iters);
+                stats.functional_iters += u64::from(record.outcome.functional_iters);
+                task_samples.push(record.outcome);
+            }
+            outcomes.push(EvalOutcome {
+                task: problem.name.clone(),
+                samples: task_samples,
+            });
         }
-        outcomes
+        stats.wall_seconds = start.elapsed().as_secs_f64();
+        (outcomes, stats)
     }
 }
+
+// The parallel harness hands `&XsimToolSuite`, `&ModelProfile` and
+// `&TaskLibrary` to scoped workers; keep the shared surfaces
+// thread-clean by contract, not by accident.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<XsimToolSuite>();
+    assert_send_sync::<SimLlm>();
+    assert_send_sync::<ModelProfile>();
+    assert_send_sync::<TaskLibrary>();
+    assert_send_sync::<Harness>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -198,7 +438,7 @@ mod tests {
         Harness::new(HarnessConfig {
             samples: 3,
             task_limit: 6,
-            pipeline: Aivril2Config::default(),
+            ..HarnessConfig::default()
         })
     }
 
@@ -247,13 +487,70 @@ mod tests {
     }
 
     #[test]
-    fn env_config_parsing() {
-        std::env::set_var("AIVRIL_SAMPLES", "2");
-        std::env::set_var("AIVRIL_TASKS", "4");
-        let c = HarnessConfig::from_env();
+    fn env_config_parsing_is_injectable() {
+        // No process-global environment mutation: `cargo test` runs
+        // tests concurrently in one process, so `set_var` here would
+        // race against every other test.
+        let c = HarnessConfig::from_vars(|key| match key {
+            "AIVRIL_SAMPLES" => Some("2".into()),
+            "AIVRIL_TASKS" => Some("4".into()),
+            "AIVRIL_THREADS" => Some("3".into()),
+            _ => None,
+        });
         assert_eq!(c.samples, 2);
         assert_eq!(c.task_limit, 4);
-        std::env::remove_var("AIVRIL_SAMPLES");
-        std::env::remove_var("AIVRIL_TASKS");
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.effective_threads(), 3);
+
+        let defaults = HarnessConfig::from_vars(|_| None);
+        assert_eq!(defaults.samples, 5);
+        assert_eq!(defaults.task_limit, usize::MAX);
+        assert_eq!(defaults.threads, 0, "unset threads means auto-detect");
+        assert!(defaults.effective_threads() >= 1);
+
+        let garbage = HarnessConfig::from_vars(|_| Some("not a number".into()));
+        assert_eq!(
+            garbage.samples, 5,
+            "unparsable values fall back to defaults"
+        );
+    }
+
+    #[test]
+    fn run_seeds_are_unique_across_the_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for problem in 0..156 {
+            for sample in 0..5 {
+                assert!(
+                    seen.insert(run_seed(problem, sample)),
+                    "seed collision at problem {problem} sample {sample}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_run() {
+        let h = small();
+        let profile = profiles::claude35_sonnet();
+        let (outcomes, stats) = h.evaluate_with_stats(&profile, true, Flow::Aivril2);
+        assert_eq!(stats.runs, 6 * 3);
+        assert_eq!(
+            outcomes.iter().map(|o| o.samples.len()).sum::<usize>(),
+            stats.runs
+        );
+        assert!(stats.threads >= 1);
+        assert!(stats.wall_seconds > 0.0);
+        let modeled: f64 = outcomes
+            .iter()
+            .flat_map(|o| o.samples.iter().map(|s| s.total_latency))
+            .sum();
+        assert!((stats.modeled_seconds - modeled).abs() < 1e-9);
+        assert!(
+            (stats.modeled_llm_seconds + stats.modeled_tool_seconds - stats.modeled_seconds).abs()
+                < 1e-9,
+            "llm + tool split must cover the total"
+        );
+        let display = stats.to_string();
+        assert!(display.contains("18 runs"), "{display}");
     }
 }

@@ -48,12 +48,19 @@ impl<'m> CodeAgent<'m> {
 
     fn roundtrip(&mut self, prompt: String) -> Generation {
         self.messages.push(Message::user(prompt));
-        let request = ChatRequest { messages: self.messages.clone(), params: self.params };
+        let request = ChatRequest {
+            messages: self.messages.clone(),
+            params: self.params,
+        };
         let response = self.model.chat(&request);
-        self.messages.push(Message::assistant(response.content.clone()));
+        self.messages
+            .push(Message::assistant(response.content.clone()));
         let code = extract_code(&response.content);
         self.versions.push(code.clone());
-        Generation { code, latency_s: response.latency_s }
+        Generation {
+            code,
+            latency_s: response.latency_s,
+        }
     }
 
     /// Step ②: generate the testbench from the spec, before any RTL
@@ -145,7 +152,11 @@ mod tests {
         fn chat(&mut self, _request: &ChatRequest) -> ChatResponse {
             let content = self.replies[self.at.min(self.replies.len() - 1)].clone();
             self.at += 1;
-            ChatResponse { content, usage: TokenUsage::default(), latency_s: 1.0 }
+            ChatResponse {
+                content,
+                usage: TokenUsage::default(),
+                latency_s: 1.0,
+            }
         }
     }
 
@@ -203,7 +214,10 @@ mod tests {
 
     #[test]
     fn prompts_carry_protocol_headers() {
-        let mut model = Scripted { replies: vec!["```verilog\nx\n```".into()], at: 0 };
+        let mut model = Scripted {
+            replies: vec!["```verilog\nx\n```".into()],
+            at: 0,
+        };
         let t = task();
         let mut agent = CodeAgent::new(&mut model, &t, GenParams::default());
         agent.generate_testbench(&t);
@@ -215,7 +229,10 @@ mod tests {
 
     #[test]
     fn seed_comes_from_task() {
-        let mut model = Scripted { replies: vec!["x".into()], at: 0 };
+        let mut model = Scripted {
+            replies: vec!["x".into()],
+            at: 0,
+        };
         let t = task();
         let agent = CodeAgent::new(&mut model, &t, GenParams::default());
         assert_eq!(agent.params.seed, 9);

@@ -99,11 +99,7 @@ impl ReviewAgent {
     /// Code Agent has far less to work with.
     #[must_use]
     pub fn corrective_prompt_brief(&self, report: &CompileReport, artifact: &str) -> String {
-        let errors: Vec<&ToolMessage> = report
-            .messages
-            .iter()
-            .filter(|m| m.is_error())
-            .collect();
+        let errors: Vec<&ToolMessage> = report.messages.iter().filter(|m| m.is_error()).collect();
         let mut p = format!(
             "The compiler reported {} syntax error(s) in your {artifact}. Fix them.\n",
             errors.len().max(1)

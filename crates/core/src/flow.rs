@@ -40,7 +40,9 @@ pub struct Aivril2<'t> {
 
 impl std::fmt::Debug for Aivril2<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Aivril2").field("config", &self.config).finish()
+        f.debug_struct("Aivril2")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -101,8 +103,11 @@ impl<'t> Aivril2<'t> {
                     0.0,
                 );
             } else {
-                task.spec = format!("{}
-{answer}", task.spec);
+                task.spec = format!(
+                    "{}
+{answer}",
+                    task.spec
+                );
                 trace.push(
                     Stage::TbGeneration,
                     "clarification requested; user supplied additional detail",
@@ -116,7 +121,12 @@ impl<'t> Aivril2<'t> {
 
         // -- Step ②: testbench generation, then its syntax loop.
         let tb_gen = agent.generate_testbench(task);
-        trace.push(Stage::TbGeneration, "generate testbench", tb_gen.latency_s, 0.0);
+        trace.push(
+            Stage::TbGeneration,
+            "generate testbench",
+            tb_gen.latency_s,
+            0.0,
+        );
         let mut tb = tb_gen.code;
         // The AIVRIL(1)-style ablation skips the testbench-first
         // pre-validation: the testbench is used exactly as generated.
@@ -146,7 +156,12 @@ impl<'t> Aivril2<'t> {
             }
             let corrective = self.syntax_corrective(&report, &tb, "testbench");
             let gen = agent.revise(corrective);
-            trace.push(Stage::TbSyntaxLoop, "revise after syntax feedback", gen.latency_s, 0.0);
+            trace.push(
+                Stage::TbSyntaxLoop,
+                "revise after syntax feedback",
+                gen.latency_s,
+                0.0,
+            );
             tb = gen.code;
         }
         // The testbench is frozen from here on.
@@ -176,7 +191,12 @@ impl<'t> Aivril2<'t> {
             }
             let corrective = self.syntax_corrective(&report, &rtl, "RTL module");
             let gen = agent.revise(corrective);
-            trace.push(Stage::RtlSyntaxLoop, "revise after syntax feedback", gen.latency_s, 0.0);
+            trace.push(
+                Stage::RtlSyntaxLoop,
+                "revise after syntax feedback",
+                gen.latency_s,
+                0.0,
+            );
             rtl = gen.code;
         }
 
@@ -201,6 +221,11 @@ impl<'t> Aivril2<'t> {
                         "simulate: {}",
                         if report.passed {
                             "all tests passed".to_string()
+                        } else if !report.compiled {
+                            // Distinguish a compile-broken revision from a
+                            // compiled run with zero extracted failures, so
+                            // trace consumers can trust the failure counts.
+                            "revision failed to compile".to_string()
                         } else {
                             format!("{} failing test case(s)", report.failures.len())
                         }
@@ -212,7 +237,11 @@ impl<'t> Aivril2<'t> {
                     functional_pass = true;
                     break;
                 }
-                let failures = if report.compiled { report.failures.len() } else { usize::MAX };
+                let failures = if report.compiled {
+                    report.failures.len()
+                } else {
+                    usize::MAX
+                };
                 let current_version = agent.versions().len() - 1;
                 match best {
                     Some((best_failures, best_version)) if failures > best_failures => {
@@ -267,7 +296,13 @@ impl<'t> Aivril2<'t> {
             }
         }
 
-        RunResult { final_rtl: rtl, final_tb: tb, syntax_pass, functional_pass, trace }
+        RunResult {
+            final_rtl: rtl,
+            final_tb: tb,
+            syntax_pass,
+            functional_pass,
+            trace,
+        }
     }
 }
 
@@ -293,7 +328,12 @@ impl BaselineFlow {
         let mut trace = RunTrace::default();
         let mut agent = CodeAgent::new(model, task, config.gen_params);
         let gen = agent.generate_rtl(task, "(no testbench available)");
-        trace.push(Stage::RtlGeneration, "zero-shot RTL generation", gen.latency_s, 0.0);
+        trace.push(
+            Stage::RtlGeneration,
+            "zero-shot RTL generation",
+            gen.latency_s,
+            0.0,
+        );
         RunResult {
             final_rtl: gen.code,
             final_tb: String::new(),
@@ -331,12 +371,19 @@ mod tests {
     use aivril_eda::XsimToolSuite;
     use aivril_llm::{profiles, SimLlm, TaskLibrary};
 
-    const DUT: &str = "module inv(\n  input wire a,\n  output wire y\n);\n  assign y = ~a;\nendmodule\n";
+    const DUT: &str =
+        "module inv(\n  input wire a,\n  output wire y\n);\n  assign y = ~a;\nendmodule\n";
     const TB: &str = "module tb;\n  reg a;\n  wire y;\n  inv dut(.a(a), .y(y));\n  initial begin\n    a = 0;\n    #1;\n    if (y !== 1'b1) $error(\"Test Case 1 Failed: y should be 1\");\n    a = 1;\n    #1;\n    if (y !== 1'b0) $error(\"Test Case 2 Failed: y should be 0\");\n    $display(\"All tests passed successfully!\");\n    $finish;\n  end\nendmodule\n";
 
     fn library() -> TaskLibrary {
         let mut lib = TaskLibrary::new();
-        lib.add_task("inv", DUT, TB, "entity inv is end entity;\n", "entity tb is end entity;\n");
+        lib.add_task(
+            "inv",
+            DUT,
+            TB,
+            "entity inv is end entity;\n",
+            "entity tb is end entity;\n",
+        );
         lib
     }
 
@@ -400,7 +447,10 @@ mod tests {
         let mut model = SimLlm::new(profiles::llama3_70b(), lib);
         let mut syntax_ok = 0;
         for seed in 0..30 {
-            let t = TaskInput { verilog: false, ..task(seed) };
+            let t = TaskInput {
+                verilog: false,
+                ..task(seed)
+            };
             let r = pipeline.run(&mut model, &t);
             syntax_ok += u32::from(r.syntax_pass);
         }
@@ -421,7 +471,10 @@ mod tests {
     #[test]
     fn functional_loop_iterations_are_bounded() {
         let tools = XsimToolSuite::new();
-        let config = Aivril2Config { max_functional_iters: 2, ..Aivril2Config::default() };
+        let config = Aivril2Config {
+            max_functional_iters: 2,
+            ..Aivril2Config::default()
+        };
         let pipeline = Aivril2::new(&tools, config);
         let mut model = SimLlm::new(profiles::llama3_70b(), library());
         for seed in 0..10 {
@@ -469,7 +522,10 @@ mod rollback_tests {
 
     #[test]
     fn functional_loop_rolls_back_regressions() {
-        let mut model = Scripted { replies: vec![TB, V1, V2, V3], at: 0 };
+        let mut model = Scripted {
+            replies: vec![TB, V1, V2, V3],
+            at: 0,
+        };
         let tools = XsimToolSuite::new();
         let pipeline = Aivril2::new(&tools, Aivril2Config::default());
         let task = TaskInput {
@@ -480,7 +536,11 @@ mod rollback_tests {
             seed: 0,
         };
         let result = pipeline.run(&mut model, &task);
-        assert!(result.functional_pass, "trace:\n{}", result.trace.narration());
+        assert!(
+            result.functional_pass,
+            "trace:\n{}",
+            result.trace.narration()
+        );
         let narration = result.trace.narration();
         assert!(
             narration.contains("rollback: revision regressed to 2 failure(s)"),
@@ -497,7 +557,8 @@ mod clarification_tests {
     use aivril_eda::XsimToolSuite;
     use aivril_llm::{profiles, SimLlm, TaskLibrary};
 
-    const DUT: &str = "module inv(\n  input wire a,\n  output wire y\n);\n  assign y = ~a;\nendmodule\n";
+    const DUT: &str =
+        "module inv(\n  input wire a,\n  output wire y\n);\n  assign y = ~a;\nendmodule\n";
     const TB: &str = "module tb;\n  reg a;\n  wire y;\n  inv dut(.a(a), .y(y));\n  initial begin\n    a = 0;\n    #1;\n    if (y !== 1'b1) $error(\"Test Case 1 Failed\");\n    $display(\"All tests passed successfully!\");\n    $finish;\n  end\nendmodule\n";
 
     fn model() -> SimLlm {
@@ -528,7 +589,10 @@ mod clarification_tests {
         // most seeds; require at least half.
         let mut clarified_wins = 0;
         for seed in 0..8 {
-            let task = TaskInput { seed, ..task.clone() };
+            let task = TaskInput {
+                seed,
+                ..task.clone()
+            };
             let mut m = model();
             let blind = pipeline.run(&mut m, &task);
             assert!(
@@ -545,7 +609,10 @@ mod clarification_tests {
                 .contains("user supplied additional detail"));
             clarified_wins += u32::from(clarified.functional_pass);
         }
-        assert!(clarified_wins >= 4, "clarified runs won only {clarified_wins}/8");
+        assert!(
+            clarified_wins >= 4,
+            "clarified runs won only {clarified_wins}/8"
+        );
     }
 
     #[test]

@@ -77,6 +77,18 @@ impl RunTrace {
             .sum()
     }
 
+    /// Total modeled seconds spent waiting on the language model.
+    #[must_use]
+    pub fn llm_latency(&self) -> f64 {
+        self.events.iter().map(|e| e.llm_latency).sum()
+    }
+
+    /// Total modeled seconds spent waiting on the EDA tools.
+    #[must_use]
+    pub fn tool_latency(&self) -> f64 {
+        self.events.iter().map(|e| e.tool_latency).sum()
+    }
+
     /// Modeled seconds spent in `stage`.
     #[must_use]
     pub fn stage_latency(&self, stage: Stage) -> f64 {
@@ -143,9 +155,19 @@ mod tests {
         t.push(Stage::TbSyntaxLoop, "compile: clean", 0.0, 1.0);
         t.push(Stage::RtlGeneration, "generate RTL", 5.0, 0.0);
         t.push(Stage::RtlSyntaxLoop, "compile: 1 syntax error", 0.0, 1.0);
-        t.push(Stage::RtlSyntaxLoop, "revise after syntax feedback", 3.0, 0.0);
+        t.push(
+            Stage::RtlSyntaxLoop,
+            "revise after syntax feedback",
+            3.0,
+            0.0,
+        );
         t.push(Stage::FunctionalLoop, "simulate: 1 failing test", 0.0, 2.0);
-        t.push(Stage::FunctionalLoop, "revise after functional feedback", 3.5, 0.0);
+        t.push(
+            Stage::FunctionalLoop,
+            "revise after functional feedback",
+            3.5,
+            0.0,
+        );
         t
     }
 
@@ -155,6 +177,14 @@ mod tests {
         assert!((t.total_latency() - 19.5).abs() < 1e-9);
         assert!((t.syntax_phase_latency() - 14.0).abs() < 1e-9);
         assert!((t.functional_phase_latency() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llm_tool_split_sums_to_total() {
+        let t = sample();
+        assert!((t.llm_latency() - 15.5).abs() < 1e-9);
+        assert!((t.tool_latency() - 4.0).abs() < 1e-9);
+        assert!((t.llm_latency() + t.tool_latency() - t.total_latency()).abs() < 1e-9);
     }
 
     #[test]

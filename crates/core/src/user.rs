@@ -38,7 +38,9 @@ impl StaticUser {
     /// Creates a scripted user.
     #[must_use]
     pub fn new(full_spec: impl Into<String>) -> StaticUser {
-        StaticUser { full_spec: full_spec.into() }
+        StaticUser {
+            full_spec: full_spec.into(),
+        }
     }
 }
 

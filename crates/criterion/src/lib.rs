@@ -1,0 +1,117 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/struct surface the workspace's benches use
+//! ([`Criterion::bench_function`], [`Bencher::iter`],
+//! [`criterion_group!`], [`criterion_main!`], [`black_box`]) with a
+//! simple measured loop instead of criterion's statistical machinery:
+//! each benchmark warms up briefly, then reports the best-of-runs
+//! nanoseconds per iteration. Good enough to compare hot paths before
+//! and after a change; not a substitute for criterion's rigour.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver; collects and prints per-benchmark timings.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name` and prints its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            best_ns_per_iter: f64::INFINITY,
+            measured: false,
+        };
+        f(&mut bencher);
+        if bencher.measured {
+            println!("{name:<40} {:>12.1} ns/iter", bencher.best_ns_per_iter);
+        } else {
+            println!("{name:<40} (no measurement: Bencher::iter never called)");
+        }
+        self
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    best_ns_per_iter: f64,
+    measured: bool,
+}
+
+impl Bencher {
+    /// Measures `f`: short warmup, then several timed batches; the best
+    /// batch (least interference) is reported.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + batch sizing: grow the batch until it takes ≥ ~5 ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            self.best_ns_per_iter = self.best_ns_per_iter.min(ns);
+        }
+        self.measured = true;
+    }
+}
+
+/// Groups benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(smoke, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("smoke", |b| b.iter(|| black_box(2) * 2));
+    }
+
+    #[test]
+    fn groups_are_callable() {
+        smoke();
+    }
+}

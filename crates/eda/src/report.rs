@@ -97,7 +97,10 @@ pub fn extract_failures(log: &str) -> Vec<TestFailure> {
             }
         }
         if is_sim_error && !line.contains("[VRFC") {
-            out.push(TestFailure { case: None, message: line.trim().to_string() });
+            out.push(TestFailure {
+                case: None,
+                message: line.trim().to_string(),
+            });
         }
     }
     out

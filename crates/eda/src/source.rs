@@ -60,7 +60,11 @@ impl HdlFile {
     pub fn new(name: impl Into<String>, text: impl Into<String>) -> HdlFile {
         let name = name.into();
         let language = Language::from_file_name(&name);
-        HdlFile { name, text: text.into(), language }
+        HdlFile {
+            name,
+            text: text.into(),
+            language,
+        }
     }
 
     /// Total size in bytes — the workload measure for compile latency.

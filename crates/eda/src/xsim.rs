@@ -197,7 +197,10 @@ impl XsimToolSuite {
                 None,
             );
         };
-        log.push_str(&format!("INFO: [xsim] Running simulation of '{}'\n", design.top));
+        log.push_str(&format!(
+            "INFO: [xsim] Running simulation of '{}'\n",
+            design.top
+        ));
         let mut sim = Simulator::new(&design, self.sim_config);
         sim.record_waves();
         let result = sim.run();
@@ -294,7 +297,10 @@ impl ToolSuite for XsimToolSuite {
                 modeled_latency: compile_report.modeled_latency,
             };
         };
-        log.push_str(&format!("INFO: [xsim] Running simulation of '{}'\n", design.top));
+        log.push_str(&format!(
+            "INFO: [xsim] Running simulation of '{}'\n",
+            design.top
+        ));
         let result = Simulator::new(&design, self.sim_config).run();
         log.push_str(&result.log_text());
         if result.finished {

@@ -266,7 +266,11 @@ mod tests {
     fn error_counting_ignores_warnings() {
         let (_, span) = setup();
         let mut diags = Diagnostics::new();
-        diags.push(Diagnostic::warning(codes::WIDTH_MISMATCH, "width mismatch", span));
+        diags.push(Diagnostic::warning(
+            codes::WIDTH_MISMATCH,
+            "width mismatch",
+            span,
+        ));
         assert!(!diags.has_errors());
         diags.push(Diagnostic::error(codes::VLOG_SYNTAX, "syntax error", span));
         assert!(diags.has_errors());

@@ -244,7 +244,11 @@ impl Expr {
         match self {
             Expr::Const(v) if v.width() >= w => Expr::Const(v),
             Expr::Const(v) => Expr::Const(v.resize(w)),
-            Expr::Binary { op: op @ (BinaryOp::Shl | BinaryOp::Shr), lhs, rhs } => Expr::Binary {
+            Expr::Binary {
+                op: op @ (BinaryOp::Shl | BinaryOp::Shr),
+                lhs,
+                rhs,
+            } => Expr::Binary {
                 op,
                 lhs: Box::new(lhs.widened_to(w, net_width)),
                 rhs,
@@ -267,7 +271,10 @@ impl Expr {
                 lhs: Box::new(lhs.widened_to(w, net_width)),
                 rhs: Box::new(rhs.widened_to(w, net_width)),
             },
-            Expr::Unary { op: op @ (UnaryOp::Not | UnaryOp::Negate), operand } => Expr::Unary {
+            Expr::Unary {
+                op: op @ (UnaryOp::Not | UnaryOp::Negate),
+                operand,
+            } => Expr::Unary {
                 op,
                 operand: Box::new(operand.widened_to(w, net_width)),
             },
@@ -548,10 +555,7 @@ impl Design {
         let name = format!("assign#{}", self.processes.len());
         let body = if triggers.is_empty() {
             // Pure-constant RHS: assign once and halt.
-            vec![
-                Instr::BlockingAssign { lvalue, expr },
-                Instr::Halt,
-            ]
+            vec![Instr::BlockingAssign { lvalue, expr }, Instr::Halt]
         } else {
             vec![
                 Instr::BlockingAssign { lvalue, expr },

@@ -33,7 +33,11 @@ impl Span {
     /// that have no better anchor.
     #[must_use]
     pub fn file_start(file: FileId) -> Span {
-        Span { file, start: 0, end: 0 }
+        Span {
+            file,
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Merges two spans in the same file into their covering span.
@@ -63,7 +67,11 @@ impl SourceFile {
                 line_starts.push(i as u32 + 1);
             }
         }
-        SourceFile { name, text, line_starts }
+        SourceFile {
+            name,
+            text,
+            line_starts,
+        }
     }
 
     /// File name as registered (e.g. `shift_register.v`).

@@ -180,11 +180,7 @@ impl LogicVec {
     /// on unknown bits.
     #[must_use]
     pub fn to_bool(&self) -> Option<bool> {
-        let any_one = self
-            .aval
-            .iter()
-            .zip(&self.bval)
-            .any(|(&a, &b)| a & !b != 0);
+        let any_one = self.aval.iter().zip(&self.bval).any(|(&a, &b)| a & !b != 0);
         if any_one {
             return Some(true);
         }
@@ -320,12 +316,7 @@ impl LogicVec {
     /// Word-level arithmetic helper, exact for results that fit in the low
     /// 64 bits (multiplication of wider values keeps only the low word, the
     /// same truncation Verilog applies at the result width).
-    fn binary_arith(
-        &self,
-        rhs: &LogicVec,
-        width: u32,
-        op: impl Fn(u64, u64) -> u64,
-    ) -> LogicVec {
+    fn binary_arith(&self, rhs: &LogicVec, width: u32, op: impl Fn(u64, u64) -> u64) -> LogicVec {
         if self.has_unknown() || rhs.has_unknown() {
             return LogicVec::xes(width);
         }
@@ -460,8 +451,16 @@ impl LogicVec {
     pub fn case_eq(&self, rhs: &LogicVec) -> bool {
         let width = self.width.max(rhs.width);
         (0..width).all(|i| {
-            let a = if i < self.width { self.get(i) } else { Logic::Zero };
-            let b = if i < rhs.width { rhs.get(i) } else { Logic::Zero };
+            let a = if i < self.width {
+                self.get(i)
+            } else {
+                Logic::Zero
+            };
+            let b = if i < rhs.width {
+                rhs.get(i)
+            } else {
+                Logic::Zero
+            };
             a == b
         })
     }
@@ -570,7 +569,11 @@ impl LogicVec {
     pub fn set_slice(&mut self, msb: u32, lsb: u32, value: &LogicVec) {
         let (msb, lsb) = if msb >= lsb { (msb, lsb) } else { (lsb, msb) };
         for i in 0..=(msb - lsb) {
-            let bit = if i < value.width { value.get(i) } else { Logic::Zero };
+            let bit = if i < value.width {
+                value.get(i)
+            } else {
+                Logic::Zero
+            };
             self.set(lsb + i, bit);
         }
     }

@@ -24,19 +24,28 @@ impl Message {
     /// Creates a system message.
     #[must_use]
     pub fn system(content: impl Into<String>) -> Message {
-        Message { role: Role::System, content: content.into() }
+        Message {
+            role: Role::System,
+            content: content.into(),
+        }
     }
 
     /// Creates a user message.
     #[must_use]
     pub fn user(content: impl Into<String>) -> Message {
-        Message { role: Role::User, content: content.into() }
+        Message {
+            role: Role::User,
+            content: content.into(),
+        }
     }
 
     /// Creates an assistant message.
     #[must_use]
     pub fn assistant(content: impl Into<String>) -> Message {
-        Message { role: Role::Assistant, content: content.into() }
+        Message {
+            role: Role::Assistant,
+            content: content.into(),
+        }
     }
 }
 
@@ -56,7 +65,12 @@ pub struct GenParams {
 
 impl Default for GenParams {
     fn default() -> GenParams {
-        GenParams { temperature: 0.2, top_p: 0.1, seed: 0, max_tokens: 4096 }
+        GenParams {
+            temperature: 0.2,
+            top_p: 0.1,
+            seed: 0,
+            max_tokens: 4096,
+        }
     }
 }
 

@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn billing_cap_bounds_latency() {
-        let m = LlmLatencyModel { billed_token_cap: 500, ..M };
+        let m = LlmLatencyModel {
+            billed_token_cap: 500,
+            ..M
+        };
         assert_eq!(m.seconds(50_000, 0.5), m.seconds(500, 0.5));
         assert!(m.seconds(50_000, 0.5) < M.seconds(50_000, 0.5));
     }

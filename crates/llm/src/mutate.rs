@@ -53,7 +53,11 @@ pub struct AppliedFault {
 pub fn syntax_templates(dialect: Dialect) -> &'static [FaultTemplate] {
     match dialect {
         Dialect::Verilog => &[
-            FaultTemplate { pattern: ";\n", replacement: "\n", description: "missing semicolon" },
+            FaultTemplate {
+                pattern: ";\n",
+                replacement: "\n",
+                description: "missing semicolon",
+            },
             FaultTemplate {
                 pattern: "endmodule",
                 replacement: "endmodul",
@@ -86,7 +90,11 @@ pub fn syntax_templates(dialect: Dialect) -> &'static [FaultTemplate] {
             },
         ],
         Dialect::Vhdl => &[
-            FaultTemplate { pattern: ";\n", replacement: "\n", description: "missing semicolon" },
+            FaultTemplate {
+                pattern: ";\n",
+                replacement: "\n",
+                description: "missing semicolon",
+            },
             FaultTemplate {
                 pattern: "end process",
                 replacement: "end proces",
@@ -128,17 +136,41 @@ pub fn syntax_templates(dialect: Dialect) -> &'static [FaultTemplate] {
 pub fn functional_templates(dialect: Dialect) -> &'static [FaultTemplate] {
     match dialect {
         Dialect::Verilog => &[
-            FaultTemplate { pattern: " & ", replacement: " | ", description: "AND became OR" },
-            FaultTemplate { pattern: " | ", replacement: " & ", description: "OR became AND" },
-            FaultTemplate { pattern: " ^ ", replacement: " & ", description: "XOR became AND" },
+            FaultTemplate {
+                pattern: " & ",
+                replacement: " | ",
+                description: "AND became OR",
+            },
+            FaultTemplate {
+                pattern: " | ",
+                replacement: " & ",
+                description: "OR became AND",
+            },
+            FaultTemplate {
+                pattern: " ^ ",
+                replacement: " & ",
+                description: "XOR became AND",
+            },
             FaultTemplate {
                 pattern: "posedge",
                 replacement: "negedge",
                 description: "wrong clock edge",
             },
-            FaultTemplate { pattern: " + 1", replacement: " + 2", description: "wrong increment" },
-            FaultTemplate { pattern: " + ", replacement: " - ", description: "ADD became SUB" },
-            FaultTemplate { pattern: " - ", replacement: " + ", description: "SUB became ADD" },
+            FaultTemplate {
+                pattern: " + 1",
+                replacement: " + 2",
+                description: "wrong increment",
+            },
+            FaultTemplate {
+                pattern: " + ",
+                replacement: " - ",
+                description: "ADD became SUB",
+            },
+            FaultTemplate {
+                pattern: " - ",
+                replacement: " + ",
+                description: "SUB became ADD",
+            },
             FaultTemplate {
                 pattern: " == ",
                 replacement: " != ",
@@ -154,7 +186,11 @@ pub fn functional_templates(dialect: Dialect) -> &'static [FaultTemplate] {
                 replacement: " >= ",
                 description: "off-by-one comparison",
             },
-            FaultTemplate { pattern: "~", replacement: "", description: "dropped inversion" },
+            FaultTemplate {
+                pattern: "~",
+                replacement: "",
+                description: "dropped inversion",
+            },
             FaultTemplate {
                 pattern: "1'b1",
                 replacement: "1'b0",
@@ -180,11 +216,31 @@ pub fn functional_templates(dialect: Dialect) -> &'static [FaultTemplate] {
                 replacement: "casez (~",
                 description: "inverted priority selector",
             },
-            FaultTemplate { pattern: " << ", replacement: " >> ", description: "wrong shift direction" },
-            FaultTemplate { pattern: " >> ", replacement: " << ", description: "wrong shift direction" },
-            FaultTemplate { pattern: " && ", replacement: " || ", description: "AND became OR" },
-            FaultTemplate { pattern: " || ", replacement: " && ", description: "OR became AND" },
-            FaultTemplate { pattern: " ~^ ", replacement: " ^ ", description: "XNOR became XOR" },
+            FaultTemplate {
+                pattern: " << ",
+                replacement: " >> ",
+                description: "wrong shift direction",
+            },
+            FaultTemplate {
+                pattern: " >> ",
+                replacement: " << ",
+                description: "wrong shift direction",
+            },
+            FaultTemplate {
+                pattern: " && ",
+                replacement: " || ",
+                description: "AND became OR",
+            },
+            FaultTemplate {
+                pattern: " || ",
+                replacement: " && ",
+                description: "OR became AND",
+            },
+            FaultTemplate {
+                pattern: " ~^ ",
+                replacement: " ^ ",
+                description: "XNOR became XOR",
+            },
             FaultTemplate {
                 pattern: "= ^",
                 replacement: "= ~^",
@@ -207,8 +263,16 @@ pub fn functional_templates(dialect: Dialect) -> &'static [FaultTemplate] {
             },
         ],
         Dialect::Vhdl => &[
-            FaultTemplate { pattern: " and ", replacement: " or ", description: "AND became OR" },
-            FaultTemplate { pattern: " or ", replacement: " and ", description: "OR became AND" },
+            FaultTemplate {
+                pattern: " and ",
+                replacement: " or ",
+                description: "AND became OR",
+            },
+            FaultTemplate {
+                pattern: " or ",
+                replacement: " and ",
+                description: "OR became AND",
+            },
             FaultTemplate {
                 pattern: " xor ",
                 replacement: " and ",
@@ -219,9 +283,21 @@ pub fn functional_templates(dialect: Dialect) -> &'static [FaultTemplate] {
                 replacement: "falling_edge",
                 description: "wrong clock edge",
             },
-            FaultTemplate { pattern: " + 1", replacement: " + 2", description: "wrong increment" },
-            FaultTemplate { pattern: " + ", replacement: " - ", description: "ADD became SUB" },
-            FaultTemplate { pattern: " - ", replacement: " + ", description: "SUB became ADD" },
+            FaultTemplate {
+                pattern: " + 1",
+                replacement: " + 2",
+                description: "wrong increment",
+            },
+            FaultTemplate {
+                pattern: " + ",
+                replacement: " - ",
+                description: "ADD became SUB",
+            },
+            FaultTemplate {
+                pattern: " - ",
+                replacement: " + ",
+                description: "SUB became ADD",
+            },
             FaultTemplate {
                 pattern: "rst = '1'",
                 replacement: "rst = '0'",
@@ -237,7 +313,11 @@ pub fn functional_templates(dialect: Dialect) -> &'static [FaultTemplate] {
                 replacement: " >= ",
                 description: "off-by-one comparison",
             },
-            FaultTemplate { pattern: "not ", replacement: "", description: "dropped inversion" },
+            FaultTemplate {
+                pattern: "not ",
+                replacement: "",
+                description: "dropped inversion",
+            },
             FaultTemplate {
                 pattern: "case ",
                 replacement: "case not ",
@@ -253,7 +333,11 @@ pub fn functional_templates(dialect: Dialect) -> &'static [FaultTemplate] {
                 replacement: " & '1';",
                 description: "wrong shift fill bit",
             },
-            FaultTemplate { pattern: " xnor ", replacement: " xor ", description: "XNOR became XOR" },
+            FaultTemplate {
+                pattern: " xnor ",
+                replacement: " xor ",
+                description: "XNOR became XOR",
+            },
             FaultTemplate {
                 pattern: " = '1' then",
                 replacement: " = '0' then",
@@ -326,7 +410,9 @@ pub fn apply_fault(text: &str, fault: &AppliedFault) -> String {
 /// serves the purpose.
 #[must_use]
 pub fn apply_all(text: &str, faults: &[AppliedFault]) -> String {
-    faults.iter().fold(text.to_string(), |t, f| apply_fault(&t, f))
+    faults
+        .iter()
+        .fold(text.to_string(), |t, f| apply_fault(&t, f))
 }
 
 #[cfg(test)]
@@ -346,7 +432,11 @@ mod tests {
     #[test]
     fn apply_fault_targets_occurrence() {
         let fault = AppliedFault {
-            template: FaultTemplate { pattern: ";\n", replacement: "\n", description: "x" },
+            template: FaultTemplate {
+                pattern: ";\n",
+                replacement: "\n",
+                description: "x",
+            },
             occurrence: 1,
             kind: FaultKind::Syntax,
         };
@@ -358,7 +448,11 @@ mod tests {
     #[test]
     fn apply_fault_missing_occurrence_is_noop() {
         let fault = AppliedFault {
-            template: FaultTemplate { pattern: "assign ", replacement: "asign ", description: "x" },
+            template: FaultTemplate {
+                pattern: "assign ",
+                replacement: "asign ",
+                description: "x",
+            },
             occurrence: 5,
             kind: FaultKind::Syntax,
         };
@@ -376,7 +470,11 @@ mod tests {
     #[test]
     fn functional_swap_keeps_compilable_shape() {
         let fault = AppliedFault {
-            template: FaultTemplate { pattern: " & ", replacement: " | ", description: "x" },
+            template: FaultTemplate {
+                pattern: " & ",
+                replacement: " | ",
+                description: "x",
+            },
             occurrence: 0,
             kind: FaultKind::Functional,
         };

@@ -92,7 +92,12 @@ pub fn llama3_70b() -> ModelProfile {
             tb_syntax_ok: 0.55,
             reintroduce: 0.10,
         },
-        latency: LlmLatencyModel { base_s: 2.6, tokens_per_s: 65.0, jitter: 0.12, billed_token_cap: 150 },
+        latency: LlmLatencyModel {
+            base_s: 2.6,
+            tokens_per_s: 65.0,
+            jitter: 0.12,
+            billed_token_cap: 150,
+        },
     }
 }
 
@@ -124,7 +129,12 @@ pub fn gpt4o() -> ModelProfile {
             tb_syntax_ok: 0.80,
             reintroduce: 0.05,
         },
-        latency: LlmLatencyModel { base_s: 1.5, tokens_per_s: 90.0, jitter: 0.10, billed_token_cap: 300 },
+        latency: LlmLatencyModel {
+            base_s: 1.5,
+            tokens_per_s: 90.0,
+            jitter: 0.10,
+            billed_token_cap: 300,
+        },
     }
 }
 
@@ -157,7 +167,12 @@ pub fn claude35_sonnet() -> ModelProfile {
             tb_syntax_ok: 0.93,
             reintroduce: 0.02,
         },
-        latency: LlmLatencyModel { base_s: 2.4, tokens_per_s: 60.0, jitter: 0.10, billed_token_cap: 250 },
+        latency: LlmLatencyModel {
+            base_s: 2.4,
+            tokens_per_s: 60.0,
+            jitter: 0.10,
+            billed_token_cap: 250,
+        },
     }
 }
 

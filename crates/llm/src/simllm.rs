@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Prompt-protocol markers shared between the agents (which write
 /// prompts) and the simulated models (which read them). Real models
@@ -52,15 +53,21 @@ enum Artifact {
 #[derive(Debug, Clone)]
 pub struct SimLlm {
     profile: ModelProfile,
-    library: TaskLibrary,
+    library: Arc<TaskLibrary>,
 }
 
 impl SimLlm {
     /// Creates a simulated model with `profile` behaviour and `library`
-    /// knowledge.
+    /// knowledge. The library is held behind an [`Arc`] so model
+    /// instances sharing one knowledge base (e.g. the parallel
+    /// evaluation workers) clone a pointer, not the golden sources;
+    /// passing a plain [`TaskLibrary`] still works.
     #[must_use]
-    pub fn new(profile: ModelProfile, library: TaskLibrary) -> SimLlm {
-        SimLlm { profile, library }
+    pub fn new(profile: ModelProfile, library: impl Into<Arc<TaskLibrary>>) -> SimLlm {
+        SimLlm {
+            profile,
+            library: library.into(),
+        }
     }
 
     /// The behaviour profile.
@@ -114,7 +121,11 @@ impl SimLlm {
         for _ in 0..count {
             let t = applicable[rng.gen_range(0..applicable.len())];
             let occ = rng.gen_range(0..count_occurrences(golden, t.pattern));
-            let fault = AppliedFault { template: t.clone(), occurrence: occ, kind };
+            let fault = AppliedFault {
+                template: t.clone(),
+                occurrence: occ,
+                kind,
+            };
             // Applying the identical corruption twice would cancel out
             // (e.g. a double selector inversion); keep each site once.
             if !out.contains(&fault) {
@@ -174,21 +185,19 @@ impl SimLlm {
         let mut reintro_rng = self.rng(task, seed, "reintro");
         for round in 1..=8u32 {
             if reintro_rng.gen_bool(lang.reintroduce.clamp(0.0, 0.5)) {
-                if let Some(f) = Self::pick_faults(
-                    &mut reintro_rng,
-                    golden,
-                    dialect,
-                    FaultKind::Syntax,
-                    1,
-                )
-                .pop()
+                if let Some(f) =
+                    Self::pick_faults(&mut reintro_rng, golden, dialect, FaultKind::Syntax, 1).pop()
                 {
                     let fixed_at = round + Self::repair_round(&mut reintro_rng, lang.syntax_repair);
                     reintroduced.push((f, round, fixed_at));
                 }
             }
         }
-        FaultPlan { syntax, functional, reintroduced }
+        FaultPlan {
+            syntax,
+            functional,
+            reintroduced,
+        }
     }
 
     /// The testbench fault plan (syntax only — the reference stimulus is
@@ -209,7 +218,11 @@ impl SimLlm {
                 syntax.push((f, fixed_at));
             }
         }
-        FaultPlan { syntax, functional: Vec::new(), reintroduced: Vec::new() }
+        FaultPlan {
+            syntax,
+            functional: Vec::new(),
+            reintroduced: Vec::new(),
+        }
     }
 }
 
@@ -329,10 +342,21 @@ fn parse_view(request: &ChatRequest) -> View {
                 0.5
             };
         } else if m.content.contains(protocol::SYNTAX_MARKER) {
-            syntax_rounds += if m.content.contains(protocol::DETAIL_MARKER) { 1.0 } else { 0.5 };
+            syntax_rounds += if m.content.contains(protocol::DETAIL_MARKER) {
+                1.0
+            } else {
+                0.5
+            };
         }
     }
-    View { task, verilog, artifact, syntax_rounds, func_rounds, vague_spec }
+    View {
+        task,
+        verilog,
+        artifact,
+        syntax_rounds,
+        func_rounds,
+        vague_spec,
+    }
 }
 
 impl LanguageModel for SimLlm {
@@ -343,13 +367,16 @@ impl LanguageModel for SimLlm {
     fn chat(&mut self, request: &ChatRequest) -> ChatResponse {
         let view = parse_view(request);
         let seed = request.params.seed;
-        let dialect = if view.verilog { Dialect::Verilog } else { Dialect::Vhdl };
+        let dialect = if view.verilog {
+            Dialect::Verilog
+        } else {
+            Dialect::Vhdl
+        };
         let lang = self.profile.lang(view.verilog);
 
         let content = match view.task.as_deref().and_then(|t| self.library.get(t)) {
             None => {
-                "I could not identify the design task in the prompt; please restate it."
-                    .to_string()
+                "I could not identify the design task in the prompt; please restate it.".to_string()
             }
             Some(knowledge) => {
                 let task = view.task.as_deref().expect("task present");
@@ -385,13 +412,19 @@ impl LanguageModel for SimLlm {
             .rng(
                 view.task.as_deref().unwrap_or(""),
                 seed,
-                &format!("lat{}", (2.0 * (view.syntax_rounds + view.func_rounds)) as u64),
+                &format!(
+                    "lat{}",
+                    (2.0 * (view.syntax_rounds + view.func_rounds)) as u64
+                ),
             )
             .gen_range(0.0..1.0);
         let latency_s = self.profile.latency.seconds(completion_tokens, noise);
         ChatResponse {
             content,
-            usage: TokenUsage { prompt_tokens, completion_tokens },
+            usage: TokenUsage {
+                prompt_tokens,
+                completion_tokens,
+            },
             latency_s,
         }
     }
@@ -444,7 +477,10 @@ mod tests {
                 task_header("prob000_and2", true),
                 protocol::REQ_RTL
             ))],
-            params: GenParams { seed, ..GenParams::default() },
+            params: GenParams {
+                seed,
+                ..GenParams::default()
+            },
         }
     }
 
@@ -459,7 +495,10 @@ mod tests {
                     task_header("prob000_and2", true),
                     protocol::REQ_RTL
                 ))],
-                params: GenParams { seed, ..GenParams::default() },
+                params: GenParams {
+                    seed,
+                    ..GenParams::default()
+                },
             };
             let code = extract_code(&model.chat(&req).content);
             vague_broken += u32::from(code != GOLDEN_V);
@@ -498,10 +537,17 @@ mod tests {
                         task_header("prob000_and2", verilog),
                         protocol::REQ_RTL
                     ))],
-                    params: GenParams { seed, ..GenParams::default() },
+                    params: GenParams {
+                        seed,
+                        ..GenParams::default()
+                    },
                 };
                 let code = extract_code(&model.chat(&req).content);
-                let golden = if verilog { GOLDEN_V } else { "entity and2 is\nend entity;\n" };
+                let golden = if verilog {
+                    GOLDEN_V
+                } else {
+                    "entity and2 is\nend entity;\n"
+                };
                 if code != golden {
                     broken += 1;
                 }
@@ -544,7 +590,10 @@ mod tests {
             ));
             let req = ChatRequest {
                 messages: ms.clone(),
-                params: GenParams { seed, ..GenParams::default() },
+                params: GenParams {
+                    seed,
+                    ..GenParams::default()
+                },
             };
             let resp = model.chat(&req);
             let code = extract_code(&resp.content);
@@ -565,7 +614,10 @@ mod tests {
                 task_header("prob000_and2", true),
                 protocol::REQ_TB
             ))],
-            params: GenParams { seed: 3, ..GenParams::default() },
+            params: GenParams {
+                seed: 3,
+                ..GenParams::default()
+            },
         };
         let resp = model.chat(&req);
         assert!(resp.content.contains("testbench"));
@@ -606,12 +658,21 @@ mod tests {
             Message::assistant("```vhdl\ny\n```"),
             Message::user("The simulation reported a failing test case.\n- Test Case 2 Failed"),
         ];
-        let req = ChatRequest { messages, params: GenParams::default() };
+        let req = ChatRequest {
+            messages,
+            params: GenParams::default(),
+        };
         let v = parse_view(&req);
         assert_eq!(v.task.as_deref(), Some("t"));
         assert!(!v.verilog);
         assert_eq!(v.artifact, Artifact::Rtl);
-        assert!((v.syntax_rounds - 0.5).abs() < 1e-9, "terse syntax corrective = half credit");
-        assert!((v.func_rounds - 1.0).abs() < 1e-9, "detailed functional corrective = full credit");
+        assert!(
+            (v.syntax_rounds - 0.5).abs() < 1e-9,
+            "terse syntax corrective = half credit"
+        );
+        assert!(
+            (v.func_rounds - 1.0).abs() < 1e-9,
+            "detailed functional corrective = full credit"
+        );
     }
 }

@@ -15,6 +15,7 @@ mod tables;
 
 pub use passk::{pass_at_k, suite_pass_at_k};
 pub use tables::{
-    delta_f, figure3, render_figure3, render_table1, render_table2, suite_metric, suite_metric_with_se,
-    table2_literature, EvalOutcome, Figure3Row, LiteratureEntry, SampleOutcome, Table1Row,
+    delta_f, figure3, render_figure3, render_table1, render_table2, suite_metric,
+    suite_metric_with_se, table2_literature, EvalOutcome, Figure3Row, LiteratureEntry,
+    SampleOutcome, Table1Row,
 };

@@ -25,7 +25,7 @@ pub struct SampleOutcome {
 }
 
 /// All samples of one task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalOutcome {
     /// Task name.
     pub task: String,
@@ -123,9 +123,17 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
         "", "pass@1_S", "pass@1_F", "dF", "pass@1_S", "pass@1_F", "dF"
     ));
     for r in rows {
-        let dv = r.delta_verilog.map_or("-".to_string(), |d| format!("{d:.2}"));
+        let dv = r
+            .delta_verilog
+            .map_or("-".to_string(), |d| format!("{d:.2}"));
         let dh = r.delta_vhdl.map_or_else(
-            || if r.config.starts_with("AIVRIL2") { "N/A".to_string() } else { "-".to_string() },
+            || {
+                if r.config.starts_with("AIVRIL2") {
+                    "N/A".to_string()
+                } else {
+                    "-".to_string()
+                }
+            },
             |d| format!("{d:.2}"),
         );
         out.push_str(&format!(
@@ -153,21 +161,61 @@ pub struct LiteratureEntry {
 #[must_use]
 pub fn table2_literature() -> Vec<LiteratureEntry> {
     vec![
-        LiteratureEntry { name: "Llama3-70B [17]", license: "Open Source", pass1_f: 37.82 },
-        LiteratureEntry { name: "CodeGen-16B [18]", license: "Open Source", pass1_f: 41.9 },
-        LiteratureEntry { name: "CodeV-CodeQwen [6]", license: "Open Source", pass1_f: 53.2 },
-        LiteratureEntry { name: "ChipNemo-13B [1]", license: "Closed Source", pass1_f: 22.4 },
-        LiteratureEntry { name: "ChipNemo-70B [1]", license: "Closed Source", pass1_f: 27.6 },
+        LiteratureEntry {
+            name: "Llama3-70B [17]",
+            license: "Open Source",
+            pass1_f: 37.82,
+        },
+        LiteratureEntry {
+            name: "CodeGen-16B [18]",
+            license: "Open Source",
+            pass1_f: 41.9,
+        },
+        LiteratureEntry {
+            name: "CodeV-CodeQwen [6]",
+            license: "Open Source",
+            pass1_f: 53.2,
+        },
+        LiteratureEntry {
+            name: "ChipNemo-13B [1]",
+            license: "Closed Source",
+            pass1_f: 22.4,
+        },
+        LiteratureEntry {
+            name: "ChipNemo-70B [1]",
+            license: "Closed Source",
+            pass1_f: 27.6,
+        },
         LiteratureEntry {
             name: "CodeGen-16B-Verilog-SFT [5]",
             license: "Closed Source",
             pass1_f: 28.8,
         },
-        LiteratureEntry { name: "RTLFixer [3]", license: "Closed Source", pass1_f: 36.8 },
-        LiteratureEntry { name: "VeriAssist [4]", license: "Closed Source", pass1_f: 50.5 },
-        LiteratureEntry { name: "GPT-4o [16]", license: "Closed Source", pass1_f: 51.29 },
-        LiteratureEntry { name: "Claude 3.5 Sonnet [15]", license: "Closed Source", pass1_f: 60.23 },
-        LiteratureEntry { name: "AIVRIL [7]", license: "Closed Source", pass1_f: 67.3 },
+        LiteratureEntry {
+            name: "RTLFixer [3]",
+            license: "Closed Source",
+            pass1_f: 36.8,
+        },
+        LiteratureEntry {
+            name: "VeriAssist [4]",
+            license: "Closed Source",
+            pass1_f: 50.5,
+        },
+        LiteratureEntry {
+            name: "GPT-4o [16]",
+            license: "Closed Source",
+            pass1_f: 51.29,
+        },
+        LiteratureEntry {
+            name: "Claude 3.5 Sonnet [15]",
+            license: "Closed Source",
+            pass1_f: 60.23,
+        },
+        LiteratureEntry {
+            name: "AIVRIL [7]",
+            license: "Closed Source",
+            pass1_f: 67.3,
+        },
     ]
 }
 
@@ -185,7 +233,10 @@ pub fn render_table2(measured: &[(String, String, f64)]) -> String {
     ));
     out.push_str("------------------------------------------------------------\n");
     for e in table2_literature() {
-        out.push_str(&format!("{:<30}{:<16}{:>10.2}\n", e.name, e.license, e.pass1_f));
+        out.push_str(&format!(
+            "{:<30}{:<16}{:>10.2}\n",
+            e.name, e.license, e.pass1_f
+        ));
     }
     out.push_str("---- this work (measured on the synthetic suite) ----------\n");
     for (name, license, value) in measured {
@@ -277,7 +328,12 @@ pub fn render_figure3(rows: &[Figure3Row]) -> String {
         let b = (r.baseline_s * scale).round() as usize;
         let s = (r.syntax_phase_s * scale).round() as usize;
         let f = (r.functional_phase_s * scale).round() as usize;
-        out.push_str(&format!("{:<26} |{}  {:.2}s\n", r.config, "#".repeat(b), r.baseline_s));
+        out.push_str(&format!(
+            "{:<26} |{}  {:.2}s\n",
+            r.config,
+            "#".repeat(b),
+            r.baseline_s
+        ));
         out.push_str(&format!(
             "{:<26} |{}{}  {:.2}s ({:.1}x)\n",
             "  + AIVRIL2",
@@ -301,15 +357,27 @@ mod tests {
     #[test]
     fn se_is_zero_for_unanimous_tasks_and_positive_otherwise() {
         let unanimous = vec![
-            EvalOutcome { task: "a".into(), samples: vec![sample(true, true, 1.0)] },
-            EvalOutcome { task: "b".into(), samples: vec![sample(true, true, 1.0)] },
+            EvalOutcome {
+                task: "a".into(),
+                samples: vec![sample(true, true, 1.0)],
+            },
+            EvalOutcome {
+                task: "b".into(),
+                samples: vec![sample(true, true, 1.0)],
+            },
         ];
         let (m, se) = suite_metric_with_se(&unanimous, 1, |s| s.functional);
         assert!((m - 1.0).abs() < 1e-12);
         assert!(se.abs() < 1e-12);
         let split = vec![
-            EvalOutcome { task: "a".into(), samples: vec![sample(true, true, 1.0)] },
-            EvalOutcome { task: "b".into(), samples: vec![sample(true, false, 1.0)] },
+            EvalOutcome {
+                task: "a".into(),
+                samples: vec![sample(true, true, 1.0)],
+            },
+            EvalOutcome {
+                task: "b".into(),
+                samples: vec![sample(true, false, 1.0)],
+            },
         ];
         let (m, se) = suite_metric_with_se(&split, 1, |s| s.functional);
         assert!((m - 0.5).abs() < 1e-12);

@@ -1,0 +1,207 @@
+//! String strategies from simple regex-like patterns.
+//!
+//! Real proptest compiles full regexes; this stand-in supports the
+//! subset the workspace's tests use — sequences of character classes
+//! (`[a-z]`, `[ -~\n\t]`, with ranges, escapes and literal members) and
+//! literal characters, each optionally followed by a `{min,max}` or
+//! `{n}` repetition. Unsupported syntax panics at generation time with
+//! a clear message, so silent mis-generation is impossible.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct Piece {
+    /// Candidate characters (uniformly chosen).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\, \-, \], \. and friends: the char itself
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut members = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                members.push(unescape(e));
+            }
+            _ => {
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next(); // the '-'
+                    match ahead.peek() {
+                        Some(&']') | None => members.push(c), // trailing literal '-'
+                        Some(&end) => {
+                            chars.next();
+                            chars.next();
+                            let end = if end == '\\' {
+                                unescape(chars.next().unwrap_or_else(|| {
+                                    panic!("dangling escape in pattern {pattern:?}")
+                                }))
+                            } else {
+                                end
+                            };
+                            assert!(
+                                c <= end,
+                                "inverted range {c:?}-{end:?} in pattern {pattern:?}"
+                            );
+                            members.extend(c..=end);
+                        }
+                    }
+                } else {
+                    members.push(c);
+                }
+            }
+        }
+    }
+    assert!(
+        !members.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    members
+}
+
+fn parse_repeat(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (min, max) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or_else(|_| bad_repeat(pattern)),
+                    hi.trim().parse().unwrap_or_else(|_| bad_repeat(pattern)),
+                ),
+                None => {
+                    let n = spec.trim().parse().unwrap_or_else(|_| bad_repeat(pattern));
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+            return (min, max);
+        }
+        spec.push(c);
+    }
+    panic!("unterminated repetition in pattern {pattern:?}");
+}
+
+fn bad_repeat(pattern: &str) -> usize {
+    panic!("malformed repetition count in pattern {pattern:?}")
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let members = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                vec![unescape(e)]
+            }
+            '{' | '}' | '*' | '+' | '?' | '|' | '(' | ')' | '^' | '$' | '.' => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?} (vendored proptest supports only classes, literals and {{m,n}} repetitions)")
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = parse_repeat(&mut chars, pattern);
+        pieces.push(Piece {
+            chars: members,
+            min,
+            max,
+        });
+    }
+    pieces
+}
+
+/// Generates strings matching the supported pattern subset; this is the
+/// `Strategy` impl behind `"[a-z]{0,40}"`-style expressions.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                out.push(piece.chars[rng.gen_range(0..piece.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    fn gen(pattern: &str, case: u64) -> String {
+        pattern.generate(&mut case_rng(pattern, case))
+    }
+
+    #[test]
+    fn printable_noise_pattern() {
+        for case in 0..200 {
+            let s = gen("[ -~\\n\\t]{0,400}", case);
+            assert!(s.len() <= 400);
+            assert!(s
+                .chars()
+                .all(|c| c == '\n' || c == '\t' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn length_bounds_are_inclusive() {
+        let mut lens = std::collections::HashSet::new();
+        for case in 0..300 {
+            lens.insert(gen("[ab]{2,4}", case).len());
+        }
+        assert_eq!(lens, [2usize, 3, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        assert_eq!(gen("abc", 0), "abc");
+        assert_eq!(gen("a{3}", 0), "aaa");
+    }
+
+    #[test]
+    fn class_ranges_and_escapes() {
+        for case in 0..100 {
+            let s = gen("[a-c\\n]{1,8}", case);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == '\n'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn unsupported_syntax_is_loud() {
+        let _ = gen("a|b", 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The (deliberately small) test runner: deterministic per-case RNGs,
+//! case-count configuration, and the error type `prop_assert!` returns.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration; only the case count is honoured by this
+/// vendored stand-in.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility with upstream proptest configs; this
+    /// stand-in reports the failing inputs directly instead of
+    /// shrinking, so the value is never consulted.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// A failed property case (no shrinking: the message carries the
+/// formatted assertion).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps an assertion message.
+    #[must_use]
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Resolves the case count: the `PROPTEST_CASES` environment variable
+/// overrides the configured value (useful for quick CI smoke runs).
+#[must_use]
+pub fn resolve_cases(configured: u32) -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(u64::from(configured))
+        .max(1)
+}
+
+/// Deterministic RNG for one case of one property: seeded from the
+/// test identifier and case index, so failures reproduce exactly.
+#[must_use]
+pub fn case_rng(test_id: &str, case: u64) -> TestRng {
+    let mut h = DefaultHasher::new();
+    test_id.hash(&mut h);
+    case.hash(&mut h);
+    StdRng::seed_from_u64(h.finish())
+}

@@ -69,7 +69,11 @@ pub struct Simulator<'d> {
 }
 
 /// Registered `$monitor` state: format, args, last printed values.
-type MonitorSlot = (Option<String>, Vec<aivril_hdl::ir::Expr>, Option<Vec<LogicVec>>);
+type MonitorSlot = (
+    Option<String>,
+    Vec<aivril_hdl::ir::Expr>,
+    Option<Vec<LogicVec>>,
+);
 
 impl<'d> Simulator<'d> {
     /// Prepares a simulation of `design` under the given limits.
@@ -228,7 +232,12 @@ impl<'d> Simulator<'d> {
     }
 
     fn eval_with_wake(&self, expr: &aivril_hdl::ir::Expr, last_wake: Option<NetId>) -> LogicVec {
-        EvalCtx { values: &self.values, time: self.time, last_wake }.eval(expr)
+        EvalCtx {
+            values: &self.values,
+            time: self.time,
+            last_wake,
+        }
+        .eval(expr)
     }
 
     fn run_process(&mut self, pid: usize) {
@@ -301,7 +310,11 @@ impl<'d> Simulator<'d> {
                     let taken = self.eval_with_wake(cond, wake).to_bool() != Some(true);
                     self.procs[pid].pc = if taken { *target } else { pc + 1 };
                 }
-                Instr::SysCall { kind: SysTaskKind::Monitor, format, args } => {
+                Instr::SysCall {
+                    kind: SysTaskKind::Monitor,
+                    format,
+                    args,
+                } => {
                     self.monitor = Some((format.clone(), args.clone(), None));
                     self.procs[pid].pc = pc + 1;
                 }
@@ -354,9 +367,15 @@ impl<'d> Simulator<'d> {
     /// the last print (and always on its first quiescent step). `$time`
     /// arguments are excluded from change detection, per IEEE 1364 §17.1.
     fn fire_monitor(&mut self) {
-        let Some((format, args, last)) = &self.monitor else { return };
+        let Some((format, args, last)) = &self.monitor else {
+            return;
+        };
         let (values, watched): (Vec<LogicVec>, Vec<LogicVec>) = {
-            let ctx = EvalCtx { values: &self.values, time: self.time, last_wake: None };
+            let ctx = EvalCtx {
+                values: &self.values,
+                time: self.time,
+                last_wake: None,
+            };
             let values: Vec<LogicVec> = args.iter().map(|a| ctx.eval(a)).collect();
             let watched = args
                 .iter()
@@ -391,13 +410,21 @@ impl<'d> Simulator<'d> {
             s.push_str(&text);
             s
         };
-        self.lines.push(LogLine { time: self.time, text: full, is_error });
+        self.lines.push(LogLine {
+            time: self.time,
+            text: full,
+            is_error,
+        });
     }
 
     fn flush_partial(&mut self) {
         if !self.partial_line.is_empty() {
             let text = std::mem::take(&mut self.partial_line);
-            self.lines.push(LogLine { time: self.time, text, is_error: false });
+            self.lines.push(LogLine {
+                time: self.time,
+                text,
+                is_error: false,
+            });
         }
     }
 
@@ -470,7 +497,11 @@ impl<'d> Simulator<'d> {
         }
         self.values[idx] = new.clone();
         if let Some((_, changes)) = &mut self.waves {
-            changes.push(vcd::Change { time: self.time, net: idx, value: new.clone() });
+            changes.push(vcd::Change {
+                time: self.time,
+                net: idx,
+                value: new.clone(),
+            });
         }
         self.notify_watchers(net, &old, &new);
     }
@@ -491,9 +522,7 @@ impl<'d> Simulator<'d> {
             }
             let woken = p.waits.iter().any(|t| match t {
                 Trigger::AnyChange(n) => *n == net,
-                Trigger::Posedge(n) => {
-                    *n == net && new_bit == Logic::One && old_bit != Logic::One
-                }
+                Trigger::Posedge(n) => *n == net && new_bit == Logic::One && old_bit != Logic::One,
                 Trigger::Negedge(n) => {
                     *n == net && new_bit == Logic::Zero && old_bit != Logic::Zero
                 }
@@ -539,7 +568,9 @@ mod tests {
             name: "clkgen".into(),
             kind: ProcessKind::Always,
             body: vec![
-                Instr::Delay { amount: Expr::constant(32, 5) },
+                Instr::Delay {
+                    amount: Expr::constant(32, 5),
+                },
                 Instr::BlockingAssign {
                     lvalue: LValue::Net(clk),
                     expr: Expr::Unary {
@@ -555,7 +586,9 @@ mod tests {
             name: "count".into(),
             kind: ProcessKind::Always,
             body: vec![
-                Instr::WaitEvent { triggers: vec![Trigger::Posedge(clk)] },
+                Instr::WaitEvent {
+                    triggers: vec![Trigger::Posedge(clk)],
+                },
                 Instr::NonblockingAssign {
                     lvalue: LValue::Net(count),
                     expr: Expr::Binary {
@@ -572,13 +605,19 @@ mod tests {
             name: "tb".into(),
             kind: ProcessKind::Initial,
             body: vec![
-                Instr::Delay { amount: Expr::constant(32, 10 * cycles + 2) },
+                Instr::Delay {
+                    amount: Expr::constant(32, 10 * cycles + 2),
+                },
                 Instr::SysCall {
                     kind: SysTaskKind::Display,
                     format: Some("count=%0d".into()),
                     args: vec![Expr::Net(count)],
                 },
-                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::SysCall {
+                    kind: SysTaskKind::Finish,
+                    format: None,
+                    args: vec![],
+                },
                 Instr::Halt,
             ],
         });
@@ -607,9 +646,17 @@ mod tests {
             name: "swap".into(),
             kind: ProcessKind::Always,
             body: vec![
-                Instr::WaitEvent { triggers: vec![Trigger::Posedge(clk)] },
-                Instr::NonblockingAssign { lvalue: LValue::Net(a), expr: Expr::Net(b) },
-                Instr::NonblockingAssign { lvalue: LValue::Net(b), expr: Expr::Net(a) },
+                Instr::WaitEvent {
+                    triggers: vec![Trigger::Posedge(clk)],
+                },
+                Instr::NonblockingAssign {
+                    lvalue: LValue::Net(a),
+                    expr: Expr::Net(b),
+                },
+                Instr::NonblockingAssign {
+                    lvalue: LValue::Net(b),
+                    expr: Expr::Net(a),
+                },
                 Instr::Jump(0),
             ],
         });
@@ -617,10 +664,21 @@ mod tests {
             name: "stim".into(),
             kind: ProcessKind::Initial,
             body: vec![
-                Instr::Delay { amount: Expr::constant(32, 5) },
-                Instr::BlockingAssign { lvalue: LValue::Net(clk), expr: Expr::constant(1, 1) },
-                Instr::Delay { amount: Expr::constant(32, 5) },
-                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Delay {
+                    amount: Expr::constant(32, 5),
+                },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(clk),
+                    expr: Expr::constant(1, 1),
+                },
+                Instr::Delay {
+                    amount: Expr::constant(32, 5),
+                },
+                Instr::SysCall {
+                    kind: SysTaskKind::Finish,
+                    format: None,
+                    args: vec![],
+                },
                 Instr::Halt,
             ],
         });
@@ -634,19 +692,38 @@ mod tests {
     fn continuous_assign_tracks_inputs() {
         let mut d = Design::new("comb");
         let a = d.add_net(reg("a", 4, Some(0)));
-        let y = d.add_net(Net { name: "y".into(), width: 4, kind: NetKind::Wire, init: None });
+        let y = d.add_net(Net {
+            name: "y".into(),
+            width: 4,
+            kind: NetKind::Wire,
+            init: None,
+        });
         d.add_continuous_assign(
             LValue::Net(y),
-            Expr::Unary { op: UnaryOp::Not, operand: Box::new(Expr::Net(a)) },
+            Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(Expr::Net(a)),
+            },
         );
         d.add_process(Process {
             name: "stim".into(),
             kind: ProcessKind::Initial,
             body: vec![
-                Instr::Delay { amount: Expr::constant(32, 1) },
-                Instr::BlockingAssign { lvalue: LValue::Net(a), expr: Expr::constant(4, 0b0101) },
-                Instr::Delay { amount: Expr::constant(32, 1) },
-                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Delay {
+                    amount: Expr::constant(32, 1),
+                },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(a),
+                    expr: Expr::constant(4, 0b0101),
+                },
+                Instr::Delay {
+                    amount: Expr::constant(32, 1),
+                },
+                Instr::SysCall {
+                    kind: SysTaskKind::Finish,
+                    format: None,
+                    args: vec![],
+                },
                 Instr::Halt,
             ],
         });
@@ -702,8 +779,8 @@ mod tests {
         let mut d = Design::new("t");
         let a = d.add_net(reg("a", 1, Some(0)));
         let b = d.add_net(reg("b", 1, Some(0)));
-        let toggler = |own: aivril_hdl::ir::NetId, other: aivril_hdl::ir::NetId, name: &str| {
-            Process {
+        let toggler =
+            |own: aivril_hdl::ir::NetId, other: aivril_hdl::ir::NetId, name: &str| Process {
                 name: name.into(),
                 kind: ProcessKind::Always,
                 body: vec![
@@ -714,11 +791,12 @@ mod tests {
                             operand: Box::new(Expr::Net(own)),
                         },
                     },
-                    Instr::WaitEvent { triggers: vec![Trigger::AnyChange(other)] },
+                    Instr::WaitEvent {
+                        triggers: vec![Trigger::AnyChange(other)],
+                    },
                     Instr::Jump(0),
                 ],
-            }
-        };
+            };
         d.add_process(toggler(a, b, "p1"));
         d.add_process(toggler(b, a, "p2"));
         let r = Simulator::new(&d, SimConfig::default()).run();
@@ -733,7 +811,10 @@ mod tests {
             name: "once".into(),
             kind: ProcessKind::Initial,
             body: vec![
-                Instr::BlockingAssign { lvalue: LValue::Net(a), expr: Expr::constant(1, 1) },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(a),
+                    expr: Expr::constant(1, 1),
+                },
                 Instr::Halt,
             ],
         });
@@ -753,8 +834,13 @@ mod tests {
             name: "reader".into(),
             kind: ProcessKind::Initial,
             body: vec![
-                Instr::Delay { amount: Expr::constant(32, 0) },
-                Instr::BlockingAssign { lvalue: LValue::Net(seen), expr: Expr::Net(a) },
+                Instr::Delay {
+                    amount: Expr::constant(32, 0),
+                },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(seen),
+                    expr: Expr::Net(a),
+                },
                 Instr::Halt,
             ],
         });
@@ -762,7 +848,10 @@ mod tests {
             name: "writer".into(),
             kind: ProcessKind::Initial,
             body: vec![
-                Instr::BlockingAssign { lvalue: LValue::Net(a), expr: Expr::constant(4, 7) },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(a),
+                    expr: Expr::constant(4, 7),
+                },
                 Instr::Halt,
             ],
         });
@@ -826,7 +915,9 @@ mod tests {
             name: "neg".into(),
             kind: ProcessKind::Always,
             body: vec![
-                Instr::WaitEvent { triggers: vec![Trigger::Negedge(clk)] },
+                Instr::WaitEvent {
+                    triggers: vec![Trigger::Negedge(clk)],
+                },
                 Instr::BlockingAssign {
                     lvalue: LValue::Net(hits),
                     expr: Expr::Binary {
@@ -842,14 +933,35 @@ mod tests {
             name: "stim".into(),
             kind: ProcessKind::Initial,
             body: vec![
-                Instr::Delay { amount: Expr::constant(32, 5) },
-                Instr::BlockingAssign { lvalue: LValue::Net(clk), expr: Expr::constant(1, 0) },
-                Instr::Delay { amount: Expr::constant(32, 5) },
-                Instr::BlockingAssign { lvalue: LValue::Net(clk), expr: Expr::constant(1, 1) },
-                Instr::Delay { amount: Expr::constant(32, 5) },
-                Instr::BlockingAssign { lvalue: LValue::Net(clk), expr: Expr::constant(1, 0) },
-                Instr::Delay { amount: Expr::constant(32, 1) },
-                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Delay {
+                    amount: Expr::constant(32, 5),
+                },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(clk),
+                    expr: Expr::constant(1, 0),
+                },
+                Instr::Delay {
+                    amount: Expr::constant(32, 5),
+                },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(clk),
+                    expr: Expr::constant(1, 1),
+                },
+                Instr::Delay {
+                    amount: Expr::constant(32, 5),
+                },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(clk),
+                    expr: Expr::constant(1, 0),
+                },
+                Instr::Delay {
+                    amount: Expr::constant(32, 1),
+                },
+                Instr::SysCall {
+                    kind: SysTaskKind::Finish,
+                    format: None,
+                    args: vec![],
+                },
                 Instr::Halt,
             ],
         });
@@ -877,7 +989,9 @@ mod vcd_tests {
             name: "clkgen".into(),
             kind: ProcessKind::Always,
             body: vec![
-                Instr::Delay { amount: Expr::constant(32, 5) },
+                Instr::Delay {
+                    amount: Expr::constant(32, 5),
+                },
                 Instr::BlockingAssign {
                     lvalue: LValue::Net(clk),
                     expr: Expr::Unary {
@@ -892,8 +1006,14 @@ mod vcd_tests {
             name: "stop".into(),
             kind: ProcessKind::Initial,
             body: vec![
-                Instr::Delay { amount: Expr::constant(32, 22) },
-                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Delay {
+                    amount: Expr::constant(32, 22),
+                },
+                Instr::SysCall {
+                    kind: SysTaskKind::Finish,
+                    format: None,
+                    args: vec![],
+                },
                 Instr::Halt,
             ],
         });
@@ -932,7 +1052,9 @@ mod monitor_tests {
                 name: format!("bump{delay}"),
                 kind: ProcessKind::Initial,
                 body: vec![
-                    Instr::Delay { amount: Expr::constant(32, delay) },
+                    Instr::Delay {
+                        amount: Expr::constant(32, delay),
+                    },
                     Instr::BlockingAssign {
                         lvalue: LValue::Net(n),
                         expr: Expr::Binary {
@@ -957,13 +1079,23 @@ mod monitor_tests {
                     format: Some("t=%t n=%0d".into()),
                     args: vec![Expr::Time, Expr::Net(n)],
                 },
-                Instr::Delay { amount: Expr::constant(32, 40) },
-                Instr::SysCall { kind: SysTaskKind::Finish, format: None, args: vec![] },
+                Instr::Delay {
+                    amount: Expr::constant(32, 40),
+                },
+                Instr::SysCall {
+                    kind: SysTaskKind::Finish,
+                    format: None,
+                    args: vec![],
+                },
                 Instr::Halt,
             ],
         });
         let r = Simulator::new(&d, SimConfig::default()).run();
         let texts: Vec<&str> = r.lines.iter().map(|l| l.text.as_str()).collect();
-        assert_eq!(texts, vec!["t=0 n=0", "t=10 n=1", "t=20 n=2"], "log: {texts:?}");
+        assert_eq!(
+            texts,
+            vec!["t=0 n=0", "t=10 n=1", "t=20 n=2"],
+            "log: {texts:?}"
+        );
     }
 }

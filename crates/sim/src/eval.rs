@@ -50,7 +50,14 @@ impl EvalCtx<'_> {
                         let mut out = LogicVec::zeros(width);
                         for i in 0..width {
                             let (a, b) = (t.get(i), e.get(i));
-                            out.set(i, if a == b && !a.is_unknown() { a } else { Logic::X });
+                            out.set(
+                                i,
+                                if a == b && !a.is_unknown() {
+                                    a
+                                } else {
+                                    Logic::X
+                                },
+                            );
                         }
                         out
                     }
@@ -151,7 +158,11 @@ mod tests {
     use super::*;
 
     fn ctx(values: &[LogicVec]) -> EvalCtx<'_> {
-        EvalCtx { values, time: 42, last_wake: None }
+        EvalCtx {
+            values,
+            time: 42,
+            last_wake: None,
+        }
     }
 
     #[test]

@@ -154,8 +154,16 @@ mod tests {
         let r = SimResult {
             end_time: 0,
             lines: vec![
-                LogLine { time: 0, text: "a".into(), is_error: false },
-                LogLine { time: 1, text: "b".into(), is_error: true },
+                LogLine {
+                    time: 0,
+                    text: "a".into(),
+                    is_error: false,
+                },
+                LogLine {
+                    time: 1,
+                    text: "b".into(),
+                    is_error: true,
+                },
             ],
             error_count: 1,
             finished: false,
@@ -170,7 +178,9 @@ mod tests {
     #[test]
     fn limit_kind_messages() {
         assert!(LimitKind::DeltaCycles.to_string().contains("delta"));
-        assert!(LimitKind::ProcessInstructions.to_string().contains("infinite loop"));
+        assert!(LimitKind::ProcessInstructions
+            .to_string()
+            .contains("infinite loop"));
         assert!(LimitKind::TotalInstructions.to_string().contains("budget"));
     }
 }

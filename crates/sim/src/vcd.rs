@@ -94,8 +94,18 @@ mod tests {
 
     fn design() -> Design {
         let mut d = Design::new("tb");
-        d.add_net(Net { name: "tb.clk".into(), width: 1, kind: NetKind::Reg, init: None });
-        d.add_net(Net { name: "tb.count".into(), width: 4, kind: NetKind::Reg, init: None });
+        d.add_net(Net {
+            name: "tb.clk".into(),
+            width: 1,
+            kind: NetKind::Reg,
+            init: None,
+        });
+        d.add_net(Net {
+            name: "tb.count".into(),
+            width: 4,
+            kind: NetKind::Reg,
+            init: None,
+        });
         d
     }
 
@@ -108,7 +118,10 @@ mod tests {
             assert!(seen.insert(code), "duplicate at {i}");
         }
         assert_eq!(id_code(0), "!");
-        assert_eq!(id_code(94), "\"!".to_string().chars().rev().collect::<String>());
+        assert_eq!(
+            id_code(94),
+            "\"!".to_string().chars().rev().collect::<String>()
+        );
     }
 
     #[test]
@@ -116,9 +129,21 @@ mod tests {
         let d = design();
         let initial = vec![LogicVec::zeros(1), LogicVec::xes(4)];
         let changes = vec![
-            Change { time: 5, net: 0, value: LogicVec::from_u64(1, 1) },
-            Change { time: 5, net: 1, value: LogicVec::from_u64(4, 3) },
-            Change { time: 10, net: 0, value: LogicVec::from_u64(1, 0) },
+            Change {
+                time: 5,
+                net: 0,
+                value: LogicVec::from_u64(1, 1),
+            },
+            Change {
+                time: 5,
+                net: 1,
+                value: LogicVec::from_u64(4, 3),
+            },
+            Change {
+                time: 10,
+                net: 0,
+                value: LogicVec::from_u64(1, 0),
+            },
         ];
         let vcd = render(&d, &initial, &changes, 20);
         assert!(vcd.contains("$timescale 1ns $end"));

@@ -134,7 +134,10 @@ impl<'a> Elaborator<'a, '_> {
             );
             return;
         }
-        let mut scope = Scope { prefix, ..Scope::default() };
+        let mut scope = Scope {
+            prefix,
+            ..Scope::default()
+        };
 
         // Non-ANSI headers list bare names; their direction/type/range
         // come from body `input`/`output` declarations.
@@ -164,7 +167,14 @@ impl<'a> Elaborator<'a, '_> {
                 );
             }
             let width = self.range_width(&port.range, &scope);
-            self.declare_net(&mut scope, &port.name, width, port.net_type, None, port.span);
+            self.declare_net(
+                &mut scope,
+                &port.name,
+                width,
+                port.net_type,
+                None,
+                port.span,
+            );
         }
         for item in &module.items {
             match item {
@@ -180,7 +190,11 @@ impl<'a> Elaborator<'a, '_> {
                     };
                     scope.params.insert(p.name.clone(), value);
                 }
-                Item::NetDecl { net_type, range, names } => {
+                Item::NetDecl {
+                    net_type,
+                    range,
+                    names,
+                } => {
                     let width = self.range_width(range, &scope);
                     for (name, span, init) in names {
                         // `output q; reg q;` legally re-types a non-ANSI
@@ -192,9 +206,13 @@ impl<'a> Elaborator<'a, '_> {
                                 && *net_type == NetType::Reg
                                 && self.design.net(info.id).width == width
                             {
-                                scope
-                                    .nets
-                                    .insert(name.clone(), NetInfo { id: info.id, net_type: NetType::Reg });
+                                scope.nets.insert(
+                                    name.clone(),
+                                    NetInfo {
+                                        id: info.id,
+                                        net_type: NetType::Reg,
+                                    },
+                                );
                                 self.design.nets[info.id.0 as usize].kind = NetKind::Reg;
                                 continue;
                             }
@@ -221,7 +239,9 @@ impl<'a> Elaborator<'a, '_> {
                         if depth > 1024 {
                             self.error(
                                 codes::VLOG_SYNTAX,
-                                format!("memory '{name}' has {depth} words; at most 1024 are supported"),
+                                format!(
+                                    "memory '{name}' has {depth} words; at most 1024 are supported"
+                                ),
                                 *span,
                             );
                             continue;
@@ -247,9 +267,14 @@ impl<'a> Elaborator<'a, '_> {
                                 })
                             })
                             .collect();
-                        scope
-                            .mems
-                            .insert(name.clone(), MemInfo { elems, width, base: lo });
+                        scope.mems.insert(
+                            name.clone(),
+                            MemInfo {
+                                elems,
+                                width,
+                                base: lo,
+                            },
+                        );
                     }
                 }
                 Item::Function(f) => {
@@ -263,7 +288,11 @@ impl<'a> Elaborator<'a, '_> {
                         .functions
                         .insert(
                             f.name.clone(),
-                            FunctionSig { width, inputs, body: f.body.clone() },
+                            FunctionSig {
+                                width,
+                                inputs,
+                                body: f.body.clone(),
+                            },
                         )
                         .is_some()
                     {
@@ -297,11 +326,16 @@ impl<'a> Elaborator<'a, '_> {
                         // Function calls need statement context: compile
                         // the assign as an inferred-sensitivity process.
                         let mut b = Builder::default();
-                        let wait_slot = b.emit(Instr::WaitEvent { triggers: Vec::new() });
+                        let wait_slot = b.emit(Instr::WaitEvent {
+                            triggers: Vec::new(),
+                        });
                         let rhs = self.lower_expr_proc(expr, &scope, &mut b);
                         if let Some(lv) = self.lower_lvalue(target, &scope, AssignCtx::Continuous) {
                             let rhs = self.fit_expr(&lv, rhs, *span);
-                            b.emit(Instr::BlockingAssign { lvalue: lv, expr: rhs });
+                            b.emit(Instr::BlockingAssign {
+                                lvalue: lv,
+                                expr: rhs,
+                            });
                             b.emit(Instr::Jump(0));
                             let mut reads = Vec::new();
                             collect_instr_reads(&b.instrs, &mut reads);
@@ -337,7 +371,13 @@ impl<'a> Elaborator<'a, '_> {
                         body: b.instrs,
                     });
                 }
-                Item::Instance { module: child_name, name, param_overrides, connections, span } => {
+                Item::Instance {
+                    module: child_name,
+                    name,
+                    param_overrides,
+                    connections,
+                    span,
+                } => {
                     let Some(&child) = self.modules.get(child_name.as_str()) else {
                         self.error(
                             codes::ELAB_UNKNOWN_MODULE,
@@ -373,7 +413,11 @@ impl<'a> Elaborator<'a, '_> {
                         child,
                         child_prefix,
                         bindings,
-                        Some(PortBinding { connections, parent_scope: &scope, span: *span }),
+                        Some(PortBinding {
+                            connections,
+                            parent_scope: &scope,
+                            span: *span,
+                        }),
                         depth + 1,
                     );
                 }
@@ -387,7 +431,13 @@ impl<'a> Elaborator<'a, '_> {
         use std::collections::HashMap as Map;
         let mut decls: Map<&str, ast::Port> = Map::new();
         for item in &module.items {
-            if let Item::PortDecl { dir, net_type, range, names } = item {
+            if let Item::PortDecl {
+                dir,
+                net_type,
+                range,
+                names,
+            } = item
+            {
                 for (name, span) in names {
                     decls.insert(
                         name.as_str(),
@@ -449,7 +499,9 @@ impl<'a> Elaborator<'a, '_> {
             },
             init,
         });
-        scope.nets.insert(name.to_string(), NetInfo { id, net_type });
+        scope
+            .nets
+            .insert(name.to_string(), NetInfo { id, net_type });
     }
 
     fn range_width(&mut self, range: &Option<(ast::Expr, ast::Expr)>, scope: &Scope) -> u32 {
@@ -472,7 +524,11 @@ impl<'a> Elaborator<'a, '_> {
         child_scope: &Scope,
         binding: PortBinding<'a, '_>,
     ) {
-        let PortBinding { connections, parent_scope, span } = binding;
+        let PortBinding {
+            connections,
+            parent_scope,
+            span,
+        } = binding;
         let pairs: Vec<(&ast::Port, Option<&ast::Expr>, Span)> = match connections {
             Connections::Positional(exprs) => {
                 if exprs.len() > ports.len() {
@@ -508,7 +564,9 @@ impl<'a> Elaborator<'a, '_> {
             }
         };
         for (port, expr, cspan) in pairs {
-            let Some(&info) = child_scope.nets.get(&port.name) else { continue };
+            let Some(&info) = child_scope.nets.get(&port.name) else {
+                continue;
+            };
             match (port.dir, expr) {
                 (PortDir::Input, Some(e)) => {
                     let rhs = self.lower_expr(e, parent_scope);
@@ -524,9 +582,7 @@ impl<'a> Elaborator<'a, '_> {
                     );
                 }
                 (PortDir::Output, Some(e)) => {
-                    if let Some(lv) =
-                        self.lower_lvalue(e, parent_scope, AssignCtx::Continuous)
-                    {
+                    if let Some(lv) = self.lower_lvalue(e, parent_scope, AssignCtx::Continuous) {
                         let rhs = self.fit_expr(&lv, Expr::Net(info.id), cspan);
                         self.design.add_continuous_assign(lv, rhs);
                     }
@@ -546,9 +602,7 @@ impl<'a> Elaborator<'a, '_> {
         if rw > lw {
             self.warning(
                 codes::WIDTH_MISMATCH,
-                format!(
-                    "assignment truncates a {rw}-bit expression to {lw} bits"
-                ),
+                format!("assignment truncates a {rw}-bit expression to {lw} bits"),
                 span,
             );
             rhs
@@ -580,7 +634,10 @@ impl<'a> Elaborator<'a, '_> {
                         | BinaryOp::Shr,
                     ..
                 }
-                | Expr::Unary { op: UnaryOp::Not | UnaryOp::Negate, .. }
+                | Expr::Unary {
+                    op: UnaryOp::Not | UnaryOp::Negate,
+                    ..
+                }
         );
         if !context_determined {
             return self.pad_expr(e, w);
@@ -588,7 +645,11 @@ impl<'a> Elaborator<'a, '_> {
         match e {
             Expr::Const(v) if v.width() >= w => Expr::Const(v),
             Expr::Const(v) => Expr::Const(v.resize(w)),
-            Expr::Binary { op: op @ (BinaryOp::Shl | BinaryOp::Shr), lhs, rhs } => Expr::Binary {
+            Expr::Binary {
+                op: op @ (BinaryOp::Shl | BinaryOp::Shr),
+                lhs,
+                rhs,
+            } => Expr::Binary {
                 op,
                 lhs: Box::new(self.widen_expr(*lhs, w)),
                 rhs,
@@ -668,7 +729,9 @@ impl<'a> Elaborator<'a, '_> {
         match self.try_eval_const(e, scope) {
             Some(v) => Some(v),
             None => {
-                let span = e.span().unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
+                let span = e
+                    .span()
+                    .unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
                 self.error(
                     codes::VLOG_SYNTAX,
                     "expected a constant expression".to_string(),
@@ -736,9 +799,7 @@ impl<'a> Elaborator<'a, '_> {
 
     fn lower_expr(&mut self, e: &ast::Expr, scope: &Scope) -> Expr {
         match e {
-            ast::Expr::Number { text, span } => {
-                Expr::Const(parse_literal(text, *span, self.diags))
-            }
+            ast::Expr::Number { text, span } => Expr::Const(parse_literal(text, *span, self.diags)),
             ast::Expr::Ident { name, span } => {
                 if let Some(&v) = scope.params.get(name) {
                     return Expr::Const(LogicVec::from_u64(32, v as u64));
@@ -766,7 +827,10 @@ impl<'a> Elaborator<'a, '_> {
                     return Expr::Const(LogicVec::xes(1));
                 };
                 let idx = self.lower_expr(index, scope);
-                Expr::Index { net, index: Box::new(idx) }
+                Expr::Index {
+                    net,
+                    index: Box::new(idx),
+                }
             }
             ast::Expr::RangeSel { base, msb, lsb } => {
                 let Some(net) = self.base_net(base, scope) else {
@@ -775,7 +839,11 @@ impl<'a> Elaborator<'a, '_> {
                 let m = self.eval_const(msb, scope).unwrap_or(0).max(0) as u32;
                 let l = self.eval_const(lsb, scope).unwrap_or(0).max(0) as u32;
                 let (m, l) = if m >= l { (m, l) } else { (l, m) };
-                Expr::Range { net, msb: m, lsb: l }
+                Expr::Range {
+                    net,
+                    msb: m,
+                    lsb: l,
+                }
             }
             ast::Expr::Unary { op, operand } => {
                 let inner = self.lower_expr(operand, scope);
@@ -791,7 +859,10 @@ impl<'a> Elaborator<'a, '_> {
                     UnOp::ReduceNor => UnaryOp::ReduceNor,
                     UnOp::ReduceXnor => UnaryOp::ReduceXnor,
                 };
-                Expr::Unary { op, operand: Box::new(inner) }
+                Expr::Unary {
+                    op,
+                    operand: Box::new(inner),
+                }
             }
             ast::Expr::Binary { op, lhs, rhs } => {
                 if *op == BinOp::Pow {
@@ -799,9 +870,9 @@ impl<'a> Elaborator<'a, '_> {
                     if let Some(v) = self.try_eval_const(e, scope) {
                         return Expr::Const(LogicVec::from_u64(32, v as u64));
                     }
-                    let span = e.span().unwrap_or_else(|| {
-                        Span::file_start(aivril_hdl::source::FileId(0))
-                    });
+                    let span = e
+                        .span()
+                        .unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
                     self.error(
                         codes::VLOG_SYNTAX,
                         "the power operator '**' requires constant operands".to_string(),
@@ -835,7 +906,11 @@ impl<'a> Elaborator<'a, '_> {
                     BinOp::Ge => BinaryOp::Ge,
                     BinOp::Pow => unreachable!("handled above"),
                 };
-                Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) }
+                Expr::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                }
             }
             ast::Expr::Ternary { cond, then, els } => Expr::Ternary {
                 cond: Box::new(self.lower_expr(cond, scope)),
@@ -847,7 +922,10 @@ impl<'a> Elaborator<'a, '_> {
             }
             ast::Expr::Repeat { count, value } => {
                 let n = self.eval_const(count, scope).unwrap_or(1).max(1) as u32;
-                Expr::Repeat { count: n, operand: Box::new(self.lower_expr(value, scope)) }
+                Expr::Repeat {
+                    count: n,
+                    operand: Box::new(self.lower_expr(value, scope)),
+                }
             }
             ast::Expr::Time { .. } => Expr::Time,
             ast::Expr::Call { name, span, .. } => {
@@ -876,7 +954,10 @@ impl<'a> Elaborator<'a, '_> {
             ast::Expr::Unary { op, operand } => {
                 let inner = self.lower_expr_proc(operand, scope, b);
                 match unop_of(*op) {
-                    Some(op) => Expr::Unary { op, operand: Box::new(inner) },
+                    Some(op) => Expr::Unary {
+                        op,
+                        operand: Box::new(inner),
+                    },
                     None => inner, // unary `+` is the identity
                 }
             }
@@ -884,11 +965,15 @@ impl<'a> Elaborator<'a, '_> {
                 let l = self.lower_expr_proc(lhs, scope, b);
                 let r = self.lower_expr_proc(rhs, scope, b);
                 match binop_of(*op) {
-                    Some(op) => Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) },
+                    Some(op) => Expr::Binary {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
                     None => {
-                        let span = e.span().unwrap_or_else(|| {
-                            Span::file_start(aivril_hdl::source::FileId(0))
-                        });
+                        let span = e
+                            .span()
+                            .unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
                         self.error(
                             codes::VLOG_SYNTAX,
                             "the power operator '**' cannot take function-call operands"
@@ -928,7 +1013,10 @@ impl<'a> Elaborator<'a, '_> {
                     return Expr::Const(LogicVec::xes(1));
                 };
                 let idx = self.lower_expr_proc(index, scope, b);
-                Expr::Index { net, index: Box::new(idx) }
+                Expr::Index {
+                    net,
+                    index: Box::new(idx),
+                }
             }
             other => self.lower_expr(other, scope),
         }
@@ -994,8 +1082,17 @@ impl<'a> Elaborator<'a, '_> {
             let value = self.lower_expr_proc(arg_expr, scope, b);
             let lv = LValue::Net(id);
             let value = self.fit_expr(&lv, value, span);
-            b.emit(Instr::BlockingAssign { lvalue: lv, expr: value });
-            inner.nets.insert(arg_name.clone(), NetInfo { id, net_type: NetType::Reg });
+            b.emit(Instr::BlockingAssign {
+                lvalue: lv,
+                expr: value,
+            });
+            inner.nets.insert(
+                arg_name.clone(),
+                NetInfo {
+                    id,
+                    net_type: NetType::Reg,
+                },
+            );
         }
         let ret = self.design.add_net(Net {
             name: format!("{}$fn{uid}$return", scope.prefix),
@@ -1003,9 +1100,13 @@ impl<'a> Elaborator<'a, '_> {
             kind: NetKind::Reg,
             init: None,
         });
-        inner
-            .nets
-            .insert(name.to_string(), NetInfo { id: ret, net_type: NetType::Reg });
+        inner.nets.insert(
+            name.to_string(),
+            NetInfo {
+                id: ret,
+                net_type: NetType::Reg,
+            },
+        );
         let body_start = b.here();
         self.inline_depth += 1;
         self.compile_stmt(&sig.body, &inner, b);
@@ -1058,12 +1159,7 @@ impl<'a> Elaborator<'a, '_> {
         }
     }
 
-    fn lower_lvalue(
-        &mut self,
-        e: &ast::Expr,
-        scope: &Scope,
-        ctx: AssignCtx,
-    ) -> Option<LValue> {
+    fn lower_lvalue(&mut self, e: &ast::Expr, scope: &Scope, ctx: AssignCtx) -> Option<LValue> {
         match e {
             ast::Expr::Ident { name, span } => {
                 let info = self.lvalue_net(name, *span, scope, ctx)?;
@@ -1112,7 +1208,11 @@ impl<'a> Elaborator<'a, '_> {
         ctx: AssignCtx,
     ) -> Option<NetInfo> {
         let Some(&info) = scope.nets.get(name) else {
-            self.error(codes::VLOG_UNDECLARED, format!("'{name}' is not declared"), span);
+            self.error(
+                codes::VLOG_UNDECLARED,
+                format!("'{name}' is not declared"),
+                span,
+            );
             return None;
         };
         match (ctx, info.net_type) {
@@ -1127,7 +1227,9 @@ impl<'a> Elaborator<'a, '_> {
             (AssignCtx::Procedural, NetType::Wire) => {
                 self.error(
                     codes::VLOG_BAD_ASSIGN,
-                    format!("procedural assignment to wire '{name}' is illegal (declare it as reg)"),
+                    format!(
+                        "procedural assignment to wire '{name}' is illegal (declare it as reg)"
+                    ),
                     span,
                 );
                 None
@@ -1155,7 +1257,9 @@ impl<'a> Elaborator<'a, '_> {
             }
             Some(_) => {
                 // @* — infer sensitivity from every net the body reads.
-                let wait_slot = b.emit(Instr::WaitEvent { triggers: Vec::new() });
+                let wait_slot = b.emit(Instr::WaitEvent {
+                    triggers: Vec::new(),
+                });
                 self.compile_stmt(body, scope, &mut b);
                 b.emit(Instr::Jump(0));
                 let mut reads = Vec::new();
@@ -1237,7 +1341,11 @@ impl<'a> Elaborator<'a, '_> {
                     self.compile_stmt(s, scope, b);
                 }
             }
-            ast::Stmt::Blocking { target, value, span } => {
+            ast::Stmt::Blocking {
+                target,
+                value,
+                span,
+            } => {
                 let expr = self.lower_expr_proc(value, scope, b);
                 if self.try_mem_write(target, expr.clone(), false, *span, scope, b) {
                     return;
@@ -1247,7 +1355,11 @@ impl<'a> Elaborator<'a, '_> {
                     b.emit(Instr::BlockingAssign { lvalue: lv, expr });
                 }
             }
-            ast::Stmt::Nonblocking { target, value, span } => {
+            ast::Stmt::Nonblocking {
+                target,
+                value,
+                span,
+            } => {
                 let expr = self.lower_expr_proc(value, scope, b);
                 if self.try_mem_write(target, expr.clone(), true, *span, scope, b) {
                     return;
@@ -1271,10 +1383,29 @@ impl<'a> Elaborator<'a, '_> {
                     None => b.patch(branch, b.here()),
                 }
             }
-            ast::Stmt::Case { subject, arms, default, wildcard, span } => {
-                self.compile_case(subject, arms, default.as_deref(), *wildcard, *span, scope, b);
+            ast::Stmt::Case {
+                subject,
+                arms,
+                default,
+                wildcard,
+                span,
+            } => {
+                self.compile_case(
+                    subject,
+                    arms,
+                    default.as_deref(),
+                    *wildcard,
+                    *span,
+                    scope,
+                    b,
+                );
             }
-            ast::Stmt::For { init, cond, step, body } => {
+            ast::Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.compile_stmt(
                     &ast::Stmt::Blocking {
                         target: init.0.clone(),
@@ -1317,7 +1448,10 @@ impl<'a> Elaborator<'a, '_> {
                     init: Some(LogicVec::zeros(32)),
                 });
                 let n = self.lower_expr(count, scope);
-                b.emit(Instr::BlockingAssign { lvalue: LValue::Net(counter), expr: n });
+                b.emit(Instr::BlockingAssign {
+                    lvalue: LValue::Net(counter),
+                    expr: n,
+                });
                 let head = b.here();
                 let cond = Expr::Binary {
                     op: BinaryOp::Gt,
@@ -1405,9 +1539,15 @@ impl<'a> Elaborator<'a, '_> {
         scope: &Scope,
         b: &mut Builder,
     ) -> bool {
-        let ast::Expr::Index { base, index } = target else { return false };
-        let ast::Expr::Ident { name, .. } = base.as_ref() else { return false };
-        let Some(mem) = scope.mems.get(name).cloned() else { return false };
+        let ast::Expr::Index { base, index } = target else {
+            return false;
+        };
+        let ast::Expr::Ident { name, .. } = base.as_ref() else {
+            return false;
+        };
+        let Some(mem) = scope.mems.get(name).cloned() else {
+            return false;
+        };
         let idx = self.lower_expr_proc(index, scope, b);
         // Evaluate address and data once into temporaries so the demux
         // arms agree even if the expressions have function calls.
@@ -1432,7 +1572,10 @@ impl<'a> Elaborator<'a, '_> {
         });
         let data_lv = LValue::Net(data_net);
         let value = self.fit_expr(&data_lv, value, span);
-        b.emit(Instr::BlockingAssign { lvalue: data_lv, expr: value });
+        b.emit(Instr::BlockingAssign {
+            lvalue: data_lv,
+            expr: value,
+        });
         for (k, id) in mem.elems.iter().enumerate() {
             let addr = mem.base + k as i64;
             let cond = Expr::Binary {
@@ -1442,9 +1585,15 @@ impl<'a> Elaborator<'a, '_> {
             };
             let skip = b.emit_branch(cond);
             let instr = if nonblocking {
-                Instr::NonblockingAssign { lvalue: LValue::Net(*id), expr: Expr::Net(data_net) }
+                Instr::NonblockingAssign {
+                    lvalue: LValue::Net(*id),
+                    expr: Expr::Net(data_net),
+                }
             } else {
-                Instr::BlockingAssign { lvalue: LValue::Net(*id), expr: Expr::Net(data_net) }
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(*id),
+                    expr: Expr::Net(data_net),
+                }
             };
             b.emit(instr);
             b.patch(skip, b.here());
@@ -1579,7 +1728,11 @@ impl<'a> Elaborator<'a, '_> {
         if kind == SysTaskKind::Fatal && format.is_none() && exprs.len() == 1 {
             exprs.clear();
         }
-        b.emit(Instr::SysCall { kind, format, args: exprs });
+        b.emit(Instr::SysCall {
+            kind,
+            format,
+            args: exprs,
+        });
     }
 }
 
@@ -1614,7 +1767,10 @@ impl Builder {
     }
 
     fn emit_branch(&mut self, cond: Expr) -> usize {
-        self.emit(Instr::BranchIfFalse { cond, target: usize::MAX })
+        self.emit(Instr::BranchIfFalse {
+            cond,
+            target: usize::MAX,
+        })
     }
 
     fn here(&self) -> usize {
@@ -1655,9 +1811,7 @@ fn expr_contains_call(e: &ast::Expr) -> bool {
     match e {
         ast::Expr::Call { .. } => true,
         ast::Expr::Unary { operand, .. } => expr_contains_call(operand),
-        ast::Expr::Binary { lhs, rhs, .. } => {
-            expr_contains_call(lhs) || expr_contains_call(rhs)
-        }
+        ast::Expr::Binary { lhs, rhs, .. } => expr_contains_call(lhs) || expr_contains_call(rhs),
         ast::Expr::Ternary { cond, then, els } => {
             expr_contains_call(cond) || expr_contains_call(then) || expr_contains_call(els)
         }
@@ -1665,9 +1819,7 @@ fn expr_contains_call(e: &ast::Expr) -> bool {
         ast::Expr::Repeat { count, value } => {
             expr_contains_call(count) || expr_contains_call(value)
         }
-        ast::Expr::Index { base, index } => {
-            expr_contains_call(base) || expr_contains_call(index)
-        }
+        ast::Expr::Index { base, index } => expr_contains_call(base) || expr_contains_call(index),
         ast::Expr::RangeSel { base, msb, lsb } => {
             expr_contains_call(base) || expr_contains_call(msb) || expr_contains_call(lsb)
         }

@@ -217,14 +217,14 @@ impl Lexer<'_> {
                         self.bytes.get(self.pos),
                         Some(
                             b'0'..=b'9'
-                                | b'a'..=b'f'
-                                | b'A'..=b'F'
-                                | b'x'
-                                | b'X'
-                                | b'z'
-                                | b'Z'
-                                | b'?'
-                                | b'_'
+                            | b'a'..=b'f'
+                            | b'A'..=b'F'
+                            | b'x'
+                            | b'X'
+                            | b'z'
+                            | b'Z'
+                            | b'?'
+                            | b'_',
                         )
                     ) {
                         self.pos += 1;

@@ -215,9 +215,8 @@ mod tests {
 
     #[test]
     fn undeclared_identifier_is_elab_error() {
-        let diags = compile_err(
-            "module top(input a, output y);\n  assign y = a & missing;\nendmodule\n",
-        );
+        let diags =
+            compile_err("module top(input a, output y);\n  assign y = a & missing;\nendmodule\n");
         let text = format!("{:?}", diags.all());
         assert!(text.contains("missing"), "{text}");
     }
@@ -356,7 +355,11 @@ mod monitor_integration {
         let design = compile(&sources, "tb").expect("compiles");
         let r = Simulator::new(&design, SimConfig::default()).run();
         let texts: Vec<&str> = r.lines.iter().map(|l| l.text.as_str()).collect();
-        assert_eq!(texts, vec!["n=0 at 0", "n=5 at 10", "n=9 at 30"], "{texts:?}");
+        assert_eq!(
+            texts,
+            vec!["n=0 at 0", "n=5 at 10", "n=9 at 30"],
+            "{texts:?}"
+        );
     }
 }
 
@@ -493,7 +496,10 @@ mod function_tests {
     #[test]
     fn unknown_function_is_diagnosed() {
         let mut sources = SourceMap::new();
-        sources.add_file("t.v", "module tb;\n  reg y;\n  initial y = ghost(1'b0);\nendmodule\n");
+        sources.add_file(
+            "t.v",
+            "module tb;\n  reg y;\n  initial y = ghost(1'b0);\nendmodule\n",
+        );
         let err = compile(&sources, "tb").expect_err("unknown function");
         assert!(err.render(&sources).contains("ghost"));
     }

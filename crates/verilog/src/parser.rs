@@ -13,7 +13,11 @@ use aivril_hdl::source::Span;
 
 /// Parses a token stream into modules, appending errors to `diags`.
 pub fn parse(tokens: Vec<Token>, diags: &mut Diagnostics) -> SourceUnit {
-    let mut p = Parser { tokens, pos: 0, diags };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags,
+    };
     let mut unit = SourceUnit::default();
     while !p.at_eof() {
         if p.eat_kw(Kw::Module) {
@@ -22,7 +26,10 @@ pub fn parse(tokens: Vec<Token>, diags: &mut Diagnostics) -> SourceUnit {
             }
         } else {
             let tok = p.peek().clone();
-            p.error(format!("expected 'module', found {}", tok.describe()), tok.span);
+            p.error(
+                format!("expected 'module', found {}", tok.describe()),
+                tok.span,
+            );
             p.bump();
             // Skip forward to the next 'module'.
             while !p.at_eof() && !p.check_kw(Kw::Module) {
@@ -85,7 +92,8 @@ impl Parser<'_> {
     fn error(&mut self, message: String, span: Span) {
         // Cap the error count so corrupted files produce focused logs.
         if self.diags.error_count() < 20 {
-            self.diags.push(Diagnostic::error(codes::VLOG_SYNTAX, message, span));
+            self.diags
+                .push(Diagnostic::error(codes::VLOG_SYNTAX, message, span));
         }
     }
 
@@ -94,7 +102,10 @@ impl Parser<'_> {
             return Some(self.bump());
         }
         let tok = self.peek().clone();
-        self.error(format!("expected '{p}', found {}", tok.describe()), tok.span);
+        self.error(
+            format!("expected '{p}', found {}", tok.describe()),
+            tok.span,
+        );
         None
     }
 
@@ -104,7 +115,10 @@ impl Parser<'_> {
             return Some((t.text, t.span));
         }
         let tok = self.peek().clone();
-        self.error(format!("expected identifier, found {}", tok.describe()), tok.span);
+        self.error(
+            format!("expected identifier, found {}", tok.describe()),
+            tok.span,
+        );
         None
     }
 
@@ -166,18 +180,32 @@ impl Parser<'_> {
                 None => self.sync_to_semi(),
             }
         }
-        Some(Module { name, span, params, ports, nonansi_ports, items })
+        Some(Module {
+            name,
+            span,
+            params,
+            ports,
+            nonansi_ports,
+            items,
+        })
     }
 
     fn parse_param_list(&mut self, params: &mut Vec<ParamDecl>) {
         loop {
             self.eat_kw(Kw::Parameter);
-            let Some((name, span)) = self.expect_ident() else { return };
+            let Some((name, span)) = self.expect_ident() else {
+                return;
+            };
             if self.expect(Punct::Assign).is_none() {
                 return;
             }
             let default = self.parse_expr();
-            params.push(ParamDecl { name, default, span, local: false });
+            params.push(ParamDecl {
+                name,
+                default,
+                span,
+                local: false,
+            });
             if !self.eat(Punct::Comma) {
                 return;
             }
@@ -216,8 +244,16 @@ impl Parser<'_> {
                     None
                 };
             }
-            let Some((name, span)) = self.expect_ident() else { return };
-            ports.push(Port { dir, net_type, range: range.clone(), name, span });
+            let Some((name, span)) = self.expect_ident() else {
+                return;
+            };
+            ports.push(Port {
+                dir,
+                net_type,
+                range: range.clone(),
+                name,
+                span,
+            });
             if !self.eat(Punct::Comma) {
                 return;
             }
@@ -268,7 +304,12 @@ impl Parser<'_> {
                     }
                 }
                 self.expect(Punct::Semi)?;
-                Some(vec![Item::PortDecl { dir, net_type, range, names }])
+                Some(vec![Item::PortDecl {
+                    dir,
+                    net_type,
+                    range,
+                    names,
+                }])
             }
             TokenKind::Keyword(Kw::Wire) | TokenKind::Keyword(Kw::Reg) => {
                 let net_type = if self.eat_kw(Kw::Reg) {
@@ -309,10 +350,17 @@ impl Parser<'_> {
                 self.expect(Punct::Semi)?;
                 let mut items = Vec::new();
                 if !names.is_empty() {
-                    items.push(Item::NetDecl { net_type, range: range.clone(), names });
+                    items.push(Item::NetDecl {
+                        net_type,
+                        range: range.clone(),
+                        names,
+                    });
                 }
                 if !mems.is_empty() {
-                    items.push(Item::MemDecl { width_range: range, names: mems });
+                    items.push(Item::MemDecl {
+                        width_range: range,
+                        names: mems,
+                    });
                 }
                 Some(items)
             }
@@ -337,7 +385,12 @@ impl Parser<'_> {
                     let (name, span) = self.expect_ident()?;
                     self.expect(Punct::Assign)?;
                     let default = self.parse_expr();
-                    items.push(Item::Param(ParamDecl { name, default, span, local }));
+                    items.push(Item::Param(ParamDecl {
+                        name,
+                        default,
+                        span,
+                        local,
+                    }));
                     if !self.eat(Punct::Comma) {
                         break;
                     }
@@ -352,7 +405,11 @@ impl Parser<'_> {
                     let target = self.parse_lvalue_expr()?;
                     self.expect(Punct::Assign)?;
                     let expr = self.parse_expr();
-                    items.push(Item::ContinuousAssign { target, expr, span: tok.span });
+                    items.push(Item::ContinuousAssign {
+                        target,
+                        expr,
+                        span: tok.span,
+                    });
                     if !self.eat(Punct::Comma) {
                         break;
                     }
@@ -368,12 +425,19 @@ impl Parser<'_> {
                     None
                 };
                 let body = self.parse_stmt()?;
-                Some(vec![Item::Always { events, body, span: tok.span }])
+                Some(vec![Item::Always {
+                    events,
+                    body,
+                    span: tok.span,
+                }])
             }
             TokenKind::Keyword(Kw::Initial) => {
                 self.bump();
                 let body = self.parse_stmt()?;
-                Some(vec![Item::Initial { body, span: tok.span }])
+                Some(vec![Item::Initial {
+                    body,
+                    span: tok.span,
+                }])
             }
             TokenKind::Keyword(Kw::Function) => {
                 self.bump();
@@ -462,10 +526,7 @@ impl Parser<'_> {
                 }])
             }
             _ => {
-                self.error(
-                    format!("syntax error near {}", tok.describe()),
-                    tok.span,
-                );
+                self.error(format!("syntax error near {}", tok.describe()), tok.span);
                 None
             }
         }
@@ -610,7 +671,13 @@ impl Parser<'_> {
                     let body = self.parse_stmt()?;
                     arms.push((labels, body));
                 }
-                Some(Stmt::Case { subject, arms, default, wildcard, span: tok.span })
+                Some(Stmt::Case {
+                    subject,
+                    arms,
+                    default,
+                    wildcard,
+                    span: tok.span,
+                })
             }
             TokenKind::Keyword(Kw::For) => {
                 self.bump();
@@ -626,25 +693,38 @@ impl Parser<'_> {
                 let step_v = self.parse_expr();
                 self.expect(Punct::RParen)?;
                 let body = Box::new(self.parse_stmt()?);
-                Some(Stmt::For { init: (init_t, init_v), cond, step: (step_t, step_v), body })
+                Some(Stmt::For {
+                    init: (init_t, init_v),
+                    cond,
+                    step: (step_t, step_v),
+                    body,
+                })
             }
             TokenKind::Keyword(Kw::While) => {
                 self.bump();
                 self.expect(Punct::LParen)?;
                 let cond = self.parse_expr();
                 self.expect(Punct::RParen)?;
-                Some(Stmt::While { cond, body: Box::new(self.parse_stmt()?) })
+                Some(Stmt::While {
+                    cond,
+                    body: Box::new(self.parse_stmt()?),
+                })
             }
             TokenKind::Keyword(Kw::Repeat) => {
                 self.bump();
                 self.expect(Punct::LParen)?;
                 let count = self.parse_expr();
                 self.expect(Punct::RParen)?;
-                Some(Stmt::Repeat { count, body: Box::new(self.parse_stmt()?) })
+                Some(Stmt::Repeat {
+                    count,
+                    body: Box::new(self.parse_stmt()?),
+                })
             }
             TokenKind::Keyword(Kw::Forever) => {
                 self.bump();
-                Some(Stmt::Forever { body: Box::new(self.parse_stmt()?) })
+                Some(Stmt::Forever {
+                    body: Box::new(self.parse_stmt()?),
+                })
             }
             TokenKind::Keyword(Kw::Wait) => {
                 self.bump();
@@ -685,7 +765,11 @@ impl Parser<'_> {
                     self.expect(Punct::RParen)?;
                 }
                 self.expect(Punct::Semi)?;
-                Some(Stmt::SysCall { name, args, span: tok.span })
+                Some(Stmt::SysCall {
+                    name,
+                    args,
+                    span: tok.span,
+                })
             }
             TokenKind::Punct(Punct::Semi) => {
                 self.bump();
@@ -703,20 +787,35 @@ impl Parser<'_> {
                         self.expect(Punct::Semi)?;
                         return Some(Stmt::Block(vec![
                             Stmt::Delay { amount, then: None },
-                            Stmt::Blocking { target, value, span },
+                            Stmt::Blocking {
+                                target,
+                                value,
+                                span,
+                            },
                         ]));
                     }
                     let value = self.parse_expr();
                     self.expect(Punct::Semi)?;
-                    Some(Stmt::Blocking { target, value, span })
+                    Some(Stmt::Blocking {
+                        target,
+                        value,
+                        span,
+                    })
                 } else if self.eat(Punct::LtEqual) {
                     let value = self.parse_expr();
                     self.expect(Punct::Semi)?;
-                    Some(Stmt::Nonblocking { target, value, span })
+                    Some(Stmt::Nonblocking {
+                        target,
+                        value,
+                        span,
+                    })
                 } else {
                     let t = self.peek().clone();
                     self.error(
-                        format!("expected '=' or '<=' after assignment target, found {}", t.describe()),
+                        format!(
+                            "expected '=' or '<=' after assignment target, found {}",
+                            t.describe()
+                        ),
                         t.span,
                     );
                     None
@@ -749,18 +848,27 @@ impl Parser<'_> {
             match tok.kind {
                 TokenKind::Number => {
                     self.bump();
-                    Expr::Number { text: tok.text, span: tok.span }
+                    Expr::Number {
+                        text: tok.text,
+                        span: tok.span,
+                    }
                 }
                 TokenKind::Ident => {
                     self.bump();
-                    Expr::Ident { name: tok.text, span: tok.span }
+                    Expr::Ident {
+                        name: tok.text,
+                        span: tok.span,
+                    }
                 }
                 _ => {
                     self.error(
                         format!("expected delay value, found {}", tok.describe()),
                         tok.span,
                     );
-                    Expr::Number { text: "0".into(), span: tok.span }
+                    Expr::Number {
+                        text: "0".into(),
+                        span: tok.span,
+                    }
                 }
             }
         }
@@ -794,7 +902,10 @@ impl Parser<'_> {
                 };
             } else {
                 self.expect(Punct::RBracket)?;
-                expr = Expr::Index { base: Box::new(expr), index: Box::new(first) };
+                expr = Expr::Index {
+                    base: Box::new(expr),
+                    index: Box::new(first),
+                };
             }
         }
         Some(expr)
@@ -865,7 +976,11 @@ impl Parser<'_> {
         while let Some(op) = self.binop_at(level) {
             self.bump();
             let rhs = self.parse_binary(level + 1);
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         lhs
     }
@@ -888,7 +1003,10 @@ impl Parser<'_> {
         if let Some(op) = op {
             self.bump();
             let operand = self.parse_unary();
-            return Expr::Unary { op, operand: Box::new(operand) };
+            return Expr::Unary {
+                op,
+                operand: Box::new(operand),
+            };
         }
         self.parse_postfix()
     }
@@ -908,7 +1026,10 @@ impl Parser<'_> {
                 };
             } else {
                 self.expect(Punct::RBracket);
-                expr = Expr::Index { base: Box::new(expr), index: Box::new(first) };
+                expr = Expr::Index {
+                    base: Box::new(expr),
+                    index: Box::new(first),
+                };
             }
         }
         expr
@@ -919,7 +1040,10 @@ impl Parser<'_> {
         match &tok.kind {
             TokenKind::Number => {
                 self.bump();
-                Expr::Number { text: tok.text, span: tok.span }
+                Expr::Number {
+                    text: tok.text,
+                    span: tok.span,
+                }
             }
             TokenKind::Ident => {
                 self.bump();
@@ -936,9 +1060,16 @@ impl Parser<'_> {
                         }
                     }
                     self.expect(Punct::RParen);
-                    return Expr::Call { name: tok.text, args: call_args, span: tok.span };
+                    return Expr::Call {
+                        name: tok.text,
+                        args: call_args,
+                        span: tok.span,
+                    };
                 }
-                Expr::Ident { name: tok.text, span: tok.span }
+                Expr::Ident {
+                    name: tok.text,
+                    span: tok.span,
+                }
             }
             TokenKind::SysIdent if tok.text == "$time" => {
                 self.bump();
@@ -973,7 +1104,10 @@ impl Parser<'_> {
                     };
                     self.expect(Punct::RBrace);
                     self.expect(Punct::RBrace);
-                    return Expr::Repeat { count: Box::new(first), value: Box::new(value) };
+                    return Expr::Repeat {
+                        count: Box::new(first),
+                        value: Box::new(value),
+                    };
                 }
                 let mut parts = vec![first];
                 while self.eat(Punct::Comma) {
@@ -985,7 +1119,10 @@ impl Parser<'_> {
             _ => {
                 self.error(format!("syntax error near {}", tok.describe()), tok.span);
                 self.bump();
-                Expr::Number { text: "0".into(), span: tok.span }
+                Expr::Number {
+                    text: "0".into(),
+                    span: tok.span,
+                }
             }
         }
     }
@@ -1037,9 +1174,7 @@ mod tests {
 
     #[test]
     fn parameters_header_and_body() {
-        let unit = parse_clean(
-            "module m #(parameter W = 8, N = 4); localparam D = W*N; endmodule",
-        );
+        let unit = parse_clean("module m #(parameter W = 8, N = 4); localparam D = W*N; endmodule");
         let m = &unit.modules[0];
         assert_eq!(m.params.len(), 2);
         assert!(matches!(m.items[0], Item::Param(ref p) if p.local && p.name == "D"));
@@ -1052,7 +1187,11 @@ mod tests {
              always @(posedge clk) q <= d;\nendmodule",
         );
         match &unit.modules[0].items[0] {
-            Item::Always { events: Some(ev), body, .. } => {
+            Item::Always {
+                events: Some(ev),
+                body,
+                ..
+            } => {
                 assert_eq!(ev.len(), 1);
                 assert!(matches!(ev[0], EventExpr::Posedge(_)));
                 assert!(matches!(body, Stmt::Nonblocking { .. }));
@@ -1069,11 +1208,20 @@ mod tests {
              default: y = 1'bx;\n  endcase\nend\nendmodule",
         );
         match &unit.modules[0].items[0] {
-            Item::Always { events: Some(ev), body, .. } => {
+            Item::Always {
+                events: Some(ev),
+                body,
+                ..
+            } => {
                 assert!(ev.is_empty(), "@* parses as empty event list");
                 match body {
                     Stmt::Block(stmts) => match &stmts[0] {
-                        Stmt::Case { arms, default, wildcard, .. } => {
+                        Stmt::Case {
+                            arms,
+                            default,
+                            wildcard,
+                            ..
+                        } => {
                             assert_eq!(arms.len(), 2);
                             assert_eq!(arms[1].0.len(), 2, "multi-label arm");
                             assert!(default.is_some());
@@ -1095,7 +1243,13 @@ mod tests {
              adder #(.W(4)) u_add (.sum(y), .a(a), .b(4'd3));\nendmodule",
         );
         match unit.modules[0].items.last().expect("instance item") {
-            Item::Instance { module, name, param_overrides, connections, .. } => {
+            Item::Instance {
+                module,
+                name,
+                param_overrides,
+                connections,
+                ..
+            } => {
                 assert_eq!(module, "adder");
                 assert_eq!(name, "u_add");
                 assert_eq!(param_overrides.len(), 1);
@@ -1114,7 +1268,13 @@ mod tests {
         match &unit.modules[0].items[1] {
             Item::ContinuousAssign { expr, .. } => {
                 // Top must be &&.
-                assert!(matches!(expr, Expr::Binary { op: BinOp::LogicalAnd, .. }));
+                assert!(matches!(
+                    expr,
+                    Expr::Binary {
+                        op: BinOp::LogicalAnd,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected assign, got {other:?}"),
         }
@@ -1141,9 +1301,8 @@ mod tests {
 
     #[test]
     fn unbalanced_end_is_reported() {
-        let (_, diags) = parse_src(
-            "module m(input clk); reg q; always @(posedge clk) begin q <= 1; endmodule",
-        );
+        let (_, diags) =
+            parse_src("module m(input clk); reg q; always @(posedge clk) begin q <= 1; endmodule");
         assert!(diags.has_errors());
     }
 
@@ -1155,9 +1314,8 @@ mod tests {
 
     #[test]
     fn recovery_parses_later_modules() {
-        let (unit, diags) = parse_src(
-            "module bad; wire ; endmodule\nmodule good; wire w; endmodule",
-        );
+        let (unit, diags) =
+            parse_src("module bad; wire ; endmodule\nmodule good; wire w; endmodule");
         assert!(diags.has_errors());
         assert!(unit.modules.iter().any(|m| m.name == "good"));
     }
@@ -1175,7 +1333,10 @@ mod tests {
     fn intra_assignment_delay() {
         let unit = parse_clean("module m; reg a; initial a = #5 1; endmodule");
         match &unit.modules[0].items[1] {
-            Item::Initial { body: Stmt::Block(stmts), .. } => {
+            Item::Initial {
+                body: Stmt::Block(stmts),
+                ..
+            } => {
                 assert!(matches!(stmts[0], Stmt::Delay { .. }));
                 assert!(matches!(stmts[1], Stmt::Blocking { .. }));
             }
@@ -1187,7 +1348,10 @@ mod tests {
     fn wait_statement() {
         let unit = parse_clean("module m; reg a; initial wait (a) $finish; endmodule");
         match &unit.modules[0].items[1] {
-            Item::Initial { body: Stmt::WaitCond { .. }, .. } => {}
+            Item::Initial {
+                body: Stmt::WaitCond { .. },
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -180,8 +180,8 @@ pub enum Punct {
     Hash,
     At,
     Question,
-    Assign,     // =
-    LtEqual,    // <= (both relational and nonblocking)
+    Assign,  // =
+    LtEqual, // <= (both relational and nonblocking)
     Plus,
     Minus,
     Star,
@@ -204,8 +204,8 @@ pub enum Punct {
     Lt,
     Gt,
     GtEq,
-    Shl, // <<
-    Shr, // >>
+    Shl,   // <<
+    Shr,   // >>
     Star2, // **
 }
 

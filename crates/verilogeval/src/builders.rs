@@ -68,11 +68,25 @@ pub fn comb_problem(spec: CombSpec) -> Problem {
     let vectors = choose_vectors(&spec.inputs, &spec.name);
     let expected: Vec<Vec<u64>> = vectors.iter().map(|v| (spec.eval)(v)).collect();
     let verilog = GoldenPair {
-        dut: vlog_dut(&spec.name, &spec.inputs, &spec.outputs, &spec.vlog_body, spec.vlog_out_reg, false),
+        dut: vlog_dut(
+            &spec.name,
+            &spec.inputs,
+            &spec.outputs,
+            &spec.vlog_body,
+            spec.vlog_out_reg,
+            false,
+        ),
         tb: vlog_comb_tb(&spec.name, &spec.inputs, &spec.outputs, &vectors, &expected),
     };
     let vhdl = GoldenPair {
-        dut: vhdl_dut(&spec.name, &spec.inputs, &spec.outputs, &spec.vhdl_decls, &spec.vhdl_body, false),
+        dut: vhdl_dut(
+            &spec.name,
+            &spec.inputs,
+            &spec.outputs,
+            &spec.vhdl_decls,
+            &spec.vhdl_body,
+            false,
+        ),
         tb: vhdl_comb_tb(&spec.name, &spec.inputs, &spec.outputs, &vectors, &expected),
     };
     Problem {
@@ -80,7 +94,13 @@ pub fn comb_problem(spec: CombSpec) -> Problem {
         name: spec.name.clone(),
         family: spec.family,
         difficulty: spec.difficulty,
-        spec: prompt(&spec.name, &spec.description, &spec.inputs, &spec.outputs, false),
+        spec: prompt(
+            &spec.name,
+            &spec.description,
+            &spec.inputs,
+            &spec.outputs,
+            false,
+        ),
         module_name: spec.name,
         verilog,
         vhdl,
@@ -96,19 +116,51 @@ pub fn seq_problem(spec: SeqSpec) -> Problem {
         "stimulus and expected timelines must align"
     );
     let verilog = GoldenPair {
-        dut: vlog_dut(&spec.name, &spec.inputs, &spec.outputs, &spec.vlog_body, true, true),
-        tb: vlog_seq_tb(&spec.name, &spec.inputs, &spec.outputs, &spec.stimulus, &spec.expected),
+        dut: vlog_dut(
+            &spec.name,
+            &spec.inputs,
+            &spec.outputs,
+            &spec.vlog_body,
+            true,
+            true,
+        ),
+        tb: vlog_seq_tb(
+            &spec.name,
+            &spec.inputs,
+            &spec.outputs,
+            &spec.stimulus,
+            &spec.expected,
+        ),
     };
     let vhdl = GoldenPair {
-        dut: vhdl_dut(&spec.name, &spec.inputs, &spec.outputs, &spec.vhdl_decls, &spec.vhdl_body, true),
-        tb: vhdl_seq_tb(&spec.name, &spec.inputs, &spec.outputs, &spec.stimulus, &spec.expected),
+        dut: vhdl_dut(
+            &spec.name,
+            &spec.inputs,
+            &spec.outputs,
+            &spec.vhdl_decls,
+            &spec.vhdl_body,
+            true,
+        ),
+        tb: vhdl_seq_tb(
+            &spec.name,
+            &spec.inputs,
+            &spec.outputs,
+            &spec.stimulus,
+            &spec.expected,
+        ),
     };
     Problem {
         id: 0,
         name: spec.name.clone(),
         family: spec.family,
         difficulty: spec.difficulty,
-        spec: prompt(&spec.name, &spec.description, &spec.inputs, &spec.outputs, true),
+        spec: prompt(
+            &spec.name,
+            &spec.description,
+            &spec.inputs,
+            &spec.outputs,
+            true,
+        ),
         module_name: spec.name,
         verilog,
         vhdl,
@@ -127,14 +179,26 @@ fn prompt(name: &str, description: &str, inputs: &[Port], outputs: &[Port], seq:
         s.push_str("  - input clk (1 bit): clock\n");
     }
     for p in inputs {
-        s.push_str(&format!("  - input {} ({} bit{})\n", p.name, p.width, plural(p.width)));
+        s.push_str(&format!(
+            "  - input {} ({} bit{})\n",
+            p.name,
+            p.width,
+            plural(p.width)
+        ));
     }
     for p in outputs {
-        s.push_str(&format!("  - output {} ({} bit{})\n", p.name, p.width, plural(p.width)));
+        s.push_str(&format!(
+            "  - output {} ({} bit{})\n",
+            p.name,
+            p.width,
+            plural(p.width)
+        ));
     }
     s.push_str(&format!("Behaviour: {description}\n"));
     if seq {
-        s.push_str("All state updates occur on the rising edge of `clk`; outputs are registered.\n");
+        s.push_str(
+            "All state updates occur on the rising edge of `clk`; outputs are registered.\n",
+        );
     }
     s
 }
@@ -209,9 +273,17 @@ fn vlog_dut(
     }
     let out_kind = if out_reg { "reg" } else { "wire" };
     for p in outputs {
-        ports.push(format!("  output {} {}{}", out_kind, p.vlog_range(), p.name));
+        ports.push(format!(
+            "  output {} {}{}",
+            out_kind,
+            p.vlog_range(),
+            p.name
+        ));
     }
-    format!("module {name}(\n{}\n);\n{body}endmodule\n", ports.join(",\n"))
+    format!(
+        "module {name}(\n{}\n);\n{body}endmodule\n",
+        ports.join(",\n")
+    )
 }
 
 fn vhdl_dut(
@@ -400,7 +472,9 @@ fn vhdl_seq_tb(
     for p in inputs.iter().chain(outputs) {
         s.push_str(&format!("  signal {} : {};\n", p.name, p.vhdl_type()));
     }
-    s.push_str(&format!("begin\n  dut: entity work.{name} port map (clk => clk, "));
+    s.push_str(&format!(
+        "begin\n  dut: entity work.{name} port map (clk => clk, "
+    ));
     let conns: Vec<String> = inputs
         .iter()
         .chain(outputs)

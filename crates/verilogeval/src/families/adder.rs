@@ -142,11 +142,11 @@ fn full_adder() -> CombSpec {
         description: "A full adder over a, b and carry-in cin: sum and carry-out cout.".into(),
         inputs: vec![Port::new("a", 1), Port::new("b", 1), Port::new("cin", 1)],
         outputs: vec![Port::new("sum", 1), Port::new("cout", 1)],
-        vlog_body: "  assign sum = a ^ b ^ cin;\n  assign cout = (a & b) | (a & cin) | (b & cin);\n"
-            .into(),
+        vlog_body:
+            "  assign sum = a ^ b ^ cin;\n  assign cout = (a & b) | (a & cin) | (b & cin);\n".into(),
         vlog_out_reg: false,
-        vhdl_body: "  sum <= a xor b xor cin;\n  cout <= (a and b) or (a and cin) or (b and cin);\n"
-            .into(),
+        vhdl_body:
+            "  sum <= a xor b xor cin;\n  cout <= (a and b) or (a and cin) or (b and cin);\n".into(),
         vhdl_decls: String::new(),
         eval: Box::new(|v| {
             let s = v[0] + v[1] + v[2];

@@ -25,7 +25,9 @@ fn lt(width: u32) -> CombSpec {
         name: format!("cmp_lt_w{width}"),
         family: Family::Comparator,
         difficulty: Difficulty::Easy,
-        description: format!("y is 1 when the unsigned {width}-bit input a is strictly less than b."),
+        description: format!(
+            "y is 1 when the unsigned {width}-bit input a is strictly less than b."
+        ),
         inputs: vec![Port::new("a", width), Port::new("b", width)],
         outputs: vec![Port::new("y", 1)],
         vlog_body: "  assign y = (a < b);\n".into(),
@@ -78,7 +80,13 @@ fn minmax(width: u32, is_max: bool) -> CombSpec {
         vlog_out_reg: false,
         vhdl_body: format!("  y <= a when unsigned(a) {hop} unsigned(b) else b;\n"),
         vhdl_decls: String::new(),
-        eval: Box::new(move |v| vec![if is_max { v[0].max(v[1]) } else { v[0].min(v[1]) }]),
+        eval: Box::new(move |v| {
+            vec![if is_max {
+                v[0].max(v[1])
+            } else {
+                v[0].min(v[1])
+            }]
+        }),
     }
 }
 

@@ -68,7 +68,10 @@ fn counter(
         outputs: vec![Port::new("q", width)],
         vlog_body,
         vhdl_body,
-        vhdl_decls: format!("  signal count : unsigned({} downto 0) := (others => '0');\n", width - 1),
+        vhdl_decls: format!(
+            "  signal count : unsigned({} downto 0) := (others => '0');\n",
+            width - 1
+        ),
         stimulus: stim,
         expected,
     }
@@ -81,7 +84,9 @@ pub fn extend(problems: &mut Vec<Problem>) {
         problems.push(seq_problem(counter(
             &format!("count_up_w{w}"),
             Difficulty::Medium,
-            &format!("A {w}-bit up counter: q increments by 1 every clock cycle, wrapping at 2^{w}-1."),
+            &format!(
+                "A {w}-bit up counter: q increments by 1 every clock cycle, wrapping at 2^{w}-1."
+            ),
             w,
             vec![],
             "      q <= q + 1;\n",
@@ -196,9 +201,7 @@ fn load_counter() -> SeqSpec {
 }
 
 fn ring_counter() -> SeqSpec {
-    let stim: Vec<Vec<u64>> = (0..20)
-        .map(|c| vec![u64::from(c < 2 || c == 11)])
-        .collect();
+    let stim: Vec<Vec<u64>> = (0..20).map(|c| vec![u64::from(c < 2 || c == 11)]).collect();
     let mut state = 1u64;
     let expected = stim
         .iter()
@@ -227,9 +230,7 @@ fn ring_counter() -> SeqSpec {
 }
 
 fn johnson_counter() -> SeqSpec {
-    let stim: Vec<Vec<u64>> = (0..20)
-        .map(|c| vec![u64::from(c < 2 || c == 11)])
-        .collect();
+    let stim: Vec<Vec<u64>> = (0..20).map(|c| vec![u64::from(c < 2 || c == 11)]).collect();
     let mut state = 0u64;
     let expected = stim
         .iter()
@@ -258,14 +259,16 @@ fn johnson_counter() -> SeqSpec {
 }
 
 fn terminal_count() -> SeqSpec {
-    let stim: Vec<Vec<u64>> = (0..26)
-        .map(|c| vec![u64::from(c < 2)])
-        .collect();
+    let stim: Vec<Vec<u64>> = (0..26).map(|c| vec![u64::from(c < 2)]).collect();
     let mut state = 0u64;
     let expected = stim
         .iter()
         .map(|v| {
-            state = if v[0] == 1 || state == 9 { 0 } else { state + 1 };
+            state = if v[0] == 1 || state == 9 {
+                0
+            } else {
+                state + 1
+            };
             Some(vec![state, u64::from(state == 9)])
         })
         .collect();

@@ -59,7 +59,11 @@ fn decoder(sel_bits: u32, enable: bool, active_low: bool) -> CombSpec {
     if enable {
         inputs.push(Port::new("en", 1));
     }
-    let polarity = if active_low { "active-low (exactly one 0)" } else { "one-hot (exactly one 1)" };
+    let polarity = if active_low {
+        "active-low (exactly one 0)"
+    } else {
+        "one-hot (exactly one 1)"
+    };
     let en_text = if enable {
         if active_low {
             " When en is 0 every output bit is 1."

@@ -73,7 +73,14 @@ fn priority(width: u32, msb_first: bool) -> CombSpec {
     }
 }
 
-fn reduction(name: &str, width: u32, desc: &str, vexpr: String, hexpr: String, f: fn(u64, u32) -> u64) -> CombSpec {
+fn reduction(
+    name: &str,
+    width: u32,
+    desc: &str,
+    vexpr: String,
+    hexpr: String,
+    f: fn(u64, u32) -> u64,
+) -> CombSpec {
     CombSpec {
         name: format!("{name}{width}"),
         family: Family::Encoder,

@@ -26,7 +26,15 @@ fn gate2(name: &str, vop: &str, hop: &str, f: fn(u64, u64) -> u64, invert: bool)
         vlog_out_reg: false,
         vhdl_body: format!("  y <= {hexpr};\n"),
         vhdl_decls: String::new(),
-        eval: Box::new(move |v| vec![(if invert { !f(v[0], v[1]) } else { f(v[0], v[1]) }) & 1]),
+        eval: Box::new(move |v| {
+            vec![
+                (if invert {
+                    !f(v[0], v[1])
+                } else {
+                    f(v[0], v[1])
+                }) & 1,
+            ]
+        }),
     }
 }
 
@@ -56,10 +64,20 @@ pub fn extend(problems: &mut Vec<Problem>) {
     problems.push(comb_problem(gate2("xor2", "^", "xor", |a, b| a ^ b, false)));
     problems.push(comb_problem(gate2("nand2", "&", "and", |a, b| a & b, true)));
 
-    problems.push(comb_problem(bus_gate("bus_and", 4, "&", "and", |a, b| a & b)));
+    problems.push(comb_problem(bus_gate("bus_and", 4, "&", "and", |a, b| {
+        a & b
+    })));
     problems.push(comb_problem(bus_gate("bus_or", 8, "|", "or", |a, b| a | b)));
-    problems.push(comb_problem(bus_gate("bus_xor", 4, "^", "xor", |a, b| a ^ b)));
-    problems.push(comb_problem(bus_gate("bus_xnor", 8, "~^", "xnor", |a, b| !(a ^ b))));
+    problems.push(comb_problem(bus_gate("bus_xor", 4, "^", "xor", |a, b| {
+        a ^ b
+    })));
+    problems.push(comb_problem(bus_gate(
+        "bus_xnor",
+        8,
+        "~^",
+        "xnor",
+        |a, b| !(a ^ b),
+    )));
 
     // AND-OR-invert: y = ~((a & b) | c)
     problems.push(comb_problem(CombSpec {

@@ -5,7 +5,11 @@ use crate::port::Port;
 use crate::{Difficulty, Family, Problem};
 
 fn mux2(width: u32) -> CombSpec {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     CombSpec {
         name: format!("mux2to1_w{width}"),
         family: Family::Mux,
@@ -13,7 +17,11 @@ fn mux2(width: u32) -> CombSpec {
         description: format!(
             "y selects between the two {width}-bit data inputs: y = b when sel is 1, else a."
         ),
-        inputs: vec![Port::new("a", width), Port::new("b", width), Port::new("sel", 1)],
+        inputs: vec![
+            Port::new("a", width),
+            Port::new("b", width),
+            Port::new("sel", 1),
+        ],
         outputs: vec![Port::new("y", width)],
         vlog_body: "  assign y = sel ? b : a;\n".into(),
         vlog_out_reg: false,
@@ -24,7 +32,11 @@ fn mux2(width: u32) -> CombSpec {
 }
 
 fn mux4(width: u32) -> CombSpec {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     let vlog_body = "  always @* begin\n    case (sel)\n      2'b00: y = d0;\n      2'b01: y = d1;\n      2'b10: y = d2;\n      default: y = d3;\n    endcase\n  end\n".to_string();
     let vhdl_body = "  process (sel, d0, d1, d2, d3)\n  begin\n    case sel is\n      when \"00\" => y <= d0;\n      when \"01\" => y <= d1;\n      when \"10\" => y <= d2;\n      when others => y <= d3;\n    end case;\n  end process;\n".to_string();
     CombSpec {
@@ -51,7 +63,11 @@ fn mux4(width: u32) -> CombSpec {
 }
 
 fn mux8(width: u32) -> CombSpec {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     let mut varms = String::new();
     let mut harms = String::new();
     for i in 0..8 {
@@ -61,7 +77,10 @@ fn mux8(width: u32) -> CombSpec {
     let vlog_body = format!(
         "  always @* begin\n    case (sel)\n{varms}      default: y = d0;\n    endcase\n  end\n"
     );
-    let sens = (0..8).map(|i| format!("d{i}")).collect::<Vec<_>>().join(", ");
+    let sens = (0..8)
+        .map(|i| format!("d{i}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let vhdl_body = format!(
         "  process (sel, {sens})\n  begin\n    case sel is\n{harms}      when others => y <= d0;\n    end case;\n  end process;\n"
     );
@@ -85,7 +104,11 @@ fn mux8(width: u32) -> CombSpec {
 }
 
 fn mux2_en(width: u32) -> CombSpec {
-    let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     CombSpec {
         name: format!("mux2to1_en_w{width}"),
         family: Family::Mux,

@@ -13,9 +13,17 @@ fn xor_chain_vhdl(sig: &str, width: u32) -> String {
 
 fn generator(width: u32, even: bool) -> CombSpec {
     let kind = if even { "even" } else { "odd" };
-    let vexpr = if even { "^d".to_string() } else { "~^d".to_string() };
+    let vexpr = if even {
+        "^d".to_string()
+    } else {
+        "~^d".to_string()
+    };
     let chain = xor_chain_vhdl("d", width);
-    let hexpr = if even { chain } else { format!("not ({chain})") };
+    let hexpr = if even {
+        chain
+    } else {
+        format!("not ({chain})")
+    };
     CombSpec {
         name: format!("parity_{kind}_w{width}"),
         family: Family::Parity,

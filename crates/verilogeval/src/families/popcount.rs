@@ -30,7 +30,11 @@ fn popcount(width: u32) -> CombSpec {
     CombSpec {
         name: format!("popcount_w{width}"),
         family: Family::Popcount,
-        difficulty: if width >= 8 { Difficulty::Medium } else { Difficulty::Easy },
+        difficulty: if width >= 8 {
+            Difficulty::Medium
+        } else {
+            Difficulty::Easy
+        },
         description: format!(
             "count is the number of 1 bits in the {width}-bit input d (population count)."
         ),
@@ -77,15 +81,16 @@ fn majority_bits(width: u32) -> CombSpec {
         name: format!("ones_majority_w{width}"),
         family: Family::Popcount,
         difficulty: Difficulty::Medium,
-        description: format!(
-            "y is 1 when strictly more than half of the {width} bits of d are 1."
-        ),
+        description: format!("y is 1 when strictly more than half of the {width} bits of d are 1."),
         inputs: vec![Port::new("d", width)],
         outputs: vec![Port::new("y", 1)],
         vlog_body: format!(
             "  wire [{}:0] total;\n  assign total = {};\n  assign y = (total > {half});\n",
             ow - 1,
-            (0..width).map(|i| format!("d[{i}]")).collect::<Vec<_>>().join(" + ")
+            (0..width)
+                .map(|i| format!("d[{i}]"))
+                .collect::<Vec<_>>()
+                .join(" + ")
         ),
         vlog_out_reg: false,
         vhdl_body: format!(

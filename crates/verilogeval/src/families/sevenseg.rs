@@ -6,8 +6,7 @@ use crate::{Difficulty, Family, Problem};
 
 /// Segment patterns for hex digits 0-F, active-high, bit order gfedcba.
 const SEGMENTS: [u64; 16] = [
-    0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07, 0x7F, 0x6F, 0x77, 0x7C, 0x39, 0x5E, 0x79,
-    0x71,
+    0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07, 0x7F, 0x6F, 0x77, 0x7C, 0x39, 0x5E, 0x79, 0x71,
 ];
 
 fn table_case(values: &[(u64, u64)], in_w: u32, out_w: u32) -> (String, String) {
@@ -50,7 +49,11 @@ fn hex7seg(active_low: bool) -> CombSpec {
         })
         .collect();
     let (vlog_body, vhdl_body) = table_case(&values, 4, 7);
-    let pol = if active_low { "active-low (common anode)" } else { "active-high (common cathode)" };
+    let pol = if active_low {
+        "active-low (common anode)"
+    } else {
+        "active-high (common cathode)"
+    };
     CombSpec {
         name: name.into(),
         family: Family::SevenSegment,
@@ -108,16 +111,32 @@ fn bcd_valid() -> CombSpec {
 }
 
 fn nibble_to_ascii(uppercase: bool) -> CombSpec {
-    let name = if uppercase { "hex_ascii_upper" } else { "hex_ascii_lower" };
+    let name = if uppercase {
+        "hex_ascii_upper"
+    } else {
+        "hex_ascii_lower"
+    };
     let letter_base = if uppercase { b'A' } else { b'a' } as u64;
     let values: Vec<(u64, u64)> = (0..16)
-        .map(|d| (d, if d < 10 { b'0' as u64 + d } else { letter_base + d - 10 }))
+        .map(|d| {
+            (
+                d,
+                if d < 10 {
+                    b'0' as u64 + d
+                } else {
+                    letter_base + d - 10
+                },
+            )
+        })
         .collect();
     let mut varms = String::new();
     let mut harms = String::new();
     for (k, v) in &values {
         varms.push_str(&format!("      4'b{:04b}: ch = 8'b{:08b};\n", k, v));
-        harms.push_str(&format!("      when \"{:04b}\" => ch <= \"{:08b}\";\n", k, v));
+        harms.push_str(&format!(
+            "      when \"{:04b}\" => ch <= \"{:08b}\";\n",
+            k, v
+        ));
     }
     CombSpec {
         name: name.into(),

@@ -32,7 +32,11 @@ fn const_shift(width: u32, amount: u32, left: bool) -> CombSpec {
         vhdl_body,
         vhdl_decls: String::new(),
         eval: Box::new(move |v| {
-            vec![if left { v[0] << amount & m } else { v[0] >> amount }]
+            vec![if left {
+                v[0] << amount & m
+            } else {
+                v[0] >> amount
+            }]
         }),
     }
 }
@@ -51,7 +55,11 @@ fn var_shift(width: u32, left: bool) -> CombSpec {
         } else if s >= width {
             format!("y <= \"{}\";", "0".repeat(width as usize))
         } else if left {
-            format!("y <= a({} downto 0) & \"{}\";", hi - s, "0".repeat(s as usize))
+            format!(
+                "y <= a({} downto 0) & \"{}\";",
+                hi - s,
+                "0".repeat(s as usize)
+            )
         } else {
             format!("y <= \"{}\" & a({hi} downto {s});", "0".repeat(s as usize))
         };

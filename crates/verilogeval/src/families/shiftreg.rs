@@ -79,7 +79,11 @@ fn siso(width: u32) -> SeqSpec {
     let expected = stim
         .iter()
         .map(|v| {
-            sr = if v[0] == 1 { 0 } else { (sr << 1 | v[1]) & mask(width) };
+            sr = if v[0] == 1 {
+                0
+            } else {
+                (sr << 1 | v[1]) & mask(width)
+            };
             Some(vec![sr >> (width - 1) & 1])
         })
         .collect();

@@ -220,8 +220,22 @@ mod tests {
         let s = suite();
         use Family::*;
         for fam in [
-            Gates, Mux, Decoder, Encoder, Adder, Comparator, Parity, Popcount, Shifter,
-            GrayCode, SevenSegment, Alu, Counter, ShiftRegister, EdgeDetector, Fsm,
+            Gates,
+            Mux,
+            Decoder,
+            Encoder,
+            Adder,
+            Comparator,
+            Parity,
+            Popcount,
+            Shifter,
+            GrayCode,
+            SevenSegment,
+            Alu,
+            Counter,
+            ShiftRegister,
+            EdgeDetector,
+            Fsm,
         ] {
             assert!(s.iter().any(|p| p.family == fam), "missing {fam}");
         }

@@ -14,7 +14,10 @@ impl Port {
     /// Creates a port.
     #[must_use]
     pub fn new(name: impl Into<String>, width: u32) -> Port {
-        Port { name: name.into(), width }
+        Port {
+            name: name.into(),
+            width,
+        }
     }
 
     /// Verilog range prefix: `[3:0] ` or the empty string for 1 bit.
@@ -106,7 +109,10 @@ mod tests {
     #[test]
     fn vhdl_types() {
         assert_eq!(Port::new("a", 1).vhdl_type(), "std_logic");
-        assert_eq!(Port::new("a", 4).vhdl_type(), "std_logic_vector(3 downto 0)");
+        assert_eq!(
+            Port::new("a", 4).vhdl_type(),
+            "std_logic_vector(3 downto 0)"
+        );
     }
 
     #[test]

@@ -287,11 +287,27 @@ pub enum SeqStmt {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum BinOp {
-    And, Or, Xor, Nand, Nor, Xnor,
-    Eq, Ne, Lt, Le, Gt, Ge,
-    Add, Sub, Concat,
-    Mul, Div, Mod, Rem,
-    Sll, Srl,
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Concat,
+    Mul,
+    Div,
+    Mod,
+    Rem,
+    Sll,
+    Srl,
 }
 
 /// Unary operators.

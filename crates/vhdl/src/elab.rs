@@ -107,7 +107,10 @@ impl<'a> Elaborator<'a, '_> {
             );
             return;
         }
-        let mut scope = Scope { prefix, ..Scope::default() };
+        let mut scope = Scope {
+            prefix,
+            ..Scope::default()
+        };
 
         // Generics.
         for g in &entity.generics {
@@ -146,8 +149,9 @@ impl<'a> Elaborator<'a, '_> {
             match d {
                 Decl::Signal { names, ty, init } => {
                     let width = self.type_width(ty, &scope);
-                    let init_value =
-                        init.as_ref().and_then(|e| self.eval_const_vec(e, width, &scope));
+                    let init_value = init
+                        .as_ref()
+                        .and_then(|e| self.eval_const_vec(e, width, &scope));
                     for (n, s) in names {
                         self.declare_signal(&mut scope, n, width, init_value.clone(), *s);
                     }
@@ -173,14 +177,24 @@ impl<'a> Elaborator<'a, '_> {
         // Concurrent statements.
         for stmt in &arch.stmts {
             match stmt {
-                ConcurrentStmt::Assign { target, value, span } => {
+                ConcurrentStmt::Assign {
+                    target,
+                    value,
+                    span,
+                } => {
                     if let Some(lv) = self.lower_target(target, &scope) {
                         let rhs = self.lower_rvalue(value, &scope, self.lvalue_width(&lv));
                         let rhs = self.fit(rhs, self.lvalue_width(&lv), *span);
                         self.design.add_continuous_assign(lv, rhs);
                     }
                 }
-                ConcurrentStmt::Process { label, sensitivity, variables, body, span } => {
+                ConcurrentStmt::Process {
+                    label,
+                    sensitivity,
+                    variables,
+                    body,
+                    span,
+                } => {
                     self.compile_process(
                         label.as_deref(),
                         sensitivity,
@@ -190,7 +204,13 @@ impl<'a> Elaborator<'a, '_> {
                         *span,
                     );
                 }
-                ConcurrentStmt::Instance { label, entity: child_name, generic_map, port_map, span } => {
+                ConcurrentStmt::Instance {
+                    label,
+                    entity: child_name,
+                    generic_map,
+                    port_map,
+                    span,
+                } => {
                     let child_name = child_name.to_ascii_lowercase();
                     let (Some(&child_entity), child_arch) = (
                         self.entities.get(child_name.as_str()),
@@ -230,7 +250,10 @@ impl<'a> Elaborator<'a, '_> {
                         child_arch,
                         child_prefix,
                         bound,
-                        Some(InstanceConn { port_map, parent_scope: &scope }),
+                        Some(InstanceConn {
+                            port_map,
+                            parent_scope: &scope,
+                        }),
                         depth + 1,
                     );
                 }
@@ -275,7 +298,12 @@ impl<'a> Elaborator<'a, '_> {
         }
     }
 
-    fn connect_ports(&mut self, entity: &'a Entity, child_scope: &Scope, conn: InstanceConn<'a, '_>) {
+    fn connect_ports(
+        &mut self,
+        entity: &'a Entity,
+        child_scope: &Scope,
+        conn: InstanceConn<'a, '_>,
+    ) {
         for (pname, pexpr, pspan) in conn.port_map {
             let Some(port) = entity.ports.iter().find(|p| &p.name == pname) else {
                 self.error(
@@ -285,7 +313,9 @@ impl<'a> Elaborator<'a, '_> {
                 );
                 continue;
             };
-            let Some(&child_net) = child_scope.nets.get(pname) else { continue };
+            let Some(&child_net) = child_scope.nets.get(pname) else {
+                continue;
+            };
             match (port.dir, pexpr) {
                 (PortDir::In, Some(e)) => {
                     let lv = LValue::Net(child_net);
@@ -335,9 +365,9 @@ impl<'a> Elaborator<'a, '_> {
         match self.try_eval_const(e, scope) {
             Some(v) => Some(v),
             None => {
-                let span = e.span().unwrap_or_else(|| {
-                    Span::file_start(aivril_hdl::source::FileId(0))
-                });
+                let span = e
+                    .span()
+                    .unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
                 self.error(
                     codes::VHDL_SYNTAX,
                     "expected a constant integer expression".to_string(),
@@ -384,9 +414,9 @@ impl<'a> Elaborator<'a, '_> {
             ast::Expr::BitString { bits, .. } => {
                 LogicVec::parse_binary(&bits.to_ascii_lowercase()).map(|v| v.resize(width))
             }
-            ast::Expr::HexString { digits, .. } => {
-                u64::from_str_radix(digits, 16).ok().map(|v| LogicVec::from_u64(width, v))
-            }
+            ast::Expr::HexString { digits, .. } => u64::from_str_radix(digits, 16)
+                .ok()
+                .map(|v| LogicVec::from_u64(width, v)),
             ast::Expr::Aggregate { fill, .. } => {
                 let f = self.eval_const_vec(fill, 1, scope)?;
                 Some(LogicVec::filled(width, f.get(0)))
@@ -408,9 +438,9 @@ impl<'a> Elaborator<'a, '_> {
                 match f {
                     Expr::Const(v) => Expr::Const(LogicVec::filled(target_width, v.get(0))),
                     _ => {
-                        let span = e.span().unwrap_or_else(|| {
-                            Span::file_start(aivril_hdl::source::FileId(0))
-                        });
+                        let span = e
+                            .span()
+                            .unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
                         self.error(
                             codes::VHDL_TYPE,
                             "aggregate fill must be a constant".to_string(),
@@ -435,14 +465,11 @@ impl<'a> Elaborator<'a, '_> {
     }
 
     fn lower_expr(&mut self, e: &ast::Expr, scope: &Scope) -> Expr {
-        let fallback_span =
-            || Span::file_start(aivril_hdl::source::FileId(0));
+        let fallback_span = || Span::file_start(aivril_hdl::source::FileId(0));
         match e {
             ast::Expr::Int { value, .. } => Expr::Const(LogicVec::from_u64(32, *value as u64)),
             ast::Expr::Bool { value, .. } => Expr::constant(1, u64::from(*value)),
-            ast::Expr::CharLit { ch, .. } => {
-                Expr::Const(LogicVec::from_logic(char_logic(*ch)))
-            }
+            ast::Expr::CharLit { ch, .. } => Expr::Const(LogicVec::from_logic(char_logic(*ch))),
             ast::Expr::BitString { bits, span } => {
                 match LogicVec::parse_binary(&bits.to_ascii_lowercase()) {
                     Some(v) => Expr::Const(v),
@@ -456,19 +483,17 @@ impl<'a> Elaborator<'a, '_> {
                     }
                 }
             }
-            ast::Expr::HexString { digits, span } => {
-                match u64::from_str_radix(digits, 16) {
-                    Ok(v) => Expr::Const(LogicVec::from_u64(4 * digits.len() as u32, v)),
-                    Err(_) => {
-                        self.error(
-                            codes::VHDL_SYNTAX,
-                            format!("malformed hex bit-string x\"{digits}\""),
-                            *span,
-                        );
-                        Expr::Const(LogicVec::xes(1))
-                    }
+            ast::Expr::HexString { digits, span } => match u64::from_str_radix(digits, 16) {
+                Ok(v) => Expr::Const(LogicVec::from_u64(4 * digits.len() as u32, v)),
+                Err(_) => {
+                    self.error(
+                        codes::VHDL_SYNTAX,
+                        format!("malformed hex bit-string x\"{digits}\""),
+                        *span,
+                    );
+                    Expr::Const(LogicVec::xes(1))
                 }
-            }
+            },
             ast::Expr::StrLit { text, span } => {
                 self.error(
                     codes::VHDL_TYPE,
@@ -494,7 +519,13 @@ impl<'a> Elaborator<'a, '_> {
                 }
             }
             ast::Expr::Call { name, args, span } => self.lower_call(name, args, *span, scope),
-            ast::Expr::Slice { name, left, right, span, .. } => {
+            ast::Expr::Slice {
+                name,
+                left,
+                right,
+                span,
+                ..
+            } => {
                 let Some(&net) = scope.nets.get(name) else {
                     self.error(
                         codes::VHDL_UNDECLARED,
@@ -536,8 +567,14 @@ impl<'a> Elaborator<'a, '_> {
             ast::Expr::Unary { op, operand } => {
                 let inner = self.lower_expr(operand, scope);
                 match op {
-                    UnOp::Not => Expr::Unary { op: UnaryOp::Not, operand: Box::new(inner) },
-                    UnOp::Negate => Expr::Unary { op: UnaryOp::Negate, operand: Box::new(inner) },
+                    UnOp::Not => Expr::Unary {
+                        op: UnaryOp::Not,
+                        operand: Box::new(inner),
+                    },
+                    UnOp::Negate => Expr::Unary {
+                        op: UnaryOp::Negate,
+                        operand: Box::new(inner),
+                    },
                     UnOp::Plus => inner,
                 }
             }
@@ -604,7 +641,11 @@ impl<'a> Elaborator<'a, '_> {
                         return Expr::Concat(vec![l, r]);
                     }
                 };
-                Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r) }
+                Expr::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                }
             }
             ast::Expr::Aggregate { span, .. } => {
                 self.error(
@@ -631,7 +672,10 @@ impl<'a> Elaborator<'a, '_> {
         if let Some(&net) = scope.nets.get(name) {
             if args.len() == 1 {
                 let idx = self.lower_expr(&args[0], scope);
-                return Expr::Index { net, index: Box::new(idx) };
+                return Expr::Index {
+                    net,
+                    index: Box::new(idx),
+                };
             }
             self.error(
                 codes::VHDL_SYNTAX,
@@ -644,19 +688,20 @@ impl<'a> Elaborator<'a, '_> {
             "rising_edge" | "falling_edge" => {
                 let rising = name == "rising_edge";
                 match args.first() {
-                    Some(ast::Expr::Ident { name: sig, span: sspan }) => {
-                        match scope.nets.get(sig) {
-                            Some(&net) => Expr::EdgeFlag { net, rising },
-                            None => {
-                                self.error(
-                                    codes::VHDL_UNDECLARED,
-                                    format!("'{sig}' is not declared"),
-                                    *sspan,
-                                );
-                                Expr::Const(LogicVec::xes(1))
-                            }
+                    Some(ast::Expr::Ident {
+                        name: sig,
+                        span: sspan,
+                    }) => match scope.nets.get(sig) {
+                        Some(&net) => Expr::EdgeFlag { net, rising },
+                        None => {
+                            self.error(
+                                codes::VHDL_UNDECLARED,
+                                format!("'{sig}' is not declared"),
+                                *sspan,
+                            );
+                            Expr::Const(LogicVec::xes(1))
                         }
-                    }
+                    },
                     _ => {
                         self.error(
                             codes::VHDL_SYNTAX,
@@ -722,9 +767,11 @@ impl<'a> Elaborator<'a, '_> {
                 let nw = |id: NetId| self.net_width(id);
                 match inner {
                     Expr::Const(v) => Expr::Const(v.resize(width)),
-                    Expr::Net(id) if self.net_width(id) > width => {
-                        Expr::Range { net: id, msb: width - 1, lsb: 0 }
-                    }
+                    Expr::Net(id) if self.net_width(id) > width => Expr::Range {
+                        net: id,
+                        msb: width - 1,
+                        lsb: 0,
+                    },
                     e => e.widened_to(width, &nw),
                 }
             }
@@ -768,7 +815,13 @@ impl<'a> Elaborator<'a, '_> {
                 let idx = self.lower_expr(&args[0], scope);
                 Some(LValue::Index(id, idx))
             }
-            ast::Expr::Slice { name, left, right, span, .. } => {
+            ast::Expr::Slice {
+                name,
+                left,
+                right,
+                span,
+                ..
+            } => {
                 let Some(&id) = scope.nets.get(name) else {
                     self.error(
                         codes::VHDL_UNDECLARED,
@@ -786,7 +839,11 @@ impl<'a> Elaborator<'a, '_> {
                 let span = other
                     .span()
                     .unwrap_or_else(|| Span::file_start(aivril_hdl::source::FileId(0)));
-                self.error(codes::VHDL_SYNTAX, "illegal assignment target".to_string(), span);
+                self.error(
+                    codes::VHDL_SYNTAX,
+                    "illegal assignment target".to_string(),
+                    span,
+                );
                 None
             }
         }
@@ -810,7 +867,10 @@ impl<'a> Elaborator<'a, '_> {
         let mut shadowed: Vec<(String, Option<NetId>)> = Vec::new();
         for v in variables {
             let width = self.type_width(&v.ty, scope);
-            let init = v.init.as_ref().and_then(|e| self.eval_const_vec(e, width, scope));
+            let init = v
+                .init
+                .as_ref()
+                .and_then(|e| self.eval_const_vec(e, width, scope));
             for (name, _) in &v.names {
                 let id = self.design.add_net(Net {
                     name: format!("{}{}${}", scope.prefix, label.unwrap_or("process"), name),
@@ -837,10 +897,12 @@ impl<'a> Elaborator<'a, '_> {
         }
         if sensitivity.is_empty() {
             // Self-pacing process; guard against missing timing control.
-            let has_timing = b
-                .instrs
-                .iter()
-                .any(|i| matches!(i, Instr::Delay { .. } | Instr::WaitEvent { .. } | Instr::Halt));
+            let has_timing = b.instrs.iter().any(|i| {
+                matches!(
+                    i,
+                    Instr::Delay { .. } | Instr::WaitEvent { .. } | Instr::Halt
+                )
+            });
             if !has_timing {
                 self.error(
                     codes::VHDL_SYNTAX,
@@ -877,20 +939,34 @@ impl<'a> Elaborator<'a, '_> {
 
     fn compile_seq(&mut self, stmt: &SeqStmt, scope: &mut Scope, b: &mut Builder) {
         match stmt {
-            SeqStmt::VariableAssign { target, value, span } => {
+            SeqStmt::VariableAssign {
+                target,
+                value,
+                span,
+            } => {
                 if let Some(lv) = self.lower_target(target, scope) {
                     let w = self.lvalue_width(&lv);
                     let rhs = self.lower_rvalue(value, scope, w);
                     let rhs = self.fit(rhs, w, *span);
-                    b.emit(Instr::BlockingAssign { lvalue: lv, expr: rhs });
+                    b.emit(Instr::BlockingAssign {
+                        lvalue: lv,
+                        expr: rhs,
+                    });
                 }
             }
-            SeqStmt::SignalAssign { target, value, span } => {
+            SeqStmt::SignalAssign {
+                target,
+                value,
+                span,
+            } => {
                 if let Some(lv) = self.lower_target(target, scope) {
                     let w = self.lvalue_width(&lv);
                     let rhs = self.lower_rvalue(value, scope, w);
                     let rhs = self.fit(rhs, w, *span);
-                    b.emit(Instr::NonblockingAssign { lvalue: lv, expr: rhs });
+                    b.emit(Instr::NonblockingAssign {
+                        lvalue: lv,
+                        expr: rhs,
+                    });
                 }
             }
             SeqStmt::If { arms, els } => {
@@ -913,7 +989,11 @@ impl<'a> Elaborator<'a, '_> {
                     b.patch(j, b.here());
                 }
             }
-            SeqStmt::Case { subject, arms, span: _ } => {
+            SeqStmt::Case {
+                subject,
+                arms,
+                span: _,
+            } => {
                 let subj = self.lower_expr(subject, scope);
                 let mut end_jumps = Vec::new();
                 for (choices, body) in arms {
@@ -953,7 +1033,14 @@ impl<'a> Elaborator<'a, '_> {
                     b.patch(j, b.here());
                 }
             }
-            SeqStmt::For { var, from, to, downto, body, span } => {
+            SeqStmt::For {
+                var,
+                from,
+                to,
+                downto,
+                body,
+                span,
+            } => {
                 // Hidden 32-bit loop counter, visible as `var` in the body.
                 let counter = self.design.add_net(Net {
                     name: format!("{}{}@{}", scope.prefix, var, span.start),
@@ -964,7 +1051,10 @@ impl<'a> Elaborator<'a, '_> {
                 let shadowed = scope.nets.insert(var.clone(), counter);
                 let from_e = self.lower_expr(from, scope);
                 let to_e = self.lower_expr(to, scope);
-                b.emit(Instr::BlockingAssign { lvalue: LValue::Net(counter), expr: from_e });
+                b.emit(Instr::BlockingAssign {
+                    lvalue: LValue::Net(counter),
+                    expr: from_e,
+                });
                 let head = b.here();
                 let cmp = if *downto { BinaryOp::Ge } else { BinaryOp::Le };
                 let cond = Expr::Binary {
@@ -976,7 +1066,11 @@ impl<'a> Elaborator<'a, '_> {
                 for s in body {
                     self.compile_seq(s, scope, b);
                 }
-                let step_op = if *downto { BinaryOp::Sub } else { BinaryOp::Add };
+                let step_op = if *downto {
+                    BinaryOp::Sub
+                } else {
+                    BinaryOp::Add
+                };
                 b.emit(Instr::BlockingAssign {
                     lvalue: LValue::Net(counter),
                     expr: Expr::Binary {
@@ -1022,7 +1116,9 @@ impl<'a> Elaborator<'a, '_> {
                                 } else {
                                     Trigger::Negedge(net)
                                 };
-                                b.emit(Instr::WaitEvent { triggers: vec![trig] });
+                                b.emit(Instr::WaitEvent {
+                                    triggers: vec![trig],
+                                });
                                 return;
                             }
                         }
@@ -1053,18 +1149,29 @@ impl<'a> Elaborator<'a, '_> {
             SeqStmt::WaitForever { .. } => {
                 b.emit(Instr::Halt);
             }
-            SeqStmt::Assert { cond, report, severity, span: _ } => {
+            SeqStmt::Assert {
+                cond,
+                report,
+                severity,
+                span: _,
+            } => {
                 let c = self.lower_bool(cond, scope);
                 let fail = b.emit_branch(c);
                 let ok = b.emit(Instr::Jump(usize::MAX));
                 b.patch(fail, b.here());
                 b.emit(syscall_for(
                     *severity,
-                    report.clone().unwrap_or_else(|| "Assertion violation.".to_string()),
+                    report
+                        .clone()
+                        .unwrap_or_else(|| "Assertion violation.".to_string()),
                 ));
                 b.patch(ok, b.here());
             }
-            SeqStmt::Report { message, severity, span: _ } => {
+            SeqStmt::Report {
+                message,
+                severity,
+                span: _,
+            } => {
                 b.emit(syscall_for(*severity, message.clone()));
             }
             SeqStmt::Null => {}
@@ -1079,7 +1186,11 @@ fn syscall_for(severity: SeverityLevel, message: String) -> Instr {
         SeverityLevel::Error => SysTaskKind::Error,
         SeverityLevel::Failure => SysTaskKind::Fatal,
     };
-    Instr::SysCall { kind, format: Some(message), args: Vec::new() }
+    Instr::SysCall {
+        kind,
+        format: Some(message),
+        args: Vec::new(),
+    }
 }
 
 fn char_logic(ch: char) -> Logic {
@@ -1103,7 +1214,10 @@ impl Builder {
     }
 
     fn emit_branch(&mut self, cond: Expr) -> usize {
-        self.emit(Instr::BranchIfFalse { cond, target: usize::MAX })
+        self.emit(Instr::BranchIfFalse {
+            cond,
+            target: usize::MAX,
+        })
     }
 
     fn here(&self) -> usize {

@@ -33,11 +33,58 @@ pub enum TokenKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Keyword {
-    Library, Use, Entity, Architecture, Of, Is, Begin, End, Port, Generic,
-    Map, In, Out, Inout, Signal, Constant, Variable, Process, If, Then,
-    Elsif, Else, Case, When, Others, For, Loop, To, Downto, While, Wait,
-    Until, And, Or, Xor, Nand, Nor, Xnor, Not, Mod, Rem, Sll, Srl, Report,
-    Severity, Assert, Null, After, All, Component, True, False,
+    Library,
+    Use,
+    Entity,
+    Architecture,
+    Of,
+    Is,
+    Begin,
+    End,
+    Port,
+    Generic,
+    Map,
+    In,
+    Out,
+    Inout,
+    Signal,
+    Constant,
+    Variable,
+    Process,
+    If,
+    Then,
+    Elsif,
+    Else,
+    Case,
+    When,
+    Others,
+    For,
+    Loop,
+    To,
+    Downto,
+    While,
+    Wait,
+    Until,
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor,
+    Not,
+    Mod,
+    Rem,
+    Sll,
+    Srl,
+    Report,
+    Severity,
+    Assert,
+    Null,
+    After,
+    All,
+    Component,
+    True,
+    False,
 }
 
 impl Keyword {
@@ -46,21 +93,58 @@ impl Keyword {
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
-            "library" => Library, "use" => Use, "entity" => Entity,
-            "architecture" => Architecture, "of" => Of, "is" => Is,
-            "begin" => Begin, "end" => End, "port" => Port,
-            "generic" => Generic, "map" => Map, "in" => In, "out" => Out,
-            "inout" => Inout, "signal" => Signal, "constant" => Constant,
-            "variable" => Variable, "process" => Process, "if" => If,
-            "then" => Then, "elsif" => Elsif, "else" => Else, "case" => Case,
-            "when" => When, "others" => Others, "for" => For, "loop" => Loop,
-            "to" => To, "downto" => Downto, "while" => While, "wait" => Wait,
-            "until" => Until, "and" => And, "or" => Or, "xor" => Xor,
-            "nand" => Nand, "nor" => Nor, "xnor" => Xnor, "not" => Not,
-            "mod" => Mod, "rem" => Rem, "sll" => Sll, "srl" => Srl,
-            "report" => Report, "severity" => Severity, "assert" => Assert,
-            "null" => Null, "after" => After, "all" => All,
-            "component" => Component, "true" => True, "false" => False,
+            "library" => Library,
+            "use" => Use,
+            "entity" => Entity,
+            "architecture" => Architecture,
+            "of" => Of,
+            "is" => Is,
+            "begin" => Begin,
+            "end" => End,
+            "port" => Port,
+            "generic" => Generic,
+            "map" => Map,
+            "in" => In,
+            "out" => Out,
+            "inout" => Inout,
+            "signal" => Signal,
+            "constant" => Constant,
+            "variable" => Variable,
+            "process" => Process,
+            "if" => If,
+            "then" => Then,
+            "elsif" => Elsif,
+            "else" => Else,
+            "case" => Case,
+            "when" => When,
+            "others" => Others,
+            "for" => For,
+            "loop" => Loop,
+            "to" => To,
+            "downto" => Downto,
+            "while" => While,
+            "wait" => Wait,
+            "until" => Until,
+            "and" => And,
+            "or" => Or,
+            "xor" => Xor,
+            "nand" => Nand,
+            "nor" => Nor,
+            "xnor" => Xnor,
+            "not" => Not,
+            "mod" => Mod,
+            "rem" => Rem,
+            "sll" => Sll,
+            "srl" => Srl,
+            "report" => Report,
+            "severity" => Severity,
+            "assert" => Assert,
+            "null" => Null,
+            "after" => After,
+            "all" => All,
+            "component" => Component,
+            "true" => True,
+            "false" => False,
             _ => return None,
         })
     }
@@ -70,21 +154,58 @@ impl Keyword {
     pub fn as_str(self) -> &'static str {
         use Keyword::*;
         match self {
-            Library => "library", Use => "use", Entity => "entity",
-            Architecture => "architecture", Of => "of", Is => "is",
-            Begin => "begin", End => "end", Port => "port",
-            Generic => "generic", Map => "map", In => "in", Out => "out",
-            Inout => "inout", Signal => "signal", Constant => "constant",
-            Variable => "variable", Process => "process", If => "if",
-            Then => "then", Elsif => "elsif", Else => "else", Case => "case",
-            When => "when", Others => "others", For => "for", Loop => "loop",
-            To => "to", Downto => "downto", While => "while", Wait => "wait",
-            Until => "until", And => "and", Or => "or", Xor => "xor",
-            Nand => "nand", Nor => "nor", Xnor => "xnor", Not => "not",
-            Mod => "mod", Rem => "rem", Sll => "sll", Srl => "srl",
-            Report => "report", Severity => "severity", Assert => "assert",
-            Null => "null", After => "after", All => "all",
-            Component => "component", True => "true", False => "false",
+            Library => "library",
+            Use => "use",
+            Entity => "entity",
+            Architecture => "architecture",
+            Of => "of",
+            Is => "is",
+            Begin => "begin",
+            End => "end",
+            Port => "port",
+            Generic => "generic",
+            Map => "map",
+            In => "in",
+            Out => "out",
+            Inout => "inout",
+            Signal => "signal",
+            Constant => "constant",
+            Variable => "variable",
+            Process => "process",
+            If => "if",
+            Then => "then",
+            Elsif => "elsif",
+            Else => "else",
+            Case => "case",
+            When => "when",
+            Others => "others",
+            For => "for",
+            Loop => "loop",
+            To => "to",
+            Downto => "downto",
+            While => "while",
+            Wait => "wait",
+            Until => "until",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Nand => "nand",
+            Nor => "nor",
+            Xnor => "xnor",
+            Not => "not",
+            Mod => "mod",
+            Rem => "rem",
+            Sll => "sll",
+            Srl => "srl",
+            Report => "report",
+            Severity => "severity",
+            Assert => "assert",
+            Null => "null",
+            After => "after",
+            All => "all",
+            Component => "component",
+            True => "true",
+            False => "false",
         }
     }
 }
@@ -93,25 +214,56 @@ impl Keyword {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Punct {
-    LParen, RParen, Semi, Comma, Colon, Dot, Amp, Tick, Bar,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Colon,
+    Dot,
+    Amp,
+    Tick,
+    Bar,
     Assign,    // :=
     SigAssign, // <=  (also relational less-equal; context decides)
     Arrow,     // =>
     Eq,        // =
     Ne,        // /=
-    Lt, Gt, Ge,
-    Plus, Minus, Star, Slash, Star2,
+    Lt,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Star2,
 }
 
 impl fmt::Display for Punct {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use Punct::*;
         let s = match self {
-            LParen => "(", RParen => ")", Semi => ";", Comma => ",",
-            Colon => ":", Dot => ".", Amp => "&", Tick => "'", Bar => "|",
-            Assign => ":=", SigAssign => "<=", Arrow => "=>", Eq => "=",
-            Ne => "/=", Lt => "<", Gt => ">", Ge => ">=", Plus => "+",
-            Minus => "-", Star => "*", Slash => "/", Star2 => "**",
+            LParen => "(",
+            RParen => ")",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            Dot => ".",
+            Amp => "&",
+            Tick => "'",
+            Bar => "|",
+            Assign => ":=",
+            SigAssign => "<=",
+            Arrow => "=>",
+            Eq => "=",
+            Ne => "/=",
+            Lt => "<",
+            Gt => ">",
+            Ge => ">=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Star2 => "**",
         };
         f.write_str(s)
     }
@@ -194,7 +346,11 @@ pub fn lex(file: FileId, text: &str, diags: &mut Diagnostics) -> Vec<Token> {
                     Some(kw) => TokenKind::Keyword(kw),
                     None => TokenKind::Ident,
                 };
-                tokens.push(Token { kind, text: lower, span: span(start, pos) });
+                tokens.push(Token {
+                    kind,
+                    text: lower,
+                    span: span(start, pos),
+                });
             }
             b'0'..=b'9' => {
                 while matches!(bytes.get(pos), Some(b'0'..=b'9' | b'_')) {

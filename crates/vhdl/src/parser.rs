@@ -7,7 +7,11 @@ use aivril_hdl::source::Span;
 
 /// Parses a token stream into a design file, appending errors to `diags`.
 pub fn parse(tokens: Vec<Token>, diags: &mut Diagnostics) -> DesignFile {
-    let mut p = Parser { tokens, pos: 0, diags };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags,
+    };
     let mut file = DesignFile::default();
     while !p.at_eof() {
         if p.eat_kw(Kw::Library) {
@@ -31,7 +35,10 @@ pub fn parse(tokens: Vec<Token>, diags: &mut Diagnostics) -> DesignFile {
         } else {
             let tok = p.peek().clone();
             p.error(
-                format!("expected 'entity' or 'architecture', found {}", tok.describe()),
+                format!(
+                    "expected 'entity' or 'architecture', found {}",
+                    tok.describe()
+                ),
                 tok.span,
             );
             p.bump();
@@ -106,7 +113,10 @@ impl Parser<'_> {
             return Some(self.bump());
         }
         let tok = self.peek().clone();
-        self.error(format!("expected '{p}', found {}", tok.describe()), tok.span);
+        self.error(
+            format!("expected '{p}', found {}", tok.describe()),
+            tok.span,
+        );
         None
     }
 
@@ -128,7 +138,10 @@ impl Parser<'_> {
             return Some((t.text, t.span));
         }
         let tok = self.peek().clone();
-        self.error(format!("expected identifier, found {}", tok.describe()), tok.span);
+        self.error(
+            format!("expected identifier, found {}", tok.describe()),
+            tok.span,
+        );
         None
     }
 
@@ -203,7 +216,11 @@ impl Parser<'_> {
                     None
                 };
                 for (n, s) in names {
-                    generics.push(GenericDecl { name: n, default: default.clone(), span: s });
+                    generics.push(GenericDecl {
+                        name: n,
+                        default: default.clone(),
+                        span: s,
+                    });
                 }
                 if !self.eat(Punct::Semi) {
                     break;
@@ -236,7 +253,12 @@ impl Parser<'_> {
                 };
                 let ty = self.parse_type_mark()?;
                 for (n, s) in names {
-                    ports.push(PortDecl { name: n, dir, ty: ty.clone(), span: s });
+                    ports.push(PortDecl {
+                        name: n,
+                        dir,
+                        ty: ty.clone(),
+                        span: s,
+                    });
                 }
                 if !self.eat(Punct::Semi) {
                     break;
@@ -251,7 +273,12 @@ impl Parser<'_> {
             self.bump();
         }
         self.expect(Punct::Semi)?;
-        Some(Entity { name, generics, ports, span })
+        Some(Entity {
+            name,
+            generics,
+            ports,
+            span,
+        })
     }
 
     fn parse_type_mark(&mut self) -> Option<TypeMark> {
@@ -332,7 +359,11 @@ impl Parser<'_> {
                 self.expect(Punct::Assign)?;
                 let value = self.parse_expr();
                 self.expect(Punct::Semi)?;
-                decls.push(Decl::Constant { name: cname, value, span: cspan });
+                decls.push(Decl::Constant {
+                    name: cname,
+                    value,
+                    span: cspan,
+                });
             } else if self.eat_kw(Kw::Component) {
                 // Component declarations are tolerated and skipped; only
                 // direct entity instantiation is supported.
@@ -376,7 +407,13 @@ impl Parser<'_> {
                 None => self.skip_past_semi(),
             }
         }
-        Some(Architecture { name, entity, decls, stmts, span })
+        Some(Architecture {
+            name,
+            entity,
+            decls,
+            stmts,
+            span,
+        })
     }
 
     fn parse_concurrent_stmt(&mut self) -> Option<ConcurrentStmt> {
@@ -437,7 +474,13 @@ impl Parser<'_> {
                 self.bump();
             }
             self.expect(Punct::Semi)?;
-            return Some(ConcurrentStmt::Process { label, sensitivity, variables, body, span });
+            return Some(ConcurrentStmt::Process {
+                label,
+                sensitivity,
+                variables,
+                body,
+                span,
+            });
         }
         if self.check_kw(Kw::Entity) {
             let span = self.bump().span;
@@ -487,7 +530,13 @@ impl Parser<'_> {
             }
             self.expect(Punct::RParen)?;
             self.expect(Punct::Semi)?;
-            return Some(ConcurrentStmt::Instance { label, entity, generic_map, port_map, span });
+            return Some(ConcurrentStmt::Instance {
+                label,
+                entity,
+                generic_map,
+                port_map,
+                span,
+            });
         }
         // Concurrent signal assignment.
         let target = self.parse_name_expr()?;
@@ -495,7 +544,11 @@ impl Parser<'_> {
         self.expect(Punct::SigAssign)?;
         let value = self.parse_when_expr();
         self.expect(Punct::Semi)?;
-        Some(ConcurrentStmt::Assign { target, value, span })
+        Some(ConcurrentStmt::Assign {
+            target,
+            value,
+            span,
+        })
     }
 
     // ----------------------------------------------------- sequentials
@@ -567,7 +620,11 @@ impl Parser<'_> {
             self.expect_kw(Kw::End)?;
             self.expect_kw(Kw::Case)?;
             self.expect(Punct::Semi)?;
-            return Some(SeqStmt::Case { subject, arms, span: tok.span });
+            return Some(SeqStmt::Case {
+                subject,
+                arms,
+                span: tok.span,
+            });
         }
         if self.eat_kw(Kw::For) {
             let (var, _) = self.expect_ident()?;
@@ -590,7 +647,14 @@ impl Parser<'_> {
             self.expect_kw(Kw::End)?;
             self.expect_kw(Kw::Loop)?;
             self.expect(Punct::Semi)?;
-            return Some(SeqStmt::For { var, from, to, downto, body, span: tok.span });
+            return Some(SeqStmt::For {
+                var,
+                from,
+                to,
+                downto,
+                body,
+                span: tok.span,
+            });
         }
         if self.eat_kw(Kw::While) {
             let cond = self.parse_expr();
@@ -605,13 +669,19 @@ impl Parser<'_> {
             if self.eat_kw(Kw::For) {
                 let amount = self.parse_time_expr();
                 self.expect(Punct::Semi)?;
-                return Some(SeqStmt::WaitFor { amount, span: tok.span });
+                return Some(SeqStmt::WaitFor {
+                    amount,
+                    span: tok.span,
+                });
             }
             if self.eat_kw(Kw::Until) {
                 let cond = self.parse_expr();
                 // Optional trailing `for <time>` is unsupported; tolerate.
                 self.expect(Punct::Semi)?;
-                return Some(SeqStmt::WaitUntil { cond, span: tok.span });
+                return Some(SeqStmt::WaitUntil {
+                    cond,
+                    span: tok.span,
+                });
             }
             self.expect(Punct::Semi)?;
             return Some(SeqStmt::WaitForever { span: tok.span });
@@ -625,13 +695,22 @@ impl Parser<'_> {
             };
             let severity = self.parse_severity(SeverityLevel::Error)?;
             self.expect(Punct::Semi)?;
-            return Some(SeqStmt::Assert { cond, report, severity, span: tok.span });
+            return Some(SeqStmt::Assert {
+                cond,
+                report,
+                severity,
+                span: tok.span,
+            });
         }
         if self.eat_kw(Kw::Report) {
             let message = self.parse_message()?;
             let severity = self.parse_severity(SeverityLevel::Note)?;
             self.expect(Punct::Semi)?;
-            return Some(SeqStmt::Report { message, severity, span: tok.span });
+            return Some(SeqStmt::Report {
+                message,
+                severity,
+                span: tok.span,
+            });
         }
         if self.eat_kw(Kw::Null) {
             self.expect(Punct::Semi)?;
@@ -643,7 +722,11 @@ impl Parser<'_> {
         if self.eat(Punct::Assign) {
             let value = self.parse_expr();
             self.expect(Punct::Semi)?;
-            return Some(SeqStmt::VariableAssign { target, value, span });
+            return Some(SeqStmt::VariableAssign {
+                target,
+                value,
+                span,
+            });
         }
         self.expect(Punct::SigAssign)?;
         let value = self.parse_expr();
@@ -653,7 +736,11 @@ impl Parser<'_> {
             let _ = self.parse_time_expr();
         }
         self.expect(Punct::Semi)?;
-        Some(SeqStmt::SignalAssign { target, value, span })
+        Some(SeqStmt::SignalAssign {
+            target,
+            value,
+            span,
+        })
     }
 
     fn parse_message(&mut self) -> Option<String> {
@@ -701,7 +788,10 @@ impl Parser<'_> {
             if let Some(m) = mult {
                 self.bump();
                 if let Expr::Int { value, span } = e {
-                    return Expr::Int { value: value * m, span };
+                    return Expr::Int {
+                        value: value * m,
+                        span,
+                    };
                 }
                 return e;
             }
@@ -749,7 +839,11 @@ impl Parser<'_> {
                 return lhs;
             };
             let rhs = self.parse_relational();
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -766,7 +860,11 @@ impl Parser<'_> {
         };
         self.bump();
         let rhs = self.parse_shift();
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     fn parse_shift(&mut self) -> Expr {
@@ -779,7 +877,11 @@ impl Parser<'_> {
             return lhs;
         };
         let rhs = self.parse_adding();
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     fn parse_adding(&mut self) -> Expr {
@@ -793,7 +895,11 @@ impl Parser<'_> {
             };
             self.bump();
             let rhs = self.parse_term();
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -809,22 +915,35 @@ impl Parser<'_> {
             };
             self.bump();
             let rhs = self.parse_factor();
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
     fn parse_factor(&mut self) -> Expr {
         if self.eat_kw(Kw::Not) {
             let operand = self.parse_factor();
-            return Expr::Unary { op: UnOp::Not, operand: Box::new(operand) };
+            return Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+            };
         }
         if self.eat(Punct::Minus) {
             let operand = self.parse_factor();
-            return Expr::Unary { op: UnOp::Negate, operand: Box::new(operand) };
+            return Expr::Unary {
+                op: UnOp::Negate,
+                operand: Box::new(operand),
+            };
         }
         if self.eat(Punct::Plus) {
             let operand = self.parse_factor();
-            return Expr::Unary { op: UnOp::Plus, operand: Box::new(operand) };
+            return Expr::Unary {
+                op: UnOp::Plus,
+                operand: Box::new(operand),
+            };
         }
         self.parse_primary()
     }
@@ -838,7 +957,10 @@ impl Parser<'_> {
                     // Lexer guarantees digits; overflow falls back to 0.
                     0
                 });
-                Expr::Int { value, span: tok.span }
+                Expr::Int {
+                    value,
+                    span: tok.span,
+                }
             }
             TokenKind::CharLit => {
                 self.bump();
@@ -850,31 +972,55 @@ impl Parser<'_> {
             TokenKind::StrLit => {
                 self.bump();
                 let is_bits = !tok.text.is_empty()
-                    && tok.text.chars().all(|c| matches!(c, '0' | '1' | 'x' | 'X' | 'z' | 'Z'));
+                    && tok
+                        .text
+                        .chars()
+                        .all(|c| matches!(c, '0' | '1' | 'x' | 'X' | 'z' | 'Z'));
                 if is_bits {
-                    Expr::BitString { bits: tok.text, span: tok.span }
+                    Expr::BitString {
+                        bits: tok.text,
+                        span: tok.span,
+                    }
                 } else {
-                    Expr::StrLit { text: tok.text, span: tok.span }
+                    Expr::StrLit {
+                        text: tok.text,
+                        span: tok.span,
+                    }
                 }
             }
             TokenKind::HexString => {
                 self.bump();
-                Expr::HexString { digits: tok.text, span: tok.span }
+                Expr::HexString {
+                    digits: tok.text,
+                    span: tok.span,
+                }
             }
             TokenKind::Keyword(Kw::True) => {
                 self.bump();
-                Expr::Bool { value: true, span: tok.span }
+                Expr::Bool {
+                    value: true,
+                    span: tok.span,
+                }
             }
             TokenKind::Keyword(Kw::False) => {
                 self.bump();
-                Expr::Bool { value: false, span: tok.span }
+                Expr::Bool {
+                    value: false,
+                    span: tok.span,
+                }
             }
             TokenKind::Keyword(Kw::Others) => {
                 // Bare `others` only appears inside aggregates; handled in
                 // the LParen branch. Reaching it here is an error.
                 self.bump();
-                self.error("'others' is only valid inside an aggregate".into(), tok.span);
-                Expr::Int { value: 0, span: tok.span }
+                self.error(
+                    "'others' is only valid inside an aggregate".into(),
+                    tok.span,
+                );
+                Expr::Int {
+                    value: 0,
+                    span: tok.span,
+                }
             }
             TokenKind::Ident => {
                 self.bump();
@@ -886,7 +1032,11 @@ impl Parser<'_> {
                         Some(a) => a,
                         None => ("event".to_string(), tok.span),
                     };
-                    return Expr::Attr { name, attr, span: tok.span };
+                    return Expr::Attr {
+                        name,
+                        attr,
+                        span: tok.span,
+                    };
                 }
                 // Call / index / slice?
                 if self.eat(Punct::LParen) {
@@ -918,9 +1068,16 @@ impl Parser<'_> {
                         args.push(self.parse_expr());
                     }
                     self.expect(Punct::RParen);
-                    return Expr::Call { name, args, span: tok.span };
+                    return Expr::Call {
+                        name,
+                        args,
+                        span: tok.span,
+                    };
                 }
-                Expr::Ident { name, span: tok.span }
+                Expr::Ident {
+                    name,
+                    span: tok.span,
+                }
             }
             TokenKind::Punct(Punct::LParen) => {
                 self.bump();
@@ -928,7 +1085,10 @@ impl Parser<'_> {
                     self.expect(Punct::Arrow);
                     let fill = self.parse_expr();
                     self.expect(Punct::RParen);
-                    return Expr::Aggregate { fill: Box::new(fill), span: tok.span };
+                    return Expr::Aggregate {
+                        fill: Box::new(fill),
+                        span: tok.span,
+                    };
                 }
                 let e = self.parse_expr();
                 self.expect(Punct::RParen);
@@ -937,7 +1097,10 @@ impl Parser<'_> {
             _ => {
                 self.error(format!("syntax error near {}", tok.describe()), tok.span);
                 self.bump();
-                Expr::Int { value: 0, span: tok.span }
+                Expr::Int {
+                    value: 0,
+                    span: tok.span,
+                }
             }
         }
     }
@@ -1033,7 +1196,9 @@ end architecture;
     fn process_if_elsif_shape() {
         let unit = parse_clean(COUNTER);
         match &unit.architectures[0].stmts[0] {
-            ConcurrentStmt::Process { sensitivity, body, .. } => {
+            ConcurrentStmt::Process {
+                sensitivity, body, ..
+            } => {
                 assert_eq!(sensitivity.len(), 2);
                 match &body[0] {
                     SeqStmt::If { arms, els } => {
@@ -1059,10 +1224,18 @@ end architecture;
              end architecture;\n",
         );
         match &unit.architectures[0].stmts[1] {
-            ConcurrentStmt::Process { sensitivity, body, .. } => {
+            ConcurrentStmt::Process {
+                sensitivity, body, ..
+            } => {
                 assert!(sensitivity.is_empty());
                 assert!(matches!(body[0], SeqStmt::WaitFor { .. }));
-                assert!(matches!(body[1], SeqStmt::Assert { severity: SeverityLevel::Error, .. }));
+                assert!(matches!(
+                    body[1],
+                    SeqStmt::Assert {
+                        severity: SeverityLevel::Error,
+                        ..
+                    }
+                ));
                 assert!(matches!(body[2], SeqStmt::Report { .. }));
                 assert!(matches!(body[3], SeqStmt::WaitForever { .. }));
             }
@@ -1079,7 +1252,13 @@ end architecture;
              end architecture;\n",
         );
         match &unit.architectures[0].stmts[0] {
-            ConcurrentStmt::Instance { label, entity, generic_map, port_map, .. } => {
+            ConcurrentStmt::Instance {
+                label,
+                entity,
+                generic_map,
+                port_map,
+                ..
+            } => {
                 assert_eq!(label, "dut");
                 assert_eq!(entity, "counter");
                 assert_eq!(generic_map.len(), 1);
@@ -1098,7 +1277,10 @@ end architecture;
              z <= x when s = '1' else y;\nend architecture;\n",
         );
         match &unit.architectures[0].stmts[0] {
-            ConcurrentStmt::Assign { value: Expr::When { .. }, .. } => {}
+            ConcurrentStmt::Assign {
+                value: Expr::When { .. },
+                ..
+            } => {}
             other => panic!("expected when-assign, got {other:?}"),
         }
     }
@@ -1127,9 +1309,7 @@ end architecture;
 
     #[test]
     fn missing_semicolon_is_error() {
-        let (_, diags) = parse_src(
-            "entity e is\n  port (a : in std_logic)\nend entity;\n",
-        );
+        let (_, diags) = parse_src("entity e is\n  port (a : in std_logic)\nend entity;\n");
         assert!(diags.has_errors());
     }
 

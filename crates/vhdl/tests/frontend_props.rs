@@ -1,8 +1,8 @@
 //! Property-based tests for the VHDL frontend.
 
 use aivril_hdl::source::SourceMap;
-use aivril_vhdl::{analyze, compile};
 use aivril_verilogeval::Problem;
+use aivril_vhdl::{analyze, compile};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -85,6 +85,11 @@ fn all_golden_duts_analyze_cleanly() {
         sources.add_file("dut.vhd", p.vhdl.dut.clone());
         sources.add_file("tb.vhd", p.vhdl.tb.clone());
         let (_, diags) = analyze(&sources);
-        assert!(!diags.has_errors(), "{}: {}", p.name, diags.render(&sources));
+        assert!(
+            !diags.has_errors(),
+            "{}: {}",
+            p.name,
+            diags.render(&sources)
+        );
     }
 }

@@ -25,14 +25,20 @@ fn main() {
         .find(|p| p.name.contains("sipo_w4"))
         .expect("shift-register task present in the suite");
 
-    println!("=== Fig. 2 step 1: the user requirement ===\n{}", problem.spec);
+    println!(
+        "=== Fig. 2 step 1: the user requirement ===\n{}",
+        problem.spec
+    );
 
     // A simulated Claude 3.5 Sonnet stands in for the hosted model; seed
     // 16 is a sample whose initial code carries both a syntax and a
     // functional fault, so every loop has work to do — and, like the
     // paper's Fig. 2 run, it ends in "All tests passed successfully!"
     // (try other seeds to see clean one-shot runs or budget exhaustion).
-    let mut model = SimLlm::new(profiles::claude35_sonnet(), build_library(harness.problems()));
+    let mut model = SimLlm::new(
+        profiles::claude35_sonnet(),
+        build_library(harness.problems()),
+    );
     let tools = XsimToolSuite::new();
     let pipeline = Aivril2::new(&tools, Aivril2Config::default());
     let task = TaskInput {
@@ -49,7 +55,11 @@ fn main() {
     println!(
         "pipeline verdict: syntax {} / functional {}",
         if result.syntax_pass { "PASS" } else { "FAIL" },
-        if result.functional_pass { "PASS" } else { "FAIL" },
+        if result.functional_pass {
+            "PASS"
+        } else {
+            "FAIL"
+        },
     );
 
     // External scoring, exactly as the evaluation does it: compile the

@@ -107,30 +107,48 @@ fn main() {
 
     println!("=== Verilog: traffic-light controller ===");
     let report = tools.simulate(
-        &[HdlFile::new("traffic.v", TRAFFIC_V), HdlFile::new("tb.v", TRAFFIC_TB)],
+        &[
+            HdlFile::new("traffic.v", TRAFFIC_V),
+            HdlFile::new("tb.v", TRAFFIC_TB),
+        ],
         Some("tb"),
     );
     println!("{}", report.log);
-    println!("passed: {}   modeled tool latency: {:.2}s\n", report.passed, report.modeled_latency);
+    println!(
+        "passed: {}   modeled tool latency: {:.2}s\n",
+        report.passed, report.modeled_latency
+    );
 
     println!("=== VHDL: clock divider ===");
     let report = tools.simulate(
-        &[HdlFile::new("blink.vhd", BLINK_VHD), HdlFile::new("tb.vhd", BLINK_TB)],
+        &[
+            HdlFile::new("blink.vhd", BLINK_VHD),
+            HdlFile::new("tb.vhd", BLINK_TB),
+        ],
         Some("tb"),
     );
     println!("{}", report.log);
-    println!("passed: {}   modeled tool latency: {:.2}s", report.passed, report.modeled_latency);
+    println!(
+        "passed: {}   modeled tool latency: {:.2}s",
+        report.passed, report.modeled_latency
+    );
 
     println!("=== Waveform dump (VCD) of the VHDL run ===");
     let (_, vcd) = tools.simulate_with_waves(
-        &[HdlFile::new("blink.vhd", BLINK_VHD), HdlFile::new("tb.vhd", BLINK_TB)],
+        &[
+            HdlFile::new("blink.vhd", BLINK_VHD),
+            HdlFile::new("tb.vhd", BLINK_TB),
+        ],
         Some("tb"),
     );
     let vcd = vcd.expect("compiled run yields waves");
     for line in vcd.lines().take(20) {
         println!("{line}");
     }
-    println!("... ({} lines total; load into GTKWave)\n", vcd.lines().count());
+    println!(
+        "... ({} lines total; load into GTKWave)\n",
+        vcd.lines().count()
+    );
 
     println!("=== And a broken file, to see the Vivado-style error log ===");
     let broken = "module oops(input a output y);\n  assign y = ~a\nendmodule\n";

@@ -49,7 +49,10 @@ fn main() {
             result.trace.total_latency(),
         );
         if seed == 0 {
-            println!("--- workflow for sample 0 ---\n{}", result.trace.narration());
+            println!(
+                "--- workflow for sample 0 ---\n{}",
+                result.trace.narration()
+            );
         }
     }
     println!("\nNothing in the framework knew the language: the same agents drove");

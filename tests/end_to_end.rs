@@ -11,6 +11,7 @@ fn harness(tasks: usize, samples: u32) -> Harness {
     Harness::new(HarnessConfig {
         samples,
         task_limit: tasks,
+        threads: 0,
         pipeline: Aivril2Config::default(),
     })
 }
@@ -35,7 +36,11 @@ fn aivril2_strictly_improves_every_model_on_a_slice() {
             "{}: functional degraded {base_f} -> {full_f}",
             profile.name
         );
-        assert!(full_s > 0.95, "{}: syntax loop must converge, got {full_s}", profile.name);
+        assert!(
+            full_s > 0.95,
+            "{}: syntax loop must converge, got {full_s}",
+            profile.name
+        );
     }
 }
 

@@ -11,6 +11,7 @@ fn harness() -> Harness {
     Harness::new(HarnessConfig {
         samples: 3,
         task_limit: 36,
+        threads: 0,
         pipeline: Aivril2Config::default(),
     })
 }
@@ -39,9 +40,15 @@ fn table1_shape_holds() {
     let full_s = suite_metric(&full, 1, |s| s.syntax);
     let base_f = suite_metric(&base, 1, |s| s.functional);
     let full_f = suite_metric(&full, 1, |s| s.functional);
-    assert!(base_s > 0.8 && base_s < 1.0, "claude V baseline syntax {base_s}");
+    assert!(
+        base_s > 0.8 && base_s < 1.0,
+        "claude V baseline syntax {base_s}"
+    );
     assert!(full_s > 0.98, "claude V aivril2 syntax {full_s}");
-    assert!(full_f > base_f + 0.03, "claude V functional {base_f} -> {full_f}");
+    assert!(
+        full_f > base_f + 0.03,
+        "claude V functional {base_f} -> {full_f}"
+    );
 
     // Llama3 / VHDL: the stress case — near-zero baseline, partial but
     // dramatic syntax recovery (the paper's 1.28% -> 58.87%).
@@ -74,19 +81,45 @@ fn figure3_shape_holds() {
 
     // AIVRIL2 costs real latency, bounded by the paper's worst case
     // neighbourhood; Llama/VHDL is the most expensive configuration.
-    assert!(claude_full > claude_base * 1.5, "claude ratio {}", claude_full / claude_base);
-    assert!(llama_full > llama_base * 2.0, "llama ratio {}", llama_full / llama_base);
-    assert!(llama_full > claude_full, "llama VHDL must be the slowest configuration");
-    assert!(llama_full < 90.0, "worst-case average {llama_full}s (paper ~42s scale)");
+    assert!(
+        claude_full > claude_base * 1.5,
+        "claude ratio {}",
+        claude_full / claude_base
+    );
+    assert!(
+        llama_full > llama_base * 2.0,
+        "llama ratio {}",
+        llama_full / llama_base
+    );
+    assert!(
+        llama_full > claude_full,
+        "llama VHDL must be the slowest configuration"
+    );
+    assert!(
+        llama_full < 90.0,
+        "worst-case average {llama_full}s (paper ~42s scale)"
+    );
 }
 
 #[test]
 fn model_ordering_holds_everywhere() {
-    let h = harness();
+    // The GPT-4o / Claude gap is only ~5 points (72.44 vs 77.00 in
+    // Table 1), inside sampling noise on the 36-task slice the other
+    // shape tests use — this one needs a bigger sample to make the
+    // ordering claim meaningful. Cheap now that evaluate() is parallel.
+    let h = Harness::new(HarnessConfig {
+        samples: 5,
+        task_limit: 96,
+        threads: 0,
+        pipeline: Aivril2Config::default(),
+    });
     let mut f_rates = Vec::new();
     for profile in profiles::all() {
         let full = h.evaluate(&profile, true, Flow::Aivril2);
-        f_rates.push((profile.name.clone(), suite_metric(&full, 1, |s| s.functional)));
+        f_rates.push((
+            profile.name.clone(),
+            suite_metric(&full, 1, |s| s.functional),
+        ));
     }
     // Table 1/2 ordering: Claude > GPT-4o > Llama3 after AIVRIL2.
     assert!(

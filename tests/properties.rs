@@ -6,9 +6,12 @@
 //! or a clean run, never a panic or a hang. The agent loop feeds the
 //! compiler LLM-corrupted code on every iteration.
 
+use aivril_bench::build_library;
+use aivril_core::{Aivril2, Aivril2Config, Stage, TaskInput};
 use aivril_eda::{HdlFile, ToolSuite, XsimToolSuite};
 use aivril_hdl::logic::Logic;
 use aivril_hdl::vec::LogicVec;
+use aivril_llm::{profiles, SimLlm, TaskLibrary};
 use aivril_metrics::pass_at_k;
 use aivril_sim::SimConfig;
 use proptest::prelude::*;
@@ -17,6 +20,49 @@ use std::sync::OnceLock;
 fn suite() -> &'static [aivril_verilogeval::Problem] {
     static SUITE: OnceLock<Vec<aivril_verilogeval::Problem>> = OnceLock::new();
     SUITE.get_or_init(aivril_verilogeval::suite)
+}
+
+fn library() -> &'static TaskLibrary {
+    static LIB: OnceLock<TaskLibrary> = OnceLock::new();
+    LIB.get_or_init(|| build_library(suite()))
+}
+
+/// Runs one AIVRIL2 pipeline execution on a suite problem.
+fn run_pipeline(
+    config: Aivril2Config,
+    problem_idx: usize,
+    model_idx: usize,
+    verilog: bool,
+    seed: u64,
+) -> aivril_core::RunResult {
+    let problems = suite();
+    let p = &problems[problem_idx % problems.len()];
+    let models = profiles::all();
+    let mut model = SimLlm::new(models[model_idx % models.len()].clone(), library().clone());
+    let tools = XsimToolSuite::new();
+    let pipeline = Aivril2::new(&tools, config);
+    let task = TaskInput {
+        name: p.name.clone(),
+        module_name: p.module_name.clone(),
+        spec: p.spec.clone(),
+        verilog,
+        seed,
+    };
+    pipeline.run(&mut model, &task)
+}
+
+/// Failure count of a functional-loop `simulate:` narration, or `None`
+/// for non-simulate events. A compile-broken revision counts as worse
+/// than any failing-tests outcome, matching the loop's own accounting.
+fn simulate_failures(what: &str) -> Option<usize> {
+    let rest = what.strip_prefix("simulate: ")?;
+    if rest == "all tests passed" {
+        Some(0)
+    } else if rest == "revision failed to compile" {
+        Some(usize::MAX)
+    } else {
+        rest.split(' ').next().and_then(|n| n.parse().ok())
+    }
 }
 
 fn suite_sources() -> &'static [(String, String)] {
@@ -126,6 +172,86 @@ proptest! {
         let cat = vhi.concat(&vlo);
         prop_assert_eq!(cat.slice(15, 8).to_u64(), Some(hi));
         prop_assert_eq!(cat.slice(7, 0).to_u64(), Some(lo));
+    }
+
+    /// Whatever the seed, model, language or budgets, a pipeline run
+    /// never spends more corrective iterations than its configured
+    /// budgets allow — the loops must be inescapably bounded.
+    #[test]
+    fn iteration_counts_respect_budgets(
+        problem_idx in 0usize..156,
+        model_idx in 0usize..3,
+        verilog in (0u8..2).prop_map(|b| b == 0),
+        seed in 0u64..1_000_000,
+        max_syntax in 1u32..5,
+        max_functional in 1u32..5,
+    ) {
+        let config = Aivril2Config {
+            max_syntax_iters: max_syntax,
+            max_functional_iters: max_functional,
+            ..Aivril2Config::default()
+        };
+        let r = run_pipeline(config, problem_idx, model_idx, verilog, seed);
+        prop_assert!(
+            r.trace.iterations(Stage::TbSyntaxLoop) <= max_syntax,
+            "tb syntax loop overran: {} > {max_syntax}\n{}",
+            r.trace.iterations(Stage::TbSyntaxLoop),
+            r.trace.narration()
+        );
+        prop_assert!(
+            r.trace.iterations(Stage::RtlSyntaxLoop) <= max_syntax,
+            "rtl syntax loop overran: {} > {max_syntax}\n{}",
+            r.trace.iterations(Stage::RtlSyntaxLoop),
+            r.trace.narration()
+        );
+        prop_assert!(
+            r.trace.iterations(Stage::FunctionalLoop) <= max_functional,
+            "functional loop overran: {} > {max_functional}\n{}",
+            r.trace.iterations(Stage::FunctionalLoop),
+            r.trace.narration()
+        );
+    }
+
+    /// The rollback mechanism's contract: the RTL a run returns is never
+    /// worse (against the run's own frozen testbench) than the best
+    /// version the functional loop observed.
+    #[test]
+    fn rollback_never_returns_worse_than_best_seen(
+        problem_idx in 0usize..156,
+        model_idx in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let r = run_pipeline(Aivril2Config::default(), problem_idx, model_idx, true, seed);
+        let observed: Vec<usize> = r
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.stage == Stage::FunctionalLoop)
+            .filter_map(|e| simulate_failures(&e.what))
+            .collect();
+        if let Some(&best_seen) = observed.iter().min() {
+            let tools = XsimToolSuite::new();
+            let report = tools.simulate(
+                &[
+                    HdlFile::new("dut.v".to_string(), r.final_rtl.clone()),
+                    HdlFile::new("tb.v".to_string(), r.final_tb.clone()),
+                ],
+                Some("tb"),
+            );
+            let final_failures = if report.passed {
+                0
+            } else if report.compiled {
+                report.failures.len()
+            } else {
+                usize::MAX
+            };
+            prop_assert!(
+                final_failures <= best_seen,
+                "final RTL has {final_failures} failure(s) but the loop saw a \
+                 version with only {best_seen}\n{}",
+                r.trace.narration()
+            );
+        }
     }
 
     /// pass@k is a probability, monotone in c, and exact for k = n.
