@@ -4,13 +4,16 @@
 //! Sec. 4.2 (e.g. Llama3/VHDL ≈ 3.95 syntax and 4.7 functional cycles;
 //! Claude/Verilog ≈ 2 and 3).
 
-use aivril_bench::{Flow, Harness, HarnessConfig};
+use aivril_bench::{
+    arg_value, results_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
+};
 use aivril_llm::profiles;
 use aivril_metrics::{figure3, render_figure3};
 
 fn main() {
     let config = HarnessConfig::from_env();
-    let harness = Harness::new(config);
+    let telemetry = Telemetry::from_env();
+    let harness = Harness::new(config).with_recorder(telemetry.recorder());
     println!(
         "Running Figure 3: {} tasks x {} samples x 3 models x 2 languages x 2 flows \
          on {} thread(s)\n",
@@ -20,17 +23,37 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut sections = Vec::new();
     for profile in profiles::all() {
         for verilog in [true, false] {
             let lang = if verilog { "Verilog" } else { "VHDL" };
             eprintln!("== {} / {lang} ==", profile.name);
-            let base = harness.evaluate(&profile, verilog, Flow::Baseline);
+            let (base, base_stats) = harness.evaluate_with_stats(&profile, verilog, Flow::Baseline);
             let (full, stats) = harness.evaluate_with_stats(&profile, verilog, Flow::Aivril2);
             eprintln!("   {stats}");
             rows.push(figure3(format!("{} / {lang}", profile.name), &base, &full));
+            sections.push(ResultSection {
+                label: format!("{} {lang} baseline", profile.name),
+                outcomes: base,
+                stats: base_stats,
+            });
+            sections.push(ResultSection {
+                label: format!("{} {lang} aivril2", profile.name),
+                outcomes: full,
+                stats,
+            });
         }
     }
 
+    if let Some(path) = arg_value("--json") {
+        std::fs::write(&path, results_json(&sections)).expect("write --json output");
+        println!("results written to {path}\n");
+    }
+    match telemetry.finish() {
+        Ok(summary) if !summary.is_empty() => println!("{summary}"),
+        Ok(_) => {}
+        Err(e) => eprintln!("[obs] export failed: {e}"),
+    }
     println!("{}", render_figure3(&rows));
     let worst = rows.iter().map(|r| r.total()).fold(0.0f64, f64::max);
     println!("Worst-case average AIVRIL2 latency: {worst:.2}s (paper: did not exceed 42s).");

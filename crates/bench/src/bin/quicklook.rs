@@ -1,8 +1,14 @@
 //! Smoke-test harness: a miniature Table-1-shaped run (few tasks, few
 //! samples, one model) that finishes in seconds. Useful for sanity
 //! checking after changes, before committing to the full table runs.
+//!
+//! Observability: honours `AIVRIL_TRACE_JSON`, `AIVRIL_TRACE_CHROME`
+//! and `AIVRIL_METRICS` (see README), and `--json <path>` writes the
+//! outcomes and stats as schema-versioned JSON.
 
-use aivril_bench::{Flow, Harness, HarnessConfig};
+use aivril_bench::{
+    arg_value, results_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
+};
 use aivril_llm::profiles;
 use aivril_metrics::suite_metric;
 
@@ -12,7 +18,8 @@ fn main() {
         task_limit: 10,
         ..HarnessConfig::from_env()
     };
-    let harness = Harness::new(config);
+    let telemetry = Telemetry::from_env();
+    let harness = Harness::new(config).with_recorder(telemetry.recorder());
     let profile = profiles::claude35_sonnet();
     println!(
         "quicklook: {} tasks x {} samples on {} thread(s), {}",
@@ -22,9 +29,10 @@ fn main() {
         profile.name
     );
 
+    let mut sections = Vec::new();
     for verilog in [true, false] {
         let lang = if verilog { "Verilog" } else { "VHDL" };
-        let base = harness.evaluate(&profile, verilog, Flow::Baseline);
+        let (base, base_stats) = harness.evaluate_with_stats(&profile, verilog, Flow::Baseline);
         let (full, stats) = harness.evaluate_with_stats(&profile, verilog, Flow::Aivril2);
         println!(
             "  {lang:8}  baseline S {:5.1}% F {:5.1}%   AIVRIL2 S {:5.1}% F {:5.1}%",
@@ -34,6 +42,26 @@ fn main() {
             suite_metric(&full, 1, |s| s.functional) * 100.0,
         );
         println!("  {stats}");
+        sections.push(ResultSection {
+            label: format!("{} {lang} baseline", profile.name),
+            outcomes: base,
+            stats: base_stats,
+        });
+        sections.push(ResultSection {
+            label: format!("{} {lang} aivril2", profile.name),
+            outcomes: full,
+            stats,
+        });
+    }
+
+    if let Some(path) = arg_value("--json") {
+        std::fs::write(&path, results_json(&sections)).expect("write --json output");
+        println!("results written to {path}");
+    }
+    match telemetry.finish() {
+        Ok(summary) if !summary.is_empty() => println!("{summary}"),
+        Ok(_) => {}
+        Err(e) => eprintln!("[obs] export failed: {e}"),
     }
     println!("ok");
 }

@@ -6,13 +6,16 @@
 //! bit-identical for any thread count). Run with `--release`; the full
 //! table is ~19k pipeline executions.
 
-use aivril_bench::{Flow, Harness, HarnessConfig};
+use aivril_bench::{
+    arg_value, results_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
+};
 use aivril_llm::profiles;
 use aivril_metrics::{delta_f, render_table1, suite_metric, suite_metric_with_se, Table1Row};
 
 fn main() {
     let config = HarnessConfig::from_env();
-    let harness = Harness::new(config);
+    let telemetry = Telemetry::from_env();
+    let harness = Harness::new(config).with_recorder(telemetry.recorder());
     println!(
         "Running Table 1: {} tasks x {} samples x 3 models x 2 languages x 2 flows \
          on {} thread(s)\n",
@@ -23,6 +26,7 @@ fn main() {
     let start = std::time::Instant::now();
 
     let mut rows = Vec::new();
+    let mut sections = Vec::new();
     let mut max_se: Option<f64> = None;
     for profile in profiles::all() {
         eprintln!("== {} ==", profile.name);
@@ -41,6 +45,16 @@ fn main() {
             let (f_mean, f_se) = suite_metric_with_se(&full, 1, |s| s.functional);
             cells[3][li] = f_mean * 100.0;
             max_se = Some(max_se.map_or(f_se, |m: f64| m.max(f_se)));
+            sections.push(ResultSection {
+                label: format!("{} {lang} baseline", profile.name),
+                outcomes: base,
+                stats: base_stats,
+            });
+            sections.push(ResultSection {
+                label: format!("{} {lang} aivril2", profile.name),
+                outcomes: full,
+                stats: full_stats,
+            });
         }
         rows.push(Table1Row {
             config: profile.name.clone(),
@@ -73,6 +87,15 @@ fn main() {
             "(max standard error across cells, from per-task variation: ±{:.2} points)\n",
             se * 100.0
         );
+    }
+    if let Some(path) = arg_value("--json") {
+        std::fs::write(&path, results_json(&sections)).expect("write --json output");
+        println!("results written to {path}\n");
+    }
+    match telemetry.finish() {
+        Ok(summary) if !summary.is_empty() => println!("{summary}"),
+        Ok(_) => {}
+        Err(e) => eprintln!("[obs] export failed: {e}"),
     }
     println!("Paper reference (Table 1):");
     println!("  Llama3-70B           V 71.15/37.82      H  1.28/ 0.00");

@@ -2,13 +2,16 @@
 //! (measured here) against published state-of-the-art numbers (cited
 //! constants — the closed systems cannot be rerun).
 
-use aivril_bench::{Flow, Harness, HarnessConfig};
+use aivril_bench::{
+    arg_value, results_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
+};
 use aivril_llm::profiles;
 use aivril_metrics::{render_table2, suite_metric};
 
 fn main() {
     let config = HarnessConfig::from_env();
-    let harness = Harness::new(config);
+    let telemetry = Telemetry::from_env();
+    let harness = Harness::new(config).with_recorder(telemetry.recorder());
     println!(
         "Running Table 2: {} tasks x {} samples x 3 models (Verilog, AIVRIL2) \
          on {} thread(s)\n",
@@ -18,6 +21,7 @@ fn main() {
     );
 
     let mut measured = Vec::new();
+    let mut sections = Vec::new();
     for profile in profiles::all() {
         eprintln!("== AIVRIL2 ({}) ==", profile.name);
         let (outcomes, stats) = harness.evaluate_with_stats(&profile, true, Flow::Aivril2);
@@ -33,8 +37,22 @@ fn main() {
             license.to_string(),
             f,
         ));
+        sections.push(ResultSection {
+            label: format!("{} Verilog aivril2", profile.name),
+            outcomes,
+            stats,
+        });
     }
 
+    if let Some(path) = arg_value("--json") {
+        std::fs::write(&path, results_json(&sections)).expect("write --json output");
+        println!("results written to {path}\n");
+    }
+    match telemetry.finish() {
+        Ok(summary) if !summary.is_empty() => println!("{summary}"),
+        Ok(_) => {}
+        Err(e) => eprintln!("[obs] export failed: {e}"),
+    }
     println!("{}", render_table2(&measured));
     println!("Paper reference: AIVRIL2 rows are 55.13 (Llama3-70B), 72.44 (GPT-4o), 77 (Claude 3.5 Sonnet);");
     println!("best case is 3.4x ChipNemo-13B's 22.4.");

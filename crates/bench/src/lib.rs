@@ -31,6 +31,7 @@ use aivril_core::{Aivril2, Aivril2Config, BaselineFlow, RunResult, Stage, TaskIn
 use aivril_eda::{HdlFile, ToolSuite, XsimToolSuite};
 use aivril_llm::{ModelProfile, SimLlm, TaskLibrary};
 use aivril_metrics::{EvalOutcome, SampleOutcome};
+use aivril_obs::{json, Recorder};
 use aivril_verilogeval::{suite, Problem};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -202,6 +203,7 @@ struct Worker<'t> {
     model: SimLlm,
     pipeline: Aivril2<'t>,
     baseline: BaselineFlow,
+    recorder: Recorder,
 }
 
 /// The evaluation harness: tools + suite + model knowledge.
@@ -209,6 +211,7 @@ pub struct Harness {
     tools: XsimToolSuite,
     problems: Vec<Problem>,
     config: HarnessConfig,
+    recorder: Recorder,
 }
 
 impl Harness {
@@ -219,7 +222,18 @@ impl Harness {
             tools: XsimToolSuite::new(),
             problems: suite(),
             config,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder. Each worker gets a fork
+    /// wired into its model, pipeline and tool suite; forks are folded
+    /// back and sorted by grid coordinates, so journals and metrics are
+    /// bit-identical for every thread count. Disabled by default.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Harness {
+        self.recorder = recorder;
+        self
     }
 
     /// The benchmark problems in use (after the task cap).
@@ -286,12 +300,18 @@ impl Harness {
             verilog,
             seed: run_seed(problem_index, sample),
         };
+        // Journal events of this run are grouped under its grid
+        // coordinates; the external scoring below stays untraced (it
+        // uses the harness's shared, recorder-free tool suite and is
+        // not part of the pipeline the paper's figures describe).
+        worker.recorder.begin_run(problem_index as u32, sample);
         let result: RunResult = match flow {
             Flow::Baseline => worker
                 .baseline
                 .run(&mut worker.model, &task, &self.config.pipeline),
             Flow::Aivril2 => worker.pipeline.run(&mut worker.model, &task),
         };
+        worker.recorder.end_run();
         let ((syntax, functional), score_latency) =
             self.score_with_latency(problem, &result.final_rtl, verilog);
         // Baseline latency includes its single EDA evaluation pass
@@ -344,6 +364,23 @@ impl Harness {
         let threads = self.config.effective_threads().clamp(1, total.max(1));
         let library = std::sync::Arc::new(build_library(problems));
 
+        // Telemetry: one fork per evaluation (carrying the context
+        // pairs), one sub-fork per worker. All of this is a no-op when
+        // the harness recorder is disabled.
+        let eval_rec = self.recorder.fork();
+        eval_rec.set_context(&[
+            ("model", &profile.name),
+            ("lang", if verilog { "verilog" } else { "vhdl" }),
+            (
+                "flow",
+                match flow {
+                    Flow::Baseline => "baseline",
+                    Flow::Aivril2 => "aivril2",
+                },
+            ),
+        ]);
+        let worker_recs: Vec<Recorder> = (0..threads).map(|_| eval_rec.fork()).collect();
+
         // One write-once slot per grid cell: workers claim cells through
         // the atomic cursor and publish results lock-free; the merge
         // below reads them back in grid order, making the output
@@ -352,17 +389,25 @@ impl Harness {
         let cursor = AtomicUsize::new(0);
 
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
+            for wrec in &worker_recs {
+                // Shadow the shared state as references so the `move`
+                // closure copies pointers, not the values themselves
+                // (`wrec` must be captured by value per iteration).
+                let (library, slots, cursor) = (&library, &slots, &cursor);
+                scope.spawn(move || {
                     // Per-worker instances: the model clone is cheap
                     // (profile + shared task knowledge) and the tool
                     // suite is plain data; no worker shares mutable
-                    // state with another.
-                    let tools = self.tools.clone();
+                    // state with another. The worker's recorder clones
+                    // all share one (uncontended) fork.
+                    let tools = self.tools.clone().with_recorder(wrec.clone());
                     let mut worker = Worker {
-                        model: SimLlm::new(profile.clone(), library.clone()),
-                        pipeline: Aivril2::new(&tools, self.config.pipeline),
+                        model: SimLlm::new(profile.clone(), library.clone())
+                            .with_recorder(wrec.clone()),
+                        pipeline: Aivril2::new(&tools, self.config.pipeline)
+                            .with_recorder(wrec.clone()),
                         baseline: BaselineFlow::new(),
+                        recorder: wrec.clone(),
                     };
                     loop {
                         let cell = cursor.fetch_add(1, Ordering::Relaxed);
@@ -378,6 +423,17 @@ impl Harness {
                 });
             }
         });
+
+        // Fold worker telemetry back in. The absorb order is the
+        // (deterministic) worker index order, but which cells each
+        // worker claimed is not — sorting by grid coordinates restores
+        // one canonical journal for every thread count; the metrics
+        // merge is order-independent by construction.
+        for wrec in &worker_recs {
+            eval_rec.absorb(wrec);
+        }
+        eval_rec.sort_runs();
+        self.recorder.absorb(&eval_rec);
 
         let mut stats = EvalStats {
             runs: total,
@@ -414,6 +470,178 @@ impl Harness {
         stats.wall_seconds = start.elapsed().as_secs_f64();
         (outcomes, stats)
     }
+}
+
+/// Telemetry switches shared by every table/figure binary, read from
+/// the environment:
+///
+/// * `AIVRIL_TRACE_JSON=<path>` — write the JSONL run journal there.
+/// * `AIVRIL_TRACE_CHROME=<path>` — write a Chrome `trace_event` JSON
+///   (Perfetto-viewable) there.
+/// * `AIVRIL_METRICS=1` — print the rendered metrics registry after
+///   the run's `EvalStats`.
+///
+/// When none is set the recorder is disabled and instrumentation costs
+/// a branch per call site.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    recorder: Recorder,
+    trace_path: Option<String>,
+    chrome_path: Option<String>,
+    metrics: bool,
+}
+
+impl Telemetry {
+    /// Reads the telemetry switches from the process environment.
+    #[must_use]
+    pub fn from_env() -> Telemetry {
+        Self::from_vars(|key| std::env::var(key).ok())
+    }
+
+    /// Like [`Telemetry::from_env`] with an injectable lookup (tests
+    /// pass a closure instead of mutating the process environment).
+    #[must_use]
+    pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Telemetry {
+        let trace_path = get("AIVRIL_TRACE_JSON").filter(|v| !v.is_empty());
+        let chrome_path = get("AIVRIL_TRACE_CHROME").filter(|v| !v.is_empty());
+        let metrics = get("AIVRIL_METRICS").is_some_and(|v| !v.is_empty() && v != "0");
+        let enabled = trace_path.is_some() || chrome_path.is_some() || metrics;
+        Telemetry {
+            recorder: if enabled {
+                Recorder::new()
+            } else {
+                Recorder::disabled()
+            },
+            trace_path,
+            chrome_path,
+            metrics,
+        }
+    }
+
+    /// The recorder handle to install via [`Harness::with_recorder`].
+    #[must_use]
+    pub fn recorder(&self) -> Recorder {
+        self.recorder.clone()
+    }
+
+    /// `true` when any telemetry output was requested.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Writes the requested exports and returns the rendered metrics
+    /// summary (empty unless `AIVRIL_METRICS` is on) so binaries can
+    /// append it to their `EvalStats` output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when a journal/trace file cannot be
+    /// written.
+    pub fn finish(&self) -> std::io::Result<String> {
+        if let Some(path) = &self.trace_path {
+            std::fs::write(path, aivril_obs::render_journal(&self.recorder))?;
+            eprintln!("[obs] run journal written to {path}");
+        }
+        if let Some(path) = &self.chrome_path {
+            std::fs::write(path, aivril_obs::chrome_trace(&self.recorder))?;
+            eprintln!("[obs] chrome trace written to {path}");
+        }
+        if self.metrics {
+            let dump = self.recorder.metrics().render();
+            return Ok(format!("[metrics]\n{dump}"));
+        }
+        Ok(String::new())
+    }
+}
+
+/// One labelled evaluation's results, as serialised by
+/// [`results_json`]: the section label (e.g. `claude-3.5-sonnet
+/// verilog aivril2`), the per-task outcomes and the aggregate stats.
+#[derive(Debug, Clone)]
+pub struct ResultSection {
+    /// Human-readable section label.
+    pub label: String,
+    /// Per-task outcomes in suite order.
+    pub outcomes: Vec<EvalOutcome>,
+    /// Aggregate statistics of the evaluation.
+    pub stats: EvalStats,
+}
+
+/// Serialises evaluation results as schema-versioned JSON
+/// (`aivril.results` version 1) — the `--json <path>` payload of the
+/// table/figure binaries. Hand-rolled (the build has no registry
+/// access) but deterministic: fixed field order, fixed float format.
+#[must_use]
+pub fn results_json(sections: &[ResultSection]) -> String {
+    let sample_json = |s: &SampleOutcome| {
+        json::object(&[
+            ("syntax", s.syntax.to_string()),
+            ("functional", s.functional.to_string()),
+            ("total_latency_s", json::number(s.total_latency)),
+            (
+                "syntax_phase_latency_s",
+                json::number(s.syntax_phase_latency),
+            ),
+            (
+                "functional_phase_latency_s",
+                json::number(s.functional_phase_latency),
+            ),
+            ("syntax_iters", s.syntax_iters.to_string()),
+            ("functional_iters", s.functional_iters.to_string()),
+        ])
+    };
+    let task_json = |o: &EvalOutcome| {
+        let samples: Vec<String> = o.samples.iter().map(sample_json).collect();
+        json::object(&[
+            ("task", json::string(&o.task)),
+            ("samples", format!("[{}]", samples.join(","))),
+        ])
+    };
+    let stats_json = |s: &EvalStats| {
+        json::object(&[
+            ("runs", s.runs.to_string()),
+            ("threads", s.threads.to_string()),
+            ("wall_seconds", json::number(s.wall_seconds)),
+            ("modeled_seconds", json::number(s.modeled_seconds)),
+            ("modeled_llm_seconds", json::number(s.modeled_llm_seconds)),
+            ("modeled_tool_seconds", json::number(s.modeled_tool_seconds)),
+            ("syntax_iters", s.syntax_iters.to_string()),
+            ("functional_iters", s.functional_iters.to_string()),
+        ])
+    };
+    let sections: Vec<String> = sections
+        .iter()
+        .map(|sec| {
+            let tasks: Vec<String> = sec.outcomes.iter().map(task_json).collect();
+            json::object(&[
+                ("label", json::string(&sec.label)),
+                ("stats", stats_json(&sec.stats)),
+                ("tasks", format!("[{}]", tasks.join(","))),
+            ])
+        })
+        .collect();
+    format!(
+        "{}\n",
+        json::object(&[
+            ("schema", json::string("aivril.results")),
+            ("version", "1".to_string()),
+            ("sections", format!("[{}]", sections.join(","))),
+        ])
+    )
+}
+
+/// Returns the value following `flag` in the process arguments
+/// (`--json out.json` style); `None` when absent.
+#[must_use]
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
 }
 
 // The parallel harness hands `&XsimToolSuite`, `&ModelProfile` and

@@ -4,10 +4,11 @@
 use crate::agents::{CodeAgent, ReviewAgent, VerificationAgent};
 use crate::config::{Aivril2Config, PromptDetail};
 use crate::task::TaskInput;
-use crate::trace::{RunTrace, Stage};
+use crate::trace::{RunTrace, Stage, TraceEventKind};
 use crate::user::{spec_is_sufficient, NoClarification, UserProxy};
 use aivril_eda::{HdlFile, ToolSuite};
 use aivril_llm::LanguageModel;
+use aivril_obs::Recorder;
 
 /// Outcome of one pipeline run.
 #[derive(Debug, Clone)]
@@ -36,6 +37,7 @@ pub struct Aivril2<'t> {
     config: Aivril2Config,
     review: ReviewAgent,
     verification: VerificationAgent,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for Aivril2<'_> {
@@ -55,7 +57,17 @@ impl<'t> Aivril2<'t> {
             config,
             review: ReviewAgent::new(),
             verification: VerificationAgent::new(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder: stage and iteration spans
+    /// plus pipeline counters are emitted into it. The default is a
+    /// disabled recorder with a no-op fast path.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Aivril2<'t> {
+        self.recorder = recorder;
+        self
     }
 
     fn syntax_corrective(
@@ -98,6 +110,7 @@ impl<'t> Aivril2<'t> {
             if answer.is_empty() {
                 trace.push(
                     Stage::TbGeneration,
+                    TraceEventKind::Clarification,
                     "clarification requested; no answer — proceeding with the original prompt",
                     0.0,
                     0.0,
@@ -110,6 +123,7 @@ impl<'t> Aivril2<'t> {
                 );
                 trace.push(
                     Stage::TbGeneration,
+                    TraceEventKind::Clarification,
                     "clarification requested; user supplied additional detail",
                     0.0,
                     0.0,
@@ -120,9 +134,15 @@ impl<'t> Aivril2<'t> {
         let mut agent = CodeAgent::new(model, task, self.config.gen_params);
 
         // -- Step ②: testbench generation, then its syntax loop.
-        let tb_gen = agent.generate_testbench(task);
+        let tb_gen = {
+            let span = self.recorder.span("stage.tb_generation");
+            let tb_gen = agent.generate_testbench(task);
+            span.attr_f64("llm_s", tb_gen.latency_s);
+            tb_gen
+        };
         trace.push(
             Stage::TbGeneration,
+            TraceEventKind::Generation,
             "generate testbench",
             tb_gen.latency_s,
             0.0,
@@ -135,15 +155,20 @@ impl<'t> Aivril2<'t> {
         } else {
             0
         };
-        for _ in 0..=tb_loop_budget {
+        let tb_loop_span = self.recorder.span("stage.tb_syntax_loop");
+        for iter in 0..=tb_loop_budget {
             if !self.config.testbench_first {
                 break;
             }
+            let iter_span = self.recorder.span("iteration");
+            iter_span.attr_int("index", iter as i64);
             let report = self
                 .tools
                 .analyze(&[HdlFile::new(task.tb_file_name(), tb.clone())]);
+            iter_span.attr_int("errors", report.error_count() as i64);
             trace.push(
                 Stage::TbSyntaxLoop,
+                TraceEventKind::Analysis,
                 format!("analyze testbench: {} error(s)", report.error_count()),
                 0.0,
                 report.modeled_latency,
@@ -158,26 +183,44 @@ impl<'t> Aivril2<'t> {
             let gen = agent.revise(corrective);
             trace.push(
                 Stage::TbSyntaxLoop,
+                TraceEventKind::Revise,
                 "revise after syntax feedback",
                 gen.latency_s,
                 0.0,
             );
             tb = gen.code;
         }
+        drop(tb_loop_span);
         // The testbench is frozen from here on.
 
         // -- Step ③: RTL generation, then its syntax loop.
-        let rtl_gen = agent.generate_rtl(task, &tb);
-        trace.push(Stage::RtlGeneration, "generate RTL", rtl_gen.latency_s, 0.0);
+        let rtl_gen = {
+            let span = self.recorder.span("stage.rtl_generation");
+            let rtl_gen = agent.generate_rtl(task, &tb);
+            span.attr_f64("llm_s", rtl_gen.latency_s);
+            rtl_gen
+        };
+        trace.push(
+            Stage::RtlGeneration,
+            TraceEventKind::Generation,
+            "generate RTL",
+            rtl_gen.latency_s,
+            0.0,
+        );
         let mut rtl = rtl_gen.code;
         let mut syntax_pass = false;
-        for _ in 0..=self.config.max_syntax_iters {
+        let rtl_loop_span = self.recorder.span("stage.rtl_syntax_loop");
+        for iter in 0..=self.config.max_syntax_iters {
+            let iter_span = self.recorder.span("iteration");
+            iter_span.attr_int("index", iter as i64);
             let report = self.tools.compile(&[
                 HdlFile::new(task.dut_file_name(), rtl.clone()),
                 HdlFile::new(task.tb_file_name(), tb.clone()),
             ]);
+            iter_span.attr_int("errors", report.error_count() as i64);
             trace.push(
                 Stage::RtlSyntaxLoop,
+                TraceEventKind::Compile,
                 format!("compile: {} error(s)", report.error_count()),
                 0.0,
                 report.modeled_latency,
@@ -193,12 +236,14 @@ impl<'t> Aivril2<'t> {
             let gen = agent.revise(corrective);
             trace.push(
                 Stage::RtlSyntaxLoop,
+                TraceEventKind::Revise,
                 "revise after syntax feedback",
                 gen.latency_s,
                 0.0,
             );
             rtl = gen.code;
         }
+        drop(rtl_loop_span);
 
         // -- Steps ⑤–⑧: the functional loop (only for compiling designs).
         // The Code Agent keeps every version; when a revision makes the
@@ -206,8 +251,11 @@ impl<'t> Aivril2<'t> {
         // back to the best version seen so far (Sec. 3.1).
         let mut functional_pass = false;
         let mut best: Option<(usize, usize)> = None; // (failure count, version index)
+        let func_loop_span = self.recorder.span("stage.functional_loop");
         if syntax_pass {
-            for _ in 0..=self.config.max_functional_iters {
+            for iter in 0..=self.config.max_functional_iters {
+                let iter_span = self.recorder.span("iteration");
+                iter_span.attr_int("index", iter as i64);
                 let report = self.tools.simulate(
                     &[
                         HdlFile::new(task.dut_file_name(), rtl.clone()),
@@ -215,8 +263,13 @@ impl<'t> Aivril2<'t> {
                     ],
                     Some("tb"),
                 );
+                if iter_span.is_recording() {
+                    iter_span.attr_bool("passed", report.passed);
+                    iter_span.attr_int("failures", report.failures.len() as i64);
+                }
                 trace.push(
                     Stage::FunctionalLoop,
+                    TraceEventKind::Simulate,
                     format!(
                         "simulate: {}",
                         if report.passed {
@@ -249,6 +302,7 @@ impl<'t> Aivril2<'t> {
                         rtl = agent.versions()[best_version].clone();
                         trace.push(
                             Stage::FunctionalLoop,
+                            TraceEventKind::Rollback,
                             format!(
                                 "rollback: revision regressed to {} failure(s); restored version {}",
                                 if failures == usize::MAX {
@@ -284,6 +338,7 @@ impl<'t> Aivril2<'t> {
                 let gen = agent.revise(corrective);
                 trace.push(
                     Stage::FunctionalLoop,
+                    TraceEventKind::Revise,
                     "revise after functional feedback",
                     gen.latency_s,
                     0.0,
@@ -295,7 +350,11 @@ impl<'t> Aivril2<'t> {
                 }
             }
         }
+        drop(func_loop_span);
 
+        if self.recorder.is_enabled() {
+            self.record_run_metrics(&trace, syntax_pass, functional_pass);
+        }
         RunResult {
             final_rtl: rtl,
             final_tb: tb,
@@ -303,6 +362,39 @@ impl<'t> Aivril2<'t> {
             functional_pass,
             trace,
         }
+    }
+
+    /// End-of-run pipeline counters (only called when recording).
+    fn record_run_metrics(&self, trace: &RunTrace, syntax_pass: bool, functional_pass: bool) {
+        let rec = &self.recorder;
+        rec.counter_add("pipeline_runs_total", &[("flow", "aivril2")], 1);
+        rec.counter_add(
+            "pipeline_pass_total",
+            &[("check", "syntax")],
+            u64::from(syntax_pass),
+        );
+        rec.counter_add(
+            "pipeline_pass_total",
+            &[("check", "functional")],
+            u64::from(functional_pass),
+        );
+        for (label, stage) in [
+            ("tb_syntax", Stage::TbSyntaxLoop),
+            ("rtl_syntax", Stage::RtlSyntaxLoop),
+            ("functional", Stage::FunctionalLoop),
+        ] {
+            rec.counter_add(
+                "pipeline_iterations_total",
+                &[("loop", label)],
+                u64::from(trace.iterations(stage)),
+            );
+        }
+        let rollbacks = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Rollback)
+            .count() as u64;
+        rec.counter_add("pipeline_rollbacks_total", &[], rollbacks);
     }
 }
 
@@ -330,6 +422,7 @@ impl BaselineFlow {
         let gen = agent.generate_rtl(task, "(no testbench available)");
         trace.push(
             Stage::RtlGeneration,
+            TraceEventKind::Generation,
             "zero-shot RTL generation",
             gen.latency_s,
             0.0,

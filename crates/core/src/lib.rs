@@ -69,5 +69,5 @@ mod user;
 pub use config::{Aivril2Config, PromptDetail};
 pub use flow::{Aivril2, BaselineFlow, RunResult};
 pub use task::TaskInput;
-pub use trace::{RunTrace, Stage, TraceEvent};
+pub use trace::{RunTrace, Stage, TraceEvent, TraceEventKind};
 pub use user::{spec_is_sufficient, NoClarification, StaticUser, UserProxy};

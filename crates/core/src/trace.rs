@@ -31,12 +31,35 @@ impl fmt::Display for Stage {
     }
 }
 
+/// What kind of step a [`TraceEvent`] records. Analyses (iteration
+/// counts, latency attribution) branch on this, never on the free-form
+/// narration text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEventKind {
+    /// A clarification exchange with the user agent.
+    Clarification,
+    /// A fresh artifact generation (testbench or RTL, incl. baseline).
+    Generation,
+    /// A static analysis pass (ReviewAgent testbench analysis).
+    Analysis,
+    /// A compiler invocation.
+    Compile,
+    /// A simulation run.
+    Simulate,
+    /// A corrective revision driven by tool feedback.
+    Revise,
+    /// A rollback after a regressing revision.
+    Rollback,
+}
+
 /// One recorded step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Stage the event belongs to.
     pub stage: Stage,
-    /// Short narration, e.g. `compile: 2 syntax errors`.
+    /// What kind of step this is (the machine-readable classification).
+    pub kind: TraceEventKind,
+    /// Short narration for display only, e.g. `compile: 2 syntax errors`.
     pub what: String,
     /// Modeled LLM seconds spent in this event.
     pub llm_latency: f64,
@@ -56,12 +79,14 @@ impl RunTrace {
     pub fn push(
         &mut self,
         stage: Stage,
+        kind: TraceEventKind,
         what: impl Into<String>,
         llm_latency: f64,
         tool_latency: f64,
     ) {
         self.events.push(TraceEvent {
             stage,
+            kind,
             what: what.into(),
             llm_latency,
             tool_latency,
@@ -117,12 +142,12 @@ impl RunTrace {
     }
 
     /// Number of corrective iterations recorded for `stage` (events
-    /// whose narration marks a revision).
+    /// typed as [`TraceEventKind::Revise`]).
     #[must_use]
     pub fn iterations(&self, stage: Stage) -> u32 {
         self.events
             .iter()
-            .filter(|e| e.stage == stage && e.what.starts_with("revise"))
+            .filter(|e| e.stage == stage && e.kind == TraceEventKind::Revise)
             .count() as u32
     }
 
@@ -149,21 +174,49 @@ impl RunTrace {
 mod tests {
     use super::*;
 
+    use TraceEventKind as K;
+
     fn sample() -> RunTrace {
         let mut t = RunTrace::default();
-        t.push(Stage::TbGeneration, "generate testbench", 4.0, 0.0);
-        t.push(Stage::TbSyntaxLoop, "compile: clean", 0.0, 1.0);
-        t.push(Stage::RtlGeneration, "generate RTL", 5.0, 0.0);
-        t.push(Stage::RtlSyntaxLoop, "compile: 1 syntax error", 0.0, 1.0);
+        t.push(
+            Stage::TbGeneration,
+            K::Generation,
+            "generate testbench",
+            4.0,
+            0.0,
+        );
+        t.push(Stage::TbSyntaxLoop, K::Compile, "compile: clean", 0.0, 1.0);
+        t.push(
+            Stage::RtlGeneration,
+            K::Generation,
+            "generate RTL",
+            5.0,
+            0.0,
+        );
         t.push(
             Stage::RtlSyntaxLoop,
+            K::Compile,
+            "compile: 1 syntax error",
+            0.0,
+            1.0,
+        );
+        t.push(
+            Stage::RtlSyntaxLoop,
+            K::Revise,
             "revise after syntax feedback",
             3.0,
             0.0,
         );
-        t.push(Stage::FunctionalLoop, "simulate: 1 failing test", 0.0, 2.0);
         t.push(
             Stage::FunctionalLoop,
+            K::Simulate,
+            "simulate: 1 failing test",
+            0.0,
+            2.0,
+        );
+        t.push(
+            Stage::FunctionalLoop,
+            K::Revise,
             "revise after functional feedback",
             3.5,
             0.0,
@@ -193,6 +246,22 @@ mod tests {
         assert_eq!(t.iterations(Stage::RtlSyntaxLoop), 1);
         assert_eq!(t.iterations(Stage::FunctionalLoop), 1);
         assert_eq!(t.iterations(Stage::TbSyntaxLoop), 0);
+    }
+
+    #[test]
+    fn iteration_counting_is_typed_not_textual() {
+        // Narration text is display-only: a "revise"-looking narration
+        // with a non-Revise kind must not count, and vice versa.
+        let mut t = RunTrace::default();
+        t.push(
+            Stage::RtlSyntaxLoop,
+            K::Analysis,
+            "revise plan drafted",
+            1.0,
+            0.0,
+        );
+        t.push(Stage::RtlSyntaxLoop, K::Revise, "second attempt", 1.0, 0.0);
+        assert_eq!(t.iterations(Stage::RtlSyntaxLoop), 1);
     }
 
     #[test]

@@ -4,9 +4,10 @@ use crate::latency::ToolLatencyModel;
 use crate::report::{extract_failures, CompileReport, SimReport, ToolMessage};
 use crate::source::{HdlFile, Language};
 use crate::ToolSuite;
-use aivril_hdl::diag::Diagnostics;
+use aivril_hdl::diag::{Diagnostics, Severity};
 use aivril_hdl::ir::Design;
 use aivril_hdl::source::SourceMap;
+use aivril_obs::Recorder;
 use aivril_sim::{SimConfig, Simulator};
 
 /// The testbench completion marker AIVRIL2's agents look for — the same
@@ -22,6 +23,7 @@ pub const PASS_MARKER: &str = "All tests passed successfully!";
 pub struct XsimToolSuite {
     latency: ToolLatencyModel,
     sim_config: SimConfig,
+    recorder: Recorder,
 }
 
 impl XsimToolSuite {
@@ -45,6 +47,37 @@ impl XsimToolSuite {
         self
     }
 
+    /// Attaches an observability recorder: every analyze/compile/
+    /// simulate call emits an `eda.*` span (phase, diagnostics, modeled
+    /// seconds), advances the modeled clock, and feeds the
+    /// `eda_*`/`sim_*` metric series. Disabled by default; the
+    /// simulator kernel inherits the same recorder.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> XsimToolSuite {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Counters + histogram for one compile-like tool invocation (only
+    /// called when recording).
+    fn record_compile_metrics(&self, phase: &str, report: &CompileReport) {
+        self.recorder
+            .counter_add("eda_invocations_total", &[("phase", phase)], 1);
+        for m in &report.messages {
+            self.recorder.counter_add(
+                "eda_diagnostics_total",
+                &[("severity", severity_label(m.severity))],
+                1,
+            );
+        }
+        self.recorder.observe(
+            "eda_compile_seconds",
+            &[("phase", phase)],
+            &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0],
+            report.modeled_latency,
+        );
+    }
+
     /// Compiles `files` into a design, returning the elaborated design
     /// alongside the report so callers (and `simulate`) don't repeat the
     /// work ([C-INTERMEDIATE]).
@@ -52,6 +85,23 @@ impl XsimToolSuite {
     /// [C-INTERMEDIATE]: https://rust-lang.github.io/api-guidelines/flexibility.html
     #[must_use]
     pub fn compile_to_design(
+        &self,
+        files: &[HdlFile],
+        top: Option<&str>,
+    ) -> (CompileReport, Option<Design>) {
+        let span = self.recorder.span("eda.compile");
+        let (report, design) = self.compile_to_design_inner(files, top);
+        if span.is_recording() {
+            self.recorder.advance(report.modeled_latency);
+            span.attr_bool("success", report.success);
+            span.attr_int("errors", report.error_count() as i64);
+            span.attr_f64("tool_s", report.modeled_latency);
+            self.record_compile_metrics("compile", &report);
+        }
+        (report, design)
+    }
+
+    fn compile_to_design_inner(
         &self,
         files: &[HdlFile],
         top: Option<&str>,
@@ -147,6 +197,15 @@ fn total_bytes(files: &[HdlFile]) -> usize {
     files.iter().map(HdlFile::byte_len).sum()
 }
 
+fn severity_label(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Note => "note",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+        Severity::Fatal => "fatal",
+    }
+}
+
 fn to_messages(diags: &Diagnostics, sources: &SourceMap) -> Vec<ToolMessage> {
     diags
         .all()
@@ -180,9 +239,11 @@ impl XsimToolSuite {
         files: &[HdlFile],
         top: Option<&str>,
     ) -> (SimReport, Option<String>) {
+        let span = self.recorder.span("eda.simulate");
         let (compile_report, design) = self.compile_to_design(files, top);
         let mut log = compile_report.log.clone();
         let Some(design) = design else {
+            span.attr_bool("passed", false);
             return (
                 SimReport {
                     compiled: false,
@@ -201,7 +262,7 @@ impl XsimToolSuite {
             "INFO: [xsim] Running simulation of '{}'\n",
             design.top
         ));
-        let mut sim = Simulator::new(&design, self.sim_config);
+        let mut sim = Simulator::new(&design, self.sim_config).with_recorder(self.recorder.clone());
         sim.record_waves();
         let result = sim.run();
         let vcd = sim.vcd();
@@ -211,6 +272,21 @@ impl XsimToolSuite {
             && failures.is_empty()
             && (result.finished || result.starved)
             && log.contains(PASS_MARKER);
+        let sim_latency = self.latency.sim_seconds(result.instructions_executed);
+        if span.is_recording() {
+            self.recorder.advance(sim_latency);
+            span.attr_bool("passed", passed);
+            span.attr_int("failures", failures.len() as i64);
+            span.attr_f64("sim_s", sim_latency);
+            self.recorder
+                .counter_add("eda_invocations_total", &[("phase", "simulate")], 1);
+            self.recorder.observe(
+                "eda_sim_seconds",
+                &[],
+                &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+                sim_latency,
+            );
+        }
         (
             SimReport {
                 compiled: true,
@@ -220,16 +296,15 @@ impl XsimToolSuite {
                 compile_messages: compile_report.messages,
                 end_time: result.end_time,
                 finished: result.finished,
-                modeled_latency: compile_report.modeled_latency
-                    + self.latency.sim_seconds(result.instructions_executed),
+                modeled_latency: compile_report.modeled_latency + sim_latency,
             },
             vcd,
         )
     }
 }
 
-impl ToolSuite for XsimToolSuite {
-    fn analyze(&self, files: &[HdlFile]) -> CompileReport {
+impl XsimToolSuite {
+    fn analyze_inner(&self, files: &[HdlFile]) -> CompileReport {
         let mut sources = SourceMap::new();
         for f in files {
             sources.add_file(f.name.clone(), f.text.clone());
@@ -277,15 +352,32 @@ impl ToolSuite for XsimToolSuite {
             modeled_latency: self.latency.compile_seconds(total_bytes(files)),
         }
     }
+}
+
+impl ToolSuite for XsimToolSuite {
+    fn analyze(&self, files: &[HdlFile]) -> CompileReport {
+        let span = self.recorder.span("eda.analyze");
+        let report = self.analyze_inner(files);
+        if span.is_recording() {
+            self.recorder.advance(report.modeled_latency);
+            span.attr_bool("success", report.success);
+            span.attr_int("errors", report.error_count() as i64);
+            span.attr_f64("tool_s", report.modeled_latency);
+            self.record_compile_metrics("analyze", &report);
+        }
+        report
+    }
 
     fn compile(&self, files: &[HdlFile]) -> CompileReport {
         self.compile_to_design(files, None).0
     }
 
     fn simulate(&self, files: &[HdlFile], top: Option<&str>) -> SimReport {
+        let span = self.recorder.span("eda.simulate");
         let (compile_report, design) = self.compile_to_design(files, top);
         let mut log = compile_report.log.clone();
         let Some(design) = design else {
+            span.attr_bool("passed", false);
             return SimReport {
                 compiled: false,
                 passed: false,
@@ -301,7 +393,9 @@ impl ToolSuite for XsimToolSuite {
             "INFO: [xsim] Running simulation of '{}'\n",
             design.top
         ));
-        let result = Simulator::new(&design, self.sim_config).run();
+        let result = Simulator::new(&design, self.sim_config)
+            .with_recorder(self.recorder.clone())
+            .run();
         log.push_str(&result.log_text());
         if result.finished {
             log.push_str(&format!(
@@ -322,6 +416,21 @@ impl ToolSuite for XsimToolSuite {
             && failures.is_empty()
             && (result.finished || result.starved)
             && log.contains(PASS_MARKER);
+        let sim_latency = self.latency.sim_seconds(result.instructions_executed);
+        if span.is_recording() {
+            self.recorder.advance(sim_latency);
+            span.attr_bool("passed", passed);
+            span.attr_int("failures", failures.len() as i64);
+            span.attr_f64("sim_s", sim_latency);
+            self.recorder
+                .counter_add("eda_invocations_total", &[("phase", "simulate")], 1);
+            self.recorder.observe(
+                "eda_sim_seconds",
+                &[],
+                &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+                sim_latency,
+            );
+        }
         SimReport {
             compiled: true,
             passed,
@@ -330,8 +439,7 @@ impl ToolSuite for XsimToolSuite {
             compile_messages: compile_report.messages,
             end_time: result.end_time,
             finished: result.finished,
-            modeled_latency: compile_report.modeled_latency
-                + self.latency.sim_seconds(result.instructions_executed),
+            modeled_latency: compile_report.modeled_latency + sim_latency,
         }
     }
 }

@@ -54,6 +54,7 @@ enum Artifact {
 pub struct SimLlm {
     profile: ModelProfile,
     library: Arc<TaskLibrary>,
+    recorder: aivril_obs::Recorder,
 }
 
 impl SimLlm {
@@ -67,7 +68,17 @@ impl SimLlm {
         SimLlm {
             profile,
             library: library.into(),
+            recorder: aivril_obs::Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder: every [`SimLlm::chat`] call
+    /// emits an `llm.chat` span (tokens, latency, request kind) and
+    /// advances the modeled clock by its latency. Disabled by default.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: aivril_obs::Recorder) -> SimLlm {
+        self.recorder = recorder;
+        self
     }
 
     /// The behaviour profile.
@@ -419,6 +430,33 @@ impl LanguageModel for SimLlm {
             )
             .gen_range(0.0..1.0);
         let latency_s = self.profile.latency.seconds(completion_tokens, noise);
+        if self.recorder.is_enabled() {
+            let corrective = view.syntax_rounds + view.func_rounds > 0.0;
+            let kind = if corrective { "corrective" } else { "generate" };
+            let span = self.recorder.span("llm.chat");
+            self.recorder.advance(latency_s);
+            span.attr_str("model", &self.profile.name);
+            span.attr_str("kind", kind);
+            span.attr_int("prompt_tokens", prompt_tokens as i64);
+            span.attr_int("completion_tokens", completion_tokens as i64);
+            span.attr_f64("latency_s", latency_s);
+            drop(span);
+            self.recorder
+                .counter_add("llm_requests_total", &[("kind", kind)], 1);
+            self.recorder
+                .counter_add("llm_tokens_total", &[("kind", "prompt")], prompt_tokens);
+            self.recorder.counter_add(
+                "llm_tokens_total",
+                &[("kind", "completion")],
+                completion_tokens,
+            );
+            self.recorder.observe(
+                "llm_latency_seconds",
+                &[],
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+                latency_s,
+            );
+        }
         ChatResponse {
             content,
             usage: TokenUsage {

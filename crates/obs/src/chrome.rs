@@ -1,0 +1,112 @@
+//! Chrome `trace_event` JSON exporter (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! Each span becomes one complete (`"ph":"X"`) event with `ts`/`dur` in
+//! integer microseconds of modeled time. Each run maps to a thread id
+//! (its index in journal order) so runs stack as separate tracks; a
+//! `thread_name` metadata event labels every track with the run's grid
+//! coordinates and context. All timestamps are modeled, so the export
+//! is byte-identical across reruns and thread counts.
+
+use crate::json;
+use crate::recorder::{AttrValue, Recorder, RunJournal, UNSCOPED};
+
+fn micros(seconds: f64) -> i64 {
+    (seconds * 1e6).round() as i64
+}
+
+fn run_label(run: &RunJournal) -> String {
+    let coords = if run.problem == UNSCOPED && run.sample == UNSCOPED {
+        "unscoped".to_string()
+    } else {
+        format!("p{}s{}", run.problem, run.sample)
+    };
+    let ctx: Vec<String> = run
+        .context
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    if ctx.is_empty() {
+        coords
+    } else {
+        format!("{coords} {}", ctx.join(" "))
+    }
+}
+
+fn attr_json(value: &AttrValue) -> String {
+    match value {
+        AttrValue::Str(s) => json::string(s),
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) => json::number(*f),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Renders the whole trace as a JSON array of `trace_event` objects.
+#[must_use]
+pub fn chrome_trace(recorder: &Recorder) -> String {
+    let runs = recorder.runs();
+    let mut events: Vec<String> = Vec::new();
+    for (tid, run) in runs.iter().enumerate() {
+        events.push(json::object(&[
+            ("name", json::string("thread_name")),
+            ("ph", json::string("M")),
+            ("pid", "1".to_string()),
+            ("tid", tid.to_string()),
+            (
+                "args",
+                json::object(&[("name", json::string(&run_label(run)))]),
+            ),
+        ]));
+        for event in &run.events {
+            let args: Vec<String> = event
+                .attrs
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json::string(k), attr_json(v)))
+                .collect();
+            events.push(json::object(&[
+                ("name", json::string(&event.name)),
+                ("cat", json::string("aivril")),
+                ("ph", json::string("X")),
+                ("pid", "1".to_string()),
+                ("tid", tid.to_string()),
+                ("ts", micros(event.t_start).to_string()),
+                (
+                    "dur",
+                    (micros(event.t_end) - micros(event.t_start)).to_string(),
+                ),
+                ("args", format!("{{{}}}", args.join(","))),
+            ]));
+        }
+    }
+    format!("[{}]", events.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_metadata_and_complete_events() {
+        let r = Recorder::new();
+        r.set_context(&[("model", "sim")]);
+        r.begin_run(0, 1);
+        {
+            let _s = r.span("stage.rtl_generation");
+            r.advance(0.5);
+        }
+        r.end_run();
+        let trace = chrome_trace(&r);
+        assert!(trace.starts_with('[') && trace.ends_with(']'));
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("\"name\":\"p0s1 model=sim\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"dur\":500000"));
+    }
+
+    #[test]
+    fn empty_recorder_renders_empty_array() {
+        assert_eq!(chrome_trace(&Recorder::new()), "[]");
+        assert_eq!(chrome_trace(&Recorder::disabled()), "[]");
+    }
+}

@@ -1,0 +1,138 @@
+//! The JSONL run-journal exporter.
+//!
+//! # Schema (`aivril.journal`, version 1)
+//!
+//! Line 1 is a header object:
+//!
+//! ```json
+//! {"schema":"aivril.journal","version":1,"runs":N,"events":M}
+//! ```
+//!
+//! Every following line is one span-close event:
+//!
+//! ```json
+//! {"run":{"problem":P,"sample":S},"ctx":{"model":"..."},
+//!  "span":"llm.chat","depth":1,"t0":0.000000,"t1":2.104000,
+//!  "attrs":{"tokens":412}}
+//! ```
+//!
+//! `run` is `null` for events recorded outside an explicit run.
+//! Timestamps are modeled seconds with fixed six-decimal formatting, so
+//! the journal is byte-identical across reruns and thread counts.
+
+use crate::json;
+use crate::recorder::{AttrValue, Recorder, RunJournal, SpanEvent, UNSCOPED};
+
+/// Current journal schema version.
+pub const JOURNAL_VERSION: u32 = 1;
+
+fn attr_json(value: &AttrValue) -> String {
+    match value {
+        AttrValue::Str(s) => json::string(s),
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) => json::number(*f),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+fn ctx_json(context: &[(String, String)]) -> String {
+    let inner: Vec<String> = context
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json::string(k), json::string(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn run_json(run: &RunJournal) -> String {
+    if run.problem == UNSCOPED && run.sample == UNSCOPED {
+        "null".to_string()
+    } else {
+        format!("{{\"problem\":{},\"sample\":{}}}", run.problem, run.sample)
+    }
+}
+
+fn event_line(run: &RunJournal, event: &SpanEvent) -> String {
+    let attrs: Vec<String> = event
+        .attrs
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json::string(k), attr_json(v)))
+        .collect();
+    json::object(&[
+        ("run", run_json(run)),
+        ("ctx", ctx_json(&run.context)),
+        ("span", json::string(&event.name)),
+        ("depth", event.depth.to_string()),
+        ("t0", json::number(event.t_start)),
+        ("t1", json::number(event.t_end)),
+        ("attrs", format!("{{{}}}", attrs.join(","))),
+    ])
+}
+
+/// Renders the full JSONL journal for a recorder: header line followed
+/// by one line per span-close event, grouped run-by-run.
+#[must_use]
+pub fn render_journal(recorder: &Recorder) -> String {
+    let runs = recorder.runs();
+    let events: usize = runs.iter().map(|r| r.events.len()).sum();
+    let mut out = String::new();
+    out.push_str(&json::object(&[
+        ("schema", json::string("aivril.journal")),
+        ("version", JOURNAL_VERSION.to_string()),
+        ("runs", runs.len().to_string()),
+        ("events", events.to_string()),
+    ]));
+    out.push('\n');
+    for run in &runs {
+        for event in &run.events {
+            out.push_str(&event_line(run, event));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_has_header_and_event_lines() {
+        let r = Recorder::new();
+        r.set_context(&[("model", "sim")]);
+        r.begin_run(2, 0);
+        {
+            let s = r.span("llm.chat");
+            r.advance(1.25);
+            s.attr_int("tokens", 40);
+            s.attr_str("kind", "generate");
+        }
+        r.end_run();
+        let journal = render_journal(&r);
+        let lines: Vec<&str> = journal.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"schema\":\"aivril.journal\",\"version\":1,\"runs\":1,\"events\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"run\":{\"problem\":2,\"sample\":0},\"ctx\":{\"model\":\"sim\"},\
+             \"span\":\"llm.chat\",\"depth\":0,\"t0\":0.000000,\"t1\":1.250000,\
+             \"attrs\":{\"tokens\":40,\"kind\":\"generate\"}}"
+        );
+    }
+
+    #[test]
+    fn unscoped_run_renders_null() {
+        let r = Recorder::new();
+        {
+            let _s = r.span("loose");
+        }
+        let journal = render_journal(&r);
+        assert!(journal
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("{\"run\":null,"));
+    }
+}

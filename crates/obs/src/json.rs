@@ -1,0 +1,75 @@
+//! A tiny hand-rolled JSON writer: exactly what the exporters need,
+//! with deterministic formatting (no registry access, no dependencies).
+
+/// Escapes `s` for inclusion in a JSON string literal (no quotes).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a quoted JSON string literal.
+#[must_use]
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders an `f64` as a JSON number with fixed six-decimal precision —
+/// the deterministic formatting every exporter uses. Non-finite values
+/// (not representable in JSON) render as `null`.
+#[must_use]
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders an object from pre-rendered `key: value` fragments.
+#[must_use]
+pub fn object(fields: &[(&str, String)]) -> String {
+    let inner: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", string(k)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_are_fixed_precision() {
+        assert_eq!(number(1.5), "1.500000");
+        assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn objects_compose() {
+        assert_eq!(
+            object(&[("a", "1".to_string()), ("b", string("x"))]),
+            "{\"a\":1,\"b\":\"x\"}"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # aivril-obs — structured observability for the AIVRIL2 reproduction
+//!
+//! The telemetry substrate shared by every crate in the workspace:
+//!
+//! * [`Recorder`] — a cheap-to-clone handle carrying hierarchical
+//!   [`Span`]s (with stage/iteration attributes) and per-run journals.
+//!   A disabled recorder is a branch-on-`None` no-op, so instrumented
+//!   hot paths cost nothing when telemetry is off.
+//! * [`MetricsRegistry`] — counters, gauges and fixed-bucket
+//!   [`Histogram`]s keyed by `(name, labels)`, with an associative,
+//!   order-independent `merge()`: per-worker registries fold into
+//!   bit-identical aggregates for any `AIVRIL_THREADS`.
+//! * Exporters — [`render_journal`] (schema-versioned JSONL, one line
+//!   per span close) and [`chrome_trace`] (Chrome `trace_event` JSON,
+//!   viewable in Perfetto). Both are driven entirely off modeled
+//!   latencies, never the wall clock, so output is reproducible.
+//!
+//! The determinism contract is documented on the [`metrics`] module;
+//! the span/run/fork model on the [`recorder`] module.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use chrome::chrome_trace;
+pub use journal::{render_journal, JOURNAL_VERSION};
+pub use metrics::{Histogram, MetricKey, MetricValue, MetricsRegistry};
+pub use recorder::{AttrValue, Recorder, RunJournal, Span, SpanEvent, UNSCOPED};

@@ -1,0 +1,454 @@
+//! The deterministic metrics registry: counters, gauges and
+//! fixed-bucket histograms keyed by `(name, labels)`.
+//!
+//! # Determinism contract
+//!
+//! [`MetricsRegistry::merge`] is **associative and commutative**, so
+//! per-worker registries fold into bit-identical aggregates no matter
+//! how the parallel harness scheduled the work:
+//!
+//! * counters hold a `u64` sum — integer addition;
+//! * gauges merge by maximum under [`f64::total_cmp`] — a commutative,
+//!   associative lattice join;
+//! * histograms hold integer state only: `u64` bucket counts and an
+//!   `i128` sum of *microsecond-quantised* observations. Quantising at
+//!   observe time (not merge time) moves every rounding decision to a
+//!   point where it is identical for all schedules, so merging is plain
+//!   integer addition.
+//!
+//! All iteration orders are `BTreeMap` orders, so dumps and snapshots
+//! are deterministic too.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Quantisation applied to histogram observations: values are stored as
+/// integer multiples of 1 µ-unit (1e-6) so sums merge exactly.
+const QUANTUM: f64 = 1e6;
+
+/// Identity of one metric series: a name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    /// Metric name, e.g. `llm_tokens_total`.
+    pub name: String,
+    /// Label pairs, sorted by key (the constructor sorts).
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the labels so logically-equal series
+    /// always collide.
+    #[must_use]
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders `name{k="v",..}` (no braces when label-free).
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+}
+
+/// A fixed-bucket histogram with integer merge state.
+///
+/// Bucket `i` counts observations `<= bounds[i]`; one extra overflow
+/// bucket counts the rest. The sum is kept as an `i128` of
+/// micro-quantised observations so merges are exact integer additions
+/// (see the module docs for why).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum_micros: i128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over ascending `bounds` (upper bucket
+    /// edges; an overflow bucket is implicit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty, non-finite or not strictly
+    /// ascending.
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.iter().map(|b| b.to_bits()).collect(),
+            buckets: vec![0; bounds.len() + 1],
+            count: 0,
+            sum_micros: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= f64::from_bits(b))
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_micros += quantise(value);
+    }
+
+    /// Folds `other` into `self`. Associative and commutative: all the
+    /// state is integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket bounds differ — merging histograms of
+    /// different shape has no meaning.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_micros += other.sum_micros;
+    }
+
+    /// Total observation count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (reconstructed from the quantised state).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum_micros as f64 / QUANTUM
+    }
+
+    /// Raw quantised sum — the exact merge state, for bitwise
+    /// determinism checks.
+    #[must_use]
+    pub fn sum_micros(&self) -> i128 {
+        self.sum_micros
+    }
+
+    /// Bucket upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> Vec<f64> {
+        self.bounds.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Quantises an observation to integer micro-units; NaN contributes 0.
+fn quantise(value: f64) -> i128 {
+    let scaled = value * QUANTUM;
+    if scaled.is_nan() {
+        0
+    } else {
+        scaled.round() as i128
+    }
+}
+
+/// One metric's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone sum; merge = integer addition.
+    Counter(u64),
+    /// Point-in-time value; merge = maximum (total order over bits).
+    Gauge(f64),
+    /// Fixed-bucket distribution; merge = bucket-wise addition.
+    Histogram(Histogram),
+}
+
+/// A registry of metric series with a deterministic, order-independent
+/// merge (see the module docs for the contract).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    series: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series exists with a different type.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let entry = self
+            .series
+            .entry(MetricKey::new(name, labels))
+            .or_insert(MetricValue::Counter(0));
+        match entry {
+            MetricValue::Counter(c) => *c += delta,
+            _ => panic!("metric {name} is not a counter"),
+        }
+    }
+
+    /// Sets a gauge (last write wins locally; merges take the maximum).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series exists with a different type.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let entry = self
+            .series
+            .entry(MetricKey::new(name, labels))
+            .or_insert(MetricValue::Gauge(value));
+        match entry {
+            MetricValue::Gauge(g) => *g = value,
+            _ => panic!("metric {name} is not a gauge"),
+        }
+    }
+
+    /// Records one observation into a histogram series, creating it
+    /// with `bounds` if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series exists with a different type or bounds.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], bounds: &[f64], value: f64) {
+        let entry = self
+            .series
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)));
+        match entry {
+            MetricValue::Histogram(h) => h.observe(value),
+            _ => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Folds a fully-built histogram into a series (creating it if
+    /// absent) — the bulk path for locally-accumulated kernel stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series exists with a different type or bounds.
+    pub fn merge_histogram(&mut self, name: &str, labels: &[(&str, &str)], hist: &Histogram) {
+        let key = MetricKey::new(name, labels);
+        match self.series.get_mut(&key) {
+            None => {
+                self.series
+                    .insert(key, MetricValue::Histogram(hist.clone()));
+            }
+            Some(MetricValue::Histogram(h)) => h.merge(hist),
+            Some(_) => panic!("metric {name} is not a histogram"),
+        }
+    }
+
+    /// Folds `other` into `self` series-by-series. Associative and
+    /// commutative (the determinism contract of the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a shared series has mismatched types or bounds.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (key, value) in &other.series {
+            match self.series.get_mut(key) {
+                None => {
+                    self.series.insert(key.clone(), value.clone());
+                }
+                Some(mine) => match (mine, value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => {
+                        if b.total_cmp(a).is_gt() {
+                            *a = *b;
+                        }
+                    }
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    _ => panic!("metric {} merged with a different type", key.name),
+                },
+            }
+        }
+    }
+
+    /// Looks up one series.
+    #[must_use]
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.series.get(&MetricKey::new(name, labels))
+    }
+
+    /// All series in deterministic (key-sorted) order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(MetricKey, MetricValue)> {
+        self.series
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// `true` when no series has been touched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Number of series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Renders a deterministic text dump (key-sorted, fixed float
+    /// formatting) suitable for terminals and byte-comparison tests.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in &self.series {
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{} counter {c}", key.render());
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{} gauge {g:.6}", key.render());
+                }
+                MetricValue::Histogram(h) => {
+                    let bounds = h.bounds();
+                    let mut cells: Vec<String> = bounds
+                        .iter()
+                        .zip(h.buckets())
+                        .map(|(b, c)| format!("le{b}:{c}"))
+                        .collect();
+                    cells.push(format!("inf:{}", h.buckets()[bounds.len()]));
+                    let _ = writeln!(
+                        out,
+                        "{} histogram count={} sum={:.6} [{}]",
+                        key.render(),
+                        h.count(),
+                        h.sum(),
+                        cells.join(" ")
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_sort_labels() {
+        let a = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        let b = MetricKey::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "m{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("hits", &[], 2);
+        r.counter_add("hits", &[], 3);
+        r.gauge_set("depth", &[("q", "x")], 1.5);
+        r.gauge_set("depth", &[("q", "x")], 0.5);
+        assert_eq!(r.get("hits", &[]), Some(&MetricValue::Counter(5)));
+        assert_eq!(
+            r.get("depth", &[("q", "x")]),
+            Some(&MetricValue::Gauge(0.5))
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 3.0, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets(), &[2, 0, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 13.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mk = |values: &[f64]| {
+            let mut r = MetricsRegistry::new();
+            r.counter_add("c", &[], values.len() as u64);
+            for &v in values {
+                r.observe("h", &[], &[1.0, 2.0], v);
+                r.gauge_set("g", &[], v);
+            }
+            r
+        };
+        let (a, b, c) = (mk(&[0.1, 1.7]), mk(&[2.9]), mk(&[0.3, 0.9, 5.0]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = c.clone();
+        right.merge(&a);
+        right.merge(&b);
+        assert_eq!(left, right);
+        assert_eq!(left.render(), right.render());
+    }
+
+    #[test]
+    fn quantised_sums_merge_exactly() {
+        // 0.1 is not representable in binary; the quantised state must
+        // still merge to identical bits in any order.
+        let mut a = Histogram::new(&[1.0]);
+        let mut b = Histogram::new(&[1.0]);
+        for _ in 0..1000 {
+            a.observe(0.1);
+        }
+        b.observe(0.1);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.sum_micros(), ba.sum_micros());
+        assert_eq!(ab.sum_micros(), 100_100_000);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("zeta", &[], 1);
+        r.counter_add("alpha", &[("x", "1")], 2);
+        r.observe("h", &[], &[0.5], 0.25);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "alpha{x=\"1\"} counter 2");
+        assert_eq!(lines[1], "h histogram count=1 sum=0.250000 [le0.5:1 inf:0]");
+        assert_eq!(lines[2], "zeta counter 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("m", &[], 1.0);
+        r.counter_add("m", &[], 1);
+    }
+}

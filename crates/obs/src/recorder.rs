@@ -1,0 +1,507 @@
+//! The [`Recorder`]: a cheap-to-clone handle threading spans, metrics
+//! and per-run journals through every layer of the pipeline.
+//!
+//! # Model
+//!
+//! * A recorder is either **disabled** (the default; every call is a
+//!   branch-on-`None` no-op, so uninstrumented hot paths pay nothing)
+//!   or **enabled** (an `Arc<Mutex<..>>` shared by everything
+//!   instrumenting one worker).
+//! * **Spans** are hierarchical: [`Recorder::span`] pushes onto a
+//!   stack, the returned guard pops on drop and emits a [`SpanEvent`].
+//!   Timestamps come from a per-run **modeled clock** — leaf
+//!   instrumentation calls [`Recorder::advance`] with modeled seconds
+//!   (LLM latency, tool latency), so enclosing spans acquire modeled
+//!   durations and the whole journal is reproducible: no wall clock
+//!   anywhere.
+//! * **Runs** group events by evaluation-grid coordinates
+//!   ([`Recorder::begin_run`]/[`Recorder::end_run`]); the journal is
+//!   exported run-by-run so output is identical for every worker
+//!   count.
+//! * **Fork/absorb**: each harness worker gets a [`Recorder::fork`]
+//!   (fresh state, same context); [`Recorder::absorb`] folds a fork
+//!   back in, sorting its runs by grid coordinates — combined with the
+//!   order-independent [`MetricsRegistry::merge`] this makes every
+//!   export bit-identical for any `AIVRIL_THREADS`.
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use std::sync::{Arc, Mutex};
+
+/// Grid coordinate marking events recorded outside any explicit run.
+pub const UNSCOPED: u32 = u32::MAX;
+
+/// One attribute value on a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Text.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Float (rendered with fixed precision in exports).
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// One closed span, as stored in a run journal. Events appear in
+/// close order (children before parents), each carrying its depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name, e.g. `stage.rtl_syntax_loop` or `llm.chat`.
+    pub name: String,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: u32,
+    /// Modeled start time within the run, seconds.
+    pub t_start: f64,
+    /// Modeled end time within the run, seconds.
+    pub t_end: f64,
+    /// Attributes in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// All events of one pipeline run, tagged with its evaluation-grid
+/// coordinates and the evaluation context (model/language/flow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunJournal {
+    /// Problem index within the suite ([`UNSCOPED`] outside a run).
+    pub problem: u32,
+    /// Sample index within the problem ([`UNSCOPED`] outside a run).
+    pub sample: u32,
+    /// Context pairs (sorted by key), e.g. model/lang/flow.
+    pub context: Vec<(String, String)>,
+    /// Closed spans in close order.
+    pub events: Vec<SpanEvent>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: String,
+    depth: u32,
+    t_start: f64,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: MetricsRegistry,
+    context: Vec<(String, String)>,
+    runs: Vec<RunJournal>,
+    current: Option<RunJournal>,
+    stack: Vec<OpenSpan>,
+    clock: f64,
+}
+
+impl Inner {
+    fn ensure_run(&mut self) -> &mut RunJournal {
+        if self.current.is_none() {
+            self.current = Some(RunJournal {
+                problem: UNSCOPED,
+                sample: UNSCOPED,
+                context: self.context.clone(),
+                events: Vec::new(),
+            });
+        }
+        self.current.as_mut().expect("just ensured")
+    }
+
+    fn flush_run(&mut self) {
+        if let Some(run) = self.current.take() {
+            if !run.events.is_empty() {
+                self.runs.push(run);
+            }
+        }
+        self.stack.clear();
+        self.clock = 0.0;
+    }
+}
+
+/// The observability handle. See the module docs for the model.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder(Option<Arc<Mutex<Inner>>>);
+
+impl Recorder {
+    /// Creates an **enabled** recorder.
+    #[must_use]
+    pub fn new() -> Recorder {
+        Recorder(Some(Arc::new(Mutex::new(Inner::default()))))
+    }
+
+    /// Creates a **disabled** recorder: every method is a no-op.
+    #[must_use]
+    pub fn disabled() -> Recorder {
+        Recorder(None)
+    }
+
+    /// `true` when recording; use to skip attribute/label construction
+    /// on hot paths.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn lock(&self) -> Option<std::sync::MutexGuard<'_, Inner>> {
+        self.0
+            .as_ref()
+            .map(|inner| inner.lock().expect("recorder lock"))
+    }
+
+    /// Replaces the context pairs attached to subsequent runs (sorted
+    /// by key for deterministic export).
+    pub fn set_context(&self, pairs: &[(&str, &str)]) {
+        if let Some(mut g) = self.lock() {
+            let mut ctx: Vec<(String, String)> = pairs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect();
+            ctx.sort();
+            g.context = ctx;
+        }
+    }
+
+    /// A fresh recorder with the same enablement and context but empty
+    /// state — one per harness worker.
+    #[must_use]
+    pub fn fork(&self) -> Recorder {
+        match self.lock() {
+            None => Recorder::disabled(),
+            Some(g) => {
+                let ctx = g.context.clone();
+                drop(g);
+                let child = Recorder::new();
+                if let Some(mut c) = child.lock() {
+                    c.context = ctx;
+                }
+                child
+            }
+        }
+    }
+
+    /// Folds a fork back in: metrics merge order-independently, the
+    /// fork's runs are sorted by grid coordinates and appended. Safe
+    /// (and a no-op) when either side is disabled or both are the same
+    /// recorder.
+    pub fn absorb(&self, other: &Recorder) {
+        let (Some(mine), Some(theirs)) = (&self.0, &other.0) else {
+            return;
+        };
+        if Arc::ptr_eq(mine, theirs) {
+            return;
+        }
+        let (mut runs, metrics) = {
+            let mut o = theirs.lock().expect("recorder lock");
+            o.flush_run();
+            (std::mem::take(&mut o.runs), std::mem::take(&mut o.metrics))
+        };
+        runs.sort_by_key(|r| (r.problem, r.sample));
+        let mut m = mine.lock().expect("recorder lock");
+        m.runs.extend(runs);
+        m.metrics.merge(&metrics);
+    }
+
+    /// Sorts the accumulated runs by grid coordinates. Call after
+    /// absorbing a set of worker forks whose absorb order raced (within
+    /// one evaluation the coordinates are unique, so this yields one
+    /// deterministic total order for any worker count).
+    pub fn sort_runs(&self) {
+        if let Some(mut g) = self.lock() {
+            g.flush_run();
+            g.runs.sort_by_key(|r| (r.problem, r.sample));
+        }
+    }
+
+    /// Starts a run at grid coordinates `(problem, sample)`: flushes
+    /// any open run and resets the modeled clock.
+    pub fn begin_run(&self, problem: u32, sample: u32) {
+        if let Some(mut g) = self.lock() {
+            g.flush_run();
+            let context = g.context.clone();
+            g.current = Some(RunJournal {
+                problem,
+                sample,
+                context,
+                events: Vec::new(),
+            });
+        }
+    }
+
+    /// Closes the current run, making it part of the journal.
+    pub fn end_run(&self) {
+        if let Some(mut g) = self.lock() {
+            g.flush_run();
+        }
+    }
+
+    /// Advances the modeled clock by `seconds` — leaf instrumentation
+    /// calls this with modeled LLM/tool latencies.
+    pub fn advance(&self, seconds: f64) {
+        if let Some(mut g) = self.lock() {
+            g.clock += seconds;
+        }
+    }
+
+    /// Opens a span; the returned guard closes it (emitting a
+    /// [`SpanEvent`]) on drop.
+    #[must_use = "dropping the guard immediately closes the span"]
+    pub fn span(&self, name: &str) -> Span<'_> {
+        match self.lock() {
+            None => Span {
+                rec: self,
+                live: false,
+            },
+            Some(mut g) => {
+                let t_start = g.clock;
+                let depth = g.stack.len() as u32;
+                g.stack.push(OpenSpan {
+                    name: name.to_string(),
+                    depth,
+                    t_start,
+                    attrs: Vec::new(),
+                });
+                Span {
+                    rec: self,
+                    live: true,
+                }
+            }
+        }
+    }
+
+    fn close_span(&self) {
+        if let Some(mut g) = self.lock() {
+            if let Some(open) = g.stack.pop() {
+                let event = SpanEvent {
+                    name: open.name,
+                    depth: open.depth,
+                    t_start: open.t_start,
+                    t_end: g.clock,
+                    attrs: open.attrs,
+                };
+                g.ensure_run().events.push(event);
+            }
+        }
+    }
+
+    fn span_attr(&self, key: &str, value: AttrValue) {
+        if let Some(mut g) = self.lock() {
+            if let Some(open) = g.stack.last_mut() {
+                open.attrs.push((key.to_string(), value));
+            }
+        }
+    }
+
+    /// Adds `delta` to a counter series.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if let Some(mut g) = self.lock() {
+            g.metrics.counter_add(name, labels, delta);
+        }
+    }
+
+    /// Sets a gauge series.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(mut g) = self.lock() {
+            g.metrics.gauge_set(name, labels, value);
+        }
+    }
+
+    /// Records one observation into a histogram series.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], value: f64) {
+        if let Some(mut g) = self.lock() {
+            g.metrics.observe(name, labels, bounds, value);
+        }
+    }
+
+    /// Folds a locally-accumulated histogram into a series — the bulk
+    /// path for kernel statistics.
+    pub fn record_histogram(&self, name: &str, labels: &[(&str, &str)], hist: &Histogram) {
+        if let Some(mut g) = self.lock() {
+            g.metrics.merge_histogram(name, labels, hist);
+        }
+    }
+
+    /// A deterministic clone of the aggregated metrics (empty when
+    /// disabled).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.lock().map(|g| g.metrics.clone()).unwrap_or_default()
+    }
+
+    /// All finished runs plus the open one (if it has events), in
+    /// journal order. Empty when disabled.
+    #[must_use]
+    pub fn runs(&self) -> Vec<RunJournal> {
+        match self.lock() {
+            None => Vec::new(),
+            Some(g) => {
+                let mut runs = g.runs.clone();
+                if let Some(cur) = &g.current {
+                    if !cur.events.is_empty() {
+                        runs.push(cur.clone());
+                    }
+                }
+                runs
+            }
+        }
+    }
+}
+
+/// RAII guard for an open span; closes (and records) it on drop.
+#[must_use = "a span records itself when this guard drops"]
+#[derive(Debug)]
+pub struct Span<'r> {
+    rec: &'r Recorder,
+    live: bool,
+}
+
+impl Span<'_> {
+    /// `true` when the span will actually be recorded — use to skip
+    /// attribute construction on hot paths.
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.live
+    }
+
+    /// Attaches a text attribute.
+    pub fn attr_str(&self, key: &str, value: &str) {
+        if self.live {
+            self.rec.span_attr(key, AttrValue::Str(value.to_string()));
+        }
+    }
+
+    /// Attaches an integer attribute.
+    pub fn attr_int(&self, key: &str, value: i64) {
+        if self.live {
+            self.rec.span_attr(key, AttrValue::Int(value));
+        }
+    }
+
+    /// Attaches a float attribute.
+    pub fn attr_f64(&self, key: &str, value: f64) {
+        if self.live {
+            self.rec.span_attr(key, AttrValue::Float(value));
+        }
+    }
+
+    /// Attaches a boolean attribute.
+    pub fn attr_bool(&self, key: &str, value: bool) {
+        if self.live {
+            self.rec.span_attr(key, AttrValue::Bool(value));
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.live {
+            self.rec.close_span();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_a_noop() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        let s = r.span("x");
+        assert!(!s.is_recording());
+        s.attr_int("k", 1);
+        drop(s);
+        r.advance(1.0);
+        r.counter_add("c", &[], 1);
+        assert!(r.runs().is_empty());
+        assert!(r.metrics().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_clock_advances() {
+        let r = Recorder::new();
+        r.begin_run(3, 1);
+        {
+            let outer = r.span("stage");
+            outer.attr_str("which", "rtl");
+            {
+                let inner = r.span("llm.chat");
+                r.advance(2.5);
+                inner.attr_int("tokens", 40);
+            }
+            r.advance(0.5);
+        }
+        r.end_run();
+        let runs = r.runs();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!((run.problem, run.sample), (3, 1));
+        // Close order: inner first.
+        assert_eq!(run.events[0].name, "llm.chat");
+        assert_eq!(run.events[0].depth, 1);
+        assert!((run.events[0].t_end - run.events[0].t_start - 2.5).abs() < 1e-12);
+        assert_eq!(run.events[1].name, "stage");
+        assert_eq!(run.events[1].depth, 0);
+        assert!((run.events[1].t_end - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_resets_per_run() {
+        let r = Recorder::new();
+        r.begin_run(0, 0);
+        {
+            let _s = r.span("a");
+            r.advance(1.0);
+        }
+        r.begin_run(0, 1); // implicit end of run 0
+        {
+            let _s = r.span("b");
+        }
+        r.end_run();
+        let runs = r.runs();
+        assert_eq!(runs.len(), 2);
+        assert!((runs[1].events[0].t_start).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unscoped_events_form_a_run() {
+        let r = Recorder::new();
+        {
+            let _s = r.span("loose");
+        }
+        let runs = r.runs();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].problem, UNSCOPED);
+    }
+
+    #[test]
+    fn fork_absorb_sorts_runs_and_merges_metrics() {
+        let parent = Recorder::new();
+        parent.set_context(&[("model", "m")]);
+        let a = parent.fork();
+        let b = parent.fork();
+        for (rec, problem) in [(&a, 1u32), (&b, 0u32)] {
+            rec.begin_run(problem, 0);
+            {
+                let _s = rec.span("run");
+            }
+            rec.end_run();
+            rec.counter_add("runs", &[], 1);
+        }
+        // Absorb in "wrong" order; runs still come out grid-sorted per
+        // absorbed group.
+        parent.absorb(&a);
+        parent.absorb(&b);
+        let runs = parent.runs();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            runs[0].context,
+            vec![("model".to_string(), "m".to_string())]
+        );
+        match parent.metrics().get("runs", &[]) {
+            Some(crate::metrics::MetricValue::Counter(2)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Self-absorb and disabled-absorb are harmless.
+        parent.absorb(&parent.clone());
+        parent.absorb(&Recorder::disabled());
+        assert_eq!(parent.runs().len(), 2);
+    }
+}

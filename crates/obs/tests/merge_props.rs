@@ -1,0 +1,84 @@
+//! Property tests for the metrics determinism contract: histogram and
+//! registry `merge` must be associative and commutative, so any
+//! fold order the parallel harness produces yields identical bits.
+
+use aivril_obs::{Histogram, MetricsRegistry};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 4.0, 8.0];
+
+fn hist_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new(BOUNDS);
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+fn registry_of(values: &[f64]) -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    for &v in values {
+        r.observe("latency", &[("phase", "sim")], BOUNDS, v);
+        r.counter_add("events", &[], 1);
+        r.gauge_set("peak", &[], v);
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), bit for bit.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in vec(0.0f64..12.0, 0..20),
+        b in vec(0.0f64..12.0, 0..20),
+        c in vec(0.0f64..12.0, 0..20),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.sum_micros(), right.sum_micros());
+    }
+
+    /// a ⊕ b == b ⊕ a, bit for bit.
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in vec(0.0f64..12.0, 0..20),
+        b in vec(0.0f64..12.0, 0..20),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// Whole-registry merges (counters + gauges + histograms) are
+    /// order-independent, including the rendered dump.
+    #[test]
+    fn registry_merge_is_order_independent(
+        a in vec(0.0f64..12.0, 0..12),
+        b in vec(0.0f64..12.0, 0..12),
+        c in vec(0.0f64..12.0, 0..12),
+    ) {
+        let (ra, rb, rc) = (registry_of(&a), registry_of(&b), registry_of(&c));
+        let mut left = ra.clone();
+        left.merge(&rb);
+        left.merge(&rc);
+        let mut right = rc.clone();
+        right.merge(&ra);
+        right.merge(&rb);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.render(), right.render());
+    }
+}

@@ -66,6 +66,34 @@ pub struct Simulator<'d> {
     /// The active `$monitor`: format, argument expressions, and the
     /// values last printed (None = not yet printed).
     monitor: Option<MonitorSlot>,
+    /// Telemetry sink for the kernel histograms; disabled by default.
+    recorder: aivril_obs::Recorder,
+    /// Locally-accumulated kernel statistics, only allocated when the
+    /// recorder is enabled so the hot loop pays a single `Option` check
+    /// per region when telemetry is off.
+    kstats: Option<KernelStats>,
+}
+
+/// Event-kernel distributions gathered during [`Simulator::run`] and
+/// folded into the recorder once at the end of the run.
+#[derive(Debug)]
+struct KernelStats {
+    /// Delta cycles (process activations) per quiescent time step.
+    delta: aivril_obs::Histogram,
+    /// Scheduled-event-queue depth at each quiescent point.
+    queue: aivril_obs::Histogram,
+    /// Nonblocking-assignment batch size at each flush.
+    nba: aivril_obs::Histogram,
+}
+
+impl KernelStats {
+    fn new() -> KernelStats {
+        KernelStats {
+            delta: aivril_obs::Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0, 1024.0]),
+            queue: aivril_obs::Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0]),
+            nba: aivril_obs::Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 64.0]),
+        }
+    }
 }
 
 /// Registered `$monitor` state: format, args, last printed values.
@@ -120,7 +148,20 @@ impl<'d> Simulator<'d> {
             activations_this_step: 0,
             waves: None,
             monitor: None,
+            recorder: aivril_obs::Recorder::disabled(),
+            kstats: None,
         }
+    }
+
+    /// Attaches an observability recorder: the run accumulates kernel
+    /// histograms (delta cycles per timestep, event-queue depth, NBA
+    /// flush sizes) locally and folds them into the recorder when
+    /// [`Simulator::run`] returns. Disabled by default (no-op path).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: aivril_obs::Recorder) -> Simulator<'d> {
+        self.kstats = recorder.is_enabled().then(KernelStats::new);
+        self.recorder = recorder;
+        self
     }
 
     /// Enables waveform recording; [`Simulator::vcd`] renders the dump
@@ -164,6 +205,9 @@ impl<'d> Simulator<'d> {
             }
             if !self.nba.is_empty() {
                 let batch = std::mem::take(&mut self.nba);
+                if let Some(ks) = &mut self.kstats {
+                    ks.nba.observe(batch.len() as f64);
+                }
                 for (net, msb, lsb, value) in batch {
                     self.write_slice(net, msb, lsb, &value);
                 }
@@ -172,6 +216,10 @@ impl<'d> Simulator<'d> {
             // Time step is quiescent: the $monitor observes it, then time
             // advances to the next scheduled event.
             self.fire_monitor();
+            if let Some(ks) = &mut self.kstats {
+                ks.delta.observe(self.activations_this_step as f64);
+                ks.queue.observe(self.future.len() as f64);
+            }
             match self.future.keys().next().copied() {
                 Some(t) if t <= self.config.max_time => {
                     self.time = t;
@@ -195,6 +243,19 @@ impl<'d> Simulator<'d> {
             }
         }
         self.flush_partial();
+        if let Some(ks) = self.kstats.take() {
+            // `take()` so a (hypothetical) second `run` call cannot
+            // double-count the same distributions.
+            self.recorder
+                .record_histogram("sim_delta_cycles_per_step", &[], &ks.delta);
+            self.recorder
+                .record_histogram("sim_event_queue_depth", &[], &ks.queue);
+            self.recorder
+                .record_histogram("sim_nba_flush_size", &[], &ks.nba);
+            self.recorder
+                .counter_add("sim_instructions_total", &[], self.total_instrs);
+            self.recorder.counter_add("sim_runs_total", &[], 1);
+        }
         SimResult {
             end_time: self.time,
             lines: self.lines.clone(),
