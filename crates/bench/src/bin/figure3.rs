@@ -45,6 +45,9 @@ fn main() {
         }
     }
 
+    if let Some(stats) = harness.cache_stats() {
+        println!("[cache] {stats}\n");
+    }
     if let Some(path) = arg_value("--json") {
         std::fs::write(&path, results_json(&sections)).expect("write --json output");
         println!("results written to {path}\n");

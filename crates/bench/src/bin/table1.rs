@@ -88,6 +88,9 @@ fn main() {
             se * 100.0
         );
     }
+    if let Some(stats) = harness.cache_stats() {
+        println!("[cache] {stats}\n");
+    }
     if let Some(path) = arg_value("--json") {
         std::fs::write(&path, results_json(&sections)).expect("write --json output");
         println!("results written to {path}\n");

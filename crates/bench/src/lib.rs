@@ -28,7 +28,7 @@
 #![warn(missing_docs)]
 
 use aivril_core::{Aivril2, Aivril2Config, BaselineFlow, RunResult, Stage, TaskInput};
-use aivril_eda::{HdlFile, ToolSuite, XsimToolSuite};
+use aivril_eda::{CacheStats, EdaCache, HdlFile, ToolSuite, XsimToolSuite};
 use aivril_llm::{ModelProfile, SimLlm, TaskLibrary};
 use aivril_metrics::{EvalOutcome, SampleOutcome};
 use aivril_obs::{json, Recorder};
@@ -59,6 +59,10 @@ pub struct HarnessConfig {
     /// auto-detects the machine's parallelism. Results are
     /// bit-identical for every thread count.
     pub threads: usize,
+    /// Enables the content-addressed EDA result cache
+    /// ([`EdaCache`]), shared across the worker pool. Off by default;
+    /// results are bit-identical either way, only wall-clock changes.
+    pub eda_cache: bool,
     /// Pipeline budgets.
     pub pipeline: Aivril2Config,
 }
@@ -69,15 +73,16 @@ impl Default for HarnessConfig {
             samples: 5,
             task_limit: usize::MAX,
             threads: 0,
+            eda_cache: false,
             pipeline: Aivril2Config::default(),
         }
     }
 }
 
 impl HarnessConfig {
-    /// Reads `AIVRIL_SAMPLES` / `AIVRIL_TASKS` / `AIVRIL_THREADS` from
-    /// the environment so the table binaries can be scaled without
-    /// recompiling.
+    /// Reads `AIVRIL_SAMPLES` / `AIVRIL_TASKS` / `AIVRIL_THREADS` /
+    /// `AIVRIL_EDA_CACHE` from the environment so the table binaries
+    /// can be scaled without recompiling.
     #[must_use]
     pub fn from_env() -> HarnessConfig {
         Self::from_vars(|key| std::env::var(key).ok())
@@ -98,6 +103,9 @@ impl HarnessConfig {
         }
         if let Some(n) = get("AIVRIL_THREADS").and_then(|v| v.parse().ok()) {
             c.threads = n;
+        }
+        if let Some(v) = get("AIVRIL_EDA_CACHE") {
+            c.eda_cache = !v.is_empty() && v != "0";
         }
         c
     }
@@ -152,6 +160,12 @@ pub struct EvalStats {
     pub syntax_iters: u64,
     /// Total corrective iterations of the functional loop.
     pub functional_iters: u64,
+    /// EDA-cache counters scoped to this evaluation (hits/misses are
+    /// deltas; entries is the store size afterwards). `None` when the
+    /// cache is disabled. The deltas are deterministic — independent of
+    /// `AIVRIL_THREADS` — because a key is missed exactly once however
+    /// workers race (see `aivril_eda::EdaCache`).
+    pub eda_cache: Option<CacheStats>,
 }
 
 impl fmt::Display for EvalStats {
@@ -169,7 +183,11 @@ impl fmt::Display for EvalStats {
             self.modeled_tool_seconds,
             per_run(self.syntax_iters),
             per_run(self.functional_iters),
-        )
+        )?;
+        if let Some(cache) = &self.eda_cache {
+            write!(f, " | cache: {cache}")?;
+        }
+        Ok(())
     }
 }
 
@@ -215,11 +233,19 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Creates a harness over the full 156-problem suite.
+    /// Creates a harness over the full 156-problem suite. When
+    /// [`HarnessConfig::eda_cache`] is set, one [`EdaCache`] is
+    /// installed in the tool suite; worker clones share it, so the
+    /// whole evaluation grid (pipeline *and* scoring invocations)
+    /// deduplicates through a single store.
     #[must_use]
     pub fn new(config: HarnessConfig) -> Harness {
+        let mut tools = XsimToolSuite::new();
+        if config.eda_cache {
+            tools = tools.with_cache(EdaCache::new());
+        }
         Harness {
-            tools: XsimToolSuite::new(),
+            tools,
             problems: suite(),
             config,
             recorder: Recorder::disabled(),
@@ -240,6 +266,14 @@ impl Harness {
     #[must_use]
     pub fn problems(&self) -> &[Problem] {
         &self.problems[..self.problems.len().min(self.config.task_limit)]
+    }
+
+    /// Lifetime counters of the shared EDA result cache; `None` when
+    /// [`HarnessConfig::eda_cache`] is off. Binaries print this after
+    /// their evaluations as the `[cache]` summary line.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.tools.cache().map(EdaCache::stats)
     }
 
     /// Scores a final RTL source: compiles it alone for pass@1_S, then
@@ -358,6 +392,7 @@ impl Harness {
         flow: Flow,
     ) -> (Vec<EvalOutcome>, EvalStats) {
         let start = Instant::now();
+        let cache_before = self.cache_stats();
         let problems = self.problems();
         let samples = self.config.samples as usize;
         let total = problems.len() * samples;
@@ -433,6 +468,20 @@ impl Harness {
             eval_rec.absorb(wrec);
         }
         eval_rec.sort_runs();
+
+        // Cache accounting for this evaluation: the delta between the
+        // shared cache's counters before and after. Emitted as
+        // *diagnostic* metric series (`eda_cache_*`), which the
+        // canonical metrics view excludes — they exist only with the
+        // cache on, while every canonical series must be bit-identical
+        // across cache modes.
+        let eda_cache = self.cache_stats().zip(cache_before).map(|(now, before)| {
+            let delta = now.since(&before);
+            eval_rec.counter_add("eda_cache_hits_total", &[], delta.hits);
+            eval_rec.counter_add("eda_cache_misses_total", &[], delta.misses);
+            eval_rec.gauge_set("eda_cache_entries_total", &[], now.entries as f64);
+            delta
+        });
         self.recorder.absorb(&eval_rec);
 
         let mut stats = EvalStats {
@@ -444,6 +493,7 @@ impl Harness {
             modeled_tool_seconds: 0.0,
             syntax_iters: 0,
             functional_iters: 0,
+            eda_cache,
         };
         let mut outcomes = Vec::with_capacity(problems.len());
         let mut slots = slots.into_iter();
@@ -569,7 +619,8 @@ pub struct ResultSection {
 }
 
 /// Serialises evaluation results as schema-versioned JSON
-/// (`aivril.results` version 1) — the `--json <path>` payload of the
+/// (`aivril.results` version 2; v2 added the per-section
+/// `stats.eda_cache` block) — the `--json <path>` payload of the
 /// table/figure binaries. Hand-rolled (the build has no registry
 /// access) but deterministic: fixed field order, fixed float format.
 #[must_use]
@@ -599,6 +650,20 @@ pub fn results_json(sections: &[ResultSection]) -> String {
         ])
     };
     let stats_json = |s: &EvalStats| {
+        // `wall_seconds` and `eda_cache` are the two *volatile* fields:
+        // wall clock varies per run, and the cache block depends on
+        // AIVRIL_EDA_CACHE. Consumers comparing results across machines
+        // or cache modes (the CI divergence gate) normalise both away;
+        // everything else is bit-deterministic.
+        let cache = match &s.eda_cache {
+            None => "null".to_string(),
+            Some(c) => json::object(&[
+                ("hits", c.hits.to_string()),
+                ("misses", c.misses.to_string()),
+                ("entries", c.entries.to_string()),
+                ("hit_rate", json::number(c.hit_rate())),
+            ]),
+        };
         json::object(&[
             ("runs", s.runs.to_string()),
             ("threads", s.threads.to_string()),
@@ -608,6 +673,7 @@ pub fn results_json(sections: &[ResultSection]) -> String {
             ("modeled_tool_seconds", json::number(s.modeled_tool_seconds)),
             ("syntax_iters", s.syntax_iters.to_string()),
             ("functional_iters", s.functional_iters.to_string()),
+            ("eda_cache", cache),
         ])
     };
     let sections: Vec<String> = sections
@@ -625,7 +691,7 @@ pub fn results_json(sections: &[ResultSection]) -> String {
         "{}\n",
         json::object(&[
             ("schema", json::string("aivril.results")),
-            ("version", "1".to_string()),
+            ("version", "2".to_string()),
             ("sections", format!("[{}]", sections.join(","))),
         ])
     )
@@ -741,6 +807,51 @@ mod tests {
             garbage.samples, 5,
             "unparsable values fall back to defaults"
         );
+    }
+
+    #[test]
+    fn eda_cache_env_switch() {
+        let get = |v: &'static str| move |k: &str| (k == "AIVRIL_EDA_CACHE").then(|| v.into());
+        assert!(
+            !HarnessConfig::from_vars(|_| None).eda_cache,
+            "off by default"
+        );
+        assert!(HarnessConfig::from_vars(get("1")).eda_cache);
+        assert!(!HarnessConfig::from_vars(get("0")).eda_cache);
+        assert!(!HarnessConfig::from_vars(get("")).eda_cache);
+    }
+
+    #[test]
+    fn cached_harness_reports_stats_and_identical_outcomes() {
+        let cached = Harness::new(HarnessConfig {
+            samples: 3,
+            task_limit: 6,
+            eda_cache: true,
+            ..HarnessConfig::default()
+        });
+        let plain = small();
+        assert!(plain.cache_stats().is_none(), "cache off => no stats");
+        let profile = profiles::claude35_sonnet();
+        let (a, sa) = cached.evaluate_with_stats(&profile, true, Flow::Aivril2);
+        let (b, sb) = plain.evaluate_with_stats(&profile, true, Flow::Aivril2);
+        assert!(sb.eda_cache.is_none());
+        let cache = sa.eda_cache.expect("cache on => per-eval stats");
+        assert!(cache.hits > 0, "grid reuse must produce hits: {cache}");
+        assert_eq!(
+            cache.lookups(),
+            cached.cache_stats().expect("stats").lookups(),
+            "first evaluation accounts for every lookup"
+        );
+        // Same outcomes, to the bit.
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.task, y.task);
+            for (s, t) in x.samples.iter().zip(&y.samples) {
+                assert_eq!(s.syntax, t.syntax);
+                assert_eq!(s.functional, t.functional);
+                assert_eq!(s.total_latency.to_bits(), t.total_latency.to_bits());
+            }
+        }
     }
 
     #[test]

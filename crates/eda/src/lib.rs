@@ -22,11 +22,13 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod latency;
 mod report;
 mod source;
 mod xsim;
 
+pub use cache::{CacheStats, EdaCache};
 pub use latency::ToolLatencyModel;
 pub use report::{CompileReport, SimReport, TestFailure, ToolMessage};
 pub use source::{HdlFile, Language};

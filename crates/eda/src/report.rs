@@ -77,16 +77,30 @@ pub struct SimReport {
     pub modeled_latency: f64,
 }
 
+/// `true` when the line opens with an error-or-worse severity word
+/// followed by a colon, matched case-insensitively: testbenches print
+/// `$error`/`$fatal` output through `$display` in whatever casing the
+/// author chose (`ERROR:`, `Error:`, `Fatal:` all occur in the wild).
+fn has_error_severity_prefix(line: &str) -> bool {
+    let Some((prefix, _)) = line.split_once(':') else {
+        return false;
+    };
+    prefix.eq_ignore_ascii_case("error") || prefix.eq_ignore_ascii_case("fatal")
+}
+
 /// Extracts `Test Case N Failed ...` style failures from raw log text;
-/// any other `ERROR:`-prefixed simulation line is kept as an unnumbered
-/// failure.
+/// any other line carrying an error-or-worse severity prefix
+/// (`ERROR:`/`Fatal:`/... — case-insensitive) is kept as an unnumbered
+/// failure. `Test Case` lines tolerate extra whitespace around the case
+/// number and a missing number (`Test Case Failed: ...` stays a failure
+/// with `case: None`).
 #[must_use]
 pub fn extract_failures(log: &str) -> Vec<TestFailure> {
     let mut out = Vec::new();
     for line in log.lines() {
-        let is_sim_error = line.starts_with("ERROR:") || line.starts_with("FATAL:");
-        if let Some(pos) = line.find("Test Case ") {
-            let rest = &line[pos + "Test Case ".len()..];
+        let is_sim_error = has_error_severity_prefix(line);
+        if let Some(pos) = line.find("Test Case") {
+            let rest = line[pos + "Test Case".len()..].trim_start();
             let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
             if rest[digits.len()..].trim_start().starts_with("Failed") {
                 out.push(TestFailure {
@@ -127,6 +141,57 @@ mod tests {
         let fails = extract_failures(log);
         assert_eq!(fails.len(), 1);
         assert_eq!(fails[0].case, None);
+    }
+
+    #[test]
+    fn severity_prefix_matching_is_case_insensitive() {
+        // Each row: (log line, expected extraction count). Testbenches
+        // render `$fatal`/`assert severity failure` output with
+        // author-chosen casing; all severities at error-or-worse must
+        // be kept, and non-severity or info lines must not.
+        let table: &[(&str, usize)] = &[
+            ("ERROR: bus value mismatch (at time 10)", 1),
+            ("Error: bus value mismatch (at time 10)", 1),
+            ("error: bus value mismatch (at time 10)", 1),
+            ("FATAL: premature end of simulation (at time 40)", 1),
+            ("Fatal: premature end of simulation (at time 40)", 1),
+            ("fatal: premature end of simulation (at time 40)", 1),
+            ("INFO: [xsim] Running simulation", 0),
+            ("Warning: X propagated to output", 0),
+            ("A line mentioning error: mid-sentence", 0),
+            ("ERROR", 0), // no colon, not a rendered severity line
+            ("Fatal", 0), // ditto
+            ("ERROR: [VRFC 10-91] syntax [f.v:1]", 0), // compile diag
+        ];
+        for &(line, want) in table {
+            let got = extract_failures(line);
+            assert_eq!(got.len(), want, "line: {line:?} -> {got:?}");
+        }
+    }
+
+    #[test]
+    fn test_case_lines_tolerate_whitespace_and_missing_number() {
+        // Each row: (log line, expected case field of the single
+        // extracted failure). Regression shapes: a double space before
+        // the number used to demote the line to an unnumbered failure,
+        // and a `Fatal:`-prefixed unnumbered `Test Case Failed` line
+        // used to be dropped entirely.
+        let table: &[(&str, Option<u32>)] = &[
+            ("ERROR: Test Case 2 Failed: q stuck (at time 52)", Some(2)),
+            ("ERROR: Test Case  3 Failed: q stuck (at time 52)", Some(3)),
+            ("ERROR: Test Case 12  Failed: q stuck", Some(12)),
+            ("Error: Test Case\t4 Failed: q stuck", Some(4)),
+            ("ERROR: Test Case Failed: q stuck (at time 9)", None),
+            ("Fatal: Test Case Failed: q stuck (at time 9)", None),
+        ];
+        for &(line, want) in table {
+            let got = extract_failures(line);
+            assert_eq!(got.len(), 1, "line: {line:?} -> {got:?}");
+            assert_eq!(got[0].case, want, "line: {line:?}");
+        }
+        // `Test Cases Failed` (plural, no severity) is prose, not a
+        // failure record.
+        assert!(extract_failures("3 Test Cases Failed in total").is_empty());
     }
 
     #[test]

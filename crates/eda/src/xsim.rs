@@ -1,5 +1,8 @@
 //! The Vivado-like tool suite implementation.
 
+use std::sync::Arc;
+
+use crate::cache::{self, CompileEntry, EdaCache, SimEntry};
 use crate::latency::ToolLatencyModel;
 use crate::report::{extract_failures, CompileReport, SimReport, ToolMessage};
 use crate::source::{HdlFile, Language};
@@ -24,6 +27,7 @@ pub struct XsimToolSuite {
     latency: ToolLatencyModel,
     sim_config: SimConfig,
     recorder: Recorder,
+    cache: Option<EdaCache>,
 }
 
 impl XsimToolSuite {
@@ -58,6 +62,22 @@ impl XsimToolSuite {
         self
     }
 
+    /// Attaches a content-addressed result cache (see [`EdaCache`]).
+    /// Clones of this suite share the cache, so one cache serves the
+    /// whole `AIVRIL_THREADS` worker pool. Results are bit-identical
+    /// with the cache on or off; only wall-clock time changes.
+    #[must_use]
+    pub fn with_cache(mut self, cache: EdaCache) -> XsimToolSuite {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached result cache, when one was installed.
+    #[must_use]
+    pub fn cache(&self) -> Option<&EdaCache> {
+        self.cache.as_ref()
+    }
+
     /// Counters + histogram for one compile-like tool invocation (only
     /// called when recording).
     fn record_compile_metrics(&self, phase: &str, report: &CompileReport) {
@@ -80,7 +100,8 @@ impl XsimToolSuite {
 
     /// Compiles `files` into a design, returning the elaborated design
     /// alongside the report so callers (and `simulate`) don't repeat the
-    /// work ([C-INTERMEDIATE]).
+    /// work ([C-INTERMEDIATE]). The design is `Arc`'d so a cached entry
+    /// can be shared without re-elaboration.
     ///
     /// [C-INTERMEDIATE]: https://rust-lang.github.io/api-guidelines/flexibility.html
     #[must_use]
@@ -88,17 +109,47 @@ impl XsimToolSuite {
         &self,
         files: &[HdlFile],
         top: Option<&str>,
-    ) -> (CompileReport, Option<Design>) {
+    ) -> (CompileReport, Option<Arc<Design>>) {
         let span = self.recorder.span("eda.compile");
-        let (report, design) = self.compile_to_design_inner(files, top);
+        let (report, design, cache_hit) = self.compile_to_design_cached(files, top);
         if span.is_recording() {
+            // Everything emitted here is a pure function of the report,
+            // so the hit and miss paths are indistinguishable in the
+            // journal and metrics. `cache_hit` itself is a diagnostic
+            // attribute, excluded from the canonical journal.
             self.recorder.advance(report.modeled_latency);
             span.attr_bool("success", report.success);
             span.attr_int("errors", report.error_count() as i64);
             span.attr_f64("tool_s", report.modeled_latency);
+            if let Some(hit) = cache_hit {
+                span.attr_bool("cache_hit", hit);
+            }
             self.record_compile_metrics("compile", &report);
         }
         (report, design)
+    }
+
+    /// Cache layer around [`Self::compile_to_design_inner`]. The third
+    /// element reports the cache verdict (`None` = caching disabled).
+    fn compile_to_design_cached(
+        &self,
+        files: &[HdlFile],
+        top: Option<&str>,
+    ) -> (CompileReport, Option<Arc<Design>>, Option<bool>) {
+        let Some(cache) = &self.cache else {
+            let (report, design) = self.compile_to_design_inner(files, top);
+            return (report, design.map(Arc::new), None);
+        };
+        let key = cache::compile_key(files, top, &self.latency);
+        let (slot, hit) = cache.compile_slot(key);
+        let entry = slot.get_or_init(|| {
+            let (report, design) = self.compile_to_design_inner(files, top);
+            CompileEntry {
+                report,
+                design: design.map(Arc::new),
+            }
+        });
+        (entry.report.clone(), entry.design.clone(), Some(hit))
     }
 
     fn compile_to_design_inner(
@@ -144,36 +195,67 @@ impl XsimToolSuite {
             return (report, None);
         }
 
-        let (design, diags) = match language {
+        // `no_top` marks the case where analysis was clean but the
+        // source set declares nothing elaboratable — previously this
+        // fell through to `elaborate(.., "")`, whose "unknown unit ''"
+        // diagnostic was useless to the Review Agent.
+        let (design, diags, no_top) = match language {
             Language::Verilog => {
                 let (unit, mut diags) = aivril_verilog::analyze(&sources);
                 if diags.has_errors() {
-                    (None, diags)
+                    (None, diags, false)
                 } else {
-                    let top = top
+                    match top
                         .map(String::from)
                         .or_else(|| aivril_verilog::find_top(&unit))
-                        .unwrap_or_default();
-                    let design = aivril_verilog::elaborate(&unit, &top, &mut diags);
-                    (design.filter(|_| !diags.has_errors()), diags)
+                    {
+                        Some(top) => {
+                            let design = aivril_verilog::elaborate(&unit, &top, &mut diags);
+                            (design.filter(|_| !diags.has_errors()), diags, false)
+                        }
+                        None => (None, diags, true),
+                    }
                 }
             }
             Language::Vhdl => {
                 let (unit, mut diags) = aivril_vhdl::analyze(&sources);
                 if diags.has_errors() {
-                    (None, diags)
+                    (None, diags, false)
                 } else {
-                    let top = top
+                    match top
                         .map(String::from)
                         .or_else(|| aivril_vhdl::find_top(&unit))
-                        .unwrap_or_default();
-                    let design = aivril_vhdl::elaborate(&unit, &top, &mut diags);
-                    (design.filter(|_| !diags.has_errors()), diags)
+                    {
+                        Some(top) => {
+                            let design = aivril_vhdl::elaborate(&unit, &top, &mut diags);
+                            (design.filter(|_| !diags.has_errors()), diags, false)
+                        }
+                        None => (None, diags, true),
+                    }
                 }
             }
         };
         log.push_str(&diags.render(&sources));
         let success = design.is_some();
+        let mut messages = to_messages(&diags, &sources);
+        if no_top {
+            let what = match language {
+                Language::Verilog => "module",
+                Language::Vhdl => "entity",
+            };
+            log.push_str(&format!(
+                "ERROR: [xelab 43-3316] no top module found: the source set declares no {what} to elaborate\n"
+            ));
+            messages.push(ToolMessage {
+                severity: Severity::Error,
+                code: "xelab 43-3316".into(),
+                message: format!(
+                    "no top module found: the source set declares no {what} to elaborate"
+                ),
+                file: None,
+                line: None,
+            });
+        }
         if success {
             log.push_str("INFO: [xelab] Elaboration completed successfully\n");
         } else {
@@ -182,7 +264,6 @@ impl XsimToolSuite {
                 diags.error_count().max(1)
             ));
         }
-        let messages = to_messages(&diags, &sources);
         let report = CompileReport {
             success,
             log,
@@ -304,6 +385,103 @@ impl XsimToolSuite {
 }
 
 impl XsimToolSuite {
+    /// Runs the simulation phase on an already-elaborated design,
+    /// returning the report, the sim-phase share of the modeled latency
+    /// and — when `collect_telemetry` — the kernel series for cache
+    /// replay. This is the single implementation behind both the live
+    /// and cache-miss paths, so they cannot diverge.
+    fn run_sim(
+        &self,
+        compile_report: &CompileReport,
+        design: &Design,
+        collect_telemetry: bool,
+    ) -> (SimReport, f64, Option<aivril_sim::KernelTelemetry>) {
+        let mut log = compile_report.log.clone();
+        log.push_str(&format!(
+            "INFO: [xsim] Running simulation of '{}'\n",
+            design.top
+        ));
+        let mut sim = Simulator::new(design, self.sim_config).with_recorder(self.recorder.clone());
+        if collect_telemetry {
+            sim.collect_telemetry();
+        }
+        let result = sim.run();
+        log.push_str(&result.log_text());
+        if result.finished {
+            log.push_str(&format!(
+                "INFO: [xsim] $finish called at time : {} ns\n",
+                result.end_time
+            ));
+        } else if result.starved {
+            log.push_str(&format!(
+                "INFO: [xsim] simulation stopped (event starvation) at time : {} ns\n",
+                result.end_time
+            ));
+        }
+        let failures = extract_failures(&log);
+        // A run passes when it is error-free, produced no test failures,
+        // ended of its own accord (no resource limit), and printed the
+        // completion marker the paper's workflow relies on (Fig. 2 ⑧).
+        let passed = result.is_clean()
+            && failures.is_empty()
+            && (result.finished || result.starved)
+            && log.contains(PASS_MARKER);
+        let sim_latency = self.latency.sim_seconds(result.instructions_executed);
+        let report = SimReport {
+            compiled: true,
+            passed,
+            log,
+            failures,
+            compile_messages: compile_report.messages.clone(),
+            end_time: result.end_time,
+            finished: result.finished,
+            modeled_latency: compile_report.modeled_latency + sim_latency,
+        };
+        (report, sim_latency, sim.take_telemetry())
+    }
+
+    /// Cache layer around [`Self::run_sim`]. On a miss the kernel runs
+    /// live (recording into this suite's recorder as usual) and its
+    /// telemetry is stored in the entry; on a hit the stored telemetry
+    /// is replayed into this suite's recorder, so the metrics registry
+    /// ends up byte-identical to a cache-off run. The replay decision
+    /// follows *who executed the initializer*, not the hit accounting:
+    /// a thread can be accounted a hit yet win the `get_or_init` race,
+    /// in which case it already recorded live and must not replay.
+    fn run_sim_cached(
+        &self,
+        files: &[HdlFile],
+        top: Option<&str>,
+        compile_report: &CompileReport,
+        design: &Design,
+    ) -> (SimReport, f64, Option<bool>) {
+        let Some(cache) = &self.cache else {
+            let (report, sim_latency, _) = self.run_sim(compile_report, design, false);
+            return (report, sim_latency, None);
+        };
+        let key = cache::sim_key(files, top, &self.latency, &self.sim_config);
+        let (slot, hit) = cache.sim_slot(key);
+        let mut computed_here = false;
+        let entry = slot.get_or_init(|| {
+            computed_here = true;
+            // Telemetry is collected even when this suite's recorder is
+            // disabled: the recorder-free scoring suite may populate an
+            // entry a traced worker hits later.
+            let (report, sim_latency, kernel) = self.run_sim(compile_report, design, true);
+            SimEntry {
+                report,
+                sim_latency,
+                kernel,
+            }
+        });
+        if !computed_here {
+            if let Some(kernel) = &entry.kernel {
+                kernel.record_to(&self.recorder);
+            }
+        }
+        (entry.report.clone(), entry.sim_latency, Some(hit))
+    }
+
     fn analyze_inner(&self, files: &[HdlFile]) -> CompileReport {
         let mut sources = SourceMap::new();
         for f in files {
@@ -357,12 +535,23 @@ impl XsimToolSuite {
 impl ToolSuite for XsimToolSuite {
     fn analyze(&self, files: &[HdlFile]) -> CompileReport {
         let span = self.recorder.span("eda.analyze");
-        let report = self.analyze_inner(files);
+        let (report, cache_hit) = match &self.cache {
+            None => (self.analyze_inner(files), None),
+            Some(cache) => {
+                let key = cache::analyze_key(files, &self.latency);
+                let (slot, hit) = cache.analyze_slot(key);
+                let report = slot.get_or_init(|| self.analyze_inner(files)).clone();
+                (report, Some(hit))
+            }
+        };
         if span.is_recording() {
             self.recorder.advance(report.modeled_latency);
             span.attr_bool("success", report.success);
             span.attr_int("errors", report.error_count() as i64);
             span.attr_f64("tool_s", report.modeled_latency);
+            if let Some(hit) = cache_hit {
+                span.attr_bool("cache_hit", hit);
+            }
             self.record_compile_metrics("analyze", &report);
         }
         report
@@ -375,13 +564,12 @@ impl ToolSuite for XsimToolSuite {
     fn simulate(&self, files: &[HdlFile], top: Option<&str>) -> SimReport {
         let span = self.recorder.span("eda.simulate");
         let (compile_report, design) = self.compile_to_design(files, top);
-        let mut log = compile_report.log.clone();
         let Some(design) = design else {
             span.attr_bool("passed", false);
             return SimReport {
                 compiled: false,
                 passed: false,
-                log,
+                log: compile_report.log,
                 failures: Vec::new(),
                 compile_messages: compile_report.messages,
                 end_time: 0,
@@ -389,39 +577,19 @@ impl ToolSuite for XsimToolSuite {
                 modeled_latency: compile_report.modeled_latency,
             };
         };
-        log.push_str(&format!(
-            "INFO: [xsim] Running simulation of '{}'\n",
-            design.top
-        ));
-        let result = Simulator::new(&design, self.sim_config)
-            .with_recorder(self.recorder.clone())
-            .run();
-        log.push_str(&result.log_text());
-        if result.finished {
-            log.push_str(&format!(
-                "INFO: [xsim] $finish called at time : {} ns\n",
-                result.end_time
-            ));
-        } else if result.starved {
-            log.push_str(&format!(
-                "INFO: [xsim] simulation stopped (event starvation) at time : {} ns\n",
-                result.end_time
-            ));
-        }
-        let failures = extract_failures(&log);
-        // A run passes when it is error-free, produced no test failures,
-        // ended of its own accord (no resource limit), and printed the
-        // completion marker the paper's workflow relies on (Fig. 2 ⑧).
-        let passed = result.is_clean()
-            && failures.is_empty()
-            && (result.finished || result.starved)
-            && log.contains(PASS_MARKER);
-        let sim_latency = self.latency.sim_seconds(result.instructions_executed);
+        let (report, sim_latency, cache_hit) =
+            self.run_sim_cached(files, top, &compile_report, &design);
         if span.is_recording() {
+            // Pure functions of the cached report — the hit and miss
+            // paths emit identical telemetry (the kernel's own series
+            // are replayed from the cache entry inside `run_sim_cached`).
             self.recorder.advance(sim_latency);
-            span.attr_bool("passed", passed);
-            span.attr_int("failures", failures.len() as i64);
+            span.attr_bool("passed", report.passed);
+            span.attr_int("failures", report.failures.len() as i64);
             span.attr_f64("sim_s", sim_latency);
+            if let Some(hit) = cache_hit {
+                span.attr_bool("cache_hit", hit);
+            }
             self.recorder
                 .counter_add("eda_invocations_total", &[("phase", "simulate")], 1);
             self.recorder.observe(
@@ -431,16 +599,7 @@ impl ToolSuite for XsimToolSuite {
                 sim_latency,
             );
         }
-        SimReport {
-            compiled: true,
-            passed,
-            log,
-            failures,
-            compile_messages: compile_report.messages,
-            end_time: result.end_time,
-            finished: result.finished,
-            modeled_latency: compile_report.modeled_latency + sim_latency,
-        }
+        report
     }
 }
 
@@ -564,6 +723,90 @@ mod tests {
         assert!(vcd.contains(" a $end"), "tb signals declared: {vcd}");
         let (_, vcd) = tools.simulate_with_waves(&[HdlFile::new("inv.v", BAD_V)], None);
         assert!(vcd.is_none(), "no waves when compilation fails");
+    }
+
+    #[test]
+    fn no_elaboratable_unit_is_a_proper_error() {
+        // Regression: a source set with no module declaration used to
+        // fall through to `elaborate(.., "")` and report a baffling
+        // "unknown unit ''"-style diagnostic.
+        let tools = XsimToolSuite::new();
+        let report = tools.compile(&[HdlFile::new("empty.v", "// placeholder, no RTL yet\n")]);
+        assert!(!report.success);
+        assert!(
+            report.log.contains("no top module found"),
+            "log: {}",
+            report.log
+        );
+        assert!(report.error_count() >= 1);
+        let m = report.messages.iter().find(|m| m.is_error()).expect("msg");
+        assert_eq!(m.code, "xelab 43-3316");
+
+        // Same for VHDL (comment-only source, no entity).
+        let report = tools.compile(&[HdlFile::new("empty.vhd", "-- placeholder\n")]);
+        assert!(!report.success);
+        assert!(
+            report.log.contains("no top module found"),
+            "log: {}",
+            report.log
+        );
+    }
+
+    #[test]
+    fn cache_returns_identical_reports_and_counts_hits() {
+        let cached = XsimToolSuite::new().with_cache(EdaCache::new());
+        let plain = XsimToolSuite::new();
+        let files = [HdlFile::new("inv.v", GOOD_V), HdlFile::new("tb.v", GOOD_TB)];
+
+        let baseline = plain.simulate(&files, Some("tb"));
+        let first = cached.simulate(&files, Some("tb"));
+        let second = cached.simulate(&files, Some("tb"));
+        for r in [&first, &second] {
+            assert_eq!(r.passed, baseline.passed);
+            assert_eq!(r.log, baseline.log);
+            assert_eq!(r.end_time, baseline.end_time);
+            assert_eq!(
+                r.modeled_latency.to_bits(),
+                baseline.modeled_latency.to_bits(),
+                "modeled latency must be stored, not recomputed"
+            );
+        }
+        let stats = cached.cache().expect("cache attached").stats();
+        // Each simulate = one compile lookup + one sim lookup.
+        assert_eq!(stats.misses, 2, "first call misses compile + sim");
+        assert_eq!(stats.hits, 2, "second call hits both");
+        assert_eq!(stats.entries, 2);
+
+        // analyze has its own shard.
+        let a1 = cached.analyze(&files);
+        let a2 = cached.analyze(&files);
+        assert_eq!(a1.log, a2.log);
+        let stats = cached.cache().expect("cache").stats();
+        assert_eq!((stats.misses, stats.hits), (3, 3));
+    }
+
+    #[test]
+    fn suite_clones_share_the_cache() {
+        let a = XsimToolSuite::new().with_cache(EdaCache::new());
+        let b = a.clone();
+        let files = [HdlFile::new("inv.v", GOOD_V)];
+        let ra = a.compile(&files);
+        let rb = b.compile(&files);
+        assert_eq!(ra.log, rb.log);
+        let stats = a.cache().expect("cache").stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1), "clone hit a's entry");
+    }
+
+    #[test]
+    fn cached_failure_reports_are_replayed_too() {
+        // Negative results are as cacheable as positive ones: the
+        // compile is a pure function either way.
+        let tools = XsimToolSuite::new().with_cache(EdaCache::new());
+        let r1 = tools.compile(&[HdlFile::new("inv.v", BAD_V)]);
+        let r2 = tools.compile(&[HdlFile::new("inv.v", BAD_V)]);
+        assert!(!r1.success && !r2.success);
+        assert_eq!(r1.log, r2.log);
+        assert_eq!(r1.messages, r2.messages);
     }
 
     #[test]

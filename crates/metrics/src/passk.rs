@@ -8,13 +8,20 @@
 ///
 /// computed in the numerically stable product form.
 ///
+/// `k` larger than `n` is clamped to `n`: drawing more samples than
+/// exist is the same event as drawing all of them, so the estimate is
+/// well defined and equals `pass@n`. This situation is reachable in
+/// practice when a table binary is run with a reduced sample count
+/// (`AIVRIL_SAMPLES=2` while the table reports pass@5).
+///
 /// # Panics
 ///
-/// Panics if `c > n` or `k > n` or `k == 0`.
+/// Panics if `c > n` or `k == 0`.
 #[must_use]
 pub fn pass_at_k(n: u64, c: u64, k: u64) -> f64 {
     assert!(c <= n, "correct count exceeds sample count");
-    assert!(k >= 1 && k <= n, "k must be in 1..=n");
+    assert!(k >= 1, "k must be at least 1");
+    let k = k.min(n);
     if c == 0 {
         return 0.0;
     }
@@ -31,9 +38,14 @@ pub fn pass_at_k(n: u64, c: u64, k: u64) -> f64 {
 
 /// Average pass@k across a suite: `per_task` holds `(n, c)` pairs.
 ///
+/// Tasks may carry heterogeneous sample counts (e.g. when a run was
+/// truncated); `k` is clamped per task, so a task with `n < k`
+/// contributes its `pass@n`.
+///
 /// # Panics
 ///
-/// Panics when `per_task` is empty, or on any invalid `(n, c, k)` triple.
+/// Panics when `per_task` is empty, or on any invalid `(n, c)` pair,
+/// or when `k == 0`.
 #[must_use]
 pub fn suite_pass_at_k(per_task: &[(u64, u64)], k: u64) -> f64 {
     assert!(!per_task.is_empty(), "need at least one task");
@@ -79,6 +91,30 @@ mod tests {
     fn suite_average() {
         let v = suite_pass_at_k(&[(10, 10), (10, 0)], 1);
         assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_k_above_n() {
+        // pass@k for k > n is pass@n, not a panic: the "at least one of
+        // k draws" event saturates once every sample is drawn.
+        assert_eq!(
+            pass_at_k(3, 1, 8).to_bits(),
+            pass_at_k(3, 1, 3).to_bits(),
+            "k > n must clamp to k = n"
+        );
+        assert_eq!(pass_at_k(2, 1, 5), 1.0);
+        assert_eq!(pass_at_k(2, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn suite_with_heterogeneous_n_does_not_panic() {
+        // Regression: a suite where one task has fewer samples than k
+        // (truncated run) used to panic inside pass_at_k. The short
+        // task now contributes its pass@n.
+        let v = suite_pass_at_k(&[(5, 2), (2, 1)], 5);
+        let expected = (pass_at_k(5, 2, 5) + pass_at_k(2, 1, 2)) / 2.0;
+        assert_eq!(v.to_bits(), expected.to_bits());
+        assert!(v > 0.0 && v <= 1.0);
     }
 
     #[test]

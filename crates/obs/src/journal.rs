@@ -26,6 +26,16 @@ use crate::recorder::{AttrValue, Recorder, RunJournal, SpanEvent, UNSCOPED};
 /// Current journal schema version.
 pub const JOURNAL_VERSION: u32 = 1;
 
+/// Span attributes excluded from the canonical journal.
+///
+/// The journal is a *canonical artifact*: byte-identical across
+/// `AIVRIL_THREADS` and `AIVRIL_EDA_CACHE` settings. A per-invocation
+/// cache verdict is inherently schedule-dependent (which worker reaches
+/// a key first is a race), so `cache_hit` would break that contract.
+/// The Chrome trace — a profiling artifact, not a canonical one —
+/// still carries these attributes.
+pub const DIAGNOSTIC_ATTRS: &[&str] = &["cache_hit"];
+
 fn attr_json(value: &AttrValue) -> String {
     match value {
         AttrValue::Str(s) => json::string(s),
@@ -55,6 +65,7 @@ fn event_line(run: &RunJournal, event: &SpanEvent) -> String {
     let attrs: Vec<String> = event
         .attrs
         .iter()
+        .filter(|(k, _)| !DIAGNOSTIC_ATTRS.contains(&k.as_str()))
         .map(|(k, v)| format!("{}:{}", json::string(k), attr_json(v)))
         .collect();
     json::object(&[
@@ -119,6 +130,24 @@ mod tests {
             "{\"run\":{\"problem\":2,\"sample\":0},\"ctx\":{\"model\":\"sim\"},\
              \"span\":\"llm.chat\",\"depth\":0,\"t0\":0.000000,\"t1\":1.250000,\
              \"attrs\":{\"tokens\":40,\"kind\":\"generate\"}}"
+        );
+    }
+
+    #[test]
+    fn diagnostic_attrs_are_filtered_from_events() {
+        let r = Recorder::new();
+        {
+            let s = r.span("eda.compile");
+            s.attr_bool("success", true);
+            s.attr_bool("cache_hit", true);
+        }
+        let journal = render_journal(&r);
+        let line = journal.lines().nth(1).unwrap();
+        assert!(line.contains("\"success\":true"), "line: {line}");
+        assert!(
+            !line.contains("cache_hit"),
+            "cache_hit is schedule-dependent and must stay out of the \
+             canonical journal: {line}"
         );
     }
 

@@ -27,6 +27,6 @@ pub mod metrics;
 pub mod recorder;
 
 pub use chrome::chrome_trace;
-pub use journal::{render_journal, JOURNAL_VERSION};
-pub use metrics::{Histogram, MetricKey, MetricValue, MetricsRegistry};
+pub use journal::{render_journal, DIAGNOSTIC_ATTRS, JOURNAL_VERSION};
+pub use metrics::{Histogram, MetricKey, MetricValue, MetricsRegistry, DIAGNOSTIC_METRIC_PREFIXES};
 pub use recorder::{AttrValue, Recorder, RunJournal, Span, SpanEvent, UNSCOPED};

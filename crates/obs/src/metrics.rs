@@ -26,6 +26,16 @@ use std::fmt::Write as _;
 /// integer multiples of 1 µ-unit (1e-6) so sums merge exactly.
 const QUANTUM: f64 = 1e6;
 
+/// Name prefixes of *diagnostic* metric series — series whose values
+/// legitimately depend on the execution configuration rather than on
+/// the evaluated workload. `eda_cache_*` totals are zero/absent with
+/// the cache off and populated with it on, so they are excluded from
+/// [`MetricsRegistry::canonical`], the view canonical-artifact
+/// comparisons (cache on vs. off) must use. All other series are
+/// required to be bit-identical across `AIVRIL_THREADS` *and*
+/// `AIVRIL_EDA_CACHE`.
+pub const DIAGNOSTIC_METRIC_PREFIXES: &[&str] = &["eda_cache_"];
+
 /// Identity of one metric series: a name plus sorted label pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MetricKey {
@@ -318,6 +328,26 @@ impl MetricsRegistry {
         self.series.len()
     }
 
+    /// The canonical view: every series except the diagnostic ones
+    /// (see [`DIAGNOSTIC_METRIC_PREFIXES`]). This is the registry
+    /// subset that must be bit-identical across thread counts and
+    /// cache modes; its `render()` is the artifact CI diffs.
+    #[must_use]
+    pub fn canonical(&self) -> MetricsRegistry {
+        MetricsRegistry {
+            series: self
+                .series
+                .iter()
+                .filter(|(k, _)| {
+                    !DIAGNOSTIC_METRIC_PREFIXES
+                        .iter()
+                        .any(|p| k.name.starts_with(p))
+                })
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
     /// Renders a deterministic text dump (key-sorted, fixed float
     /// formatting) suitable for terminals and byte-comparison tests.
     #[must_use]
@@ -442,6 +472,26 @@ mod tests {
         assert_eq!(lines[0], "alpha{x=\"1\"} counter 2");
         assert_eq!(lines[1], "h histogram count=1 sum=0.250000 [le0.5:1 inf:0]");
         assert_eq!(lines[2], "zeta counter 1");
+    }
+
+    #[test]
+    fn canonical_view_drops_diagnostic_series() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("eda_invocations_total", &[("phase", "compile")], 4);
+        r.counter_add("eda_cache_hits_total", &[], 3);
+        r.counter_add("eda_cache_misses_total", &[], 1);
+        r.gauge_set("eda_cache_entries_total", &[], 1.0);
+        let canon = r.canonical();
+        assert_eq!(canon.len(), 1);
+        assert!(canon
+            .get("eda_invocations_total", &[("phase", "compile")])
+            .is_some());
+        assert!(canon.get("eda_cache_hits_total", &[]).is_none());
+        // A cache-off registry (no eda_cache_* series at all) must
+        // render identically to the cache-on canonical view.
+        let mut off = MetricsRegistry::new();
+        off.counter_add("eda_invocations_total", &[("phase", "compile")], 4);
+        assert_eq!(canon.render(), off.canonical().render());
     }
 
     #[test]

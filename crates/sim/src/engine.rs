@@ -72,6 +72,9 @@ pub struct Simulator<'d> {
     /// recorder is enabled so the hot loop pays a single `Option` check
     /// per region when telemetry is off.
     kstats: Option<KernelStats>,
+    /// Finished-run telemetry, available via [`Simulator::take_telemetry`]
+    /// after [`Simulator::run`] when collection was enabled.
+    telemetry: Option<KernelTelemetry>,
 }
 
 /// Event-kernel distributions gathered during [`Simulator::run`] and
@@ -93,6 +96,35 @@ impl KernelStats {
             queue: aivril_obs::Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0]),
             nba: aivril_obs::Histogram::new(&[1.0, 2.0, 4.0, 8.0, 16.0, 64.0]),
         }
+    }
+}
+
+/// The complete telemetry a finished run feeds into a recorder: the
+/// three kernel histograms plus the instruction count. A run is a pure
+/// function of `(design, config)`, so this value is too — callers that
+/// memoize simulation results (the EDA result cache) store it alongside
+/// the [`SimResult`](crate::SimResult) and [`replay`](KernelTelemetry::record_to)
+/// it on a cache hit, keeping the metrics registry byte-identical
+/// whether the kernel actually ran or not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTelemetry {
+    delta: aivril_obs::Histogram,
+    queue: aivril_obs::Histogram,
+    nba: aivril_obs::Histogram,
+    instructions: u64,
+}
+
+impl KernelTelemetry {
+    /// Feeds this run's kernel series into `recorder` — the single
+    /// emission path shared by live runs and cache-hit replays, so the
+    /// two are indistinguishable in the metrics registry. No-op on a
+    /// disabled recorder.
+    pub fn record_to(&self, recorder: &aivril_obs::Recorder) {
+        recorder.record_histogram("sim_delta_cycles_per_step", &[], &self.delta);
+        recorder.record_histogram("sim_event_queue_depth", &[], &self.queue);
+        recorder.record_histogram("sim_nba_flush_size", &[], &self.nba);
+        recorder.counter_add("sim_instructions_total", &[], self.instructions);
+        recorder.counter_add("sim_runs_total", &[], 1);
     }
 }
 
@@ -150,6 +182,7 @@ impl<'d> Simulator<'d> {
             monitor: None,
             recorder: aivril_obs::Recorder::disabled(),
             kstats: None,
+            telemetry: None,
         }
     }
 
@@ -159,9 +192,33 @@ impl<'d> Simulator<'d> {
     /// [`Simulator::run`] returns. Disabled by default (no-op path).
     #[must_use]
     pub fn with_recorder(mut self, recorder: aivril_obs::Recorder) -> Simulator<'d> {
-        self.kstats = recorder.is_enabled().then(KernelStats::new);
+        if recorder.is_enabled() && self.kstats.is_none() {
+            self.kstats = Some(KernelStats::new());
+        }
         self.recorder = recorder;
         self
+    }
+
+    /// Forces kernel-statistics collection even when no (enabled)
+    /// recorder is attached, so [`Simulator::take_telemetry`] returns
+    /// the run's [`KernelTelemetry`]. The EDA result cache needs this:
+    /// an untraced worker may be the one that populates a cache entry,
+    /// and a traced worker hitting that entry later must still be able
+    /// to replay the kernel series.
+    pub fn collect_telemetry(&mut self) {
+        if self.kstats.is_none() {
+            self.kstats = Some(KernelStats::new());
+        }
+    }
+
+    /// Returns the finished run's kernel telemetry, when collection was
+    /// enabled (via [`Simulator::with_recorder`] with an enabled
+    /// recorder, or [`Simulator::collect_telemetry`]). `None` before
+    /// [`Simulator::run`] or when collection was off; consumes the
+    /// value.
+    #[must_use]
+    pub fn take_telemetry(&mut self) -> Option<KernelTelemetry> {
+        self.telemetry.take()
     }
 
     /// Enables waveform recording; [`Simulator::vcd`] renders the dump
@@ -246,15 +303,14 @@ impl<'d> Simulator<'d> {
         if let Some(ks) = self.kstats.take() {
             // `take()` so a (hypothetical) second `run` call cannot
             // double-count the same distributions.
-            self.recorder
-                .record_histogram("sim_delta_cycles_per_step", &[], &ks.delta);
-            self.recorder
-                .record_histogram("sim_event_queue_depth", &[], &ks.queue);
-            self.recorder
-                .record_histogram("sim_nba_flush_size", &[], &ks.nba);
-            self.recorder
-                .counter_add("sim_instructions_total", &[], self.total_instrs);
-            self.recorder.counter_add("sim_runs_total", &[], 1);
+            let telemetry = KernelTelemetry {
+                delta: ks.delta,
+                queue: ks.queue,
+                nba: ks.nba,
+                instructions: self.total_instrs,
+            };
+            telemetry.record_to(&self.recorder);
+            self.telemetry = Some(telemetry);
         }
         SimResult {
             end_time: self.time,

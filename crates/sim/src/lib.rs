@@ -52,5 +52,5 @@ mod format;
 mod result;
 mod vcd;
 
-pub use engine::Simulator;
+pub use engine::{KernelTelemetry, Simulator};
 pub use result::{LimitKind, LogLine, SimConfig, SimResult};

@@ -1,0 +1,220 @@
+//! EDA result cache suite: the cache must be a pure wall-clock
+//! optimisation. Every canonical artifact — evaluation outcomes, the
+//! run journal, the canonical metrics view — must be *byte-identical*
+//! with the cache on or off, at any `AIVRIL_THREADS`, and the per-run
+//! pipeline results must match bit-for-bit across arbitrary seeds.
+//!
+//! Latency comparison is `f64::to_bits` equality, never an epsilon:
+//! the contract is that a cache hit replays the stored report
+//! (`modeled_latency` included), not that it recomputes something
+//! close to it.
+
+use aivril_bench::{build_library, Flow, Harness, HarnessConfig};
+use aivril_core::{Aivril2, Aivril2Config, TaskInput};
+use aivril_eda::{EdaCache, XsimToolSuite};
+use aivril_llm::{profiles, SimLlm, TaskLibrary};
+use aivril_metrics::EvalOutcome;
+use aivril_obs::{render_journal, Recorder};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn suite() -> &'static [aivril_verilogeval::Problem] {
+    static SUITE: OnceLock<Vec<aivril_verilogeval::Problem>> = OnceLock::new();
+    SUITE.get_or_init(aivril_verilogeval::suite)
+}
+
+fn library() -> &'static TaskLibrary {
+    static LIB: OnceLock<TaskLibrary> = OnceLock::new();
+    LIB.get_or_init(|| build_library(suite()))
+}
+
+fn harness(threads: usize, eda_cache: bool, recorder: Recorder) -> Harness {
+    Harness::new(HarnessConfig {
+        samples: 2,
+        task_limit: 10,
+        threads,
+        eda_cache,
+        ..HarnessConfig::default()
+    })
+    .with_recorder(recorder)
+}
+
+fn outcomes(threads: usize, eda_cache: bool) -> Vec<EvalOutcome> {
+    let h = harness(threads, eda_cache, Recorder::disabled());
+    let (outcomes, stats) =
+        h.evaluate_with_stats(&profiles::claude35_sonnet(), true, Flow::Aivril2);
+    assert_eq!(stats.eda_cache.is_some(), eda_cache);
+    outcomes
+}
+
+fn assert_outcomes_bit_identical(a: &[EvalOutcome], b: &[EvalOutcome], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: outcome count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.task, y.task, "{what}");
+        assert_eq!(x.samples.len(), y.samples.len(), "{what}: {}", x.task);
+        for (s, t) in x.samples.iter().zip(&y.samples) {
+            assert_eq!(s.syntax, t.syntax, "{what}: {}", x.task);
+            assert_eq!(s.functional, t.functional, "{what}: {}", x.task);
+            assert_eq!(
+                s.total_latency.to_bits(),
+                t.total_latency.to_bits(),
+                "{what}: {} modeled latency must be replayed, not recomputed",
+                x.task
+            );
+        }
+    }
+}
+
+#[test]
+fn outcomes_are_bit_identical_cache_on_vs_off() {
+    let off = outcomes(1, false);
+    for threads in [1, 2, 4] {
+        let on = outcomes(threads, true);
+        assert_outcomes_bit_identical(&off, &on, &format!("cache on, {threads} thread(s)"));
+    }
+}
+
+#[test]
+fn journal_is_byte_identical_cache_on_vs_off() {
+    let run = |threads: usize, eda_cache: bool| {
+        let rec = Recorder::new();
+        let h = harness(threads, eda_cache, rec.clone());
+        let _ = h.evaluate_with_stats(&profiles::claude35_sonnet(), true, Flow::Aivril2);
+        rec
+    };
+    let off = render_journal(&run(1, false));
+    for threads in [1, 2, 4] {
+        let on = render_journal(&run(threads, true));
+        assert_eq!(
+            off, on,
+            "journal bytes must not depend on the cache ({threads} thread(s))"
+        );
+    }
+}
+
+#[test]
+fn canonical_metrics_are_bit_identical_cache_on_vs_off() {
+    let run = |threads: usize, eda_cache: bool| {
+        let rec = Recorder::new();
+        let h = harness(threads, eda_cache, rec.clone());
+        let _ = h.evaluate_with_stats(&profiles::claude35_sonnet(), true, Flow::Aivril2);
+        rec.metrics()
+    };
+    let off = run(1, false);
+    // Cache off: the canonical view is the whole registry (no
+    // diagnostic series to strip).
+    assert_eq!(off.render(), off.canonical().render());
+    for threads in [1, 2, 4] {
+        let on = run(threads, true);
+        // The raw cache-on registry carries the eda_cache_* diagnostic
+        // series; the canonical view must shed exactly those and
+        // nothing else.
+        assert!(on.get("eda_cache_hits_total", &[]).is_some());
+        assert!(on.canonical().get("eda_cache_hits_total", &[]).is_none());
+        assert_eq!(
+            off.canonical().snapshot(),
+            on.canonical().snapshot(),
+            "canonical metrics must not depend on the cache ({threads} thread(s))"
+        );
+    }
+}
+
+#[test]
+fn quicklook_sized_grid_hits_well_above_threshold() {
+    // Acceptance gate: on a Table-1-shaped grid the hit rate must
+    // clear 30% — the agent loops re-analyze and re-simulate enough
+    // identical (testbench, RTL) sets to make the cache worthwhile.
+    let h = harness(2, true, Recorder::disabled());
+    let _ = h.evaluate_with_stats(&profiles::claude35_sonnet(), true, Flow::Aivril2);
+    let stats = h.cache_stats().expect("cache enabled");
+    assert!(stats.hits > 0, "no hits on a quicklook grid: {stats}");
+    assert!(
+        stats.hit_rate() > 0.30,
+        "hit rate below acceptance threshold: {stats}"
+    );
+}
+
+#[test]
+fn hit_accounting_is_thread_count_independent() {
+    let count = |threads: usize| {
+        let h = harness(threads, true, Recorder::disabled());
+        let _ = h.evaluate_with_stats(&profiles::claude35_sonnet(), true, Flow::Aivril2);
+        h.cache_stats().expect("cache enabled")
+    };
+    let serial = count(1);
+    for threads in [2, 4] {
+        let parallel = count(threads);
+        assert_eq!(serial.hits, parallel.hits, "hits at {threads} threads");
+        assert_eq!(
+            serial.misses, parallel.misses,
+            "misses at {threads} threads"
+        );
+        assert_eq!(
+            serial.entries, parallel.entries,
+            "entries at {threads} threads"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Per-run property: for any suite problem, model and seed, one
+    /// AIVRIL2 pipeline execution over a cached tool suite is
+    /// bit-identical to the same execution over a plain suite.
+    #[test]
+    fn pipeline_run_is_bit_identical_cache_on_vs_off(
+        problem_idx in 0usize..48,
+        model_idx in 0usize..4,
+        seed in 0u64..1_000_000,
+        verilog_bit in 0u8..2,
+    ) {
+        let verilog = verilog_bit == 1;
+        let problems = suite();
+        let p = &problems[problem_idx % problems.len()];
+        let models = profiles::all();
+        let profile = &models[model_idx % models.len()];
+        let task = TaskInput {
+            name: p.name.clone(),
+            module_name: p.module_name.clone(),
+            spec: p.spec.clone(),
+            verilog,
+            seed,
+        };
+        let run = |tools: &XsimToolSuite| {
+            let mut model = SimLlm::new(profile.clone(), library().clone());
+            let pipeline = Aivril2::new(tools, Aivril2Config::default());
+            pipeline.run(&mut model, &task)
+        };
+        let plain = XsimToolSuite::new();
+        let cached = XsimToolSuite::new().with_cache(EdaCache::new());
+        let a = run(&plain);
+        let b = run(&cached);
+        // Run the cached suite a second time: now every tool call is a
+        // replay, and the result must still not drift.
+        let c = run(&cached);
+        for (other, label) in [(&b, "first cached"), (&c, "replayed")] {
+            prop_assert_eq!(&a.final_rtl, &other.final_rtl, "{} run", label);
+            prop_assert_eq!(&a.final_tb, &other.final_tb, "{} run", label);
+            prop_assert_eq!(a.syntax_pass, other.syntax_pass, "{} run", label);
+            prop_assert_eq!(a.functional_pass, other.functional_pass, "{} run", label);
+            prop_assert_eq!(
+                a.trace.narration(),
+                other.trace.narration(),
+                "{} run",
+                label
+            );
+            prop_assert_eq!(
+                a.trace.total_latency().to_bits(),
+                other.trace.total_latency().to_bits(),
+                "{} run",
+                label
+            );
+        }
+        let stats = cached.cache().expect("cache attached").stats();
+        prop_assert!(stats.hits > 0, "second cached run must hit: {}", stats);
+    }
+}

@@ -12,7 +12,7 @@ fn harness(tasks: usize, samples: u32) -> Harness {
         samples,
         task_limit: tasks,
         threads: 0,
-        pipeline: Aivril2Config::default(),
+        ..HarnessConfig::default()
     })
 }
 

@@ -3,7 +3,6 @@
 //! that keeps future changes from silently bending the results.
 
 use aivril_bench::{Flow, Harness, HarnessConfig};
-use aivril_core::Aivril2Config;
 use aivril_llm::profiles;
 use aivril_metrics::{suite_metric, EvalOutcome};
 
@@ -12,7 +11,7 @@ fn harness() -> Harness {
         samples: 3,
         task_limit: 36,
         threads: 0,
-        pipeline: Aivril2Config::default(),
+        ..HarnessConfig::default()
     })
 }
 
@@ -111,7 +110,7 @@ fn model_ordering_holds_everywhere() {
         samples: 5,
         task_limit: 96,
         threads: 0,
-        pipeline: Aivril2Config::default(),
+        ..HarnessConfig::default()
     });
     let mut f_rates = Vec::new();
     for profile in profiles::all() {
