@@ -27,13 +27,17 @@
 
 #![warn(missing_docs)]
 
-use aivril_core::{Aivril2, Aivril2Config, BaselineFlow, RunResult, Stage, TaskInput};
+use aivril_core::{
+    Aivril2, Aivril2Config, BaselineFlow, ResilienceCounters, RunResult, Stage, TaskInput,
+};
 use aivril_eda::{CacheStats, EdaCache, HdlFile, ToolSuite, XsimToolSuite};
-use aivril_llm::{ModelProfile, SimLlm, TaskLibrary};
+use aivril_llm::{FaultConfig, ModelProfile, SimLlm, TaskLibrary};
 use aivril_metrics::{EvalOutcome, SampleOutcome};
 use aivril_obs::{json, Recorder};
+use aivril_sim::SimConfig;
 use aivril_verilogeval::{suite, Problem};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -63,6 +67,14 @@ pub struct HarnessConfig {
     /// ([`EdaCache`]), shared across the worker pool. Off by default;
     /// results are bit-identical either way, only wall-clock changes.
     pub eda_cache: bool,
+    /// Deterministic LLM fault plan ([`FaultConfig`]) injected into
+    /// every worker's model. Off by default; fault decisions are pure
+    /// functions of request content, so faulted runs are bit-identical
+    /// for every thread count too.
+    pub faults: FaultConfig,
+    /// Override for the simulator's delta-cycle watchdog
+    /// (`max_deltas_per_step`); `None` keeps [`SimConfig::default`].
+    pub sim_max_deltas: Option<u32>,
     /// Pipeline budgets.
     pub pipeline: Aivril2Config,
 }
@@ -74,6 +86,8 @@ impl Default for HarnessConfig {
             task_limit: usize::MAX,
             threads: 0,
             eda_cache: false,
+            faults: FaultConfig::off(),
+            sim_max_deltas: None,
             pipeline: Aivril2Config::default(),
         }
     }
@@ -82,7 +96,10 @@ impl Default for HarnessConfig {
 impl HarnessConfig {
     /// Reads `AIVRIL_SAMPLES` / `AIVRIL_TASKS` / `AIVRIL_THREADS` /
     /// `AIVRIL_EDA_CACHE` from the environment so the table binaries
-    /// can be scaled without recompiling.
+    /// can be scaled without recompiling, plus the resilience knobs:
+    /// `AIVRIL_FAULTS` (fault plan, see [`FaultConfig::parse`]),
+    /// `AIVRIL_RETRY_MAX`, `AIVRIL_BACKOFF_BASE_MS`,
+    /// `AIVRIL_BREAKER_THRESHOLD` and `AIVRIL_SIM_MAX_DELTAS`.
     #[must_use]
     pub fn from_env() -> HarnessConfig {
         Self::from_vars(|key| std::env::var(key).ok())
@@ -106,6 +123,24 @@ impl HarnessConfig {
         }
         if let Some(v) = get("AIVRIL_EDA_CACHE") {
             c.eda_cache = !v.is_empty() && v != "0";
+        }
+        if let Some(v) = get("AIVRIL_FAULTS") {
+            match FaultConfig::parse(&v) {
+                Ok(f) => c.faults = f,
+                Err(e) => eprintln!("[config] ignoring AIVRIL_FAULTS: {e}"),
+            }
+        }
+        if let Some(n) = get("AIVRIL_RETRY_MAX").and_then(|v| v.parse().ok()) {
+            c.pipeline.resilience.retry_max = n;
+        }
+        if let Some(ms) = get("AIVRIL_BACKOFF_BASE_MS").and_then(|v| v.parse::<f64>().ok()) {
+            c.pipeline.resilience.backoff_base_s = ms / 1000.0;
+        }
+        if let Some(n) = get("AIVRIL_BREAKER_THRESHOLD").and_then(|v| v.parse().ok()) {
+            c.pipeline.resilience.breaker_threshold = n;
+        }
+        if let Some(n) = get("AIVRIL_SIM_MAX_DELTAS").and_then(|v| v.parse().ok()) {
+            c.sim_max_deltas = Some(n);
         }
         c
     }
@@ -166,6 +201,13 @@ pub struct EvalStats {
     /// `AIVRIL_THREADS` — because a key is missed exactly once however
     /// workers race (see `aivril_eda::EdaCache`).
     pub eda_cache: Option<CacheStats>,
+    /// Resilience counters summed over every run: injected faults,
+    /// retries, backoff seconds, breaker opens, degraded finishes and
+    /// watchdog aborts. All-zero without fault injection.
+    pub resilience: ResilienceCounters,
+    /// Runs that panicked and were isolated by the harness; each is
+    /// scored as a failed sample.
+    pub crashed: u64,
 }
 
 impl fmt::Display for EvalStats {
@@ -186,6 +228,23 @@ impl fmt::Display for EvalStats {
         )?;
         if let Some(cache) = &self.eda_cache {
             write!(f, " | cache: {cache}")?;
+        }
+        // Only printed when something actually went wrong, so fault-free
+        // output stays byte-identical to pre-resilience builds.
+        if self.resilience.any() || self.crashed > 0 {
+            let r = &self.resilience;
+            write!(
+                f,
+                " | resilience: {} faults, {} retries ({:.1}s backoff), \
+                 {} breaker opens, {} degraded, {} sim-diverged, {} crashed",
+                r.llm_faults,
+                r.retries,
+                r.backoff_s,
+                r.breaker_opens,
+                r.degraded,
+                r.sim_diverged,
+                self.crashed,
+            )?;
         }
         Ok(())
     }
@@ -213,6 +272,36 @@ struct RunRecord {
     outcome: SampleOutcome,
     llm_seconds: f64,
     tool_seconds: f64,
+    resilience: ResilienceCounters,
+}
+
+/// The record of a run that panicked: scored as a failure on both
+/// axes, zero modeled time, flagged `crashed`.
+fn crashed_record() -> RunRecord {
+    RunRecord {
+        outcome: SampleOutcome {
+            syntax: false,
+            functional: false,
+            total_latency: 0.0,
+            syntax_phase_latency: 0.0,
+            functional_phase_latency: 0.0,
+            syntax_iters: 0,
+            functional_iters: 0,
+            crashed: true,
+        },
+        llm_seconds: 0.0,
+        tool_seconds: 0.0,
+        resilience: ResilienceCounters::default(),
+    }
+}
+
+/// Runs one grid cell with panic isolation: a poisoned input that
+/// panics the pipeline yields a counted [`crashed_record`] instead of
+/// tearing down the whole worker pool. The recorder survives (its lock
+/// recovers from poisoning); the caller must rebuild the worker, whose
+/// conversation state may be half-written.
+fn run_isolated(f: impl FnOnce() -> RunRecord) -> RunRecord {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|_| crashed_record())
 }
 
 /// Per-worker execution state: one model conversation context and one
@@ -241,6 +330,12 @@ impl Harness {
     #[must_use]
     pub fn new(config: HarnessConfig) -> Harness {
         let mut tools = XsimToolSuite::new();
+        if let Some(max_deltas) = config.sim_max_deltas {
+            tools = tools.with_sim_config(SimConfig {
+                max_deltas_per_step: max_deltas,
+                ..SimConfig::default()
+            });
+        }
         if config.eda_cache {
             tools = tools.with_cache(EdaCache::new());
         }
@@ -365,11 +460,13 @@ impl Harness {
             syntax_iters: result.trace.iterations(Stage::TbSyntaxLoop)
                 + result.trace.iterations(Stage::RtlSyntaxLoop),
             functional_iters: result.trace.iterations(Stage::FunctionalLoop),
+            crashed: false,
         };
         RunRecord {
             outcome,
             llm_seconds: result.trace.llm_latency(),
             tool_seconds: result.trace.tool_latency() + extra,
+            resilience: result.resilience,
         }
     }
 
@@ -436,22 +533,32 @@ impl Harness {
                     // state with another. The worker's recorder clones
                     // all share one (uncontended) fork.
                     let tools = self.tools.clone().with_recorder(wrec.clone());
-                    let mut worker = Worker {
+                    let make_worker = || Worker {
                         model: SimLlm::new(profile.clone(), library.clone())
+                            .with_faults(self.config.faults)
                             .with_recorder(wrec.clone()),
                         pipeline: Aivril2::new(&tools, self.config.pipeline)
                             .with_recorder(wrec.clone()),
                         baseline: BaselineFlow::new(),
                         recorder: wrec.clone(),
                     };
+                    let mut worker = make_worker();
                     loop {
                         let cell = cursor.fetch_add(1, Ordering::Relaxed);
                         if cell >= total {
                             break;
                         }
                         let (pi, si) = (cell / samples, (cell % samples) as u32);
-                        let record =
-                            self.run_one(&mut worker, &problems[pi], pi, si, verilog, flow);
+                        let record = run_isolated(|| {
+                            self.run_one(&mut worker, &problems[pi], pi, si, verilog, flow)
+                        });
+                        if record.outcome.crashed {
+                            // Close the interrupted run's journal and
+                            // rebuild the worker: its conversation state
+                            // may be half-written.
+                            worker.recorder.end_run();
+                            worker = make_worker();
+                        }
                         let won = slots[cell].set(record).is_ok();
                         debug_assert!(won, "grid cell {cell} computed twice");
                     }
@@ -494,6 +601,8 @@ impl Harness {
             syntax_iters: 0,
             functional_iters: 0,
             eda_cache,
+            resilience: ResilienceCounters::default(),
+            crashed: 0,
         };
         let mut outcomes = Vec::with_capacity(problems.len());
         let mut slots = slots.into_iter();
@@ -510,6 +619,8 @@ impl Harness {
                 stats.modeled_tool_seconds += record.tool_seconds;
                 stats.syntax_iters += u64::from(record.outcome.syntax_iters);
                 stats.functional_iters += u64::from(record.outcome.functional_iters);
+                stats.resilience.merge(&record.resilience);
+                stats.crashed += u64::from(record.outcome.crashed);
                 task_samples.push(record.outcome);
             }
             outcomes.push(EvalOutcome {
@@ -619,10 +730,12 @@ pub struct ResultSection {
 }
 
 /// Serialises evaluation results as schema-versioned JSON
-/// (`aivril.results` version 2; v2 added the per-section
-/// `stats.eda_cache` block) — the `--json <path>` payload of the
-/// table/figure binaries. Hand-rolled (the build has no registry
-/// access) but deterministic: fixed field order, fixed float format.
+/// (`aivril.results` version 3; v2 added the per-section
+/// `stats.eda_cache` block, v3 the per-section `stats.resilience`
+/// block and the per-sample `crashed` flag) — the `--json <path>`
+/// payload of the table/figure binaries. Hand-rolled (the build has no
+/// registry access) but deterministic: fixed field order, fixed float
+/// format.
 #[must_use]
 pub fn results_json(sections: &[ResultSection]) -> String {
     let sample_json = |s: &SampleOutcome| {
@@ -640,6 +753,7 @@ pub fn results_json(sections: &[ResultSection]) -> String {
             ),
             ("syntax_iters", s.syntax_iters.to_string()),
             ("functional_iters", s.functional_iters.to_string()),
+            ("crashed", s.crashed.to_string()),
         ])
     };
     let task_json = |o: &EvalOutcome| {
@@ -664,6 +778,15 @@ pub fn results_json(sections: &[ResultSection]) -> String {
                 ("hit_rate", json::number(c.hit_rate())),
             ]),
         };
+        let resilience = json::object(&[
+            ("llm_faults", s.resilience.llm_faults.to_string()),
+            ("retries", s.resilience.retries.to_string()),
+            ("backoff_s", json::number(s.resilience.backoff_s)),
+            ("breaker_opens", s.resilience.breaker_opens.to_string()),
+            ("degraded", s.resilience.degraded.to_string()),
+            ("sim_diverged", s.resilience.sim_diverged.to_string()),
+            ("crashed", s.crashed.to_string()),
+        ]);
         json::object(&[
             ("runs", s.runs.to_string()),
             ("threads", s.threads.to_string()),
@@ -674,6 +797,7 @@ pub fn results_json(sections: &[ResultSection]) -> String {
             ("syntax_iters", s.syntax_iters.to_string()),
             ("functional_iters", s.functional_iters.to_string()),
             ("eda_cache", cache),
+            ("resilience", resilience),
         ])
     };
     let sections: Vec<String> = sections
@@ -691,7 +815,7 @@ pub fn results_json(sections: &[ResultSection]) -> String {
         "{}\n",
         json::object(&[
             ("schema", json::string("aivril.results")),
-            ("version", "2".to_string()),
+            ("version", "3".to_string()),
             ("sections", format!("[{}]", sections.join(","))),
         ])
     )
@@ -807,6 +931,82 @@ mod tests {
             garbage.samples, 5,
             "unparsable values fall back to defaults"
         );
+    }
+
+    #[test]
+    fn resilience_env_vars_are_parsed() {
+        let c = HarnessConfig::from_vars(|key| match key {
+            "AIVRIL_FAULTS" => Some("timeout=0.2,rate_limit=0.1".into()),
+            "AIVRIL_RETRY_MAX" => Some("5".into()),
+            "AIVRIL_BACKOFF_BASE_MS" => Some("250".into()),
+            "AIVRIL_BREAKER_THRESHOLD" => Some("7".into()),
+            "AIVRIL_SIM_MAX_DELTAS" => Some("512".into()),
+            _ => None,
+        });
+        assert!(!c.faults.is_off());
+        assert_eq!(c.pipeline.resilience.retry_max, 5);
+        assert!((c.pipeline.resilience.backoff_base_s - 0.25).abs() < 1e-12);
+        assert_eq!(c.pipeline.resilience.breaker_threshold, 7);
+        assert_eq!(c.sim_max_deltas, Some(512));
+
+        let defaults = HarnessConfig::from_vars(|_| None);
+        assert!(defaults.faults.is_off(), "faults are off by default");
+        assert_eq!(defaults.sim_max_deltas, None);
+
+        let bad =
+            HarnessConfig::from_vars(|k| (k == "AIVRIL_FAULTS").then(|| "nonsense=xyz".into()));
+        assert!(bad.faults.is_off(), "unparsable fault plans are ignored");
+    }
+
+    #[test]
+    fn faulted_evaluation_completes_and_reports_resilience() {
+        let h = Harness::new(HarnessConfig {
+            samples: 2,
+            task_limit: 4,
+            faults: FaultConfig::uniform(0.25),
+            ..HarnessConfig::default()
+        });
+        let profile = profiles::claude35_sonnet();
+        let (outcomes, stats) = h.evaluate_with_stats(&profile, true, Flow::Aivril2);
+        assert_eq!(outcomes.len(), 4);
+        assert!(
+            stats.resilience.llm_faults > 0,
+            "a 25% fault rate must surface over 8 runs: {stats}"
+        );
+        assert_eq!(stats.crashed, 0, "faults are handled, not crashes");
+        let display = stats.to_string();
+        assert!(display.contains("resilience:"), "{display}");
+    }
+
+    #[test]
+    fn fault_free_stats_have_empty_resilience_block() {
+        let h = small();
+        let profile = profiles::claude35_sonnet();
+        let (_, stats) = h.evaluate_with_stats(&profile, true, Flow::Aivril2);
+        assert_eq!(stats.resilience, ResilienceCounters::default());
+        assert_eq!(stats.crashed, 0);
+        assert!(
+            !stats.to_string().contains("resilience:"),
+            "fault-free display must match pre-resilience output"
+        );
+    }
+
+    #[test]
+    fn panicking_runs_are_isolated_as_crashes() {
+        let ok = run_isolated(|| {
+            let mut r = crashed_record();
+            r.outcome.crashed = false;
+            r.outcome.syntax = true;
+            r
+        });
+        assert!(
+            !ok.outcome.crashed && ok.outcome.syntax,
+            "non-panicking closures pass their record through"
+        );
+        let rec = run_isolated(|| panic!("poisoned input"));
+        assert!(rec.outcome.crashed);
+        assert!(!rec.outcome.syntax && !rec.outcome.functional);
+        assert_eq!(rec.resilience, ResilienceCounters::default());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::task::TaskInput;
 use aivril_llm::{
-    extract_code, protocol, task_header, ChatRequest, GenParams, LanguageModel, Message,
+    extract_code, protocol, task_header, ChatRequest, GenParams, LanguageModel, LlmError, Message,
 };
 
 /// A generated artefact with its modeled latency.
@@ -16,6 +16,10 @@ pub struct Generation {
     pub code: String,
     /// Modeled LLM seconds for the call.
     pub latency_s: f64,
+    /// `true` when the response contained a fenced code block. An
+    /// unfenced reply means the model answered in prose (it does not
+    /// know the task) — corrective iteration cannot recover from that.
+    pub fenced: bool,
 }
 
 /// The Code Agent: owns the conversation with the underlying model.
@@ -46,26 +50,41 @@ impl<'m> CodeAgent<'m> {
         }
     }
 
-    fn roundtrip(&mut self, prompt: String) -> Generation {
-        self.messages.push(Message::user(prompt));
+    /// Sets the transport-retry counter mixed into the next request's
+    /// [`GenParams`]. The resilience layer bumps this per retry so a
+    /// failed attempt re-rolls its fault; content plans ignore it.
+    pub fn set_attempt(&mut self, attempt: u32) {
+        self.params.attempt = attempt;
+    }
+
+    /// One prompt/response exchange. Commit-on-success: a transport
+    /// fault leaves the conversation and version history untouched, so
+    /// the caller can retry the same exchange (with a bumped attempt
+    /// counter) without corrupting state.
+    fn roundtrip(&mut self, prompt: String) -> Result<Generation, LlmError> {
+        let mut messages = self.messages.clone();
+        messages.push(Message::user(prompt.clone()));
         let request = ChatRequest {
-            messages: self.messages.clone(),
+            messages,
             params: self.params,
         };
-        let response = self.model.chat(&request);
+        let response = self.model.chat(&request)?;
+        self.messages.push(Message::user(prompt));
         self.messages
             .push(Message::assistant(response.content.clone()));
+        let fenced = response.content.contains("```");
         let code = extract_code(&response.content);
         self.versions.push(code.clone());
-        Generation {
+        Ok(Generation {
             code,
             latency_s: response.latency_s,
-        }
+            fenced,
+        })
     }
 
     /// Step ②: generate the testbench from the spec, before any RTL
     /// exists (the testbench-first methodology).
-    pub fn generate_testbench(&mut self, task: &TaskInput) -> Generation {
+    pub fn generate_testbench(&mut self, task: &TaskInput) -> Result<Generation, LlmError> {
         let prompt = format!(
             "{}{} named `tb` for the design described below. Cover every \
              behaviour a correct implementation must exhibit; report each \
@@ -81,7 +100,11 @@ impl<'m> CodeAgent<'m> {
 
     /// Step ③: generate the RTL, with the (frozen) testbench as an
     /// additional reference.
-    pub fn generate_rtl(&mut self, task: &TaskInput, testbench: &str) -> Generation {
+    pub fn generate_rtl(
+        &mut self,
+        task: &TaskInput,
+        testbench: &str,
+    ) -> Result<Generation, LlmError> {
         let prompt = format!(
             "{}{} `{}` implementing the specification below. The testbench \
              that will verify it is attached for reference; do not modify \
@@ -97,7 +120,7 @@ impl<'m> CodeAgent<'m> {
 
     /// Applies a corrective prompt from the Review or Verification
     /// agent and returns the revised artefact.
-    pub fn revise(&mut self, corrective_prompt: String) -> Generation {
+    pub fn revise(&mut self, corrective_prompt: String) -> Result<Generation, LlmError> {
         self.roundtrip(corrective_prompt)
     }
 
@@ -149,14 +172,34 @@ mod tests {
         fn name(&self) -> &str {
             "scripted"
         }
-        fn chat(&mut self, _request: &ChatRequest) -> ChatResponse {
+        fn chat(&mut self, _request: &ChatRequest) -> Result<ChatResponse, LlmError> {
             let content = self.replies[self.at.min(self.replies.len() - 1)].clone();
             self.at += 1;
-            ChatResponse {
+            Ok(ChatResponse {
                 content,
                 usage: TokenUsage::default(),
                 latency_s: 1.0,
+            })
+        }
+    }
+
+    /// Fails the first `fail_first` calls with a timeout, then delegates.
+    struct Flaky {
+        inner: Scripted,
+        fail_first: usize,
+        calls: usize,
+    }
+
+    impl LanguageModel for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn chat(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+            self.calls += 1;
+            if self.calls <= self.fail_first {
+                return Err(LlmError::Timeout { elapsed_s: 30.0 });
             }
+            self.inner.chat(request)
         }
     }
 
@@ -182,11 +225,16 @@ mod tests {
         };
         let t = task();
         let mut agent = CodeAgent::new(&mut model, &t, GenParams::default());
-        let tb = agent.generate_testbench(&t);
+        let tb = agent.generate_testbench(&t).expect("scripted never faults");
         assert_eq!(tb.code, "module tb;\nendmodule\n");
-        let rtl = agent.generate_rtl(&t, &tb.code);
+        assert!(tb.fenced);
+        let rtl = agent
+            .generate_rtl(&t, &tb.code)
+            .expect("scripted never faults");
         assert_eq!(rtl.code, "module m;\nendmodule\n");
-        let fixed = agent.revise("There is a syntax error.".into());
+        let fixed = agent
+            .revise("There is a syntax error.".into())
+            .expect("scripted never faults");
         assert_eq!(fixed.code, "module m2;\nendmodule\n");
         assert_eq!(agent.versions().len(), 3);
     }
@@ -203,9 +251,11 @@ mod tests {
         };
         let t = task();
         let mut agent = CodeAgent::new(&mut model, &t, GenParams::default());
-        agent.generate_testbench(&t);
-        agent.revise("fix".into());
-        agent.revise("fix again".into());
+        agent.generate_testbench(&t).expect("scripted never faults");
+        agent.revise("fix".into()).expect("scripted never faults");
+        agent
+            .revise("fix again".into())
+            .expect("scripted never faults");
         assert_eq!(agent.versions().len(), 3);
         agent.rollback_to(0);
         assert_eq!(agent.versions().len(), 1);
@@ -220,7 +270,7 @@ mod tests {
         };
         let t = task();
         let mut agent = CodeAgent::new(&mut model, &t, GenParams::default());
-        agent.generate_testbench(&t);
+        agent.generate_testbench(&t).expect("scripted never faults");
         let prompt = &agent.messages[1].content;
         assert!(prompt.contains("Design task: t."));
         assert!(prompt.contains("Target language: Verilog."));
@@ -236,5 +286,46 @@ mod tests {
         let t = task();
         let agent = CodeAgent::new(&mut model, &t, GenParams::default());
         assert_eq!(agent.params.seed, 9);
+    }
+
+    #[test]
+    fn failed_exchange_leaves_conversation_retryable() {
+        let mut model = Flaky {
+            inner: Scripted {
+                replies: vec!["```verilog\nmodule tb;\nendmodule\n```".into()],
+                at: 0,
+            },
+            fail_first: 2,
+            calls: 0,
+        };
+        let t = task();
+        let mut agent = CodeAgent::new(&mut model, &t, GenParams::default());
+        for attempt in 0..2u32 {
+            agent.set_attempt(attempt);
+            let err = agent
+                .generate_testbench(&t)
+                .expect_err("first calls time out");
+            assert_eq!(err.class(), "timeout");
+            // Commit-on-success: no user message, no version recorded.
+            assert_eq!(agent.messages.len(), 1, "attempt {attempt}");
+            assert!(agent.versions().is_empty(), "attempt {attempt}");
+        }
+        agent.set_attempt(2);
+        let tb = agent.generate_testbench(&t).expect("third attempt works");
+        assert_eq!(tb.code, "module tb;\nendmodule\n");
+        assert_eq!(agent.messages.len(), 3);
+        assert_eq!(agent.versions().len(), 1);
+    }
+
+    #[test]
+    fn unfenced_reply_is_flagged() {
+        let mut model = Scripted {
+            replies: vec!["I could not identify the design task; please restate it.".into()],
+            at: 0,
+        };
+        let t = task();
+        let mut agent = CodeAgent::new(&mut model, &t, GenParams::default());
+        let gen = agent.generate_testbench(&t).expect("no transport fault");
+        assert!(!gen.fenced);
     }
 }

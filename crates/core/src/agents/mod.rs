@@ -4,6 +4,6 @@ mod code;
 mod review;
 mod verify;
 
-pub use code::CodeAgent;
+pub use code::{CodeAgent, Generation};
 pub use review::ReviewAgent;
 pub use verify::VerificationAgent;

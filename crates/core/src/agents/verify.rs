@@ -53,6 +53,14 @@ impl VerificationAgent {
                 p.push_str(&format!("  {line}\n"));
             }
         }
+        if let Some(diverged) = &report.diverged {
+            // A watchdog abort carries a structured diagnostic; quote it
+            // so the model learns *why* the run was cut short instead of
+            // parsing the raw `ERROR: [XSIM 43-3225]` line.
+            p.push('\n');
+            p.push_str(&diverged.describe());
+            p.push('\n');
+        }
         p
     }
 
@@ -90,6 +98,20 @@ mod tests {
         assert!(prompt.contains("failing test case"), "{prompt}");
         assert!(prompt.contains("Test Case 1 Failed"), "{prompt}");
         assert!(prompt.contains("Do not change the testbench"));
+    }
+
+    #[test]
+    fn diverged_runs_quote_the_watchdog_diagnostic() {
+        // Zero-delay oscillation: the delta-cycle watchdog aborts and the
+        // corrective prompt must carry the structured explanation.
+        let osc = "module tb;\n  wire a;\n  assign a = (a === 1'b0) ? 1'b1 : 1'b0;\nendmodule\n";
+        let tools = XsimToolSuite::new();
+        let report = tools.simulate(&[HdlFile::new("tb.v", osc)], Some("tb"));
+        assert!(report.diverged.is_some(), "log:\n{}", report.log);
+        let agent = VerificationAgent::new();
+        let prompt = agent.corrective_prompt(&report);
+        assert!(prompt.contains("did not settle"), "{prompt}");
+        assert!(prompt.contains("combinational feedback"), "{prompt}");
     }
 
     #[test]

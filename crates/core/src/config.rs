@@ -1,5 +1,6 @@
 //! Pipeline configuration.
 
+use crate::resilience::ResiliencePolicy;
 use aivril_llm::GenParams;
 
 /// How much distilled detail corrective prompts carry — the ablation
@@ -34,6 +35,9 @@ pub struct Aivril2Config {
     pub testbench_first: bool,
     /// Corrective-prompt detail level.
     pub prompt_detail: PromptDetail,
+    /// Retry/backoff/circuit-breaker policy for transient backend
+    /// faults. Irrelevant (never consulted) when the model never fails.
+    pub resilience: ResiliencePolicy,
 }
 
 impl Default for Aivril2Config {
@@ -44,6 +48,7 @@ impl Default for Aivril2Config {
             gen_params: GenParams::default(),
             testbench_first: true,
             prompt_detail: PromptDetail::Detailed,
+            resilience: ResiliencePolicy::default(),
         }
     }
 }

@@ -62,12 +62,14 @@
 pub mod agents;
 mod config;
 mod flow;
+mod resilience;
 mod task;
 mod trace;
 mod user;
 
 pub use config::{Aivril2Config, PromptDetail};
 pub use flow::{Aivril2, BaselineFlow, RunResult};
+pub use resilience::{CircuitBreaker, ResilienceCounters, ResiliencePolicy};
 pub use task::TaskInput;
 pub use trace::{RunTrace, Stage, TraceEvent, TraceEventKind};
 pub use user::{spec_is_sufficient, NoClarification, StaticUser, UserProxy};

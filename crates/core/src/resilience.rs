@@ -1,0 +1,290 @@
+//! Deterministic resilience: retry/backoff policy, circuit breaker and
+//! per-run counters.
+//!
+//! Backend faults ([`aivril_llm::LlmError`]) are handled here, not in
+//! the agents: the pipeline retries with capped exponential backoff,
+//! opens a circuit breaker after repeated consecutive failures, and
+//! degrades to its best-so-far output when the budget is exhausted.
+//!
+//! Everything runs on the **modeled clock** (the run trace's accumulated
+//! latency), never the wall clock, and every backoff jitter is a pure
+//! function of `(seed, operation, attempt)` — so a fault schedule and
+//! its recovery replay bit-identically for any worker-thread count.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Retry/backoff/breaker knobs, configured per pipeline via
+/// [`crate::Aivril2Config`] (the harness maps `AIVRIL_RETRY_MAX`,
+/// `AIVRIL_BACKOFF_BASE_MS` and `AIVRIL_BREAKER_THRESHOLD` here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Retries after the first attempt (total attempts = `retry_max + 1`).
+    pub retry_max: u32,
+    /// Base backoff in modeled seconds; attempt `n` waits up to
+    /// `base * 2^n`, capped at [`ResiliencePolicy::backoff_cap_s`].
+    pub backoff_base_s: f64,
+    /// Ceiling on a single backoff wait, in modeled seconds.
+    pub backoff_cap_s: f64,
+    /// Consecutive failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// Modeled seconds an open breaker rejects calls before allowing a
+    /// half-open probe.
+    pub breaker_cooldown_s: f64,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> ResiliencePolicy {
+        ResiliencePolicy {
+            retry_max: 3,
+            backoff_base_s: 0.5,
+            backoff_cap_s: 30.0,
+            breaker_threshold: 4,
+            breaker_cooldown_s: 120.0,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// The backoff wait before retry `attempt` of `op`, in modeled
+    /// seconds: capped exponential with *equal jitter* (half the window
+    /// fixed, half seeded), the deterministic analogue of the usual
+    /// randomized backoff. Pure function of its arguments.
+    #[must_use]
+    pub fn backoff_s(&self, seed: u64, op: &str, attempt: u32) -> f64 {
+        let exp = 2f64.powi(attempt.min(16) as i32);
+        let window = (self.backoff_base_s * exp).min(self.backoff_cap_s);
+        let mut h = DefaultHasher::new();
+        seed.hash(&mut h);
+        op.hash(&mut h);
+        attempt.hash(&mut h);
+        // Top 53 bits -> uniform in [0, 1): the same trick used for
+        // `f64` generation everywhere else in the workspace.
+        let unit = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+        window / 2.0 + unit * (window / 2.0)
+    }
+}
+
+/// Breaker state. `Open` stores the modeled time until which calls are
+/// rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerState {
+    Closed,
+    Open { until: f64 },
+    HalfOpen,
+}
+
+/// A per-run circuit breaker over the modeled clock.
+///
+/// After [`ResiliencePolicy::breaker_threshold`] consecutive failures
+/// the breaker opens: calls are rejected without consuming retry budget
+/// until [`ResiliencePolicy::breaker_cooldown_s`] modeled seconds pass,
+/// after which a single half-open probe is allowed. A successful probe
+/// closes the breaker; a failed one re-opens it.
+///
+/// The breaker is scoped to one pipeline run — workers process samples
+/// in arbitrary order, so any cross-run state would break determinism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown_s: f64,
+    consecutive_failures: u32,
+    state: BreakerState,
+    opens: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `policy`'s threshold and cooldown.
+    #[must_use]
+    pub fn new(policy: &ResiliencePolicy) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: policy.breaker_threshold.max(1),
+            cooldown_s: policy.breaker_cooldown_s,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opens: 0,
+        }
+    }
+
+    /// Whether a call may proceed at modeled time `now`. An expired
+    /// `Open` transitions to `HalfOpen` and admits the probe.
+    pub fn try_acquire(&mut self, now: f64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call: closes the breaker, clears the streak.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed call at modeled time `now`. A failed half-open
+    /// probe re-opens immediately; in the closed state the breaker opens
+    /// once the consecutive-failure streak reaches the threshold.
+    pub fn on_failure(&mut self, now: f64) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open {
+                    until: now + self.cooldown_s,
+                };
+                self.opens += 1;
+            }
+            _ => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.state = BreakerState::Open {
+                        until: now + self.cooldown_s,
+                    };
+                    self.opens += 1;
+                    self.consecutive_failures = 0;
+                }
+            }
+        }
+    }
+
+    /// `true` while calls are rejected at modeled time `now`.
+    #[must_use]
+    pub fn is_open(&self, now: f64) -> bool {
+        matches!(self.state, BreakerState::Open { until } if now < until)
+    }
+
+    /// How many times the breaker has opened (including re-opens after a
+    /// failed half-open probe).
+    #[must_use]
+    pub fn opens(&self) -> u32 {
+        self.opens
+    }
+}
+
+/// Per-run resilience counters, surfaced on
+/// [`RunResult`](crate::RunResult) and aggregated by the evaluation
+/// harness. All-zero when no fault fired, so fault-free telemetry is
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResilienceCounters {
+    /// Transport faults observed (timeouts, rate limits).
+    pub llm_faults: u32,
+    /// Retry attempts performed after a transport fault.
+    pub retries: u32,
+    /// Modeled seconds spent in backoff waits.
+    pub backoff_s: f64,
+    /// Times the circuit breaker opened (incl. re-opens).
+    pub breaker_opens: u32,
+    /// Degradation events: exhausted retries, open-breaker rejections,
+    /// or unusable generations the pipeline gave up on.
+    pub degraded: u32,
+    /// Simulations aborted by a kernel watchdog
+    /// ([`aivril_eda::SimDiverged`]).
+    pub sim_diverged: u32,
+}
+
+impl ResilienceCounters {
+    /// `true` when any counter is nonzero.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.llm_faults > 0
+            || self.retries > 0
+            || self.backoff_s > 0.0
+            || self.breaker_opens > 0
+            || self.degraded > 0
+            || self.sim_diverged > 0
+    }
+
+    /// Accumulates `other` into `self` (harness aggregation).
+    pub fn merge(&mut self, other: &ResilienceCounters) {
+        self.llm_faults += other.llm_faults;
+        self.retries += other.retries;
+        self.backoff_s += other.backoff_s;
+        self.breaker_opens += other.breaker_opens;
+        self.degraded += other.degraded;
+        self.sim_diverged += other.sim_diverged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_growing() {
+        let p = ResiliencePolicy::default();
+        for attempt in 0..8 {
+            let a = p.backoff_s(7, "generate RTL", attempt);
+            let b = p.backoff_s(7, "generate RTL", attempt);
+            assert_eq!(a.to_bits(), b.to_bits(), "attempt {attempt}");
+            let window = (p.backoff_base_s * 2f64.powi(attempt as i32)).min(p.backoff_cap_s);
+            assert!(a >= window / 2.0 && a <= window, "attempt {attempt}: {a}");
+            assert!(a <= p.backoff_cap_s);
+        }
+        // Different seeds and ops jitter differently somewhere.
+        let differs =
+            (0..32).any(|s| p.backoff_s(s, "a", 1).to_bits() != p.backoff_s(s, "b", 1).to_bits());
+        assert!(differs);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_half_open() {
+        let policy = ResiliencePolicy {
+            breaker_threshold: 3,
+            breaker_cooldown_s: 10.0,
+            ..ResiliencePolicy::default()
+        };
+        let mut b = CircuitBreaker::new(&policy);
+        for t in 0..3 {
+            assert!(b.try_acquire(t as f64));
+            b.on_failure(t as f64);
+        }
+        assert_eq!(b.opens(), 1);
+        assert!(b.is_open(2.5));
+        assert!(!b.try_acquire(5.0), "cooldown not elapsed");
+        // After the cooldown, exactly one half-open probe is admitted.
+        assert!(b.try_acquire(13.0));
+        b.on_failure(13.0);
+        assert_eq!(b.opens(), 2, "failed probe re-opens");
+        assert!(!b.try_acquire(20.0));
+        assert!(b.try_acquire(24.0));
+        b.on_success();
+        assert!(b.try_acquire(24.0), "closed after successful probe");
+        assert_eq!(b.opens(), 2);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let policy = ResiliencePolicy {
+            breaker_threshold: 2,
+            ..ResiliencePolicy::default()
+        };
+        let mut b = CircuitBreaker::new(&policy);
+        b.on_failure(0.0);
+        b.on_success();
+        b.on_failure(1.0);
+        assert!(b.try_acquire(1.0), "streak was reset; still closed");
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn counters_merge_and_report_activity() {
+        let mut a = ResilienceCounters::default();
+        assert!(!a.any());
+        let b = ResilienceCounters {
+            retries: 2,
+            backoff_s: 1.5,
+            ..ResilienceCounters::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert!(a.any());
+        assert_eq!(a.retries, 4);
+        assert!((a.backoff_s - 3.0).abs() < 1e-12);
+    }
+}

@@ -50,6 +50,14 @@ pub enum TraceEventKind {
     Revise,
     /// A rollback after a regressing revision.
     Rollback,
+    /// A retried model call after a transport fault; `llm_latency`
+    /// carries the failed attempt plus the backoff wait, both on the
+    /// modeled clock.
+    Retry,
+    /// A graceful degradation: the pipeline gave up on a step (retries
+    /// exhausted, circuit breaker open, or an unusable generation) and
+    /// continued with its best-so-far output.
+    Degraded,
 }
 
 /// One recorded step.

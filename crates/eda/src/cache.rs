@@ -472,6 +472,7 @@ mod tests {
                                 compile_messages: Vec::new(),
                                 end_time: i,
                                 finished: true,
+                                diverged: None,
                                 modeled_latency: 0.0,
                             },
                             sim_latency: 0.0,

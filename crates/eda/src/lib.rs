@@ -30,7 +30,7 @@ mod xsim;
 
 pub use cache::{CacheStats, EdaCache};
 pub use latency::ToolLatencyModel;
-pub use report::{CompileReport, SimReport, TestFailure, ToolMessage};
+pub use report::{CompileReport, SimDiverged, SimReport, TestFailure, ToolMessage};
 pub use source::{HdlFile, Language};
 pub use xsim::{XsimToolSuite, PASS_MARKER};
 

@@ -56,6 +56,36 @@ pub struct TestFailure {
     pub message: String,
 }
 
+/// Structured divergence diagnostic: a kernel watchdog aborted the run
+/// because the design never settled (zero-delay oscillation, runaway
+/// process, exhausted instruction budget). Carried alongside the raw log
+/// so the corrective-prompt builder can quote *what* diverged instead of
+/// hoping the model parses an `ERROR: [XSIM 43-3225]` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimDiverged {
+    /// Which watchdog fired.
+    pub limit: aivril_sim::LimitKind,
+    /// Modeled simulation time at the abort.
+    pub at_time: u64,
+    /// Instructions the kernel had executed when it gave up.
+    pub instructions: u64,
+}
+
+impl SimDiverged {
+    /// One-paragraph description suitable for quoting in a corrective
+    /// prompt.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "The simulation did not settle: {} at time {} after {} executed instructions. \
+             This usually means the design contains combinational feedback \
+             (e.g. a signal assigned from its own value with no clock or delay) \
+             or a loop with no event or time control.",
+            self.limit, self.at_time, self.instructions
+        )
+    }
+}
+
 /// Result of the simulation step (`xsim`).
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -73,6 +103,9 @@ pub struct SimReport {
     pub end_time: u64,
     /// `true` when the run ended via `$finish`/`severity failure`.
     pub finished: bool,
+    /// Set when a kernel watchdog aborted the run (the design diverged
+    /// instead of settling); `None` for normal completions.
+    pub diverged: Option<SimDiverged>,
     /// Modeled tool wall-clock in seconds (compile + simulate).
     pub modeled_latency: f64,
 }

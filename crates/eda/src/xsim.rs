@@ -334,6 +334,7 @@ impl XsimToolSuite {
                     compile_messages: compile_report.messages,
                     end_time: 0,
                     finished: false,
+                    diverged: None,
                     modeled_latency: compile_report.modeled_latency,
                 },
                 None,
@@ -348,6 +349,7 @@ impl XsimToolSuite {
         let result = sim.run();
         let vcd = sim.vcd();
         log.push_str(&result.log_text());
+        let diverged = diverged_from(&result);
         let failures = extract_failures(&log);
         let passed = result.is_clean()
             && failures.is_empty()
@@ -377,11 +379,21 @@ impl XsimToolSuite {
                 compile_messages: compile_report.messages,
                 end_time: result.end_time,
                 finished: result.finished,
+                diverged,
                 modeled_latency: compile_report.modeled_latency + sim_latency,
             },
             vcd,
         )
     }
+}
+
+/// Maps a kernel watchdog abort into the structured report diagnostic.
+fn diverged_from(result: &aivril_sim::SimResult) -> Option<crate::report::SimDiverged> {
+    result.limit_hit.map(|limit| crate::report::SimDiverged {
+        limit,
+        at_time: result.end_time,
+        instructions: result.instructions_executed,
+    })
 }
 
 impl XsimToolSuite {
@@ -435,6 +447,7 @@ impl XsimToolSuite {
             compile_messages: compile_report.messages.clone(),
             end_time: result.end_time,
             finished: result.finished,
+            diverged: diverged_from(&result),
             modeled_latency: compile_report.modeled_latency + sim_latency,
         };
         (report, sim_latency, sim.take_telemetry())
@@ -574,6 +587,7 @@ impl ToolSuite for XsimToolSuite {
                 compile_messages: compile_report.messages,
                 end_time: 0,
                 finished: false,
+                diverged: None,
                 modeled_latency: compile_report.modeled_latency,
             };
         };
@@ -807,6 +821,49 @@ mod tests {
         assert!(!r1.success && !r2.success);
         assert_eq!(r1.log, r2.log);
         assert_eq!(r1.messages, r2.messages);
+    }
+
+    #[test]
+    fn oscillating_design_reports_structured_divergence() {
+        // A self-triggering continuous assign that genuinely oscillates
+        // (the `===` makes every re-evaluation flip the value, unlike
+        // `~a` whose X fixed point is stable). The watchdog must convert
+        // it into a structured `SimDiverged`, not a hang or a silently
+        // wrong settle.
+        let osc = "module osc(output y);\n  reg unused;\n  wire a;\n\
+                   assign a = (a === 1'b0) ? 1'b1 : 1'b0;\n  assign y = a;\nendmodule\n\
+                   module tb;\n  wire y;\n  osc dut(.y(y));\n\
+                   initial begin #10; $display(\"y=%b\", y); $finish; end\nendmodule\n";
+        let tools = XsimToolSuite::new();
+        let report = tools.simulate(&[HdlFile::new("osc.v", osc)], Some("tb"));
+        assert!(report.compiled, "log: {}", report.log);
+        assert!(!report.passed);
+        let diverged = report.diverged.as_ref().expect("watchdog must fire");
+        assert_eq!(diverged.limit, aivril_sim::LimitKind::DeltaCycles);
+        assert!(report.log.contains("XSIM 43-3225"), "log: {}", report.log);
+        assert!(diverged.describe().contains("did not settle"));
+        // A healthy run reports no divergence.
+        let ok = tools.simulate(
+            &[HdlFile::new("inv.v", GOOD_V), HdlFile::new("tb.v", GOOD_TB)],
+            Some("tb"),
+        );
+        assert!(ok.diverged.is_none());
+    }
+
+    #[test]
+    fn tight_delta_budget_is_configurable() {
+        // Lowering `max_deltas_per_step` (the `AIVRIL_SIM_MAX_DELTAS`
+        // knob) trips the watchdog sooner on the same design.
+        let osc = "module tb;\n  wire a;\n\
+                   assign a = (a === 1'b0) ? 1'b1 : 1'b0;\n\
+                   initial begin #1; $finish; end\nendmodule\n";
+        let tight = XsimToolSuite::new().with_sim_config(SimConfig {
+            max_deltas_per_step: 16,
+            ..SimConfig::default()
+        });
+        let report = tight.simulate(&[HdlFile::new("tb.v", osc)], Some("tb"));
+        let diverged = report.diverged.expect("tiny budget must trip");
+        assert_eq!(diverged.limit, aivril_sim::LimitKind::DeltaCycles);
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub struct GenParams {
     pub top_p: f64,
     /// Determinism seed (per task × sample).
     pub seed: u64,
+    /// Retry attempt counter for this request (0 = first try). Fault
+    /// injection mixes this into its decision stream so a retried
+    /// request re-rolls instead of deterministically failing forever;
+    /// the content plans ignore it, so a retry reproduces the same code.
+    pub attempt: u32,
     /// Generation cap.
     pub max_tokens: u32,
 }
@@ -69,6 +74,7 @@ impl Default for GenParams {
             temperature: 0.2,
             top_p: 0.1,
             seed: 0,
+            attempt: 0,
             max_tokens: 4096,
         }
     }

@@ -44,7 +44,7 @@
 //!     )],
 //!     params: GenParams { seed: 1, ..GenParams::default() },
 //! };
-//! let response = model.chat(&request);
+//! let response = model.chat(&request).expect("no faults configured");
 //! assert!(response.content.contains("```"));
 //! assert!(response.latency_s > 0.0);
 //! ```
@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod chat;
+mod faults;
 mod latency;
 pub mod mutate;
 pub mod profiles;
@@ -59,6 +60,7 @@ mod simllm;
 mod task;
 
 pub use chat::{ChatRequest, ChatResponse, GenParams, Message, Role, TokenUsage};
+pub use faults::{BackendFault, FaultConfig, LlmError};
 pub use latency::LlmLatencyModel;
 pub use profiles::{LangProfile, ModelProfile};
 pub use simllm::{protocol, task_header, SimLlm};
@@ -73,8 +75,12 @@ pub trait LanguageModel {
     /// Model identifier shown in result tables (e.g. `Claude 3.5 Sonnet`).
     fn name(&self) -> &str;
 
-    /// Produces the assistant's next message for `request`.
-    fn chat(&mut self, request: &ChatRequest) -> ChatResponse;
+    /// Produces the assistant's next message for `request`, or a
+    /// transport-level [`LlmError`] (timeout, rate limit) when the
+    /// backend fails before yielding one. Content-level degradations —
+    /// truncated or empty completions, wrong-language code — are `Ok`
+    /// responses: the corrective loop, not the transport, handles those.
+    fn chat(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError>;
 }
 
 /// Extracts the first fenced code block from a model response, the way

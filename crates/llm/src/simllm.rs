@@ -1,6 +1,7 @@
 //! The deterministic fault-injecting model simulator.
 
 use crate::chat::{estimate_tokens, ChatRequest, ChatResponse, Role, TokenUsage};
+use crate::faults::{BackendFault, FaultConfig, LlmError};
 use crate::mutate::{
     apply_all, count_occurrences, functional_templates, syntax_templates, AppliedFault, Dialect,
     FaultKind,
@@ -55,6 +56,7 @@ pub struct SimLlm {
     profile: ModelProfile,
     library: Arc<TaskLibrary>,
     recorder: aivril_obs::Recorder,
+    faults: FaultConfig,
 }
 
 impl SimLlm {
@@ -69,7 +71,17 @@ impl SimLlm {
             profile,
             library: library.into(),
             recorder: aivril_obs::Recorder::disabled(),
+            faults: FaultConfig::off(),
         }
+    }
+
+    /// Enables deterministic backend-fault injection (see
+    /// [`FaultConfig`]). With the default all-zero config every code
+    /// path is byte-identical to a fault-free model.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> SimLlm {
+        self.faults = faults;
+        self
     }
 
     /// Attaches an observability recorder: every [`SimLlm::chat`] call
@@ -375,7 +387,43 @@ impl LanguageModel for SimLlm {
         &self.profile.name
     }
 
-    fn chat(&mut self, request: &ChatRequest) -> ChatResponse {
+    fn chat(&mut self, request: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        // Backend-fault roll happens before anything else, like a real
+        // transport failing before the model ever sees the prompt. With
+        // injection off this is a no-op returning `None`.
+        let fault = self.faults.roll(&self.profile.name, request);
+        if matches!(
+            fault,
+            Some(BackendFault::Timeout | BackendFault::RateLimited)
+        ) {
+            let mut frng = self.faults.rng(&self.profile.name, request);
+            // First draw reproduces the class decision; the rest
+            // parameterise the fault from the same stream.
+            let _class: f64 = frng.gen_range(0.0..1.0);
+            let err = match fault {
+                Some(BackendFault::Timeout) => LlmError::Timeout {
+                    elapsed_s: 30.0 + frng.gen_range(0.0..30.0),
+                },
+                _ => LlmError::RateLimited {
+                    retry_after_s: frng.gen_range(1.0..8.0),
+                },
+            };
+            if self.recorder.is_enabled() {
+                let span = self.recorder.span("llm.chat");
+                self.recorder.advance(err.elapsed_s());
+                span.attr_str("model", &self.profile.name);
+                span.attr_str("kind", "fault");
+                span.attr_str("fault", err.class());
+                drop(span);
+                self.recorder.counter_add(
+                    "resilience_llm_faults_total",
+                    &[("class", err.class())],
+                    1,
+                );
+            }
+            return Err(err);
+        }
+
         let view = parse_view(request);
         let seed = request.params.seed;
         let dialect = if view.verilog {
@@ -409,7 +457,34 @@ impl LanguageModel for SimLlm {
                 } else {
                     format!("Here is the {label} for the task.")
                 };
-                format!("{intro}\n```{fence}\n{code}```\n")
+                match fault {
+                    // An empty code block: the fence is there, the code
+                    // is not. The corrective loop sees "no top module".
+                    Some(BackendFault::Empty) => format!("{intro}\n```{fence}\n```\n"),
+                    // The right task in the wrong HDL — a real failure
+                    // mode of multilingual models under pressure.
+                    Some(BackendFault::WrongLanguage) => {
+                        let other = match view.artifact {
+                            Artifact::Testbench => knowledge.tb(!view.verilog),
+                            Artifact::Rtl => knowledge.dut(!view.verilog),
+                        };
+                        let other_fence = if view.verilog { "vhdl" } else { "verilog" };
+                        format!("{intro}\n```{other_fence}\n{other}```\n")
+                    }
+                    // The completion stops mid-module: unterminated
+                    // fence, code cut at a seeded fraction.
+                    Some(BackendFault::Truncate) => {
+                        let mut frng = self.faults.rng(&self.profile.name, request);
+                        let _class: f64 = frng.gen_range(0.0..1.0);
+                        let frac: f64 = frng.gen_range(0.25..0.75);
+                        let mut cut = (code.len() as f64 * frac) as usize;
+                        while cut > 0 && !code.is_char_boundary(cut) {
+                            cut -= 1;
+                        }
+                        format!("{intro}\n```{fence}\n{}", &code[..cut])
+                    }
+                    _ => format!("{intro}\n```{fence}\n{code}```\n"),
+                }
             }
         };
 
@@ -457,14 +532,14 @@ impl LanguageModel for SimLlm {
                 latency_s,
             );
         }
-        ChatResponse {
+        Ok(ChatResponse {
             content,
             usage: TokenUsage {
                 prompt_tokens,
                 completion_tokens,
             },
             latency_s,
-        }
+        })
     }
 }
 
@@ -538,7 +613,7 @@ mod tests {
                     ..GenParams::default()
                 },
             };
-            let code = extract_code(&model.chat(&req).content);
+            let code = extract_code(&model.chat(&req).expect("no faults configured").content);
             vague_broken += u32::from(code != GOLDEN_V);
         }
         // With no specification text the model always has to guess.
@@ -549,11 +624,11 @@ mod tests {
     fn responses_are_deterministic_per_seed() {
         let mut m1 = SimLlm::new(profiles::claude35_sonnet(), library());
         let mut m2 = SimLlm::new(profiles::claude35_sonnet(), library());
-        let r1 = m1.chat(&rtl_request(7));
-        let r2 = m2.chat(&rtl_request(7));
+        let r1 = m1.chat(&rtl_request(7)).expect("no faults configured");
+        let r2 = m2.chat(&rtl_request(7)).expect("no faults configured");
         assert_eq!(r1.content, r2.content);
         assert_eq!(r1.latency_s, r2.latency_s);
-        let r3 = m1.chat(&rtl_request(8));
+        let r3 = m1.chat(&rtl_request(8)).expect("no faults configured");
         // Different seeds usually differ in latency even when the code is
         // identical.
         assert!(r3.latency_s != r1.latency_s || r3.content != r1.content);
@@ -580,7 +655,7 @@ mod tests {
                         ..GenParams::default()
                     },
                 };
-                let code = extract_code(&model.chat(&req).content);
+                let code = extract_code(&model.chat(&req).expect("no faults configured").content);
                 let golden = if verilog {
                     GOLDEN_V
                 } else {
@@ -607,7 +682,7 @@ mod tests {
         let mut messages = None;
         for seed in 0..300 {
             let req = rtl_request(seed);
-            let resp = model.chat(&req);
+            let resp = model.chat(&req).expect("no faults configured");
             if extract_code(&resp.content) != GOLDEN_V {
                 let mut ms = req.messages.clone();
                 ms.push(Message::assistant(resp.content));
@@ -633,7 +708,7 @@ mod tests {
                     ..GenParams::default()
                 },
             };
-            let resp = model.chat(&req);
+            let resp = model.chat(&req).expect("no faults configured");
             let code = extract_code(&resp.content);
             ms.push(Message::assistant(resp.content));
             if code == GOLDEN_V {
@@ -657,7 +732,7 @@ mod tests {
                 ..GenParams::default()
             },
         };
-        let resp = model.chat(&req);
+        let resp = model.chat(&req).expect("no faults configured");
         assert!(resp.content.contains("testbench"));
         let code = extract_code(&resp.content);
         assert!(code.contains("module tb"), "{code}");
@@ -670,7 +745,7 @@ mod tests {
             messages: vec![Message::user("Design task: mystery.\nWrite the RTL module")],
             params: GenParams::default(),
         };
-        let resp = model.chat(&req);
+        let resp = model.chat(&req).expect("no faults configured");
         assert!(resp.content.contains("could not identify"));
     }
 
@@ -681,8 +756,8 @@ mod tests {
         let mut slow_total = 0.0;
         let mut fast_total = 0.0;
         for seed in 0..20 {
-            slow_total += slow.chat(&rtl_request(seed)).latency_s;
-            fast_total += fast.chat(&rtl_request(seed)).latency_s;
+            slow_total += slow.chat(&rtl_request(seed)).expect("no faults").latency_s;
+            fast_total += fast.chat(&rtl_request(seed)).expect("no faults").latency_s;
         }
         assert!(slow_total > fast_total);
     }
@@ -712,5 +787,106 @@ mod tests {
             (v.func_rounds - 1.0).abs() < 1e-9,
             "detailed functional corrective = full credit"
         );
+    }
+
+    #[test]
+    fn transport_faults_surface_as_errors() {
+        use crate::faults::FaultConfig;
+        let cfg = FaultConfig {
+            timeout: 1.0,
+            ..FaultConfig::off()
+        };
+        let mut model = SimLlm::new(profiles::claude35_sonnet(), library()).with_faults(cfg);
+        let err = model
+            .chat(&rtl_request(1))
+            .expect_err("rate 1.0 always faults");
+        assert_eq!(err.class(), "timeout");
+        assert!(err.elapsed_s() >= 30.0, "timeout consumes the deadline");
+        let cfg = FaultConfig {
+            rate_limit: 1.0,
+            ..FaultConfig::off()
+        };
+        let mut model = SimLlm::new(profiles::claude35_sonnet(), library()).with_faults(cfg);
+        match model.chat(&rtl_request(1)) {
+            Err(crate::LlmError::RateLimited { retry_after_s }) => {
+                assert!((1.0..8.0).contains(&retry_after_s));
+            }
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn content_faults_degrade_the_completion() {
+        use crate::faults::FaultConfig;
+        let empty = FaultConfig {
+            empty: 1.0,
+            ..FaultConfig::off()
+        };
+        let mut model = SimLlm::new(profiles::claude35_sonnet(), library()).with_faults(empty);
+        let resp = model.chat(&rtl_request(2)).expect("content faults are Ok");
+        assert_eq!(extract_code(&resp.content), "", "empty code block");
+
+        let wrong = FaultConfig {
+            wrong_language: 1.0,
+            ..FaultConfig::off()
+        };
+        let mut model = SimLlm::new(profiles::claude35_sonnet(), library()).with_faults(wrong);
+        let resp = model.chat(&rtl_request(2)).expect("content faults are Ok");
+        assert!(
+            resp.content.contains("```vhdl"),
+            "verilog request answered in vhdl"
+        );
+        assert!(extract_code(&resp.content).contains("entity"));
+
+        let trunc = FaultConfig {
+            truncate: 1.0,
+            ..FaultConfig::off()
+        };
+        let mut model = SimLlm::new(profiles::claude35_sonnet(), library()).with_faults(trunc);
+        let resp = model.chat(&rtl_request(2)).expect("content faults are Ok");
+        let code = extract_code(&resp.content);
+        assert!(
+            !resp.content.trim_end().ends_with("```"),
+            "fence unterminated"
+        );
+        assert!(code.len() < GOLDEN_V.len(), "code cut short: {code:?}");
+    }
+
+    #[test]
+    fn fault_free_config_is_byte_identical_to_plain_model() {
+        use crate::faults::FaultConfig;
+        let mut plain = SimLlm::new(profiles::claude35_sonnet(), library());
+        let mut off =
+            SimLlm::new(profiles::claude35_sonnet(), library()).with_faults(FaultConfig::off());
+        for seed in 0..40 {
+            let a = plain.chat(&rtl_request(seed)).expect("no faults");
+            let b = off.chat(&rtl_request(seed)).expect("no faults");
+            assert_eq!(a.content, b.content);
+            assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn retries_can_outlive_transport_faults() {
+        use crate::faults::FaultConfig;
+        // At a 30% timeout rate, some attempt within a small retry
+        // budget must succeed for every seed (deterministically so).
+        let cfg = FaultConfig {
+            timeout: 0.3,
+            ..FaultConfig::off()
+        };
+        let mut model = SimLlm::new(profiles::claude35_sonnet(), library()).with_faults(cfg);
+        for seed in 0..30 {
+            let mut ok = false;
+            for attempt in 0..8 {
+                let mut req = rtl_request(seed);
+                req.params.attempt = attempt;
+                if model.chat(&req).is_ok() {
+                    ok = true;
+                    break;
+                }
+            }
+            assert!(ok, "seed {seed} failed all 8 attempts");
+        }
     }
 }

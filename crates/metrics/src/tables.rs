@@ -22,6 +22,9 @@ pub struct SampleOutcome {
     pub syntax_iters: u32,
     /// Corrective iterations taken by the functional loop.
     pub functional_iters: u32,
+    /// The pipeline panicked on this sample and was isolated by the
+    /// harness; the run is scored as a failure on both axes.
+    pub crashed: bool,
 }
 
 /// All samples of one task.
@@ -393,6 +396,7 @@ mod tests {
             functional_phase_latency: lat * 0.3,
             syntax_iters: 1,
             functional_iters: 2,
+            crashed: false,
         }
     }
 

@@ -29,12 +29,14 @@ const QUANTUM: f64 = 1e6;
 /// Name prefixes of *diagnostic* metric series — series whose values
 /// legitimately depend on the execution configuration rather than on
 /// the evaluated workload. `eda_cache_*` totals are zero/absent with
-/// the cache off and populated with it on, so they are excluded from
+/// the cache off and populated with it on, and `resilience_*` totals
+/// are zero/absent without fault injection and populated under
+/// `AIVRIL_FAULTS`, so both are excluded from
 /// [`MetricsRegistry::canonical`], the view canonical-artifact
-/// comparisons (cache on vs. off) must use. All other series are
-/// required to be bit-identical across `AIVRIL_THREADS` *and*
-/// `AIVRIL_EDA_CACHE`.
-pub const DIAGNOSTIC_METRIC_PREFIXES: &[&str] = &["eda_cache_"];
+/// comparisons (cache on vs. off, faults on vs. off) must use. All
+/// other series are required to be bit-identical across
+/// `AIVRIL_THREADS`, `AIVRIL_EDA_CACHE` *and* `AIVRIL_FAULTS=off`.
+pub const DIAGNOSTIC_METRIC_PREFIXES: &[&str] = &["eda_cache_", "resilience_"];
 
 /// Identity of one metric series: a name plus sorted label pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -139,10 +139,17 @@ impl Recorder {
         self.0.is_some()
     }
 
+    // Telemetry survives a panicking worker: the harness isolates
+    // pipeline panics with `catch_unwind`, so a recorder mutex may be
+    // poisoned mid-update. The inner state is a journal — a partially
+    // written run is still valid data — so recover the guard instead of
+    // propagating the poison into every later instrumentation call.
     fn lock(&self) -> Option<std::sync::MutexGuard<'_, Inner>> {
-        self.0
-            .as_ref()
-            .map(|inner| inner.lock().expect("recorder lock"))
+        self.0.as_ref().map(|inner| {
+            inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
     }
 
     /// Replaces the context pairs attached to subsequent runs (sorted
@@ -188,12 +195,16 @@ impl Recorder {
             return;
         }
         let (mut runs, metrics) = {
-            let mut o = theirs.lock().expect("recorder lock");
+            let mut o = theirs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             o.flush_run();
             (std::mem::take(&mut o.runs), std::mem::take(&mut o.metrics))
         };
         runs.sort_by_key(|r| (r.problem, r.sample));
-        let mut m = mine.lock().expect("recorder lock");
+        let mut m = mine
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         m.runs.extend(runs);
         m.metrics.merge(&metrics);
     }

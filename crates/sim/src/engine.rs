@@ -53,6 +53,13 @@ pub struct Simulator<'d> {
     /// Per-net list of (process, generation) waiting on that net.
     watchers: Vec<Vec<(usize, u64)>>,
     time: u64,
+    /// Net changes made by the currently-running process activation, as
+    /// `(net, old first bit, new first bit)`. A process that writes one
+    /// of its own trigger nets *before* reaching its `WaitEvent` would
+    /// otherwise lose that notification (the watcher is not registered
+    /// yet) and settle silently instead of re-evaluating — the classic
+    /// self-triggering `assign a = ~a` bug.
+    activation_changes: Vec<(NetId, Logic, Logic)>,
     lines: Vec<LogLine>,
     partial_line: String,
     error_count: u32,
@@ -170,6 +177,7 @@ impl<'d> Simulator<'d> {
             nba: Vec::new(),
             watchers: vec![Vec::new(); design.nets.len()],
             time: 0,
+            activation_changes: Vec::new(),
             lines: Vec::new(),
             partial_line: String::new(),
             error_count: 0,
@@ -360,6 +368,7 @@ impl<'d> Simulator<'d> {
     fn run_process(&mut self, pid: usize) {
         let body = &self.design.processes[pid].body;
         let wake = self.procs[pid].last_wake;
+        self.activation_changes.clear();
         let mut instrs_this_activation = 0u64;
         loop {
             let pc = self.procs[pid].pc;
@@ -412,6 +421,33 @@ impl<'d> Simulator<'d> {
                 Instr::WaitEvent { triggers } => {
                     self.procs[pid].pc = pc + 1;
                     self.procs[pid].generation += 1;
+                    // If this activation already changed one of the nets
+                    // it is about to wait on (continuous assigns write
+                    // before re-arming), the notification fired while no
+                    // watcher was registered. Re-arm the process as a
+                    // fresh delta instead of suspending; a genuinely
+                    // oscillating design then runs into the
+                    // `max_deltas_per_step` ceiling and gets a clear
+                    // [`LimitKind::DeltaCycles`] diagnostic rather than
+                    // silently settling at a wrong value.
+                    let self_wake = self.activation_changes.iter().find_map(|(net, old, new)| {
+                        let woken = triggers.iter().any(|t| match t {
+                            Trigger::AnyChange(n) => n == net,
+                            Trigger::Posedge(n) => {
+                                n == net && *new == Logic::One && *old != Logic::One
+                            }
+                            Trigger::Negedge(n) => {
+                                n == net && *new == Logic::Zero && *old != Logic::Zero
+                            }
+                        });
+                        woken.then_some(*net)
+                    });
+                    if let Some(net) = self_wake {
+                        self.procs[pid].status = Status::Runnable;
+                        self.procs[pid].last_wake = Some(net);
+                        self.runnable.push_back(pid);
+                        return;
+                    }
                     self.procs[pid].status = Status::Waiting;
                     self.procs[pid].waits = triggers.clone();
                     let generation = self.procs[pid].generation;
@@ -613,6 +649,7 @@ impl<'d> Simulator<'d> {
             return;
         }
         self.values[idx] = new.clone();
+        self.activation_changes.push((net, old.get(0), new.get(0)));
         if let Some((_, changes)) = &mut self.waves {
             changes.push(vcd::Change {
                 time: self.time,
@@ -918,6 +955,93 @@ mod tests {
         d.add_process(toggler(b, a, "p2"));
         let r = Simulator::new(&d, SimConfig::default()).run();
         assert_eq!(r.limit_hit, Some(LimitKind::DeltaCycles));
+    }
+
+    #[test]
+    fn self_triggering_assign_hits_delta_limit() {
+        // `assign a = ~a` with a driven initial value: the process
+        // changes its own trigger net before re-arming. It used to lose
+        // the self-notification and settle silently at a wrong value;
+        // now it must oscillate into the delta-cycle ceiling with a
+        // clear diagnostic.
+        let mut d = Design::new("t");
+        let a = d.add_net(reg("a", 1, Some(0)));
+        d.add_continuous_assign(
+            LValue::Net(a),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(Expr::Net(a)),
+            },
+        );
+        let r = Simulator::new(&d, SimConfig::default()).run();
+        assert_eq!(r.limit_hit, Some(LimitKind::DeltaCycles));
+        assert!(!r.is_clean());
+        assert!(
+            r.lines.iter().any(|l| l.text.contains("delta-cycle limit")),
+            "log: {}",
+            r.log_text()
+        );
+    }
+
+    #[test]
+    fn self_write_without_change_still_settles() {
+        // Writing one's own trigger net with an *unchanged* value is not
+        // a self-notification (no event fires); the process must suspend
+        // normally and the run must starve cleanly.
+        let mut d = Design::new("t");
+        let a = d.add_net(reg("a", 1, Some(1)));
+        // assign a = a & a; -- identity, value never changes.
+        d.add_continuous_assign(
+            LValue::Net(a),
+            Expr::Binary {
+                op: BinaryOp::And,
+                lhs: Box::new(Expr::Net(a)),
+                rhs: Box::new(Expr::Net(a)),
+            },
+        );
+        let r = Simulator::new(&d, SimConfig::default()).run();
+        assert!(r.starved, "no events left after the identity write");
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn self_posedge_rearms_with_edge_semantics() {
+        // A process waiting on posedge of a net it drives 0→1 during its
+        // own activation must re-arm (the edge really happened); the
+        // second pass writes 1→1 (no change) and suspends for good.
+        let mut d = Design::new("t");
+        let a = d.add_net(reg("a", 1, Some(0)));
+        let hits = d.add_net(reg("hits", 4, Some(0)));
+        d.add_process(Process {
+            name: "p".into(),
+            kind: ProcessKind::Always,
+            body: vec![
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(a),
+                    expr: Expr::constant(1, 1),
+                },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(hits),
+                    expr: Expr::Binary {
+                        op: BinaryOp::Add,
+                        lhs: Box::new(Expr::Net(hits)),
+                        rhs: Box::new(Expr::constant(4, 1)),
+                    },
+                },
+                Instr::WaitEvent {
+                    triggers: vec![Trigger::Posedge(a)],
+                },
+                Instr::Jump(0),
+            ],
+        });
+        let mut sim = Simulator::new(&d, SimConfig::default());
+        let r = sim.run();
+        assert!(r.starved, "second pass sees no edge and suspends");
+        assert_eq!(
+            sim.net_value("hits").and_then(LogicVec::to_u64),
+            Some(2),
+            "exactly one self-wake: initial pass + edge-triggered pass"
+        );
     }
 
     #[test]

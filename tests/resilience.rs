@@ -1,0 +1,155 @@
+//! Resilience suite: injected faults, retries, breaker trips and
+//! degradations must be *deterministic* — bit-identical for every
+//! thread count, because every fault decision is a pure function of
+//! request content — and fault-free runs must leave artifacts
+//! indistinguishable from a build without the resilience layer.
+//!
+//! Floating-point comparison is `to_bits` equality, never an epsilon:
+//! the guarantee under test is that `AIVRIL_THREADS` changes nothing,
+//! including backoff summation order.
+
+use aivril_bench::{EvalStats, Flow, Harness, HarnessConfig};
+use aivril_core::ResilienceCounters;
+use aivril_llm::{profiles, FaultConfig};
+use aivril_metrics::EvalOutcome;
+use aivril_obs::{render_journal, Recorder};
+
+fn harness(threads: usize, faults: FaultConfig, recorder: Recorder) -> Harness {
+    Harness::new(HarnessConfig {
+        samples: 2,
+        task_limit: 8,
+        threads,
+        faults,
+        ..HarnessConfig::default()
+    })
+    .with_recorder(recorder)
+}
+
+fn run(threads: usize, faults: FaultConfig, recorder: Recorder) -> (Vec<EvalOutcome>, EvalStats) {
+    harness(threads, faults, recorder).evaluate_with_stats(
+        &profiles::claude35_sonnet(),
+        true,
+        Flow::Aivril2,
+    )
+}
+
+/// Bitwise equality of two outcome sets, including the crash flag.
+fn assert_bit_identical(a: &[EvalOutcome], b: &[EvalOutcome], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: task count differs");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.task, y.task, "{what}: task order differs");
+        for (i, (s, t)) in x.samples.iter().zip(&y.samples).enumerate() {
+            let ctx = format!("{what}: task {} sample {i}", x.task);
+            assert_eq!(s.syntax, t.syntax, "{ctx}: syntax");
+            assert_eq!(s.functional, t.functional, "{ctx}: functional");
+            assert_eq!(s.crashed, t.crashed, "{ctx}: crashed");
+            assert_eq!(s.syntax_iters, t.syntax_iters, "{ctx}: syntax_iters");
+            assert_eq!(
+                s.functional_iters, t.functional_iters,
+                "{ctx}: functional_iters"
+            );
+            assert_eq!(
+                s.total_latency.to_bits(),
+                t.total_latency.to_bits(),
+                "{ctx}: total_latency {} vs {}",
+                s.total_latency,
+                t.total_latency
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_grid_is_bit_identical_across_thread_counts() {
+    let faults = FaultConfig::uniform(0.2);
+    let (a, sa) = run(1, faults, Recorder::disabled());
+    let (b, sb) = run(2, faults, Recorder::disabled());
+    let (c, sc) = run(4, faults, Recorder::disabled());
+    assert_bit_identical(&a, &b, "1 vs 2 threads under faults");
+    assert_bit_identical(&a, &c, "1 vs 4 threads under faults");
+    assert_eq!(sa.resilience, sb.resilience, "1 vs 2 threads: counters");
+    assert_eq!(sa.resilience, sc.resilience, "1 vs 4 threads: counters");
+    assert_eq!(
+        sa.resilience.backoff_s.to_bits(),
+        sc.resilience.backoff_s.to_bits(),
+        "backoff accumulation must not depend on scheduling"
+    );
+    assert_eq!(sa.modeled_seconds.to_bits(), sb.modeled_seconds.to_bits());
+    assert_eq!(sa.modeled_seconds.to_bits(), sc.modeled_seconds.to_bits());
+    // The plan must actually have fired, or the test proves nothing.
+    assert!(sa.resilience.llm_faults > 0, "no faults fired: {sa}");
+    assert!(sa.resilience.retries > 0, "no retries happened: {sa}");
+    assert!(sa.resilience.backoff_s > 0.0, "no backoff waited: {sa}");
+    assert_eq!(sa.crashed, 0, "faults are handled, never crashes");
+}
+
+#[test]
+fn faulted_journals_and_metrics_are_identical_across_thread_counts() {
+    let faults = FaultConfig::uniform(0.2);
+    let serial = Recorder::new();
+    let _ = run(1, faults, serial.clone());
+    let four = Recorder::new();
+    let _ = run(4, faults, four.clone());
+    assert_eq!(
+        render_journal(&serial),
+        render_journal(&four),
+        "faulted journal bytes must not depend on AIVRIL_THREADS"
+    );
+    assert_eq!(
+        serial.metrics().snapshot(),
+        four.metrics().snapshot(),
+        "faulted metrics must not depend on AIVRIL_THREADS"
+    );
+    // Fault telemetry is present — and only in the diagnostic view.
+    let rendered = serial.metrics().render();
+    assert!(
+        rendered.contains("resilience_llm_faults_total"),
+        "{rendered}"
+    );
+    assert!(
+        !serial
+            .metrics()
+            .canonical()
+            .render()
+            .contains("resilience_"),
+        "resilience series must be diagnostic-only"
+    );
+}
+
+#[test]
+fn fault_free_artifacts_carry_no_resilience_traces() {
+    let rec = Recorder::new();
+    let (_, stats) = run(2, FaultConfig::off(), rec.clone());
+    assert_eq!(stats.resilience, ResilienceCounters::default());
+    assert_eq!(stats.crashed, 0);
+    assert!(
+        !stats.to_string().contains("resilience"),
+        "fault-free stats line must match pre-resilience output"
+    );
+    let journal = render_journal(&rec);
+    assert!(
+        !journal.contains("\"fault\""),
+        "fault-free journal must contain no fault spans"
+    );
+    let metrics = rec.metrics().render();
+    assert!(
+        !metrics.contains("resilience_"),
+        "fault-free metrics must contain no resilience series"
+    );
+}
+
+#[test]
+fn saturating_faults_degrade_every_run_without_crashing() {
+    // Every LLM call fails: retries exhaust, breakers open, and every
+    // run must still come back as a structured (degraded) failure.
+    let (outcomes, stats) = run(1, FaultConfig::uniform(1.0), Recorder::disabled());
+    assert_eq!(outcomes.len(), 8);
+    assert_eq!(stats.crashed, 0, "total fault saturation must not panic");
+    assert!(stats.resilience.degraded > 0, "{stats}");
+    assert!(stats.resilience.breaker_opens > 0, "{stats}");
+    for o in &outcomes {
+        for s in &o.samples {
+            assert!(!s.functional, "no run can pass with every call failing");
+        }
+    }
+}
