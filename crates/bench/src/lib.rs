@@ -34,7 +34,7 @@ use aivril_eda::{CacheStats, EdaCache, HdlFile, ToolSuite, XsimToolSuite};
 use aivril_llm::{FaultConfig, ModelProfile, SimLlm, TaskLibrary};
 use aivril_metrics::{EvalOutcome, SampleOutcome};
 use aivril_obs::{json, Recorder};
-use aivril_sim::SimConfig;
+use aivril_sim::{KernelPerf, SimConfig};
 use aivril_verilogeval::{suite, Problem};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -208,6 +208,12 @@ pub struct EvalStats {
     /// Runs that panicked and were isolated by the harness; each is
     /// scored as a failed sample.
     pub crashed: u64,
+    /// Simulation-kernel performance counters scoped to this evaluation
+    /// (delta of the suite's lifetime totals). Diagnostic only — like
+    /// `eda_cache`, excluded from canonical comparisons; deterministic
+    /// across `AIVRIL_THREADS` and cache modes because cache hits fold
+    /// the stored run's counters.
+    pub kernel: KernelPerf,
 }
 
 impl fmt::Display for EvalStats {
@@ -228,6 +234,16 @@ impl fmt::Display for EvalStats {
         )?;
         if let Some(cache) = &self.eda_cache {
             write!(f, " | cache: {cache}")?;
+        }
+        if self.kernel.instructions > 0 {
+            write!(
+                f,
+                " | kernel: {} instrs @ {:.0} instrs/sim-s, {} spilled evals, {} compactions",
+                self.kernel.instructions,
+                self.kernel.instrs_per_sim_sec(),
+                self.kernel.eval_allocs,
+                self.kernel.compactions,
+            )?;
         }
         // Only printed when something actually went wrong, so fault-free
         // output stays byte-identical to pre-resilience builds.
@@ -490,6 +506,7 @@ impl Harness {
     ) -> (Vec<EvalOutcome>, EvalStats) {
         let start = Instant::now();
         let cache_before = self.cache_stats();
+        let kernel_before = self.tools.kernel_stats();
         let problems = self.problems();
         let samples = self.config.samples as usize;
         let total = problems.len() * samples;
@@ -603,6 +620,7 @@ impl Harness {
             eda_cache,
             resilience: ResilienceCounters::default(),
             crashed: 0,
+            kernel: self.tools.kernel_stats().since(&kernel_before),
         };
         let mut outcomes = Vec::with_capacity(problems.len());
         let mut slots = slots.into_iter();
@@ -730,12 +748,12 @@ pub struct ResultSection {
 }
 
 /// Serialises evaluation results as schema-versioned JSON
-/// (`aivril.results` version 3; v2 added the per-section
+/// (`aivril.results` version 4; v2 added the per-section
 /// `stats.eda_cache` block, v3 the per-section `stats.resilience`
-/// block and the per-sample `crashed` flag) — the `--json <path>`
-/// payload of the table/figure binaries. Hand-rolled (the build has no
-/// registry access) but deterministic: fixed field order, fixed float
-/// format.
+/// block and the per-sample `crashed` flag, v4 the diagnostic
+/// `stats.kernel` performance block) — the `--json <path>` payload of
+/// the table/figure binaries. Hand-rolled (the build has no registry
+/// access) but deterministic: fixed field order, fixed float format.
 #[must_use]
 pub fn results_json(sections: &[ResultSection]) -> String {
     let sample_json = |s: &SampleOutcome| {
@@ -787,6 +805,19 @@ pub fn results_json(sections: &[ResultSection]) -> String {
             ("sim_diverged", s.resilience.sim_diverged.to_string()),
             ("crashed", s.crashed.to_string()),
         ]);
+        // Diagnostic kernel performance block: every field is derived
+        // from thread- and cache-mode-invariant integer counters, so it
+        // is as deterministic as the canonical fields around it.
+        let kernel = json::object(&[
+            ("instructions", s.kernel.instructions.to_string()),
+            ("sim_time_ns", s.kernel.sim_time_ns.to_string()),
+            (
+                "instrs_per_sim_sec",
+                json::number(s.kernel.instrs_per_sim_sec()),
+            ),
+            ("eval_allocs", s.kernel.eval_allocs.to_string()),
+            ("compactions", s.kernel.compactions.to_string()),
+        ]);
         json::object(&[
             ("runs", s.runs.to_string()),
             ("threads", s.threads.to_string()),
@@ -798,6 +829,7 @@ pub fn results_json(sections: &[ResultSection]) -> String {
             ("functional_iters", s.functional_iters.to_string()),
             ("eda_cache", cache),
             ("resilience", resilience),
+            ("kernel", kernel),
         ])
     };
     let sections: Vec<String> = sections
@@ -815,7 +847,7 @@ pub fn results_json(sections: &[ResultSection]) -> String {
         "{}\n",
         json::object(&[
             ("schema", json::string("aivril.results")),
-            ("version", "3".to_string()),
+            ("version", "4".to_string()),
             ("sections", format!("[{}]", sections.join(","))),
         ])
     )
@@ -1091,5 +1123,33 @@ mod tests {
         );
         let display = stats.to_string();
         assert!(display.contains("18 runs"), "{display}");
+        assert!(
+            stats.kernel.instructions > 0,
+            "every evaluation simulates something"
+        );
+        assert!(stats.kernel.sim_time_ns > 0);
+        assert!(display.contains("kernel:"), "{display}");
+    }
+
+    #[test]
+    fn kernel_stats_are_identical_across_cache_modes() {
+        let profile = profiles::claude35_sonnet();
+        let cached = Harness::new(HarnessConfig {
+            samples: 2,
+            task_limit: 3,
+            eda_cache: true,
+            ..HarnessConfig::default()
+        });
+        let plain = Harness::new(HarnessConfig {
+            samples: 2,
+            task_limit: 3,
+            ..HarnessConfig::default()
+        });
+        let (_, sc) = cached.evaluate_with_stats(&profile, true, Flow::Aivril2);
+        let (_, sp) = plain.evaluate_with_stats(&profile, true, Flow::Aivril2);
+        assert_eq!(
+            sc.kernel, sp.kernel,
+            "cache hits must fold the stored run's counters"
+        );
     }
 }

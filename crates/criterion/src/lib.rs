@@ -7,9 +7,20 @@
 //! each benchmark warms up briefly, then reports the best-of-runs
 //! nanoseconds per iteration. Good enough to compare hot paths before
 //! and after a change; not a substitute for criterion's rigour.
+//!
+//! Two environment switches extend the plain-text report:
+//!
+//! * `CRITERION_JSON=<path>` — append one JSON line per benchmark
+//!   (`{"name": ..., "ns_per_iter": ...}`) to `<path>`, so CI can
+//!   upload a machine-readable report artifact.
+//! * `CRITERION_QUICK=1` — quick mode: smaller batches and fewer
+//!   timed rounds. Noisier numbers, much faster wall clock; meant for
+//!   smoke jobs that only check the benches still run and produce a
+//!   report, not for comparing timings.
 
 #![warn(missing_docs)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -18,6 +29,37 @@ pub use std::hint::black_box;
 #[derive(Debug, Default)]
 pub struct Criterion {
     _private: (),
+}
+
+/// `true` when `CRITERION_QUICK` asks for the fast, noisy mode.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Appends one benchmark's JSON record to the `CRITERION_JSON` file,
+/// when that switch is set. Formatting is fixed (name, then
+/// `ns_per_iter` with one decimal) so reports diff cleanly.
+fn append_json_record(name: &str, ns_per_iter: f64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"name\":\"{}\",\"ns_per_iter\":{:.1},\"quick\":{}}}\n",
+        name.escape_default(),
+        ns_per_iter,
+        quick_mode()
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("[criterion] cannot append to {path}: {e}");
+    }
 }
 
 impl Criterion {
@@ -30,6 +72,7 @@ impl Criterion {
         f(&mut bencher);
         if bencher.measured {
             println!("{name:<40} {:>12.1} ns/iter", bencher.best_ns_per_iter);
+            append_json_record(name, bencher.best_ns_per_iter);
         } else {
             println!("{name:<40} (no measurement: Bencher::iter never called)");
         }
@@ -48,7 +91,13 @@ impl Bencher {
     /// Measures `f`: short warmup, then several timed batches; the best
     /// batch (least interference) is reported.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warmup + batch sizing: grow the batch until it takes ≥ ~5 ms.
+        // Warmup + batch sizing: grow the batch until it takes long
+        // enough to time reliably (~5 ms, or ~1 ms in quick mode).
+        let (target, rounds) = if quick_mode() {
+            (Duration::from_millis(1), 2)
+        } else {
+            (Duration::from_millis(5), 5)
+        };
         let mut batch = 1u64;
         loop {
             let start = Instant::now();
@@ -56,12 +105,12 @@ impl Bencher {
                 black_box(f());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+            if elapsed >= target || batch >= 1 << 20 {
                 break;
             }
             batch *= 2;
         }
-        for _ in 0..5 {
+        for _ in 0..rounds {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(f());

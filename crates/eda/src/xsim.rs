@@ -1,5 +1,6 @@
 //! The Vivado-like tool suite implementation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::cache::{self, CompileEntry, EdaCache, SimEntry};
@@ -11,7 +12,7 @@ use aivril_hdl::diag::{Diagnostics, Severity};
 use aivril_hdl::ir::Design;
 use aivril_hdl::source::SourceMap;
 use aivril_obs::Recorder;
-use aivril_sim::{SimConfig, Simulator};
+use aivril_sim::{KernelPerf, SimConfig, Simulator};
 
 /// The testbench completion marker AIVRIL2's agents look for — the same
 /// phrase the paper's Fig. 2 example prints on success.
@@ -28,6 +29,48 @@ pub struct XsimToolSuite {
     sim_config: SimConfig,
     recorder: Recorder,
     cache: Option<EdaCache>,
+    /// Kernel performance counters, summed over every simulation this
+    /// suite (and its clones — the worker pool) executes or replays
+    /// from cache. Diagnostic only; never feeds canonical artifacts.
+    kernel: Arc<KernelCounters>,
+}
+
+/// Thread-safe accumulator behind [`XsimToolSuite::kernel_stats`].
+/// Per-run [`KernelPerf`] values are integers and addition commutes, so
+/// the totals are independent of worker count, scheduling order, and
+/// cache mode (cache hits fold the *stored* run's counters).
+#[derive(Debug, Default)]
+struct KernelCounters {
+    instructions: AtomicU64,
+    sim_time_ns: AtomicU64,
+    eval_allocs: AtomicU64,
+    compactions: AtomicU64,
+    scratch_slots_max: AtomicU64,
+}
+
+impl KernelCounters {
+    fn fold(&self, perf: &KernelPerf) {
+        self.instructions
+            .fetch_add(perf.instructions, Ordering::Relaxed);
+        self.sim_time_ns
+            .fetch_add(perf.sim_time_ns, Ordering::Relaxed);
+        self.eval_allocs
+            .fetch_add(perf.eval_allocs, Ordering::Relaxed);
+        self.compactions
+            .fetch_add(perf.compactions, Ordering::Relaxed);
+        self.scratch_slots_max
+            .fetch_max(perf.scratch_slots, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> KernelPerf {
+        KernelPerf {
+            instructions: self.instructions.load(Ordering::Relaxed),
+            sim_time_ns: self.sim_time_ns.load(Ordering::Relaxed),
+            eval_allocs: self.eval_allocs.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            scratch_slots: self.scratch_slots_max.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl XsimToolSuite {
@@ -76,6 +119,15 @@ impl XsimToolSuite {
     #[must_use]
     pub fn cache(&self) -> Option<&EdaCache> {
         self.cache.as_ref()
+    }
+
+    /// Snapshot of the kernel performance counters accumulated across
+    /// every simulation this suite and its clones ran (or replayed from
+    /// cache — hits fold the stored run's counters, keeping cache-on
+    /// and cache-off totals identical). Purely diagnostic.
+    #[must_use]
+    pub fn kernel_stats(&self) -> KernelPerf {
+        self.kernel.snapshot()
     }
 
     /// Counters + histogram for one compile-like tool invocation (only
@@ -347,6 +399,7 @@ impl XsimToolSuite {
         let mut sim = Simulator::new(&design, self.sim_config).with_recorder(self.recorder.clone());
         sim.record_waves();
         let result = sim.run();
+        self.kernel.fold(&sim.perf());
         let vcd = sim.vcd();
         log.push_str(&result.log_text());
         let diverged = diverged_from(&result);
@@ -418,6 +471,7 @@ impl XsimToolSuite {
             sim.collect_telemetry();
         }
         let result = sim.run();
+        self.kernel.fold(&sim.perf());
         log.push_str(&result.log_text());
         if result.finished {
             log.push_str(&format!(
@@ -490,6 +544,9 @@ impl XsimToolSuite {
         if !computed_here {
             if let Some(kernel) = &entry.kernel {
                 kernel.record_to(&self.recorder);
+                // Fold the stored run's counters so the suite totals are
+                // the same whether the kernel executed or was replayed.
+                self.kernel.fold(&kernel.perf());
             }
         }
         (entry.report.clone(), entry.sim_latency, Some(hit))
@@ -797,6 +854,31 @@ mod tests {
         assert_eq!(a1.log, a2.log);
         let stats = cached.cache().expect("cache").stats();
         assert_eq!((stats.misses, stats.hits), (3, 3));
+    }
+
+    #[test]
+    fn kernel_stats_are_cache_mode_invariant_and_shared_by_clones() {
+        let files = [HdlFile::new("inv.v", GOOD_V), HdlFile::new("tb.v", GOOD_TB)];
+        let plain = XsimToolSuite::new();
+        plain.simulate(&files, Some("tb"));
+        let once = plain.kernel_stats();
+        assert!(once.instructions > 0, "the kernel executed something");
+        assert!(once.sim_time_ns > 0);
+
+        // Two simulates with the cache on: the second is a replay, but
+        // its stored counters must fold in as if it had run.
+        let cached = XsimToolSuite::new().with_cache(EdaCache::new());
+        cached.simulate(&files, Some("tb"));
+        let clone = cached.clone();
+        clone.simulate(&files, Some("tb"));
+        let twice = cached.kernel_stats();
+        assert_eq!(twice.instructions, 2 * once.instructions);
+        assert_eq!(twice.sim_time_ns, 2 * once.sim_time_ns);
+        assert_eq!(twice.eval_allocs, 2 * once.eval_allocs);
+        assert_eq!(
+            twice.scratch_slots, once.scratch_slots,
+            "arena high-water is a max, not a sum"
+        );
     }
 
     #[test]

@@ -5,9 +5,77 @@
 //! All operations follow IEEE 1364 semantics: bitwise operators resolve
 //! per bit, while arithmetic and relational operators degrade to all-`X`
 //! as soon as any operand bit is unknown.
+//!
+//! # Representation
+//!
+//! The planes use a small-value representation: vectors of 64 bits or
+//! fewer keep their single `(aval, bval)` word pair inline with zero
+//! heap allocation (the overwhelming majority of nets in the benchmark
+//! suite), spilling to heap-allocated `Vec<u64>` planes only for wider
+//! vectors. The representation is canonical — a given width always uses
+//! the same variant — so structural equality and hashing are unaffected.
+//! Every operation additionally has a word-level fast path for the
+//! one-word case, and the multi-word paths operate on whole words with
+//! implicit zero-extension rather than materialising resized copies.
 
 use crate::logic::Logic;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// One bit-plane: a single word inline for widths <= 64, a heap
+/// vector beyond. The variant is determined solely by the vector's
+/// width, so equal values always have equal representations.
+#[derive(Debug, Clone)]
+enum Words {
+    Inline(u64),
+    Spilled(Vec<u64>),
+}
+
+impl Words {
+    /// A plane of `n` words, each set to `fill`.
+    fn filled(n: usize, fill: u64) -> Words {
+        if n == 1 {
+            Words::Inline(fill)
+        } else {
+            Words::Spilled(vec![fill; n])
+        }
+    }
+}
+
+impl Deref for Words {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        match self {
+            Words::Inline(w) => std::slice::from_ref(w),
+            Words::Spilled(v) => v,
+        }
+    }
+}
+
+impl DerefMut for Words {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        match self {
+            Words::Inline(w) => std::slice::from_mut(w),
+            Words::Spilled(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Words {
+    fn eq(&self, other: &Words) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Words {}
+
+impl Hash for Words {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
+    }
+}
 
 /// A fixed-width vector of four-state logic values.
 ///
@@ -28,16 +96,70 @@ use std::fmt;
 pub struct LogicVec {
     width: u32,
     /// Value plane: bit set = `1` or `X`.
-    aval: Vec<u64>,
+    aval: Words,
     /// Unknown plane: bit set = `Z` or `X`.
-    bval: Vec<u64>,
+    bval: Words,
 }
 
 fn words_for(width: u32) -> usize {
     (width as usize).div_ceil(64)
 }
 
+/// Mask covering the low `width` bits of a word (`width` clamped to 64).
+fn low_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Word `i` of a plane, reading zero beyond its end (the implicit
+/// zero-extension every width-mixing operation relies on).
+fn word_at(plane: &[u64], i: usize) -> u64 {
+    plane.get(i).copied().unwrap_or(0)
+}
+
+/// The 64 plane bits starting at bit position `bit`, zero-extended.
+fn extract_word(plane: &[u64], bit: u32) -> u64 {
+    let (ws, bs) = ((bit / 64) as usize, bit % 64);
+    let lo = word_at(plane, ws) >> bs;
+    let hi = if bs > 0 {
+        word_at(plane, ws + 1) << (64 - bs)
+    } else {
+        0
+    };
+    lo | hi
+}
+
+/// ORs `src` shifted left by `shift` bits into `dst` (bits falling
+/// beyond `dst` are dropped). Used by concatenation.
+fn or_shifted(dst: &mut [u64], src: &[u64], shift: u32) {
+    let (ws, bs) = ((shift / 64) as usize, shift % 64);
+    for (i, &w) in src.iter().enumerate() {
+        let pos = ws + i;
+        if pos < dst.len() {
+            dst[pos] |= w << bs;
+        }
+        if bs > 0 && pos + 1 < dst.len() {
+            dst[pos + 1] |= w >> (64 - bs);
+        }
+    }
+}
+
 impl LogicVec {
+    /// Builds a one-word vector from pre-computed planes, masking to
+    /// `width`. Only valid for `width <= 64`.
+    fn inline(width: u32, aval: u64, bval: u64) -> LogicVec {
+        debug_assert!(0 < width && width <= 64);
+        let m = low_mask(width);
+        LogicVec {
+            width,
+            aval: Words::Inline(aval & m),
+            bval: Words::Inline(bval & m),
+        }
+    }
+
     /// Creates a vector of `width` bits, every bit set to `fill`.
     ///
     /// # Panics
@@ -50,8 +172,8 @@ impl LogicVec {
         let (a, b) = fill.to_avab();
         let mut v = LogicVec {
             width,
-            aval: vec![if a { u64::MAX } else { 0 }; n],
-            bval: vec![if b { u64::MAX } else { 0 }; n],
+            aval: Words::filled(n, if a { u64::MAX } else { 0 }),
+            bval: Words::filled(n, if b { u64::MAX } else { 0 }),
         };
         v.mask_top();
         v
@@ -72,11 +194,11 @@ impl LogicVec {
     /// Builds a vector of `width` bits from the low bits of `value`.
     #[must_use]
     pub fn from_u64(width: u32, value: u64) -> LogicVec {
+        if width <= 64 {
+            return LogicVec::inline(width, value, 0);
+        }
         let mut v = LogicVec::zeros(width);
         v.aval[0] = value;
-        if width < 64 {
-            v.aval[0] &= (1u64 << width) - 1;
-        }
         v
     }
 
@@ -84,6 +206,13 @@ impl LogicVec {
     #[must_use]
     pub fn from_logic(value: Logic) -> LogicVec {
         LogicVec::filled(1, value)
+    }
+
+    /// `true` when this vector's planes are heap-allocated (width > 64).
+    /// Diagnostic hook for the kernel's allocation accounting.
+    #[must_use]
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.aval, Words::Spilled(_))
     }
 
     /// Builds a vector from bits listed MSB-first, as they appear in a
@@ -180,7 +309,11 @@ impl LogicVec {
     /// on unknown bits.
     #[must_use]
     pub fn to_bool(&self) -> Option<bool> {
-        let any_one = self.aval.iter().zip(&self.bval).any(|(&a, &b)| a & !b != 0);
+        let any_one = self
+            .aval
+            .iter()
+            .zip(&*self.bval)
+            .any(|(&a, &b)| a & !b != 0);
         if any_one {
             return Some(true);
         }
@@ -205,9 +338,22 @@ impl LogicVec {
         }
     }
 
+    /// Valid-bit mask for word `i` of this vector's planes.
+    fn word_mask(&self, i: usize) -> u64 {
+        let rem = self.width % 64;
+        if rem != 0 && i == words_for(self.width) - 1 {
+            (1u64 << rem) - 1
+        } else {
+            u64::MAX
+        }
+    }
+
     /// Zero-extends or truncates to `width` bits.
     #[must_use]
     pub fn resize(&self, width: u32) -> LogicVec {
+        if width <= 64 && self.width <= 64 {
+            return LogicVec::inline(width, self.aval[0], self.bval[0]);
+        }
         let mut out = LogicVec::zeros(width);
         let n = out.aval.len().min(self.aval.len());
         out.aval[..n].copy_from_slice(&self.aval[..n]);
@@ -269,11 +415,18 @@ impl LogicVec {
         f: impl Fn(u64, u64, u64, u64) -> (u64, u64),
     ) -> LogicVec {
         let width = self.width.max(rhs.width);
-        let a = self.resize(width);
-        let b = rhs.resize(width);
+        if width <= 64 {
+            let (av, bv) = f(self.aval[0], self.bval[0], rhs.aval[0], rhs.bval[0]);
+            return LogicVec::inline(width, av, bv);
+        }
         let mut out = LogicVec::zeros(width);
         for i in 0..out.aval.len() {
-            let (av, bv) = f(a.aval[i], a.bval[i], b.aval[i], b.bval[i]);
+            let (av, bv) = f(
+                word_at(&self.aval, i),
+                word_at(&self.bval, i),
+                word_at(&rhs.aval, i),
+                word_at(&rhs.bval, i),
+            );
             out.aval[i] = av;
             out.bval[i] = bv;
         }
@@ -295,22 +448,53 @@ impl LogicVec {
         out
     }
 
-    /// Reduction AND over all bits.
+    /// Reduction AND over all bits: `0` if any bit is a known zero, else
+    /// `X` if any bit is unknown, else `1` (word-parallel; matches the
+    /// per-bit [`Logic::and`] fold because AND is monotone and
+    /// commutative).
     #[must_use]
     pub fn reduce_and(&self) -> Logic {
-        self.iter().fold(Logic::One, Logic::and)
+        let mut unknown = false;
+        for (i, (&a, &b)) in self.aval.iter().zip(&*self.bval).enumerate() {
+            if !a & !b & self.word_mask(i) != 0 {
+                return Logic::Zero;
+            }
+            unknown |= b != 0;
+        }
+        if unknown {
+            Logic::X
+        } else {
+            Logic::One
+        }
     }
 
-    /// Reduction OR over all bits.
+    /// Reduction OR over all bits: `1` if any bit is a known one, else
+    /// `X` if any bit is unknown, else `0` (word-parallel).
     #[must_use]
     pub fn reduce_or(&self) -> Logic {
-        self.iter().fold(Logic::Zero, Logic::or)
+        let mut unknown = false;
+        for (&a, &b) in self.aval.iter().zip(&*self.bval) {
+            if a & !b != 0 {
+                return Logic::One;
+            }
+            unknown |= b != 0;
+        }
+        if unknown {
+            Logic::X
+        } else {
+            Logic::Zero
+        }
     }
 
-    /// Reduction XOR over all bits (parity).
+    /// Reduction XOR over all bits (parity): `X` if any bit is unknown,
+    /// else the popcount parity (word-parallel).
     #[must_use]
     pub fn reduce_xor(&self) -> Logic {
-        self.iter().fold(Logic::Zero, Logic::xor)
+        if self.has_unknown() {
+            return Logic::X;
+        }
+        let ones: u32 = self.aval.iter().map(|w| w.count_ones()).sum();
+        Logic::from_bool(ones % 2 == 1)
     }
 
     /// Word-level arithmetic helper, exact for results that fit in the low
@@ -320,11 +504,12 @@ impl LogicVec {
         if self.has_unknown() || rhs.has_unknown() {
             return LogicVec::xes(width);
         }
-        let a = self.resize(width);
-        let b = rhs.resize(width);
+        let low = op(self.aval[0], rhs.aval[0]);
+        if width <= 64 {
+            return LogicVec::inline(width, low, 0);
+        }
         let mut out = LogicVec::zeros(width);
-        out.aval[0] = op(a.aval[0], b.aval[0]);
-        out.mask_top();
+        out.aval[0] = low;
         out
     }
 
@@ -336,12 +521,13 @@ impl LogicVec {
         if self.has_unknown() || rhs.has_unknown() {
             return LogicVec::xes(width);
         }
-        let a = self.resize(width);
-        let b = rhs.resize(width);
+        if width <= 64 {
+            return LogicVec::inline(width, self.aval[0].wrapping_add(rhs.aval[0]), 0);
+        }
         let mut out = LogicVec::zeros(width);
         let mut carry = 0u128;
         for i in 0..out.aval.len() {
-            let sum = a.aval[i] as u128 + b.aval[i] as u128 + carry;
+            let sum = word_at(&self.aval, i) as u128 + word_at(&rhs.aval, i) as u128 + carry;
             out.aval[i] = sum as u64;
             carry = sum >> 64;
         }
@@ -356,7 +542,27 @@ impl LogicVec {
         if self.has_unknown() || rhs.has_unknown() {
             return LogicVec::xes(width);
         }
-        self.add(&rhs.resize(width).negate())
+        if width <= 64 {
+            return LogicVec::inline(width, self.aval[0].wrapping_sub(rhs.aval[0]), 0);
+        }
+        // a - b == a + (!b + 1) over the common width; `!b` is computed
+        // per word against that width's masks, so the borrow chain wraps
+        // exactly like the two's-complement path it replaces.
+        let mut out = LogicVec::zeros(width);
+        let last = out.aval.len() - 1;
+        let mut carry = 1u128;
+        for i in 0..out.aval.len() {
+            let m = if i == last {
+                low_mask(((width - 1) % 64) + 1)
+            } else {
+                u64::MAX
+            };
+            let sum = word_at(&self.aval, i) as u128 + (!word_at(&rhs.aval, i) & m) as u128 + carry;
+            out.aval[i] = sum as u64;
+            carry = sum >> 64;
+        }
+        out.mask_top();
+        out
     }
 
     /// Two's-complement negation with X-propagation.
@@ -365,7 +571,10 @@ impl LogicVec {
         if self.has_unknown() {
             return LogicVec::xes(self.width);
         }
-        self.not().add(&LogicVec::from_u64(self.width, 1))
+        if self.width <= 64 {
+            return LogicVec::inline(self.width, self.aval[0].wrapping_neg(), 0);
+        }
+        LogicVec::zeros(self.width).sub(self)
     }
 
     /// Multiplication (low bits) with X-propagation.
@@ -417,22 +626,48 @@ impl LogicVec {
     /// Shift left by a constant amount, filling with zeros.
     #[must_use]
     pub fn shift_left_const(&self, n: u32) -> LogicVec {
-        let mut out = LogicVec::zeros(self.width);
-        for i in n..self.width {
-            out.set(i, self.get(i - n));
+        if n >= self.width {
+            return LogicVec::zeros(self.width);
         }
+        if self.width <= 64 {
+            return LogicVec::inline(self.width, self.aval[0] << n, self.bval[0] << n);
+        }
+        let mut out = LogicVec::zeros(self.width);
+        let (ws, bs) = ((n / 64) as usize, n % 64);
+        for i in ws..out.aval.len() {
+            let lo_a = self.aval[i - ws] << bs;
+            let lo_b = self.bval[i - ws] << bs;
+            let (hi_a, hi_b) = if bs > 0 && i > ws {
+                (
+                    self.aval[i - ws - 1] >> (64 - bs),
+                    self.bval[i - ws - 1] >> (64 - bs),
+                )
+            } else {
+                (0, 0)
+            };
+            out.aval[i] = lo_a | hi_a;
+            out.bval[i] = lo_b | hi_b;
+        }
+        out.mask_top();
         out
     }
 
     /// Shift right by a constant amount, filling with zeros.
     #[must_use]
     pub fn shift_right_const(&self, n: u32) -> LogicVec {
-        let mut out = LogicVec::zeros(self.width);
-        if n < self.width {
-            for i in 0..self.width - n {
-                out.set(i, self.get(i + n));
-            }
+        if n >= self.width {
+            return LogicVec::zeros(self.width);
         }
+        if self.width <= 64 {
+            return LogicVec::inline(self.width, self.aval[0] >> n, self.bval[0] >> n);
+        }
+        let mut out = LogicVec::zeros(self.width);
+        for i in 0..out.aval.len() {
+            let bit = n + 64 * i as u32;
+            out.aval[i] = extract_word(&self.aval, bit);
+            out.bval[i] = extract_word(&self.bval, bit);
+        }
+        out.mask_top();
         out
     }
 
@@ -446,30 +681,20 @@ impl LogicVec {
         Logic::from_bool(self.known_equal(rhs))
     }
 
-    /// Case equality (`===`): exact four-state comparison, always `0`/`1`.
+    /// Case equality (`===`): exact four-state comparison, always `0`/`1`
+    /// (the shorter operand zero-extends, like the per-bit definition).
     #[must_use]
     pub fn case_eq(&self, rhs: &LogicVec) -> bool {
-        let width = self.width.max(rhs.width);
-        (0..width).all(|i| {
-            let a = if i < self.width {
-                self.get(i)
-            } else {
-                Logic::Zero
-            };
-            let b = if i < rhs.width {
-                rhs.get(i)
-            } else {
-                Logic::Zero
-            };
-            a == b
+        let n = self.aval.len().max(rhs.aval.len());
+        (0..n).all(|i| {
+            word_at(&self.aval, i) == word_at(&rhs.aval, i)
+                && word_at(&self.bval, i) == word_at(&rhs.bval, i)
         })
     }
 
     fn known_equal(&self, rhs: &LogicVec) -> bool {
-        let width = self.width.max(rhs.width);
-        let a = self.resize(width);
-        let b = rhs.resize(width);
-        a.aval == b.aval
+        let n = self.aval.len().max(rhs.aval.len());
+        (0..n).all(|i| word_at(&self.aval, i) == word_at(&rhs.aval, i))
     }
 
     /// Unsigned less-than: `X` on unknown operands.
@@ -508,11 +733,9 @@ impl LogicVec {
         if self.has_unknown() || rhs.has_unknown() {
             return None;
         }
-        let width = self.width.max(rhs.width);
-        let a = self.resize(width);
-        let b = rhs.resize(width);
-        for i in (0..a.aval.len()).rev() {
-            match a.aval[i].cmp(&b.aval[i]) {
+        let n = self.aval.len().max(rhs.aval.len());
+        for i in (0..n).rev() {
+            match word_at(&self.aval, i).cmp(&word_at(&rhs.aval, i)) {
                 std::cmp::Ordering::Equal => continue,
                 ord => return Some(ord),
             }
@@ -525,13 +748,18 @@ impl LogicVec {
     #[must_use]
     pub fn concat(&self, low: &LogicVec) -> LogicVec {
         let width = self.width + low.width;
+        if width <= 64 {
+            return LogicVec::inline(
+                width,
+                self.aval[0] << low.width | low.aval[0],
+                self.bval[0] << low.width | low.bval[0],
+            );
+        }
         let mut out = LogicVec::zeros(width);
-        for i in 0..low.width {
-            out.set(i, low.get(i));
-        }
-        for i in 0..self.width {
-            out.set(low.width + i, self.get(i));
-        }
+        or_shifted(&mut out.aval, &low.aval, 0);
+        or_shifted(&mut out.bval, &low.bval, 0);
+        or_shifted(&mut out.aval, &self.aval, low.width);
+        or_shifted(&mut out.bval, &self.bval, low.width);
         out
     }
 
@@ -557,10 +785,34 @@ impl LogicVec {
     pub fn slice(&self, msb: u32, lsb: u32) -> LogicVec {
         let (msb, lsb) = if msb >= lsb { (msb, lsb) } else { (lsb, msb) };
         let width = msb - lsb + 1;
-        let mut out = LogicVec::zeros(width);
-        for i in 0..width {
-            out.set(i, self.get(lsb + i));
+        // Bits at positions >= `known` fall outside the source and read X.
+        let known = self.width.saturating_sub(lsb);
+        if width <= 64 && self.width <= 64 {
+            if known == 0 {
+                return LogicVec::xes(width);
+            }
+            let xfill = low_mask(width) & !low_mask(known);
+            return LogicVec::inline(
+                width,
+                self.aval[0] >> lsb | xfill,
+                self.bval[0] >> lsb | xfill,
+            );
         }
+        let mut out = LogicVec::zeros(width);
+        for i in 0..out.aval.len() {
+            let bit = lsb + 64 * i as u32;
+            out.aval[i] = extract_word(&self.aval, bit);
+            out.bval[i] = extract_word(&self.bval, bit);
+        }
+        if known < width {
+            let (ws, bs) = ((known / 64) as usize, known % 64);
+            for i in ws..out.aval.len() {
+                let m = if i == ws { u64::MAX << bs } else { u64::MAX };
+                out.aval[i] |= m;
+                out.bval[i] |= m;
+            }
+        }
+        out.mask_top();
         out
     }
 
@@ -568,6 +820,27 @@ impl LogicVec {
     /// `value` as needed.
     pub fn set_slice(&mut self, msb: u32, lsb: u32, value: &LogicVec) {
         let (msb, lsb) = if msb >= lsb { (msb, lsb) } else { (lsb, msb) };
+        if lsb >= self.width {
+            return;
+        }
+        // Full overwrite by an equal-width value: copy the planes whole.
+        if lsb == 0 && msb + 1 >= self.width && value.width == self.width {
+            self.aval.copy_from_slice(&value.aval);
+            self.bval.copy_from_slice(&value.bval);
+            return;
+        }
+        if self.width <= 64 {
+            // Effective bits written: [lsb, min(msb + 1, self.width)).
+            let eff = (msb + 1).min(self.width) - lsb;
+            let window = low_mask(eff) << lsb;
+            // value bits beyond value.width read as known zero, which the
+            // plane encoding already provides.
+            let va = (value.aval[0] & low_mask(eff)) << lsb;
+            let vb = (value.bval[0] & low_mask(eff)) << lsb;
+            self.aval[0] = self.aval[0] & !window | va;
+            self.bval[0] = self.bval[0] & !window | vb;
+            return;
+        }
         for i in 0..=(msb - lsb) {
             let bit = if i < value.width {
                 value.get(i)
@@ -707,6 +980,30 @@ mod tests {
     }
 
     #[test]
+    fn wide_sub_borrows_across_words() {
+        // 2^64 - 1 == u64::MAX at width 100.
+        let a = LogicVec::from_u64(100, 0).set_bit_at(64);
+        let b = LogicVec::from_u64(100, 1);
+        let diff = a.sub(&b);
+        assert_eq!(diff.get(64), Logic::Zero);
+        for i in 0..64 {
+            assert_eq!(diff.get(i), Logic::One, "bit {i}");
+        }
+        // And 0 - 1 wraps to all-ones at the full width.
+        let z = LogicVec::zeros(100);
+        let wrapped = z.sub(&LogicVec::from_u64(100, 1));
+        assert!(wrapped.iter().all(|bit| bit == Logic::One));
+    }
+
+    impl LogicVec {
+        /// Test helper: returns a copy with bit `i` set to `1`.
+        fn set_bit_at(mut self, i: u32) -> LogicVec {
+            self.set(i, Logic::One);
+            self
+        }
+    }
+
+    #[test]
     fn div_by_zero_is_x() {
         let a = LogicVec::from_u64(8, 42);
         let z = LogicVec::from_u64(8, 0);
@@ -753,9 +1050,33 @@ mod tests {
     }
 
     #[test]
+    fn wide_concat_crosses_word_boundaries() {
+        let hi = LogicVec::from_u64(40, 0xAB_CDEF_0123);
+        let lo = LogicVec::from_u64(40, 0x45_6789_ABCD);
+        let v = hi.concat(&lo);
+        assert_eq!(v.width(), 80);
+        assert_eq!(v.slice(39, 0).to_u64(), Some(0x45_6789_ABCD));
+        assert_eq!(v.slice(79, 40).to_u64(), Some(0xAB_CDEF_0123));
+    }
+
+    #[test]
     fn replicate() {
         let v = LogicVec::from_u64(2, 0b10);
         assert_eq!(v.replicate(3).to_u64(), Some(0b101010));
+    }
+
+    #[test]
+    fn slice_out_of_range_reads_x() {
+        let v = LogicVec::from_u64(8, 0xFF);
+        let s = v.slice(11, 4);
+        assert_eq!(s.width(), 8);
+        for i in 0..4 {
+            assert_eq!(s.get(i), Logic::One, "in-range bit {i}");
+        }
+        for i in 4..8 {
+            assert_eq!(s.get(i), Logic::X, "out-of-range bit {i}");
+        }
+        assert!(v.slice(20, 10).iter().all(|b| b == Logic::X));
     }
 
     #[test]
@@ -763,6 +1084,18 @@ mod tests {
         let mut v = LogicVec::zeros(8);
         v.set_slice(7, 4, &LogicVec::from_u64(4, 0xF));
         assert_eq!(v.to_u64(), Some(0xF0));
+    }
+
+    #[test]
+    fn set_slice_clamps_to_width() {
+        let mut v = LogicVec::from_u64(8, 0xFF);
+        // Target bits beyond the vector are ignored; value bits beyond
+        // the value read as zero.
+        v.set_slice(11, 6, &LogicVec::from_u64(2, 0b01));
+        assert_eq!(v.to_u64(), Some(0b0111_1111));
+        let mut w = LogicVec::from_u64(8, 0);
+        w.set_slice(20, 10, &LogicVec::from_u64(4, 0xF));
+        assert_eq!(w.to_u64(), Some(0));
     }
 
     #[test]
@@ -775,12 +1108,38 @@ mod tests {
     }
 
     #[test]
+    fn wide_shifts_cross_words() {
+        let v = LogicVec::from_u64(130, 0b1011);
+        let l = v.shift_left_const(70);
+        assert_eq!(l.get(70), Logic::One);
+        assert_eq!(l.get(71), Logic::One);
+        assert_eq!(l.get(72), Logic::Zero);
+        assert_eq!(l.get(73), Logic::One);
+        assert_eq!(l.shift_right_const(70).slice(3, 0).to_u64(), Some(0b1011));
+        // X/Z bits travel with the shift.
+        let mut x = LogicVec::zeros(130);
+        x.set(0, Logic::X);
+        assert_eq!(x.shift_left_const(100).get(100), Logic::X);
+    }
+
+    #[test]
     fn reductions() {
         assert_eq!(LogicVec::from_u64(4, 0xF).reduce_and(), Logic::One);
         assert_eq!(LogicVec::from_u64(4, 0x7).reduce_and(), Logic::Zero);
         assert_eq!(LogicVec::from_u64(4, 0).reduce_or(), Logic::Zero);
         assert_eq!(LogicVec::from_u64(4, 0b0110).reduce_xor(), Logic::Zero);
         assert_eq!(LogicVec::from_u64(4, 0b0111).reduce_xor(), Logic::One);
+    }
+
+    #[test]
+    fn reductions_with_unknowns() {
+        let v = LogicVec::parse_binary("1x11").expect("valid");
+        assert_eq!(v.reduce_and(), Logic::X);
+        assert_eq!(v.reduce_or(), Logic::One);
+        assert_eq!(v.reduce_xor(), Logic::X);
+        let z = LogicVec::parse_binary("0z00").expect("valid");
+        assert_eq!(z.reduce_and(), Logic::Zero);
+        assert_eq!(z.reduce_or(), Logic::X);
     }
 
     #[test]
@@ -818,5 +1177,38 @@ mod tests {
     fn out_of_range_reads_x() {
         let v = LogicVec::from_u64(4, 0xF);
         assert_eq!(v.get(10), Logic::X);
+    }
+
+    #[test]
+    fn representation_is_canonical_per_width() {
+        // Same width always picks the same variant, whatever the
+        // construction path, so equality/hash never see mixed forms.
+        for w in [1, 32, 63, 64] {
+            assert!(!LogicVec::zeros(w).is_spilled());
+            assert!(!LogicVec::xes(w).is_spilled());
+            assert!(!LogicVec::from_u64(128, 7).resize(w).is_spilled());
+            assert!(!LogicVec::from_u64(w, 1)
+                .add(&LogicVec::from_u64(w, 1))
+                .is_spilled());
+        }
+        for w in [65, 127, 128, 129, 200] {
+            assert!(LogicVec::zeros(w).is_spilled());
+            assert!(LogicVec::from_u64(1, 1).resize(w).is_spilled());
+        }
+    }
+
+    #[test]
+    fn word_boundary_widths_roundtrip() {
+        for w in [63u32, 64, 65, 127, 128, 129] {
+            let ones = LogicVec::filled(w, Logic::One);
+            assert_eq!(ones.count_ones(), Some(w));
+            assert_eq!(ones.reduce_and(), Logic::One);
+            let inc = ones.add(&LogicVec::from_u64(w, 1));
+            assert_eq!(inc.count_ones(), Some(0), "2^{w} wraps to zero");
+            assert_eq!(ones.sub(&ones).count_ones(), Some(0));
+            assert_eq!(ones.not().count_ones(), Some(0));
+            assert_eq!(ones.concat(&ones).width(), 2 * w);
+            assert_eq!(ones.slice(w - 1, 0), ones);
+        }
     }
 }

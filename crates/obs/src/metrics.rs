@@ -33,10 +33,14 @@ const QUANTUM: f64 = 1e6;
 /// are zero/absent without fault injection and populated under
 /// `AIVRIL_FAULTS`, so both are excluded from
 /// [`MetricsRegistry::canonical`], the view canonical-artifact
-/// comparisons (cache on vs. off, faults on vs. off) must use. All
-/// other series are required to be bit-identical across
-/// `AIVRIL_THREADS`, `AIVRIL_EDA_CACHE` *and* `AIVRIL_FAULTS=off`.
-pub const DIAGNOSTIC_METRIC_PREFIXES: &[&str] = &["eda_cache_", "resilience_"];
+/// comparisons (cache on vs. off, faults on vs. off) must use.
+/// `sim_kernel_*` series describe the simulation kernel's *performance
+/// model* (instruction throughput, arena spills, watcher compactions) —
+/// implementation detail by definition, so kernel optimisations can
+/// evolve them without breaking canonical byte-identity. All other
+/// series are required to be bit-identical across `AIVRIL_THREADS`,
+/// `AIVRIL_EDA_CACHE` *and* `AIVRIL_FAULTS=off`.
+pub const DIAGNOSTIC_METRIC_PREFIXES: &[&str] = &["eda_cache_", "resilience_", "sim_kernel_"];
 
 /// Identity of one metric series: a name plus sorted label pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]

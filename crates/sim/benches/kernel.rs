@@ -1,0 +1,303 @@
+//! Simulation-kernel microbenchmarks.
+//!
+//! Two sim-bound workloads exercise the event kernel's hot paths:
+//!
+//! * `clkdiv_osc` — an oscillating clock driving a 32-bit divider chain
+//!   with ternary/compare feedback: every value fits one 64-bit word,
+//!   so this measures the inline-`LogicVec` + compiled-bytecode steady
+//!   state (zero allocations per activation).
+//! * `wide_adder` — a 256-bit accumulator pipeline, measuring the
+//!   spilled multi-word arithmetic paths.
+//!
+//! Run with `cargo bench -p aivril-sim --bench kernel`. Environment
+//! switches (see the vendored criterion stand-in): `CRITERION_QUICK=1`
+//! for a fast smoke run, `CRITERION_JSON=<path>` for a machine-readable
+//! report. Additionally `AIVRIL_BENCH_RESULTS=<path>` writes each
+//! workload's *functional* outcome (log lines, end time, instruction
+//! count) to `<path>` before timing — CI diffs that artifact against
+//! `crates/sim/benches/expected_results.txt` to prove optimisations
+//! changed no observable output. `BENCH_SIM.json` at the repo root
+//! records the tracked before/after timings.
+
+use aivril_hdl::ir::{
+    BinaryOp, Design, Expr, Instr, LValue, Net, NetKind, Process, ProcessKind, SysTaskKind,
+    Trigger, UnaryOp,
+};
+use aivril_hdl::vec::LogicVec;
+use aivril_sim::{KernelPerf, SimConfig, SimResult, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn net(d: &mut Design, name: &str, width: u32, init: u64) -> aivril_hdl::ir::NetId {
+    d.add_net(Net {
+        name: name.into(),
+        width,
+        kind: NetKind::Reg,
+        init: Some(LogicVec::from_u64(width, init)),
+    })
+}
+
+fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+/// `forever #half clk = ~clk;` plus `#run_for; $display(...); $finish`.
+fn add_clock_and_finish(
+    d: &mut Design,
+    clk: aivril_hdl::ir::NetId,
+    half_period: u64,
+    run_for: u64,
+    summary_format: &str,
+    summary_args: Vec<Expr>,
+) {
+    d.add_process(Process {
+        name: "clkgen".into(),
+        kind: ProcessKind::Always,
+        body: vec![
+            Instr::Delay {
+                amount: Expr::constant(64, half_period),
+            },
+            Instr::BlockingAssign {
+                lvalue: LValue::Net(clk),
+                expr: Expr::Unary {
+                    op: UnaryOp::Not,
+                    operand: Box::new(Expr::Net(clk)),
+                },
+            },
+            Instr::Jump(0),
+        ],
+    });
+    d.add_process(Process {
+        name: "timeout".into(),
+        kind: ProcessKind::Initial,
+        body: vec![
+            Instr::Delay {
+                amount: Expr::constant(64, run_for),
+            },
+            Instr::SysCall {
+                kind: SysTaskKind::Display,
+                format: Some(summary_format.into()),
+                args: summary_args,
+            },
+            Instr::SysCall {
+                kind: SysTaskKind::Finish,
+                format: None,
+                args: vec![],
+            },
+            Instr::Halt,
+        ],
+    });
+}
+
+/// Oscillating clock divider: every net is <= 64 bits wide, so the whole
+/// steady state should run allocation-free through the inline-word
+/// representation and compiled bytecode.
+fn clkdiv_design() -> Design {
+    let mut d = Design::new("clkdiv_osc");
+    let clk = net(&mut d, "clk", 1, 0);
+    let div = net(&mut d, "div", 32, 0);
+    let q = net(&mut d, "q", 16, 0);
+    let tap = net(&mut d, "tap", 1, 0);
+    // always @(posedge clk) begin
+    //   div <= div + 1;
+    //   q <= ((div & 15) == 0) ? q + 3 : q ^ (div >> 4);
+    // end
+    d.add_process(Process {
+        name: "divider".into(),
+        kind: ProcessKind::Always,
+        body: vec![
+            Instr::WaitEvent {
+                triggers: vec![Trigger::Posedge(clk)],
+            },
+            Instr::NonblockingAssign {
+                lvalue: LValue::Net(div),
+                expr: binary(BinaryOp::Add, Expr::Net(div), Expr::constant(32, 1)),
+            },
+            Instr::NonblockingAssign {
+                lvalue: LValue::Net(q),
+                expr: Expr::Ternary {
+                    cond: Box::new(binary(
+                        BinaryOp::Eq,
+                        binary(BinaryOp::And, Expr::Net(div), Expr::constant(32, 15)),
+                        Expr::constant(32, 0),
+                    )),
+                    then: Box::new(binary(BinaryOp::Add, Expr::Net(q), Expr::constant(16, 3))),
+                    els: Box::new(binary(
+                        BinaryOp::Xor,
+                        Expr::Net(q),
+                        binary(BinaryOp::Shr, Expr::Net(div), Expr::constant(32, 4)),
+                    )),
+                },
+            },
+            Instr::Jump(0),
+        ],
+    });
+    // assign tap = div[7];
+    d.add_continuous_assign(
+        LValue::Net(tap),
+        Expr::Range {
+            net: div,
+            msb: 7,
+            lsb: 7,
+        },
+    );
+    add_clock_and_finish(
+        &mut d,
+        clk,
+        5,
+        100_000,
+        "div=%h q=%h tap=%b",
+        vec![Expr::Net(div), Expr::Net(q), Expr::Net(tap)],
+    );
+    d
+}
+
+/// Wide-adder testbench: a 256-bit accumulator pipeline exercising the
+/// spilled (multi-word) arithmetic, bitwise and shift paths.
+fn wide_adder_design() -> Design {
+    let mut d = Design::new("wide_adder");
+    let clk = net(&mut d, "clk", 1, 0);
+    let a = net(&mut d, "a", 256, 0x0123_4567_89ab_cdef);
+    let b = net(&mut d, "b", 256, 0xfedc_ba98_7654_3210);
+    let acc = net(&mut d, "acc", 256, 1);
+    // always @(posedge clk) begin
+    //   acc <= acc + (a ^ b) + (acc >> 1);
+    //   a <= a + 257;
+    //   b <= b - 3;
+    // end
+    d.add_process(Process {
+        name: "adder".into(),
+        kind: ProcessKind::Always,
+        body: vec![
+            Instr::WaitEvent {
+                triggers: vec![Trigger::Posedge(clk)],
+            },
+            Instr::NonblockingAssign {
+                lvalue: LValue::Net(acc),
+                expr: binary(
+                    BinaryOp::Add,
+                    binary(
+                        BinaryOp::Add,
+                        Expr::Net(acc),
+                        binary(BinaryOp::Xor, Expr::Net(a), Expr::Net(b)),
+                    ),
+                    binary(BinaryOp::Shr, Expr::Net(acc), Expr::constant(32, 1)),
+                ),
+            },
+            Instr::NonblockingAssign {
+                lvalue: LValue::Net(a),
+                expr: binary(BinaryOp::Add, Expr::Net(a), Expr::constant(256, 257)),
+            },
+            Instr::NonblockingAssign {
+                lvalue: LValue::Net(b),
+                expr: binary(BinaryOp::Sub, Expr::Net(b), Expr::constant(256, 3)),
+            },
+            Instr::Jump(0),
+        ],
+    });
+    add_clock_and_finish(
+        &mut d,
+        clk,
+        5,
+        20_000,
+        "acc=%h a=%h b=%h",
+        vec![Expr::Net(acc), Expr::Net(a), Expr::Net(b)],
+    );
+    d
+}
+
+fn run_once(design: &Design) -> SimResult {
+    Simulator::new(design, SimConfig::default()).run()
+}
+
+fn run_with_perf(design: &Design) -> (SimResult, KernelPerf) {
+    let mut sim = Simulator::new(design, SimConfig::default());
+    let result = sim.run();
+    let perf = sim.perf();
+    (result, perf)
+}
+
+/// Renders one workload's functional outcome — everything observable
+/// about the run except wall-clock time. Byte-stable across kernel
+/// optimisations by construction. The `eval_allocs` line pins the
+/// zero-steady-state-allocation claim: 0 for the all-narrow `clkdiv`
+/// workload, a fixed positive count for the spilled 256-bit one.
+fn result_artifact(name: &str, result: &SimResult, perf: &KernelPerf) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("bench: {name}\n"));
+    out.push_str(&format!("end_time: {}\n", result.end_time));
+    out.push_str(&format!("finished: {}\n", result.finished));
+    out.push_str(&format!("starved: {}\n", result.starved));
+    out.push_str(&format!("errors: {}\n", result.error_count));
+    out.push_str(&format!("limit: {:?}\n", result.limit_hit));
+    out.push_str(&format!("instructions: {}\n", result.instructions_executed));
+    out.push_str(&format!("eval_allocs: {}\n", perf.eval_allocs));
+    for line in &result.lines {
+        out.push_str(&format!("log[{}]: {}\n", line.time, line.text));
+    }
+    out.push_str("---\n");
+    out
+}
+
+/// When `AIVRIL_BENCH_RESULTS` is set, runs each workload once and
+/// writes the combined functional artifact there.
+fn maybe_write_results() {
+    let Ok(path) = std::env::var("AIVRIL_BENCH_RESULTS") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut combined = String::new();
+    for (name, design) in [
+        ("clkdiv_osc", clkdiv_design()),
+        ("wide_adder", wide_adder_design()),
+    ] {
+        let (result, perf) = run_with_perf(&design);
+        combined.push_str(&result_artifact(name, &result, &perf));
+    }
+    std::fs::write(&path, combined).expect("write AIVRIL_BENCH_RESULTS artifact");
+    eprintln!("[bench] wrote kernel result artifact to {path}");
+}
+
+fn bench_clkdiv(c: &mut Criterion) {
+    let design = clkdiv_design();
+    let (result, perf) = run_with_perf(&design);
+    assert!(result.finished, "clkdiv bench design must finish cleanly");
+    assert_eq!(
+        perf.eval_allocs, 0,
+        "every clkdiv net fits one word: the compiled steady state must \
+         be allocation-free"
+    );
+    c.bench_function("sim_kernel/clkdiv_osc", |bencher| {
+        bencher.iter(|| run_once(&design))
+    });
+}
+
+fn bench_wide_adder(c: &mut Criterion) {
+    let design = wide_adder_design();
+    let (result, perf) = run_with_perf(&design);
+    assert!(
+        result.finished,
+        "wide-adder bench design must finish cleanly"
+    );
+    assert!(
+        perf.eval_allocs > 0,
+        "the 256-bit workload must exercise the spilled paths"
+    );
+    c.bench_function("sim_kernel/wide_adder", |bencher| {
+        bencher.iter(|| run_once(&design))
+    });
+}
+
+fn bench_entry(c: &mut Criterion) {
+    maybe_write_results();
+    bench_clkdiv(c);
+    bench_wide_adder(c);
+}
+
+criterion_group!(kernel, bench_entry);
+criterion_main!(kernel);

@@ -1,0 +1,578 @@
+//! Compiled expression evaluation: flat register-machine bytecode.
+//!
+//! The tree walker in [`crate::eval`] allocates nothing *per node*, but
+//! it pays a recursive call, a `match` on a boxed node, and pointer
+//! chasing for every operator on every activation — and the hot loop of
+//! a simulation evaluates the same handful of expressions millions of
+//! times. At [`Simulator::new`](crate::Simulator::new) each process's
+//! expressions are lowered **once** into a flat [`ExprProgram`]: a
+//! post-order sequence of [`Op`]s reading and writing numbered scratch
+//! slots, executed by a tight non-recursive loop over a per-simulator
+//! scratch arena that is allocated once and reused for every
+//! evaluation.
+//!
+//! The tree interpreter stays in the crate as the semantic oracle: the
+//! cold paths (`$display` arguments, `$monitor`, l-value indices) still
+//! run it, and the differential property tests at the bottom of this
+//! file require bit-for-bit agreement between the two on randomly
+//! generated expression trees. Any divergence is a bug in *this* file —
+//! the tree is the specification.
+//!
+//! Slot discipline: `compile_into(expr, dst)` leaves `expr`'s value in
+//! slot `dst` and may scribble on any slot `> dst`. Binary operands go
+//! to `dst` / `dst+1`, ternaries to `dst` / `dst+1` / `dst+2`, so the
+//! arena height equals the expression tree's operand depth, not its
+//! size.
+
+use aivril_hdl::ir::{BinaryOp, Expr, NetId, UnaryOp};
+use aivril_hdl::logic::Logic;
+use aivril_hdl::vec::LogicVec;
+
+/// One bytecode instruction. `dst` is the scratch slot the result is
+/// written to; operand slots are fixed offsets from `dst` (see the
+/// module docs).
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// `slot[dst] = value`.
+    Const { dst: u32, value: LogicVec },
+    /// `slot[dst] = nets[net]`.
+    Net { dst: u32, net: NetId },
+    /// Bit-select: the index value is already in `slot[dst]`;
+    /// `slot[dst] = nets[net][index]` (X when unknown/out of range).
+    Index { dst: u32, net: NetId },
+    /// Part-select straight off the net: `slot[dst] = nets[net][msb:lsb]`.
+    Range {
+        dst: u32,
+        net: NetId,
+        msb: u32,
+        lsb: u32,
+    },
+    /// `slot[dst] = op slot[dst]`.
+    Unary { dst: u32, op: UnaryOp },
+    /// `slot[dst] = slot[dst] op slot[dst+1]`.
+    Binary { dst: u32, op: BinaryOp },
+    /// Ternary select: condition in `dst`, arms in `dst+1` / `dst+2`.
+    Select { dst: u32 },
+    /// `slot[dst] = {slot[dst], slot[dst+1]}` (left operand is the MSBs).
+    Concat2 { dst: u32 },
+    /// `slot[dst] = {count{slot[dst]}}`.
+    Repeat { dst: u32, count: u32 },
+    /// `slot[dst] = $time` (64 bits).
+    Time { dst: u32 },
+    /// `slot[dst] = 1'b1` iff the wake that resumed this process was the
+    /// matching edge of `net`.
+    EdgeFlag { dst: u32, net: NetId, rising: bool },
+}
+
+/// A compiled expression: the op sequence plus the arena height it
+/// needs. Executing it leaves the result in slot 0.
+#[derive(Debug, Clone)]
+pub(crate) struct ExprProgram {
+    ops: Vec<Op>,
+    slots: u32,
+}
+
+impl ExprProgram {
+    /// Scratch slots this program requires.
+    pub(crate) fn slots(&self) -> u32 {
+        self.slots
+    }
+}
+
+/// Lowers `expr` into a flat program. Pure function of the expression;
+/// called once per expression at simulator construction.
+pub(crate) fn compile(expr: &Expr) -> ExprProgram {
+    let mut ops = Vec::new();
+    let mut slots = 0;
+    compile_into(expr, 0, &mut ops, &mut slots);
+    ExprProgram { ops, slots }
+}
+
+fn compile_into(expr: &Expr, dst: u32, ops: &mut Vec<Op>, slots: &mut u32) {
+    *slots = (*slots).max(dst + 1);
+    match expr {
+        Expr::Const(value) => ops.push(Op::Const {
+            dst,
+            value: value.clone(),
+        }),
+        Expr::Net(net) => ops.push(Op::Net { dst, net: *net }),
+        Expr::Index { net, index } => {
+            compile_into(index, dst, ops, slots);
+            ops.push(Op::Index { dst, net: *net });
+        }
+        Expr::Range { net, msb, lsb } => ops.push(Op::Range {
+            dst,
+            net: *net,
+            msb: *msb,
+            lsb: *lsb,
+        }),
+        Expr::Unary { op, operand } => {
+            compile_into(operand, dst, ops, slots);
+            ops.push(Op::Unary { dst, op: *op });
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            compile_into(lhs, dst, ops, slots);
+            compile_into(rhs, dst + 1, ops, slots);
+            ops.push(Op::Binary { dst, op: *op });
+        }
+        Expr::Ternary { cond, then, els } => {
+            // Both arms are always evaluated (expressions are pure, so
+            // this is unobservable); Select picks per the tree walker's
+            // exact rules, including the unknown-condition X-merge.
+            compile_into(cond, dst, ops, slots);
+            compile_into(then, dst + 1, ops, slots);
+            compile_into(els, dst + 2, ops, slots);
+            ops.push(Op::Select { dst });
+        }
+        Expr::Concat(parts) => match parts.split_first() {
+            None => ops.push(Op::Const {
+                dst,
+                value: LogicVec::zeros(1),
+            }),
+            Some((first, rest)) => {
+                compile_into(first, dst, ops, slots);
+                for part in rest {
+                    compile_into(part, dst + 1, ops, slots);
+                    ops.push(Op::Concat2 { dst });
+                }
+            }
+        },
+        Expr::Repeat { count, operand } => {
+            compile_into(operand, dst, ops, slots);
+            ops.push(Op::Repeat {
+                dst,
+                count: (*count).max(1),
+            });
+        }
+        Expr::Time => ops.push(Op::Time { dst }),
+        Expr::EdgeFlag { net, rising } => ops.push(Op::EdgeFlag {
+            dst,
+            net: *net,
+            rising: *rising,
+        }),
+    }
+}
+
+/// Runs `prog` against the current net `values` and moves the result
+/// out of slot 0 (leaving an inline placeholder behind, so the arena
+/// never shrinks or reallocates).
+///
+/// `spilled_writes` counts op results that landed in the spilled
+/// (heap-backed) representation — the evaluator's only possible source
+/// of steady-state allocation. A design whose nets all fit 64 bits
+/// reports zero here, which is exactly the claim the `eval_allocs`
+/// diagnostic stat surfaces.
+pub(crate) fn exec(
+    prog: &ExprProgram,
+    values: &[LogicVec],
+    time: u64,
+    last_wake: Option<NetId>,
+    slots: &mut [LogicVec],
+    spilled_writes: &mut u64,
+) -> LogicVec {
+    for op in &prog.ops {
+        let dst = match op {
+            Op::Const { dst, value } => {
+                slots[*dst as usize] = value.clone();
+                *dst
+            }
+            Op::Net { dst, net } => {
+                slots[*dst as usize] = values[net.0 as usize].clone();
+                *dst
+            }
+            Op::Index { dst, net } => {
+                let value = &values[net.0 as usize];
+                let d = *dst as usize;
+                slots[d] = match slots[d].to_u64() {
+                    Some(i) if i < u64::from(value.width()) => {
+                        LogicVec::from_logic(value.get(i as u32))
+                    }
+                    _ => LogicVec::from_logic(Logic::X),
+                };
+                *dst
+            }
+            Op::Range { dst, net, msb, lsb } => {
+                slots[*dst as usize] = values[net.0 as usize].slice(*msb, *lsb);
+                *dst
+            }
+            Op::Unary { dst, op } => {
+                let d = *dst as usize;
+                let v = &slots[d];
+                slots[d] = match op {
+                    UnaryOp::Not => v.not(),
+                    UnaryOp::LogicalNot => {
+                        let b = match v.to_bool() {
+                            Some(b) => Logic::from_bool(!b),
+                            None => Logic::X,
+                        };
+                        LogicVec::from_logic(b)
+                    }
+                    UnaryOp::Negate => v.negate(),
+                    UnaryOp::ReduceAnd => LogicVec::from_logic(v.reduce_and()),
+                    UnaryOp::ReduceOr => LogicVec::from_logic(v.reduce_or()),
+                    UnaryOp::ReduceXor => LogicVec::from_logic(v.reduce_xor()),
+                    UnaryOp::ReduceNand => LogicVec::from_logic(v.reduce_and().not()),
+                    UnaryOp::ReduceNor => LogicVec::from_logic(v.reduce_or().not()),
+                    UnaryOp::ReduceXnor => LogicVec::from_logic(v.reduce_xor().not()),
+                };
+                *dst
+            }
+            Op::Binary { dst, op } => {
+                let d = *dst as usize;
+                let (lo, hi) = slots.split_at_mut(d + 1);
+                let a = &lo[d];
+                let b = &hi[0];
+                lo[d] = match op {
+                    BinaryOp::And => a.and(b),
+                    BinaryOp::Or => a.or(b),
+                    BinaryOp::Xor => a.xor(b),
+                    BinaryOp::Xnor => a.xnor(b),
+                    BinaryOp::Add => a.add(b),
+                    BinaryOp::Sub => a.sub(b),
+                    BinaryOp::Mul => a.mul(b),
+                    BinaryOp::Div => a.div(b),
+                    BinaryOp::Rem => a.rem(b),
+                    BinaryOp::Shl => a.shl(b),
+                    BinaryOp::Shr => a.shr(b),
+                    BinaryOp::Eq => LogicVec::from_logic(a.logic_eq(b)),
+                    BinaryOp::Ne => LogicVec::from_logic(a.logic_eq(b).not()),
+                    BinaryOp::CaseEq => LogicVec::from_logic(Logic::from_bool(a.case_eq(b))),
+                    BinaryOp::CaseNe => LogicVec::from_logic(Logic::from_bool(!a.case_eq(b))),
+                    BinaryOp::Lt => LogicVec::from_logic(a.lt(b)),
+                    BinaryOp::Le => LogicVec::from_logic(a.le(b)),
+                    BinaryOp::Gt => LogicVec::from_logic(a.gt(b)),
+                    BinaryOp::Ge => LogicVec::from_logic(a.ge(b)),
+                    // The tree walker evaluates both operands' truth
+                    // values unconditionally; with both already in
+                    // slots this is the same computation.
+                    BinaryOp::LogicalAnd | BinaryOp::LogicalOr => {
+                        let (x, y) = (a.to_bool(), b.to_bool());
+                        let r = match (op, x, y) {
+                            (BinaryOp::LogicalAnd, Some(false), _)
+                            | (BinaryOp::LogicalAnd, _, Some(false)) => Logic::Zero,
+                            (BinaryOp::LogicalAnd, Some(true), Some(true)) => Logic::One,
+                            (BinaryOp::LogicalOr, Some(true), _)
+                            | (BinaryOp::LogicalOr, _, Some(true)) => Logic::One,
+                            (BinaryOp::LogicalOr, Some(false), Some(false)) => Logic::Zero,
+                            _ => Logic::X,
+                        };
+                        LogicVec::from_logic(r)
+                    }
+                };
+                *dst
+            }
+            Op::Select { dst } => {
+                let d = *dst as usize;
+                match slots[d].to_bool() {
+                    // Known condition: the taken arm at its own width.
+                    // A swap moves it without touching the heap.
+                    Some(true) => slots.swap(d, d + 1),
+                    Some(false) => slots.swap(d, d + 2),
+                    None => {
+                        // IEEE 1364: merge both arms; disagreeing bits
+                        // go X. Mirrors the tree walker bit for bit.
+                        let t = &slots[d + 1];
+                        let e = &slots[d + 2];
+                        let width = t.width().max(e.width());
+                        let t = t.resize(width);
+                        let e = e.resize(width);
+                        let mut out = LogicVec::zeros(width);
+                        for i in 0..width {
+                            let (a, b) = (t.get(i), e.get(i));
+                            out.set(
+                                i,
+                                if a == b && !a.is_unknown() {
+                                    a
+                                } else {
+                                    Logic::X
+                                },
+                            );
+                        }
+                        slots[d] = out;
+                    }
+                }
+                *dst
+            }
+            Op::Concat2 { dst } => {
+                let d = *dst as usize;
+                let (lo, hi) = slots.split_at_mut(d + 1);
+                lo[d] = lo[d].concat(&hi[0]);
+                *dst
+            }
+            Op::Repeat { dst, count } => {
+                let d = *dst as usize;
+                slots[d] = slots[d].replicate(*count);
+                *dst
+            }
+            Op::Time { dst } => {
+                slots[*dst as usize] = LogicVec::from_u64(64, time);
+                *dst
+            }
+            Op::EdgeFlag { dst, net, rising } => {
+                let fired = last_wake == Some(*net) && {
+                    let bit = values[net.0 as usize].get(0);
+                    if *rising {
+                        bit == Logic::One
+                    } else {
+                        bit == Logic::Zero
+                    }
+                };
+                slots[*dst as usize] = LogicVec::from_logic(Logic::from_bool(fired));
+                *dst
+            }
+        };
+        if slots[dst as usize].is_spilled() {
+            *spilled_writes += 1;
+        }
+    }
+    std::mem::replace(&mut slots[0], LogicVec::zeros(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalCtx;
+    use proptest::collection::vec as pvec;
+    use proptest::prelude::*;
+    use proptest::strategy::BoxedStrategy;
+
+    /// Runs `expr` through both evaluators and asserts bit-for-bit
+    /// agreement (width included, via `PartialEq`).
+    fn check(expr: &Expr, values: &[LogicVec], time: u64, last_wake: Option<NetId>) {
+        let oracle = EvalCtx {
+            values,
+            time,
+            last_wake,
+        }
+        .eval(expr);
+        let prog = compile(expr);
+        let mut slots = vec![LogicVec::zeros(1); prog.slots() as usize];
+        let mut spills = 0u64;
+        let compiled = exec(&prog, values, time, last_wake, &mut slots, &mut spills);
+        assert_eq!(
+            compiled, oracle,
+            "bytecode diverged from tree walker on {expr:?}"
+        );
+    }
+
+    /// Fixed net environment: widths chosen to cover the inline word,
+    /// the boundary, and the spilled multi-word representation.
+    const NET_WIDTHS: [u32; 6] = [1, 8, 16, 33, 64, 100];
+
+    fn vec_from_masks(width: u32, aval: u64, bval: u64) -> LogicVec {
+        let mut v = LogicVec::zeros(width);
+        for i in 0..width.min(64) {
+            v.set(i, Logic::from_avab(aval >> i & 1 == 1, bval >> i & 1 == 1));
+        }
+        v
+    }
+
+    fn values_strategy() -> BoxedStrategy<Vec<LogicVec>> {
+        pvec(
+            (0u64..=u64::MAX, 0u64..=u64::MAX),
+            NET_WIDTHS.len()..=NET_WIDTHS.len(),
+        )
+        .prop_map(|masks| {
+            NET_WIDTHS
+                .iter()
+                .zip(masks)
+                .map(|(&w, (a, b))| vec_from_masks(w, a, b))
+                .collect()
+        })
+        .boxed()
+    }
+
+    fn net_id_strategy() -> BoxedStrategy<NetId> {
+        (0u32..NET_WIDTHS.len() as u32).prop_map(NetId).boxed()
+    }
+
+    fn leaf_strategy() -> BoxedStrategy<Expr> {
+        prop_oneof![
+            (1u32..=80, 0u64..=u64::MAX, 0u64..=u64::MAX)
+                .prop_map(|(w, a, b)| Expr::Const(vec_from_masks(w, a, b))),
+            net_id_strategy().prop_map(Expr::Net),
+            (net_id_strategy(), 0u32..110, 0u32..110).prop_map(|(net, a, b)| Expr::Range {
+                net,
+                msb: a.max(b),
+                lsb: a.min(b),
+            }),
+            Just(Expr::Time),
+            (net_id_strategy(), 0u32..=1).prop_map(|(net, r)| Expr::EdgeFlag {
+                net,
+                rising: r == 1
+            }),
+        ]
+        .boxed()
+    }
+
+    const UNARY_OPS: [UnaryOp; 9] = [
+        UnaryOp::Not,
+        UnaryOp::LogicalNot,
+        UnaryOp::Negate,
+        UnaryOp::ReduceAnd,
+        UnaryOp::ReduceOr,
+        UnaryOp::ReduceXor,
+        UnaryOp::ReduceNand,
+        UnaryOp::ReduceNor,
+        UnaryOp::ReduceXnor,
+    ];
+
+    const BINARY_OPS: [BinaryOp; 21] = [
+        BinaryOp::And,
+        BinaryOp::Or,
+        BinaryOp::Xor,
+        BinaryOp::Xnor,
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Div,
+        BinaryOp::Rem,
+        BinaryOp::Shl,
+        BinaryOp::Shr,
+        BinaryOp::Eq,
+        BinaryOp::Ne,
+        BinaryOp::CaseEq,
+        BinaryOp::CaseNe,
+        BinaryOp::Lt,
+        BinaryOp::Le,
+        BinaryOp::Gt,
+        BinaryOp::Ge,
+        BinaryOp::LogicalAnd,
+        BinaryOp::LogicalOr,
+    ];
+
+    /// Random expression trees of bounded depth over the fixed nets.
+    fn expr_strategy(depth: u32) -> BoxedStrategy<Expr> {
+        if depth == 0 {
+            return leaf_strategy();
+        }
+        let sub = move || expr_strategy(depth - 1);
+        prop_oneof![
+            leaf_strategy(),
+            (0usize..UNARY_OPS.len(), sub()).prop_map(|(i, operand)| Expr::Unary {
+                op: UNARY_OPS[i],
+                operand: Box::new(operand),
+            }),
+            (0usize..BINARY_OPS.len(), sub(), sub()).prop_map(|(i, lhs, rhs)| Expr::Binary {
+                op: BINARY_OPS[i],
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            }),
+            (sub(), sub(), sub()).prop_map(|(cond, then, els)| Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            }),
+            pvec(sub(), 1..=3).prop_map(Expr::Concat),
+            (1u32..=3, sub()).prop_map(|(count, operand)| Expr::Repeat {
+                count,
+                operand: Box::new(operand),
+            }),
+            (net_id_strategy(), sub()).prop_map(|(net, index)| Expr::Index {
+                net,
+                index: Box::new(index),
+            }),
+        ]
+        .boxed()
+    }
+
+    fn last_wake_strategy() -> BoxedStrategy<Option<NetId>> {
+        (0u32..=NET_WIDTHS.len() as u32)
+            .prop_map(|i| (i as usize != NET_WIDTHS.len()).then_some(NetId(i)))
+            .boxed()
+    }
+
+    proptest! {
+        /// Satellite: compiled bytecode must agree with the tree
+        /// interpreter bit-for-bit on arbitrary expression trees.
+        #[test]
+        fn bytecode_matches_tree_interpreter(
+            expr in expr_strategy(3),
+            values in values_strategy(),
+            time in 0u64..1_000_000,
+            last_wake in last_wake_strategy(),
+        ) {
+            check(&expr, &values, time, last_wake);
+        }
+
+        /// Deep, narrow trees stress the slot allocator (operand depth
+        /// beyond what random shapes usually reach).
+        #[test]
+        fn deep_chains_match(
+            expr in expr_strategy(5),
+            values in values_strategy(),
+        ) {
+            check(&expr, &values, 7, None);
+        }
+    }
+
+    #[test]
+    fn inline_only_programs_report_zero_spills() {
+        // (n1 + 8'd3) ^ (n2 >> 2) over <=64-bit nets: the whole
+        // evaluation must stay in the inline representation.
+        let expr = Expr::Binary {
+            op: BinaryOp::Xor,
+            lhs: Box::new(Expr::Binary {
+                op: BinaryOp::Add,
+                lhs: Box::new(Expr::Net(NetId(1))),
+                rhs: Box::new(Expr::constant(8, 3)),
+            }),
+            rhs: Box::new(Expr::Binary {
+                op: BinaryOp::Shr,
+                lhs: Box::new(Expr::Net(NetId(2))),
+                rhs: Box::new(Expr::constant(8, 2)),
+            }),
+        };
+        let values: Vec<LogicVec> = NET_WIDTHS
+            .iter()
+            .map(|&w| LogicVec::from_u64(w, 0x5a))
+            .collect();
+        let prog = compile(&expr);
+        let mut slots = vec![LogicVec::zeros(1); prog.slots() as usize];
+        let mut spills = 0u64;
+        let out = exec(&prog, &values, 0, None, &mut slots, &mut spills);
+        assert_eq!(spills, 0, "no spilled values may be materialised");
+        assert!(!out.is_spilled());
+    }
+
+    #[test]
+    fn wide_programs_count_spills() {
+        let expr = Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: Box::new(Expr::Net(NetId(5))), // 100-bit net
+            rhs: Box::new(Expr::constant(100, 1)),
+        };
+        let values: Vec<LogicVec> = NET_WIDTHS
+            .iter()
+            .map(|&w| LogicVec::from_u64(w, 1))
+            .collect();
+        let prog = compile(&expr);
+        let mut slots = vec![LogicVec::zeros(1); prog.slots() as usize];
+        let mut spills = 0u64;
+        exec(&prog, &values, 0, None, &mut slots, &mut spills);
+        assert!(spills >= 3, "net read, const and sum all spill: {spills}");
+    }
+
+    #[test]
+    fn slot_heights_are_depth_not_size() {
+        // A left-leaning chain of adds reuses slot 1 for every rhs.
+        let mut expr = Expr::constant(8, 1);
+        for i in 2..30u64 {
+            expr = Expr::Binary {
+                op: BinaryOp::Add,
+                lhs: Box::new(expr),
+                rhs: Box::new(Expr::constant(8, i)),
+            };
+        }
+        assert_eq!(compile(&expr).slots(), 2);
+    }
+
+    #[test]
+    fn empty_concat_compiles_to_one_bit_zero() {
+        let prog = compile(&Expr::Concat(vec![]));
+        let mut slots = vec![LogicVec::zeros(1); prog.slots() as usize];
+        let mut spills = 0u64;
+        let out = exec(&prog, &[], 0, None, &mut slots, &mut spills);
+        assert_eq!(out, LogicVec::zeros(1));
+    }
+}

@@ -1,20 +1,28 @@
 //! The event-driven simulation kernel.
 
+use crate::bytecode::{self, ExprProgram};
 use crate::eval::EvalCtx;
 use crate::format::render_format;
 use crate::result::{LimitKind, LogLine, SimConfig, SimResult};
+use crate::sched::FutureQueue;
 use crate::vcd;
-use aivril_hdl::ir::{Design, Instr, LValue, NetId, SysTaskKind, Trigger};
+use aivril_hdl::ir::{Design, Expr, Instr, LValue, NetId, SysTaskKind, Trigger};
 use aivril_hdl::logic::Logic;
 use aivril_hdl::vec::LogicVec;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+
+/// Floor for the per-net watcher compaction threshold: lists shorter
+/// than this are never compacted (the scan would cost more than the
+/// memory it reclaims).
+const WATCHER_COMPACT_MIN: usize = 8;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
     Runnable,
-    /// Suspended at a `WaitEvent`; triggers stored in `ProcState::waits`.
+    /// Suspended at a `WaitEvent`; the instruction's pc is kept in
+    /// `ProcState::wait_pc`.
     Waiting,
-    /// Suspended at a `Delay`; wake-up queued in `Simulator::future`.
+    /// Suspended at a `Delay`; wake-up queued in `Simulator::sched`.
     Sleeping,
     Halted,
 }
@@ -26,7 +34,10 @@ struct ProcState {
     /// Bumped on every wake/suspend so stale watcher and timer entries
     /// can be skipped lazily instead of being unlinked eagerly.
     generation: u64,
-    waits: Vec<Trigger>,
+    /// While `Waiting`: the pc of the `WaitEvent` that suspended the
+    /// process. The triggers are read back from the (immutable) process
+    /// body instead of being cloned into the state on every suspend.
+    wait_pc: usize,
     /// The net whose change last resumed this process (drives
     /// [`aivril_hdl::ir::Expr::EdgeFlag`] evaluation).
     last_wake: Option<NetId>,
@@ -43,15 +54,42 @@ pub struct Simulator<'d> {
     config: SimConfig,
     values: Vec<LogicVec>,
     procs: Vec<ProcState>,
+    /// Per-process, per-pc compiled form of the instruction's expression
+    /// (`None` for instructions without a hot expression). Lowered once
+    /// at [`Simulator::new`]; see [`crate::bytecode`].
+    programs: Vec<Vec<Option<ExprProgram>>>,
+    /// The shared evaluation arena, sized for the deepest compiled
+    /// program. Allocated once; every compiled evaluation reuses it.
+    scratch: Vec<LogicVec>,
     runnable: VecDeque<usize>,
     /// `#0`-delayed processes (inactive region of the current step).
     inactive: Vec<usize>,
-    /// (wake time) -> [(process, generation)]
-    future: BTreeMap<u64, Vec<(usize, u64)>>,
+    /// Drained counterpart of `inactive`; the two swap every flush so
+    /// neither ever gives its capacity back.
+    inactive_spare: Vec<usize>,
+    /// Pending timed wake-ups, indexed by the wheel/heap hybrid.
+    sched: FutureQueue,
+    /// Reused receive buffer for [`FutureQueue::pop_at`].
+    wake_batch: Vec<(usize, u64)>,
     /// Pending nonblocking commits: (net, msb, lsb, value).
     nba: Vec<(NetId, u32, u32, LogicVec)>,
+    /// Drained counterpart of `nba` (same double-buffer trick as
+    /// `inactive_spare`).
+    nba_spare: Vec<(NetId, u32, u32, LogicVec)>,
+    /// Reused slice buffer for l-value resolution.
+    lv_scratch: Vec<(NetId, u32, u32, LogicVec)>,
     /// Per-net list of (process, generation) waiting on that net.
     watchers: Vec<Vec<(usize, u64)>>,
+    /// Per-net length at which the watcher list is next compacted.
+    /// Stale entries (process moved on) are dropped lazily when the net
+    /// changes; a never-changing net would otherwise accumulate one
+    /// stale entry per wait cycle, unboundedly.
+    watcher_threshold: Vec<usize>,
+    /// Spilled (heap-backed) values materialised by the compiled
+    /// evaluator — zero for designs whose nets all fit one word.
+    eval_allocs: u64,
+    /// Watcher-list compactions performed.
+    compactions: u64,
     time: u64,
     /// Net changes made by the currently-running process activation, as
     /// `(net, old first bit, new first bit)`. A process that writes one
@@ -119,6 +157,7 @@ pub struct KernelTelemetry {
     queue: aivril_obs::Histogram,
     nba: aivril_obs::Histogram,
     instructions: u64,
+    perf: KernelPerf,
 }
 
 impl KernelTelemetry {
@@ -126,12 +165,86 @@ impl KernelTelemetry {
     /// emission path shared by live runs and cache-hit replays, so the
     /// two are indistinguishable in the metrics registry. No-op on a
     /// disabled recorder.
+    ///
+    /// The attached [`KernelPerf`] counters are deliberately *not*
+    /// emitted here: they are performance-model diagnostics, surfaced
+    /// through the harness's `[stats]` segment and the `aivril.results`
+    /// `kernel` block instead, so the metrics registry stays
+    /// byte-identical to pre-optimisation builds. (The `sim_kernel_`
+    /// prefix is reserved as diagnostic in
+    /// `aivril_obs::DIAGNOSTIC_METRIC_PREFIXES` should a future series
+    /// need the registry.)
     pub fn record_to(&self, recorder: &aivril_obs::Recorder) {
         recorder.record_histogram("sim_delta_cycles_per_step", &[], &self.delta);
         recorder.record_histogram("sim_event_queue_depth", &[], &self.queue);
         recorder.record_histogram("sim_nba_flush_size", &[], &self.nba);
         recorder.counter_add("sim_instructions_total", &[], self.instructions);
         recorder.counter_add("sim_runs_total", &[], 1);
+    }
+
+    /// The run's flat performance counters (for cache-hit accounting).
+    #[must_use]
+    pub fn perf(&self) -> KernelPerf {
+        self.perf
+    }
+}
+
+/// Flat performance counters of one finished run — the raw integers
+/// behind the diagnostic `sim_kernel_*` series and the harness's
+/// `kernel:` stats segment. Like [`KernelTelemetry`], a pure function
+/// of `(design, config)`, so sums over runs are independent of thread
+/// count and cache mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelPerf {
+    /// Kernel instructions executed.
+    pub instructions: u64,
+    /// Final simulation time (the modeled clock, in ns).
+    pub sim_time_ns: u64,
+    /// Spilled (heap-backed) values materialised by the compiled
+    /// evaluator. Zero when every net fits one 64-bit word — the
+    /// zero-allocation steady-state claim, as a measurable counter.
+    pub eval_allocs: u64,
+    /// Watcher-list compactions performed (stale-entry reclamation).
+    pub compactions: u64,
+    /// Evaluation-arena high-water mark, in slots (static per design:
+    /// the deepest compiled expression).
+    pub scratch_slots: u64,
+}
+
+impl KernelPerf {
+    /// Kernel instructions per second of *simulated* time — the
+    /// throughput measure on the modeled clock (wall-clock-free, hence
+    /// deterministic). Zero when no simulated time elapsed.
+    #[must_use]
+    pub fn instrs_per_sim_sec(&self) -> f64 {
+        if self.sim_time_ns == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / (self.sim_time_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Counter delta since `before` (sums subtract; the arena
+    /// high-water mark takes the max).
+    #[must_use]
+    pub fn since(&self, before: &KernelPerf) -> KernelPerf {
+        KernelPerf {
+            instructions: self.instructions - before.instructions,
+            sim_time_ns: self.sim_time_ns - before.sim_time_ns,
+            eval_allocs: self.eval_allocs - before.eval_allocs,
+            compactions: self.compactions - before.compactions,
+            scratch_slots: self.scratch_slots.max(before.scratch_slots),
+        }
+    }
+
+    /// Accumulates another run's counters (sums add; the arena
+    /// high-water mark takes the max).
+    pub fn merge(&mut self, other: &KernelPerf) {
+        self.instructions += other.instructions;
+        self.sim_time_ns += other.sim_time_ns;
+        self.eval_allocs += other.eval_allocs;
+        self.compactions += other.compactions;
+        self.scratch_slots = self.scratch_slots.max(other.scratch_slots);
     }
 }
 
@@ -154,28 +267,63 @@ impl<'d> Simulator<'d> {
             .iter()
             .map(|n| n.init.clone().unwrap_or_else(|| LogicVec::xes(n.width)))
             .collect();
-        let procs = design
+        let procs: Vec<ProcState> = design
             .processes
             .iter()
             .map(|_| ProcState {
                 pc: 0,
                 status: Status::Runnable,
                 generation: 0,
-                waits: Vec::new(),
+                wait_pc: 0,
                 last_wake: None,
             })
             .collect();
         let runnable = (0..design.processes.len()).collect();
+        // Lower every hot expression to bytecode once, up front, and
+        // size the shared evaluation arena for the deepest program.
+        let mut max_slots: u32 = 0;
+        let programs: Vec<Vec<Option<ExprProgram>>> = design
+            .processes
+            .iter()
+            .map(|p| {
+                p.body
+                    .iter()
+                    .map(|instr| {
+                        let expr = match instr {
+                            Instr::BlockingAssign { expr, .. }
+                            | Instr::NonblockingAssign { expr, .. } => Some(expr),
+                            Instr::Delay { amount } => Some(amount),
+                            Instr::BranchIfFalse { cond, .. } => Some(cond),
+                            _ => None,
+                        };
+                        expr.map(|e| {
+                            let prog = bytecode::compile(e);
+                            max_slots = max_slots.max(prog.slots());
+                            prog
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
         Simulator {
             design,
             config,
             values,
             procs,
+            programs,
+            scratch: vec![LogicVec::zeros(1); max_slots as usize],
             runnable,
             inactive: Vec::new(),
-            future: BTreeMap::new(),
+            inactive_spare: Vec::new(),
+            sched: FutureQueue::new(),
+            wake_batch: Vec::new(),
             nba: Vec::new(),
+            nba_spare: Vec::new(),
+            lv_scratch: Vec::new(),
             watchers: vec![Vec::new(); design.nets.len()],
+            watcher_threshold: vec![WATCHER_COMPACT_MIN; design.nets.len()],
+            eval_allocs: 0,
+            compactions: 0,
             time: 0,
             activation_changes: Vec::new(),
             lines: Vec::new(),
@@ -261,21 +409,27 @@ impl<'d> Simulator<'d> {
                 continue;
             }
             if !self.inactive.is_empty() {
-                let batch = std::mem::take(&mut self.inactive);
-                for pid in batch {
+                // Double-buffer swap: drain through the spare so both
+                // Vecs keep their capacity across steps.
+                std::mem::swap(&mut self.inactive, &mut self.inactive_spare);
+                for i in 0..self.inactive_spare.len() {
+                    let pid = self.inactive_spare[i];
                     self.procs[pid].status = Status::Runnable;
                     self.runnable.push_back(pid);
                 }
+                self.inactive_spare.clear();
                 continue;
             }
             if !self.nba.is_empty() {
-                let batch = std::mem::take(&mut self.nba);
+                let mut batch =
+                    std::mem::replace(&mut self.nba, std::mem::take(&mut self.nba_spare));
                 if let Some(ks) = &mut self.kstats {
                     ks.nba.observe(batch.len() as f64);
                 }
-                for (net, msb, lsb, value) in batch {
+                for (net, msb, lsb, value) in batch.drain(..) {
                     self.write_slice(net, msb, lsb, &value);
                 }
+                self.nba_spare = batch;
                 continue;
             }
             // Time step is quiescent: the $monitor observes it, then time
@@ -283,14 +437,15 @@ impl<'d> Simulator<'d> {
             self.fire_monitor();
             if let Some(ks) = &mut self.kstats {
                 ks.delta.observe(self.activations_this_step as f64);
-                ks.queue.observe(self.future.len() as f64);
+                ks.queue.observe(self.sched.distinct_times() as f64);
             }
-            match self.future.keys().next().copied() {
+            match self.sched.next_time(self.time) {
                 Some(t) if t <= self.config.max_time => {
-                    self.time = t;
                     self.activations_this_step = 0;
-                    let batch = self.future.remove(&t).expect("key just observed");
-                    for (pid, generation) in batch {
+                    let mut batch = std::mem::take(&mut self.wake_batch);
+                    self.sched.pop_at(t, &mut batch);
+                    self.time = t;
+                    for &(pid, generation) in &batch {
                         let p = &mut self.procs[pid];
                         if p.generation == generation && p.status == Status::Sleeping {
                             p.status = Status::Runnable;
@@ -299,6 +454,8 @@ impl<'d> Simulator<'d> {
                             self.runnable.push_back(pid);
                         }
                     }
+                    batch.clear();
+                    self.wake_batch = batch;
                 }
                 Some(_) => break, // beyond the time horizon
                 None => {
@@ -316,6 +473,7 @@ impl<'d> Simulator<'d> {
                 queue: ks.queue,
                 nba: ks.nba,
                 instructions: self.total_instrs,
+                perf: self.perf(),
             };
             telemetry.record_to(&self.recorder);
             self.telemetry = Some(telemetry);
@@ -365,6 +523,60 @@ impl<'d> Simulator<'d> {
         .eval(expr)
     }
 
+    /// Evaluates the expression at `(pid, pc)` through its compiled
+    /// program and the shared scratch arena. Falls back to the tree
+    /// interpreter when no program was lowered for that pc (cold paths:
+    /// `$display` arguments, l-value indices), which also keeps the
+    /// interpreter alive as the differential-testing oracle.
+    fn eval_compiled(
+        &mut self,
+        pid: usize,
+        pc: usize,
+        expr: &Expr,
+        last_wake: Option<NetId>,
+    ) -> LogicVec {
+        if let Some(prog) = self.programs[pid].get(pc).and_then(Option::as_ref) {
+            return bytecode::exec(
+                prog,
+                &self.values,
+                self.time,
+                last_wake,
+                &mut self.scratch,
+                &mut self.eval_allocs,
+            );
+        }
+        self.eval_with_wake(expr, last_wake)
+    }
+
+    /// The run's flat performance counters so far (final after
+    /// [`Simulator::run`] returns).
+    #[must_use]
+    pub fn perf(&self) -> KernelPerf {
+        KernelPerf {
+            instructions: self.total_instrs,
+            sim_time_ns: self.time,
+            eval_allocs: self.eval_allocs,
+            compactions: self.compactions,
+            scratch_slots: self.scratch.len() as u64,
+        }
+    }
+
+    /// Drops every stale entry from one watcher list and re-arms its
+    /// threshold at twice the live population. Amortised O(1) per push:
+    /// a net whose watchers never wake (it never changes) triggers a
+    /// compaction only after the list doubles, so the list length stays
+    /// within a constant factor of the processes genuinely waiting.
+    fn compact_watchers(&mut self, net: usize) {
+        let procs = &self.procs;
+        let list = &mut self.watchers[net];
+        list.retain(|&(pid, generation)| {
+            let p = &procs[pid];
+            p.generation == generation && p.status == Status::Waiting
+        });
+        self.compactions += 1;
+        self.watcher_threshold[net] = (list.len() * 2).max(WATCHER_COMPACT_MIN);
+    }
+
     fn run_process(&mut self, pid: usize) {
         let body = &self.design.processes[pid].body;
         let wake = self.procs[pid].last_wake;
@@ -390,19 +602,23 @@ impl<'d> Simulator<'d> {
             }
             match &body[pc] {
                 Instr::BlockingAssign { lvalue, expr } => {
-                    let value = self.eval_with_wake(expr, wake);
+                    let value = self.eval_compiled(pid, pc, expr, wake);
                     self.write_lvalue(lvalue, value);
                     self.procs[pid].pc = pc + 1;
                 }
                 Instr::NonblockingAssign { lvalue, expr } => {
-                    let value = self.eval_with_wake(expr, wake);
-                    let mut slices = Vec::new();
+                    let value = self.eval_compiled(pid, pc, expr, wake);
+                    let mut slices = std::mem::take(&mut self.lv_scratch);
                     self.resolve_lvalue(lvalue, &value, &mut slices);
-                    self.nba.extend(slices);
+                    self.nba.append(&mut slices);
+                    self.lv_scratch = slices;
                     self.procs[pid].pc = pc + 1;
                 }
                 Instr::Delay { amount } => {
-                    let amt = self.eval(amount).to_u64().unwrap_or(0);
+                    let amt = self
+                        .eval_compiled(pid, pc, amount, None)
+                        .to_u64()
+                        .unwrap_or(0);
                     self.procs[pid].pc = pc + 1;
                     self.procs[pid].generation += 1;
                     if amt == 0 {
@@ -411,10 +627,8 @@ impl<'d> Simulator<'d> {
                     } else {
                         self.procs[pid].status = Status::Sleeping;
                         let generation = self.procs[pid].generation;
-                        self.future
-                            .entry(self.time + amt)
-                            .or_default()
-                            .push((pid, generation));
+                        self.sched
+                            .schedule(self.time, self.time + amt, pid, generation);
                     }
                     return;
                 }
@@ -449,10 +663,14 @@ impl<'d> Simulator<'d> {
                         return;
                     }
                     self.procs[pid].status = Status::Waiting;
-                    self.procs[pid].waits = triggers.clone();
+                    self.procs[pid].wait_pc = pc;
                     let generation = self.procs[pid].generation;
                     for t in triggers {
-                        self.watchers[t.net().0 as usize].push((pid, generation));
+                        let ni = t.net().0 as usize;
+                        self.watchers[ni].push((pid, generation));
+                        if self.watchers[ni].len() >= self.watcher_threshold[ni] {
+                            self.compact_watchers(ni);
+                        }
                     }
                     return;
                 }
@@ -460,7 +678,7 @@ impl<'d> Simulator<'d> {
                     self.procs[pid].pc = *target;
                 }
                 Instr::BranchIfFalse { cond, target } => {
-                    let taken = self.eval_with_wake(cond, wake).to_bool() != Some(true);
+                    let taken = self.eval_compiled(pid, pc, cond, wake).to_bool() != Some(true);
                     self.procs[pid].pc = if taken { *target } else { pc + 1 };
                 }
                 Instr::SysCall {
@@ -633,11 +851,12 @@ impl<'d> Simulator<'d> {
     }
 
     fn write_lvalue(&mut self, lvalue: &LValue, value: LogicVec) {
-        let mut slices = Vec::new();
+        let mut slices = std::mem::take(&mut self.lv_scratch);
         self.resolve_lvalue(lvalue, &value, &mut slices);
-        for (net, msb, lsb, v) in slices {
+        for (net, msb, lsb, v) in slices.drain(..) {
             self.write_slice(net, msb, lsb, &v);
         }
+        self.lv_scratch = slices;
     }
 
     fn write_slice(&mut self, net: NetId, msb: u32, lsb: u32, value: &LogicVec) {
@@ -667,14 +886,21 @@ impl<'d> Simulator<'d> {
         }
         let old_bit = old.get(0);
         let new_bit = new.get(0);
-        let entries = std::mem::take(&mut self.watchers[idx]);
-        let mut kept = Vec::new();
-        for (pid, generation) in entries {
-            let p = &self.procs[pid];
+        // In-place retain: stale and woken entries drop out, pending
+        // ones stay, with no transfer buffer. The triggers are read back
+        // from the (immutable) process body at the recorded wait pc.
+        let design = self.design;
+        let procs = &mut self.procs;
+        let runnable = &mut self.runnable;
+        self.watchers[idx].retain(|&(pid, generation)| {
+            let p = &procs[pid];
             if p.generation != generation || p.status != Status::Waiting {
-                continue; // stale
+                return false; // stale
             }
-            let woken = p.waits.iter().any(|t| match t {
+            let Instr::WaitEvent { triggers } = &design.processes[pid].body[p.wait_pc] else {
+                unreachable!("wait_pc always records a WaitEvent");
+            };
+            let woken = triggers.iter().any(|t| match t {
                 Trigger::AnyChange(n) => *n == net,
                 Trigger::Posedge(n) => *n == net && new_bit == Logic::One && old_bit != Logic::One,
                 Trigger::Negedge(n) => {
@@ -682,17 +908,15 @@ impl<'d> Simulator<'d> {
                 }
             });
             if woken {
-                let p = &mut self.procs[pid];
+                let p = &mut procs[pid];
                 p.status = Status::Runnable;
                 p.generation += 1;
-                p.waits.clear();
                 p.last_wake = Some(net);
-                self.runnable.push_back(pid);
-            } else {
-                kept.push((pid, generation));
+                runnable.push_back(pid);
+                return false;
             }
-        }
-        self.watchers[idx].extend(kept);
+            true
+        });
     }
 }
 
@@ -1041,6 +1265,74 @@ mod tests {
             sim.net_value("hits").and_then(LogicVec::to_u64),
             Some(2),
             "exactly one self-wake: initial pass + edge-triggered pass"
+        );
+    }
+
+    #[test]
+    fn watcher_lists_stay_bounded_on_never_changing_nets() {
+        // A process that waits on (posedge clk, anychange dead) re-arms
+        // every clock edge; `dead` never changes, so its watcher list
+        // used to gain one stale entry per cycle — unbounded growth on
+        // long runs. With amortised compaction the list must stay within
+        // a small constant of the single live waiter.
+        let mut d = Design::new("t");
+        let clk = d.add_net(reg("clk", 1, Some(0)));
+        let dead = d.add_net(reg("dead", 1, Some(0)));
+        d.add_process(Process {
+            name: "clkgen".into(),
+            kind: ProcessKind::Always,
+            body: vec![
+                Instr::Delay {
+                    amount: Expr::constant(32, 5),
+                },
+                Instr::BlockingAssign {
+                    lvalue: LValue::Net(clk),
+                    expr: Expr::Unary {
+                        op: UnaryOp::Not,
+                        operand: Box::new(Expr::Net(clk)),
+                    },
+                },
+                Instr::Jump(0),
+            ],
+        });
+        d.add_process(Process {
+            name: "waiter".into(),
+            kind: ProcessKind::Always,
+            body: vec![
+                Instr::WaitEvent {
+                    triggers: vec![Trigger::Posedge(clk), Trigger::AnyChange(dead)],
+                },
+                Instr::Jump(0),
+            ],
+        });
+        d.add_process(Process {
+            name: "stop".into(),
+            kind: ProcessKind::Initial,
+            body: vec![
+                Instr::Delay {
+                    amount: Expr::constant(32, 10_000),
+                },
+                Instr::SysCall {
+                    kind: SysTaskKind::Finish,
+                    format: None,
+                    args: vec![],
+                },
+                Instr::Halt,
+            ],
+        });
+        let mut sim = Simulator::new(&d, SimConfig::default());
+        let r = sim.run();
+        assert!(r.finished);
+        let dead_watchers = sim.watchers[dead.0 as usize].len();
+        assert!(
+            dead_watchers <= 16,
+            "stale watcher entries must be compacted; found {dead_watchers} after \
+             ~1000 wait cycles"
+        );
+        assert!(
+            sim.perf().compactions > 50,
+            "the long run must have compacted repeatedly, got {}",
+            sim.perf().compactions
         );
     }
 

@@ -46,11 +46,13 @@
 
 #![warn(missing_docs)]
 
+mod bytecode;
 mod engine;
 mod eval;
 mod format;
 mod result;
+mod sched;
 mod vcd;
 
-pub use engine::{KernelTelemetry, Simulator};
+pub use engine::{KernelPerf, KernelTelemetry, Simulator};
 pub use result::{LimitKind, LogLine, SimConfig, SimResult};

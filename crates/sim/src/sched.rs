@@ -1,0 +1,245 @@
+//! Indexed future-event scheduling: a timing-wheel / binary-heap hybrid.
+//!
+//! The kernel used to keep its pending wake-ups in a
+//! `BTreeMap<u64, Vec<(process, generation)>>`. Every `#delay` paid a
+//! tree insert and every quiescent step paid a tree lookup plus a
+//! node removal — and the per-time `Vec` values were allocated and
+//! dropped once per distinct wake time. [`FutureQueue`] replaces that
+//! with:
+//!
+//! * a **timing wheel** of [`WHEEL_SIZE`] buckets for events within
+//!   [`WHEEL_SIZE`] ticks of the current time (the overwhelmingly
+//!   common case: clock half-periods), giving O(1) amortised insert
+//!   and in-place bucket reuse with zero steady-state allocation;
+//! * a **binary heap** ordered by `(time, seq)` for far-future events
+//!   (timeouts, watchdogs);
+//! * a global monotonically increasing sequence number so same-time
+//!   events pop in exactly the order they were scheduled — the order
+//!   the old `BTreeMap`'s per-time `Vec` preserved. Determinism of
+//!   every downstream artifact depends on this.
+//!
+//! The distinct-pending-time count (the old `future.len()`) feeds the
+//! `sim_event_queue_depth` histogram, so [`FutureQueue::distinct_times`]
+//! tracks it exactly via a `HashSet<u64>`; only its `len()` is ever
+//! observed, so the set's iteration order cannot leak anywhere.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Wheel span in ticks. Events scheduled at most this far ahead of the
+/// current time go to a wheel bucket; everything else goes to the heap.
+const WHEEL_SIZE: u64 = 64;
+
+/// One pending wake-up: absolute time, global sequence, process,
+/// process generation at scheduling time.
+type Entry = (u64, u64, usize, u64);
+
+/// The simulator's future-event queue. See the module docs for the
+/// wheel/heap split and the determinism contract.
+#[derive(Debug)]
+pub(crate) struct FutureQueue {
+    wheel: Vec<Vec<Entry>>,
+    /// Total entries currently stored in wheel buckets, so
+    /// [`FutureQueue::next_time`] can skip the bucket scan entirely
+    /// when the wheel is empty.
+    wheel_len: usize,
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Times with at least one pending (possibly stale) entry.
+    times: HashSet<u64>,
+    seq: u64,
+    /// Reused merge buffers for [`FutureQueue::pop_at`]: `(seq, pid,
+    /// generation)` from the wheel bucket and from the heap.
+    merge_wheel: Vec<(u64, usize, u64)>,
+    merge_heap: Vec<(u64, usize, u64)>,
+}
+
+impl FutureQueue {
+    pub(crate) fn new() -> FutureQueue {
+        FutureQueue {
+            wheel: (0..WHEEL_SIZE).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            heap: BinaryHeap::new(),
+            times: HashSet::new(),
+            seq: 0,
+            merge_wheel: Vec::new(),
+            merge_heap: Vec::new(),
+        }
+    }
+
+    /// Number of distinct pending wake times — the exact quantity the
+    /// old `BTreeMap::len` reported for the queue-depth histogram.
+    pub(crate) fn distinct_times(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Schedules `(pid, generation)` to wake at absolute `time`.
+    /// `now` is the current simulation time; `time` must be `> now`
+    /// (zero delays go to the inactive region, not here).
+    pub(crate) fn schedule(&mut self, now: u64, time: u64, pid: usize, generation: u64) {
+        debug_assert!(time > now, "future events are strictly in the future");
+        let seq = self.seq;
+        self.seq += 1;
+        self.times.insert(time);
+        if time - now <= WHEEL_SIZE {
+            self.wheel[(time % WHEEL_SIZE) as usize].push((time, seq, pid, generation));
+            self.wheel_len += 1;
+        } else {
+            self.heap.push(Reverse((time, seq, pid, generation)));
+        }
+    }
+
+    /// Earliest pending wake time, or `None` when the queue is empty.
+    /// Because simulation time only ever advances *to* this minimum,
+    /// every stored entry satisfies `entry.time > now`, and every wheel
+    /// entry satisfies
+    /// `entry.time <= insertion_now + WHEEL_SIZE <= now + WHEEL_SIZE`,
+    /// so scanning the next [`WHEEL_SIZE`] ticks covers the whole wheel.
+    pub(crate) fn next_time(&self, now: u64) -> Option<u64> {
+        let heap_min = self.heap.peek().map(|Reverse((t, _, _, _))| *t);
+        let mut wheel_min = None;
+        if self.wheel_len > 0 {
+            for off in 1..=WHEEL_SIZE {
+                let Some(t) = now.checked_add(off) else {
+                    break;
+                };
+                let bucket = &self.wheel[(t % WHEEL_SIZE) as usize];
+                if bucket.iter().any(|e| e.0 == t) {
+                    wheel_min = Some(t);
+                    break;
+                }
+            }
+        }
+        match (wheel_min, heap_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Removes every entry scheduled for exactly `time` and appends
+    /// them to `out` as `(pid, generation)` in scheduling order.
+    pub(crate) fn pop_at(&mut self, time: u64, out: &mut Vec<(usize, u64)>) {
+        self.times.remove(&time);
+        let from_wheel = &mut self.merge_wheel;
+        from_wheel.clear();
+        let bucket = &mut self.wheel[(time % WHEEL_SIZE) as usize];
+        bucket.retain(|&(t, seq, pid, generation)| {
+            if t == time {
+                from_wheel.push((seq, pid, generation));
+                false
+            } else {
+                true
+            }
+        });
+        self.wheel_len -= from_wheel.len();
+        let from_heap = &mut self.merge_heap;
+        from_heap.clear();
+        while let Some(&Reverse((t, _, _, _))) = self.heap.peek() {
+            if t != time {
+                break;
+            }
+            let Reverse((_, seq, pid, generation)) = self.heap.pop().expect("peeked");
+            from_heap.push((seq, pid, generation));
+        }
+        // Bucket entries arrive in push (= seq) order and heap pops are
+        // (time, seq)-sorted; merge the two runs by seq to reproduce the
+        // old per-time Vec's push order exactly.
+        let (mut i, mut j) = (0, 0);
+        while i < from_wheel.len() && j < from_heap.len() {
+            if from_wheel[i].0 < from_heap[j].0 {
+                out.push((from_wheel[i].1, from_wheel[i].2));
+                i += 1;
+            } else {
+                out.push((from_heap[j].1, from_heap[j].2));
+                j += 1;
+            }
+        }
+        for &(_, pid, generation) in &from_wheel[i..] {
+            out.push((pid, generation));
+        }
+        for &(_, pid, generation) in &from_heap[j..] {
+            out.push((pid, generation));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut FutureQueue, now: u64) -> Vec<(u64, Vec<(usize, u64)>)> {
+        let mut now = now;
+        let mut out = Vec::new();
+        while let Some(t) = q.next_time(now) {
+            let mut batch = Vec::new();
+            q.pop_at(t, &mut batch);
+            out.push((t, batch));
+            now = t;
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_schedule_order() {
+        let mut q = FutureQueue::new();
+        q.schedule(0, 10, 1, 0); // wheel
+        q.schedule(0, 5, 2, 0); // wheel
+        q.schedule(0, 10, 3, 0); // wheel, same time as first
+        q.schedule(0, 500, 4, 0); // heap
+        q.schedule(0, 10, 5, 0); // wheel again
+        assert_eq!(q.distinct_times(), 3);
+        let batches = drain(&mut q, 0);
+        assert_eq!(
+            batches,
+            vec![
+                (5, vec![(2, 0)]),
+                (10, vec![(1, 0), (3, 0), (5, 0)]),
+                (500, vec![(4, 0)]),
+            ]
+        );
+        assert_eq!(q.distinct_times(), 0);
+    }
+
+    #[test]
+    fn same_time_merges_wheel_and_heap_by_seq() {
+        let mut q = FutureQueue::new();
+        // Seq 0 lands in the heap (far future), seq 1 in the wheel once
+        // time has advanced close enough, seq 2 back in the... there is
+        // no way back: so interleave by scheduling around the boundary.
+        q.schedule(0, 100, 7, 0); // heap (100 - 0 > 64)
+        q.schedule(50, 100, 8, 0); // wheel (100 - 50 <= 64)
+        q.schedule(50, 100, 9, 1); // wheel
+        let mut batch = Vec::new();
+        assert_eq!(q.next_time(50), Some(100));
+        q.pop_at(100, &mut batch);
+        assert_eq!(
+            batch,
+            vec![(7, 0), (8, 0), (9, 1)],
+            "seq order across stores"
+        );
+    }
+
+    #[test]
+    fn wheel_wraparound_keeps_times_apart() {
+        let mut q = FutureQueue::new();
+        q.schedule(0, 64, 1, 0); // bucket 0
+        let mut batch = Vec::new();
+        q.pop_at(64, &mut batch);
+        assert_eq!(batch, vec![(1, 0)]);
+        // Same bucket, next lap of the wheel.
+        q.schedule(64, 128, 2, 0); // bucket 0 again
+        assert_eq!(q.next_time(64), Some(128));
+        batch.clear();
+        q.pop_at(128, &mut batch);
+        assert_eq!(batch, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn distinct_times_counts_times_not_entries() {
+        let mut q = FutureQueue::new();
+        for pid in 0..10 {
+            q.schedule(0, 7, pid, 0);
+        }
+        q.schedule(0, 9, 99, 0);
+        assert_eq!(q.distinct_times(), 2);
+    }
+}
