@@ -60,7 +60,7 @@ fn main() {
     for verilog in [true, false] {
         let lang = if verilog { "Verilog" } else { "VHDL" };
         for tb_first in [true, false] {
-            let mut cfg = base;
+            let mut cfg = base.clone();
             cfg.pipeline = Aivril2Config {
                 testbench_first: tb_first,
                 ..cfg.pipeline
@@ -89,7 +89,7 @@ fn main() {
         "budget", "pass@1_S", "pass@1_F", "avg cycles"
     );
     for k in 1..=6u32 {
-        let mut cfg = base;
+        let mut cfg = base.clone();
         cfg.pipeline = Aivril2Config {
             max_syntax_iters: k,
             max_functional_iters: k,
@@ -110,7 +110,7 @@ fn main() {
         ("detailed", PromptDetail::Detailed),
         ("errors-only", PromptDetail::ErrorsOnly),
     ] {
-        let mut cfg = base;
+        let mut cfg = base.clone();
         cfg.pipeline = Aivril2Config {
             prompt_detail: detail,
             ..cfg.pipeline

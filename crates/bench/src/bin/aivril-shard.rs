@@ -1,0 +1,144 @@
+//! `aivril-shard` — multi-process distributed evaluation driver.
+//!
+//! ```text
+//! aivril-shard <N> <command> [args...]
+//! # e.g. aivril-shard 3 target/release/quicklook --json out.json
+//! ```
+//!
+//! Spawns `N` copies of `<command>` (any table/figure binary), each
+//! evaluating one shard of the problem × sample grid
+//! (`AIVRIL_SHARD=i/N`) into a shared checkpoint directory, then runs
+//! the **merge pass**: the same command, unsharded, over the filled
+//! directory. The merge pass replays every cell from the checkpoint
+//! logs and renders through the normal single-process path, so its
+//! artifacts — stdout tables, `--json` results, run journals — are
+//! byte-identical to a direct single-process run (combine with
+//! `AIVRIL_CANONICAL=1` to make the results JSON plain-`diff`-able).
+//!
+//! Shard stdout is discarded (each child sees only a slice of the
+//! grid, so its tables are partial by construction); stderr passes
+//! through for progress. `--json` is stripped from shard children —
+//! only the merge pass writes results. When the parent requests trace
+//! exports, each child's are redirected into the checkpoint directory
+//! so they do not race over one path; telemetry stays *enabled* in the
+//! children either way, because the checkpoint fingerprint covers the
+//! recorder state (a cell checkpointed without telemetry cannot replay
+//! a journal).
+//!
+//! The checkpoint directory is `AIVRIL_CHECKPOINT_DIR` when set (and
+//! is then kept, enabling kill-and-resume across driver invocations),
+//! or a fresh temporary directory removed on exit.
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode, Stdio};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: aivril-shard <shards> <command> [args...]");
+    ExitCode::FAILURE
+}
+
+/// `args` minus every `flag <value>` pair.
+fn without_flag(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            it.next();
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((shards, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Ok(shards) = shards.parse::<usize>() else {
+        return usage();
+    };
+    if shards == 0 || rest.is_empty() {
+        return usage();
+    }
+    let command = &rest[0];
+    let cmd_args = &rest[1..];
+
+    let configured = std::env::var("AIVRIL_CHECKPOINT_DIR")
+        .ok()
+        .filter(|v| !v.is_empty());
+    let ephemeral = configured.is_none();
+    let dir = configured.map_or_else(
+        || std::env::temp_dir().join(format!("aivril-shard-{}", std::process::id())),
+        PathBuf::from,
+    );
+
+    let shard_args = without_flag(cmd_args, "--json");
+    let mut children = Vec::new();
+    for i in 0..shards {
+        let mut cmd = Command::new(command);
+        cmd.args(&shard_args)
+            .env("AIVRIL_SHARD", format!("{i}/{shards}"))
+            .env("AIVRIL_CHECKPOINT_DIR", &dir)
+            .stdout(Stdio::null());
+        for var in ["AIVRIL_TRACE_JSON", "AIVRIL_TRACE_CHROME"] {
+            if std::env::var(var).is_ok_and(|v| !v.is_empty()) {
+                cmd.env(var, dir.join(format!("shard-{i}.{var}")));
+            }
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                eprintln!("[shard] cannot spawn {command}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("[shard] {shards} worker(s) over {}", dir.display());
+
+    let mut failed = false;
+    for (i, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("[shard] worker {i} exited with {status}");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("[shard] waiting for worker {i}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        // Leave the checkpoint directory for a resume when the user
+        // configured it; remove our own temporary one.
+        if ephemeral {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // Merge pass: unsharded, the *original* arguments (including
+    // `--json` and trace paths), same checkpoint directory.
+    let status = Command::new(command)
+        .args(cmd_args)
+        .env_remove("AIVRIL_SHARD")
+        .env("AIVRIL_CHECKPOINT_DIR", &dir)
+        .status();
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    match status {
+        Ok(status) if status.success() => ExitCode::SUCCESS,
+        Ok(status) => {
+            eprintln!("[shard] merge pass exited with {status}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("[shard] cannot spawn merge pass: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -6,10 +6,13 @@ use aivril_llm::mutate::{
 };
 
 fn main() {
+    // Honour `AIVRIL_TASKS` so CI can smoke a small slice; the default
+    // (no env) still sweeps the full 156-problem suite.
+    let base = HarnessConfig::from_env();
     for verilog in [true, false] {
         let h = Harness::new(HarnessConfig {
             samples: 1,
-            task_limit: 156,
+            task_limit: base.task_limit.min(156),
             ..HarnessConfig::default()
         });
         let dialect = if verilog {

@@ -5,7 +5,7 @@
 //! Claude/Verilog ≈ 2 and 3).
 
 use aivril_bench::{
-    arg_value, results_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
+    arg_value, results_json, write_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
 };
 use aivril_llm::profiles;
 use aivril_metrics::{figure3, render_figure3};
@@ -13,7 +13,7 @@ use aivril_metrics::{figure3, render_figure3};
 fn main() {
     let config = HarnessConfig::from_env();
     let telemetry = Telemetry::from_env();
-    let harness = Harness::new(config).with_recorder(telemetry.recorder());
+    let harness = Harness::new(config.clone()).with_recorder(telemetry.recorder());
     println!(
         "Running Figure 3: {} tasks x {} samples x 3 models x 2 languages x 2 flows \
          on {} thread(s)\n",
@@ -49,7 +49,7 @@ fn main() {
         println!("[cache] {stats}\n");
     }
     if let Some(path) = arg_value("--json") {
-        std::fs::write(&path, results_json(&sections)).expect("write --json output");
+        write_json(&path, &results_json(&sections)).expect("write --json output");
         println!("results written to {path}\n");
     }
     match telemetry.finish() {

@@ -7,7 +7,7 @@
 //! outcomes and stats as schema-versioned JSON.
 
 use aivril_bench::{
-    arg_value, results_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
+    arg_value, results_json, write_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
 };
 use aivril_llm::profiles;
 use aivril_metrics::suite_metric;
@@ -19,7 +19,7 @@ fn main() {
         ..HarnessConfig::from_env()
     };
     let telemetry = Telemetry::from_env();
-    let harness = Harness::new(config).with_recorder(telemetry.recorder());
+    let harness = Harness::new(config.clone()).with_recorder(telemetry.recorder());
     let profile = profiles::claude35_sonnet();
     println!(
         "quicklook: {} tasks x {} samples on {} thread(s), {}",
@@ -58,7 +58,7 @@ fn main() {
         println!("[cache] {stats}");
     }
     if let Some(path) = arg_value("--json") {
-        std::fs::write(&path, results_json(&sections)).expect("write --json output");
+        write_json(&path, &results_json(&sections)).expect("write --json output");
         println!("results written to {path}");
     }
     match telemetry.finish() {

@@ -7,7 +7,7 @@
 //! table is ~19k pipeline executions.
 
 use aivril_bench::{
-    arg_value, results_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
+    arg_value, results_json, write_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
 };
 use aivril_llm::profiles;
 use aivril_metrics::{delta_f, render_table1, suite_metric, suite_metric_with_se, Table1Row};
@@ -15,7 +15,7 @@ use aivril_metrics::{delta_f, render_table1, suite_metric, suite_metric_with_se,
 fn main() {
     let config = HarnessConfig::from_env();
     let telemetry = Telemetry::from_env();
-    let harness = Harness::new(config).with_recorder(telemetry.recorder());
+    let harness = Harness::new(config.clone()).with_recorder(telemetry.recorder());
     println!(
         "Running Table 1: {} tasks x {} samples x 3 models x 2 languages x 2 flows \
          on {} thread(s)\n",
@@ -92,7 +92,7 @@ fn main() {
         println!("[cache] {stats}\n");
     }
     if let Some(path) = arg_value("--json") {
-        std::fs::write(&path, results_json(&sections)).expect("write --json output");
+        write_json(&path, &results_json(&sections)).expect("write --json output");
         println!("results written to {path}\n");
     }
     match telemetry.finish() {

@@ -3,7 +3,7 @@
 //! constants — the closed systems cannot be rerun).
 
 use aivril_bench::{
-    arg_value, results_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
+    arg_value, results_json, write_json, Flow, Harness, HarnessConfig, ResultSection, Telemetry,
 };
 use aivril_llm::profiles;
 use aivril_metrics::{render_table2, suite_metric};
@@ -11,7 +11,7 @@ use aivril_metrics::{render_table2, suite_metric};
 fn main() {
     let config = HarnessConfig::from_env();
     let telemetry = Telemetry::from_env();
-    let harness = Harness::new(config).with_recorder(telemetry.recorder());
+    let harness = Harness::new(config.clone()).with_recorder(telemetry.recorder());
     println!(
         "Running Table 2: {} tasks x {} samples x 3 models (Verilog, AIVRIL2) \
          on {} thread(s)\n",
@@ -48,7 +48,7 @@ fn main() {
         println!("[cache] {stats}\n");
     }
     if let Some(path) = arg_value("--json") {
-        std::fs::write(&path, results_json(&sections)).expect("write --json output");
+        write_json(&path, &results_json(&sections)).expect("write --json output");
         println!("results written to {path}\n");
     }
     match telemetry.finish() {

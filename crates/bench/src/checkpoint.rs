@@ -1,0 +1,329 @@
+//! Shard checkpoint store: crash-safe, append-only logs of completed
+//! grid cells.
+//!
+//! Every shard of an evaluation writes one log file into the shared
+//! checkpoint directory (`AIVRIL_CHECKPOINT_DIR`); each line is one
+//! finished cell — its [`RunRecord`] (floats as bit patterns), the
+//! cell's journal runs and its metrics delta, all in the `aivril_obs`
+//! codec with an FNV-64 checksum. On startup a shard replays every
+//! cell it finds (from *any* shard's file with a matching evaluation
+//! fingerprint) and computes only the rest, so:
+//!
+//! * a killed shard resumes where it stopped, bit-identically;
+//! * the multi-process merge pass (`aivril-shard`) is simply a
+//!   full-range run over a directory the shards already filled — it
+//!   replays everything and renders through the normal single-process
+//!   path, which is what makes merged artifacts byte-identical.
+//!
+//! Torn tails (a line cut mid-write by `kill -9`) are detected by the
+//! checksum/newline and dropped; on reopen the file is truncated back
+//! to its valid prefix so subsequent appends stay parseable. A file
+//! whose header names a different fingerprint (other config, suite
+//! size, telemetry mode…) is ignored entirely. See DESIGN.md §9.
+
+use crate::{RunRecord, ShardRange};
+use aivril_core::ResilienceCounters;
+use aivril_metrics::SampleOutcome;
+use aivril_obs::codec::{self, Reader, Writer};
+use aivril_obs::{MetricsRegistry, RunJournal};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+const MAGIC: &str = "aivril.ckpt";
+const VERSION: u32 = 1;
+
+/// Everything the harness must persist to replay one finished cell:
+/// the scored record plus the telemetry (journal runs, metrics) the
+/// cell produced.
+#[derive(Debug, Clone)]
+pub(crate) struct CellRecord {
+    pub record: RunRecord,
+    pub runs: Vec<RunJournal>,
+    pub metrics: MetricsRegistry,
+}
+
+/// One shard's view of the checkpoint directory: the cells restored
+/// from disk plus this shard's own append log.
+pub(crate) struct ShardCheckpoint {
+    restored: HashMap<usize, CellRecord>,
+    writer: Option<Mutex<File>>,
+}
+
+impl ShardCheckpoint {
+    /// Scans `dir` for checkpoint logs carrying `fingerprint`, restores
+    /// their cells, and opens this shard's own log (named by its cell
+    /// range, so concurrent shards never share a file) for appending.
+    /// All I/O failures degrade to "nothing restored / nothing
+    /// persisted" — checkpointing is an accelerator, never a gate.
+    pub fn open(dir: &Path, fingerprint: u64, range: ShardRange) -> ShardCheckpoint {
+        let _ = fs::create_dir_all(dir);
+        let own_name = format!("ckpt-{fingerprint:016x}-{}-{}.log", range.start, range.end);
+        let prefix = format!("ckpt-{fingerprint:016x}-");
+        let mut restored = HashMap::new();
+        let mut own_valid_len = None;
+        if let Ok(entries) = fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if !name.starts_with(&prefix) || !name.ends_with(".log") {
+                    continue;
+                }
+                let Ok(text) = fs::read_to_string(entry.path()) else {
+                    continue;
+                };
+                let (cells, valid_len) = parse_log(&text, fingerprint);
+                if name == own_name {
+                    own_valid_len = Some(valid_len as u64);
+                }
+                for (idx, cell) in cells {
+                    // Duplicate cells across files are identical by
+                    // construction (same fingerprint, coordinate-derived
+                    // seeds), so first-wins is safe.
+                    restored.entry(idx).or_insert(cell);
+                }
+            }
+        }
+        let writer = open_writer(&dir.join(&own_name), fingerprint, own_valid_len);
+        ShardCheckpoint {
+            restored,
+            writer: writer.map(Mutex::new),
+        }
+    }
+
+    /// The restored record of `cell`, if a checkpoint covered it.
+    pub fn restored(&self, cell: usize) -> Option<&CellRecord> {
+        self.restored.get(&cell)
+    }
+
+    /// Appends one freshly computed cell. Flushes per line: a killed
+    /// shard loses at most the line being written, and the loader drops
+    /// any torn tail.
+    pub fn append(&self, cell: usize, rec: &CellRecord) {
+        let Some(writer) = &self.writer else { return };
+        let payload = encode_cell(rec);
+        let sum = codec::fnv64(payload.as_bytes());
+        let line = format!("cell {cell} {sum:016x} {payload}\n");
+        if let Ok(mut f) = writer.lock() {
+            let _ = f.write_all(line.as_bytes()).and_then(|()| f.flush());
+        }
+    }
+}
+
+/// Opens (or creates) this shard's own log. `valid_len` is the byte
+/// length of the file's valid prefix when it already exists with a
+/// matching header; the file is truncated back to it so appends after
+/// a torn tail stay readable.
+fn open_writer(path: &Path, fingerprint: u64, valid_len: Option<u64>) -> Option<File> {
+    match valid_len {
+        Some(len) if len > 0 => {
+            let mut f = OpenOptions::new().write(true).open(path).ok()?;
+            f.set_len(len).ok()?;
+            f.seek(SeekFrom::End(0)).ok()?;
+            Some(f)
+        }
+        // Absent, or unreadable header (other version/fingerprint):
+        // start over with a fresh header.
+        _ => {
+            let mut f = File::create(path).ok()?;
+            f.write_all(format!("{MAGIC} {VERSION} {fingerprint:016x}\n").as_bytes())
+                .ok()?;
+            f.flush().ok()?;
+            Some(f)
+        }
+    }
+}
+
+/// Parses one checkpoint log: the decoded cells plus the byte length
+/// of the valid prefix (0 when the header itself is bad). Parsing
+/// stops at the first malformed line, so a torn tail never corrupts
+/// the cells before it.
+fn parse_log(text: &str, fingerprint: u64) -> (Vec<(usize, CellRecord)>, usize) {
+    let mut cells = Vec::new();
+    let mut lines = text.split_inclusive('\n');
+    let Some(header) = lines.next() else {
+        return (cells, 0);
+    };
+    let mut parts = header.trim_end_matches('\n').split(' ');
+    let header_ok = header.ends_with('\n')
+        && parts.next() == Some(MAGIC)
+        && parts.next().and_then(|v| v.parse().ok()) == Some(VERSION)
+        && parts.next().and_then(|v| u64::from_str_radix(v, 16).ok()) == Some(fingerprint)
+        && parts.next().is_none();
+    if !header_ok {
+        return (cells, 0);
+    }
+    let mut valid_len = header.len();
+    for line in lines {
+        if !line.ends_with('\n') {
+            break;
+        }
+        let Some(cell) = parse_cell_line(line.trim_end_matches('\n')) else {
+            break;
+        };
+        cells.push(cell);
+        valid_len += line.len();
+    }
+    (cells, valid_len)
+}
+
+fn parse_cell_line(line: &str) -> Option<(usize, CellRecord)> {
+    let rest = line.strip_prefix("cell ")?;
+    let (idx, rest) = rest.split_once(' ')?;
+    let idx: usize = idx.parse().ok()?;
+    let (sum, payload) = rest.split_once(' ')?;
+    if u64::from_str_radix(sum, 16).ok()? != codec::fnv64(payload.as_bytes()) {
+        return None;
+    }
+    let mut r = Reader::new(payload);
+    let cell = decode_cell(&mut r)?;
+    r.at_end().then_some((idx, cell))
+}
+
+fn encode_cell(rec: &CellRecord) -> String {
+    let mut w = Writer::new();
+    let o = &rec.record.outcome;
+    w.bool(o.syntax);
+    w.bool(o.functional);
+    w.f64(o.total_latency);
+    w.f64(o.syntax_phase_latency);
+    w.f64(o.functional_phase_latency);
+    w.u32(o.syntax_iters);
+    w.u32(o.functional_iters);
+    w.bool(o.crashed);
+    w.f64(rec.record.llm_seconds);
+    w.f64(rec.record.tool_seconds);
+    let res = &rec.record.resilience;
+    w.u32(res.llm_faults);
+    w.u32(res.retries);
+    w.f64(res.backoff_s);
+    w.u32(res.breaker_opens);
+    w.u32(res.degraded);
+    w.u32(res.sim_diverged);
+    codec::encode_runs(&mut w, &rec.runs);
+    codec::encode_metrics(&mut w, &rec.metrics);
+    w.finish()
+}
+
+fn decode_cell(r: &mut Reader<'_>) -> Option<CellRecord> {
+    let outcome = SampleOutcome {
+        syntax: r.bool()?,
+        functional: r.bool()?,
+        total_latency: r.f64()?,
+        syntax_phase_latency: r.f64()?,
+        functional_phase_latency: r.f64()?,
+        syntax_iters: r.u32()?,
+        functional_iters: r.u32()?,
+        crashed: r.bool()?,
+    };
+    let llm_seconds = r.f64()?;
+    let tool_seconds = r.f64()?;
+    let resilience = ResilienceCounters {
+        llm_faults: r.u32()?,
+        retries: r.u32()?,
+        backoff_s: r.f64()?,
+        breaker_opens: r.u32()?,
+        degraded: r.u32()?,
+        sim_diverged: r.u32()?,
+    };
+    let runs = codec::decode_runs(r)?;
+    let metrics = codec::decode_metrics(r)?;
+    Some(CellRecord {
+        record: RunRecord {
+            outcome,
+            llm_seconds,
+            tool_seconds,
+            resilience,
+        },
+        runs,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crashed_record;
+
+    fn cell() -> CellRecord {
+        let mut record = crashed_record();
+        record.outcome.crashed = false;
+        record.outcome.syntax = true;
+        record.outcome.total_latency = 12.75;
+        // An awkward, bit-pattern-sensitive float for round-trip tests.
+        record.llm_seconds = std::f64::consts::PI / 3.0;
+        record.resilience.retries = 3;
+        record.resilience.backoff_s = 0.125;
+        let mut metrics = MetricsRegistry::new();
+        metrics.counter_add("pipeline_runs_total", &[("flow", "aivril2")], 1);
+        CellRecord {
+            record,
+            runs: Vec::new(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn cell_lines_round_trip() {
+        let c = cell();
+        let payload = encode_cell(&c);
+        let line = format!("cell 7 {:016x} {payload}", codec::fnv64(payload.as_bytes()));
+        let (idx, back) = parse_cell_line(&line).expect("round trip");
+        assert_eq!(idx, 7);
+        assert_eq!(
+            back.record.llm_seconds.to_bits(),
+            c.record.llm_seconds.to_bits()
+        );
+        assert_eq!(back.record.outcome, c.record.outcome);
+        assert_eq!(back.record.resilience, c.record.resilience);
+        assert_eq!(back.metrics, c.metrics);
+    }
+
+    #[test]
+    fn tampered_or_torn_lines_are_rejected() {
+        let c = cell();
+        let payload = encode_cell(&c);
+        let sum = codec::fnv64(payload.as_bytes());
+        assert!(parse_cell_line(&format!("cell 7 {:016x} {payload}", sum ^ 1)).is_none());
+        let line = format!("cell 7 {sum:016x} {payload}");
+        assert!(parse_cell_line(&line[..line.len() - 4]).is_none());
+        assert!(parse_cell_line(&format!("{line} trailing")).is_none());
+        assert!(parse_cell_line("not a cell line").is_none());
+    }
+
+    #[test]
+    fn logs_restore_resume_and_drop_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("aivril-ckpt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let range = ShardRange { start: 0, end: 4 };
+
+        let ckpt = ShardCheckpoint::open(&dir, 0xabcd, range);
+        assert!(ckpt.restored(0).is_none());
+        ckpt.append(0, &cell());
+        ckpt.append(1, &cell());
+        drop(ckpt);
+
+        // Simulate a kill mid-write: append garbage with no newline.
+        let path = dir.join("ckpt-000000000000abcd-0-4.log");
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"cell 2 deadbeef torn").unwrap();
+        drop(f);
+
+        let ckpt = ShardCheckpoint::open(&dir, 0xabcd, range);
+        assert!(ckpt.restored(0).is_some() && ckpt.restored(1).is_some());
+        assert!(ckpt.restored(2).is_none(), "torn tail must be dropped");
+        ckpt.append(2, &cell());
+        drop(ckpt);
+
+        // The torn bytes were truncated away, so the resumed file is
+        // fully parseable again.
+        let ckpt = ShardCheckpoint::open(&dir, 0xabcd, range);
+        assert!(ckpt.restored(2).is_some());
+        // A different fingerprint sees none of it.
+        let other = ShardCheckpoint::open(&dir, 0x1234, range);
+        assert!(other.restored(0).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

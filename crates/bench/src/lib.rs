@@ -27,17 +27,20 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
+
 use aivril_core::{
     Aivril2, Aivril2Config, BaselineFlow, ResilienceCounters, RunResult, Stage, TaskInput,
 };
-use aivril_eda::{CacheStats, EdaCache, HdlFile, ToolSuite, XsimToolSuite};
+use aivril_eda::{CacheStats, DiskStats, EdaCache, HdlFile, ToolSuite, XsimToolSuite};
 use aivril_llm::{FaultConfig, ModelProfile, SimLlm, TaskLibrary};
 use aivril_metrics::{EvalOutcome, SampleOutcome};
-use aivril_obs::{json, Recorder};
+use aivril_obs::{codec, json, Recorder};
 use aivril_sim::{KernelPerf, SimConfig};
 use aivril_verilogeval::{suite, Problem};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -52,7 +55,7 @@ pub enum Flow {
 }
 
 /// Harness configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessConfig {
     /// Samples per task (n of the pass@k estimator).
     pub samples: u32,
@@ -77,6 +80,23 @@ pub struct HarnessConfig {
     pub sim_max_deltas: Option<u32>,
     /// Pipeline budgets.
     pub pipeline: Aivril2Config,
+    /// Evaluate only shard `index` of `count` ([`plan_shards`]
+    /// partition) instead of the full grid — the `AIVRIL_SHARD=i/n`
+    /// distributed mode. `None` evaluates everything.
+    pub shard: Option<(usize, usize)>,
+    /// Directory for shard checkpoint logs (`AIVRIL_CHECKPOINT_DIR`).
+    /// Completed cells are appended as they finish and replayed on
+    /// restart, bit-identically; a full-range run over a directory
+    /// other shards filled *is* the merge pass.
+    pub checkpoint_dir: Option<String>,
+    /// Directory for the persistent on-disk EDA cache tier
+    /// (`AIVRIL_EDA_CACHE_DIR`); implies [`HarnessConfig::eda_cache`].
+    pub eda_cache_dir: Option<String>,
+    /// Canonical-output mode (`AIVRIL_CANONICAL`): zero the volatile
+    /// `wall_seconds` and drop the diagnostic `eda_cache`/`kernel`
+    /// stats blocks, so results JSON from different processes,
+    /// machines or cache modes can be compared byte-for-byte.
+    pub canonical: bool,
 }
 
 impl Default for HarnessConfig {
@@ -89,6 +109,10 @@ impl Default for HarnessConfig {
             faults: FaultConfig::off(),
             sim_max_deltas: None,
             pipeline: Aivril2Config::default(),
+            shard: None,
+            checkpoint_dir: None,
+            eda_cache_dir: None,
+            canonical: false,
         }
     }
 }
@@ -99,7 +123,12 @@ impl HarnessConfig {
     /// can be scaled without recompiling, plus the resilience knobs:
     /// `AIVRIL_FAULTS` (fault plan, see [`FaultConfig::parse`]),
     /// `AIVRIL_RETRY_MAX`, `AIVRIL_BACKOFF_BASE_MS`,
-    /// `AIVRIL_BREAKER_THRESHOLD` and `AIVRIL_SIM_MAX_DELTAS`.
+    /// `AIVRIL_BREAKER_THRESHOLD` and `AIVRIL_SIM_MAX_DELTAS`, plus
+    /// the distributed-evaluation knobs: `AIVRIL_SHARD=i/n` (evaluate
+    /// shard *i* of *n*), `AIVRIL_CHECKPOINT_DIR` (crash-safe resume
+    /// and cross-process merge), `AIVRIL_EDA_CACHE_DIR` (persistent
+    /// cache tier; implies `AIVRIL_EDA_CACHE=1`) and
+    /// `AIVRIL_CANONICAL` (byte-comparable artifacts).
     #[must_use]
     pub fn from_env() -> HarnessConfig {
         Self::from_vars(|key| std::env::var(key).ok())
@@ -142,6 +171,24 @@ impl HarnessConfig {
         if let Some(n) = get("AIVRIL_SIM_MAX_DELTAS").and_then(|v| v.parse().ok()) {
             c.sim_max_deltas = Some(n);
         }
+        if let Some(v) = get("AIVRIL_SHARD") {
+            match parse_shard(&v) {
+                Some(shard) => c.shard = Some(shard),
+                None => {
+                    eprintln!("[config] ignoring AIVRIL_SHARD (want index/count, e.g. 0/3): {v}");
+                }
+            }
+        }
+        if let Some(dir) = get("AIVRIL_CHECKPOINT_DIR").filter(|v| !v.is_empty()) {
+            c.checkpoint_dir = Some(dir);
+        }
+        if let Some(dir) = get("AIVRIL_EDA_CACHE_DIR").filter(|v| !v.is_empty()) {
+            c.eda_cache = true;
+            c.eda_cache_dir = Some(dir);
+        }
+        if let Some(v) = get("AIVRIL_CANONICAL") {
+            c.canonical = !v.is_empty() && v != "0";
+        }
         c
     }
 
@@ -155,6 +202,58 @@ impl HarnessConfig {
             self.threads
         }
     }
+}
+
+/// Parses `AIVRIL_SHARD`'s `index/count` syntax; `None` on anything
+/// malformed (including `index >= count` or `count == 0`).
+fn parse_shard(v: &str) -> Option<(usize, usize)> {
+    let (index, count) = v.split_once('/')?;
+    let (index, count) = (index.trim().parse().ok()?, count.trim().parse().ok()?);
+    (count > 0 && index < count).then_some((index, count))
+}
+
+/// A contiguous range of evaluation-grid cells, `start..end`, where a
+/// cell's index is `problem_index * samples + sample`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// First cell (inclusive).
+    pub start: usize,
+    /// One past the last cell.
+    pub end: usize,
+}
+
+impl ShardRange {
+    /// Number of cells in the range.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the range covers no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Partitions a grid of `cells` cells into `count` contiguous,
+/// balanced [`ShardRange`]s: sizes differ by at most one, with earlier
+/// shards taking the remainder. Pure — every process that plans the
+/// same `(cells, count)` agrees on the boundaries, which is what lets
+/// independently spawned shard processes tile the grid exactly.
+#[must_use]
+pub fn plan_shards(cells: usize, count: usize) -> Vec<ShardRange> {
+    let count = count.max(1);
+    let (base, rem) = (cells / count, cells % count);
+    let mut start = 0;
+    (0..count)
+        .map(|i| {
+            let end = start + base + usize::from(i < rem);
+            let range = ShardRange { start, end };
+            start = end;
+            range
+        })
+        .collect()
 }
 
 /// The seed of one evaluation run, derived purely from its grid
@@ -284,6 +383,7 @@ pub fn build_library(problems: &[Problem]) -> TaskLibrary {
 }
 
 /// One completed run, as stored by the worker pool.
+#[derive(Debug, Clone)]
 struct RunRecord {
     outcome: SampleOutcome,
     llm_seconds: f64,
@@ -352,7 +452,9 @@ impl Harness {
                 ..SimConfig::default()
             });
         }
-        if config.eda_cache {
+        if let Some(dir) = &config.eda_cache_dir {
+            tools = tools.with_cache(EdaCache::persistent(dir));
+        } else if config.eda_cache {
             tools = tools.with_cache(EdaCache::new());
         }
         Harness {
@@ -385,6 +487,13 @@ impl Harness {
     #[must_use]
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.tools.cache().map(EdaCache::stats)
+    }
+
+    /// Counters of the persistent on-disk cache tier; `None` unless
+    /// [`HarnessConfig::eda_cache_dir`] is set.
+    #[must_use]
+    pub fn disk_cache_stats(&self) -> Option<DiskStats> {
+        self.tools.cache().and_then(EdaCache::disk_stats)
     }
 
     /// Scores a final RTL source: compiles it alone for pass@1_S, then
@@ -497,24 +606,100 @@ impl Harness {
     }
 
     /// Like [`Harness::evaluate`], also returning wall-clock and
-    /// iteration statistics ([`EvalStats`]).
+    /// iteration statistics ([`EvalStats`]). Internally this is
+    /// [`Harness::run_shard`] over the configured cell range (the full
+    /// grid, or the [`HarnessConfig::shard`] slice) followed by
+    /// [`Harness::merge_shards`] — a single-process evaluation is just
+    /// the one-shard special case of the distributed protocol, so both
+    /// paths share every byte of the rendering pipeline.
     pub fn evaluate_with_stats(
         &self,
         profile: &ModelProfile,
         verilog: bool,
         flow: Flow,
     ) -> (Vec<EvalOutcome>, EvalStats) {
+        let total = self.problems().len() * self.config.samples as usize;
+        let range = match self.config.shard {
+            // An out-of-range index (impossible via `AIVRIL_SHARD`
+            // parsing) degrades to an empty slice, not a panic.
+            Some((index, count)) => {
+                plan_shards(total, count)
+                    .get(index)
+                    .copied()
+                    .unwrap_or(ShardRange {
+                        start: total,
+                        end: total,
+                    })
+            }
+            None => ShardRange {
+                start: 0,
+                end: total,
+            },
+        };
+        let shard = self.run_shard(profile, verilog, flow, range);
+        self.merge_shards(vec![shard])
+    }
+
+    /// Fingerprint of everything that determines a cell's result and
+    /// telemetry: model, language, flow, grid shape, fault plan,
+    /// pipeline budgets, watchdog override and whether a recorder is
+    /// attached. Checkpoint logs carrying a different fingerprint are
+    /// ignored. Shard topology is deliberately *excluded* so any
+    /// process can replay any shard's cells — that is exactly what the
+    /// `aivril-shard` merge pass does.
+    fn fingerprint(&self, profile: &ModelProfile, verilog: bool, flow: Flow) -> u64 {
+        let mut w = codec::Writer::new();
+        w.str(&format!("{profile:?}"));
+        w.bool(verilog);
+        w.str(match flow {
+            Flow::Baseline => "baseline",
+            Flow::Aivril2 => "aivril2",
+        });
+        w.u64(u64::from(self.config.samples));
+        w.u64(self.problems().len() as u64);
+        w.bool(self.recorder.is_enabled());
+        w.str(&format!(
+            "{:?}{:?}{:?}",
+            self.config.faults, self.config.pipeline, self.config.sim_max_deltas
+        ));
+        codec::fnv64(w.payload().as_bytes())
+    }
+
+    /// Evaluates one contiguous slice of the problem × sample grid —
+    /// the distributed-evaluation building block. Seeds are derived
+    /// from grid coordinates ([`run_seed`]), so any partition of the
+    /// grid computes exactly the cells a full run would.
+    ///
+    /// With [`HarnessConfig::checkpoint_dir`] set, cells already
+    /// present in the checkpoint directory are *replayed* (records,
+    /// journal runs and metrics restored bit-identically) and each
+    /// freshly computed cell is appended as it finishes, so a killed
+    /// process resumes where it stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` does not fit the grid.
+    pub fn run_shard(
+        &self,
+        profile: &ModelProfile,
+        verilog: bool,
+        flow: Flow,
+        range: ShardRange,
+    ) -> ShardRun {
         let start = Instant::now();
         let cache_before = self.cache_stats();
         let kernel_before = self.tools.kernel_stats();
         let problems = self.problems();
         let samples = self.config.samples as usize;
         let total = problems.len() * samples;
-        let threads = self.config.effective_threads().clamp(1, total.max(1));
+        assert!(
+            range.start <= range.end && range.end <= total,
+            "shard range {range:?} outside the {total}-cell grid"
+        );
         let library = std::sync::Arc::new(build_library(problems));
 
-        // Telemetry: one fork per evaluation (carrying the context
-        // pairs), one sub-fork per worker. All of this is a no-op when
+        // Telemetry: one fork per shard run (carrying the context
+        // pairs), one sub-fork per cell. All of this is a no-op when
         // the harness recorder is disabled.
         let eval_rec = self.recorder.fork();
         eval_rec.set_context(&[
@@ -528,72 +713,106 @@ impl Harness {
                 },
             ),
         ]);
-        let worker_recs: Vec<Recorder> = (0..threads).map(|_| eval_rec.fork()).collect();
 
-        // One write-once slot per grid cell: workers claim cells through
-        // the atomic cursor and publish results lock-free; the merge
-        // below reads them back in grid order, making the output
-        // independent of scheduling.
-        let slots: Vec<OnceLock<RunRecord>> = (0..total).map(|_| OnceLock::new()).collect();
+        // Checkpoint replay: restore finished cells in grid order (so
+        // their journals and metrics fold in exactly as a live run
+        // would emit them), queue the rest for the worker pool.
+        let ckpt = self.config.checkpoint_dir.as_ref().map(|dir| {
+            checkpoint::ShardCheckpoint::open(
+                Path::new(dir),
+                self.fingerprint(profile, verilog, flow),
+                range,
+            )
+        });
+        let slots: Vec<OnceLock<RunRecord>> = (0..range.len()).map(|_| OnceLock::new()).collect();
+        let mut pending = Vec::new();
+        for cell in range.start..range.end {
+            match ckpt.as_ref().and_then(|c| c.restored(cell)) {
+                Some(done) => {
+                    for run in &done.runs {
+                        eval_rec.push_run(run.clone());
+                    }
+                    eval_rec.merge_metrics(&done.metrics);
+                    let _ = slots[cell - range.start].set(done.record.clone());
+                }
+                None => pending.push(cell),
+            }
+        }
+
+        // One write-once slot per grid cell: workers claim pending
+        // cells through the atomic cursor and publish results
+        // lock-free; the merge reads them back in grid order, making
+        // the output independent of scheduling.
+        let threads = self
+            .config
+            .effective_threads()
+            .clamp(1, pending.len().max(1));
         let cursor = AtomicUsize::new(0);
-
         std::thread::scope(|scope| {
-            for wrec in &worker_recs {
+            for _ in 0..threads {
                 // Shadow the shared state as references so the `move`
-                // closure copies pointers, not the values themselves
-                // (`wrec` must be captured by value per iteration).
+                // closure copies pointers, not the values themselves.
                 let (library, slots, cursor) = (&library, &slots, &cursor);
+                let (pending, eval_rec, ckpt) = (&pending, &eval_rec, &ckpt);
                 scope.spawn(move || {
-                    // Per-worker instances: the model clone is cheap
-                    // (profile + shared task knowledge) and the tool
-                    // suite is plain data; no worker shares mutable
-                    // state with another. The worker's recorder clones
-                    // all share one (uncontended) fork.
-                    let tools = self.tools.clone().with_recorder(wrec.clone());
-                    let make_worker = || Worker {
-                        model: SimLlm::new(profile.clone(), library.clone())
-                            .with_faults(self.config.faults)
-                            .with_recorder(wrec.clone()),
-                        pipeline: Aivril2::new(&tools, self.config.pipeline)
-                            .with_recorder(wrec.clone()),
-                        baseline: BaselineFlow::new(),
-                        recorder: wrec.clone(),
-                    };
-                    let mut worker = make_worker();
                     loop {
-                        let cell = cursor.fetch_add(1, Ordering::Relaxed);
-                        if cell >= total {
+                        let next = cursor.fetch_add(1, Ordering::Relaxed);
+                        if next >= pending.len() {
                             break;
                         }
+                        let cell = pending[next];
                         let (pi, si) = (cell / samples, (cell % samples) as u32);
+                        // One recorder fork and one worker per *cell*:
+                        // the fork captures exactly this cell's journal
+                        // runs and metrics delta, which is what the
+                        // checkpoint line must carry for replay to be
+                        // bit-identical. Rebuilding the worker is cheap
+                        // (the model clone shares the task library) and
+                        // keeps cells fully independent.
+                        let cell_rec = eval_rec.fork();
+                        let tools = self.tools.clone().with_recorder(cell_rec.clone());
+                        let mut worker = Worker {
+                            model: SimLlm::new(profile.clone(), library.clone())
+                                .with_faults(self.config.faults)
+                                .with_recorder(cell_rec.clone()),
+                            pipeline: Aivril2::new(&tools, self.config.pipeline)
+                                .with_recorder(cell_rec.clone()),
+                            baseline: BaselineFlow::new(),
+                            recorder: cell_rec.clone(),
+                        };
                         let record = run_isolated(|| {
                             self.run_one(&mut worker, &problems[pi], pi, si, verilog, flow)
                         });
                         if record.outcome.crashed {
-                            // Close the interrupted run's journal and
-                            // rebuild the worker: its conversation state
-                            // may be half-written.
+                            // Close the interrupted run's journal; the
+                            // half-written worker dies with this cell.
                             worker.recorder.end_run();
-                            worker = make_worker();
                         }
-                        let won = slots[cell].set(record).is_ok();
+                        if let Some(ckpt) = ckpt {
+                            ckpt.append(
+                                cell,
+                                &checkpoint::CellRecord {
+                                    record: record.clone(),
+                                    runs: cell_rec.runs(),
+                                    metrics: cell_rec.metrics(),
+                                },
+                            );
+                        }
+                        eval_rec.absorb(&cell_rec);
+                        let won = slots[cell - range.start].set(record).is_ok();
                         debug_assert!(won, "grid cell {cell} computed twice");
                     }
                 });
             }
         });
 
-        // Fold worker telemetry back in. The absorb order is the
-        // (deterministic) worker index order, but which cells each
-        // worker claimed is not — sorting by grid coordinates restores
-        // one canonical journal for every thread count; the metrics
-        // merge is order-independent by construction.
-        for wrec in &worker_recs {
-            eval_rec.absorb(wrec);
-        }
+        // The absorb order above is completion order; sorting by grid
+        // coordinates restores one canonical journal for every thread
+        // count and every replayed/computed split. The metrics merge
+        // is order-independent by construction.
         eval_rec.sort_runs();
 
-        // Cache accounting for this evaluation: the delta between the
+        // Cache accounting for this shard: the delta between the
         // shared cache's counters before and after. Emitted as
         // *diagnostic* metric series (`eda_cache_*`), which the
         // canonical metrics view excludes — they exist only with the
@@ -608,10 +827,68 @@ impl Harness {
         });
         self.recorder.absorb(&eval_rec);
 
+        ShardRun {
+            range,
+            records: slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("every cell computed or replayed"))
+                .collect(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            eda_cache,
+            kernel: self.tools.kernel_stats().since(&kernel_before),
+        }
+    }
+
+    /// Merges shard outputs back into the single-evaluation shape:
+    /// per-task outcomes in grid order plus aggregate [`EvalStats`].
+    /// The shards may arrive in any order but must tile one contiguous
+    /// cell range. Stats accumulate in grid order over the
+    /// concatenated records — the same float-summation order a
+    /// single-process run uses — so a sharded evaluation is
+    /// bit-identical to an unsharded one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shard ranges overlap or leave gaps.
+    pub fn merge_shards(&self, mut shards: Vec<ShardRun>) -> (Vec<EvalOutcome>, EvalStats) {
+        shards.sort_by_key(|s| s.range.start);
+        for pair in shards.windows(2) {
+            assert_eq!(
+                pair[0].range.end, pair[1].range.start,
+                "shards must tile a contiguous cell range"
+            );
+        }
+        let problems = self.problems();
+        let samples = self.config.samples as usize;
+        let lo = shards.first().map_or(0, |s| s.range.start);
+        let hi = shards.last().map_or(0, |s| s.range.end);
+
+        // Diagnostic counters: deltas add across shards (they are
+        // disjoint slices of one monotone counter stream); the entries
+        // gauge takes the latest (= largest) store size.
+        let eda_cache =
+            shards
+                .iter()
+                .filter_map(|s| s.eda_cache)
+                .fold(None, |acc: Option<CacheStats>, d| {
+                    Some(match acc {
+                        None => d,
+                        Some(mut t) => {
+                            t.hits += d.hits;
+                            t.misses += d.misses;
+                            t.entries = t.entries.max(d.entries);
+                            t
+                        }
+                    })
+                });
+        let mut kernel = KernelPerf::default();
+        for s in &shards {
+            kernel.merge(&s.kernel);
+        }
         let mut stats = EvalStats {
-            runs: total,
-            threads,
-            wall_seconds: 0.0,
+            runs: hi - lo,
+            threads: self.config.effective_threads().clamp(1, (hi - lo).max(1)),
+            wall_seconds: shards.iter().map(|s| s.wall_seconds).sum(),
             modeled_seconds: 0.0,
             modeled_llm_seconds: 0.0,
             modeled_tool_seconds: 0.0,
@@ -620,18 +897,30 @@ impl Harness {
             eda_cache,
             resilience: ResilienceCounters::default(),
             crashed: 0,
-            kernel: self.tools.kernel_stats().since(&kernel_before),
+            kernel,
         };
-        let mut outcomes = Vec::with_capacity(problems.len());
-        let mut slots = slots.into_iter();
-        for problem in problems {
-            let mut task_samples = Vec::with_capacity(samples);
-            for _ in 0..samples {
-                let record = slots
-                    .next()
-                    .expect("one slot per grid cell")
-                    .into_inner()
-                    .expect("worker pool fills every slot");
+
+        let mut records = shards
+            .into_iter()
+            .flat_map(|s| s.records)
+            .collect::<Vec<_>>()
+            .into_iter();
+        let (first_problem, last_problem) = if hi == lo {
+            (0, 0)
+        } else {
+            (lo / samples, (hi - 1) / samples + 1)
+        };
+        let mut outcomes = Vec::with_capacity(last_problem - first_problem);
+        for (pi, problem) in problems
+            .iter()
+            .enumerate()
+            .take(last_problem)
+            .skip(first_problem)
+        {
+            let cells = (pi * samples).max(lo)..((pi + 1) * samples).min(hi);
+            let mut task_samples = Vec::with_capacity(cells.len());
+            for _ in cells {
+                let record = records.next().expect("one record per covered cell");
                 stats.modeled_seconds += record.outcome.total_latency;
                 stats.modeled_llm_seconds += record.llm_seconds;
                 stats.modeled_tool_seconds += record.tool_seconds;
@@ -646,9 +935,29 @@ impl Harness {
                 samples: task_samples,
             });
         }
-        stats.wall_seconds = start.elapsed().as_secs_f64();
+        if self.config.canonical {
+            // Mask the documented volatile/diagnostic stats fields so
+            // artifacts from different processes, machines and cache
+            // modes compare byte-for-byte (`AIVRIL_CANONICAL`).
+            stats.wall_seconds = 0.0;
+            stats.eda_cache = None;
+            stats.kernel = KernelPerf::default();
+        }
         (outcomes, stats)
     }
+}
+
+/// One shard's evaluation output: the computed (or replayed) records
+/// of its cell range plus its share of the diagnostic counters.
+/// Opaque — produced by [`Harness::run_shard`], consumed by
+/// [`Harness::merge_shards`].
+#[derive(Debug)]
+pub struct ShardRun {
+    range: ShardRange,
+    records: Vec<RunRecord>,
+    wall_seconds: f64,
+    eda_cache: Option<CacheStats>,
+    kernel: KernelPerf,
 }
 
 /// Telemetry switches shared by every table/figure binary, read from
@@ -719,11 +1028,11 @@ impl Telemetry {
     /// written.
     pub fn finish(&self) -> std::io::Result<String> {
         if let Some(path) = &self.trace_path {
-            std::fs::write(path, aivril_obs::render_journal(&self.recorder))?;
+            write_json(path, &aivril_obs::render_journal(&self.recorder))?;
             eprintln!("[obs] run journal written to {path}");
         }
         if let Some(path) = &self.chrome_path {
-            std::fs::write(path, aivril_obs::chrome_trace(&self.recorder))?;
+            write_json(path, &aivril_obs::chrome_trace(&self.recorder))?;
             eprintln!("[obs] chrome trace written to {path}");
         }
         if self.metrics {
@@ -851,6 +1160,23 @@ pub fn results_json(sections: &[ResultSection]) -> String {
             ("sections", format!("[{}]", sections.join(","))),
         ])
     )
+}
+
+/// Writes a text artifact to `path`, creating parent directories
+/// first — `--json runs/today/out.json` must not fail just because
+/// `runs/today/` does not exist yet.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the directory or file cannot
+/// be created.
+pub fn write_json(path: &str, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
 }
 
 /// Returns the value following `flag` in the process arguments

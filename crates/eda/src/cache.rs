@@ -50,6 +50,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
+use crate::disk::{DiskStats, DiskStore};
 use crate::latency::ToolLatencyModel;
 use crate::report::{CompileReport, SimReport};
 use crate::source::{HdlFile, Language};
@@ -128,6 +129,10 @@ struct Inner {
     sim: Shard<SimEntry>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional persistent tier (`AIVRIL_EDA_CACHE_DIR`), probed only
+    /// after a memory miss so the hit/miss accounting above stays
+    /// schedule-independent with or without it.
+    disk: Option<DiskStore>,
 }
 
 /// Shared content-addressed cache of EDA invocation results.
@@ -151,6 +156,29 @@ impl EdaCache {
         EdaCache::default()
     }
 
+    /// Creates a cache backed by a persistent on-disk store at `dir`
+    /// (created lazily on first write). The disk tier is shared across
+    /// processes, shards and runs; corrupt or alien entries degrade to
+    /// misses. See `crate::disk` for the format and robustness
+    /// contract.
+    #[must_use]
+    pub fn persistent(dir: impl AsRef<std::path::Path>) -> EdaCache {
+        EdaCache {
+            inner: Arc::new(Inner {
+                disk: Some(DiskStore::new(dir.as_ref())),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Diagnostic counters of the disk tier; `None` for a memory-only
+    /// cache. Unlike [`EdaCache::stats`] these depend on what earlier
+    /// runs left on disk, so they never enter canonical artifacts.
+    #[must_use]
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.inner.disk.as_ref().map(DiskStore::stats)
+    }
+
     /// Snapshot of the lifetime hit/miss/entry counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -163,21 +191,56 @@ impl EdaCache {
     }
 
     pub(crate) fn analyze_slot(&self, key: u128) -> (Slot<CompileReport>, bool) {
-        self.inner
+        let (slot, hit) = self
+            .inner
             .analyze
-            .slot(key, &self.inner.hits, &self.inner.misses)
+            .slot(key, &self.inner.hits, &self.inner.misses);
+        if !hit {
+            // Fresh key: give the disk tier one chance to pre-fill the
+            // slot before the caller's get_or_init runs the tools.
+            if let Some(report) = self.inner.disk.as_ref().and_then(|d| d.load_analyze(key)) {
+                let _ = slot.set(report);
+            }
+        }
+        (slot, hit)
     }
 
     pub(crate) fn compile_slot(&self, key: u128) -> (Slot<CompileEntry>, bool) {
+        // Memory-only: the entry's `Arc<Design>` is process-local IR
+        // with no serial form (see `crate::disk`).
         self.inner
             .compile
             .slot(key, &self.inner.hits, &self.inner.misses)
     }
 
     pub(crate) fn sim_slot(&self, key: u128) -> (Slot<SimEntry>, bool) {
-        self.inner
+        let (slot, hit) = self
+            .inner
             .sim
-            .slot(key, &self.inner.hits, &self.inner.misses)
+            .slot(key, &self.inner.hits, &self.inner.misses);
+        if !hit {
+            if let Some(entry) = self.inner.disk.as_ref().and_then(|d| d.load_sim(key)) {
+                let _ = slot.set(entry);
+            }
+        }
+        (slot, hit)
+    }
+
+    /// Persists a freshly-computed analyze result (no-op without a
+    /// disk tier). Called from inside the compute closure, so a value
+    /// that came *from* disk is never written back.
+    pub(crate) fn persist_analyze(&self, key: u128, report: &CompileReport) {
+        if let Some(disk) = &self.inner.disk {
+            disk.store_analyze(key, report);
+        }
+    }
+
+    /// Persists a freshly-computed simulation result (no-op without a
+    /// disk tier).
+    pub(crate) fn persist_sim(&self, key: u128, entry: &SimEntry) {
+        if let Some(disk) = &self.inner.disk {
+            disk.store_sim(key, entry);
+        }
     }
 }
 

@@ -1,0 +1,496 @@
+//! The persistent tier of the EDA result cache: one file per
+//! content-addressed key under `AIVRIL_EDA_CACHE_DIR`, shared across
+//! processes, shards and runs.
+//!
+//! # Entry format
+//!
+//! Every entry is a single line of [`aivril_obs::codec`] tokens:
+//!
+//! ```text
+//! aivril.edacache <version> <op> <fnv64-of-payload:016x> <payload ...>
+//! ```
+//!
+//! The payload serialises the complete report — including the modeled
+//! latency and, for simulation entries, the kernel telemetry — with
+//! floats as exact bit patterns, so a disk hit is byte-identical to a
+//! live run, exactly like a memory hit.
+//!
+//! # Robustness contract
+//!
+//! A disk entry can be truncated (killed writer), garbage (corrupted
+//! storage), or from a different format version. All such entries must
+//! **degrade to a miss**: the magic/version/op header, the checksum,
+//! and the total decoding of the codec each independently reject bad
+//! bytes, and every I/O error is swallowed (and counted) rather than
+//! propagated. The cache never panics on disk content and never
+//! returns a wrong report — `tests/disk_cache.rs` enforces this.
+//!
+//! # Concurrency
+//!
+//! Writers stage the entry in a process-unique tempfile and `rename`
+//! it into place — atomic on POSIX — so readers only ever observe
+//! absent or complete files. Two processes racing on the same key both
+//! write the same content (results are pure functions of the key), so
+//! whichever rename lands last is a no-op in value terms.
+//!
+//! # What is persisted
+//!
+//! Only the `analyze` and `simulate` shards. A `compile` entry carries
+//! the elaborated `Arc<Design>` — process-local IR that is cheap to
+//! rebuild and has no serial form — so compile results stay
+//! memory-only (see DESIGN.md §9).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cache::SimEntry;
+use crate::report::{CompileReport, SimDiverged, SimReport, TestFailure, ToolMessage};
+use aivril_hdl::diag::Severity;
+use aivril_obs::codec::{fnv64, Reader, Writer};
+use aivril_sim::{KernelTelemetry, LimitKind};
+
+const MAGIC: &str = "aivril.edacache";
+/// Bump on any change to the payload layout below.
+const VERSION: u64 = 1;
+
+/// Diagnostic counters for the disk tier. Like the in-memory
+/// [`CacheStats`](crate::CacheStats) they are monotone, but unlike them
+/// they are *not* schedule-independent across process topologies (a
+/// shard that starts later finds more entries on disk), so they are
+/// surfaced for operators and never folded into canonical artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Memory misses answered from the disk store.
+    pub hits: u64,
+    /// Memory misses that also missed on disk (and ran the tools).
+    pub misses: u64,
+    /// Entries written (one per computed analyze/simulate result).
+    pub writes: u64,
+    /// I/O or decode failures swallowed as misses.
+    pub errors: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct DiskStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl DiskStore {
+    pub(crate) fn new(dir: &Path) -> DiskStore {
+        DiskStore {
+            dir: dir.to_path_buf(),
+            ..DiskStore::default()
+        }
+    }
+
+    pub(crate) fn stats(&self) -> DiskStats {
+        DiskStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, op: &str, key: u128) -> PathBuf {
+        self.dir.join(format!("{op}-{key:032x}.entry"))
+    }
+
+    /// Loads and decodes one entry; any failure is a miss.
+    fn load(&self, op: &str, key: u128) -> Option<String> {
+        let text = match fs::read_to_string(self.entry_path(op, key)) {
+            Ok(text) => text,
+            Err(e) => {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_header(&text, op) {
+            Some(payload) => Some(payload.to_string()),
+            None => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Atomically writes one entry; failures are counted and ignored
+    /// (the disk tier is an accelerator, never a correctness
+    /// dependency).
+    fn store(&self, op: &str, key: u128, payload: &str) {
+        let line = format!(
+            "{MAGIC} {VERSION} {op} {:016x} {payload}\n",
+            fnv64(payload.as_bytes())
+        );
+        // Process-unique staging name: within one process, slot
+        // insertion already guarantees at most one writer per key.
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{op}-{key:032x}.{}", std::process::id()));
+        let committed = fs::create_dir_all(&self.dir).is_ok()
+            && fs::File::create(&tmp)
+                .and_then(|mut f| f.write_all(line.as_bytes()))
+                .is_ok()
+            && fs::rename(&tmp, self.entry_path(op, key)).is_ok();
+        if committed {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = fs::remove_file(&tmp);
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn load_analyze(&self, key: u128) -> Option<CompileReport> {
+        let payload = self.load("analyze", key)?;
+        let mut r = Reader::new(&payload);
+        match decode_compile_report(&mut r).filter(|_| r.at_end()) {
+            Some(report) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(report)
+            }
+            None => {
+                // Checksummed but undecodable: a version-1 writer never
+                // produces this, but the contract is miss, not panic.
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub(crate) fn store_analyze(&self, key: u128, report: &CompileReport) {
+        let mut w = Writer::new();
+        encode_compile_report(&mut w, report);
+        self.store("analyze", key, w.payload());
+    }
+
+    pub(crate) fn load_sim(&self, key: u128) -> Option<SimEntry> {
+        let payload = self.load("simulate", key)?;
+        let mut r = Reader::new(&payload);
+        match decode_sim_entry(&mut r).filter(|_| r.at_end()) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub(crate) fn store_sim(&self, key: u128, entry: &SimEntry) {
+        let mut w = Writer::new();
+        encode_sim_entry(&mut w, entry);
+        self.store("simulate", key, w.payload());
+    }
+}
+
+/// Validates `MAGIC version op checksum` and returns the payload slice.
+fn decode_header<'a>(text: &'a str, op: &str) -> Option<&'a str> {
+    let rest = text.strip_prefix(MAGIC)?.strip_prefix(' ')?;
+    let (version, rest) = rest.split_once(' ')?;
+    if version.parse::<u64>().ok()? != VERSION {
+        return None;
+    }
+    let (entry_op, rest) = rest.split_once(' ')?;
+    if entry_op != op {
+        return None;
+    }
+    let (sum, payload) = rest.split_once(' ')?;
+    let payload = payload.strip_suffix('\n').unwrap_or(payload);
+    (u64::from_str_radix(sum, 16).ok()? == fnv64(payload.as_bytes())).then_some(payload)
+}
+
+fn encode_severity(w: &mut Writer, s: Severity) {
+    w.u64(match s {
+        Severity::Note => 0,
+        Severity::Warning => 1,
+        Severity::Error => 2,
+        Severity::Fatal => 3,
+    });
+}
+
+fn decode_severity(r: &mut Reader<'_>) -> Option<Severity> {
+    Some(match r.u64()? {
+        0 => Severity::Note,
+        1 => Severity::Warning,
+        2 => Severity::Error,
+        3 => Severity::Fatal,
+        _ => return None,
+    })
+}
+
+fn encode_messages(w: &mut Writer, messages: &[ToolMessage]) {
+    w.u64(messages.len() as u64);
+    for m in messages {
+        encode_severity(w, m.severity);
+        w.str(&m.code);
+        w.str(&m.message);
+        match &m.file {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                w.str(f);
+            }
+        }
+        match m.line {
+            None => w.bool(false),
+            Some(l) => {
+                w.bool(true);
+                w.u32(l);
+            }
+        }
+    }
+}
+
+fn decode_messages(r: &mut Reader<'_>) -> Option<Vec<ToolMessage>> {
+    let n = r.u64()?;
+    if n > 1 << 20 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(ToolMessage {
+            severity: decode_severity(r)?,
+            code: r.str()?,
+            message: r.str()?,
+            file: if r.bool()? { Some(r.str()?) } else { None },
+            line: if r.bool()? { Some(r.u32()?) } else { None },
+        });
+    }
+    Some(out)
+}
+
+fn encode_compile_report(w: &mut Writer, report: &CompileReport) {
+    w.bool(report.success);
+    w.str(&report.log);
+    encode_messages(w, &report.messages);
+    w.f64(report.modeled_latency);
+}
+
+fn decode_compile_report(r: &mut Reader<'_>) -> Option<CompileReport> {
+    Some(CompileReport {
+        success: r.bool()?,
+        log: r.str()?,
+        messages: decode_messages(r)?,
+        modeled_latency: r.f64()?,
+    })
+}
+
+fn encode_sim_entry(w: &mut Writer, entry: &SimEntry) {
+    let report = &entry.report;
+    w.bool(report.compiled);
+    w.bool(report.passed);
+    w.str(&report.log);
+    w.u64(report.failures.len() as u64);
+    for f in &report.failures {
+        match f.case {
+            None => w.bool(false),
+            Some(c) => {
+                w.bool(true);
+                w.u32(c);
+            }
+        }
+        w.str(&f.message);
+    }
+    encode_messages(w, &report.compile_messages);
+    w.u64(report.end_time);
+    w.bool(report.finished);
+    match &report.diverged {
+        None => w.bool(false),
+        Some(d) => {
+            w.bool(true);
+            w.u64(match d.limit {
+                LimitKind::DeltaCycles => 0,
+                LimitKind::ProcessInstructions => 1,
+                LimitKind::TotalInstructions => 2,
+            });
+            w.u64(d.at_time);
+            w.u64(d.instructions);
+        }
+    }
+    w.f64(report.modeled_latency);
+    w.f64(entry.sim_latency);
+    match &entry.kernel {
+        None => w.bool(false),
+        Some(k) => {
+            w.bool(true);
+            k.encode(w);
+        }
+    }
+}
+
+fn decode_sim_entry(r: &mut Reader<'_>) -> Option<SimEntry> {
+    let compiled = r.bool()?;
+    let passed = r.bool()?;
+    let log = r.str()?;
+    let nfails = r.u64()?;
+    if nfails > 1 << 20 {
+        return None;
+    }
+    let mut failures = Vec::with_capacity(nfails as usize);
+    for _ in 0..nfails {
+        failures.push(TestFailure {
+            case: if r.bool()? { Some(r.u32()?) } else { None },
+            message: r.str()?,
+        });
+    }
+    let compile_messages = decode_messages(r)?;
+    let end_time = r.u64()?;
+    let finished = r.bool()?;
+    let diverged = if r.bool()? {
+        Some(SimDiverged {
+            limit: match r.u64()? {
+                0 => LimitKind::DeltaCycles,
+                1 => LimitKind::ProcessInstructions,
+                2 => LimitKind::TotalInstructions,
+                _ => return None,
+            },
+            at_time: r.u64()?,
+            instructions: r.u64()?,
+        })
+    } else {
+        None
+    };
+    let modeled_latency = r.f64()?;
+    let sim_latency = r.f64()?;
+    let kernel = if r.bool()? {
+        Some(KernelTelemetry::decode(r)?)
+    } else {
+        None
+    };
+    Some(SimEntry {
+        report: SimReport {
+            compiled,
+            passed,
+            log,
+            failures,
+            compile_messages,
+            end_time,
+            finished,
+            diverged,
+            modeled_latency,
+        },
+        sim_latency,
+        kernel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("aivril-disk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn report() -> CompileReport {
+        CompileReport {
+            success: false,
+            log: "ERROR: [VRFC 10-91] syntax error\nsecond line\n".into(),
+            messages: vec![ToolMessage {
+                severity: Severity::Error,
+                code: "VRFC 10-91".into(),
+                message: "syntax error near 'endmodule'".into(),
+                file: Some("adder.v".into()),
+                line: Some(7),
+            }],
+            modeled_latency: 0.1 + 0.2,
+        }
+    }
+
+    #[test]
+    fn analyze_round_trip_is_exact() {
+        let store = DiskStore::new(&dir("ana"));
+        store.store_analyze(42, &report());
+        let back = store.load_analyze(42).expect("disk hit");
+        let want = report();
+        assert_eq!(back.success, want.success);
+        assert_eq!(back.log, want.log);
+        assert_eq!(back.messages, want.messages);
+        assert_eq!(
+            back.modeled_latency.to_bits(),
+            want.modeled_latency.to_bits()
+        );
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.writes, s.errors), (1, 0, 1, 0));
+        let _ = fs::remove_dir_all(&store.dir);
+    }
+
+    #[test]
+    fn absent_wrong_version_and_corrupt_entries_miss() {
+        let store = DiskStore::new(&dir("bad"));
+        assert!(store.load_analyze(7).is_none(), "absent file");
+        store.store_analyze(7, &report());
+        let path = store.entry_path("analyze", 7);
+
+        let good = fs::read_to_string(&path).expect("entry");
+        fs::write(
+            &path,
+            good.replace("aivril.edacache 1 ", "aivril.edacache 999 "),
+        )
+        .unwrap();
+        assert!(store.load_analyze(7).is_none(), "wrong version");
+
+        fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(store.load_analyze(7).is_none(), "truncated entry");
+
+        fs::write(&path, b"total garbage\0\xff bytes").unwrap();
+        assert!(store.load_analyze(7).is_none(), "garbage bytes");
+
+        // Valid checksum over a tampered payload is still rejected by
+        // the checksum (sum was computed over the original payload).
+        fs::write(&path, good.replace("$adder.v", "$evil.v")).unwrap();
+        assert!(store.load_analyze(7).is_none(), "checksum mismatch");
+        let _ = fs::remove_dir_all(&store.dir);
+    }
+
+    #[test]
+    fn sim_entry_round_trip_with_divergence() {
+        let store = DiskStore::new(&dir("sim"));
+        let entry = SimEntry {
+            report: SimReport {
+                compiled: true,
+                passed: false,
+                log: "Test Case 2 Failed: q stuck (at time 52)\n".into(),
+                failures: vec![TestFailure {
+                    case: Some(2),
+                    message: "Test Case 2 Failed: q stuck (at time 52)".into(),
+                }],
+                compile_messages: Vec::new(),
+                end_time: 52,
+                finished: false,
+                diverged: Some(SimDiverged {
+                    limit: LimitKind::DeltaCycles,
+                    at_time: 52,
+                    instructions: 1234,
+                }),
+                modeled_latency: 1.5,
+            },
+            sim_latency: 0.75,
+            kernel: None,
+        };
+        store.store_sim(9, &entry);
+        let back = store.load_sim(9).expect("disk hit");
+        assert_eq!(back.report.failures, entry.report.failures);
+        assert_eq!(back.report.diverged, entry.report.diverged);
+        assert_eq!(back.sim_latency.to_bits(), entry.sim_latency.to_bits());
+        assert!(back.kernel.is_none());
+        // An analyze lookup on a simulate key's file name misses (op
+        // tag mismatch can't alias shards even on disk).
+        assert!(store.load_analyze(9).is_none());
+        let _ = fs::remove_dir_all(&store.dir);
+    }
+}

@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod disk;
 mod latency;
 mod report;
 mod source;
 mod xsim;
 
 pub use cache::{CacheStats, EdaCache};
+pub use disk::DiskStats;
 pub use latency::ToolLatencyModel;
 pub use report::{CompileReport, SimDiverged, SimReport, TestFailure, ToolMessage};
 pub use source::{HdlFile, Language};

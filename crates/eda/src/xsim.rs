@@ -535,11 +535,16 @@ impl XsimToolSuite {
             // disabled: the recorder-free scoring suite may populate an
             // entry a traced worker hits later.
             let (report, sim_latency, kernel) = self.run_sim(compile_report, design, true);
-            SimEntry {
+            let entry = SimEntry {
                 report,
                 sim_latency,
                 kernel,
-            }
+            };
+            // Inside the initializer: values that came from memory or
+            // disk never reach this line, so each result is persisted
+            // exactly once, by the process that computed it.
+            cache.persist_sim(key, &entry);
+            entry
         });
         if !computed_here {
             if let Some(kernel) = &entry.kernel {
@@ -610,7 +615,13 @@ impl ToolSuite for XsimToolSuite {
             Some(cache) => {
                 let key = cache::analyze_key(files, &self.latency);
                 let (slot, hit) = cache.analyze_slot(key);
-                let report = slot.get_or_init(|| self.analyze_inner(files)).clone();
+                let report = slot
+                    .get_or_init(|| {
+                        let report = self.analyze_inner(files);
+                        cache.persist_analyze(key, &report);
+                        report
+                    })
+                    .clone();
                 (report, Some(hit))
             }
         };

@@ -14,6 +14,9 @@
 //!   per span close) and [`chrome_trace`] (Chrome `trace_event` JSON,
 //!   viewable in Perfetto). Both are driven entirely off modeled
 //!   latencies, never the wall clock, so output is reproducible.
+//! * [`codec`] — a deterministic token codec (floats as exact bit
+//!   patterns, FNV-64 checksums, total decoding) for durable artifacts:
+//!   on-disk EDA cache entries and shard checkpoint records.
 //!
 //! The determinism contract is documented on the [`metrics`] module;
 //! the span/run/fork model on the [`recorder`] module.
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod codec;
 pub mod journal;
 pub mod json;
 pub mod metrics;

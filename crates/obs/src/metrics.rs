@@ -119,6 +119,32 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from previously-exported merge state (the
+    /// decode half of the durable-artifact codec). Returns `None` —
+    /// never panics — when the parts violate the invariants `new` and
+    /// `observe` maintain: bounds non-empty/finite/strictly ascending,
+    /// exactly one bucket per bound plus overflow, and a total count
+    /// equal to the bucket sum. Corrupt artifacts must read as misses.
+    #[must_use]
+    pub fn from_parts(
+        bounds: &[f64],
+        buckets: Vec<u64>,
+        count: u64,
+        sum_micros: i128,
+    ) -> Option<Histogram> {
+        let well_formed = !bounds.is_empty()
+            && bounds.iter().all(|b| b.is_finite())
+            && bounds.windows(2).all(|w| w[0] < w[1])
+            && buckets.len() == bounds.len() + 1
+            && buckets.iter().try_fold(0u64, |a, &b| a.checked_add(b)) == Some(count);
+        well_formed.then(|| Histogram {
+            bounds: bounds.iter().map(|b| b.to_bits()).collect(),
+            buckets,
+            count,
+            sum_micros,
+        })
+    }
+
     /// Records one observation.
     pub fn observe(&mut self, value: f64) {
         let idx = self

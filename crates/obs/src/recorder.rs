@@ -328,6 +328,32 @@ impl Recorder {
         }
     }
 
+    /// Appends an already-finished run journal — the replay path for
+    /// checkpointed cells, whose runs were captured by [`Recorder::runs`]
+    /// before being persisted. No-op when disabled. Call
+    /// [`Recorder::sort_runs`] after a batch of injections to restore
+    /// the canonical grid order.
+    pub fn push_run(&self, run: RunJournal) {
+        if let Some(mut g) = self.lock() {
+            g.runs.push(run);
+        }
+    }
+
+    /// Folds an already-aggregated registry into this recorder's
+    /// metrics — the replay path for checkpointed cells. Uses the same
+    /// associative+commutative [`MetricsRegistry::merge`] as
+    /// [`Recorder::absorb`], so replayed and live cells mix in any
+    /// order. No-op when disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a shared series has mismatched types or bounds.
+    pub fn merge_metrics(&self, other: &MetricsRegistry) {
+        if let Some(mut g) = self.lock() {
+            g.metrics.merge(other);
+        }
+    }
+
     /// A deterministic clone of the aggregated metrics (empty when
     /// disabled).
     #[must_use]

@@ -187,6 +187,44 @@ impl KernelTelemetry {
     pub fn perf(&self) -> KernelPerf {
         self.perf
     }
+
+    /// Serialises the telemetry into a durable-artifact payload (the
+    /// on-disk EDA cache). Inverse of [`KernelTelemetry::decode`].
+    pub fn encode(&self, w: &mut aivril_obs::codec::Writer) {
+        for hist in [&self.delta, &self.queue, &self.nba] {
+            aivril_obs::codec::encode_histogram(w, hist);
+        }
+        w.u64(self.instructions);
+        w.u64(self.perf.instructions);
+        w.u64(self.perf.sim_time_ns);
+        w.u64(self.perf.eval_allocs);
+        w.u64(self.perf.compactions);
+        w.u64(self.perf.scratch_slots);
+    }
+
+    /// Rebuilds telemetry from a durable-artifact payload; `None` on
+    /// any malformation (the caller treats that as a cache miss).
+    #[must_use]
+    pub fn decode(r: &mut aivril_obs::codec::Reader<'_>) -> Option<KernelTelemetry> {
+        let delta = aivril_obs::codec::decode_histogram(r)?;
+        let queue = aivril_obs::codec::decode_histogram(r)?;
+        let nba = aivril_obs::codec::decode_histogram(r)?;
+        let instructions = r.u64()?;
+        let perf = KernelPerf {
+            instructions: r.u64()?,
+            sim_time_ns: r.u64()?,
+            eval_allocs: r.u64()?,
+            compactions: r.u64()?,
+            scratch_slots: r.u64()?,
+        };
+        Some(KernelTelemetry {
+            delta,
+            queue,
+            nba,
+            instructions,
+            perf,
+        })
+    }
 }
 
 /// Flat performance counters of one finished run — the raw integers

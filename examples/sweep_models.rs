@@ -16,7 +16,7 @@ fn main() {
     if config.task_limit == usize::MAX {
         config.task_limit = 30;
     }
-    let harness = Harness::new(config);
+    let harness = Harness::new(config.clone());
     println!(
         "model sweep: {} tasks x {} samples (Verilog)\n",
         harness.problems().len(),

@@ -1,0 +1,195 @@
+//! Checkpoint/resume regression suite: a shard killed after K cells
+//! must resume to **byte-identical** artifacts — results JSON, run
+//! journal and canonical metrics — for K = 0, K = all, any K between,
+//! and for torn (mid-write) tails. Also pins the fingerprint guard:
+//! checkpoints written under one configuration are never replayed into
+//! an evaluation with a different one.
+
+use aivril_bench::{results_json, Flow, Harness, HarnessConfig, ResultSection};
+use aivril_llm::profiles;
+use aivril_obs::{render_journal, Recorder};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn config(dir: &Path) -> HarnessConfig {
+    HarnessConfig {
+        samples: 2,
+        task_limit: 5,
+        threads: 2,
+        canonical: true,
+        checkpoint_dir: Some(dir.to_str().expect("utf-8 temp path").to_string()),
+        ..HarnessConfig::default()
+    }
+}
+
+/// One full evaluation under `cfg`: (results JSON, journal, canonical
+/// metrics).
+fn run(cfg: &HarnessConfig) -> (String, String, aivril_obs::MetricsRegistry) {
+    let rec = Recorder::new();
+    let h = Harness::new(cfg.clone()).with_recorder(rec.clone());
+    let profile = profiles::claude35_sonnet();
+    let (outcomes, stats) = h.evaluate_with_stats(&profile, true, Flow::Aivril2);
+    let json = results_json(&[ResultSection {
+        label: "resume".into(),
+        outcomes,
+        stats,
+    }]);
+    (json, render_journal(&rec), rec.metrics().canonical())
+}
+
+/// Like [`run`] but with diagnostics unmasked, so the kernel block
+/// reveals whether this process actually simulated anything.
+fn run_diagnostic(cfg: &HarnessConfig) -> (String, u64) {
+    let rec = Recorder::new();
+    let h = Harness::new(HarnessConfig {
+        canonical: false,
+        ..cfg.clone()
+    })
+    .with_recorder(rec.clone());
+    let profile = profiles::claude35_sonnet();
+    let (_, stats) = h.evaluate_with_stats(&profile, true, Flow::Aivril2);
+    (render_journal(&rec), stats.kernel.instructions)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aivril-resume-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The single checkpoint log a full-range run leaves in `dir`.
+fn checkpoint_file(dir: &Path) -> PathBuf {
+    let mut logs: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("checkpoint dir exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    assert_eq!(logs.len(), 1, "one shard range, one log: {logs:?}");
+    logs.pop().unwrap()
+}
+
+/// Truncates the log to its header plus the first `keep` cell lines.
+fn truncate_to(path: &Path, keep: usize) {
+    let text = fs::read_to_string(path).unwrap();
+    let kept: String = text.split_inclusive('\n').take(1 + keep).collect();
+    fs::write(path, kept).unwrap();
+}
+
+#[test]
+fn resume_after_partial_checkpoint_is_byte_identical() {
+    let reference_dir = temp_dir("ref");
+    let reference = run(&config(&reference_dir));
+
+    // Produce a complete checkpoint, then replay from every prefix
+    // K = 0 (cold start), half, and all (pure replay).
+    let dir = temp_dir("partial");
+    let cfg = config(&dir);
+    let first = run(&cfg);
+    assert_eq!(first.0, reference.0, "checkpointing must not alter results");
+    assert_eq!(
+        first.1, reference.1,
+        "checkpointing must not alter journals"
+    );
+
+    let total_cells = 5 * 2;
+    let log = checkpoint_file(&dir);
+    let full_log = fs::read_to_string(&log).unwrap();
+    assert_eq!(
+        full_log.lines().count(),
+        1 + total_cells,
+        "header plus one line per cell"
+    );
+
+    for keep in [total_cells, total_cells / 2, 0] {
+        fs::write(
+            &log,
+            full_log
+                .split_inclusive('\n')
+                .take(1 + keep)
+                .collect::<String>(),
+        )
+        .unwrap();
+        let resumed = run(&cfg);
+        assert_eq!(
+            resumed.0, reference.0,
+            "results diverged resuming at K={keep}"
+        );
+        assert_eq!(
+            resumed.1, reference.1,
+            "journal diverged resuming at K={keep}"
+        );
+        assert_eq!(
+            resumed.2, reference.2,
+            "metrics diverged resuming at K={keep}"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&reference_dir);
+}
+
+#[test]
+fn full_replay_recomputes_nothing() {
+    let dir = temp_dir("full");
+    let cfg = config(&dir);
+    let (journal_a, instructions_a) = run_diagnostic(&cfg);
+    assert!(instructions_a > 0, "a live run simulates");
+    let (journal_b, instructions_b) = run_diagnostic(&cfg);
+    assert_eq!(journal_a, journal_b);
+    assert_eq!(
+        instructions_b, 0,
+        "a fully checkpointed evaluation must replay, not resimulate"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_dropped_and_resume_stays_identical() {
+    let dir = temp_dir("torn");
+    let cfg = config(&dir);
+    let reference = run(&cfg);
+    let log = checkpoint_file(&dir);
+
+    // Keep 3 cells, then simulate a kill mid-append: half a cell line,
+    // no trailing newline.
+    truncate_to(&log, 3);
+    let mut text = fs::read_to_string(&log).unwrap();
+    text.push_str("cell 3 0123456789abcdef 1 0 44");
+    fs::write(&log, text).unwrap();
+
+    let resumed = run(&cfg);
+    assert_eq!(resumed.0, reference.0, "results diverged after torn tail");
+    assert_eq!(resumed.1, reference.1, "journal diverged after torn tail");
+
+    // The resumed run truncated the torn bytes and appended the
+    // recomputed cells, so the log is whole again.
+    let healed = fs::read_to_string(&log).unwrap();
+    assert_eq!(healed.lines().count(), 1 + 10, "log healed to full length");
+    assert!(healed.ends_with('\n'));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoints_from_other_configs_are_ignored() {
+    let dir = temp_dir("fingerprint");
+    let cfg = config(&dir);
+    let (_, instructions_a) = run_diagnostic(&cfg);
+    assert!(instructions_a > 0);
+
+    // Same directory, different grid shape: the fingerprint differs,
+    // so nothing replays and the run recomputes (correctly).
+    let other = HarnessConfig {
+        samples: 3,
+        ..cfg.clone()
+    };
+    let (_, instructions_b) = run_diagnostic(&other);
+    assert!(
+        instructions_b > 0,
+        "a foreign checkpoint must never satisfy this evaluation"
+    );
+
+    // And the original config still replays its own checkpoint fully.
+    let (_, instructions_c) = run_diagnostic(&cfg);
+    assert_eq!(instructions_c, 0);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,220 @@
+//! Distributed-evaluation equivalence suite: any partition of the
+//! problem × sample grid, evaluated shard by shard and merged, must be
+//! **byte-identical** to a single-process evaluation — outcomes (every
+//! f64 compared by bit pattern via the serialised results JSON), run
+//! journals and canonical metrics alike. This is the contract that
+//! makes `aivril-shard`'s multi-process mode safe: the merge pass
+//! renders through the same code path as a plain run, so if these
+//! in-process properties hold, the only cross-process ingredient left
+//! is checkpoint replay (covered by `tests/resume.rs`).
+
+use aivril_bench::{
+    plan_shards, results_json, write_json, Flow, Harness, HarnessConfig, ResultSection, ShardRange,
+};
+use aivril_llm::profiles;
+use aivril_obs::{render_journal, Recorder};
+use proptest::prelude::*;
+
+/// A canonical-mode config: volatile stats (wall clock) and diagnostic
+/// blocks (cache, kernel) are masked, so the whole results JSON is
+/// byte-comparable.
+fn config(task_limit: usize, samples: u32, threads: usize) -> HarnessConfig {
+    HarnessConfig {
+        samples,
+        task_limit,
+        threads,
+        canonical: true,
+        ..HarnessConfig::default()
+    }
+}
+
+/// Renders one evaluation to its full `aivril.results` artifact.
+fn artifact(outcomes: Vec<aivril_metrics::EvalOutcome>, stats: aivril_bench::EvalStats) -> String {
+    results_json(&[ResultSection {
+        label: "differential".into(),
+        outcomes,
+        stats,
+    }])
+}
+
+/// Evaluates the full grid in one call, with a journal recorder.
+fn single_process(
+    cfg: &HarnessConfig,
+    flow: Flow,
+) -> (String, String, aivril_obs::MetricsRegistry) {
+    let rec = Recorder::new();
+    let h = Harness::new(cfg.clone()).with_recorder(rec.clone());
+    let profile = profiles::claude35_sonnet();
+    let (outcomes, stats) = h.evaluate_with_stats(&profile, true, flow);
+    (
+        artifact(outcomes, stats),
+        render_journal(&rec),
+        rec.metrics().canonical(),
+    )
+}
+
+/// Evaluates the same grid as `count` sequential shards merged back.
+fn sharded(
+    cfg: &HarnessConfig,
+    flow: Flow,
+    count: usize,
+) -> (String, String, aivril_obs::MetricsRegistry) {
+    let rec = Recorder::new();
+    let h = Harness::new(cfg.clone()).with_recorder(rec.clone());
+    let profile = profiles::claude35_sonnet();
+    let cells = h.problems().len() * cfg.samples as usize;
+    let runs = plan_shards(cells, count)
+        .into_iter()
+        .map(|range| h.run_shard(&profile, true, flow, range))
+        .collect();
+    let (outcomes, stats) = h.merge_shards(runs);
+    (
+        artifact(outcomes, stats),
+        render_journal(&rec),
+        rec.metrics().canonical(),
+    )
+}
+
+#[test]
+fn three_shards_merge_byte_identically() {
+    let cfg = config(6, 3, 2);
+    let (json_a, journal_a, metrics_a) = single_process(&cfg, Flow::Aivril2);
+    let (json_b, journal_b, metrics_b) = sharded(&cfg, Flow::Aivril2, 3);
+    assert_eq!(json_a, json_b, "results JSON must match byte-for-byte");
+    assert_eq!(journal_a, journal_b, "journals must match byte-for-byte");
+    assert_eq!(metrics_a, metrics_b, "canonical metrics must match");
+}
+
+#[test]
+fn shard_count_exceeding_grid_still_merges_identically() {
+    // 2 tasks x 2 samples = 4 cells over 9 shards: most shards are
+    // empty ranges, which must merge as no-ops.
+    let cfg = config(2, 2, 1);
+    let (json_a, journal_a, _) = single_process(&cfg, Flow::Baseline);
+    let (json_b, journal_b, _) = sharded(&cfg, Flow::Baseline, 9);
+    assert_eq!(json_a, json_b);
+    assert_eq!(journal_a, journal_b);
+}
+
+#[test]
+fn shard_config_evaluates_exactly_its_slice() {
+    // 4 tasks x 3 samples = 12 cells; shard 1/3 is cells 4..8, i.e.
+    // task 1 samples 1..3 and task 2 samples 0..2.
+    let full = Harness::new(config(4, 3, 2));
+    let profile = profiles::claude35_sonnet();
+    let (all, _) = full.evaluate_with_stats(&profile, true, Flow::Aivril2);
+
+    let shard = Harness::new(HarnessConfig {
+        shard: Some((1, 3)),
+        ..config(4, 3, 2)
+    });
+    let (slice, stats) = shard.evaluate_with_stats(&profile, true, Flow::Aivril2);
+    assert_eq!(stats.runs, 4);
+    assert_eq!(slice.len(), 2, "cells 4..8 span tasks 1 and 2");
+    assert_eq!(slice[0].task, all[1].task);
+    assert_eq!(slice[1].task, all[2].task);
+    assert_eq!(slice[0].samples.len(), 2);
+    assert_eq!(slice[1].samples.len(), 2);
+    // The slice's samples are the full run's, to the bit.
+    for (got, want) in slice[0].samples.iter().zip(&all[1].samples[1..]) {
+        assert_eq!(got.total_latency.to_bits(), want.total_latency.to_bits());
+        assert_eq!(got.functional, want.functional);
+    }
+    for (got, want) in slice[1].samples.iter().zip(&all[2].samples[..2]) {
+        assert_eq!(got.total_latency.to_bits(), want.total_latency.to_bits());
+        assert_eq!(got.functional, want.functional);
+    }
+}
+
+#[test]
+fn shard_env_parsing() {
+    let get = |v: &'static str| move |k: &str| (k == "AIVRIL_SHARD").then(|| v.into());
+    assert_eq!(
+        HarnessConfig::from_vars(get("1/3")).shard,
+        Some((1, 3)),
+        "well-formed index/count parses"
+    );
+    assert_eq!(HarnessConfig::from_vars(get("0/1")).shard, Some((0, 1)));
+    for bad in ["3/3", "4/3", "x/2", "2", "0/0", "1/", "/3", ""] {
+        assert_eq!(
+            HarnessConfig::from_vars(move |k: &str| (k == "AIVRIL_SHARD").then(|| bad.to_string()))
+                .shard,
+            None,
+            "malformed AIVRIL_SHARD {bad:?} must be ignored"
+        );
+    }
+    let c = HarnessConfig::from_vars(|k| match k {
+        "AIVRIL_CHECKPOINT_DIR" => Some("ckpts".into()),
+        "AIVRIL_EDA_CACHE_DIR" => Some("cache".into()),
+        "AIVRIL_CANONICAL" => Some("1".into()),
+        _ => None,
+    });
+    assert_eq!(c.checkpoint_dir.as_deref(), Some("ckpts"));
+    assert_eq!(c.eda_cache_dir.as_deref(), Some("cache"));
+    assert!(c.eda_cache, "AIVRIL_EDA_CACHE_DIR implies the cache");
+    assert!(c.canonical);
+}
+
+#[test]
+fn write_json_creates_missing_parent_directories() {
+    // Regression: `--json runs/out.json` used to panic with "No such
+    // file or directory" because fs::write does not mkdir.
+    let dir = std::env::temp_dir().join(format!("aivril-writejson-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("a/b/out.json");
+    let path = path.to_str().expect("utf-8 temp path");
+    write_json(path, "{}\n").expect("creates parents");
+    assert_eq!(std::fs::read_to_string(path).unwrap(), "{}\n");
+    // Overwrites (and bare filenames with no parent) keep working.
+    write_json(path, "[]\n").expect("overwrite");
+    assert_eq!(std::fs::read_to_string(path).unwrap(), "[]\n");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, ..ProptestConfig::default()
+    })]
+
+    /// `plan_shards` always tiles `0..cells` contiguously with sizes
+    /// differing by at most one.
+    #[test]
+    fn plan_shards_tiles_the_grid(cells in 0usize..2000, count in 1usize..32) {
+        let shards = plan_shards(cells, count);
+        prop_assert_eq!(shards.len(), count);
+        prop_assert_eq!(shards.first().map(|s| s.start), Some(0));
+        prop_assert_eq!(shards.last().map(|s| s.end), Some(cells));
+        for pair in shards.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start, "contiguous tiling");
+        }
+        let sizes: Vec<usize> = shards.iter().map(ShardRange::len).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "balanced: {sizes:?}");
+        prop_assert_eq!(sizes.iter().sum::<usize>(), cells);
+    }
+}
+
+proptest! {
+    // Each case runs two real evaluations; keep the count small but
+    // the shapes diverse (grid size, shard count, thread count, flow).
+    #![proptest_config(ProptestConfig {
+        cases: 6, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn any_partition_merges_byte_identically(
+        task_limit in 1usize..5,
+        samples in 1u32..4,
+        count in 1usize..6,
+        threads in 1usize..4,
+        baseline in 0usize..2,
+    ) {
+        let flow = if baseline == 0 { Flow::Baseline } else { Flow::Aivril2 };
+        let cfg = config(task_limit, samples, threads);
+        let (json_a, journal_a, metrics_a) = single_process(&cfg, flow);
+        let (json_b, journal_b, metrics_b) = sharded(&cfg, flow, count);
+        prop_assert_eq!(json_a, json_b, "results JSON diverged");
+        prop_assert_eq!(journal_a, journal_b, "journal diverged");
+        prop_assert_eq!(metrics_a, metrics_b, "canonical metrics diverged");
+    }
+}
