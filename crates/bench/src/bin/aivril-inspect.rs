@@ -1,0 +1,160 @@
+//! `aivril-inspect` — the read side of the observability stack: query,
+//! diff and attribute existing run artifacts without re-running
+//! anything.
+//!
+//! ```text
+//! aivril-inspect summary <artifact>
+//! aivril-inspect diff <artifact-a> <artifact-b>
+//! aivril-inspect flame <journal>
+//! aivril-inspect tail <checkpoint-dir> [--follow [--interval <secs>]]
+//! aivril-inspect regress --baseline <BENCH_SIM.json> [--current <criterion.jsonl>]
+//!                        [--tolerance <frac>] [--absolute]
+//! ```
+//!
+//! * `summary` — per-stage/per-problem modeled-time attribution tree
+//!   and outcome/error-class breakdown from a JSONL run journal
+//!   (`AIVRIL_TRACE_JSON`) or an `aivril.results` JSON (`--json`).
+//! * `diff` — two artifacts of the same kind: metric deltas and
+//!   per-cell outcome flips for results, first-divergence pinpointing
+//!   down to the first differing line for journals. Exit 0 means
+//!   byte-identical ("no divergence"), 1 means diverged.
+//! * `flame` — collapsed-stack export of the journal's span tree
+//!   (`stack;path microseconds` lines for flamegraph.pl / inferno /
+//!   speedscope), byte-identical across thread counts.
+//! * `tail` — read-only progress view of a live `AIVRIL_CHECKPOINT_DIR`
+//!   (cells done/remaining, rolling pass rate, resilience counters),
+//!   tolerating torn tails exactly like resume does. `--follow` polls
+//!   until the grid completes.
+//! * `regress` — compares a fresh criterion/kernel report against the
+//!   committed `BENCH_SIM.json` baseline; exit 1 on regression (the CI
+//!   perf gate). Relative mode (the default) normalises out uniform
+//!   machine-speed differences; `--absolute` compares raw ratios.
+//!
+//! Every subcommand is read-only and deterministic: same artifacts in,
+//! byte-identical report out (`tests/inspect.rs` enforces this).
+//! Reports go to stdout; diagnostics to stderr.
+
+use aivril_bench::checkpoint;
+use aivril_obs::analyze;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: aivril-inspect <summary|diff|flame|tail|regress> ...\n\
+         \x20 summary <artifact>                        attribution + outcome breakdown\n\
+         \x20 diff <a> <b>                              compare two artifacts (exit 1 on divergence)\n\
+         \x20 flame <journal>                           collapsed stacks for flamegraph tools\n\
+         \x20 tail <ckpt-dir> [--follow]                live shard progress (read-only)\n\
+         \x20 regress --baseline <json> [--current <jsonl>] [--tolerance <frac>] [--absolute]"
+    );
+    ExitCode::FAILURE
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// The value following `flag` within `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(usage());
+    };
+    match cmd.as_str() {
+        "summary" => {
+            let [path] = rest else { return Ok(usage()) };
+            print!("{}", analyze::summary(&read(path)?)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let [a, b] = rest else { return Ok(usage()) };
+            let out = analyze::diff(a, &read(a)?, b, &read(b)?)?;
+            print!("{}", out.report);
+            Ok(if out.diverged {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "flame" => {
+            let [path] = rest else { return Ok(usage()) };
+            print!("{}", analyze::flame(&read(path)?)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "tail" => {
+            let Some(dir) = rest.first() else {
+                return Ok(usage());
+            };
+            let dir = Path::new(dir);
+            let follow = rest.iter().any(|a| a == "--follow");
+            let interval = flag_value(rest, "--interval")
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(2.0)
+                .max(0.1);
+            loop {
+                let report = checkpoint::tail_report(dir);
+                print!("{report}");
+                // Done (or nothing to follow) when every discovered
+                // evaluation has all its cells.
+                let groups = checkpoint::scan_dir(dir);
+                let complete =
+                    !groups.is_empty() && groups.iter().all(|g| g.cells.len() >= g.total_cells);
+                if !follow || complete {
+                    return Ok(ExitCode::SUCCESS);
+                }
+                std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+            }
+        }
+        "regress" => {
+            let Some(baseline) = flag_value(rest, "--baseline") else {
+                return Ok(usage());
+            };
+            let tolerance = match flag_value(rest, "--tolerance") {
+                None => 0.15,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("bad --tolerance {v} (want a fraction, e.g. 0.15)"))?,
+            };
+            let absolute = rest.iter().any(|a| a == "--absolute");
+            // Fresh timings come from --current, or from the
+            // CRITERION_JSON report the bench run just appended.
+            let current_path = flag_value(rest, "--current")
+                .or_else(|| {
+                    std::env::var("CRITERION_JSON")
+                        .ok()
+                        .filter(|v| !v.is_empty())
+                })
+                .ok_or("regress needs --current <criterion.jsonl> (or CRITERION_JSON set)")?;
+            let out = analyze::regress(
+                &read(&baseline)?,
+                &read(&current_path)?,
+                tolerance,
+                absolute,
+            )?;
+            print!("{}", out.report);
+            Ok(if out.regressed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        _ => Ok(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("[inspect] {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -26,7 +26,8 @@ use aivril_core::ResilienceCounters;
 use aivril_metrics::SampleOutcome;
 use aivril_obs::codec::{self, Reader, Writer};
 use aivril_obs::{MetricsRegistry, RunJournal};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write as _};
 use std::path::Path;
@@ -39,9 +40,12 @@ const VERSION: u32 = 1;
 /// the scored record plus the telemetry (journal runs, metrics) the
 /// cell produced.
 #[derive(Debug, Clone)]
-pub(crate) struct CellRecord {
+pub struct CellRecord {
+    /// The scored run record.
     pub record: RunRecord,
+    /// The cell's journal runs, replayed into the recorder on resume.
     pub runs: Vec<RunJournal>,
+    /// The cell's metrics delta.
     pub metrics: MetricsRegistry,
 }
 
@@ -242,6 +246,189 @@ fn decode_cell(r: &mut Reader<'_>) -> Option<CellRecord> {
     })
 }
 
+// ---------------------------------------------------------------------
+// Read-only progress scanning (`aivril-inspect tail`)
+// ---------------------------------------------------------------------
+
+/// One shard log file, as seen by a read-only scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogInfo {
+    /// File name within the checkpoint directory.
+    pub name: String,
+    /// The cell range encoded in the file name.
+    pub range: ShardRange,
+    /// Cells decoded from the file's valid prefix.
+    pub cells: usize,
+    /// `true` when the file ends in a torn tail (a line cut mid-write);
+    /// the bytes past the valid prefix were ignored, exactly as resume
+    /// would drop them.
+    pub torn: bool,
+}
+
+/// Progress snapshot of one evaluation (one fingerprint) in a
+/// checkpoint directory, assembled by [`scan_dir`].
+#[derive(Debug)]
+pub struct EvalProgress {
+    /// The evaluation fingerprint the logs carry.
+    pub fingerprint: u64,
+    /// Grid size, inferred as the largest range end among the shard
+    /// log names — exact once every planned shard has opened its log.
+    pub total_cells: usize,
+    /// Restored cells keyed by grid index (duplicates across files are
+    /// identical by construction; first wins).
+    pub cells: BTreeMap<usize, CellRecord>,
+    /// The shard log files scanned, sorted by name.
+    pub logs: Vec<LogInfo>,
+}
+
+/// Parses a shard log file name, `ckpt-{fingerprint:016x}-{start}-{end}.log`.
+fn parse_log_name(name: &str) -> Option<(u64, ShardRange)> {
+    let rest = name.strip_prefix("ckpt-")?.strip_suffix(".log")?;
+    let mut parts = rest.splitn(3, '-');
+    let fingerprint = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let start = parts.next()?.parse().ok()?;
+    let end = parts.next()?.parse().ok()?;
+    (start <= end).then_some((fingerprint, ShardRange { start, end }))
+}
+
+/// Scans a checkpoint directory **read-only** — the running shards own
+/// the files, so unlike resume this never truncates a torn tail, it
+/// just skips it. Returns one [`EvalProgress`] per fingerprint found,
+/// sorted by fingerprint; within a group, logs are sorted by name. The
+/// snapshot is a pure function of the directory contents.
+#[must_use]
+pub fn scan_dir(dir: &Path) -> Vec<EvalProgress> {
+    let mut names: Vec<String> = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if let Some(name) = entry.file_name().to_str() {
+                if parse_log_name(name).is_some() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names.sort();
+    let mut groups: BTreeMap<u64, EvalProgress> = BTreeMap::new();
+    for name in names {
+        let Some((fingerprint, range)) = parse_log_name(&name) else {
+            continue;
+        };
+        let Ok(text) = fs::read_to_string(dir.join(&name)) else {
+            continue;
+        };
+        // A header naming a different fingerprint than the file name
+        // yields an empty valid prefix, so the file contributes nothing
+        // but is still listed (torn from byte 0).
+        let (cells, valid_len) = parse_log(&text, fingerprint);
+        let group = groups.entry(fingerprint).or_insert(EvalProgress {
+            fingerprint,
+            total_cells: 0,
+            cells: BTreeMap::new(),
+            logs: Vec::new(),
+        });
+        group.total_cells = group.total_cells.max(range.end);
+        group.logs.push(LogInfo {
+            name,
+            range,
+            cells: cells.len(),
+            torn: valid_len < text.len(),
+        });
+        for (idx, cell) in cells {
+            group.cells.entry(idx).or_insert(cell);
+        }
+    }
+    groups.into_values().collect()
+}
+
+/// Renders the `aivril-inspect tail` progress report for a checkpoint
+/// directory: per evaluation, cells done/remaining, rolling pass
+/// rates, corrective-iteration pressure and resilience counters, with
+/// torn tails tolerated exactly like resume tolerates them. Read-only
+/// and a pure function of the directory contents.
+#[must_use]
+pub fn tail_report(dir: &Path) -> String {
+    let groups = scan_dir(dir);
+    if groups.is_empty() {
+        return format!("[tail] no checkpoint logs in {} (yet?)\n", dir.display());
+    }
+    let mut out = String::new();
+    for g in &groups {
+        let done = g.cells.len();
+        let total = g.total_cells.max(done);
+        let remaining = total - done;
+        let pct = 100.0 * done as f64 / total.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "[tail] evaluation {:016x}: {done}/{total} cell(s) done ({pct:.1}%), \
+             {remaining} remaining",
+            g.fingerprint
+        );
+        let torn = g.logs.iter().filter(|l| l.torn).count();
+        let _ = writeln!(
+            out,
+            "  shard logs: {}{}",
+            g.logs.len(),
+            if torn > 0 {
+                format!(" ({torn} with a torn tail dropped)")
+            } else {
+                String::new()
+            }
+        );
+        for log in &g.logs {
+            let _ = writeln!(
+                out,
+                "    {} cells {}..{}: {} restored{}",
+                log.name,
+                log.range.start,
+                log.range.end,
+                log.cells,
+                if log.torn { ", torn tail" } else { "" }
+            );
+        }
+        let (mut functional, mut syntax, mut crashed) = (0usize, 0usize, 0usize);
+        let (mut syn_iters, mut fun_iters) = (0u64, 0u64);
+        let mut resilience = ResilienceCounters::default();
+        for cell in g.cells.values() {
+            let o = &cell.record.outcome;
+            functional += usize::from(o.functional);
+            syntax += usize::from(o.syntax);
+            crashed += usize::from(o.crashed);
+            syn_iters += u64::from(o.syntax_iters);
+            fun_iters += u64::from(o.functional_iters);
+            resilience.merge(&cell.record.resilience);
+        }
+        if done > 0 {
+            let rate = |k: usize| 100.0 * k as f64 / done as f64;
+            let _ = writeln!(
+                out,
+                "  rolling pass rate: functional {functional}/{done} ({:.1}%), \
+                 syntax {syntax}/{done} ({:.1}%), {crashed} crashed",
+                rate(functional),
+                rate(syntax)
+            );
+            let _ = writeln!(
+                out,
+                "  iterations so far: {syn_iters} syntax, {fun_iters} functional"
+            );
+            if resilience.any() {
+                let _ = writeln!(
+                    out,
+                    "  resilience: {} fault(s), {} retrie(s) ({:.1}s backoff), \
+                     {} breaker open(s), {} degraded, {} sim-diverged",
+                    resilience.llm_faults,
+                    resilience.retries,
+                    resilience.backoff_s,
+                    resilience.breaker_opens,
+                    resilience.degraded,
+                    resilience.sim_diverged
+                );
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +511,73 @@ mod tests {
         // A different fingerprint sees none of it.
         let other = ShardCheckpoint::open(&dir, 0x1234, range);
         assert!(other.restored(0).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_names_parse_and_reject_garbage() {
+        let (fp, range) = parse_log_name("ckpt-000000000000abcd-0-4.log").expect("parses");
+        assert_eq!(fp, 0xabcd);
+        assert_eq!(range, ShardRange { start: 0, end: 4 });
+        for bad in [
+            "ckpt-zz-0-4.log",
+            "ckpt-000000000000abcd-0-4",
+            "other-000000000000abcd-0-4.log",
+            "ckpt-000000000000abcd-4-0.log",
+            "ckpt-000000000000abcd-0.log",
+        ] {
+            assert!(parse_log_name(bad).is_none(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn scan_is_read_only_and_tolerates_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("aivril-tail-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let range = ShardRange { start: 0, end: 6 };
+
+        // Nothing yet: the report says so instead of erroring.
+        assert!(tail_report(&dir).contains("no checkpoint logs"));
+
+        // A half-finished shard: two cells done, one passing, then a
+        // torn tail from a kill mid-write.
+        let ckpt = ShardCheckpoint::open(&dir, 0xfeed, range);
+        let mut pass = cell();
+        pass.record.outcome.functional = true;
+        pass.record.resilience.llm_faults = 2;
+        ckpt.append(0, &pass);
+        ckpt.append(1, &cell());
+        drop(ckpt);
+        let path = dir.join("ckpt-000000000000feed-0-6.log");
+        let before = fs::read(&path).unwrap();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"cell 2 0123 torn-mid-wri").unwrap();
+        drop(f);
+        let torn_bytes = fs::read(&path).unwrap();
+
+        let groups = scan_dir(&dir);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.fingerprint, 0xfeed);
+        assert_eq!(g.total_cells, 6);
+        assert_eq!(g.cells.len(), 2, "torn cell 2 must be dropped");
+        assert!(g.logs[0].torn);
+        assert!(g.cells[&0].record.outcome.functional && !g.cells[&1].record.outcome.functional);
+
+        let report = tail_report(&dir);
+        assert!(
+            report.contains("2/6 cell(s) done (33.3%), 4 remaining"),
+            "{report}"
+        );
+        assert!(report.contains("torn tail"), "{report}");
+        assert!(report.contains("functional 1/2 (50.0%)"), "{report}");
+        assert!(report.contains("2 fault(s)"), "{report}");
+        // Deterministic: same directory state, same bytes.
+        assert_eq!(report, tail_report(&dir));
+        // Read-only: the torn bytes are still there, untruncated —
+        // scanning a live run must never race its writers.
+        assert_eq!(fs::read(&path).unwrap(), torn_bytes);
+        assert_ne!(torn_bytes, before);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -27,7 +27,7 @@
 
 #![warn(missing_docs)]
 
-mod checkpoint;
+pub mod checkpoint;
 
 use aivril_core::{
     Aivril2, Aivril2Config, BaselineFlow, ResilienceCounters, RunResult, Stage, TaskInput,
@@ -382,13 +382,20 @@ pub fn build_library(problems: &[Problem]) -> TaskLibrary {
     lib
 }
 
-/// One completed run, as stored by the worker pool.
+/// One completed run, as stored by the worker pool (and, through the
+/// [`checkpoint`] codec, on disk — which is why it is public: the
+/// read-only checkpoint scanners hand these back to `aivril-inspect
+/// tail`).
 #[derive(Debug, Clone)]
-struct RunRecord {
-    outcome: SampleOutcome,
-    llm_seconds: f64,
-    tool_seconds: f64,
-    resilience: ResilienceCounters,
+pub struct RunRecord {
+    /// The scored outcome of the run.
+    pub outcome: SampleOutcome,
+    /// Modeled seconds attributable to the language model.
+    pub llm_seconds: f64,
+    /// Modeled seconds attributable to the EDA tools.
+    pub tool_seconds: f64,
+    /// Resilience counters accumulated by the run.
+    pub resilience: ResilienceCounters,
 }
 
 /// The record of a run that panicked: scored as a failure on both

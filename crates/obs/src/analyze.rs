@@ -1,0 +1,1406 @@
+//! The **read side** of the observability stack: parsing and analysis
+//! of the durable artifacts the write side produces — JSONL run
+//! journals ([`crate::render_journal`]), `aivril.results` JSON (the
+//! bench harness's `--json` payload) and criterion/kernel timing
+//! reports — plus the report renderers behind the `aivril-inspect`
+//! subcommands.
+//!
+//! # Determinism contract
+//!
+//! Every function here is **read-only and deterministic**: a pure
+//! function of its input text. Since the artifacts themselves are
+//! byte-identical across `AIVRIL_THREADS`, shard partitions and cache
+//! modes (the write side's contract), every report derived from them
+//! is too — `tests/inspect.rs` enforces this end to end. Floats are
+//! only ever combined in input order and rendered with fixed
+//! precision; no wall clock, no environment, no iteration over hash
+//! maps.
+//!
+//! # Pieces
+//!
+//! * [`parse_journal`] / [`parse_results`] / [`parse_artifact`] —
+//!   total parsers (corrupt artifacts are an `Err`, never a panic).
+//! * [`attribution`] — folds a journal's close-order span events back
+//!   into an aggregated tree with per-node total/self modeled time:
+//!   the per-stage attribution model (DESIGN.md §10).
+//! * [`summary`] — the attribution tree, per-problem split and
+//!   outcome/error-class breakdown of one artifact.
+//! * [`diff`] — two artifacts: metric deltas, per-cell outcome flips,
+//!   and first-divergence pinpointing down to the first differing
+//!   journal line.
+//! * [`flame`] — collapsed-stack export of the span tree (the format
+//!   `flamegraph.pl` / inferno / speedscope load).
+//! * [`regress`] — compares fresh criterion timings against the
+//!   committed `BENCH_SIM.json` baseline with a configurable
+//!   tolerance; the CI perf gate.
+
+use crate::json::{self, Value};
+use crate::metrics::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Journal parsing
+// ---------------------------------------------------------------------
+
+/// One parsed journal event (a closed span).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEvent {
+    /// Span name, e.g. `stage.rtl_syntax_loop`.
+    pub span: String,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: u32,
+    /// Modeled start time within the run, seconds.
+    pub t0: f64,
+    /// Modeled end time within the run, seconds.
+    pub t1: f64,
+    /// Attributes in journal order.
+    pub attrs: Vec<(String, Value)>,
+}
+
+impl JournalEvent {
+    /// Modeled duration of the span.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+
+    /// Attribute lookup.
+    #[must_use]
+    pub fn attr(&self, key: &str) -> Option<&Value> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// One run's worth of journal events, with its grid coordinates and
+/// context pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRun {
+    /// `(problem, sample)` grid coordinates; `None` for unscoped
+    /// events.
+    pub coords: Option<(u32, u32)>,
+    /// Context pairs (model/lang/flow), journal order.
+    pub context: Vec<(String, String)>,
+    /// Events in close order (children before parents).
+    pub events: Vec<JournalEvent>,
+}
+
+/// A parsed `aivril.journal` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalDoc {
+    /// Schema version from the header.
+    pub version: u32,
+    /// Event count claimed by the header.
+    pub header_events: u64,
+    /// Runs in journal order (consecutive events grouped by
+    /// coordinates + context).
+    pub runs: Vec<JournalRun>,
+}
+
+fn ctx_pairs(v: &Value) -> Option<Vec<(String, String)>> {
+    match v {
+        Value::Obj(members) => members
+            .iter()
+            .map(|(k, v)| v.str().map(|s| (k.clone(), s.to_string())))
+            .collect(),
+        _ => None,
+    }
+}
+
+/// Parses a JSONL run journal.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line when the header or any
+/// event line is malformed — truncated downloads and hand-edited
+/// journals are reported, never panicked on.
+pub fn parse_journal(text: &str) -> Result<JournalDoc, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("journal is empty")?;
+    let header = json::parse(header).ok_or("journal header is not valid JSON")?;
+    if header.get("schema").and_then(Value::str) != Some("aivril.journal") {
+        return Err("not an aivril.journal artifact (bad schema field)".into());
+    }
+    let version = header
+        .get("version")
+        .and_then(Value::num)
+        .ok_or("journal header lacks a version")? as u32;
+    let header_events = header.get("events").and_then(Value::num).unwrap_or(0.0) as u64;
+    let mut runs: Vec<JournalRun> = Vec::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let v = json::parse(line).ok_or(format!("journal line {lineno} is not valid JSON"))?;
+        let coords = match v.get("run") {
+            Some(Value::Null) | None => None,
+            Some(run) => {
+                let p = run.get("problem").and_then(Value::num);
+                let s = run.get("sample").and_then(Value::num);
+                match (p, s) {
+                    (Some(p), Some(s)) => Some((p as u32, s as u32)),
+                    _ => return Err(format!("journal line {lineno} has malformed run coords")),
+                }
+            }
+        };
+        let context = v
+            .get("ctx")
+            .and_then(ctx_pairs)
+            .ok_or(format!("journal line {lineno} has a malformed ctx"))?;
+        let event = JournalEvent {
+            span: v
+                .get("span")
+                .and_then(Value::str)
+                .ok_or(format!("journal line {lineno} lacks a span"))?
+                .to_string(),
+            depth: v
+                .get("depth")
+                .and_then(Value::num)
+                .ok_or(format!("journal line {lineno} lacks a depth"))? as u32,
+            t0: v
+                .get("t0")
+                .and_then(Value::num)
+                .ok_or(format!("journal line {lineno} lacks t0"))?,
+            t1: v
+                .get("t1")
+                .and_then(Value::num)
+                .ok_or(format!("journal line {lineno} lacks t1"))?,
+            attrs: match v.get("attrs") {
+                Some(Value::Obj(members)) => members.clone(),
+                _ => return Err(format!("journal line {lineno} has malformed attrs")),
+            },
+        };
+        match runs.last_mut() {
+            Some(run) if run.coords == coords && run.context == event_ctx(&context) => {
+                run.events.push(event);
+            }
+            _ => runs.push(JournalRun {
+                coords,
+                context: context.clone(),
+                events: vec![event],
+            }),
+        }
+    }
+    Ok(JournalDoc {
+        version,
+        header_events,
+        runs,
+    })
+}
+
+// Context equality helper: contexts are compared as-is (journal order
+// is already canonical — the recorder sorts pairs at set_context).
+fn event_ctx(ctx: &[(String, String)]) -> &[(String, String)] {
+    ctx
+}
+
+// ---------------------------------------------------------------------
+// Results parsing
+// ---------------------------------------------------------------------
+
+/// One sample's scored outcome, from `aivril.results`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleResult {
+    /// Compiled cleanly.
+    pub syntax: bool,
+    /// Passed the reference testbench.
+    pub functional: bool,
+    /// Crashed and was isolated by the harness.
+    pub crashed: bool,
+    /// Modeled end-to-end seconds.
+    pub total_latency_s: f64,
+    /// Corrective syntax-loop iterations.
+    pub syntax_iters: u64,
+    /// Corrective functional-loop iterations.
+    pub functional_iters: u64,
+}
+
+/// One task's samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskResult {
+    /// Task name.
+    pub task: String,
+    /// Samples in grid order.
+    pub samples: Vec<SampleResult>,
+}
+
+/// One results section (a model × language × flow evaluation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Section label.
+    pub label: String,
+    /// The raw `stats` object (schema evolves; keep it generic).
+    pub stats: Value,
+    /// Per-task outcomes.
+    pub tasks: Vec<TaskResult>,
+}
+
+/// A parsed `aivril.results` document (any version: v1 onwards all
+/// share the fields the analysis reads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultsDoc {
+    /// Schema version.
+    pub version: u32,
+    /// Sections in artifact order.
+    pub sections: Vec<Section>,
+}
+
+/// Parses an `aivril.results` JSON document.
+///
+/// # Errors
+///
+/// Returns a message describing the malformation.
+pub fn parse_results(text: &str) -> Result<ResultsDoc, String> {
+    let doc = json::parse(text.trim_end()).ok_or("results file is not valid JSON")?;
+    if doc.get("schema").and_then(Value::str) != Some("aivril.results") {
+        return Err("not an aivril.results artifact (bad schema field)".into());
+    }
+    let version = doc
+        .get("version")
+        .and_then(Value::num)
+        .ok_or("results lack a version")? as u32;
+    let mut sections = Vec::new();
+    for (si, sec) in doc
+        .get("sections")
+        .and_then(Value::arr)
+        .ok_or("results lack a sections array")?
+        .iter()
+        .enumerate()
+    {
+        let label = sec
+            .get("label")
+            .and_then(Value::str)
+            .ok_or(format!("section {si} lacks a label"))?
+            .to_string();
+        let stats = sec.get("stats").cloned().unwrap_or(Value::Null);
+        let mut tasks = Vec::new();
+        for (ti, task) in sec
+            .get("tasks")
+            .and_then(Value::arr)
+            .ok_or(format!("section {si} lacks a tasks array"))?
+            .iter()
+            .enumerate()
+        {
+            let name = task
+                .get("task")
+                .and_then(Value::str)
+                .ok_or(format!("section {si} task {ti} lacks a name"))?
+                .to_string();
+            let mut samples = Vec::new();
+            for (i, s) in task
+                .get("samples")
+                .and_then(Value::arr)
+                .ok_or(format!("section {si} task {ti} lacks samples"))?
+                .iter()
+                .enumerate()
+            {
+                let flag = |key: &str| s.get(key).and_then(Value::bool);
+                let num = |key: &str| s.get(key).and_then(Value::num);
+                samples.push(SampleResult {
+                    syntax: flag("syntax")
+                        .ok_or(format!("section {si} task {ti} sample {i}: bad syntax"))?,
+                    functional: flag("functional")
+                        .ok_or(format!("section {si} task {ti} sample {i}: bad functional"))?,
+                    // `crashed` arrived in v3; absent means false.
+                    crashed: flag("crashed").unwrap_or(false),
+                    total_latency_s: num("total_latency_s")
+                        .ok_or(format!("section {si} task {ti} sample {i}: bad latency"))?,
+                    syntax_iters: num("syntax_iters").unwrap_or(0.0) as u64,
+                    functional_iters: num("functional_iters").unwrap_or(0.0) as u64,
+                });
+            }
+            tasks.push(TaskResult {
+                task: name,
+                samples,
+            });
+        }
+        sections.push(Section {
+            label,
+            stats,
+            tasks,
+        });
+    }
+    Ok(ResultsDoc { version, sections })
+}
+
+/// A parsed artifact of either supported kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Artifact {
+    /// A JSONL run journal.
+    Journal(JournalDoc),
+    /// An `aivril.results` document.
+    Results(ResultsDoc),
+}
+
+/// Parses either artifact kind, sniffing the schema field of the first
+/// line.
+///
+/// # Errors
+///
+/// Returns a message when the schema is unrecognised or the body is
+/// malformed.
+pub fn parse_artifact(text: &str) -> Result<Artifact, String> {
+    let first = text.lines().next().unwrap_or("");
+    if first.contains("\"aivril.journal\"") {
+        parse_journal(text).map(Artifact::Journal)
+    } else if first.contains("\"aivril.results\"") {
+        parse_results(text).map(Artifact::Results)
+    } else {
+        Err("unrecognised artifact: expected an aivril.journal JSONL or aivril.results JSON".into())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Attribution: span tree reconstruction and aggregation
+// ---------------------------------------------------------------------
+
+/// One node of the aggregated span tree: every span instance with the
+/// same root-to-node name path folds into the same node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanNode {
+    /// Number of span instances folded in.
+    pub count: u64,
+    /// Summed modeled duration (seconds).
+    pub total_s: f64,
+    /// Summed *self* time: duration minus the durations of direct
+    /// children (seconds).
+    pub self_s: f64,
+    /// Children keyed by span name.
+    pub children: BTreeMap<String, SpanNode>,
+}
+
+/// A reconstructed span instance (one event with its children
+/// reattached).
+struct Instance<'a> {
+    event: &'a JournalEvent,
+    children: Vec<Instance<'a>>,
+}
+
+/// Rebuilds the instance forest of one run from its close-order
+/// events: a parent closes after its children, so when an event at
+/// depth `d` appears, every still-pending instance deeper than `d` is
+/// one of its descendants (and pending descendants are exactly its
+/// *direct* children — deeper ones were absorbed when their own parent
+/// closed). Unclosed parents (a run truncated mid-flight) leave their
+/// children pending; those surface as extra roots rather than being
+/// dropped.
+fn instance_forest(events: &[JournalEvent]) -> Vec<Instance<'_>> {
+    let mut pending: Vec<Instance<'_>> = Vec::new();
+    for event in events {
+        let split = pending
+            .iter()
+            .position(|i| i.event.depth > event.depth)
+            .unwrap_or(pending.len());
+        let children = pending.split_off(split);
+        pending.push(Instance { event, children });
+    }
+    pending
+}
+
+fn fold_instance(node: &mut SpanNode, inst: &Instance<'_>) {
+    let duration = inst.event.duration();
+    let child_time: f64 = inst.children.iter().map(|c| c.event.duration()).sum();
+    node.count += 1;
+    node.total_s += duration;
+    node.self_s += (duration - child_time).max(0.0);
+    for child in &inst.children {
+        let entry = node.children.entry(child.event.span.clone()).or_default();
+        fold_instance(entry, child);
+    }
+}
+
+/// Aggregates a journal into one span tree under a synthetic root
+/// whose `total_s` is the summed duration of all top-level spans. The
+/// fold order is journal order, so the floats — and therefore every
+/// rendered report — are byte-stable.
+#[must_use]
+pub fn attribution(doc: &JournalDoc) -> BTreeMap<String, SpanNode> {
+    let mut roots: BTreeMap<String, SpanNode> = BTreeMap::new();
+    for run in &doc.runs {
+        for inst in instance_forest(&run.events) {
+            let entry = roots.entry(inst.event.span.clone()).or_default();
+            fold_instance(entry, &inst);
+        }
+    }
+    roots
+}
+
+fn render_span_tree(
+    out: &mut String,
+    nodes: &BTreeMap<String, SpanNode>,
+    grand_total: f64,
+    indent: usize,
+) {
+    // Biggest first; name is the deterministic tiebreak.
+    let mut ordered: Vec<(&String, &SpanNode)> = nodes.iter().collect();
+    ordered.sort_by(|a, b| {
+        b.1.total_s
+            .total_cmp(&a.1.total_s)
+            .then_with(|| a.0.cmp(b.0))
+    });
+    for (name, node) in ordered {
+        let pct = if grand_total > 0.0 {
+            100.0 * node.total_s / grand_total
+        } else {
+            0.0
+        };
+        let label = format!("{:indent$}{name}", "", indent = indent * 2);
+        let _ = writeln!(
+            out,
+            "  {label:<34} total {:>14.6}s ({pct:>5.1}%)  self {:>14.6}s  n={}",
+            node.total_s, node.self_s, node.count
+        );
+        render_span_tree(out, &node.children, grand_total, indent + 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------
+
+/// Fixed bucket edges (seconds) for the latency quantile estimates in
+/// summaries. Fixed — not data-derived — so histograms built from any
+/// artifact subset merge and compare cleanly.
+pub const LATENCY_BOUNDS_S: &[f64] = &[
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+];
+
+fn render_quantiles(out: &mut String, label: &str, hist: &Histogram) {
+    let q = |q: f64| match hist.quantile(q) {
+        Some(v) => format!("{v:.3}s"),
+        None => "n/a".to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "  {label}: p50 {} / p90 {} / p99 {} (n={})",
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        hist.count()
+    );
+}
+
+fn summary_journal(doc: &JournalDoc) -> String {
+    let mut out = String::new();
+    let total_events: usize = doc.runs.iter().map(|r| r.events.len()).sum();
+    let _ = writeln!(
+        out,
+        "[summary] aivril.journal v{}: {} run(s), {} event(s)",
+        doc.version,
+        doc.runs.len(),
+        total_events
+    );
+
+    // Context groups.
+    let mut contexts: BTreeMap<String, u64> = BTreeMap::new();
+    for run in &doc.runs {
+        let key = if run.context.is_empty() {
+            "(no context)".to_string()
+        } else {
+            run.context
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        *contexts.entry(key).or_default() += 1;
+    }
+    for (ctx, n) in &contexts {
+        let _ = writeln!(out, "  context [{ctx}]: {n} run(s)");
+    }
+
+    // Attribution tree.
+    let roots = attribution(doc);
+    let grand_total: f64 = roots.values().map(|n| n.total_s).sum();
+    let _ = writeln!(
+        out,
+        "\n[attribution] modeled-time span tree ({grand_total:.6}s total)",
+    );
+    render_span_tree(&mut out, &roots, grand_total, 0);
+
+    // Per-problem attribution: total modeled time with the LLM / EDA
+    // split (llm.chat spans vs eda.* spans; both are leaves, so the
+    // sums do not double-count).
+    let mut per_problem: BTreeMap<u32, (u64, f64, f64, f64)> = BTreeMap::new();
+    let mut run_latency = Histogram::new(LATENCY_BOUNDS_S);
+    for run in &doc.runs {
+        let Some((problem, _)) = run.coords else {
+            continue;
+        };
+        let total: f64 = run
+            .events
+            .iter()
+            .filter(|e| e.depth == 0)
+            .map(JournalEvent::duration)
+            .sum();
+        let llm: f64 = run
+            .events
+            .iter()
+            .filter(|e| e.span == "llm.chat")
+            .map(JournalEvent::duration)
+            .sum();
+        let eda: f64 = run
+            .events
+            .iter()
+            .filter(|e| e.span.starts_with("eda."))
+            .map(JournalEvent::duration)
+            .sum();
+        let slot = per_problem.entry(problem).or_insert((0, 0.0, 0.0, 0.0));
+        slot.0 += 1;
+        slot.1 += total;
+        slot.2 += llm;
+        slot.3 += eda;
+        run_latency.observe(total);
+    }
+    if !per_problem.is_empty() {
+        let _ = writeln!(out, "\n[per-problem] modeled seconds (llm + eda split)");
+        for (problem, (runs, total, llm, eda)) in &per_problem {
+            let _ = writeln!(
+                out,
+                "  problem {problem:>4}: {runs} run(s)  total {total:>12.6}s  \
+                 llm {llm:>12.6}s  eda {eda:>12.6}s"
+            );
+        }
+        let _ = writeln!(out, "\n[latency] per-run modeled end-to-end time");
+        render_quantiles(&mut out, "runs", &run_latency);
+    }
+
+    // Error-class breakdown: injected LLM fault classes, tool
+    // failures, corrective-iteration pressure.
+    let mut fault_classes: BTreeMap<String, u64> = BTreeMap::new();
+    let (mut compile_fails, mut analyze_fails, mut sim_fails) = (0u64, 0u64, 0u64);
+    let mut corrective_errors = 0u64;
+    for run in &doc.runs {
+        for e in &run.events {
+            match e.span.as_str() {
+                "llm.chat" => {
+                    if let Some(class) = e.attr("fault").and_then(Value::str) {
+                        *fault_classes.entry(class.to_string()).or_default() += 1;
+                    }
+                }
+                "eda.compile" if e.attr("success").and_then(Value::bool) == Some(false) => {
+                    compile_fails += 1;
+                }
+                "eda.analyze" if e.attr("success").and_then(Value::bool) == Some(false) => {
+                    analyze_fails += 1;
+                }
+                "eda.simulate" if e.attr("passed").and_then(Value::bool) == Some(false) => {
+                    sim_fails += 1;
+                }
+                "iteration" => {
+                    if let Some(n) = e.attr("errors").and_then(Value::num) {
+                        corrective_errors += n as u64;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = writeln!(out, "\n[errors] tool failures and fault classes");
+    let _ = writeln!(
+        out,
+        "  eda: {compile_fails} failed compile(s), {analyze_fails} failed analyze(s), \
+         {sim_fails} failed simulation(s); {corrective_errors} diagnostics fed back"
+    );
+    if fault_classes.is_empty() {
+        let _ = writeln!(out, "  llm faults: none");
+    } else {
+        for (class, n) in &fault_classes {
+            let _ = writeln!(out, "  llm fault {class}: {n}");
+        }
+    }
+    out
+}
+
+fn summary_results(doc: &ResultsDoc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "[summary] aivril.results v{}: {} section(s)",
+        doc.version,
+        doc.sections.len()
+    );
+    for sec in &doc.sections {
+        let samples: Vec<&SampleResult> = sec.tasks.iter().flat_map(|t| t.samples.iter()).collect();
+        let n = samples.len();
+        let count = |f: &dyn Fn(&SampleResult) -> bool| samples.iter().filter(|s| f(s)).count();
+        let both = count(&|s| s.syntax && s.functional);
+        let syntax_only = count(&|s| s.syntax && !s.functional);
+        let neither = count(&|s| !s.syntax && !s.crashed);
+        let crashed = count(&|s| s.crashed);
+        let pct = |k: usize| 100.0 * k as f64 / n.max(1) as f64;
+        let _ = writeln!(out, "\nsection [{}]", sec.label);
+        let _ = writeln!(
+            out,
+            "  outcomes over {n} sample(s) in {} task(s):",
+            sec.tasks.len()
+        );
+        let _ = writeln!(out, "    functional pass  {both:>5}  ({:>5.1}%)", pct(both));
+        let _ = writeln!(
+            out,
+            "    syntax-only      {syntax_only:>5}  ({:>5.1}%)",
+            pct(syntax_only)
+        );
+        let _ = writeln!(
+            out,
+            "    failed           {neither:>5}  ({:>5.1}%)",
+            pct(neither)
+        );
+        let _ = writeln!(
+            out,
+            "    crashed          {crashed:>5}  ({:>5.1}%)",
+            pct(crashed)
+        );
+        let iters: u64 = samples
+            .iter()
+            .map(|s| s.syntax_iters + s.functional_iters)
+            .sum();
+        let _ = writeln!(
+            out,
+            "  corrective iterations: {iters} total, {:.2}/run",
+            iters as f64 / n.max(1) as f64
+        );
+        let mut latency = Histogram::new(LATENCY_BOUNDS_S);
+        for s in &samples {
+            latency.observe(s.total_latency_s);
+        }
+        render_quantiles(&mut out, "modeled latency", &latency);
+        for key in [
+            "modeled_seconds",
+            "modeled_llm_seconds",
+            "modeled_tool_seconds",
+        ] {
+            if let Some(v) = sec.stats.get(key).and_then(Value::num) {
+                let _ = writeln!(out, "  stats.{key}: {v:.6}s");
+            }
+        }
+        if let Some(res) = sec.stats.get("resilience") {
+            let field = |k: &str| res.get(k).and_then(Value::num).unwrap_or(0.0);
+            if field("llm_faults") > 0.0 || field("crashed") > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "  resilience: {} fault(s), {} retrie(s), {} breaker open(s), \
+                     {} degraded, {} sim-diverged",
+                    field("llm_faults"),
+                    field("retries"),
+                    field("breaker_opens"),
+                    field("degraded"),
+                    field("sim_diverged"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the `inspect summary` report for one artifact (journal or
+/// results, auto-detected).
+///
+/// # Errors
+///
+/// Returns the parse error for malformed artifacts.
+pub fn summary(text: &str) -> Result<String, String> {
+    match parse_artifact(text)? {
+        Artifact::Journal(doc) => Ok(summary_journal(&doc)),
+        Artifact::Results(doc) => Ok(summary_results(&doc)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diff
+// ---------------------------------------------------------------------
+
+/// The outcome of a [`diff`]: the rendered report plus whether the
+/// artifacts diverge (drives the CLI exit code).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOutcome {
+    /// Human-readable report.
+    pub report: String,
+    /// `true` when the artifacts are not byte-identical.
+    pub diverged: bool,
+}
+
+/// Truncates a journal line for display without splitting UTF-8.
+fn clip(line: &str) -> String {
+    const MAX: usize = 160;
+    if line.len() <= MAX {
+        return line.to_string();
+    }
+    let mut end = MAX;
+    while !line.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &line[..end])
+}
+
+fn diff_journals(a_name: &str, a: &str, b_name: &str, b: &str) -> String {
+    let mut out = String::new();
+    let (a_lines, b_lines): (Vec<&str>, Vec<&str>) = (a.lines().collect(), b.lines().collect());
+    let differing = a_lines.iter().zip(&b_lines).filter(|(x, y)| x != y).count()
+        + a_lines.len().abs_diff(b_lines.len());
+    let _ = writeln!(
+        out,
+        "journals differ: {} line(s) in {a_name}, {} in {b_name}, {differing} differing",
+        a_lines.len(),
+        b_lines.len()
+    );
+    // First divergence: the earliest line where the journals disagree
+    // (or the first line one of them lacks).
+    let first = a_lines
+        .iter()
+        .zip(&b_lines)
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a_lines.len().min(b_lines.len()));
+    let _ = writeln!(out, "first divergence at line {}:", first + 1);
+    for (name, lines) in [(a_name, &a_lines), (b_name, &b_lines)] {
+        match lines.get(first) {
+            Some(line) => {
+                let _ = writeln!(out, "  {name}: {}", clip(line));
+            }
+            None => {
+                let _ = writeln!(out, "  {name}: <absent — journal ends here>");
+            }
+        }
+    }
+    // Pinpoint: the run/span of the diverging line, when parseable.
+    for (name, lines) in [(a_name, &a_lines), (b_name, &b_lines)] {
+        if let Some(v) = lines.get(first).and_then(|l| json::parse(l)) {
+            let coords = match v.get("run") {
+                Some(Value::Obj(_)) => format!(
+                    "problem {} sample {}",
+                    v.get("run")
+                        .and_then(|r| r.get("problem"))
+                        .and_then(Value::num)
+                        .unwrap_or(-1.0),
+                    v.get("run")
+                        .and_then(|r| r.get("sample"))
+                        .and_then(Value::num)
+                        .unwrap_or(-1.0)
+                ),
+                _ => "unscoped".to_string(),
+            };
+            let span = v.get("span").and_then(Value::str).unwrap_or("?");
+            let _ = writeln!(out, "  {name} pinpoint: {coords}, span {span}");
+        }
+    }
+    out
+}
+
+fn diff_results(a: &ResultsDoc, b: &ResultsDoc) -> String {
+    let mut out = String::new();
+    if a.sections.len() != b.sections.len() {
+        let _ = writeln!(
+            out,
+            "section count differs: {} vs {}",
+            a.sections.len(),
+            b.sections.len()
+        );
+    }
+    let mut flips = 0u64;
+    let mut latency_drift = 0u64;
+    for (si, (sa, sb)) in a.sections.iter().zip(&b.sections).enumerate() {
+        let mut header_emitted = false;
+        let mut header = |out: &mut String| {
+            if !header_emitted {
+                let _ = writeln!(out, "section {si} [{}]:", sa.label);
+                header_emitted = true;
+            }
+        };
+        if sa.label != sb.label {
+            header(&mut out);
+            let _ = writeln!(out, "  label differs: [{}] vs [{}]", sa.label, sb.label);
+        }
+        // Metric deltas over the stats block (numeric fields only;
+        // nested diagnostic blocks are compared by their leaves).
+        for (key, delta) in stat_deltas(&sa.stats, &sb.stats, "stats") {
+            header(&mut out);
+            let _ = writeln!(out, "  {key}: {delta}");
+        }
+        // Per-cell outcome flips.
+        for (ti, (ta, tb)) in sa.tasks.iter().zip(&sb.tasks).enumerate() {
+            if ta.task != tb.task {
+                header(&mut out);
+                let _ = writeln!(out, "  task {ti} name differs: {} vs {}", ta.task, tb.task);
+                continue;
+            }
+            for (i, (x, y)) in ta.samples.iter().zip(&tb.samples).enumerate() {
+                let mut changes = Vec::new();
+                for (what, va, vb) in [
+                    ("syntax", x.syntax, y.syntax),
+                    ("functional", x.functional, y.functional),
+                    ("crashed", x.crashed, y.crashed),
+                ] {
+                    if va != vb {
+                        changes.push(format!("{what} {va}->{vb}"));
+                    }
+                }
+                if !changes.is_empty() {
+                    flips += 1;
+                    header(&mut out);
+                    let _ = writeln!(out, "  task {} sample {i}: {}", ta.task, changes.join(", "));
+                } else if x.total_latency_s.to_bits() != y.total_latency_s.to_bits() {
+                    latency_drift += 1;
+                }
+            }
+            if ta.samples.len() != tb.samples.len() {
+                header(&mut out);
+                let _ = writeln!(
+                    out,
+                    "  task {} sample count differs: {} vs {}",
+                    ta.task,
+                    ta.samples.len(),
+                    tb.samples.len()
+                );
+            }
+        }
+        if sa.tasks.len() != sb.tasks.len() {
+            header(&mut out);
+            let _ = writeln!(
+                out,
+                "  task count differs: {} vs {}",
+                sa.tasks.len(),
+                sb.tasks.len()
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "totals: {flips} outcome flip(s), {latency_drift} cell(s) with latency-only drift"
+    );
+    out
+}
+
+/// Numeric leaf-by-leaf comparison of two stats objects; returns
+/// `(dotted key, rendered delta)` pairs for differing leaves.
+fn stat_deltas(a: &Value, b: &Value, prefix: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    match (a, b) {
+        (Value::Obj(ma), Value::Obj(_)) => {
+            for (k, va) in ma {
+                let key = format!("{prefix}.{k}");
+                match b.get(k) {
+                    Some(vb) => out.extend(stat_deltas(va, vb, &key)),
+                    None => out.push((key, "absent in second artifact".to_string())),
+                }
+            }
+            if let Value::Obj(mb) = b {
+                for (k, _) in mb {
+                    if a.get(k).is_none() {
+                        out.push((
+                            format!("{prefix}.{k}"),
+                            "absent in first artifact".to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        (Value::Num(x), Value::Num(y)) => {
+            if x.to_bits() != y.to_bits() {
+                out.push((
+                    prefix.to_string(),
+                    format!("{x:.6} -> {y:.6} (delta {:+.6})", y - x),
+                ));
+            }
+        }
+        _ => {
+            if a != b {
+                out.push((prefix.to_string(), format!("{a:?} -> {b:?}")));
+            }
+        }
+    }
+    out
+}
+
+/// Compares two artifacts of the same kind: metric deltas and per-cell
+/// outcome flips for results, first-divergence pinpointing for
+/// journals. Byte-identical inputs report `no divergence`.
+///
+/// # Errors
+///
+/// Returns a message when either artifact is malformed or the kinds
+/// differ.
+pub fn diff(a_name: &str, a: &str, b_name: &str, b: &str) -> Result<DiffOutcome, String> {
+    if a == b {
+        // Still insist both parse: a pair of identically corrupt files
+        // is not a clean bill of health.
+        parse_artifact(a)?;
+        return Ok(DiffOutcome {
+            report: format!("no divergence: {a_name} and {b_name} are byte-identical\n"),
+            diverged: false,
+        });
+    }
+    let report = match (parse_artifact(a)?, parse_artifact(b)?) {
+        (Artifact::Journal(_), Artifact::Journal(_)) => diff_journals(a_name, a, b_name, b),
+        (Artifact::Results(da), Artifact::Results(db)) => {
+            format!(
+                "results differ: {a_name} vs {b_name}\n{}",
+                diff_results(&da, &db)
+            )
+        }
+        _ => return Err("cannot diff a journal against a results file".into()),
+    };
+    Ok(DiffOutcome {
+        report,
+        diverged: true,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Flame: collapsed-stack export
+// ---------------------------------------------------------------------
+
+fn collect_stacks(
+    out: &mut BTreeMap<String, u64>,
+    nodes: &BTreeMap<String, SpanNode>,
+    prefix: &str,
+) {
+    for (name, node) in nodes {
+        let stack = if prefix.is_empty() {
+            name.clone()
+        } else {
+            format!("{prefix};{name}")
+        };
+        let micros = (node.self_s * 1e6).round() as u64;
+        if micros > 0 {
+            *out.entry(stack.clone()).or_default() += micros;
+        }
+        collect_stacks(out, &node.children, &stack);
+    }
+}
+
+/// Renders a journal as collapsed stacks — one `a;b;c <microseconds>`
+/// line per unique span path, weighted by *self* modeled time and
+/// sorted lexicographically. The format `flamegraph.pl`, inferno and
+/// speedscope consume; byte-identical across thread counts because the
+/// journal is.
+///
+/// # Errors
+///
+/// Returns the parse error for malformed journals.
+pub fn flame(text: &str) -> Result<String, String> {
+    let doc = parse_journal(text)?;
+    let roots = attribution(&doc);
+    let mut stacks = BTreeMap::new();
+    collect_stacks(&mut stacks, &roots, "");
+    let mut out = String::new();
+    for (stack, micros) in &stacks {
+        let _ = writeln!(out, "{stack} {micros}");
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Regress: the CI perf gate
+// ---------------------------------------------------------------------
+
+/// The outcome of a [`regress`] comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressOutcome {
+    /// Human-readable report.
+    pub report: String,
+    /// `true` when any benchmark regressed beyond tolerance (drives
+    /// the CLI exit code / CI gate).
+    pub regressed: bool,
+}
+
+/// Parses the committed `BENCH_SIM.json` baseline: benchmark names and
+/// their `current_ns` timings, in file order.
+fn parse_baseline(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = json::parse(text.trim_end()).ok_or("baseline is not valid JSON")?;
+    let results = doc
+        .get("results")
+        .and_then(Value::arr)
+        .ok_or("baseline lacks a results array")?;
+    results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let name = r
+                .get("name")
+                .and_then(Value::str)
+                .ok_or(format!("baseline result {i} lacks a name"))?;
+            let ns = r
+                .get("current_ns")
+                .and_then(Value::num)
+                .ok_or(format!("baseline result {i} lacks current_ns"))?;
+            Ok((name.to_string(), ns))
+        })
+        .collect()
+}
+
+/// Parses a criterion `CRITERION_JSON` report (one JSON object per
+/// line); repeated names keep their best (minimum) timing, matching
+/// criterion's best-of-batches measurement.
+fn parse_criterion(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).ok_or(format!("criterion line {} is not valid JSON", i + 1))?;
+        let name = v
+            .get("name")
+            .and_then(Value::str)
+            .ok_or(format!("criterion line {} lacks a name", i + 1))?;
+        let ns = v
+            .get("ns_per_iter")
+            .and_then(Value::num)
+            .ok_or(format!("criterion line {} lacks ns_per_iter", i + 1))?;
+        out.entry(name.to_string())
+            .and_modify(|best: &mut f64| *best = best.min(ns))
+            .or_insert(ns);
+    }
+    if out.is_empty() {
+        return Err("criterion report contains no benchmarks".into());
+    }
+    Ok(out)
+}
+
+/// Lower median of the ratios, by total float order — the
+/// machine-speed normaliser of relative mode.
+fn lower_median(mut ratios: Vec<f64>) -> f64 {
+    ratios.sort_by(f64::total_cmp);
+    ratios[(ratios.len() - 1) / 2]
+}
+
+/// Compares a fresh criterion/kernel timing report against the
+/// committed `BENCH_SIM.json` baseline.
+///
+/// By default the comparison is **relative**: every benchmark's
+/// `current / baseline` ratio is normalised by the lower median of all
+/// ratios, so a uniformly faster or slower machine cancels out and
+/// only *differential* drift — one kernel path regressing while the
+/// others hold — trips the gate. `absolute` skips the normalisation
+/// (same-machine comparisons). A benchmark present in the baseline but
+/// missing from the report is a regression: the gate cannot vouch for
+/// what it cannot measure.
+///
+/// # Errors
+///
+/// Returns a message when either input is malformed.
+pub fn regress(
+    baseline_text: &str,
+    current_text: &str,
+    tolerance: f64,
+    absolute: bool,
+) -> Result<RegressOutcome, String> {
+    if !(0.0..10.0).contains(&tolerance) {
+        return Err(format!("tolerance {tolerance} out of range (want 0..10)"));
+    }
+    let baseline = parse_baseline(baseline_text)?;
+    if baseline.is_empty() {
+        return Err("baseline contains no benchmarks".into());
+    }
+    let current = parse_criterion(current_text)?;
+    let ratios: Vec<f64> = baseline
+        .iter()
+        .filter_map(|(name, base)| current.get(name).map(|cur| cur / base))
+        .collect();
+    let scale = if absolute || ratios.is_empty() {
+        1.0
+    } else {
+        lower_median(ratios)
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "[regress] {} baseline benchmark(s), tolerance {:.1}%, {} (scale {:.3})",
+        baseline.len(),
+        tolerance * 100.0,
+        if absolute {
+            "absolute mode"
+        } else {
+            "relative mode"
+        },
+        scale
+    );
+    let mut regressions = Vec::new();
+    for (name, base) in &baseline {
+        match current.get(name) {
+            None => {
+                regressions.push(name.clone());
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} baseline {base:>14.1} ns/iter  current        missing  REGRESSION"
+                );
+            }
+            Some(cur) => {
+                let normalized = (cur / base) / scale;
+                let verdict = if normalized > 1.0 + tolerance {
+                    regressions.push(name.clone());
+                    format!(
+                        "REGRESSION (+{:.1}% > {:.1}%)",
+                        (normalized - 1.0) * 100.0,
+                        tolerance * 100.0
+                    )
+                } else if normalized < 1.0 - tolerance {
+                    format!("improved ({:.1}%)", (normalized - 1.0) * 100.0)
+                } else {
+                    "ok".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} baseline {base:>14.1} ns/iter  current {cur:>14.1}  \
+                     normalized {normalized:.3}  {verdict}"
+                );
+            }
+        }
+    }
+    let extra: Vec<&String> = current
+        .keys()
+        .filter(|k| !baseline.iter().any(|(n, _)| n == *k))
+        .collect();
+    if !extra.is_empty() {
+        let _ = writeln!(
+            out,
+            "  note: {} benchmark(s) missing a committed baseline: {}",
+            extra.len(),
+            extra
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    let regressed = !regressions.is_empty();
+    let _ = writeln!(
+        out,
+        "result: {}",
+        if regressed {
+            format!("REGRESSION in {} benchmark(s)", regressions.len())
+        } else {
+            "ok, no kernel regressions".to_string()
+        }
+    );
+    Ok(RegressOutcome {
+        report: out,
+        regressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::render_journal;
+
+    /// A two-run journal with nested spans and modeled latencies.
+    fn sample_journal() -> String {
+        let r = Recorder::new();
+        r.set_context(&[("model", "sim"), ("flow", "aivril2")]);
+        for (problem, sample) in [(0u32, 0u32), (0, 1)] {
+            r.begin_run(problem, sample);
+            {
+                let _stage = r.span("stage.rtl_generation");
+                {
+                    let s = r.span("llm.chat");
+                    r.advance(2.0);
+                    s.attr_int("tokens", 40);
+                }
+                r.advance(0.5);
+            }
+            {
+                let _stage = r.span("stage.rtl_syntax_loop");
+                let _iter = r.span("iteration");
+                let s = r.span("eda.compile");
+                r.advance(1.0);
+                s.attr_bool("success", sample == 1);
+            }
+            r.end_run();
+        }
+        render_journal(&r)
+    }
+
+    #[test]
+    fn journal_parses_and_attributes() {
+        let doc = parse_journal(&sample_journal()).expect("parses");
+        assert_eq!(doc.runs.len(), 2);
+        assert_eq!(doc.runs[0].coords, Some((0, 0)));
+        let roots = attribution(&doc);
+        let generation = &roots["stage.rtl_generation"];
+        assert_eq!(generation.count, 2);
+        assert!((generation.total_s - 5.0).abs() < 1e-9);
+        assert!(
+            (generation.self_s - 1.0).abs() < 1e-9,
+            "self excludes llm.chat"
+        );
+        assert!((generation.children["llm.chat"].total_s - 4.0).abs() < 1e-9);
+        // Nesting is rebuilt through the iteration level.
+        let syntax = &roots["stage.rtl_syntax_loop"];
+        assert!(syntax.children["iteration"].children["eda.compile"].count == 2);
+    }
+
+    #[test]
+    fn malformed_journals_error_with_line_numbers() {
+        assert!(parse_journal("").is_err());
+        assert!(parse_journal("{\"schema\":\"other\"}").is_err());
+        let mut journal = sample_journal();
+        journal.push_str("not json\n");
+        let err = parse_journal(&journal).unwrap_err();
+        assert!(err.contains("not valid JSON"), "{err}");
+    }
+
+    #[test]
+    fn summary_covers_tree_problems_and_errors() {
+        let report = summary(&sample_journal()).expect("summary renders");
+        assert!(report.contains("[attribution]"), "{report}");
+        assert!(report.contains("stage.rtl_generation"), "{report}");
+        assert!(report.contains("[per-problem]"), "{report}");
+        assert!(report.contains("problem    0: 2 run(s)"), "{report}");
+        assert!(report.contains("1 failed compile(s)"), "{report}");
+        assert!(report.contains("p50"), "{report}");
+        // Deterministic: same artifact, same bytes.
+        assert_eq!(report, summary(&sample_journal()).unwrap());
+    }
+
+    #[test]
+    fn flame_exports_sorted_collapsed_stacks() {
+        let out = flame(&sample_journal()).expect("flame renders");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.contains(&"stage.rtl_generation;llm.chat 4000000"));
+        assert!(lines.contains(&"stage.rtl_syntax_loop;iteration;eda.compile 2000000"));
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "stacks are lexicographically sorted");
+        // Every line is `stack <integer>`.
+        for line in &lines {
+            let (_, value) = line.rsplit_once(' ').expect("has a value");
+            value.parse::<u64>().expect("integer weight");
+        }
+    }
+
+    #[test]
+    fn diff_reports_no_divergence_for_identical_artifacts() {
+        let j = sample_journal();
+        let d = diff("a", &j, "b", &j).expect("diffs");
+        assert!(!d.diverged);
+        assert!(d.report.contains("no divergence"), "{}", d.report);
+    }
+
+    #[test]
+    fn diff_pinpoints_first_differing_journal_line() {
+        let a = sample_journal();
+        // Perturb the modeled end timestamp on the fourth line.
+        let lines: Vec<&str> = a.lines().collect();
+        let patched = lines[3].replace("\"t1\":", "\"t1\":1");
+        assert_ne!(patched, lines[3], "injection must change the line");
+        let mut b_lines = lines.clone();
+        b_lines[3] = &patched;
+        let b = b_lines.join("\n") + "\n";
+        let d = diff("left", &a, "right", &b).expect("diffs");
+        assert!(d.diverged);
+        assert!(
+            d.report.contains("first divergence at line 4"),
+            "{}",
+            d.report
+        );
+        assert!(d.report.contains("left:"), "{}", d.report);
+        assert!(d.report.contains("pinpoint"), "{}", d.report);
+    }
+
+    fn tiny_results(functional: bool, latency: &str) -> String {
+        format!(
+            "{{\"schema\":\"aivril.results\",\"version\":4,\"sections\":[{{\
+             \"label\":\"m verilog aivril2\",\
+             \"stats\":{{\"runs\":1,\"modeled_seconds\":{latency}}},\
+             \"tasks\":[{{\"task\":\"prob_001\",\"samples\":[{{\
+             \"syntax\":true,\"functional\":{functional},\
+             \"total_latency_s\":{latency},\"syntax_iters\":1,\
+             \"functional_iters\":0,\"crashed\":false}}]}}]}}]}}\n"
+        )
+    }
+
+    #[test]
+    fn results_summary_and_diff_flag_outcome_flips() {
+        let a = tiny_results(true, "10.000000");
+        let b = tiny_results(false, "12.500000");
+        let report = summary(&a).expect("summary");
+        assert!(report.contains("functional pass      1"), "{report}");
+        let d = diff("a", &a, "b", &b).expect("diff");
+        assert!(d.diverged);
+        assert!(
+            d.report
+                .contains("task prob_001 sample 0: functional true->false"),
+            "{}",
+            d.report
+        );
+        assert!(
+            d.report
+                .contains("stats.modeled_seconds: 10.000000 -> 12.500000"),
+            "{}",
+            d.report
+        );
+        assert!(d.report.contains("1 outcome flip(s)"), "{}", d.report);
+    }
+
+    #[test]
+    fn mixed_kind_diff_is_an_error() {
+        let err = diff("a", &sample_journal(), "b", &tiny_results(true, "1.0")).unwrap_err();
+        assert!(err.contains("cannot diff"), "{err}");
+    }
+
+    fn baseline_json(entries: &[(&str, f64)]) -> String {
+        let results: Vec<String> = entries
+            .iter()
+            .map(|(n, ns)| format!("{{\"name\":\"{n}\",\"current_ns\":{ns}}}"))
+            .collect();
+        format!(
+            "{{\"suite\":\"sim_kernel\",\"results\":[{}]}}",
+            results.join(",")
+        )
+    }
+
+    fn criterion_jsonl(entries: &[(&str, f64)]) -> String {
+        entries
+            .iter()
+            .map(|(n, ns)| format!("{{\"name\":\"{n}\",\"ns_per_iter\":{ns},\"quick\":true}}\n"))
+            .collect()
+    }
+
+    #[test]
+    fn regress_passes_within_tolerance_and_fails_on_slowdown() {
+        let baseline = baseline_json(&[("k/a", 1000.0), ("k/b", 2000.0)]);
+        // Uniformly 3x slower machine: relative mode cancels it.
+        let ok = regress(
+            &baseline,
+            &criterion_jsonl(&[("k/a", 3000.0), ("k/b", 6000.0)]),
+            0.15,
+            false,
+        )
+        .expect("regress runs");
+        assert!(!ok.regressed, "{}", ok.report);
+        // One benchmark 20% slower than its peers: caught.
+        let bad = regress(
+            &baseline,
+            &criterion_jsonl(&[("k/a", 3600.0), ("k/b", 6000.0)]),
+            0.15,
+            false,
+        )
+        .unwrap();
+        assert!(bad.regressed, "{}", bad.report);
+        assert!(bad.report.contains("REGRESSION"), "{}", bad.report);
+        // Absolute mode flags the uniform slowdown too.
+        let abs = regress(
+            &baseline,
+            &criterion_jsonl(&[("k/a", 1200.0), ("k/b", 2000.0)]),
+            0.15,
+            true,
+        )
+        .unwrap();
+        assert!(abs.regressed, "{}", abs.report);
+    }
+
+    #[test]
+    fn regress_flags_missing_benchmarks() {
+        let baseline = baseline_json(&[("k/a", 1000.0), ("k/b", 2000.0)]);
+        let r = regress(&baseline, &criterion_jsonl(&[("k/a", 1000.0)]), 0.15, false).unwrap();
+        assert!(r.regressed);
+        assert!(r.report.contains("missing"), "{}", r.report);
+    }
+
+    #[test]
+    fn regress_takes_best_of_repeated_criterion_lines() {
+        let baseline = baseline_json(&[("k/a", 1000.0)]);
+        let current = criterion_jsonl(&[("k/a", 5000.0), ("k/a", 1000.0)]);
+        let r = regress(&baseline, &current, 0.15, true).unwrap();
+        assert!(!r.regressed, "best-of must win: {}", r.report);
+    }
+}

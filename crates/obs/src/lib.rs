@@ -17,12 +17,17 @@
 //! * [`codec`] — a deterministic token codec (floats as exact bit
 //!   patterns, FNV-64 checksums, total decoding) for durable artifacts:
 //!   on-disk EDA cache entries and shard checkpoint records.
+//! * [`analyze`] — the read side: total parsers for the journal and
+//!   `aivril.results` artifacts plus the deterministic report
+//!   renderers ([`summary`], [`diff`], [`flame`], [`regress`]) behind
+//!   the `aivril-inspect` tool.
 //!
 //! The determinism contract is documented on the [`metrics`] module;
 //! the span/run/fork model on the [`recorder`] module.
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod chrome;
 pub mod codec;
 pub mod journal;
@@ -30,6 +35,10 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 
+pub use analyze::{
+    attribution, diff, flame, parse_artifact, parse_journal, parse_results, regress, summary,
+    Artifact, DiffOutcome, JournalDoc, RegressOutcome, ResultsDoc, SpanNode,
+};
 pub use chrome::chrome_trace;
 pub use journal::{render_journal, DIAGNOSTIC_ATTRS, JOURNAL_VERSION};
 pub use metrics::{Histogram, MetricKey, MetricValue, MetricsRegistry, DIAGNOSTIC_METRIC_PREFIXES};

@@ -67,7 +67,10 @@ impl MetricKey {
         }
     }
 
-    /// Renders `name{k="v",..}` (no braces when label-free).
+    /// Renders `name{k="v",..}` (no braces when label-free). Label
+    /// values are escaped per the Prometheus text format — `\` as
+    /// `\\`, `"` as `\"` and newline as `\n` — so a value containing a
+    /// quote still renders to one parseable series line.
     #[must_use]
     pub fn render(&self) -> String {
         if self.labels.is_empty() {
@@ -76,10 +79,26 @@ impl MetricKey {
         let inner: Vec<String> = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
             .collect();
         format!("{}{{{}}}", self.name, inner.join(","))
     }
+}
+
+/// Escapes a label value for the Prometheus text exposition format:
+/// backslash, double quote and newline are the three characters the
+/// format requires escaped inside `label="value"`.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A fixed-bucket histogram with integer merge state.
@@ -196,6 +215,53 @@ impl Histogram {
     #[must_use]
     pub fn bounds(&self) -> Vec<f64> {
         self.bounds.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    /// Deterministic quantile estimate (`0.0 ..= 1.0`, clamped) by
+    /// linear interpolation within the fixed buckets, Prometheus
+    /// `histogram_quantile` style. `None` when the histogram is empty.
+    ///
+    /// The estimate is a pure function of the *integer* merge state
+    /// (bucket counts plus the bit-exact bounds), so it is invariant
+    /// under merge order and thread count — any schedule that folds
+    /// the same observations yields the same bytes. Conventions:
+    ///
+    /// * the first bucket interpolates from `min(bounds[0], 0.0)`
+    ///   (latency histograms start at zero; an all-negative first
+    ///   bound keeps its own edge);
+    /// * the overflow bucket cannot be interpolated and reports the
+    ///   highest finite bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Target rank in 1..=count (ceil, so q=0 lands on the first
+        // observation and q=1 on the last).
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let bounds = self.bounds();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let prev_cum = cum;
+            cum += n;
+            if cum < rank {
+                continue;
+            }
+            let Some(&upper) = bounds.get(i) else {
+                // Overflow bucket: no finite upper edge to
+                // interpolate toward.
+                return bounds.last().copied();
+            };
+            let lower = if i == 0 {
+                bounds[0].min(0.0)
+            } else {
+                bounds[i - 1]
+            };
+            let frac = (rank - prev_cum) as f64 / n as f64;
+            return Some(lower + (upper - lower) * frac);
+        }
+        bounds.last().copied()
     }
 
     /// Per-bucket counts; the final entry is the overflow bucket.
@@ -524,6 +590,84 @@ mod tests {
         let mut off = MetricsRegistry::new();
         off.counter_add("eda_invocations_total", &[("phase", "compile")], 4);
         assert_eq!(canon.render(), off.canonical().render());
+    }
+
+    #[test]
+    fn label_values_escape_prometheus_specials() {
+        // Regression: a quote inside a label value used to render as
+        // m{k=""quoted""} — unparseable in the Prometheus text format.
+        let k = MetricKey::new("m", &[("k", "say \"hi\"\\path\nnext")]);
+        assert_eq!(k.render(), "m{k=\"say \\\"hi\\\"\\\\path\\nnext\"}");
+        // Plain values are untouched.
+        assert_eq!(
+            MetricKey::new("m", &[("k", "plain-value.1")]).render(),
+            "m{k=\"plain-value.1\"}"
+        );
+        // The registry dump inherits the escaping.
+        let mut r = MetricsRegistry::new();
+        r.counter_add("c", &[("q", "a\"b")], 1);
+        assert_eq!(r.render(), "c{q=\"a\\\"b\"} counter 1\n");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        for _ in 0..10 {
+            h.observe(0.5); // 10 observations in (0, 1]
+        }
+        for _ in 0..10 {
+            h.observe(3.0); // 10 observations in (2, 4]
+        }
+        // p50 = rank 10 of 20 -> exactly fills the first bucket.
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        // p75 = rank 15 -> 5 of 10 into the (2, 4] bucket.
+        assert_eq!(h.quantile(0.75), Some(3.0));
+        // p100 -> top of the last occupied bucket.
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        // q is clamped, not rejected.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_overflow_and_negative_edges() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(100.0); // overflow bucket only
+        assert_eq!(
+            h.quantile(0.5),
+            Some(2.0),
+            "overflow reports the highest finite bound"
+        );
+        let mut neg = Histogram::new(&[-2.0, 0.0]);
+        neg.observe(-3.0);
+        neg.observe(-1.0);
+        // First bucket keeps its own (negative) edge as the lower end.
+        assert_eq!(neg.quantile(0.25), Some(-2.0));
+        assert_eq!(neg.quantile(1.0), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_is_a_pure_function_of_merge_state() {
+        let mut a = Histogram::new(&[1.0, 4.0, 16.0]);
+        let mut b = Histogram::new(&[1.0, 4.0, 16.0]);
+        for v in [0.3, 2.0, 5.0, 18.0] {
+            a.observe(v);
+        }
+        for v in [0.7, 9.0] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                ab.quantile(q).map(f64::to_bits),
+                ba.quantile(q).map(f64::to_bits),
+                "quantile({q}) must not depend on merge order"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Golden-file test for the Chrome `trace_event` exporter: pins down
+//! attribute escaping (quotes, newlines, non-ASCII) and thread-track
+//! labeling byte-for-byte. Regenerate the golden after an intentional
+//! format change with `BLESS=1 cargo test -p aivril-obs --test
+//! chrome_golden` and review the diff.
+
+use aivril_obs::{chrome_trace, Recorder};
+
+const GOLDEN_PATH: &str = "tests/golden/chrome_trace.json";
+
+/// A deliberately hostile trace: multiple runs (thread tracks), a
+/// context with spaces, and attribute values exercising every escape
+/// path of the JSON writer.
+fn hostile_trace() -> String {
+    let r = Recorder::new();
+    r.set_context(&[("model", "sim \"quoted\""), ("flow", "aivril2")]);
+    r.begin_run(0, 0);
+    {
+        let s = r.span("llm.chat");
+        r.advance(1.5);
+        s.attr_str("kind", "generate");
+        s.attr_str("quote", "say \"hi\" to C:\\rtl");
+        s.attr_str("newline", "line1\nline2\ttabbed");
+        s.attr_str("unicode", "héllo — 設計");
+        s.attr_int("tokens", 412);
+        s.attr_f64("latency_s", 1.5);
+        s.attr_bool("fault", false);
+    }
+    r.end_run();
+    r.begin_run(0, 1);
+    {
+        let outer = r.span("stage.rtl_syntax_loop");
+        outer.attr_str("control", "bell\u{7}and\u{1}low");
+        {
+            let _inner = r.span("eda.compile");
+            r.advance(0.25);
+        }
+    }
+    r.end_run();
+    // Unscoped events get their own labeled track too.
+    {
+        let _s = r.span("suite.setup");
+        r.advance(0.125);
+    }
+    chrome_trace(&r)
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let trace = hostile_trace();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &trace).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
+    assert_eq!(
+        trace, golden,
+        "chrome trace drifted from {GOLDEN_PATH}; if intentional, \
+         regenerate with BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn chrome_trace_escapes_and_labels_tracks() {
+    let trace = hostile_trace();
+    // Attr escaping: quotes, backslashes, newlines, controls survive
+    // as valid JSON escapes; non-ASCII passes through raw.
+    assert!(trace.contains("\"quote\":\"say \\\"hi\\\" to C:\\\\rtl\""));
+    assert!(trace.contains("\"newline\":\"line1\\nline2\\ttabbed\""));
+    assert!(trace.contains("\"unicode\":\"héllo — 設計\""));
+    assert!(trace.contains("\"control\":\"bell\\u0007and\\u0001low\""));
+    // Thread tracks: one metadata event per run, labeled with grid
+    // coordinates + context (context keys sorted), distinct tids.
+    assert!(trace.contains("\"name\":\"p0s0 flow=aivril2 model=sim \\\"quoted\\\"\""));
+    assert!(trace.contains("\"name\":\"p0s1 flow=aivril2 model=sim \\\"quoted\\\"\""));
+    assert!(trace.contains("\"name\":\"unscoped "));
+    assert_eq!(trace.matches("\"thread_name\"").count(), 3);
+    assert!(
+        trace.contains("\"tid\":0") && trace.contains("\"tid\":1") && trace.contains("\"tid\":2")
+    );
+    // The export is a modeled-clock artifact: byte-stable run to run.
+    assert_eq!(trace, hostile_trace());
+    // And the whole trace round-trips through the reader: 3 metadata
+    // events + 4 span events.
+    let parsed = aivril_obs::json::parse(&trace).expect("trace is valid JSON");
+    assert_eq!(parsed.arr().map(<[_]>::len), Some(3 + 4));
+}

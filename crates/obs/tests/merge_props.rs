@@ -63,6 +63,40 @@ proptest! {
         prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
     }
 
+    /// Quantiles are a pure function of the merged integer bucket
+    /// state: any partition of the observations into shards, merged in
+    /// any order, yields bit-identical p50/p90/p99. This is what lets
+    /// `inspect summary` report quantiles over artifacts that were
+    /// produced by different worker counts.
+    #[test]
+    fn quantiles_are_merge_order_invariant(
+        a in vec(0.0f64..12.0, 0..20),
+        b in vec(0.0f64..12.0, 0..20),
+        c in vec(0.0f64..12.0, 1..20),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right = hc.clone();
+        right.merge(&hb);
+        right.merge(&ha);
+        // One histogram over the concatenation, observed in yet
+        // another order.
+        let mut together: Vec<f64> = Vec::new();
+        together.extend(&c);
+        together.extend(&a);
+        together.extend(&b);
+        let whole = hist_of(&together);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let l = left.quantile(q).expect("c is non-empty");
+            let r = right.quantile(q).expect("c is non-empty");
+            let w = whole.quantile(q).expect("c is non-empty");
+            prop_assert_eq!(l.to_bits(), r.to_bits(), "q={} {} vs {}", q, l, r);
+            prop_assert_eq!(l.to_bits(), w.to_bits(), "q={} {} vs {}", q, l, w);
+        }
+    }
+
     /// Whole-registry merges (counters + gauges + histograms) are
     /// order-independent, including the rendered dump.
     #[test]
