@@ -6,7 +6,8 @@
 //! aivril-inspect summary <artifact>
 //! aivril-inspect diff <artifact-a> <artifact-b>
 //! aivril-inspect flame <journal>
-//! aivril-inspect tail <checkpoint-dir> [--follow [--interval <secs>]]
+//! aivril-inspect tail <checkpoint-dir> [--follow [--interval <secs>]
+//!                                       [--expect-cells <n>]]
 //! aivril-inspect regress --baseline <BENCH_SIM.json> [--current <criterion.jsonl>]
 //!                        [--tolerance <frac>] [--absolute]
 //! ```
@@ -24,7 +25,11 @@
 //! * `tail` — read-only progress view of a live `AIVRIL_CHECKPOINT_DIR`
 //!   (cells done/remaining, rolling pass rate, resilience counters),
 //!   tolerating torn tails exactly like resume does. `--follow` polls
-//!   until the grid completes.
+//!   until the grid completes: exactly when `--expect-cells` gives the
+//!   planned grid size (problems × samples), otherwise against a size
+//!   inferred from the shard log names, trusted only once the
+//!   discovered ranges tile the grid gap-free (a gap means a planned
+//!   shard has not opened its log yet).
 //! * `regress` — compares a fresh criterion/kernel report against the
 //!   committed `BENCH_SIM.json` baseline; exit 1 on regression (the CI
 //!   perf gate). Relative mode (the default) normalises out uniform
@@ -45,7 +50,7 @@ fn usage() -> ExitCode {
          \x20 summary <artifact>                        attribution + outcome breakdown\n\
          \x20 diff <a> <b>                              compare two artifacts (exit 1 on divergence)\n\
          \x20 flame <journal>                           collapsed stacks for flamegraph tools\n\
-         \x20 tail <ckpt-dir> [--follow]                live shard progress (read-only)\n\
+         \x20 tail <ckpt-dir> [--follow] [--expect-cells <n>]  live shard progress (read-only)\n\
          \x20 regress --baseline <json> [--current <jsonl>] [--tolerance <frac>] [--absolute]"
     );
     ExitCode::FAILURE
@@ -93,18 +98,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             let dir = Path::new(dir);
             let follow = rest.iter().any(|a| a == "--follow");
+            let expected = match flag_value(rest, "--expect-cells") {
+                None => None,
+                Some(v) => Some(v.parse::<usize>().map_err(|_| {
+                    format!("bad --expect-cells {v} (want the grid size, problems x samples)")
+                })?),
+            };
             let interval = flag_value(rest, "--interval")
                 .and_then(|v| v.parse::<f64>().ok())
                 .unwrap_or(2.0)
                 .max(0.1);
             loop {
-                let report = checkpoint::tail_report(dir);
-                print!("{report}");
-                // Done (or nothing to follow) when every discovered
-                // evaluation has all its cells.
+                // One scan per poll: the printed progress and the exit
+                // decision come from the same directory snapshot.
                 let groups = checkpoint::scan_dir(dir);
-                let complete =
-                    !groups.is_empty() && groups.iter().all(|g| g.cells.len() >= g.total_cells);
+                print!("{}", checkpoint::render_progress(dir, &groups));
+                let complete = !groups.is_empty() && groups.iter().all(|g| g.complete(expected));
                 if !follow || complete {
                     return Ok(ExitCode::SUCCESS);
                 }

@@ -281,6 +281,42 @@ pub struct EvalProgress {
     pub logs: Vec<LogInfo>,
 }
 
+impl EvalProgress {
+    /// True when this snapshot proves the evaluation finished: every
+    /// cell of the grid has been restored.
+    ///
+    /// With `expected` (the planned grid size, problems × samples —
+    /// `aivril-inspect tail --expect-cells`) the check is exact.
+    /// Without it the grid size must be inferred from the shard log
+    /// names, and `total_cells` is only a lower bound until every
+    /// planned shard has opened its log — so the inferred size is
+    /// trusted only when the discovered ranges tile `0..total_cells`
+    /// with no gap, and a gap keeps the caller polling.
+    #[must_use]
+    pub fn complete(&self, expected: Option<usize>) -> bool {
+        let total = match expected {
+            Some(n) => n,
+            None if self.coverage_is_contiguous() => self.total_cells,
+            None => return false,
+        };
+        total > 0 && (0..total).all(|i| self.cells.contains_key(&i))
+    }
+
+    /// Whether the shard log ranges cover `0..total_cells` gap-free.
+    fn coverage_is_contiguous(&self) -> bool {
+        let mut ranges: Vec<ShardRange> = self.logs.iter().map(|l| l.range).collect();
+        ranges.sort_by_key(|r| (r.start, r.end));
+        let mut covered = 0;
+        for r in ranges {
+            if r.start > covered {
+                return false;
+            }
+            covered = covered.max(r.end);
+        }
+        covered == self.total_cells
+    }
+}
+
 /// Parses a shard log file name, `ckpt-{fingerprint:016x}-{start}-{end}.log`.
 fn parse_log_name(name: &str) -> Option<(u64, ShardRange)> {
     let rest = name.strip_prefix("ckpt-")?.strip_suffix(".log")?;
@@ -348,12 +384,20 @@ pub fn scan_dir(dir: &Path) -> Vec<EvalProgress> {
 /// and a pure function of the directory contents.
 #[must_use]
 pub fn tail_report(dir: &Path) -> String {
-    let groups = scan_dir(dir);
+    render_progress(dir, &scan_dir(dir))
+}
+
+/// Renders the progress report for an already-scanned snapshot, so a
+/// polling caller can print and judge completion from the *same*
+/// directory state (see [`scan_dir`]; `dir` only labels the
+/// nothing-found message).
+#[must_use]
+pub fn render_progress(dir: &Path, groups: &[EvalProgress]) -> String {
     if groups.is_empty() {
         return format!("[tail] no checkpoint logs in {} (yet?)\n", dir.display());
     }
     let mut out = String::new();
-    for g in &groups {
+    for g in groups {
         let done = g.cells.len();
         let total = g.total_cells.max(done);
         let remaining = total - done;
@@ -528,6 +572,41 @@ mod tests {
         ] {
             assert!(parse_log_name(bad).is_none(), "{bad} must not parse");
         }
+    }
+
+    #[test]
+    fn completion_needs_expected_size_or_gap_free_coverage() {
+        let log = |start: usize, end: usize| LogInfo {
+            name: format!("ckpt-0000000000000001-{start}-{end}.log"),
+            range: ShardRange { start, end },
+            cells: 0,
+            torn: false,
+        };
+        let progress = |logs: Vec<LogInfo>, done: usize| EvalProgress {
+            fingerprint: 1,
+            total_cells: logs.iter().map(|l| l.range.end).max().unwrap_or(0),
+            cells: (0..done).map(|i| (i, cell())).collect(),
+            logs,
+        };
+        // A planned shard that has not opened its log yet leaves a gap:
+        // keep polling even though every restored cell is in.
+        let gap = progress(vec![log(0, 2), log(4, 6)], 2);
+        assert!(!gap.complete(None));
+        assert!(!gap.complete(Some(6)));
+        // Gap-free tiling with every cell restored: complete.
+        let full = progress(vec![log(0, 2), log(2, 4)], 4);
+        assert!(full.complete(None));
+        assert!(full.complete(Some(4)));
+        // The planned size overrides the inferred one: a finished first
+        // shard alone is not a finished 6-cell grid.
+        let first = progress(vec![log(0, 2)], 2);
+        assert!(!first.complete(Some(6)));
+        // Covered ranges with missing cells: not complete.
+        let partial = progress(vec![log(0, 2), log(2, 4)], 3);
+        assert!(!partial.complete(None));
+        assert!(!partial.complete(Some(4)));
+        // Nothing discovered yet is never "complete".
+        assert!(!progress(Vec::new(), 0).complete(None));
     }
 
     #[test]

@@ -622,10 +622,13 @@ fn summary_results(doc: &ResultsDoc) -> String {
         let samples: Vec<&SampleResult> = sec.tasks.iter().flat_map(|t| t.samples.iter()).collect();
         let n = samples.len();
         let count = |f: &dyn Fn(&SampleResult) -> bool| samples.iter().filter(|s| f(s)).count();
-        let both = count(&|s| s.syntax && s.functional);
-        let syntax_only = count(&|s| s.syntax && !s.functional);
-        let neither = count(&|s| !s.syntax && !s.crashed);
+        // Mutually exclusive: crashed first, then the remaining samples
+        // split by syntax/functional, so the four rows partition the
+        // grid and the percentages sum to 100.
         let crashed = count(&|s| s.crashed);
+        let both = count(&|s| !s.crashed && s.syntax && s.functional);
+        let syntax_only = count(&|s| !s.crashed && s.syntax && !s.functional);
+        let neither = count(&|s| !s.crashed && !s.syntax);
         let pct = |k: usize| 100.0 * k as f64 / n.max(1) as f64;
         let _ = writeln!(out, "\nsection [{}]", sec.label);
         let _ = writeln!(
@@ -1021,6 +1024,15 @@ fn parse_baseline(text: &str) -> Result<Vec<(String, f64)>, String> {
                 .get("current_ns")
                 .and_then(Value::num)
                 .ok_or(format!("baseline result {i} lacks current_ns"))?;
+            // A zero/negative/non-finite baseline would make ratios
+            // infinite and, via the lower-median scale, silently mask
+            // genuine regressions in relative mode.
+            if !ns.is_finite() || ns <= 0.0 {
+                return Err(format!(
+                    "baseline result {i} ({name}) has bad current_ns {ns} \
+                     (want a positive finite timing)"
+                ));
+            }
             Ok((name.to_string(), ns))
         })
         .collect()
@@ -1044,6 +1056,12 @@ fn parse_criterion(text: &str) -> Result<BTreeMap<String, f64>, String> {
             .get("ns_per_iter")
             .and_then(Value::num)
             .ok_or(format!("criterion line {} lacks ns_per_iter", i + 1))?;
+        if !ns.is_finite() || ns <= 0.0 {
+            return Err(format!(
+                "criterion line {} has bad ns_per_iter {ns} (want a positive finite timing)",
+                i + 1
+            ));
+        }
         out.entry(name.to_string())
             .and_modify(|best: &mut f64| *best = best.min(ns))
             .or_insert(ns);
@@ -1332,6 +1350,39 @@ mod tests {
     }
 
     #[test]
+    fn results_outcome_categories_partition_the_samples() {
+        // A sample that compiled and then crashed counts once (as
+        // crashed), not once per category — the four rows must
+        // partition the grid so the percentages sum to 100.
+        let sample = |syntax: bool, functional: bool, crashed: bool| {
+            format!(
+                "{{\"syntax\":{syntax},\"functional\":{functional},\"crashed\":{crashed},\
+                 \"total_latency_s\":1.0,\"syntax_iters\":0,\"functional_iters\":0}}"
+            )
+        };
+        let doc = format!(
+            "{{\"schema\":\"aivril.results\",\"version\":4,\"sections\":[{{\
+             \"label\":\"m\",\"stats\":{{}},\"tasks\":[{{\"task\":\"p\",\"samples\":[{}]}}]}}]}}",
+            [
+                sample(true, false, true), // crashed, despite syntax ok
+                sample(true, true, false),
+                sample(true, false, false),
+                sample(false, false, false),
+            ]
+            .join(",")
+        );
+        let report = summary(&doc).expect("summary");
+        for row in [
+            "functional pass      1  ( 25.0%)",
+            "syntax-only          1  ( 25.0%)",
+            "failed               1  ( 25.0%)",
+            "crashed              1  ( 25.0%)",
+        ] {
+            assert!(report.contains(row), "missing {row:?} in {report}");
+        }
+    }
+
+    #[test]
     fn mixed_kind_diff_is_an_error() {
         let err = diff("a", &sample_journal(), "b", &tiny_results(true, "1.0")).unwrap_err();
         assert!(err.contains("cannot diff"), "{err}");
@@ -1394,6 +1445,29 @@ mod tests {
         let r = regress(&baseline, &criterion_jsonl(&[("k/a", 1000.0)]), 0.15, false).unwrap();
         assert!(r.regressed);
         assert!(r.report.contains("missing"), "{}", r.report);
+    }
+
+    #[test]
+    fn regress_rejects_nonpositive_timings() {
+        // A zero baseline entry would otherwise yield an infinite
+        // ratio and (as the lower median) a scale that masks every
+        // real regression.
+        let err = regress(
+            &baseline_json(&[("k/a", 0.0), ("k/b", 2000.0)]),
+            &criterion_jsonl(&[("k/a", 1000.0), ("k/b", 2000.0)]),
+            0.15,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.contains("current_ns"), "{err}");
+        let err = regress(
+            &baseline_json(&[("k/a", 1000.0)]),
+            &criterion_jsonl(&[("k/a", -5.0)]),
+            0.15,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.contains("ns_per_iter"), "{err}");
     }
 
     #[test]

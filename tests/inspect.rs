@@ -255,6 +255,26 @@ fn tail_reads_a_half_written_checkpoint_dir_with_a_torn_tail() {
     assert_eq!(code, 0);
     assert_eq!(stdout, report);
     assert_eq!(fs::read(first).unwrap(), bytes, "tail must never truncate");
+
+    // Completion semantics for --follow: the half-done 6-cell grid is
+    // not complete, neither by the inferred size (ranges tile 0..6 but
+    // cells 4..6 are missing) nor against the planned size.
+    let groups = checkpoint::scan_dir(&dir);
+    assert!(groups.iter().all(|g| !g.complete(None)));
+    assert!(groups.iter().all(|g| !g.complete(Some(6))));
+    // Against a planned size the restored cells do satisfy, --follow
+    // sees completion on its first poll and exits instead of hanging.
+    let (code, followed) = inspect(&[
+        "tail",
+        dir.to_str().unwrap(),
+        "--follow",
+        "--expect-cells",
+        "4",
+        "--interval",
+        "0.1",
+    ]);
+    assert_eq!(code, 0);
+    assert_eq!(followed, report);
     let _ = fs::remove_dir_all(&dir);
 }
 
