@@ -137,10 +137,30 @@ impl HarnessConfig {
     /// Like [`HarnessConfig::from_env`], but with an injectable
     /// variable lookup — tests pass a closure over a local map instead
     /// of mutating the process-global environment (which races against
-    /// other tests running in the same process).
+    /// other tests running in the same process). Warnings about
+    /// malformed values are printed to stderr; use
+    /// [`HarnessConfig::from_vars_checked`] to inspect them instead.
     #[must_use]
     pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> HarnessConfig {
+        let (c, warnings) = Self::from_vars_checked(get);
+        for w in warnings {
+            eprintln!("[config] {w}");
+        }
+        c
+    }
+
+    /// The parse behind [`HarnessConfig::from_vars`], returning the
+    /// warnings instead of printing them. A malformed resilience knob
+    /// is *warned about and ignored* (the `AIVRIL_SHARD` discipline),
+    /// never silently dropped: `AIVRIL_RETRY_MAX`,
+    /// `AIVRIL_BREAKER_THRESHOLD` and `AIVRIL_SIM_MAX_DELTAS` must be
+    /// non-negative integers, and `AIVRIL_BACKOFF_BASE_MS` must be a
+    /// finite, non-negative number — a NaN or negative base would
+    /// corrupt every modeled backoff wait downstream.
+    #[must_use]
+    pub fn from_vars_checked(get: impl Fn(&str) -> Option<String>) -> (HarnessConfig, Vec<String>) {
         let mut c = HarnessConfig::default();
+        let mut warnings = Vec::new();
         if let Some(n) = get("AIVRIL_SAMPLES").and_then(|v| v.parse().ok()) {
             c.samples = n;
         }
@@ -156,26 +176,47 @@ impl HarnessConfig {
         if let Some(v) = get("AIVRIL_FAULTS") {
             match FaultConfig::parse(&v) {
                 Ok(f) => c.faults = f,
-                Err(e) => eprintln!("[config] ignoring AIVRIL_FAULTS: {e}"),
+                Err(e) => warnings.push(format!("ignoring AIVRIL_FAULTS: {e}")),
             }
         }
-        if let Some(n) = get("AIVRIL_RETRY_MAX").and_then(|v| v.parse().ok()) {
+        let mut parse_u32 = |key: &'static str| -> Option<u32> {
+            match get(key)?.parse() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    warnings.push(format!(
+                        "ignoring {key} (want a non-negative integer): {}",
+                        get(key).unwrap_or_default()
+                    ));
+                    None
+                }
+            }
+        };
+        if let Some(n) = parse_u32("AIVRIL_RETRY_MAX") {
             c.pipeline.resilience.retry_max = n;
         }
-        if let Some(ms) = get("AIVRIL_BACKOFF_BASE_MS").and_then(|v| v.parse::<f64>().ok()) {
-            c.pipeline.resilience.backoff_base_s = ms / 1000.0;
-        }
-        if let Some(n) = get("AIVRIL_BREAKER_THRESHOLD").and_then(|v| v.parse().ok()) {
+        if let Some(n) = parse_u32("AIVRIL_BREAKER_THRESHOLD") {
             c.pipeline.resilience.breaker_threshold = n;
         }
-        if let Some(n) = get("AIVRIL_SIM_MAX_DELTAS").and_then(|v| v.parse().ok()) {
+        if let Some(n) = parse_u32("AIVRIL_SIM_MAX_DELTAS") {
             c.sim_max_deltas = Some(n);
+        }
+        if let Some(v) = get("AIVRIL_BACKOFF_BASE_MS") {
+            match v.parse::<f64>() {
+                Ok(ms) if ms.is_finite() && ms >= 0.0 => {
+                    c.pipeline.resilience.backoff_base_s = ms / 1000.0;
+                }
+                _ => warnings.push(format!(
+                    "ignoring AIVRIL_BACKOFF_BASE_MS (want a finite, non-negative number): {v}"
+                )),
+            }
         }
         if let Some(v) = get("AIVRIL_SHARD") {
             match parse_shard(&v) {
                 Some(shard) => c.shard = Some(shard),
                 None => {
-                    eprintln!("[config] ignoring AIVRIL_SHARD (want index/count, e.g. 0/3): {v}");
+                    warnings.push(format!(
+                        "ignoring AIVRIL_SHARD (want index/count, e.g. 0/3): {v}"
+                    ));
                 }
             }
         }
@@ -189,7 +230,7 @@ impl HarnessConfig {
         if let Some(v) = get("AIVRIL_CANONICAL") {
             c.canonical = !v.is_empty() && v != "0";
         }
-        c
+        (c, warnings)
     }
 
     /// The worker count [`Harness::evaluate`] will actually use:
@@ -398,6 +439,21 @@ pub struct RunRecord {
     pub resilience: ResilienceCounters,
 }
 
+/// One executed run with its final sources: the [`RunRecord`] the grid
+/// aggregates plus the RTL/testbench the pipeline settled on — what a
+/// job *service* must hand back to the caller (the grid harness scores
+/// and discards the sources; a submitted job exists to produce them).
+#[derive(Debug, Clone)]
+pub struct JobRun {
+    /// The scored record, as stored by the worker pool.
+    pub record: RunRecord,
+    /// Final RTL source (empty for crashed runs).
+    pub rtl: String,
+    /// Final self-generated testbench (empty for the baseline flow and
+    /// crashed runs).
+    pub tb: String,
+}
+
 /// The record of a run that panicked: scored as a failure on both
 /// axes, zero modeled time, flagged `crashed`.
 fn crashed_record() -> RunRecord {
@@ -423,8 +479,12 @@ fn crashed_record() -> RunRecord {
 /// tearing down the whole worker pool. The recorder survives (its lock
 /// recovers from poisoning); the caller must rebuild the worker, whose
 /// conversation state may be half-written.
-fn run_isolated(f: impl FnOnce() -> RunRecord) -> RunRecord {
-    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|_| crashed_record())
+fn run_isolated(f: impl FnOnce() -> JobRun) -> JobRun {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|_| JobRun {
+        record: crashed_record(),
+        rtl: String::new(),
+        tb: String::new(),
+    })
 }
 
 /// Per-worker execution state: one model conversation context and one
@@ -442,6 +502,9 @@ pub struct Harness {
     problems: Vec<Problem>,
     config: HarnessConfig,
     recorder: Recorder,
+    // Built once per harness on first use; shared by every shard run
+    // and every submitted job (the model clones share it by `Arc`).
+    library: OnceLock<std::sync::Arc<TaskLibrary>>,
 }
 
 impl Harness {
@@ -469,7 +532,17 @@ impl Harness {
             problems: suite(),
             config,
             recorder: Recorder::disabled(),
+            library: OnceLock::new(),
         }
+    }
+
+    /// The simulated models' task knowledge over [`Harness::problems`],
+    /// built lazily on first use and shared from then on.
+    #[must_use]
+    pub fn library(&self) -> std::sync::Arc<TaskLibrary> {
+        self.library
+            .get_or_init(|| std::sync::Arc::new(build_library(self.problems())))
+            .clone()
     }
 
     /// Attaches an observability recorder. Each worker gets a fork
@@ -542,24 +615,28 @@ impl Harness {
         )
     }
 
-    /// Executes one cell of the problem × sample grid. Self-contained:
-    /// everything a run needs arrives through its arguments, so calls
-    /// are order-independent and trivially parallel.
+    /// Executes one run. Self-contained: everything a run needs —
+    /// including its `seed` — arrives through its arguments, so calls
+    /// are order-independent and trivially parallel. The grid path
+    /// passes [`run_seed`] of the cell coordinates; the serve layer
+    /// passes its own `(tenant, job)`-derived seed.
+    #[allow(clippy::too_many_arguments)]
     fn run_one(
         &self,
         worker: &mut Worker<'_>,
         problem: &Problem,
         problem_index: usize,
         sample: u32,
+        seed: u64,
         verilog: bool,
         flow: Flow,
-    ) -> RunRecord {
+    ) -> JobRun {
         let task = TaskInput {
             name: problem.name.clone(),
             module_name: problem.module_name.clone(),
             spec: problem.spec.clone(),
             verilog,
-            seed: run_seed(problem_index, sample),
+            seed,
         };
         // Journal events of this run are grouped under its grid
         // coordinates; the external scoring below stays untraced (it
@@ -594,12 +671,79 @@ impl Harness {
             functional_iters: result.trace.iterations(Stage::FunctionalLoop),
             crashed: false,
         };
-        RunRecord {
-            outcome,
-            llm_seconds: result.trace.llm_latency(),
-            tool_seconds: result.trace.tool_latency() + extra,
-            resilience: result.resilience,
+        JobRun {
+            record: RunRecord {
+                outcome,
+                llm_seconds: result.trace.llm_latency(),
+                tool_seconds: result.trace.tool_latency() + extra,
+                resilience: result.resilience,
+            },
+            rtl: result.final_rtl,
+            tb: result.final_tb,
         }
+    }
+
+    /// Executes one *submitted job* outside the evaluation grid: the
+    /// serve layer's entry point. `seed` is the job's identity-derived
+    /// seed (the [`run_seed`] discipline applied to `(tenant, job)`
+    /// instead of grid coordinates) and `recorder` receives the job's
+    /// journal run — one `begin_run(problem_index, 0)` scope holding
+    /// every pipeline span, which the service streams back as progress
+    /// frames. Panics inside the pipeline are isolated into a crashed
+    /// record exactly like a grid cell.
+    ///
+    /// Determinism: the result is a pure function of `(profile,
+    /// problem, seed, verilog, flow, faults, pipeline config)` — the
+    /// worker is built fresh here and shares only the immutable task
+    /// library and the schedule-invariant [`EdaCache`] with concurrent
+    /// jobs, so replaying a job yields bit-identical output however
+    /// other jobs interleave.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `problem_index` is outside [`Harness::problems`].
+    #[must_use]
+    pub fn run_job(
+        &self,
+        profile: &ModelProfile,
+        problem_index: usize,
+        seed: u64,
+        verilog: bool,
+        flow: Flow,
+        recorder: &Recorder,
+    ) -> JobRun {
+        let problems = self.problems();
+        assert!(
+            problem_index < problems.len(),
+            "problem index {problem_index} outside the {}-problem suite",
+            problems.len()
+        );
+        let library = self.library();
+        let tools = self.tools.clone().with_recorder(recorder.clone());
+        let mut worker = Worker {
+            model: SimLlm::new(profile.clone(), library)
+                .with_faults(self.config.faults)
+                .with_recorder(recorder.clone()),
+            pipeline: Aivril2::new(&tools, self.config.pipeline).with_recorder(recorder.clone()),
+            baseline: BaselineFlow::new(),
+            recorder: recorder.clone(),
+        };
+        let job = run_isolated(|| {
+            self.run_one(
+                &mut worker,
+                &problems[problem_index],
+                problem_index,
+                0,
+                seed,
+                verilog,
+                flow,
+            )
+        });
+        if job.record.outcome.crashed {
+            // Close the interrupted run's journal scope.
+            worker.recorder.end_run();
+        }
+        job
     }
 
     /// Runs one flow over the suite for one model × language, returning
@@ -703,7 +847,7 @@ impl Harness {
             range.start <= range.end && range.end <= total,
             "shard range {range:?} outside the {total}-cell grid"
         );
-        let library = std::sync::Arc::new(build_library(problems));
+        let library = self.library();
 
         // Telemetry: one fork per shard run (carrying the context
         // pairs), one sub-fork per cell. All of this is a no-op when
@@ -788,8 +932,17 @@ impl Harness {
                             recorder: cell_rec.clone(),
                         };
                         let record = run_isolated(|| {
-                            self.run_one(&mut worker, &problems[pi], pi, si, verilog, flow)
-                        });
+                            self.run_one(
+                                &mut worker,
+                                &problems[pi],
+                                pi,
+                                si,
+                                run_seed(pi, si),
+                                verilog,
+                                flow,
+                            )
+                        })
+                        .record;
                         if record.outcome.crashed {
                             // Close the interrupted run's journal; the
                             // half-written worker dies with this cell.
@@ -1214,6 +1367,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aivril_core::ResiliencePolicy;
     use aivril_llm::profiles;
     use aivril_metrics::suite_metric;
 
@@ -1324,6 +1478,69 @@ mod tests {
     }
 
     #[test]
+    fn malformed_resilience_knobs_warn_and_fall_back() {
+        // Each malformed knob must produce a warning *and* leave the
+        // default in place — the AIVRIL_SHARD discipline, not a silent
+        // drop.
+        let knobs = [
+            ("AIVRIL_RETRY_MAX", "many"),
+            ("AIVRIL_BREAKER_THRESHOLD", "-2"),
+            ("AIVRIL_SIM_MAX_DELTAS", "1e4"),
+            ("AIVRIL_BACKOFF_BASE_MS", "fast"),
+        ];
+        for (key, value) in knobs {
+            let (c, warnings) =
+                HarnessConfig::from_vars_checked(|k| (k == key).then(|| value.into()));
+            assert_eq!(warnings.len(), 1, "{key}={value}: {warnings:?}");
+            assert!(warnings[0].contains(key), "{warnings:?}");
+            assert!(warnings[0].contains(value), "{warnings:?}");
+            let d = ResiliencePolicy::default();
+            assert_eq!(c.pipeline.resilience.retry_max, d.retry_max);
+            assert_eq!(c.pipeline.resilience.breaker_threshold, d.breaker_threshold);
+            assert_eq!(c.pipeline.resilience.backoff_base_s, d.backoff_base_s);
+            assert_eq!(c.sim_max_deltas, None);
+        }
+    }
+
+    #[test]
+    fn backoff_base_rejects_non_finite_and_negative() {
+        for bad in ["NaN", "inf", "-inf", "-250"] {
+            let (c, warnings) = HarnessConfig::from_vars_checked(|k| {
+                (k == "AIVRIL_BACKOFF_BASE_MS").then(|| bad.into())
+            });
+            assert_eq!(
+                c.pipeline.resilience.backoff_base_s,
+                ResiliencePolicy::default().backoff_base_s,
+                "{bad} must not reach the modeled clock"
+            );
+            assert_eq!(warnings.len(), 1, "{bad}: {warnings:?}");
+            assert!(
+                warnings[0].contains("AIVRIL_BACKOFF_BASE_MS"),
+                "{warnings:?}"
+            );
+        }
+        // Zero is a legal base (no backoff), not an error.
+        let (c, warnings) = HarnessConfig::from_vars_checked(|k| {
+            (k == "AIVRIL_BACKOFF_BASE_MS").then(|| "0".into())
+        });
+        assert_eq!(c.pipeline.resilience.backoff_base_s, 0.0);
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn well_formed_knobs_produce_no_warnings() {
+        let (_, warnings) = HarnessConfig::from_vars_checked(|key| match key {
+            "AIVRIL_RETRY_MAX" => Some("5".into()),
+            "AIVRIL_BACKOFF_BASE_MS" => Some("250".into()),
+            "AIVRIL_BREAKER_THRESHOLD" => Some("7".into()),
+            "AIVRIL_SIM_MAX_DELTAS" => Some("512".into()),
+            "AIVRIL_SHARD" => Some("0/3".into()),
+            _ => None,
+        });
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
     fn faulted_evaluation_completes_and_reports_resilience() {
         let h = Harness::new(HarnessConfig {
             samples: 2,
@@ -1362,13 +1579,18 @@ mod tests {
             let mut r = crashed_record();
             r.outcome.crashed = false;
             r.outcome.syntax = true;
-            r
+            JobRun {
+                record: r,
+                rtl: "module ok;endmodule".into(),
+                tb: String::new(),
+            }
         });
         assert!(
-            !ok.outcome.crashed && ok.outcome.syntax,
+            !ok.record.outcome.crashed && ok.record.outcome.syntax,
             "non-panicking closures pass their record through"
         );
-        let rec = run_isolated(|| panic!("poisoned input"));
+        assert!(!ok.rtl.is_empty());
+        let rec = run_isolated(|| panic!("poisoned input")).record;
         assert!(rec.outcome.crashed);
         assert!(!rec.outcome.syntax && !rec.outcome.functional);
         assert_eq!(rec.resilience, ResilienceCounters::default());
@@ -1417,6 +1639,32 @@ mod tests {
                 assert_eq!(s.total_latency.to_bits(), t.total_latency.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn run_job_with_grid_seed_matches_the_grid_cell() {
+        // `run_job` is the same execution path as a grid cell modulo
+        // the seed's origin; feeding it a grid seed must reproduce the
+        // grid result to the bit.
+        let h = small();
+        let profile = profiles::claude35_sonnet();
+        let outcomes = h.evaluate(&profile, true, Flow::Aivril2);
+        let job = h.run_job(
+            &profile,
+            2,
+            run_seed(2, 0),
+            true,
+            Flow::Aivril2,
+            &Recorder::disabled(),
+        );
+        let cell = &outcomes[2].samples[0];
+        assert_eq!(job.record.outcome.syntax, cell.syntax);
+        assert_eq!(job.record.outcome.functional, cell.functional);
+        assert_eq!(
+            job.record.outcome.total_latency.to_bits(),
+            cell.total_latency.to_bits()
+        );
+        assert!(!job.rtl.is_empty(), "a job must return its final RTL");
     }
 
     #[test]

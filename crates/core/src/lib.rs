@@ -69,7 +69,7 @@ mod user;
 
 pub use config::{Aivril2Config, PromptDetail};
 pub use flow::{Aivril2, BaselineFlow, RunResult};
-pub use resilience::{CircuitBreaker, ResilienceCounters, ResiliencePolicy};
+pub use resilience::{BreakerBank, CircuitBreaker, ResilienceCounters, ResiliencePolicy};
 pub use task::TaskInput;
 pub use trace::{RunTrace, Stage, TraceEvent, TraceEventKind};
 pub use user::{spec_is_sufficient, NoClarification, StaticUser, UserProxy};

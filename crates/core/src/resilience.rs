@@ -158,11 +158,115 @@ impl CircuitBreaker {
         matches!(self.state, BreakerState::Open { until } if now < until)
     }
 
+    /// Seconds until an open breaker admits its half-open probe;
+    /// `None` when calls are not currently rejected. This is the
+    /// `retry_after` an admission layer hands back to callers it turns
+    /// away.
+    #[must_use]
+    pub fn retry_after_s(&self, now: f64) -> Option<f64> {
+        match self.state {
+            BreakerState::Open { until } if now < until => Some(until - now),
+            _ => None,
+        }
+    }
+
     /// How many times the breaker has opened (including re-opens after a
     /// failed half-open probe).
     #[must_use]
     pub fn opens(&self) -> u32 {
         self.opens
+    }
+}
+
+/// Independently keyed circuit breakers sharing one
+/// [`ResiliencePolicy`] — the *per-tenant* scope of the resilience
+/// layer.
+///
+/// The breaker inside a pipeline run stays per-run (cross-run state
+/// would break replay determinism — see [`CircuitBreaker`]); a job
+/// *service* additionally needs fault isolation between tenants at the
+/// admission boundary, where one tenant's fault storm must not trip
+/// another tenant's breaker. A `BreakerBank` gives every key (tenant)
+/// its own [`CircuitBreaker`], created lazily on first touch, behind
+/// interior mutability so a shared admission path can consult it with
+/// `&self`.
+///
+/// The bank's clock is whatever the caller feeds it — an admission
+/// layer typically uses wall seconds since service start, because
+/// admission verdicts are inherently schedule-dependent (they depend
+/// on what else is in flight) and are therefore *outside* the
+/// deterministic replay surface.
+#[derive(Debug)]
+pub struct BreakerBank {
+    policy: ResiliencePolicy,
+    slots: std::sync::Mutex<std::collections::HashMap<String, CircuitBreaker>>,
+}
+
+impl BreakerBank {
+    /// An empty bank; every key's breaker starts closed with `policy`'s
+    /// threshold and cooldown.
+    #[must_use]
+    pub fn new(policy: ResiliencePolicy) -> BreakerBank {
+        BreakerBank {
+            policy,
+            slots: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The policy every keyed breaker is built from.
+    #[must_use]
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    fn with<T>(&self, key: &str, f: impl FnOnce(&mut CircuitBreaker) -> T) -> T {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let breaker = slots
+            .entry(key.to_string())
+            .or_insert_with(|| CircuitBreaker::new(&self.policy));
+        f(breaker)
+    }
+
+    /// Whether `key` may proceed at time `now`
+    /// ([`CircuitBreaker::try_acquire`] on `key`'s breaker).
+    pub fn try_acquire(&self, key: &str, now: f64) -> bool {
+        self.with(key, |b| b.try_acquire(now))
+    }
+
+    /// Records a success for `key` ([`CircuitBreaker::on_success`]).
+    pub fn on_success(&self, key: &str) {
+        self.with(key, CircuitBreaker::on_success);
+    }
+
+    /// Records a failure for `key` at time `now`
+    /// ([`CircuitBreaker::on_failure`]).
+    pub fn on_failure(&self, key: &str, now: f64) {
+        self.with(key, |b| b.on_failure(now));
+    }
+
+    /// Seconds until `key`'s open breaker admits a probe; `None` while
+    /// it accepts calls ([`CircuitBreaker::retry_after_s`]).
+    #[must_use]
+    pub fn retry_after_s(&self, key: &str, now: f64) -> Option<f64> {
+        self.with(key, |b| b.retry_after_s(now))
+    }
+
+    /// How many times `key`'s breaker has opened.
+    #[must_use]
+    pub fn opens(&self, key: &str) -> u32 {
+        self.with(key, |b| b.opens())
+    }
+
+    /// Number of keys that have touched the bank.
+    #[must_use]
+    pub fn scopes(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -270,6 +374,44 @@ mod tests {
         b.on_failure(1.0);
         assert!(b.try_acquire(1.0), "streak was reset; still closed");
         assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn retry_after_tracks_the_open_window() {
+        let policy = ResiliencePolicy {
+            breaker_threshold: 1,
+            breaker_cooldown_s: 10.0,
+            ..ResiliencePolicy::default()
+        };
+        let mut b = CircuitBreaker::new(&policy);
+        assert_eq!(b.retry_after_s(0.0), None, "closed breaker has no wait");
+        b.on_failure(5.0);
+        assert_eq!(b.retry_after_s(5.0), Some(10.0));
+        assert_eq!(b.retry_after_s(12.0), Some(3.0));
+        assert_eq!(b.retry_after_s(15.0), None, "cooldown elapsed");
+    }
+
+    #[test]
+    fn breaker_bank_isolates_keys() {
+        let bank = BreakerBank::new(ResiliencePolicy {
+            breaker_threshold: 2,
+            breaker_cooldown_s: 60.0,
+            ..ResiliencePolicy::default()
+        });
+        // A fault storm on `noisy` opens only `noisy`'s breaker.
+        bank.on_failure("noisy", 0.0);
+        bank.on_failure("noisy", 1.0);
+        assert!(!bank.try_acquire("noisy", 2.0));
+        assert_eq!(bank.opens("noisy"), 1);
+        assert!(bank.retry_after_s("noisy", 2.0).unwrap() > 0.0);
+        assert!(bank.try_acquire("quiet", 2.0), "other tenants unaffected");
+        assert_eq!(bank.opens("quiet"), 0);
+        assert_eq!(bank.retry_after_s("quiet", 2.0), None);
+        assert_eq!(bank.scopes(), 2);
+        // `noisy` recovers through its own half-open probe.
+        assert!(bank.try_acquire("noisy", 70.0));
+        bank.on_success("noisy");
+        assert!(bank.try_acquire("noisy", 70.0));
     }
 
     #[test]

@@ -146,7 +146,9 @@ impl FaultConfig {
     /// - comma-separated `class=rate` pairs
     ///   (`timeout=0.1,rate_limit=0.05,truncate=0.02`); unnamed classes
     ///   stay at zero. Class names: `timeout`, `rate_limit`, `truncate`,
-    ///   `empty`, `wrong_language`.
+    ///   `empty`, `wrong_language`. Repeating a class is an error —
+    ///   last-wins would hide the typo in plans like
+    ///   `timeout=0.1,timeout=0.9`.
     pub fn parse(s: &str) -> Result<FaultConfig, String> {
         let s = s.trim();
         if s.is_empty() || s.eq_ignore_ascii_case("off") || s == "0" {
@@ -159,6 +161,7 @@ impl FaultConfig {
             return Ok(FaultConfig::uniform(rate));
         }
         let mut cfg = FaultConfig::off();
+        let mut seen: Vec<&str> = Vec::new();
         for pair in s.split(',') {
             let pair = pair.trim();
             if pair.is_empty() {
@@ -174,7 +177,12 @@ impl FaultConfig {
             if !(0.0..=1.0).contains(&rate) {
                 return Err(format!("fault rate {rate} outside [0, 1]"));
             }
-            match class.trim() {
+            let class = class.trim();
+            if seen.contains(&class) {
+                return Err(format!("duplicate fault class {class:?}"));
+            }
+            seen.push(class);
+            match class {
                 "timeout" => cfg.timeout = rate,
                 "rate_limit" => cfg.rate_limit = rate,
                 "truncate" => cfg.truncate = rate,
@@ -266,6 +274,21 @@ mod tests {
         assert!(FaultConfig::parse("timeout=nope").is_err());
         assert!(FaultConfig::parse("warp_core_breach=0.1").is_err());
         assert!(FaultConfig::parse("just_a_name").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_classes() {
+        // Last-wins used to hide the typo entirely.
+        let err = FaultConfig::parse("timeout=0.1,timeout=0.9").unwrap_err();
+        assert!(err.contains("duplicate fault class"), "{err}");
+        assert!(err.contains("timeout"), "{err}");
+        // Even an identical repeat is refused: the plan is malformed.
+        assert!(FaultConfig::parse("empty=0.2, empty=0.2").is_err());
+        // Distinct classes still compose.
+        let ok = FaultConfig::parse("timeout=0.1,rate_limit=0.2,empty=0.3").unwrap();
+        assert_eq!(ok.timeout, 0.1);
+        assert_eq!(ok.rate_limit, 0.2);
+        assert_eq!(ok.empty, 0.3);
     }
 
     #[test]

@@ -61,7 +61,15 @@ fn run_json(run: &RunJournal) -> String {
     }
 }
 
-fn event_line(run: &RunJournal, event: &SpanEvent) -> String {
+/// Renders one span-close event as a single journal line (no trailing
+/// newline) — the unit [`render_journal`] emits after its header.
+///
+/// Public so streaming consumers (the serve layer's per-iteration
+/// progress frames) reuse the exact canonical encoding: an event
+/// rendered live, frame by frame, is byte-identical to the same event
+/// in a post-hoc journal export.
+#[must_use]
+pub fn render_event(run: &RunJournal, event: &SpanEvent) -> String {
     let attrs: Vec<String> = event
         .attrs
         .iter()
@@ -95,7 +103,7 @@ pub fn render_journal(recorder: &Recorder) -> String {
     out.push('\n');
     for run in &runs {
         for event in &run.events {
-            out.push_str(&event_line(run, event));
+            out.push_str(&render_event(run, event));
             out.push('\n');
         }
     }
@@ -148,6 +156,33 @@ mod tests {
             !line.contains("cache_hit"),
             "cache_hit is schedule-dependent and must stay out of the \
              canonical journal: {line}"
+        );
+    }
+
+    #[test]
+    fn render_event_matches_journal_lines() {
+        let r = Recorder::new();
+        r.set_context(&[("tenant", "acme"), ("job", "j1")]);
+        r.begin_run(3, 0);
+        {
+            let s = r.span("llm.chat");
+            r.advance(0.5);
+            s.attr_int("tokens", 12);
+        }
+        {
+            let _s = r.span("eda.compile");
+        }
+        r.end_run();
+        let runs = r.runs();
+        let streamed: Vec<String> = runs
+            .iter()
+            .flat_map(|run| run.events.iter().map(|e| render_event(run, e)))
+            .collect();
+        let journal = render_journal(&r);
+        let exported: Vec<&str> = journal.lines().skip(1).collect();
+        assert_eq!(
+            streamed, exported,
+            "a streamed frame must be byte-identical to the journal line"
         );
     }
 

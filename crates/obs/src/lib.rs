@@ -40,6 +40,6 @@ pub use analyze::{
     Artifact, DiffOutcome, JournalDoc, RegressOutcome, ResultsDoc, SpanNode,
 };
 pub use chrome::chrome_trace;
-pub use journal::{render_journal, DIAGNOSTIC_ATTRS, JOURNAL_VERSION};
+pub use journal::{render_event, render_journal, DIAGNOSTIC_ATTRS, JOURNAL_VERSION};
 pub use metrics::{Histogram, MetricKey, MetricValue, MetricsRegistry, DIAGNOSTIC_METRIC_PREFIXES};
 pub use recorder::{AttrValue, Recorder, RunJournal, Span, SpanEvent, UNSCOPED};

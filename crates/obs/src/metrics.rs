@@ -219,7 +219,9 @@ impl Histogram {
 
     /// Deterministic quantile estimate (`0.0 ..= 1.0`, clamped) by
     /// linear interpolation within the fixed buckets, Prometheus
-    /// `histogram_quantile` style. `None` when the histogram is empty.
+    /// `histogram_quantile` style. `None` when the histogram is empty
+    /// or `q` is not finite (a NaN rank is a caller bug, not "the
+    /// first bucket").
     ///
     /// The estimate is a pure function of the *integer* merge state
     /// (bucket counts plus the bit-exact bounds), so it is invariant
@@ -233,7 +235,7 @@ impl Histogram {
     ///   highest finite bound.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.count == 0 {
+        if self.count == 0 || !q.is_finite() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
@@ -628,6 +630,18 @@ mod tests {
         // q is clamped, not rejected.
         assert_eq!(h.quantile(-1.0), h.quantile(0.0));
         assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_rejects_non_finite_q() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        assert_eq!(h.quantile(0.5), Some(1.0), "finite q still interpolates");
+        // A NaN rank used to clamp to 0.0 and silently report the
+        // first bucket; it and the infinities are caller bugs.
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert_eq!(h.quantile(f64::INFINITY), None);
+        assert_eq!(h.quantile(f64::NEG_INFINITY), None);
     }
 
     #[test]

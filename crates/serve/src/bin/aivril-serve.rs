@@ -1,0 +1,46 @@
+//! `aivril-serve` — the multi-tenant RTL-generation job service.
+//!
+//! ```text
+//! AIVRIL_SERVE_ADDR=127.0.0.1:4117 AIVRIL_SERVE_WORKERS=2 aivril-serve
+//! ```
+//!
+//! Binds the configured address, prints `[serve] listening on ADDR`
+//! once ready, and serves the newline-delimited JSON protocol until a
+//! client sends `{"type":"shutdown"}`. See the crate docs and the
+//! README "Serving" section for the protocol and the environment
+//! knobs.
+
+use aivril_serve::{ServeConfig, Server};
+use std::io::Write;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn main() {
+    let config = ServeConfig::from_env();
+    let listener = match TcpListener::bind(&config.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("[serve] cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    let workers = config.effective_workers();
+    let server = Arc::new(Server::new(config));
+    let handles = server.spawn_workers(workers);
+    let addr = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    println!("[serve] listening on {addr} ({workers} workers)");
+    let _ = std::io::stdout().flush();
+    server.serve(&listener);
+    // Accept loop ended (shutdown request): drain and join.
+    server.finish();
+    for h in handles {
+        let _ = h.join();
+    }
+    let stats = server.queue().stats();
+    println!(
+        "[serve] done: {} completed, {} rejected",
+        stats.completed, stats.rejected
+    );
+}

@@ -1,0 +1,197 @@
+//! Service configuration, read from `AIVRIL_SERVE_*` environment
+//! variables on top of the harness knobs [`HarnessConfig`] already
+//! understands (resilience, faults, EDA cache, pipeline budgets).
+
+use aivril_bench::HarnessConfig;
+use aivril_llm::{profiles, ModelProfile};
+
+/// `aivril-serve` configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`AIVRIL_SERVE_ADDR`); port `0` binds an
+    /// ephemeral port, printed on startup.
+    pub addr: String,
+    /// Worker threads executing jobs (`AIVRIL_SERVE_WORKERS`); `0`
+    /// auto-detects the machine's parallelism.
+    pub workers: usize,
+    /// Per-tenant cap on jobs executing at once
+    /// (`AIVRIL_SERVE_MAX_INFLIGHT`).
+    pub max_inflight: usize,
+    /// Per-tenant cap on jobs *waiting* beyond the in-flight cap
+    /// (`AIVRIL_SERVE_MAX_QUEUE`); a tenant's total admitted-but-
+    /// unfinished jobs are bounded by `max_inflight + max_queue`.
+    pub max_queue: usize,
+    /// Name of the simulated model profile serving requests
+    /// (`AIVRIL_SERVE_MODEL`, matched against
+    /// [`profiles::all`]).
+    pub model: String,
+    /// The underlying harness knobs (resilience policy, fault plan,
+    /// EDA cache, pipeline budgets), parsed from the same environment.
+    /// The service defaults the EDA cache *on* — cross-job compile
+    /// batching is the point — unless `AIVRIL_EDA_CACHE=0` opts out.
+    pub harness: HarnessConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        let harness = HarnessConfig {
+            eda_cache: true,
+            ..HarnessConfig::default()
+        };
+        ServeConfig {
+            addr: "127.0.0.1:4117".to_string(),
+            workers: 0,
+            max_inflight: 2,
+            max_queue: 8,
+            model: profiles::claude35_sonnet().name,
+            harness,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the configuration from the process environment, printing
+    /// warnings about malformed values to stderr.
+    #[must_use]
+    pub fn from_env() -> ServeConfig {
+        let (c, warnings) = Self::from_vars_checked(|key| std::env::var(key).ok());
+        for w in warnings {
+            eprintln!("[config] {w}");
+        }
+        c
+    }
+
+    /// Like [`ServeConfig::from_env`] with an injectable lookup,
+    /// returning warnings instead of printing them. Malformed values
+    /// are warned about and ignored — the
+    /// [`HarnessConfig::from_vars_checked`] discipline.
+    #[must_use]
+    pub fn from_vars_checked(get: impl Fn(&str) -> Option<String>) -> (ServeConfig, Vec<String>) {
+        let (mut harness, mut warnings) = HarnessConfig::from_vars_checked(&get);
+        if get("AIVRIL_EDA_CACHE").is_none() {
+            // Service default: cache on (shared compile batching).
+            harness.eda_cache = true;
+        }
+        let mut c = ServeConfig {
+            harness,
+            ..ServeConfig::default()
+        };
+        if let Some(addr) = get("AIVRIL_SERVE_ADDR").filter(|v| !v.is_empty()) {
+            c.addr = addr;
+        }
+        let mut parse_usize = |key: &'static str, slot: &mut usize| {
+            if let Some(v) = get(key) {
+                match v.parse() {
+                    Ok(n) => *slot = n,
+                    Err(_) => {
+                        warnings.push(format!("ignoring {key} (want a non-negative integer): {v}"))
+                    }
+                }
+            }
+        };
+        parse_usize("AIVRIL_SERVE_WORKERS", &mut c.workers);
+        parse_usize("AIVRIL_SERVE_MAX_INFLIGHT", &mut c.max_inflight);
+        parse_usize("AIVRIL_SERVE_MAX_QUEUE", &mut c.max_queue);
+        if let Some(name) = get("AIVRIL_SERVE_MODEL") {
+            if profiles::all().iter().any(|p| p.name == name) {
+                c.model = name;
+            } else {
+                let known: Vec<String> = profiles::all().into_iter().map(|p| p.name).collect();
+                warnings.push(format!(
+                    "ignoring AIVRIL_SERVE_MODEL (want one of {known:?}): {name}"
+                ));
+            }
+        }
+        // A tenant must be able to run at least one job.
+        if c.max_inflight == 0 {
+            warnings.push("AIVRIL_SERVE_MAX_INFLIGHT=0 would admit nothing; using 1".to_string());
+            c.max_inflight = 1;
+        }
+        (c, warnings)
+    }
+
+    /// The resolved model profile for [`ServeConfig::model`].
+    #[must_use]
+    pub fn profile(&self) -> ModelProfile {
+        profiles::all()
+            .into_iter()
+            .find(|p| p.name == self.model)
+            .unwrap_or_else(profiles::claude35_sonnet)
+    }
+
+    /// The worker count the server will actually spawn: `workers`, or
+    /// the machine's available parallelism when `0`.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_the_shared_cache() {
+        let (c, warnings) = ServeConfig::from_vars_checked(|_| None);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert!(c.harness.eda_cache, "service batches through the cache");
+        assert_eq!(c.max_inflight, 2);
+        assert_eq!(c.max_queue, 8);
+        assert!(c.effective_workers() >= 1);
+        assert_eq!(c.profile().name, c.model);
+    }
+
+    #[test]
+    fn env_knobs_parse_and_cache_can_opt_out() {
+        let (c, warnings) = ServeConfig::from_vars_checked(|key| match key {
+            "AIVRIL_SERVE_ADDR" => Some("127.0.0.1:0".into()),
+            "AIVRIL_SERVE_WORKERS" => Some("3".into()),
+            "AIVRIL_SERVE_MAX_INFLIGHT" => Some("1".into()),
+            "AIVRIL_SERVE_MAX_QUEUE" => Some("0".into()),
+            "AIVRIL_EDA_CACHE" => Some("0".into()),
+            "AIVRIL_RETRY_MAX" => Some("2".into()),
+            _ => None,
+        });
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.effective_workers(), 3);
+        assert_eq!((c.max_inflight, c.max_queue), (1, 0));
+        assert!(!c.harness.eda_cache, "explicit opt-out wins");
+        assert_eq!(c.harness.pipeline.resilience.retry_max, 2);
+    }
+
+    #[test]
+    fn malformed_serve_knobs_warn_and_fall_back() {
+        for (key, value) in [
+            ("AIVRIL_SERVE_WORKERS", "lots"),
+            ("AIVRIL_SERVE_MAX_INFLIGHT", "-1"),
+            ("AIVRIL_SERVE_MAX_QUEUE", "1.5"),
+            ("AIVRIL_SERVE_MODEL", "GPT-9000"),
+        ] {
+            let (c, warnings) =
+                ServeConfig::from_vars_checked(|k| (k == key).then(|| value.into()));
+            assert_eq!(warnings.len(), 1, "{key}: {warnings:?}");
+            assert!(warnings[0].contains(key), "{warnings:?}");
+            let d = ServeConfig::default();
+            assert_eq!(c.workers, d.workers);
+            assert_eq!(c.max_inflight, d.max_inflight);
+            assert_eq!(c.max_queue, d.max_queue);
+            assert_eq!(c.model, d.model);
+        }
+    }
+
+    #[test]
+    fn zero_inflight_is_bumped_to_one() {
+        let (c, warnings) = ServeConfig::from_vars_checked(|k| {
+            (k == "AIVRIL_SERVE_MAX_INFLIGHT").then(|| "0".into())
+        });
+        assert_eq!(c.max_inflight, 1);
+        assert_eq!(warnings.len(), 1);
+    }
+}

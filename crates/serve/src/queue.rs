@@ -1,0 +1,408 @@
+//! Per-tenant admission control and the bounded job queue.
+//!
+//! Invariant: a tenant's admitted-but-unfinished jobs (queued +
+//! in-flight) never exceed `max_inflight + max_queue`. Submissions past
+//! that bound are rejected *at admission* with a structured reason and
+//! a `retry_after_s` hint — the queue cannot grow without bound, so
+//! overload degrades into fast rejections instead of latency collapse.
+//!
+//! The second admission gate is a per-tenant circuit breaker
+//! ([`BreakerBank`]): job completions feed each tenant's breaker
+//! (failure = crashed or degraded), and a tenant whose runs keep
+//! failing is refused at the door (`breaker_open`) until its cooldown
+//! lapses — without ever touching any other tenant's breaker.
+//!
+//! Clock discipline: admission runs on *wall* seconds since server
+//! start, supplied by the caller. This is deliberately outside the
+//! deterministic replay surface — see `DESIGN.md` §13: a modeled
+//! per-tenant clock would freeze the moment a breaker opens (no
+//! completions means no clock advance means no recovery). Job
+//! *execution* stays entirely on the modeled clock.
+
+use crate::protocol::SubmitRequest;
+use aivril_core::{BreakerBank, ResiliencePolicy};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Where a job's response frames go (one frame per call, no trailing
+/// newline). Shared with the connection that submitted the job.
+pub type FrameSink = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// One admitted job, waiting for or undergoing execution.
+pub struct Job {
+    /// The validated submission.
+    pub spec: SubmitRequest,
+    /// Index of [`Job::spec`]'s task in the harness problem set.
+    pub problem_index: usize,
+    /// Deterministic run seed, [`crate::job_seed`] of the identity.
+    pub seed: u64,
+    /// Destination for this job's `progress`/`result` frames.
+    pub sink: FrameSink,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("spec", &self.spec)
+            .field("problem_index", &self.problem_index)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The admission verdict for one submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// The job was queued; `seed` echoes its deterministic run seed.
+    Accepted {
+        /// The job's [`crate::job_seed`].
+        seed: u64,
+    },
+    /// The job was refused and will not run.
+    Rejected {
+        /// `"queue_full"` or `"breaker_open"`.
+        reason: &'static str,
+        /// Suggested wall-seconds to wait before resubmitting.
+        retry_after_s: f64,
+    },
+}
+
+/// Aggregate service counters, for the `stats` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Jobs completed since startup.
+    pub completed: u64,
+    /// Submissions rejected at admission since startup.
+    pub rejected: u64,
+    /// Jobs currently waiting.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub inflight: usize,
+    /// Distinct tenants seen.
+    pub tenants: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TenantState {
+    queued: usize,
+    inflight: usize,
+    completed: u64,
+    rejected: u64,
+    /// Total modeled seconds of this tenant's completed jobs — the
+    /// basis for the `queue_full` retry hint.
+    modeled_s: f64,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: VecDeque<Job>,
+    tenants: HashMap<String, TenantState>,
+    shutdown: bool,
+    completed: u64,
+    rejected: u64,
+    inflight: usize,
+}
+
+/// The bounded multi-tenant job queue. All methods are safe to call
+/// from any thread.
+pub struct JobQueue {
+    max_inflight: usize,
+    max_queue: usize,
+    breakers: BreakerBank,
+    state: Mutex<QueueState>,
+    cvar: Condvar,
+}
+
+/// Floor for `retry_after_s` hints, so a hint is never zero.
+const MIN_RETRY_S: f64 = 0.5;
+
+impl JobQueue {
+    /// Creates a queue with the given per-tenant bounds and the
+    /// breaker policy each tenant's admission breaker will follow.
+    #[must_use]
+    pub fn new(max_inflight: usize, max_queue: usize, policy: ResiliencePolicy) -> JobQueue {
+        JobQueue {
+            max_inflight: max_inflight.max(1),
+            max_queue,
+            breakers: BreakerBank::new(policy),
+            state: Mutex::new(QueueState::default()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits or rejects `job`. `now` is wall seconds since server
+    /// start (the admission clock). On acceptance the job is queued and
+    /// a worker is woken; on rejection the job is dropped.
+    pub fn submit(&self, job: Job, now: f64) -> Admission {
+        self.submit_with(job, now, |_| {})
+    }
+
+    /// [`JobQueue::submit`] with a verdict hook invoked *before* an
+    /// accepted job becomes claimable (still under the queue lock).
+    /// The server emits the `ack`/`reject` frame here — otherwise a
+    /// fast worker could stream a cache-warm job's progress before the
+    /// submitting thread wrote the ack, reordering the transcript.
+    pub fn submit_with(
+        &self,
+        job: Job,
+        now: f64,
+        on_verdict: impl FnOnce(&Admission),
+    ) -> Admission {
+        let tenant = job.spec.tenant.clone();
+        let mut g = self.lock();
+        if g.shutdown {
+            g.rejected += 1;
+            g.tenants.entry(tenant).or_default().rejected += 1;
+            let verdict = Admission::Rejected {
+                reason: "shutting_down",
+                retry_after_s: MIN_RETRY_S,
+            };
+            on_verdict(&verdict);
+            return verdict;
+        }
+        if !self.breakers.try_acquire(&tenant, now) {
+            let retry_after_s = self
+                .breakers
+                .retry_after_s(&tenant, now)
+                .unwrap_or(MIN_RETRY_S)
+                .max(MIN_RETRY_S);
+            g.rejected += 1;
+            g.tenants.entry(tenant).or_default().rejected += 1;
+            let verdict = Admission::Rejected {
+                reason: "breaker_open",
+                retry_after_s,
+            };
+            on_verdict(&verdict);
+            return verdict;
+        }
+        let st = g.tenants.entry(tenant.clone()).or_default();
+        let capacity = self.max_inflight + self.max_queue;
+        if st.queued + st.inflight >= capacity {
+            // Hint: this tenant's average modeled seconds per job.
+            let avg = if st.completed > 0 {
+                st.modeled_s / st.completed as f64
+            } else {
+                0.0
+            };
+            let retry_after_s = (avg.max(1.0)).max(MIN_RETRY_S);
+            st.rejected += 1;
+            g.rejected += 1;
+            let verdict = Admission::Rejected {
+                reason: "queue_full",
+                retry_after_s,
+            };
+            on_verdict(&verdict);
+            return verdict;
+        }
+        st.queued += 1;
+        let verdict = Admission::Accepted { seed: job.seed };
+        on_verdict(&verdict);
+        g.pending.push_back(job);
+        drop(g);
+        self.cvar.notify_one();
+        verdict
+    }
+
+    fn take_runnable(st: &mut QueueState, max_inflight: usize) -> Option<Job> {
+        let pos = st.pending.iter().position(|j| {
+            st.tenants
+                .get(&j.spec.tenant)
+                .is_some_and(|t| t.inflight < max_inflight)
+        })?;
+        let job = st.pending.remove(pos)?;
+        let t = st
+            .tenants
+            .get_mut(&job.spec.tenant)
+            .expect("queued job has tenant state");
+        t.queued -= 1;
+        t.inflight += 1;
+        st.inflight += 1;
+        Some(job)
+    }
+
+    /// Blocks until a runnable job is available (first queued job whose
+    /// tenant is under its in-flight cap) and claims it. Returns `None`
+    /// once the queue is shut down and drained.
+    pub fn next(&self) -> Option<Job> {
+        let mut g = self.lock();
+        loop {
+            if let Some(job) = Self::take_runnable(&mut g, self.max_inflight) {
+                return Some(job);
+            }
+            if g.shutdown && g.pending.is_empty() {
+                return None;
+            }
+            g = self.cvar.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking [`JobQueue::next`]: claims a runnable job if one
+    /// exists right now. For deterministic single-threaded draining in
+    /// tests.
+    pub fn try_next(&self) -> Option<Job> {
+        Self::take_runnable(&mut self.lock(), self.max_inflight)
+    }
+
+    /// Records completion of a claimed job: releases the tenant's
+    /// in-flight slot, accounts `modeled_s`, feeds the tenant's
+    /// admission breaker (`failed` = crashed or degraded), and wakes
+    /// waiters.
+    pub fn complete(&self, tenant: &str, modeled_s: f64, failed: bool, now: f64) {
+        {
+            let mut g = self.lock();
+            let t = g.tenants.entry(tenant.to_string()).or_default();
+            t.inflight = t.inflight.saturating_sub(1);
+            t.completed += 1;
+            t.modeled_s += modeled_s;
+            g.inflight = g.inflight.saturating_sub(1);
+            g.completed += 1;
+        }
+        if failed {
+            self.breakers.on_failure(tenant, now);
+        } else {
+            self.breakers.on_success(tenant);
+        }
+        self.cvar.notify_all();
+    }
+
+    /// Marks the queue as shutting down: pending jobs still drain, new
+    /// submissions are rejected, and [`JobQueue::next`] returns `None`
+    /// once empty.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.cvar.notify_all();
+    }
+
+    /// `true` once [`JobQueue::shutdown`] has been called.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// Times a tenant's admission breaker has opened (diagnostics).
+    #[must_use]
+    pub fn breaker_opens(&self, tenant: &str) -> u32 {
+        self.breakers.opens(tenant)
+    }
+
+    /// Current aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        let g = self.lock();
+        QueueStats {
+            completed: g.completed,
+            rejected: g.rejected,
+            queued: g.pending.len(),
+            inflight: g.inflight,
+            tenants: g.tenants.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivril_bench::Flow;
+
+    fn job(tenant: &str, id: &str) -> Job {
+        Job {
+            spec: SubmitRequest {
+                tenant: tenant.to_string(),
+                job: id.to_string(),
+                task: "prob000_and2".to_string(),
+                verilog: true,
+                flow: Flow::Aivril2,
+            },
+            problem_index: 0,
+            seed: crate::job_seed(tenant, id),
+            sink: Arc::new(|_| {}),
+        }
+    }
+
+    fn accepted(a: &Admission) -> bool {
+        matches!(a, Admission::Accepted { .. })
+    }
+
+    #[test]
+    fn capacity_bounds_each_tenant_independently() {
+        let q = JobQueue::new(1, 1, ResiliencePolicy::default());
+        assert!(accepted(&q.submit(job("acme", "a"), 0.0)));
+        assert!(accepted(&q.submit(job("acme", "b"), 0.0)));
+        match q.submit(job("acme", "c"), 0.0) {
+            Admission::Rejected {
+                reason,
+                retry_after_s,
+            } => {
+                assert_eq!(reason, "queue_full");
+                assert!(retry_after_s > 0.0);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Another tenant still has its own full budget.
+        assert!(accepted(&q.submit(job("globex", "a"), 0.0)));
+        assert_eq!(q.stats().rejected, 1);
+        assert_eq!(q.stats().queued, 3);
+    }
+
+    #[test]
+    fn inflight_cap_holds_back_second_job_until_completion() {
+        let q = JobQueue::new(1, 2, ResiliencePolicy::default());
+        assert!(accepted(&q.submit(job("acme", "a"), 0.0)));
+        assert!(accepted(&q.submit(job("acme", "b"), 0.0)));
+        let first = q.try_next().expect("first job runnable");
+        assert_eq!(first.spec.job, "a");
+        assert!(
+            q.try_next().is_none(),
+            "tenant at max_inflight=1; second job must wait"
+        );
+        q.complete("acme", 10.0, false, 1.0);
+        let second = q.try_next().expect("slot freed");
+        assert_eq!(second.spec.job, "b");
+    }
+
+    #[test]
+    fn failures_open_only_the_noisy_tenants_breaker() {
+        let policy = ResiliencePolicy {
+            breaker_threshold: 2,
+            ..ResiliencePolicy::default()
+        };
+        let q = JobQueue::new(2, 2, policy);
+        for id in ["a", "b"] {
+            assert!(accepted(&q.submit(job("noisy", id), 0.0)));
+            q.try_next().expect("runnable");
+            q.complete("noisy", 5.0, true, 1.0);
+        }
+        match q.submit(job("noisy", "c"), 1.5) {
+            Admission::Rejected {
+                reason,
+                retry_after_s,
+            } => {
+                assert_eq!(reason, "breaker_open");
+                assert!(retry_after_s > 0.0);
+            }
+            other => panic!("expected breaker rejection, got {other:?}"),
+        }
+        assert!(q.breaker_opens("noisy") >= 1);
+        // The quiet tenant is untouched.
+        assert!(accepted(&q.submit(job("quiet", "a"), 1.5)));
+        assert_eq!(q.breaker_opens("quiet"), 0);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_drains_old() {
+        let q = JobQueue::new(1, 1, ResiliencePolicy::default());
+        assert!(accepted(&q.submit(job("acme", "a"), 0.0)));
+        q.shutdown();
+        match q.submit(job("acme", "b"), 0.0) {
+            Admission::Rejected { reason, .. } => assert_eq!(reason, "shutting_down"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(q.next().expect("drains pending").spec.job, "a");
+        q.complete("acme", 1.0, false, 0.5);
+        assert!(q.next().is_none(), "drained + shutdown ends the loop");
+    }
+}

@@ -1,0 +1,390 @@
+//! The TCP front-end: connection handling, the worker pool, and the
+//! deterministic response-streaming discipline.
+//!
+//! Execution pulls jobs from the [`JobQueue`] and runs them through
+//! [`Harness::run_job`] with a job-private [`Recorder`]. Response
+//! frames are rendered *after* the pipeline run completes, from the
+//! recorder's journal in span-close order — never from live callbacks —
+//! so a job's `ack`/`progress`/`result` stream is a pure function of
+//! its identity, byte-identical however jobs interleave across workers.
+
+use crate::config::ServeConfig;
+use crate::protocol::{self, Request, SubmitRequest};
+use crate::queue::{Admission, FrameSink, Job, JobQueue};
+use aivril_bench::Harness;
+use aivril_llm::ModelProfile;
+use aivril_obs::{render_event, Recorder};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// The job service: shared harness, per-tenant admission queue, and
+/// the accept loop. Wrapped in an [`Arc`] and shared by the accept
+/// thread, connection threads and the worker pool.
+pub struct Server {
+    harness: Harness,
+    profile: ModelProfile,
+    queue: JobQueue,
+    config: ServeConfig,
+    started: Instant,
+    stop: AtomicBool,
+    local_addr: OnceLock<SocketAddr>,
+}
+
+impl Server {
+    /// Builds a server (harness, model profile, empty queue) from
+    /// `config`. Does not bind anything yet.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Server {
+        let harness = Harness::new(config.harness.clone());
+        let profile = config.profile();
+        let queue = JobQueue::new(
+            config.max_inflight,
+            config.max_queue,
+            config.harness.pipeline.resilience,
+        );
+        Server {
+            harness,
+            profile,
+            queue,
+            config,
+            started: Instant::now(),
+            stop: AtomicBool::new(false),
+            local_addr: OnceLock::new(),
+        }
+    }
+
+    /// The admission clock: wall seconds since server start. Admission
+    /// is deliberately outside the deterministic replay surface (see
+    /// the [`crate::queue`] docs); job execution never reads this.
+    fn now_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// The admission queue (exposed for tests and stats).
+    #[must_use]
+    pub fn queue(&self) -> &JobQueue {
+        &self.queue
+    }
+
+    /// The service configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Validates and admits one submission, emitting the `ack` or
+    /// `reject` frame to `sink` so the transcript carries the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message (sent back as an `error` frame) when the task
+    /// name is not in the suite.
+    pub fn submit(&self, spec: SubmitRequest, sink: FrameSink) -> Result<Admission, String> {
+        let problem_index = self
+            .harness
+            .problems()
+            .iter()
+            .position(|p| p.name == spec.task)
+            .ok_or_else(|| format!("unknown task {:?}", spec.task))?;
+        let seed = crate::job_seed(&spec.tenant, &spec.job);
+        let (tenant, job_id) = (spec.tenant.clone(), spec.job.clone());
+        // The verdict frame is written under the queue lock, before the
+        // job becomes claimable — the ack always precedes progress.
+        let verdict = self.queue.submit_with(
+            Job {
+                spec,
+                problem_index,
+                seed,
+                sink: sink.clone(),
+            },
+            self.now_s(),
+            |verdict| match verdict {
+                Admission::Accepted { seed } => {
+                    sink(&protocol::ack_frame(&tenant, &job_id, *seed));
+                }
+                Admission::Rejected {
+                    reason,
+                    retry_after_s,
+                } => sink(&protocol::reject_frame(
+                    &tenant,
+                    &job_id,
+                    reason,
+                    *retry_after_s,
+                )),
+            },
+        );
+        Ok(verdict)
+    }
+
+    /// Executes one claimed job and streams its frames. The journal is
+    /// recorded privately and replayed to the sink only after the run
+    /// completes, which is what makes the stream schedule-invariant.
+    pub fn execute(&self, job: &Job) {
+        let spec = &job.spec;
+        let recorder = Recorder::new();
+        recorder.set_context(&[
+            ("flow", protocol::flow_label(spec.flow)),
+            ("job", &spec.job),
+            ("lang", protocol::lang_label(spec.verilog)),
+            ("model", &self.profile.name),
+            ("task", &spec.task),
+            ("tenant", &spec.tenant),
+        ]);
+        let run = self.harness.run_job(
+            &self.profile,
+            job.problem_index,
+            job.seed,
+            spec.verilog,
+            spec.flow,
+            &recorder,
+        );
+        let mut seq = 0usize;
+        for journal in recorder.runs() {
+            for event in &journal.events {
+                let rendered = render_event(&journal, event);
+                (job.sink)(&protocol::progress_frame(
+                    &spec.tenant,
+                    &spec.job,
+                    seq,
+                    &rendered,
+                ));
+                seq += 1;
+            }
+        }
+        (job.sink)(&protocol::result_frame(spec, job.seed, &run));
+        let failed = run.record.outcome.crashed || run.record.resilience.degraded > 0;
+        self.queue.complete(
+            &spec.tenant,
+            run.record.outcome.total_latency,
+            failed,
+            self.now_s(),
+        );
+    }
+
+    /// One worker thread's life: claim, execute, repeat until the
+    /// queue shuts down and drains.
+    pub fn run_worker(&self) {
+        while let Some(job) = self.queue.next() {
+            self.execute(&job);
+        }
+    }
+
+    /// Spawns `n` worker threads running [`Server::run_worker`].
+    #[must_use]
+    pub fn spawn_workers(self: &Arc<Self>, n: usize) -> Vec<std::thread::JoinHandle<()>> {
+        (0..n)
+            .map(|i| {
+                let server = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || server.run_worker())
+                    .expect("spawn worker thread")
+            })
+            .collect()
+    }
+
+    /// Drains the queue on the current thread until no job is runnable
+    /// right now. Deterministic single-threaded execution for tests.
+    pub fn drain(&self) {
+        while let Some(job) = self.queue.try_next() {
+            self.execute(&job);
+        }
+    }
+
+    /// Initiates shutdown: pending jobs still drain, then workers exit.
+    pub fn finish(&self) {
+        self.queue.shutdown();
+    }
+
+    /// The bound address once [`Server::serve`] is running.
+    #[must_use]
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr.get().copied()
+    }
+
+    /// Flags the accept loop to stop and wakes it with a self-connect
+    /// (accept has no timeout; a dummy connection is the portable way
+    /// to interrupt it).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.local_addr() {
+            drop(TcpStream::connect(addr));
+        }
+    }
+
+    /// Runs the accept loop on `listener` until [`Server::request_stop`].
+    /// Each connection gets its own thread.
+    pub fn serve(self: &Arc<Self>, listener: &TcpListener) {
+        if let Ok(addr) = listener.local_addr() {
+            let _ = self.local_addr.set(addr);
+        }
+        for stream in listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let server = Arc::clone(self);
+            let _ = std::thread::Builder::new()
+                .name("serve-conn".to_string())
+                .spawn(move || server.handle_connection(stream));
+        }
+    }
+
+    /// Serves one connection: greet, then one request per line until
+    /// EOF. The write half is shared with job sinks, so frames from
+    /// worker threads interleave at line granularity (each line is
+    /// written under the lock).
+    pub fn handle_connection(self: &Arc<Self>, stream: TcpStream) {
+        let write_half = match stream.try_clone() {
+            Ok(s) => Arc::new(Mutex::new(s)),
+            Err(_) => return,
+        };
+        let sink: FrameSink = {
+            let out = Arc::clone(&write_half);
+            Arc::new(move |frame: &str| {
+                let mut g = out.lock().unwrap_or_else(PoisonError::into_inner);
+                // A vanished client must not take a worker down.
+                let _ = writeln!(g, "{frame}");
+                let _ = g.flush();
+            })
+        };
+        sink(&protocol::hello_frame(
+            &self.profile.name,
+            self.config.max_inflight,
+            self.config.max_queue,
+        ));
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match protocol::parse_request(&line) {
+                Err(e) => sink(&protocol::error_frame(&e)),
+                Ok(Request::Ping) => sink(&protocol::pong_frame()),
+                Ok(Request::Stats) => sink(&protocol::stats_frame(
+                    &self.queue.stats(),
+                    self.harness.cache_stats().as_ref(),
+                )),
+                Ok(Request::Shutdown) => {
+                    sink(&protocol::bye_frame());
+                    self.finish();
+                    self.request_stop();
+                    break;
+                }
+                Ok(Request::Submit(spec)) => {
+                    if let Err(e) = self.submit(spec, sink.clone()) {
+                        sink(&protocol::error_frame(&e));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aivril_bench::Flow;
+
+    fn collect_sink() -> (FrameSink, Arc<Mutex<Vec<String>>>) {
+        let frames = Arc::new(Mutex::new(Vec::new()));
+        let sink_frames = Arc::clone(&frames);
+        let sink: FrameSink = Arc::new(move |f: &str| {
+            sink_frames
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(f.to_string());
+        });
+        (sink, frames)
+    }
+
+    fn small_server() -> Server {
+        let (mut config, _) = ServeConfig::from_vars_checked(|_| None);
+        config.harness.task_limit = 4;
+        Server::new(config)
+    }
+
+    #[test]
+    fn unknown_task_is_an_error_not_a_job() {
+        let server = small_server();
+        let (sink, frames) = collect_sink();
+        let err = server
+            .submit(
+                SubmitRequest {
+                    tenant: "acme".into(),
+                    job: "j1".into(),
+                    task: "prob999_warp_drive".into(),
+                    verilog: true,
+                    flow: Flow::Aivril2,
+                },
+                sink,
+            )
+            .unwrap_err();
+        assert!(err.contains("unknown task"), "{err}");
+        assert!(frames.lock().unwrap().is_empty(), "no frame for an error");
+        assert_eq!(server.queue().stats().queued, 0);
+    }
+
+    #[test]
+    fn submitted_job_streams_ack_progress_result() {
+        let server = small_server();
+        let (sink, frames) = collect_sink();
+        let verdict = server
+            .submit(
+                SubmitRequest {
+                    tenant: "acme".into(),
+                    job: "j1".into(),
+                    task: "prob000_and2".into(),
+                    verilog: true,
+                    flow: Flow::Aivril2,
+                },
+                sink,
+            )
+            .unwrap();
+        assert!(matches!(verdict, Admission::Accepted { .. }));
+        server.drain();
+        let frames = frames.lock().unwrap();
+        assert!(frames[0].contains("\"type\":\"ack\""), "{}", frames[0]);
+        assert!(
+            frames.len() > 2,
+            "expected progress frames between ack and result: {frames:?}"
+        );
+        for frame in &frames[1..frames.len() - 1] {
+            assert!(frame.contains("\"type\":\"progress\""), "{frame}");
+        }
+        let last = frames.last().unwrap();
+        assert!(last.contains("\"type\":\"result\""), "{last}");
+        assert!(last.contains("\"task\":\"prob000_and2\""), "{last}");
+        assert_eq!(server.queue().stats().completed, 1);
+    }
+
+    #[test]
+    fn replayed_job_is_byte_identical() {
+        let server = small_server();
+        let run_once = || {
+            let (sink, frames) = collect_sink();
+            server
+                .submit(
+                    SubmitRequest {
+                        tenant: "acme".into(),
+                        job: "replay-me".into(),
+                        task: "prob002_xor2".into(),
+                        verilog: true,
+                        flow: Flow::Aivril2,
+                    },
+                    sink,
+                )
+                .unwrap();
+            server.drain();
+            let g = frames.lock().unwrap();
+            g.clone()
+        };
+        let first = run_once();
+        let second = run_once();
+        assert_eq!(first, second, "replay must be byte-identical");
+    }
+}
