@@ -66,12 +66,13 @@ impl ResiliencePolicy {
 }
 
 /// Breaker state. `Open` stores the modeled time until which calls are
-/// rejected.
+/// rejected; `HalfOpen` tracks whether the single allowed probe is
+/// already in flight.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum BreakerState {
     Closed,
     Open { until: f64 },
-    HalfOpen,
+    HalfOpen { probing: bool },
 }
 
 /// A per-run circuit breaker over the modeled clock.
@@ -79,8 +80,10 @@ enum BreakerState {
 /// After [`ResiliencePolicy::breaker_threshold`] consecutive failures
 /// the breaker opens: calls are rejected without consuming retry budget
 /// until [`ResiliencePolicy::breaker_cooldown_s`] modeled seconds pass,
-/// after which a single half-open probe is allowed. A successful probe
-/// closes the breaker; a failed one re-opens it.
+/// after which a single half-open probe is allowed — while that probe
+/// is outstanding (acquired but not yet reported), further
+/// [`CircuitBreaker::try_acquire`] calls are rejected. A successful
+/// probe closes the breaker; a failed one re-opens it.
 ///
 /// The breaker is scoped to one pipeline run — workers process samples
 /// in arbitrary order, so any cross-run state would break determinism.
@@ -107,13 +110,20 @@ impl CircuitBreaker {
     }
 
     /// Whether a call may proceed at modeled time `now`. An expired
-    /// `Open` transitions to `HalfOpen` and admits the probe.
+    /// `Open` transitions to `HalfOpen` and admits exactly one probe;
+    /// further calls are rejected until that probe reports back via
+    /// [`CircuitBreaker::on_success`] or [`CircuitBreaker::on_failure`].
     pub fn try_acquire(&mut self, now: f64) -> bool {
         match self.state {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen { probing: true } => false,
+            BreakerState::HalfOpen { probing: false } => {
+                self.state = BreakerState::HalfOpen { probing: true };
+                true
+            }
             BreakerState::Open { until } => {
                 if now >= until {
-                    self.state = BreakerState::HalfOpen;
+                    self.state = BreakerState::HalfOpen { probing: true };
                     true
                 } else {
                     false
@@ -133,7 +143,7 @@ impl CircuitBreaker {
     /// once the consecutive-failure streak reaches the threshold.
     pub fn on_failure(&mut self, now: f64) {
         match self.state {
-            BreakerState::HalfOpen => {
+            BreakerState::HalfOpen { .. } => {
                 self.state = BreakerState::Open {
                     until: now + self.cooldown_s,
                 };
@@ -260,6 +270,28 @@ impl BreakerBank {
         self.with(key, |b| b.opens())
     }
 
+    /// `true` while `key`'s breaker rejects calls at time `now`. Unlike
+    /// the other accessors this never creates a slot — an unknown key
+    /// is trivially closed.
+    #[must_use]
+    pub fn is_open(&self, key: &str, now: f64) -> bool {
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key)
+            .is_some_and(|b| b.is_open(now))
+    }
+
+    /// Drops `key`'s breaker slot (if any), forgetting its state. Used
+    /// by admission layers that evict idle scopes to bound memory
+    /// against unbounded key churn.
+    pub fn remove(&self, key: &str) {
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(key);
+    }
+
     /// Number of keys that have touched the bank.
     #[must_use]
     pub fn scopes(&self) -> usize {
@@ -353,6 +385,10 @@ mod tests {
         assert!(!b.try_acquire(5.0), "cooldown not elapsed");
         // After the cooldown, exactly one half-open probe is admitted.
         assert!(b.try_acquire(13.0));
+        assert!(
+            !b.try_acquire(13.5),
+            "second acquire while the probe is in flight must be rejected"
+        );
         b.on_failure(13.0);
         assert_eq!(b.opens(), 2, "failed probe re-opens");
         assert!(!b.try_acquire(20.0));
@@ -360,6 +396,34 @@ mod tests {
         b.on_success();
         assert!(b.try_acquire(24.0), "closed after successful probe");
         assert_eq!(b.opens(), 2);
+    }
+
+    /// Regression (review): `HalfOpen` used to admit *every* call, so a
+    /// burst arriving the moment a cooldown lapsed all went through
+    /// before the first probe reported. Now the state admits one probe
+    /// and rejects the rest until the probe's outcome arrives.
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let policy = ResiliencePolicy {
+            breaker_threshold: 1,
+            breaker_cooldown_s: 10.0,
+            ..ResiliencePolicy::default()
+        };
+        let mut b = CircuitBreaker::new(&policy);
+        b.on_failure(0.0);
+        assert!(b.try_acquire(15.0), "cooldown lapsed: probe admitted");
+        for t in [15, 16, 17] {
+            assert!(!b.try_acquire(t as f64), "burst behind the probe waits");
+        }
+        b.on_success();
+        assert!(b.try_acquire(18.0), "successful probe closes the breaker");
+        assert!(b.try_acquire(18.0), "closed state admits everyone again");
+        // A failed probe re-opens and restarts the cycle.
+        b.on_failure(20.0);
+        assert!(b.try_acquire(31.0));
+        assert!(!b.try_acquire(31.0));
+        b.on_failure(31.0);
+        assert!(!b.try_acquire(32.0), "failed probe re-opened the breaker");
     }
 
     #[test]

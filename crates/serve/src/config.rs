@@ -21,6 +21,27 @@ pub struct ServeConfig {
     /// (`AIVRIL_SERVE_MAX_QUEUE`); a tenant's total admitted-but-
     /// unfinished jobs are bounded by `max_inflight + max_queue`.
     pub max_queue: usize,
+    /// Global cap on distinct tenant states
+    /// (`AIVRIL_SERVE_MAX_TENANTS`). Tenant identity is client-asserted
+    /// and untrusted, so the tenant table must be bounded; idle tenants
+    /// are evicted to make room, and `tenant_limit` rejects past that.
+    pub max_tenants: usize,
+    /// Global cap on admitted-but-unfinished jobs across all tenants
+    /// (`AIVRIL_SERVE_MAX_JOBS`); submissions past it are rejected
+    /// `server_full`.
+    pub max_jobs: usize,
+    /// Per-connection bound on response frames queued for transmission
+    /// (`AIVRIL_SERVE_OUTBOX_CAP`). A connection whose client stops
+    /// reading overflows its outbox and is dropped; workers never block
+    /// on a client socket. Size it above the largest single-job frame
+    /// burst: a completed job's whole transcript is enqueued faster
+    /// than the writer thread can drain it, so a too-small cap would
+    /// condemn clients that are reading perfectly well.
+    pub outbox_cap: usize,
+    /// Socket write timeout in wall seconds
+    /// (`AIVRIL_SERVE_SEND_TIMEOUT_S`); a write stalled past it
+    /// condemns the connection as vanished.
+    pub send_timeout_s: f64,
     /// Name of the simulated model profile serving requests
     /// (`AIVRIL_SERVE_MODEL`, matched against
     /// [`profiles::all`]).
@@ -43,6 +64,10 @@ impl Default for ServeConfig {
             workers: 0,
             max_inflight: 2,
             max_queue: 8,
+            max_tenants: crate::queue::DEFAULT_MAX_TENANTS,
+            max_jobs: crate::queue::DEFAULT_MAX_TOTAL_JOBS,
+            outbox_cap: 4096,
+            send_timeout_s: 30.0,
             model: profiles::claude35_sonnet().name,
             harness,
         }
@@ -92,6 +117,17 @@ impl ServeConfig {
         parse_usize("AIVRIL_SERVE_WORKERS", &mut c.workers);
         parse_usize("AIVRIL_SERVE_MAX_INFLIGHT", &mut c.max_inflight);
         parse_usize("AIVRIL_SERVE_MAX_QUEUE", &mut c.max_queue);
+        parse_usize("AIVRIL_SERVE_MAX_TENANTS", &mut c.max_tenants);
+        parse_usize("AIVRIL_SERVE_MAX_JOBS", &mut c.max_jobs);
+        parse_usize("AIVRIL_SERVE_OUTBOX_CAP", &mut c.outbox_cap);
+        if let Some(v) = get("AIVRIL_SERVE_SEND_TIMEOUT_S") {
+            match v.parse::<f64>() {
+                Ok(s) if s.is_finite() && s > 0.0 => c.send_timeout_s = s,
+                _ => warnings.push(format!(
+                    "ignoring AIVRIL_SERVE_SEND_TIMEOUT_S (want a finite, positive number): {v}"
+                )),
+            }
+        }
         if let Some(name) = get("AIVRIL_SERVE_MODEL") {
             if profiles::all().iter().any(|p| p.name == name) {
                 c.model = name;
@@ -102,10 +138,18 @@ impl ServeConfig {
                 ));
             }
         }
-        // A tenant must be able to run at least one job.
-        if c.max_inflight == 0 {
-            warnings.push("AIVRIL_SERVE_MAX_INFLIGHT=0 would admit nothing; using 1".to_string());
-            c.max_inflight = 1;
+        // A tenant must be able to run at least one job, and the
+        // global bounds must admit at least one tenant / job / frame.
+        for (key, slot) in [
+            ("AIVRIL_SERVE_MAX_INFLIGHT", &mut c.max_inflight),
+            ("AIVRIL_SERVE_MAX_TENANTS", &mut c.max_tenants),
+            ("AIVRIL_SERVE_MAX_JOBS", &mut c.max_jobs),
+            ("AIVRIL_SERVE_OUTBOX_CAP", &mut c.outbox_cap),
+        ] {
+            if *slot == 0 {
+                warnings.push(format!("{key}=0 would admit nothing; using 1"));
+                *slot = 1;
+            }
         }
         (c, warnings)
     }
@@ -142,6 +186,10 @@ mod tests {
         assert!(c.harness.eda_cache, "service batches through the cache");
         assert_eq!(c.max_inflight, 2);
         assert_eq!(c.max_queue, 8);
+        assert_eq!(c.max_tenants, 64);
+        assert_eq!(c.max_jobs, 256);
+        assert_eq!(c.outbox_cap, 4096);
+        assert!((c.send_timeout_s - 30.0).abs() < 1e-12);
         assert!(c.effective_workers() >= 1);
         assert_eq!(c.profile().name, c.model);
     }
@@ -172,6 +220,12 @@ mod tests {
             ("AIVRIL_SERVE_WORKERS", "lots"),
             ("AIVRIL_SERVE_MAX_INFLIGHT", "-1"),
             ("AIVRIL_SERVE_MAX_QUEUE", "1.5"),
+            ("AIVRIL_SERVE_MAX_TENANTS", "many"),
+            ("AIVRIL_SERVE_MAX_JOBS", "-3"),
+            ("AIVRIL_SERVE_OUTBOX_CAP", "big"),
+            ("AIVRIL_SERVE_SEND_TIMEOUT_S", "NaN"),
+            ("AIVRIL_SERVE_SEND_TIMEOUT_S", "-1"),
+            ("AIVRIL_SERVE_SEND_TIMEOUT_S", "0"),
             ("AIVRIL_SERVE_MODEL", "GPT-9000"),
         ] {
             let (c, warnings) =
@@ -182,7 +236,42 @@ mod tests {
             assert_eq!(c.workers, d.workers);
             assert_eq!(c.max_inflight, d.max_inflight);
             assert_eq!(c.max_queue, d.max_queue);
+            assert_eq!(c.max_tenants, d.max_tenants);
+            assert_eq!(c.max_jobs, d.max_jobs);
+            assert_eq!(c.outbox_cap, d.outbox_cap);
+            assert!((c.send_timeout_s - d.send_timeout_s).abs() < 1e-12, "{key}");
             assert_eq!(c.model, d.model);
+        }
+    }
+
+    #[test]
+    fn backpressure_and_global_cap_knobs_parse() {
+        let (c, warnings) = ServeConfig::from_vars_checked(|key| match key {
+            "AIVRIL_SERVE_MAX_TENANTS" => Some("5".into()),
+            "AIVRIL_SERVE_MAX_JOBS" => Some("17".into()),
+            "AIVRIL_SERVE_OUTBOX_CAP" => Some("32".into()),
+            "AIVRIL_SERVE_SEND_TIMEOUT_S" => Some("2.5".into()),
+            _ => None,
+        });
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(c.max_tenants, 5);
+        assert_eq!(c.max_jobs, 17);
+        assert_eq!(c.outbox_cap, 32);
+        assert!((c.send_timeout_s - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_global_caps_are_bumped_to_one() {
+        for key in [
+            "AIVRIL_SERVE_MAX_TENANTS",
+            "AIVRIL_SERVE_MAX_JOBS",
+            "AIVRIL_SERVE_OUTBOX_CAP",
+        ] {
+            let (c, warnings) =
+                ServeConfig::from_vars_checked(|k| (k == key).then(|| "0".into()));
+            assert_eq!(warnings.len(), 1, "{key}: {warnings:?}");
+            assert!(warnings[0].contains(key), "{warnings:?}");
+            assert!(c.max_tenants >= 1 && c.max_jobs >= 1 && c.outbox_cap >= 1);
         }
     }
 

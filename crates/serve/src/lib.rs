@@ -18,9 +18,21 @@
 //!   `AIVRIL_SERVE_MAX_QUEUE` more waiting. Beyond that the service
 //!   answers with a structured `reject` frame carrying `retry_after_s`
 //!   — the queue is bounded by construction, overload can never grow
-//!   it. A [`aivril_core::BreakerBank`] gives each tenant its own
-//!   circuit breaker at the admission boundary, so one tenant's fault
-//!   storm cannot trip another tenant's breaker.
+//!   it. Tenant identity is client-asserted and untrusted, so global
+//!   caps back the per-tenant ones: `AIVRIL_SERVE_MAX_JOBS` bounds
+//!   admitted work service-wide (`server_full`) and
+//!   `AIVRIL_SERVE_MAX_TENANTS` bounds distinct tenant states
+//!   (`tenant_limit`, with idle-tenant eviction), so forged tenant
+//!   names cannot grow memory or queue depth without bound. A
+//!   [`aivril_core::BreakerBank`] gives each tenant its own circuit
+//!   breaker at the admission boundary, so one tenant's fault storm
+//!   cannot trip another tenant's breaker.
+//! * **Backpressure** ([`outbox`]): all socket writes happen on a
+//!   per-connection writer thread draining a bounded frame queue, so
+//!   neither admission (which pins ack ordering under the queue lock)
+//!   nor workers ever block on a client socket; a client that stops
+//!   reading is dropped on outbox overflow or write timeout while its
+//!   jobs still complete.
 //! * **Determinism** is per job: [`job_seed`] derives the run seed
 //!   purely from `(tenant, job)` — the grid harness's
 //!   [`aivril_bench::run_seed`] discipline with job identity as the
@@ -36,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod outbox;
 pub mod protocol;
 pub mod queue;
 pub mod server;

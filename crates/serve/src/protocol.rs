@@ -19,6 +19,14 @@
 //! {"type":"ack","tenant":"acme","job":"j1","seed":"0x..."}
 //! {"type":"reject","tenant":"acme","job":"j9","reason":"queue_full",
 //!  "retry_after_s":2.000000}
+//! ```
+//!
+//! `reject.reason` is one of `queue_full` (the tenant's own budget is
+//! exhausted), `server_full` (the global job cap is hit), `tenant_limit`
+//! (no state slot for a new tenant name), `breaker_open` (the tenant's
+//! admission breaker is open or probing) or `shutting_down`.
+//!
+//! ```json
 //! {"type":"progress","tenant":"acme","job":"j1","seq":0,"event":{...}}
 //! {"type":"result","tenant":"acme","job":"j1",...,"rtl":"..."}
 //! ```

@@ -6,11 +6,28 @@
 //! a `retry_after_s` hint — the queue cannot grow without bound, so
 //! overload degrades into fast rejections instead of latency collapse.
 //!
+//! Tenant identity is **untrusted** — it is whatever string the client
+//! asserted over an unauthenticated socket — so per-tenant bounds alone
+//! would not bound the service: a client forging N distinct tenant
+//! names would get N budgets and N state entries. Two global caps close
+//! that hole. `max_total` bounds admitted-but-unfinished jobs across
+//! *all* tenants (`server_full` rejects past it), and `max_tenants`
+//! bounds distinct tenant states (and therefore [`BreakerBank`] slots).
+//! A submission under a new name when the table is full first tries to
+//! evict an idle tenant — no queued or in-flight jobs, breaker not open
+//! — and is rejected with `tenant_limit` when none is evictable.
+//! Eviction forgets the evicted tenant's counters and breaker history;
+//! per-tenant statistics are best-effort under tenant churn, the hard
+//! bounds are not.
+//!
 //! The second admission gate is a per-tenant circuit breaker
 //! ([`BreakerBank`]): job completions feed each tenant's breaker
 //! (failure = crashed or degraded), and a tenant whose runs keep
 //! failing is refused at the door (`breaker_open`) until its cooldown
-//! lapses — without ever touching any other tenant's breaker.
+//! lapses — without ever touching any other tenant's breaker. The
+//! breaker is consulted *after* every capacity check, so a submission
+//! that would be rejected anyway can never consume the breaker's
+//! open→half-open transition and leave the probe slot dangling.
 //!
 //! Clock discipline: admission runs on *wall* seconds since server
 //! start, supplied by the caller. This is deliberately outside the
@@ -60,7 +77,8 @@ pub enum Admission {
     },
     /// The job was refused and will not run.
     Rejected {
-        /// `"queue_full"` or `"breaker_open"`.
+        /// `"queue_full"`, `"server_full"`, `"tenant_limit"`,
+        /// `"breaker_open"` or `"shutting_down"`.
         reason: &'static str,
         /// Suggested wall-seconds to wait before resubmitting.
         retry_after_s: f64,
@@ -101,6 +119,9 @@ struct QueueState {
     completed: u64,
     rejected: u64,
     inflight: usize,
+    /// Total modeled seconds across all completed jobs — the basis for
+    /// the `server_full` retry hint.
+    modeled_s: f64,
 }
 
 /// The bounded multi-tenant job queue. All methods are safe to call
@@ -108,6 +129,8 @@ struct QueueState {
 pub struct JobQueue {
     max_inflight: usize,
     max_queue: usize,
+    max_tenants: usize,
+    max_total: usize,
     breakers: BreakerBank,
     state: Mutex<QueueState>,
     cvar: Condvar,
@@ -116,18 +139,41 @@ pub struct JobQueue {
 /// Floor for `retry_after_s` hints, so a hint is never zero.
 const MIN_RETRY_S: f64 = 0.5;
 
+/// Default global cap on distinct tenant states (see the module docs:
+/// tenant identity is untrusted, so the table must be bounded).
+pub const DEFAULT_MAX_TENANTS: usize = 64;
+
+/// Default global cap on admitted-but-unfinished jobs across all
+/// tenants.
+pub const DEFAULT_MAX_TOTAL_JOBS: usize = 256;
+
 impl JobQueue {
     /// Creates a queue with the given per-tenant bounds and the
-    /// breaker policy each tenant's admission breaker will follow.
+    /// breaker policy each tenant's admission breaker will follow. The
+    /// global caps start at [`DEFAULT_MAX_TENANTS`] /
+    /// [`DEFAULT_MAX_TOTAL_JOBS`]; see
+    /// [`JobQueue::with_global_limits`].
     #[must_use]
     pub fn new(max_inflight: usize, max_queue: usize, policy: ResiliencePolicy) -> JobQueue {
         JobQueue {
             max_inflight: max_inflight.max(1),
             max_queue,
+            max_tenants: DEFAULT_MAX_TENANTS,
+            max_total: DEFAULT_MAX_TOTAL_JOBS,
             breakers: BreakerBank::new(policy),
             state: Mutex::new(QueueState::default()),
             cvar: Condvar::new(),
         }
+    }
+
+    /// Overrides the global caps: at most `max_tenants` distinct tenant
+    /// states and at most `max_total` admitted-but-unfinished jobs
+    /// service-wide. Both are clamped to at least 1.
+    #[must_use]
+    pub fn with_global_limits(mut self, max_tenants: usize, max_total: usize) -> JobQueue {
+        self.max_tenants = max_tenants.max(1);
+        self.max_total = max_total.max(1);
+        self
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
@@ -143,9 +189,12 @@ impl JobQueue {
 
     /// [`JobQueue::submit`] with a verdict hook invoked *before* an
     /// accepted job becomes claimable (still under the queue lock).
-    /// The server emits the `ack`/`reject` frame here — otherwise a
-    /// fast worker could stream a cache-warm job's progress before the
-    /// submitting thread wrote the ack, reordering the transcript.
+    /// The server *enqueues* the `ack`/`reject` frame here — otherwise
+    /// a fast worker could stream a cache-warm job's progress before
+    /// the submitting thread queued the ack, reordering the transcript.
+    /// The hook runs under the queue lock and therefore must never
+    /// block (no socket I/O — hand the frame to a per-connection
+    /// outbox).
     pub fn submit_with(
         &self,
         job: Job,
@@ -154,32 +203,79 @@ impl JobQueue {
     ) -> Admission {
         let tenant = job.spec.tenant.clone();
         let mut g = self.lock();
+        let verdict = match self.admission_reason(&mut g, &tenant, now) {
+            Some((reason, retry_after_s)) => {
+                // The per-tenant counter bumps only for tenants that
+                // already have state: creating state for rejected
+                // unknown names would let forged tenants grow the
+                // table.
+                g.rejected += 1;
+                if let Some(t) = g.tenants.get_mut(&tenant) {
+                    t.rejected += 1;
+                }
+                Admission::Rejected {
+                    reason,
+                    retry_after_s: retry_after_s.max(MIN_RETRY_S),
+                }
+            }
+            None => {
+                g.tenants
+                    .get_mut(&tenant)
+                    .expect("admitted tenant has state")
+                    .queued += 1;
+                Admission::Accepted { seed: job.seed }
+            }
+        };
+        on_verdict(&verdict);
+        if matches!(verdict, Admission::Accepted { .. }) {
+            g.pending.push_back(job);
+            drop(g);
+            self.cvar.notify_one();
+        }
+        verdict
+    }
+
+    /// Walks the admission gates in order; `Some((reason, hint))` for a
+    /// rejection, `None` to admit. The breaker is deliberately the
+    /// *last* gate: a job that consumes the open→half-open probe
+    /// transition is guaranteed to be admitted, so its completion
+    /// always reports the probe's outcome.
+    fn admission_reason(
+        &self,
+        g: &mut QueueState,
+        tenant: &str,
+        now: f64,
+    ) -> Option<(&'static str, f64)> {
         if g.shutdown {
-            g.rejected += 1;
-            g.tenants.entry(tenant).or_default().rejected += 1;
-            let verdict = Admission::Rejected {
-                reason: "shutting_down",
-                retry_after_s: MIN_RETRY_S,
-            };
-            on_verdict(&verdict);
-            return verdict;
+            return Some(("shutting_down", MIN_RETRY_S));
         }
-        if !self.breakers.try_acquire(&tenant, now) {
-            let retry_after_s = self
-                .breakers
-                .retry_after_s(&tenant, now)
-                .unwrap_or(MIN_RETRY_S)
-                .max(MIN_RETRY_S);
-            g.rejected += 1;
-            g.tenants.entry(tenant).or_default().rejected += 1;
-            let verdict = Admission::Rejected {
-                reason: "breaker_open",
-                retry_after_s,
-            };
-            on_verdict(&verdict);
-            return verdict;
+        // Global service-wide average modeled seconds per job — the
+        // retry hint for the global rejections.
+        let global_avg = if g.completed > 0 {
+            (g.modeled_s / g.completed as f64).max(1.0)
+        } else {
+            1.0
+        };
+        // A new tenant name needs a state slot; the table is bounded.
+        // Evict an idle tenant (nothing admitted, breaker not open) to
+        // make room, or refuse the newcomer.
+        if !g.tenants.contains_key(tenant) && g.tenants.len() >= self.max_tenants {
+            let idle = g
+                .tenants
+                .iter()
+                .find(|(key, t)| {
+                    t.queued == 0 && t.inflight == 0 && !self.breakers.is_open(key, now)
+                })
+                .map(|(key, _)| key.clone());
+            match idle {
+                Some(key) => {
+                    g.tenants.remove(&key);
+                    self.breakers.remove(&key);
+                }
+                None => return Some(("tenant_limit", global_avg)),
+            }
         }
-        let st = g.tenants.entry(tenant.clone()).or_default();
+        let st = g.tenants.entry(tenant.to_string()).or_default();
         let capacity = self.max_inflight + self.max_queue;
         if st.queued + st.inflight >= capacity {
             // Hint: this tenant's average modeled seconds per job.
@@ -188,23 +284,19 @@ impl JobQueue {
             } else {
                 0.0
             };
-            let retry_after_s = (avg.max(1.0)).max(MIN_RETRY_S);
-            st.rejected += 1;
-            g.rejected += 1;
-            let verdict = Admission::Rejected {
-                reason: "queue_full",
-                retry_after_s,
-            };
-            on_verdict(&verdict);
-            return verdict;
+            return Some(("queue_full", avg.max(1.0)));
         }
-        st.queued += 1;
-        let verdict = Admission::Accepted { seed: job.seed };
-        on_verdict(&verdict);
-        g.pending.push_back(job);
-        drop(g);
-        self.cvar.notify_one();
-        verdict
+        if g.pending.len() + g.inflight >= self.max_total {
+            return Some(("server_full", global_avg));
+        }
+        if !self.breakers.try_acquire(tenant, now) {
+            let retry_after_s = self
+                .breakers
+                .retry_after_s(tenant, now)
+                .unwrap_or(MIN_RETRY_S);
+            return Some(("breaker_open", retry_after_s));
+        }
+        None
     }
 
     fn take_runnable(st: &mut QueueState, max_inflight: usize) -> Option<Job> {
@@ -260,6 +352,7 @@ impl JobQueue {
             t.modeled_s += modeled_s;
             g.inflight = g.inflight.saturating_sub(1);
             g.completed += 1;
+            g.modeled_s += modeled_s;
         }
         if failed {
             self.breakers.on_failure(tenant, now);
@@ -390,6 +483,134 @@ mod tests {
         // The quiet tenant is untouched.
         assert!(accepted(&q.submit(job("quiet", "a"), 1.5)));
         assert_eq!(q.breaker_opens("quiet"), 0);
+    }
+
+    fn reject_reason(a: &Admission) -> &'static str {
+        match a {
+            Admission::Rejected { reason, .. } => reason,
+            Admission::Accepted { .. } => panic!("expected rejection, got {a:?}"),
+        }
+    }
+
+    /// Regression (review): tenant names are client-asserted, so
+    /// per-tenant bounds alone let a forger queue N budgets and grow
+    /// the tenant table (and breaker bank) without bound. The global
+    /// caps must hold against distinct forged names.
+    #[test]
+    fn forged_tenant_flood_is_bounded() {
+        let q = JobQueue::new(1, 1, ResiliencePolicy::default()).with_global_limits(3, 100);
+        // Three tenants with queued work occupy every state slot.
+        for t in ["t0", "t1", "t2"] {
+            assert!(accepted(&q.submit(job(t, "a"), 0.0)));
+        }
+        // A flood of fresh names finds no idle tenant to evict: every
+        // submission is refused and *no state is created* for it.
+        for i in 0..50 {
+            let verdict = q.submit(job(&format!("forged{i}"), "a"), 0.0);
+            assert_eq!(reject_reason(&verdict), "tenant_limit");
+        }
+        let stats = q.stats();
+        assert_eq!(stats.tenants, 3, "forged names must not grow the table");
+        assert_eq!(stats.rejected, 50);
+        assert_eq!(stats.queued, 3);
+    }
+
+    #[test]
+    fn idle_tenants_are_evicted_for_newcomers() {
+        let q = JobQueue::new(1, 1, ResiliencePolicy::default()).with_global_limits(2, 100);
+        // `old` runs a job to completion and goes idle.
+        assert!(accepted(&q.submit(job("old", "a"), 0.0)));
+        q.try_next().expect("runnable");
+        q.complete("old", 5.0, false, 1.0);
+        // `busy` holds the second slot with queued work.
+        assert!(accepted(&q.submit(job("busy", "a"), 1.0)));
+        // A newcomer takes the idle tenant's slot instead of a reject.
+        assert!(accepted(&q.submit(job("new", "a"), 2.0)));
+        let stats = q.stats();
+        assert_eq!(stats.tenants, 2, "idle `old` was evicted");
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn global_job_cap_rejects_server_full() {
+        let q = JobQueue::new(2, 2, ResiliencePolicy::default()).with_global_limits(100, 2);
+        assert!(accepted(&q.submit(job("t0", "a"), 0.0)));
+        assert!(accepted(&q.submit(job("t1", "a"), 0.0)));
+        // Per-tenant budgets have room, but the service-wide cap is hit.
+        let verdict = q.submit(job("t2", "a"), 0.0);
+        assert_eq!(reject_reason(&verdict), "server_full");
+        match verdict {
+            Admission::Rejected { retry_after_s, .. } => assert!(retry_after_s > 0.0),
+            Admission::Accepted { .. } => unreachable!(),
+        }
+        // Completions free global capacity again.
+        q.try_next().expect("runnable");
+        q.complete("t0", 1.0, false, 1.0);
+        assert!(accepted(&q.submit(job("t2", "a"), 1.0)));
+    }
+
+    /// Regression (review): the breaker used to be consulted *before*
+    /// the capacity checks, so a queue-full submission could consume
+    /// the open→half-open transition and leave the breaker half-open
+    /// with no probe in flight. Capacity now rejects first, and while
+    /// the single admitted probe is outstanding further submissions
+    /// are refused `breaker_open`.
+    #[test]
+    fn half_open_probe_is_single_and_never_wasted_on_full_queues() {
+        let policy = ResiliencePolicy {
+            breaker_threshold: 1,
+            breaker_cooldown_s: 10.0,
+            ..ResiliencePolicy::default()
+        };
+        let q = JobQueue::new(1, 1, policy);
+        // One failed completion opens the tenant's breaker.
+        assert!(accepted(&q.submit(job("acme", "a"), 0.0)));
+        q.try_next().expect("runnable");
+        q.complete("acme", 1.0, true, 1.0);
+        assert_eq!(reject_reason(&q.submit(job("acme", "b"), 2.0)), "breaker_open");
+        // Cooldown lapsed: the first submission is admitted as the
+        // probe, a second is refused while the probe is outstanding.
+        assert!(accepted(&q.submit(job("acme", "probe"), 20.0)));
+        assert_eq!(
+            reject_reason(&q.submit(job("acme", "burst"), 20.0)),
+            "breaker_open"
+        );
+        // Fill the remaining capacity from another angle: a queue-full
+        // rejection reports `queue_full` and must not touch the
+        // breaker. (Capacity here is 2; the probe occupies one slot.)
+        assert!(accepted(&q.submit(job("quiet", "x"), 20.0)));
+        // The probe completes successfully: the breaker closes and the
+        // tenant is fully admitted again.
+        let probe = q.try_next().expect("probe runnable");
+        assert_eq!(probe.spec.job, "probe");
+        q.complete("acme", 1.0, false, 21.0);
+        assert!(accepted(&q.submit(job("acme", "after"), 21.0)));
+    }
+
+    #[test]
+    fn full_queue_rejection_does_not_consume_the_probe() {
+        let policy = ResiliencePolicy {
+            breaker_threshold: 1,
+            breaker_cooldown_s: 10.0,
+            ..ResiliencePolicy::default()
+        };
+        let q = JobQueue::new(1, 0, policy);
+        // Open the breaker, then fill the tenant's capacity with the
+        // half-open probe after the cooldown.
+        assert!(accepted(&q.submit(job("acme", "a"), 0.0)));
+        q.try_next().expect("runnable");
+        q.complete("acme", 1.0, true, 1.0);
+        assert!(accepted(&q.submit(job("acme", "probe"), 20.0)));
+        // Capacity (1) is exhausted: the rejection is `queue_full`,
+        // reported before the breaker is consulted.
+        assert_eq!(
+            reject_reason(&q.submit(job("acme", "c"), 20.0)),
+            "queue_full"
+        );
+        // The probe's outcome still resolves the breaker normally.
+        q.try_next().expect("probe runnable");
+        q.complete("acme", 1.0, false, 21.0);
+        assert!(accepted(&q.submit(job("acme", "d"), 21.0)));
     }
 
     #[test]

@@ -9,15 +9,16 @@
 //! its identity, byte-identical however jobs interleave across workers.
 
 use crate::config::ServeConfig;
+use crate::outbox::Outbox;
 use crate::protocol::{self, Request, SubmitRequest};
 use crate::queue::{Admission, FrameSink, Job, JobQueue};
 use aivril_bench::Harness;
 use aivril_llm::ModelProfile;
 use aivril_obs::{render_event, Recorder};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// The job service: shared harness, per-tenant admission queue, and
@@ -44,7 +45,8 @@ impl Server {
             config.max_inflight,
             config.max_queue,
             config.harness.pipeline.resilience,
-        );
+        )
+        .with_global_limits(config.max_tenants, config.max_jobs);
         Server {
             harness,
             profile,
@@ -91,8 +93,9 @@ impl Server {
             .ok_or_else(|| format!("unknown task {:?}", spec.task))?;
         let seed = crate::job_seed(&spec.tenant, &spec.job);
         let (tenant, job_id) = (spec.tenant.clone(), spec.job.clone());
-        // The verdict frame is written under the queue lock, before the
-        // job becomes claimable — the ack always precedes progress.
+        // The verdict frame is enqueued (never socket-written — the
+        // sink must not block) under the queue lock, before the job
+        // becomes claimable — the ack always precedes progress.
         let verdict = self.queue.submit_with(
             Job {
                 spec,
@@ -234,21 +237,37 @@ impl Server {
     }
 
     /// Serves one connection: greet, then one request per line until
-    /// EOF. The write half is shared with job sinks, so frames from
-    /// worker threads interleave at line granularity (each line is
-    /// written under the lock).
+    /// EOF. All socket writes go through the connection's bounded
+    /// [`Outbox`] writer thread — the sink shared with job sinks only
+    /// *enqueues*, so neither the submission path (which emits the
+    /// ack under the queue lock) nor a worker thread ever blocks on a
+    /// slow client; a client that stops reading is dropped when its
+    /// outbox overflows or a write times out.
     pub fn handle_connection(self: &Arc<Self>, stream: TcpStream) {
         let write_half = match stream.try_clone() {
-            Ok(s) => Arc::new(Mutex::new(s)),
+            Ok(s) => s,
             Err(_) => return,
         };
+        let outbox = Outbox::spawn(
+            write_half,
+            self.config.outbox_cap,
+            self.config.send_timeout_s,
+        );
+        /// Closes the outbox when the last sink clone drops (the
+        /// connection handler and every in-flight job share one
+        /// closure), letting the writer thread drain and exit.
+        struct SinkGuard(Arc<Outbox>);
+        impl Drop for SinkGuard {
+            fn drop(&mut self) {
+                self.0.close();
+            }
+        }
         let sink: FrameSink = {
-            let out = Arc::clone(&write_half);
+            let guard = SinkGuard(Arc::clone(&outbox));
             Arc::new(move |frame: &str| {
-                let mut g = out.lock().unwrap_or_else(PoisonError::into_inner);
-                // A vanished client must not take a worker down.
-                let _ = writeln!(g, "{frame}");
-                let _ = g.flush();
+                // A vanished client must not take a worker down: a
+                // dead outbox swallows frames silently.
+                guard.0.push(frame);
             })
         };
         sink(&protocol::hello_frame(
@@ -271,6 +290,11 @@ impl Server {
                 )),
                 Ok(Request::Shutdown) => {
                     sink(&protocol::bye_frame());
+                    // The process exits once the accept loop notices
+                    // the stop flag — make sure the `bye` actually hits
+                    // the wire before that instead of racing the writer
+                    // thread.
+                    outbox.drain(std::time::Duration::from_secs(5));
                     self.finish();
                     self.request_stop();
                     break;
@@ -289,6 +313,7 @@ impl Server {
 mod tests {
     use super::*;
     use aivril_bench::Flow;
+    use std::sync::{Mutex, PoisonError};
 
     fn collect_sink() -> (FrameSink, Arc<Mutex<Vec<String>>>) {
         let frames = Arc::new(Mutex::new(Vec::new()));

@@ -299,3 +299,69 @@ fn tcp_end_to_end_with_byte_identical_replay() {
     }
     assert!(server.queue().is_shutdown());
 }
+
+#[test]
+fn stalled_client_does_not_block_other_tenants() {
+    let mut config = small_config();
+    config.addr = "127.0.0.1:0".to_string();
+    // Short write timeout so a genuinely wedged socket is condemned
+    // quickly; the outbox cap stays at its default — it must exceed a
+    // single job's frame burst, since a whole transcript is pushed at
+    // completion faster than the writer can drain it.
+    config.send_timeout_s = 0.5;
+    let listener = TcpListener::bind(&config.addr).expect("bind ephemeral");
+    let addr = listener.local_addr().expect("bound");
+    let server = Arc::new(Server::new(config));
+    let workers = server.spawn_workers(2);
+    let accept = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(&listener))
+    };
+
+    // Client A submits a job and then never reads a byte — not even
+    // the hello. Its frames pile into the outbox and kernel buffers;
+    // no admission or worker thread may block on its socket.
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    writeln!(
+        stalled,
+        "{{\"type\":\"submit\",\"tenant\":\"stall\",\"job\":\"s1\",\
+         \"task\":\"prob000_and2\"}}"
+    )
+    .expect("submit");
+
+    // Client B is served a complete transcript while A stalls.
+    let transcript = submit_over_tcp(addr, "brisk", "b1");
+    assert!(
+        transcript[0].contains("\"type\":\"ack\""),
+        "{}",
+        transcript[0]
+    );
+
+    // A's job runs to completion even though nobody reads its frames.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while server.queue().stats().completed < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled client's job never completed: {:?}",
+            server.queue().stats()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // The stalled socket must not wedge shutdown either.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("hello");
+        writeln!(stream, "{{\"type\":\"shutdown\"}}").expect("shutdown");
+        line.clear();
+        reader.read_line(&mut line).expect("bye");
+        assert!(line.contains("\"type\":\"bye\""), "{line}");
+    }
+    drop(stalled);
+    accept.join().expect("accept loop exits after shutdown");
+    for h in workers {
+        h.join().expect("workers exit after drain");
+    }
+}
