@@ -23,6 +23,7 @@
 
 use crate::{RunRecord, ShardRange};
 use aivril_core::ResilienceCounters;
+use aivril_eda::faults::{CkptFault, EdaFaultPlan};
 use aivril_metrics::SampleOutcome;
 use aivril_obs::codec::{self, Reader, Writer};
 use aivril_obs::{MetricsRegistry, RunJournal};
@@ -54,6 +55,8 @@ pub struct CellRecord {
 pub(crate) struct ShardCheckpoint {
     restored: HashMap<usize, CellRecord>,
     writer: Option<Mutex<File>>,
+    fingerprint: u64,
+    faults: EdaFaultPlan,
 }
 
 impl ShardCheckpoint {
@@ -94,7 +97,19 @@ impl ShardCheckpoint {
         ShardCheckpoint {
             restored,
             writer: writer.map(Mutex::new),
+            fingerprint,
+            faults: EdaFaultPlan::off(),
         }
+    }
+
+    /// Installs the deterministic fault plan for the checkpoint plane
+    /// (`AIVRIL_EDA_FAULTS` `ckpt_*` classes): torn tails and checksum
+    /// flips on append. An injected fault loses only durability — the
+    /// loader rejects the damaged line and the cell recomputes
+    /// bit-identically on resume.
+    pub fn with_faults(mut self, plan: EdaFaultPlan) -> ShardCheckpoint {
+        self.faults = plan;
+        self
     }
 
     /// The restored record of `cell`, if a checkpoint covered it.
@@ -108,8 +123,23 @@ impl ShardCheckpoint {
     pub fn append(&self, cell: usize, rec: &CellRecord) {
         let Some(writer) = &self.writer else { return };
         let payload = encode_cell(rec);
-        let sum = codec::fnv64(payload.as_bytes());
-        let line = format!("cell {cell} {sum:016x} {payload}\n");
+        let mut sum = codec::fnv64(payload.as_bytes());
+        let fault = self.faults.roll_ckpt(self.fingerprint, cell, sum);
+        if fault == Some(CkptFault::ChecksumFlip) {
+            // Bit-rot on the checksum: the loader must reject the line.
+            sum ^= 1;
+        }
+        let mut line = format!("cell {cell} {sum:016x} {payload}\n");
+        if fault == Some(CkptFault::TornTail) {
+            // A writer killed mid-append: only a prefix lands. The cut
+            // point is a pure hash of the same identity as the roll.
+            let frac = EdaFaultPlan::shape("ckpt.tear", "append", u128::from(sum), cell as u32);
+            let mut cut = (line.len() as f64 * (0.2 + 0.6 * frac)) as usize;
+            while cut > 0 && !line.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            line.truncate(cut);
+        }
         if let Ok(mut f) = writer.lock() {
             let _ = f.write_all(line.as_bytes()).and_then(|()| f.flush());
         }
@@ -555,6 +585,46 @@ mod tests {
         // A different fingerprint sees none of it.
         let other = ShardCheckpoint::open(&dir, 0x1234, range);
         assert!(other.restored(0).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_append_faults_lose_durability_not_correctness() {
+        let dir = std::env::temp_dir().join(format!("aivril-ckpt-faults-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let range = ShardRange { start: 0, end: 8 };
+
+        // A checksum flip on every append: nothing it writes survives
+        // replay, and the loader never panics on the damage.
+        let flip = ShardCheckpoint::open(&dir, 0xfeed, range)
+            .with_faults(EdaFaultPlan::parse("ckpt_checksum_flip=1.0").unwrap());
+        flip.append(0, &cell());
+        flip.append(1, &cell());
+        drop(flip);
+        let back = ShardCheckpoint::open(&dir, 0xfeed, range);
+        assert!(back.restored(0).is_none() && back.restored(1).is_none());
+        // The reopened (fault-free) writer truncated the damage away and
+        // can append cells that do survive.
+        back.append(2, &cell());
+        drop(back);
+        let back = ShardCheckpoint::open(&dir, 0xfeed, range);
+        assert!(back.restored(2).is_some());
+        drop(back);
+        let _ = fs::remove_dir_all(&dir);
+
+        // A torn tail: the damaged line (and anything after it in that
+        // log) is dropped; reopening truncates back to the valid prefix.
+        let _ = fs::remove_dir_all(&dir);
+        let torn = ShardCheckpoint::open(&dir, 0xfeed, range)
+            .with_faults(EdaFaultPlan::parse("ckpt_torn_tail=1.0").unwrap());
+        torn.append(0, &cell());
+        drop(torn);
+        let back = ShardCheckpoint::open(&dir, 0xfeed, range);
+        assert!(back.restored(0).is_none(), "torn cell is not restored");
+        back.append(0, &cell());
+        drop(back);
+        let back = ShardCheckpoint::open(&dir, 0xfeed, range);
+        assert!(back.restored(0).is_some(), "recomputed cell lands cleanly");
         let _ = fs::remove_dir_all(&dir);
     }
 

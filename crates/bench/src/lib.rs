@@ -32,7 +32,9 @@ pub mod checkpoint;
 use aivril_core::{
     Aivril2, Aivril2Config, BaselineFlow, ResilienceCounters, RunResult, Stage, TaskInput,
 };
-use aivril_eda::{CacheStats, DiskStats, EdaCache, HdlFile, ToolSuite, XsimToolSuite};
+use aivril_eda::{
+    CacheStats, DiskStats, EdaCache, EdaFaultPlan, HdlFile, ToolSuite, XsimToolSuite,
+};
 use aivril_llm::{FaultConfig, ModelProfile, SimLlm, TaskLibrary};
 use aivril_metrics::{EvalOutcome, SampleOutcome};
 use aivril_obs::{codec, json, Recorder};
@@ -75,6 +77,13 @@ pub struct HarnessConfig {
     /// functions of request content, so faulted runs are bit-identical
     /// for every thread count too.
     pub faults: FaultConfig,
+    /// Deterministic EDA/storage fault plan ([`EdaFaultPlan`],
+    /// `AIVRIL_EDA_FAULTS`): tool crashes/hangs/log corruption, disk
+    /// cache chaos and checkpoint torn writes. Off by default; every
+    /// decision is a pure hash of the invocation's content key, so
+    /// faulted runs stay bit-identical across thread counts and cache
+    /// modes.
+    pub eda_faults: EdaFaultPlan,
     /// Override for the simulator's delta-cycle watchdog
     /// (`max_deltas_per_step`); `None` keeps [`SimConfig::default`].
     pub sim_max_deltas: Option<u32>,
@@ -93,9 +102,10 @@ pub struct HarnessConfig {
     /// (`AIVRIL_EDA_CACHE_DIR`); implies [`HarnessConfig::eda_cache`].
     pub eda_cache_dir: Option<String>,
     /// Canonical-output mode (`AIVRIL_CANONICAL`): zero the volatile
-    /// `wall_seconds` and drop the diagnostic `eda_cache`/`kernel`
-    /// stats blocks, so results JSON from different processes,
-    /// machines or cache modes can be compared byte-for-byte.
+    /// `wall_seconds` and schedule-recording `threads` stats fields
+    /// and drop the diagnostic `eda_cache`/`kernel` blocks, so
+    /// results JSON from different processes, machines, thread counts
+    /// or cache modes can be compared byte-for-byte.
     pub canonical: bool,
 }
 
@@ -107,6 +117,7 @@ impl Default for HarnessConfig {
             threads: 0,
             eda_cache: false,
             faults: FaultConfig::off(),
+            eda_faults: EdaFaultPlan::off(),
             sim_max_deltas: None,
             pipeline: Aivril2Config::default(),
             shard: None,
@@ -177,6 +188,12 @@ impl HarnessConfig {
             match FaultConfig::parse(&v) {
                 Ok(f) => c.faults = f,
                 Err(e) => warnings.push(format!("ignoring AIVRIL_FAULTS: {e}")),
+            }
+        }
+        if let Some(v) = get("AIVRIL_EDA_FAULTS") {
+            match EdaFaultPlan::parse(&v) {
+                Ok(f) => c.eda_faults = f,
+                Err(e) => warnings.push(format!("ignoring AIVRIL_EDA_FAULTS: {e}")),
             }
         }
         let mut parse_u32 = |key: &'static str| -> Option<u32> {
@@ -522,8 +539,15 @@ impl Harness {
                 ..SimConfig::default()
             });
         }
+        if !config.eda_faults.is_off() {
+            tools = tools.with_eda_faults(config.eda_faults);
+        }
         if let Some(dir) = &config.eda_cache_dir {
-            tools = tools.with_cache(EdaCache::persistent(dir));
+            tools = tools.with_cache(if config.eda_faults.is_off() {
+                EdaCache::persistent(dir)
+            } else {
+                EdaCache::persistent_with_faults(dir, config.eda_faults)
+            });
         } else if config.eda_cache {
             tools = tools.with_cache(EdaCache::new());
         }
@@ -813,6 +837,11 @@ impl Harness {
             "{:?}{:?}{:?}",
             self.config.faults, self.config.pipeline, self.config.sim_max_deltas
         ));
+        // Folded in only when live so every all-off artifact (checkpoint
+        // file names included) is byte-identical to a plan-unaware build.
+        if !self.config.eda_faults.is_off() {
+            w.str(&format!("{:?}", self.config.eda_faults));
+        }
         codec::fnv64(w.payload().as_bytes())
     }
 
@@ -874,6 +903,7 @@ impl Harness {
                 self.fingerprint(profile, verilog, flow),
                 range,
             )
+            .with_faults(self.config.eda_faults)
         });
         let slots: Vec<OnceLock<RunRecord>> = (0..range.len()).map(|_| OnceLock::new()).collect();
         let mut pending = Vec::new();
@@ -1097,9 +1127,13 @@ impl Harness {
         }
         if self.config.canonical {
             // Mask the documented volatile/diagnostic stats fields so
-            // artifacts from different processes, machines and cache
-            // modes compare byte-for-byte (`AIVRIL_CANONICAL`).
+            // artifacts from different processes, machines, schedules
+            // and cache modes compare byte-for-byte
+            // (`AIVRIL_CANONICAL`). `threads` records the schedule
+            // itself — the one thing cross-schedule comparisons must
+            // not see.
             stats.wall_seconds = 0.0;
+            stats.threads = 0;
             stats.eda_cache = None;
             stats.kernel = KernelPerf::default();
         }
@@ -1475,6 +1509,30 @@ mod tests {
         let bad =
             HarnessConfig::from_vars(|k| (k == "AIVRIL_FAULTS").then(|| "nonsense=xyz".into()));
         assert!(bad.faults.is_off(), "unparsable fault plans are ignored");
+    }
+
+    #[test]
+    fn eda_fault_env_var_is_parsed_or_ignored() {
+        let c = HarnessConfig::from_vars(|k| {
+            (k == "AIVRIL_EDA_FAULTS").then(|| "crash=0.2,disk_probe_eio=0.1".into())
+        });
+        assert!(!c.eda_faults.is_off());
+
+        let defaults = HarnessConfig::from_vars(|_| None);
+        assert!(
+            defaults.eda_faults.is_off(),
+            "EDA faults are off by default"
+        );
+
+        let (bad, warnings) = HarnessConfig::from_vars_checked(|k| {
+            (k == "AIVRIL_EDA_FAULTS").then(|| "crash=2.0".into())
+        });
+        assert!(
+            bad.eda_faults.is_off(),
+            "unparsable EDA fault plans are ignored"
+        );
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("AIVRIL_EDA_FAULTS"), "{warnings:?}");
     }
 
     #[test]

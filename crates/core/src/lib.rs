@@ -69,7 +69,9 @@ mod user;
 
 pub use config::{Aivril2Config, PromptDetail};
 pub use flow::{Aivril2, BaselineFlow, RunResult};
-pub use resilience::{BreakerBank, CircuitBreaker, ResilienceCounters, ResiliencePolicy};
+pub use resilience::{
+    BreakerBank, CircuitBreaker, ResilienceCounters, ResiliencePolicy, MAX_RETRY_AFTER_S,
+};
 pub use task::TaskInput;
 pub use trace::{RunTrace, Stage, TraceEvent, TraceEventKind};
 pub use user::{spec_is_sufficient, NoClarification, StaticUser, UserProxy};

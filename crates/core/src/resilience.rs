@@ -75,6 +75,12 @@ enum BreakerState {
     HalfOpen { probing: bool },
 }
 
+/// Ceiling on [`CircuitBreaker::retry_after_s`] hints — one day.
+/// Retry hints are serialized to clients, and a breaker configured
+/// with an infinite (or absurd) cooldown must hand back a finite,
+/// representable number, not `inf`.
+pub const MAX_RETRY_AFTER_S: f64 = 86_400.0;
+
 /// A per-run circuit breaker over the modeled clock.
 ///
 /// After [`ResiliencePolicy::breaker_threshold`] consecutive failures
@@ -171,11 +177,15 @@ impl CircuitBreaker {
     /// Seconds until an open breaker admits its half-open probe;
     /// `None` when calls are not currently rejected. This is the
     /// `retry_after` an admission layer hands back to callers it turns
-    /// away.
+    /// away, so it is always a non-negative finite number: an infinite
+    /// cooldown (a breaker configured to never recover on its own)
+    /// clamps to [`MAX_RETRY_AFTER_S`] instead of serializing as `inf`.
     #[must_use]
     pub fn retry_after_s(&self, now: f64) -> Option<f64> {
         match self.state {
-            BreakerState::Open { until } if now < until => Some(until - now),
+            BreakerState::Open { until } if now < until => {
+                Some((until - now).clamp(0.0, MAX_RETRY_AFTER_S))
+            }
             _ => None,
         }
     }
@@ -396,6 +406,29 @@ mod tests {
         b.on_success();
         assert!(b.try_acquire(24.0), "closed after successful probe");
         assert_eq!(b.opens(), 2);
+    }
+
+    /// Regression: an infinite (or enormous) cooldown used to leak
+    /// `inf` out of `retry_after_s`, which serializers then printed as
+    /// a non-JSON `inf` token. The hint must always be a non-negative
+    /// finite number.
+    #[test]
+    fn retry_after_hints_are_finite_and_non_negative() {
+        for cooldown in [f64::INFINITY, 1e300, 10.0] {
+            let policy = ResiliencePolicy {
+                breaker_threshold: 1,
+                breaker_cooldown_s: cooldown,
+                ..ResiliencePolicy::default()
+            };
+            let mut b = CircuitBreaker::new(&policy);
+            b.on_failure(0.0);
+            let hint = b.retry_after_s(1.0).expect("open breaker hints");
+            assert!(hint.is_finite(), "cooldown {cooldown}: {hint}");
+            assert!((0.0..=MAX_RETRY_AFTER_S).contains(&hint), "{hint}");
+        }
+        // A closed breaker still hints nothing.
+        let b = CircuitBreaker::new(&ResiliencePolicy::default());
+        assert_eq!(b.retry_after_s(0.0), None);
     }
 
     /// Regression (review): `HalfOpen` used to admit *every* call, so a

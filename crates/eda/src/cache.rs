@@ -171,6 +171,23 @@ impl EdaCache {
         }
     }
 
+    /// [`EdaCache::persistent`] with a deterministic fault plan on the
+    /// disk tier (`AIVRIL_EDA_FAULTS` disk classes). The disk tier is
+    /// an accelerator, so injected storage chaos perturbs only its
+    /// diagnostic counters — results still degrade to recomputation.
+    #[must_use]
+    pub fn persistent_with_faults(
+        dir: impl AsRef<std::path::Path>,
+        plan: crate::faults::EdaFaultPlan,
+    ) -> EdaCache {
+        EdaCache {
+            inner: Arc::new(Inner {
+                disk: Some(DiskStore::new(dir.as_ref()).with_faults(plan)),
+                ..Inner::default()
+            }),
+        }
+    }
+
     /// Diagnostic counters of the disk tier; `None` for a memory-only
     /// cache. Unlike [`EdaCache::stats`] these depend on what earlier
     /// runs left on disk, so they never enter canonical artifacts.

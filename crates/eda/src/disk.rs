@@ -46,6 +46,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::cache::SimEntry;
+use crate::faults::{DiskWriteFault, EdaFaultPlan};
 use crate::report::{CompileReport, SimDiverged, SimReport, TestFailure, ToolMessage};
 use aivril_hdl::diag::Severity;
 use aivril_obs::codec::{fnv64, Reader, Writer};
@@ -79,14 +80,34 @@ pub(crate) struct DiskStore {
     misses: AtomicU64,
     writes: AtomicU64,
     errors: AtomicU64,
+    faults: EdaFaultPlan,
 }
 
 impl DiskStore {
     pub(crate) fn new(dir: &Path) -> DiskStore {
+        // A writer killed between staging and rename leaves a `.tmp-*`
+        // file behind. Sweep them on open: the rename never happened,
+        // so no reader can be holding one, and a live writer that loses
+        // its tempfile merely counts an error and recomputes.
+        if let Ok(entries) = fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if name.to_string_lossy().starts_with(".tmp-") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
         DiskStore {
             dir: dir.to_path_buf(),
             ..DiskStore::default()
         }
+    }
+
+    /// Installs the deterministic fault plan for this store's disk
+    /// classes (short writes, probe EIO, stale tempfiles).
+    pub(crate) fn with_faults(mut self, plan: EdaFaultPlan) -> DiskStore {
+        self.faults = plan;
+        self
     }
 
     pub(crate) fn stats(&self) -> DiskStats {
@@ -104,6 +125,13 @@ impl DiskStore {
 
     /// Loads and decodes one entry; any failure is a miss.
     fn load(&self, op: &str, key: u128) -> Option<String> {
+        if self.faults.roll_disk_probe(op, key) {
+            // Injected EIO on the probe: exactly the I/O-error path
+            // below — counted, degraded to a miss, never propagated.
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let text = match fs::read_to_string(self.entry_path(op, key)) {
             Ok(text) => text,
             Err(e) => {
@@ -128,15 +156,31 @@ impl DiskStore {
     /// (the disk tier is an accelerator, never a correctness
     /// dependency).
     fn store(&self, op: &str, key: u128, payload: &str) {
-        let line = format!(
+        let mut line = format!(
             "{MAGIC} {VERSION} {op} {:016x} {payload}\n",
             fnv64(payload.as_bytes())
         );
+        let fault = self.faults.roll_disk_store(op, key);
+        if fault == Some(DiskWriteFault::ShortWrite) {
+            // A writer killed mid-`write` that still got renamed into
+            // place by a wrapper: the entry is committed but truncated,
+            // and every later load must reject it on the checksum.
+            line.truncate(line.len() / 2);
+        }
         // Process-unique staging name: within one process, slot
         // insertion already guarantees at most one writer per key.
         let tmp = self
             .dir
             .join(format!(".tmp-{op}-{key:032x}.{}", std::process::id()));
+        if fault == Some(DiskWriteFault::StaleTmp) {
+            // The writer dies between staging and rename: the tempfile
+            // stays behind (the next store open sweeps it) and the
+            // entry never lands.
+            let _ = fs::create_dir_all(&self.dir);
+            let _ = fs::File::create(&tmp).and_then(|mut f| f.write_all(line.as_bytes()));
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let committed = fs::create_dir_all(&self.dir).is_ok()
             && fs::File::create(&tmp)
                 .and_then(|mut f| f.write_all(line.as_bytes()))
@@ -455,6 +499,83 @@ mod tests {
         fs::write(&path, good.replace("$adder.v", "$evil.v")).unwrap();
         assert!(store.load_analyze(7).is_none(), "checksum mismatch");
         let _ = fs::remove_dir_all(&store.dir);
+    }
+
+    #[test]
+    fn stale_tempfiles_are_swept_on_open_and_never_decoded() {
+        let d = dir("tmp");
+        fs::create_dir_all(&d).unwrap();
+        // A dead writer's staging file with a fully valid entry line in
+        // it: it must be removed on open, and until then it must never
+        // be served as an entry (loads go through `entry_path` only).
+        let mut w = Writer::new();
+        encode_compile_report(&mut w, &report());
+        let line = format!(
+            "{MAGIC} {VERSION} analyze {:016x} {}\n",
+            fnv64(w.payload().as_bytes()),
+            w.payload()
+        );
+        let stale = d.join(".tmp-analyze-00000000000000000000000000000007.99999");
+        fs::write(&stale, line).unwrap();
+        let store = DiskStore::new(&d);
+        assert!(!stale.exists(), "open sweeps dead writers' tempfiles");
+        assert!(
+            store.load_analyze(7).is_none(),
+            "a tempfile is not an entry"
+        );
+        // Real entries survive the sweep.
+        store.store_analyze(7, &report());
+        let store2 = DiskStore::new(&d);
+        assert!(store2.load_analyze(7).is_some());
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn injected_disk_faults_degrade_to_misses() {
+        // Probe EIO: the entry is on disk and intact, but the faulted
+        // store cannot read it; a clean store can.
+        let d = dir("eio");
+        let clean = DiskStore::new(&d);
+        clean.store_analyze(3, &report());
+        let faulted =
+            DiskStore::new(&d).with_faults(EdaFaultPlan::parse("disk_probe_eio=1.0").unwrap());
+        assert!(faulted.load_analyze(3).is_none());
+        let s = faulted.stats();
+        assert_eq!((s.misses, s.errors), (1, 1));
+        assert!(clean.load_analyze(3).is_some());
+        let _ = fs::remove_dir_all(&d);
+
+        // Short write: the entry lands truncated; loads reject it on
+        // the checksum and degrade to a miss.
+        let d = dir("short");
+        let short =
+            DiskStore::new(&d).with_faults(EdaFaultPlan::parse("disk_short_write=1.0").unwrap());
+        short.store_analyze(3, &report());
+        assert!(short.entry_path("analyze", 3).exists());
+        assert!(DiskStore::new(&d).load_analyze(3).is_none());
+        let _ = fs::remove_dir_all(&d);
+
+        // Stale tmp: the entry never lands, the tempfile stays behind,
+        // and the next open sweeps it.
+        let d = dir("stale");
+        let stale =
+            DiskStore::new(&d).with_faults(EdaFaultPlan::parse("disk_stale_tmp=1.0").unwrap());
+        stale.store_analyze(3, &report());
+        assert!(!stale.entry_path("analyze", 3).exists());
+        let tmps = fs::read_dir(&d)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .count();
+        assert_eq!(tmps, 1, "the dead writer's tempfile is left behind");
+        let _ = DiskStore::new(&d);
+        let tmps = fs::read_dir(&d)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .count();
+        assert_eq!(tmps, 0, "reopening sweeps it");
+        let _ = fs::remove_dir_all(&d);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 mod cache;
 mod disk;
+pub mod faults;
 mod latency;
 mod report;
 mod source;
@@ -31,6 +32,7 @@ mod xsim;
 
 pub use cache::{CacheStats, EdaCache};
 pub use disk::DiskStats;
+pub use faults::EdaFaultPlan;
 pub use latency::ToolLatencyModel;
 pub use report::{CompileReport, SimDiverged, SimReport, TestFailure, ToolMessage};
 pub use source::{HdlFile, Language};

@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::cache::{self, CompileEntry, EdaCache, SimEntry};
+use crate::faults::{EdaFaultPlan, ToolFault};
 use crate::latency::ToolLatencyModel;
 use crate::report::{extract_failures, CompileReport, SimReport, ToolMessage};
 use crate::source::{HdlFile, Language};
@@ -29,6 +30,7 @@ pub struct XsimToolSuite {
     sim_config: SimConfig,
     recorder: Recorder,
     cache: Option<EdaCache>,
+    faults: EdaFaultPlan,
     /// Kernel performance counters, summed over every simulation this
     /// suite (and its clones — the worker pool) executes or replays
     /// from cache. Diagnostic only; never feeds canonical artifacts.
@@ -121,6 +123,17 @@ impl XsimToolSuite {
         self.cache.as_ref()
     }
 
+    /// Installs a deterministic fault plan (`AIVRIL_EDA_FAULTS`). Every
+    /// injected decision is a pure hash of the invocation's content key
+    /// and attempt number, so faulted runs stay bit-identical across
+    /// worker counts and cache modes; the all-off plan (the default) is
+    /// byte-for-byte the unfaulted code path.
+    #[must_use]
+    pub fn with_eda_faults(mut self, plan: EdaFaultPlan) -> XsimToolSuite {
+        self.faults = plan;
+        self
+    }
+
     /// Snapshot of the kernel performance counters accumulated across
     /// every simulation this suite and its clones ran (or replayed from
     /// cache — hits fold the stored run's counters, keeping cache-on
@@ -150,6 +163,242 @@ impl XsimToolSuite {
         );
     }
 
+    /// Rolls the tool-plane fault plan for one invocation, retrying
+    /// transient faults (crash / hang / spurious exit) up to
+    /// `retry_max` times. Each faulted attempt costs `attempt_cost`
+    /// modeled seconds (the hang class costs `watchdog_s` instead);
+    /// the accumulated penalty lands on the final report's latency.
+    /// Only called when the plan has live tool rates.
+    fn tool_fault_gate(&self, op: &'static str, key: u128, attempt_cost: f64) -> FaultVerdict {
+        let plan = &self.faults;
+        let mut penalty = 0.0;
+        let mut attempt = 0u32;
+        loop {
+            let Some(fault) = plan.roll_tool(op, key, attempt) else {
+                return FaultVerdict {
+                    outcome: FaultOutcome::Clean,
+                    penalty_s: penalty,
+                    key,
+                    attempt,
+                };
+            };
+            self.recorder.counter_add(
+                "eda_fault_injected_total",
+                &[("class", fault.label()), ("op", op)],
+                1,
+            );
+            if !fault.is_transient() {
+                // Garbled/truncated logs are completed invocations —
+                // the runner saw a zero exit and has no reason to retry.
+                return FaultVerdict {
+                    outcome: FaultOutcome::Mutate(fault),
+                    penalty_s: penalty,
+                    key,
+                    attempt,
+                };
+            }
+            penalty += if fault == ToolFault::Hang {
+                plan.watchdog_s
+            } else {
+                attempt_cost
+            };
+            if attempt >= plan.retry_max {
+                self.recorder
+                    .counter_add("resilience_eda_exhausted_total", &[("op", op)], 1);
+                return FaultVerdict {
+                    outcome: FaultOutcome::Fail,
+                    penalty_s: penalty,
+                    key,
+                    attempt,
+                };
+            }
+            self.recorder
+                .counter_add("resilience_eda_retries_total", &[("op", op)], 1);
+            attempt += 1;
+        }
+    }
+
+    /// Builds the failed report for a retries-exhausted tool fault: one
+    /// log line per faulted attempt (re-rolled — the rolls are pure, so
+    /// this reconstructs exactly what the gate saw) plus a structured
+    /// error message. The modeled latency is the accumulated penalty.
+    fn faulted_compile_report(&self, op: &'static str, v: &FaultVerdict) -> CompileReport {
+        let mut log = String::new();
+        let mut last = ToolFault::Crash;
+        for i in 0..=v.attempt {
+            if let Some(fault) = self.faults.roll_tool(op, v.key, i) {
+                last = fault;
+                log.push_str(&fault_line(op, fault, i, self.faults.watchdog_s));
+            }
+        }
+        log.push_str(&format!(
+            "ERROR: [aivril] {op} abandoned after {} attempt(s)\n",
+            v.attempt + 1
+        ));
+        CompileReport {
+            success: false,
+            log,
+            messages: vec![ToolMessage {
+                severity: Severity::Error,
+                code: fault_code(last).into(),
+                message: format!("{op} failed: injected {} fault", last.label()),
+                file: None,
+                line: None,
+            }],
+            modeled_latency: v.penalty_s,
+        }
+    }
+
+    /// Applies a log-mutation fault (and any retry penalty) to a
+    /// completed compile-like report. The structured verdict is the
+    /// tool's exit protocol and stays intact; only the textual log is
+    /// corrupted. The mutation point is itself a pure hash of the
+    /// invocation identity.
+    fn shape_compile_fault(
+        &self,
+        op: &'static str,
+        mut report: CompileReport,
+        v: &FaultVerdict,
+    ) -> CompileReport {
+        match v.outcome {
+            FaultOutcome::Mutate(ToolFault::Garbled) => {
+                report.log = garble_log(
+                    &report.log,
+                    EdaFaultPlan::shape("garble", op, v.key, v.attempt),
+                );
+            }
+            FaultOutcome::Mutate(ToolFault::Truncate) => {
+                report.log = truncate_log(
+                    &report.log,
+                    EdaFaultPlan::shape("truncate", op, v.key, v.attempt),
+                );
+            }
+            _ => {}
+        }
+        report.modeled_latency += v.penalty_s;
+        report
+    }
+
+    /// Applies a log-mutation fault (and any retry penalty) to a
+    /// completed sim report. Unlike compiles, a testbench verdict *is*
+    /// read from the log (the pass marker, the failure lines), so the
+    /// pass/failure fields are re-derived from the corrupted text: a
+    /// truncated log that lost the marker reads as a failing run. The
+    /// re-derivation only ANDs into `passed`, so corruption can hide a
+    /// pass but never fabricate one.
+    fn shape_sim_fault(&self, mut report: SimReport, v: &FaultVerdict) -> SimReport {
+        match v.outcome {
+            FaultOutcome::Mutate(ToolFault::Garbled) => {
+                report.log = garble_log(
+                    &report.log,
+                    EdaFaultPlan::shape("garble", "simulate", v.key, v.attempt),
+                );
+            }
+            FaultOutcome::Mutate(ToolFault::Truncate) => {
+                report.log = truncate_log(
+                    &report.log,
+                    EdaFaultPlan::shape("truncate", "simulate", v.key, v.attempt),
+                );
+            }
+            _ => {}
+        }
+        if matches!(v.outcome, FaultOutcome::Mutate(_)) {
+            report.failures = extract_failures(&report.log);
+            report.passed =
+                report.passed && report.failures.is_empty() && report.log.contains(PASS_MARKER);
+        }
+        report.modeled_latency += v.penalty_s;
+        report
+    }
+}
+
+/// Outcome of rolling the tool-plane fault plan for one invocation.
+#[derive(Debug, Clone, Copy)]
+struct FaultVerdict {
+    outcome: FaultOutcome,
+    /// Modeled seconds consumed by faulted attempts.
+    penalty_s: f64,
+    /// The invocation's content key (fault identity).
+    key: u128,
+    /// The attempt index of the final roll.
+    attempt: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FaultOutcome {
+    /// No fault (possibly after retries); run the real invocation.
+    Clean,
+    /// Retries exhausted on a transient fault; the invocation failed.
+    /// (The failing class is reconstructed by re-rolling — the rolls
+    /// are pure — so the report builder shows every attempt, not just
+    /// the last.)
+    Fail,
+    /// The invocation completed but its log must be corrupted.
+    Mutate(ToolFault),
+}
+
+impl FaultVerdict {
+    fn failed(&self) -> bool {
+        matches!(self.outcome, FaultOutcome::Fail)
+    }
+}
+
+/// One Vivado-style log line for one faulted attempt.
+fn fault_line(op: &str, fault: ToolFault, attempt: u32, watchdog_s: f64) -> String {
+    match fault {
+        ToolFault::Crash => format!(
+            "FATAL: [{}] tool process terminated unexpectedly during {op} (attempt {attempt})\n",
+            fault_code(fault)
+        ),
+        ToolFault::Hang => format!(
+            "ERROR: [{}] {op} watchdog expired after {watchdog_s} s; process killed (attempt {attempt})\n",
+            fault_code(fault)
+        ),
+        ToolFault::SpuriousExit => format!(
+            "ERROR: [{}] {op} exited with nonzero status but produced no diagnostics (attempt {attempt})\n",
+            fault_code(fault)
+        ),
+        // Log-mutation faults never produce attempt lines.
+        ToolFault::Garbled | ToolFault::Truncate => String::new(),
+    }
+}
+
+fn fault_code(fault: ToolFault) -> &'static str {
+    match fault {
+        ToolFault::Crash => "XSIM 43-3915",
+        ToolFault::Hang => "XSIM 43-3601",
+        ToolFault::SpuriousExit => "XSIM 43-3999",
+        ToolFault::Garbled | ToolFault::Truncate => "XSIM 43-0000",
+    }
+}
+
+/// Inserts a corruption banner at a deterministic char boundary chosen
+/// by `u` (a pure identity hash mapped to `[0, 1)`).
+fn garble_log(log: &str, u: f64) -> String {
+    let cut = mutation_point(log, u);
+    format!(
+        "{}\n<<<garbled: tool output corrupted by injected fault>>>\n{}",
+        &log[..cut],
+        &log[cut..]
+    )
+}
+
+/// Cuts the log at a deterministic char boundary chosen by `u`.
+fn truncate_log(log: &str, u: f64) -> String {
+    log[..mutation_point(log, u)].to_string()
+}
+
+/// A char boundary between 20 % and 80 % of the log.
+fn mutation_point(log: &str, u: f64) -> usize {
+    let mut cut = (log.len() as f64 * (0.2 + 0.6 * u)) as usize;
+    cut = cut.min(log.len());
+    while cut > 0 && !log.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    cut
+}
+
+impl XsimToolSuite {
     /// Compiles `files` into a design, returning the elaborated design
     /// alongside the report so callers (and `simulate`) don't repeat the
     /// work ([C-INTERMEDIATE]). The design is `Arc`'d so a cached entry
@@ -162,8 +411,45 @@ impl XsimToolSuite {
         files: &[HdlFile],
         top: Option<&str>,
     ) -> (CompileReport, Option<Arc<Design>>) {
+        let (report, _clean, design) = self.compile_to_design_recorded(files, top);
+        (report, design)
+    }
+
+    /// [`Self::compile_to_design`] plus the *unshaped* report: the fault
+    /// gate rolls here, around the cache, so cached entries (and the
+    /// compile log `simulate` embeds in sim cache entries) stay clean —
+    /// a fault plan must never leak plan-dependent bytes into
+    /// content-addressed storage. The second element is the clean report
+    /// when a log-mutation fault shaped the first, `None` otherwise.
+    fn compile_to_design_recorded(
+        &self,
+        files: &[HdlFile],
+        top: Option<&str>,
+    ) -> (CompileReport, Option<CompileReport>, Option<Arc<Design>>) {
         let span = self.recorder.span("eda.compile");
-        let (report, design, cache_hit) = self.compile_to_design_cached(files, top);
+        let verdict = self.faults.tools_on().then(|| {
+            let key = cache::compile_key(files, top, &self.latency);
+            self.tool_fault_gate(
+                "compile",
+                key,
+                self.latency.compile_seconds(total_bytes(files)),
+            )
+        });
+        let (report, clean, design, cache_hit) = match &verdict {
+            Some(v) if v.failed() => (self.faulted_compile_report("compile", v), None, None, None),
+            _ => {
+                let (clean, design, hit) = self.compile_to_design_cached(files, top);
+                match &verdict {
+                    Some(v) => (
+                        self.shape_compile_fault("compile", clean.clone(), v),
+                        Some(clean),
+                        design,
+                        hit,
+                    ),
+                    None => (clean, None, design, hit),
+                }
+            }
+        };
         if span.is_recording() {
             // Everything emitted here is a pure function of the report,
             // so the hit and miss paths are indistinguishable in the
@@ -178,7 +464,7 @@ impl XsimToolSuite {
             }
             self.record_compile_metrics("compile", &report);
         }
-        (report, design)
+        (report, clean, design)
     }
 
     /// Cache layer around [`Self::compile_to_design_inner`]. The third
@@ -522,6 +808,54 @@ impl XsimToolSuite {
         compile_report: &CompileReport,
         design: &Design,
     ) -> (SimReport, f64, Option<bool>) {
+        let verdict = self.faults.tools_on().then(|| {
+            let key = cache::sim_key(files, top, &self.latency, &self.sim_config);
+            // A crashed simulator never reaches the event kernel; the
+            // attempt's cost is the tool's startup share.
+            self.tool_fault_gate("simulate", key, self.latency.sim_seconds(0))
+        });
+        if let Some(v) = &verdict {
+            if v.failed() {
+                let mut log = compile_report.log.clone();
+                log.push_str(&format!(
+                    "INFO: [xsim] Running simulation of '{}'\n",
+                    design.top
+                ));
+                log.push_str(&self.faulted_compile_report("simulate", v).log);
+                let report = SimReport {
+                    compiled: true,
+                    passed: false,
+                    log,
+                    failures: Vec::new(),
+                    compile_messages: compile_report.messages.clone(),
+                    end_time: 0,
+                    finished: false,
+                    diverged: None,
+                    modeled_latency: compile_report.modeled_latency + v.penalty_s,
+                };
+                return (report, v.penalty_s, None);
+            }
+        }
+        let (report, sim_latency, hit) =
+            self.run_sim_uncorrupted(files, top, compile_report, design);
+        match &verdict {
+            Some(v) => (
+                self.shape_sim_fault(report, v),
+                sim_latency + v.penalty_s,
+                hit,
+            ),
+            None => (report, sim_latency, hit),
+        }
+    }
+
+    /// The cache layer proper, below the fault gate.
+    fn run_sim_uncorrupted(
+        &self,
+        files: &[HdlFile],
+        top: Option<&str>,
+        compile_report: &CompileReport,
+        design: &Design,
+    ) -> (SimReport, f64, Option<bool>) {
         let Some(cache) = &self.cache else {
             let (report, sim_latency, _) = self.run_sim(compile_report, design, false);
             return (report, sim_latency, None);
@@ -610,19 +944,36 @@ impl XsimToolSuite {
 impl ToolSuite for XsimToolSuite {
     fn analyze(&self, files: &[HdlFile]) -> CompileReport {
         let span = self.recorder.span("eda.analyze");
-        let (report, cache_hit) = match &self.cache {
-            None => (self.analyze_inner(files), None),
-            Some(cache) => {
-                let key = cache::analyze_key(files, &self.latency);
-                let (slot, hit) = cache.analyze_slot(key);
-                let report = slot
-                    .get_or_init(|| {
-                        let report = self.analyze_inner(files);
-                        cache.persist_analyze(key, &report);
-                        report
-                    })
-                    .clone();
-                (report, Some(hit))
+        let verdict = self.faults.tools_on().then(|| {
+            let key = cache::analyze_key(files, &self.latency);
+            self.tool_fault_gate(
+                "analyze",
+                key,
+                self.latency.compile_seconds(total_bytes(files)),
+            )
+        });
+        let (report, cache_hit) = match &verdict {
+            Some(v) if v.failed() => (self.faulted_compile_report("analyze", v), None),
+            _ => {
+                let (report, hit) = match &self.cache {
+                    None => (self.analyze_inner(files), None),
+                    Some(cache) => {
+                        let key = cache::analyze_key(files, &self.latency);
+                        let (slot, hit) = cache.analyze_slot(key);
+                        let report = slot
+                            .get_or_init(|| {
+                                let report = self.analyze_inner(files);
+                                cache.persist_analyze(key, &report);
+                                report
+                            })
+                            .clone();
+                        (report, Some(hit))
+                    }
+                };
+                match &verdict {
+                    Some(v) => (self.shape_compile_fault("analyze", report, v), hit),
+                    None => (report, hit),
+                }
             }
         };
         if span.is_recording() {
@@ -644,7 +995,7 @@ impl ToolSuite for XsimToolSuite {
 
     fn simulate(&self, files: &[HdlFile], top: Option<&str>) -> SimReport {
         let span = self.recorder.span("eda.simulate");
-        let (compile_report, design) = self.compile_to_design(files, top);
+        let (compile_report, clean_compile, design) = self.compile_to_design_recorded(files, top);
         let Some(design) = design else {
             span.attr_bool("passed", false);
             return SimReport {
@@ -659,8 +1010,12 @@ impl ToolSuite for XsimToolSuite {
                 modeled_latency: compile_report.modeled_latency,
             };
         };
+        // The sim phase (and anything it caches) builds on the *clean*
+        // compile report; compile-level log corruption belongs to the
+        // compile invocation alone.
+        let base_compile = clean_compile.as_ref().unwrap_or(&compile_report);
         let (report, sim_latency, cache_hit) =
-            self.run_sim_cached(files, top, &compile_report, &design);
+            self.run_sim_cached(files, top, base_compile, &design);
         if span.is_recording() {
             // Pure functions of the cached report — the hit and miss
             // paths emit identical telemetry (the kernel's own series
@@ -957,6 +1312,85 @@ mod tests {
         let report = tight.simulate(&[HdlFile::new("tb.v", osc)], Some("tb"));
         let diverged = report.diverged.expect("tiny budget must trip");
         assert_eq!(diverged.limit, aivril_sim::LimitKind::DeltaCycles);
+    }
+
+    #[test]
+    fn injected_crash_fails_identically_across_cache_modes() {
+        let plan = EdaFaultPlan::parse("crash=1.0").expect("plan");
+        let plain = XsimToolSuite::new().with_eda_faults(plan);
+        let cached = XsimToolSuite::new()
+            .with_eda_faults(plan)
+            .with_cache(EdaCache::new());
+        let files = [HdlFile::new("inv.v", GOOD_V)];
+        let a = plain.compile(&files);
+        let b = cached.compile(&files);
+        let c = cached.compile(&files);
+        assert!(!a.success);
+        assert!(a.log.contains("terminated unexpectedly"), "log: {}", a.log);
+        assert!(a.error_count() >= 1);
+        assert_eq!(a.log, b.log);
+        assert_eq!(b.log, c.log);
+        assert_eq!(a.modeled_latency.to_bits(), b.modeled_latency.to_bits());
+        // retry_max=2 default: three attempts, each costing the compile share.
+        let base = XsimToolSuite::new().compile(&files).modeled_latency;
+        assert_eq!(a.modeled_latency.to_bits(), (3.0 * base).to_bits());
+    }
+
+    #[test]
+    fn hang_costs_the_watchdog_per_attempt() {
+        let plan = EdaFaultPlan::parse("hang=1.0,retry_max=1,watchdog_s=5").expect("plan");
+        let tools = XsimToolSuite::new().with_eda_faults(plan);
+        let report = tools.compile(&[HdlFile::new("inv.v", GOOD_V)]);
+        assert!(!report.success);
+        assert!(
+            report.log.contains("watchdog expired"),
+            "log: {}",
+            report.log
+        );
+        assert_eq!(report.modeled_latency.to_bits(), 10.0f64.to_bits());
+    }
+
+    #[test]
+    fn off_plan_is_bit_identical_to_no_plan() {
+        let off = XsimToolSuite::new().with_eda_faults(EdaFaultPlan::off());
+        let plain = XsimToolSuite::new();
+        let files = [HdlFile::new("inv.v", GOOD_V), HdlFile::new("tb.v", GOOD_TB)];
+        let a = off.simulate(&files, Some("tb"));
+        let b = plain.simulate(&files, Some("tb"));
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.modeled_latency.to_bits(), b.modeled_latency.to_bits());
+    }
+
+    #[test]
+    fn log_mutations_are_deterministic_and_never_fabricate_a_pass() {
+        let files = [HdlFile::new("inv.v", GOOD_V), HdlFile::new("tb.v", GOOD_TB)];
+        for spec in ["truncate=1.0", "garbled=1.0"] {
+            let plan = EdaFaultPlan::parse(spec).expect("plan");
+            let tools = XsimToolSuite::new().with_eda_faults(plan);
+            let cached = XsimToolSuite::new()
+                .with_eda_faults(plan)
+                .with_cache(EdaCache::new());
+            let r1 = tools.simulate(&files, Some("tb"));
+            let r2 = cached.simulate(&files, Some("tb"));
+            let r3 = cached.simulate(&files, Some("tb"));
+            assert_eq!(r1.log, r2.log, "{spec}: cache modes must agree");
+            assert_eq!(r2.log, r3.log, "{spec}: replays must agree");
+            assert_eq!(r1.passed, r2.passed);
+            // Corruption may hide the pass marker but never invent it.
+            assert!(r1.log.contains(PASS_MARKER) || !r1.passed, "{spec}");
+        }
+        // The cache itself stays clean: dropping the plan from a suite
+        // sharing the same cache yields the uncorrupted report.
+        let plan = EdaFaultPlan::parse("truncate=1.0").expect("plan");
+        let cache = EdaCache::new();
+        let faulted = XsimToolSuite::new()
+            .with_eda_faults(plan)
+            .with_cache(cache.clone());
+        faulted.simulate(&files, Some("tb"));
+        let clean = XsimToolSuite::new().with_cache(cache);
+        let baseline = XsimToolSuite::new().simulate(&files, Some("tb"));
+        assert_eq!(clean.simulate(&files, Some("tb")).log, baseline.log);
     }
 
     #[test]

@@ -26,6 +26,12 @@ fn main() {
     };
     let workers = config.effective_workers();
     let server = Arc::new(Server::new(config));
+    // Re-admit journaled jobs a previous process left unfinished,
+    // before new submissions can interleave with them.
+    let recovered = server.recover();
+    if recovered > 0 {
+        println!("[serve] recovered {recovered} journaled job(s)");
+    }
     let handles = server.spawn_workers(workers);
     let addr = listener
         .local_addr()

@@ -42,6 +42,20 @@ pub struct ServeConfig {
     /// (`AIVRIL_SERVE_SEND_TIMEOUT_S`); a write stalled past it
     /// condemns the connection as vanished.
     pub send_timeout_s: f64,
+    /// Directory of the crash-safe admission journal
+    /// (`AIVRIL_SERVE_JOURNAL_DIR`); unset disables journaling. A
+    /// server restarted over the same directory re-admits every job
+    /// that was accepted but never finished — and replays it
+    /// byte-identically, since job seeds are pure functions of
+    /// identity.
+    pub journal_dir: Option<String>,
+    /// Per-job wall-clock deadline in seconds
+    /// (`AIVRIL_SERVE_DEADLINE_S`); `0` disables. A job claimed by a
+    /// worker later than this many seconds after admission is not
+    /// executed: it receives a terminal `expired` frame
+    /// (`deadline_exceeded`) and frees its slot instead of pinning the
+    /// worker on stale work.
+    pub deadline_s: f64,
     /// Name of the simulated model profile serving requests
     /// (`AIVRIL_SERVE_MODEL`, matched against
     /// [`profiles::all`]).
@@ -68,6 +82,8 @@ impl Default for ServeConfig {
             max_jobs: crate::queue::DEFAULT_MAX_TOTAL_JOBS,
             outbox_cap: 4096,
             send_timeout_s: 30.0,
+            journal_dir: None,
+            deadline_s: 0.0,
             model: profiles::claude35_sonnet().name,
             harness,
         }
@@ -125,6 +141,17 @@ impl ServeConfig {
                 Ok(s) if s.is_finite() && s > 0.0 => c.send_timeout_s = s,
                 _ => warnings.push(format!(
                     "ignoring AIVRIL_SERVE_SEND_TIMEOUT_S (want a finite, positive number): {v}"
+                )),
+            }
+        }
+        if let Some(dir) = get("AIVRIL_SERVE_JOURNAL_DIR").filter(|v| !v.is_empty()) {
+            c.journal_dir = Some(dir);
+        }
+        if let Some(v) = get("AIVRIL_SERVE_DEADLINE_S") {
+            match v.parse::<f64>() {
+                Ok(s) if s.is_finite() && s >= 0.0 => c.deadline_s = s,
+                _ => warnings.push(format!(
+                    "ignoring AIVRIL_SERVE_DEADLINE_S (want a finite, non-negative number): {v}"
                 )),
             }
         }
@@ -190,6 +217,8 @@ mod tests {
         assert_eq!(c.max_jobs, 256);
         assert_eq!(c.outbox_cap, 4096);
         assert!((c.send_timeout_s - 30.0).abs() < 1e-12);
+        assert_eq!(c.journal_dir, None, "journaling is opt-in");
+        assert!(c.deadline_s == 0.0, "deadlines are off by default");
         assert!(c.effective_workers() >= 1);
         assert_eq!(c.profile().name, c.model);
     }
@@ -226,6 +255,10 @@ mod tests {
             ("AIVRIL_SERVE_SEND_TIMEOUT_S", "NaN"),
             ("AIVRIL_SERVE_SEND_TIMEOUT_S", "-1"),
             ("AIVRIL_SERVE_SEND_TIMEOUT_S", "0"),
+            ("AIVRIL_SERVE_DEADLINE_S", "NaN"),
+            ("AIVRIL_SERVE_DEADLINE_S", "inf"),
+            ("AIVRIL_SERVE_DEADLINE_S", "-1"),
+            ("AIVRIL_SERVE_DEADLINE_S", "soon"),
             ("AIVRIL_SERVE_MODEL", "GPT-9000"),
         ] {
             let (c, warnings) =
@@ -240,6 +273,8 @@ mod tests {
             assert_eq!(c.max_jobs, d.max_jobs);
             assert_eq!(c.outbox_cap, d.outbox_cap);
             assert!((c.send_timeout_s - d.send_timeout_s).abs() < 1e-12, "{key}");
+            assert!(c.deadline_s == d.deadline_s, "{key}");
+            assert_eq!(c.journal_dir, d.journal_dir);
             assert_eq!(c.model, d.model);
         }
     }
@@ -251,6 +286,8 @@ mod tests {
             "AIVRIL_SERVE_MAX_JOBS" => Some("17".into()),
             "AIVRIL_SERVE_OUTBOX_CAP" => Some("32".into()),
             "AIVRIL_SERVE_SEND_TIMEOUT_S" => Some("2.5".into()),
+            "AIVRIL_SERVE_JOURNAL_DIR" => Some("/tmp/aivril-wal".into()),
+            "AIVRIL_SERVE_DEADLINE_S" => Some("12.5".into()),
             _ => None,
         });
         assert!(warnings.is_empty(), "{warnings:?}");
@@ -258,6 +295,8 @@ mod tests {
         assert_eq!(c.max_jobs, 17);
         assert_eq!(c.outbox_cap, 32);
         assert!((c.send_timeout_s - 2.5).abs() < 1e-12);
+        assert_eq!(c.journal_dir.as_deref(), Some("/tmp/aivril-wal"));
+        assert!((c.deadline_s - 12.5).abs() < 1e-12);
     }
 
     #[test]
@@ -267,8 +306,7 @@ mod tests {
             "AIVRIL_SERVE_MAX_JOBS",
             "AIVRIL_SERVE_OUTBOX_CAP",
         ] {
-            let (c, warnings) =
-                ServeConfig::from_vars_checked(|k| (k == key).then(|| "0".into()));
+            let (c, warnings) = ServeConfig::from_vars_checked(|k| (k == key).then(|| "0".into()));
             assert_eq!(warnings.len(), 1, "{key}: {warnings:?}");
             assert!(warnings[0].contains(key), "{warnings:?}");
             assert!(c.max_tenants >= 1 && c.max_jobs >= 1 && c.outbox_cap >= 1);

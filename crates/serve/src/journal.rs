@@ -1,0 +1,420 @@
+//! The crash-safe job journal: a write-ahead log of admissions.
+//!
+//! Every accepted submission appends one `admit` record *under the
+//! queue lock, before the job becomes claimable*; every terminal
+//! outcome (result streamed, or deadline expiry) appends one `done`
+//! record. A server restarted over the same journal directory replays
+//! the log and re-admits every job with more `admit`s than `done`s —
+//! and because a job's seed is a pure function of `(tenant, job)`
+//! ([`crate::job_seed`]), the recovered run is byte-identical to the
+//! one the crash interrupted.
+//!
+//! ## Format
+//!
+//! `journal.log` is line-oriented, append-only, and checksummed the
+//! same way as the bench checkpoint logs:
+//!
+//! ```text
+//! aivril.journal 1
+//! admit {fnv64(payload):016x} {payload}
+//! done {fnv64(payload):016x} {payload}
+//! ```
+//!
+//! where `payload` is an [`aivril_obs::codec`] token run —
+//! `(tenant, job, task, verilog, flow)` for `admit`, `(tenant, job)`
+//! for `done`. The codec percent-escapes whitespace, so one record is
+//! always one line.
+//!
+//! ## Crash discipline
+//!
+//! A crash can leave at most a torn tail: an unterminated or
+//! checksum-failing final region. [`JobJournal::open`] keeps the
+//! longest valid prefix, truncates the rest away, and replays only
+//! records from that prefix — corruption costs durability of the torn
+//! records, never a panic and never a phantom job. Records are counted,
+//! not keyed: a job resubmitted after completion gets a fresh
+//! `admit`/`done` pair, and a job is pending exactly when its `admit`s
+//! outnumber its `done`s (the latest `admit`'s spec wins).
+
+use crate::protocol::{flow_label, SubmitRequest};
+use aivril_bench::Flow;
+use aivril_obs::codec;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// First line of every journal file.
+const HEADER: &str = "aivril.journal 1";
+
+/// The write-ahead admission journal. All methods are safe to call
+/// from any thread; appends are serialized by an internal lock.
+pub struct JobJournal {
+    path: PathBuf,
+    file: Mutex<File>,
+    pending: Vec<SubmitRequest>,
+}
+
+impl std::fmt::Debug for JobJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobJournal")
+            .field("path", &self.path)
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Encodes an `admit` payload.
+fn admit_payload(spec: &SubmitRequest) -> String {
+    let mut w = codec::Writer::new();
+    w.str(&spec.tenant);
+    w.str(&spec.job);
+    w.str(&spec.task);
+    w.bool(spec.verilog);
+    w.str(flow_label(spec.flow));
+    w.finish()
+}
+
+/// Encodes a `done` payload.
+fn done_payload(tenant: &str, job: &str) -> String {
+    let mut w = codec::Writer::new();
+    w.str(tenant);
+    w.str(job);
+    w.finish()
+}
+
+/// Formats one checksummed record line (without the newline).
+fn record_line(kind: &str, payload: &str) -> String {
+    format!("{kind} {:016x} {payload}", codec::fnv64(payload.as_bytes()))
+}
+
+/// One replayed record.
+enum Record {
+    Admit(SubmitRequest),
+    Done { tenant: String, job: String },
+}
+
+/// Decodes one journal line; `None` marks corruption (the caller
+/// truncates from here).
+fn decode_line(line: &str) -> Option<Record> {
+    let (kind, rest) = line.split_once(' ')?;
+    let (sum, payload) = rest.split_once(' ')?;
+    if sum.len() != 16 || u64::from_str_radix(sum, 16).ok()? != codec::fnv64(payload.as_bytes()) {
+        return None;
+    }
+    let mut r = codec::Reader::new(payload);
+    match kind {
+        "admit" => {
+            let (tenant, job, task) = (r.str()?, r.str()?, r.str()?);
+            let verilog = r.bool()?;
+            let flow = match r.str()?.as_str() {
+                "aivril2" => Flow::Aivril2,
+                "baseline" => Flow::Baseline,
+                _ => return None,
+            };
+            r.at_end().then_some(Record::Admit(SubmitRequest {
+                tenant,
+                job,
+                task,
+                verilog,
+                flow,
+            }))
+        }
+        "done" => {
+            let (tenant, job) = (r.str()?, r.str()?);
+            r.at_end().then_some(Record::Done { tenant, job })
+        }
+        _ => None,
+    }
+}
+
+impl JobJournal {
+    /// Opens (creating if necessary) the journal in `dir`, replays the
+    /// valid prefix, truncates any torn tail away, and remembers which
+    /// jobs were admitted but never finished — [`JobJournal::pending`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or reading the file, or a complete first
+    /// line that is not a journal header (the file belongs to something
+    /// else; refusing beats destroying it).
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<JobJournal> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join("journal.log");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+
+        // Walk complete (newline-terminated) lines, tracking the byte
+        // length of the valid prefix. The first undecodable or
+        // unterminated line is the torn tail: everything from there on
+        // is truncated away.
+        let mut valid_len = 0usize;
+        let mut records = Vec::new();
+        let mut fresh = true;
+        let mut offset = 0usize;
+        while let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') {
+            let end = offset + nl + 1;
+            let line = std::str::from_utf8(&bytes[offset..end - 1]).ok();
+            if valid_len == 0 && offset == 0 {
+                // Header line. A torn header truncates to empty; a
+                // complete line that is some *other* file's content is
+                // an error, not a silent wipe.
+                match line {
+                    Some(HEADER) => {
+                        fresh = false;
+                        valid_len = end;
+                    }
+                    Some(_) | None => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("{} is not a job journal", path.display()),
+                        ))
+                    }
+                }
+            } else {
+                match line.and_then(decode_line) {
+                    Some(rec) => {
+                        records.push(rec);
+                        valid_len = end;
+                    }
+                    None => break,
+                }
+            }
+            offset = end;
+        }
+
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if valid_len < bytes.len() {
+            // Torn tail (or unterminated header): drop it.
+            file.set_len(valid_len as u64)?;
+        }
+        if fresh {
+            file.set_len(0)?;
+            writeln!(file, "{HEADER}")?;
+            file.flush()?;
+        }
+
+        // Pending = admits minus dones per (tenant, job), replayed in
+        // first-admission order so recovery re-admits deterministically;
+        // the latest admit's spec wins.
+        let mut order: Vec<(String, String)> = Vec::new();
+        let mut net: std::collections::HashMap<(String, String), (i64, Option<SubmitRequest>)> =
+            std::collections::HashMap::new();
+        for rec in records {
+            match rec {
+                Record::Admit(spec) => {
+                    let key = (spec.tenant.clone(), spec.job.clone());
+                    let slot = net.entry(key.clone()).or_insert_with(|| {
+                        order.push(key);
+                        (0, None)
+                    });
+                    slot.0 += 1;
+                    slot.1 = Some(spec);
+                }
+                Record::Done { tenant, job } => {
+                    let key = (tenant, job);
+                    let slot = net.entry(key.clone()).or_insert_with(|| {
+                        order.push(key);
+                        (0, None)
+                    });
+                    slot.0 -= 1;
+                }
+            }
+        }
+        let pending = order
+            .into_iter()
+            .filter_map(|key| {
+                let (count, spec) = net.remove(&key)?;
+                if count > 0 {
+                    spec
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        Ok(JobJournal {
+            path,
+            file: Mutex::new(file),
+            pending,
+        })
+    }
+
+    /// Jobs admitted by a previous process over this journal that never
+    /// reached a terminal record, in original admission order.
+    #[must_use]
+    pub fn pending(&self) -> &[SubmitRequest] {
+        &self.pending
+    }
+
+    /// The journal file's path (diagnostics).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&self, line: &str) -> io::Result<()> {
+        let mut f = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        writeln!(f, "{line}")?;
+        f.flush()
+    }
+
+    /// Records an accepted admission. Call under the queue lock, before
+    /// the job becomes claimable — a crash after this point re-admits
+    /// the job on restart.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the append; the job still runs (the journal
+    /// degrades to best-effort durability, never blocks admission).
+    pub fn record_admit(&self, spec: &SubmitRequest) -> io::Result<()> {
+        self.append(&record_line("admit", &admit_payload(spec)))
+    }
+
+    /// Records a terminal outcome (result streamed or deadline expiry).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the append.
+    pub fn record_done(&self, tenant: &str, job: &str) -> io::Result<()> {
+        self.append(&record_line("done", &done_payload(tenant, job)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(tenant: &str, job: &str) -> SubmitRequest {
+        SubmitRequest {
+            tenant: tenant.to_string(),
+            job: job.to_string(),
+            task: "prob000_and2".to_string(),
+            verilog: true,
+            flow: Flow::Aivril2,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aivril-journal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn admits_without_dones_are_pending_after_reopen() {
+        let dir = tmp("pending");
+        let j = JobJournal::open(&dir).unwrap();
+        assert!(j.pending().is_empty(), "fresh journal has no pending jobs");
+        j.record_admit(&spec("acme", "a")).unwrap();
+        j.record_admit(&spec("acme", "b")).unwrap();
+        j.record_admit(&spec("globex", "a")).unwrap();
+        j.record_done("acme", "a").unwrap();
+        drop(j);
+        let j = JobJournal::open(&dir).unwrap();
+        let pending: Vec<(&str, &str)> = j
+            .pending()
+            .iter()
+            .map(|s| (s.tenant.as_str(), s.job.as_str()))
+            .collect();
+        assert_eq!(pending, [("acme", "b"), ("globex", "a")]);
+        // Finishing them empties the journal for the next restart.
+        j.record_done("acme", "b").unwrap();
+        j.record_done("globex", "a").unwrap();
+        drop(j);
+        let j = JobJournal::open(&dir).unwrap();
+        assert!(j.pending().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resubmission_counts_as_a_fresh_pair_and_latest_spec_wins() {
+        let dir = tmp("counts");
+        let j = JobJournal::open(&dir).unwrap();
+        j.record_admit(&spec("acme", "a")).unwrap();
+        j.record_done("acme", "a").unwrap();
+        let mut second = spec("acme", "a");
+        second.task = "prob001_or2".to_string();
+        j.record_admit(&second).unwrap();
+        drop(j);
+        let j = JobJournal::open(&dir).unwrap();
+        assert_eq!(j.pending().len(), 1);
+        assert_eq!(j.pending()[0].task, "prob001_or2", "latest admit wins");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tails_and_tampered_lines_are_truncated_not_replayed() {
+        let dir = tmp("torn");
+        let j = JobJournal::open(&dir).unwrap();
+        j.record_admit(&spec("acme", "a")).unwrap();
+        j.record_admit(&spec("acme", "b")).unwrap();
+        drop(j);
+        let path = dir.join("journal.log");
+
+        // A torn (unterminated) tail: the partial record is dropped,
+        // the valid prefix survives.
+        let mut bytes = fs::read(&path).unwrap();
+        let full = bytes.clone();
+        bytes.extend_from_slice(b"admit 00ff");
+        fs::write(&path, &bytes).unwrap();
+        let j = JobJournal::open(&dir).unwrap();
+        assert_eq!(j.pending().len(), 2, "valid prefix replays");
+        drop(j);
+        assert_eq!(fs::read(&path).unwrap(), full, "tail truncated away");
+
+        // A checksum-failing line mid-file cuts replay there: the
+        // record after it is *also* dropped (append-only discipline —
+        // nothing after damage is trusted).
+        let text = String::from_utf8(full).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let tampered = lines[1].replacen('a', "b", 1);
+        lines[1] = &tampered;
+        fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let j = JobJournal::open(&dir).unwrap();
+        assert!(j.pending().is_empty(), "nothing after damage replays");
+        // And the journal is usable again after the truncation.
+        j.record_admit(&spec("acme", "c")).unwrap();
+        drop(j);
+        let j = JobJournal::open(&dir).unwrap();
+        assert_eq!(j.pending().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_files_are_refused_not_wiped() {
+        let dir = tmp("foreign");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("journal.log"), "important data\nmore\n").unwrap();
+        let err = JobJournal::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(
+            fs::read(dir.join("journal.log")).unwrap(),
+            b"important data\nmore\n",
+            "the foreign file is untouched"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn names_with_escapes_round_trip() {
+        // Codec escaping keeps one record on one line even for names at
+        // the edge of the allowed alphabet.
+        let dir = tmp("escape");
+        let j = JobJournal::open(&dir).unwrap();
+        let s = spec("t.en-ant_0", "job.9-x_");
+        j.record_admit(&s).unwrap();
+        drop(j);
+        let j = JobJournal::open(&dir).unwrap();
+        assert_eq!(j.pending(), [s]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

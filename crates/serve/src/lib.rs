@@ -33,6 +33,16 @@
 //!   nor workers ever block on a client socket; a client that stops
 //!   reading is dropped on outbox overflow or write timeout while its
 //!   jobs still complete.
+//! * **Durability** ([`journal`]): with `AIVRIL_SERVE_JOURNAL_DIR`
+//!   set, every accepted admission is written ahead to a checksummed
+//!   append-only journal under the queue lock, and every terminal
+//!   outcome appends a matching `done`. A crashed server restarted
+//!   over the same directory re-admits the unfinished jobs — and
+//!   because seeds are pure functions of `(tenant, job)`, replays them
+//!   byte-identically. Submission is idempotent on that identity:
+//!   resubmitting a still-running job re-attaches the client to it,
+//!   and resubmitting a recently finished one replays its memoized
+//!   frames without a second execution.
 //! * **Determinism** is per job: [`job_seed`] derives the run seed
 //!   purely from `(tenant, job)` — the grid harness's
 //!   [`aivril_bench::run_seed`] discipline with job identity as the
@@ -48,14 +58,16 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod journal;
 pub mod outbox;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use config::ServeConfig;
+pub use journal::JobJournal;
 pub use protocol::{Request, SubmitRequest, PROTOCOL_VERSION};
-pub use queue::{Admission, FrameSink, Job, JobQueue, QueueStats};
+pub use queue::{Admission, FrameSink, Job, JobQueue, QueueStats, SinkSlot};
 pub use server::Server;
 
 use aivril_obs::codec;

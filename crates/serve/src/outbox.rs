@@ -122,7 +122,9 @@ impl Outbox {
         let mut g = self.lock();
         while !g.dead && (!g.frames.is_empty() || g.writing) {
             let now = std::time::Instant::now();
-            let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
             else {
                 return;
             };
@@ -168,7 +170,9 @@ impl Outbox {
             // while the socket dawdles. A failed or timed-out write
             // condemns the connection; remaining frames are dropped.
             let mut sock = &self.stream;
-            let written = writeln!(sock, "{frame}").and_then(|()| sock.flush()).is_ok();
+            let written = writeln!(sock, "{frame}")
+                .and_then(|()| sock.flush())
+                .is_ok();
             let mut g = self.lock();
             g.writing = false;
             if !written {

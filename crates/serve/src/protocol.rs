@@ -283,6 +283,21 @@ pub fn result_frame(spec: &SubmitRequest, seed: u64, run: &JobRun) -> String {
     ])
 }
 
+/// Terminal frame for an admitted job that was cancelled without
+/// running — e.g. `reason = "deadline_exceeded"` when a worker claimed
+/// it past its per-job deadline. Replaces the `progress`/`result`
+/// stream entirely: an expired job produces exactly this one frame
+/// after its `ack`.
+#[must_use]
+pub fn expired_frame(tenant: &str, job: &str, reason: &str) -> String {
+    json::object(&[
+        ("type", json::string("expired")),
+        ("tenant", json::string(tenant)),
+        ("job", json::string(job)),
+        ("reason", json::string(reason)),
+    ])
+}
+
 /// Error frame for malformed or unserviceable requests.
 #[must_use]
 pub fn error_frame(message: &str) -> String {

@@ -45,6 +45,12 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 /// newline). Shared with the connection that submitted the job.
 pub type FrameSink = Arc<dyn Fn(&str) + Send + Sync>;
 
+/// A swappable frame destination. Jobs hold a slot rather than a bare
+/// sink so an idempotent resubmission of a still-admitted job (for
+/// example after the submitting connection dropped) can re-point the
+/// job's output at the new connection without touching the job itself.
+pub type SinkSlot = Arc<Mutex<FrameSink>>;
+
 /// One admitted job, waiting for or undergoing execution.
 pub struct Job {
     /// The validated submission.
@@ -53,8 +59,21 @@ pub struct Job {
     pub problem_index: usize,
     /// Deterministic run seed, [`crate::job_seed`] of the identity.
     pub seed: u64,
-    /// Destination for this job's `progress`/`result` frames.
-    pub sink: FrameSink,
+    /// Wall seconds since server start when the job was admitted — the
+    /// basis for per-job deadlines (checked at claim time).
+    pub admitted_at: f64,
+    /// Destination for this job's `progress`/`result` frames; shared
+    /// with the queue's active-job index so resubmission can swap it.
+    pub sink: SinkSlot,
+}
+
+impl Job {
+    /// Sends one frame to the job's *current* sink (resubmission may
+    /// have swapped it since admission).
+    pub fn send(&self, frame: &str) {
+        let sink = Arc::clone(&*self.sink.lock().unwrap_or_else(PoisonError::into_inner));
+        sink(frame);
+    }
 }
 
 impl std::fmt::Debug for Job {
@@ -72,6 +91,14 @@ impl std::fmt::Debug for Job {
 pub enum Admission {
     /// The job was queued; `seed` echoes its deterministic run seed.
     Accepted {
+        /// The job's [`crate::job_seed`].
+        seed: u64,
+    },
+    /// The `(tenant, job)` identity was already admitted and unfinished:
+    /// the resubmission attached to it (its sink now receives the
+    /// frames) instead of queueing a second execution. The client sees
+    /// the same `ack` an [`Admission::Accepted`] would carry.
+    Attached {
         /// The job's [`crate::job_seed`].
         seed: u64,
     },
@@ -114,6 +141,9 @@ struct TenantState {
 #[derive(Default)]
 struct QueueState {
     pending: VecDeque<Job>,
+    /// Sink slot of every admitted-but-unfinished job, keyed by
+    /// identity — the basis for idempotent resubmission.
+    active: HashMap<(String, String), SinkSlot>,
     tenants: HashMap<String, TenantState>,
     shutdown: bool,
     completed: u64,
@@ -138,6 +168,20 @@ pub struct JobQueue {
 
 /// Floor for `retry_after_s` hints, so a hint is never zero.
 const MIN_RETRY_S: f64 = 0.5;
+
+/// Ceiling for `retry_after_s` hints — a day. Hints are advice, not
+/// contracts; an unbounded cooldown must not serialize as `inf`.
+const MAX_RETRY_S: f64 = 86_400.0;
+
+/// Clamps a retry hint into `[MIN_RETRY_S, MAX_RETRY_S]` before it is
+/// serialized. `NaN` (an unknowable hint) degrades to the floor, not to
+/// a `NaN` on the wire; `f64::clamp` alone would pass `NaN` through.
+fn clamp_retry_hint(v: f64) -> f64 {
+    if v.is_nan() {
+        return MIN_RETRY_S;
+    }
+    v.clamp(MIN_RETRY_S, MAX_RETRY_S)
+}
 
 /// Default global cap on distinct tenant states (see the module docs:
 /// tenant identity is untrusted, so the table must be bounded).
@@ -202,7 +246,21 @@ impl JobQueue {
         on_verdict: impl FnOnce(&Admission),
     ) -> Admission {
         let tenant = job.spec.tenant.clone();
+        let identity = (job.spec.tenant.clone(), job.spec.job.clone());
         let mut g = self.lock();
+        // Idempotent resubmission: an identity that is already admitted
+        // and unfinished attaches to the existing job — its sink slot is
+        // re-pointed at the resubmitter — instead of queueing a second
+        // execution. Checked before every gate: attaching consumes no
+        // capacity and must work even while the service is shutting
+        // down (pending jobs still drain).
+        if let Some(slot) = g.active.get(&identity) {
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) =
+                Arc::clone(&*job.sink.lock().unwrap_or_else(PoisonError::into_inner));
+            let verdict = Admission::Attached { seed: job.seed };
+            on_verdict(&verdict);
+            return verdict;
+        }
         let verdict = match self.admission_reason(&mut g, &tenant, now) {
             Some((reason, retry_after_s)) => {
                 // The per-tenant counter bumps only for tenants that
@@ -215,7 +273,7 @@ impl JobQueue {
                 }
                 Admission::Rejected {
                     reason,
-                    retry_after_s: retry_after_s.max(MIN_RETRY_S),
+                    retry_after_s: clamp_retry_hint(retry_after_s),
                 }
             }
             None => {
@@ -223,6 +281,7 @@ impl JobQueue {
                     .get_mut(&tenant)
                     .expect("admitted tenant has state")
                     .queued += 1;
+                g.active.insert(identity, Arc::clone(&job.sink));
                 Admission::Accepted { seed: job.seed }
             }
         };
@@ -340,12 +399,13 @@ impl JobQueue {
     }
 
     /// Records completion of a claimed job: releases the tenant's
-    /// in-flight slot, accounts `modeled_s`, feeds the tenant's
-    /// admission breaker (`failed` = crashed or degraded), and wakes
-    /// waiters.
-    pub fn complete(&self, tenant: &str, modeled_s: f64, failed: bool, now: f64) {
+    /// in-flight slot and the job's active-identity entry, accounts
+    /// `modeled_s`, feeds the tenant's admission breaker (`failed` =
+    /// crashed or degraded), and wakes waiters.
+    pub fn complete(&self, tenant: &str, job: &str, modeled_s: f64, failed: bool, now: f64) {
         {
             let mut g = self.lock();
+            g.active.remove(&(tenant.to_string(), job.to_string()));
             let t = g.tenants.entry(tenant.to_string()).or_default();
             t.inflight = t.inflight.saturating_sub(1);
             t.completed += 1;
@@ -360,6 +420,23 @@ impl JobQueue {
             self.breakers.on_success(tenant);
         }
         self.cvar.notify_all();
+    }
+
+    /// Records a served-from-memo replay of an already-completed job:
+    /// the client got its frames without a second execution, which
+    /// counts as a completion for the service counters (no modeled time
+    /// is accrued — nothing ran).
+    pub fn note_replay(&self, tenant: &str) {
+        let mut g = self.lock();
+        g.completed += 1;
+        g.tenants.entry(tenant.to_string()).or_default().completed += 1;
+    }
+
+    /// Number of admitted-but-unfinished jobs (queued + executing) —
+    /// the active-identity index size, for tests and diagnostics.
+    #[must_use]
+    pub fn active_jobs(&self) -> usize {
+        self.lock().active.len()
     }
 
     /// Marks the queue as shutting down: pending jobs still drain, new
@@ -402,6 +479,10 @@ mod tests {
     use aivril_bench::Flow;
 
     fn job(tenant: &str, id: &str) -> Job {
+        job_with_sink(tenant, id, Arc::new(|_| {}))
+    }
+
+    fn job_with_sink(tenant: &str, id: &str, sink: FrameSink) -> Job {
         Job {
             spec: SubmitRequest {
                 tenant: tenant.to_string(),
@@ -412,7 +493,8 @@ mod tests {
             },
             problem_index: 0,
             seed: crate::job_seed(tenant, id),
-            sink: Arc::new(|_| {}),
+            admitted_at: 0.0,
+            sink: Arc::new(Mutex::new(sink)),
         }
     }
 
@@ -452,7 +534,7 @@ mod tests {
             q.try_next().is_none(),
             "tenant at max_inflight=1; second job must wait"
         );
-        q.complete("acme", 10.0, false, 1.0);
+        q.complete("acme", "a", 10.0, false, 1.0);
         let second = q.try_next().expect("slot freed");
         assert_eq!(second.spec.job, "b");
     }
@@ -467,7 +549,7 @@ mod tests {
         for id in ["a", "b"] {
             assert!(accepted(&q.submit(job("noisy", id), 0.0)));
             q.try_next().expect("runnable");
-            q.complete("noisy", 5.0, true, 1.0);
+            q.complete("noisy", id, 5.0, true, 1.0);
         }
         match q.submit(job("noisy", "c"), 1.5) {
             Admission::Rejected {
@@ -488,7 +570,9 @@ mod tests {
     fn reject_reason(a: &Admission) -> &'static str {
         match a {
             Admission::Rejected { reason, .. } => reason,
-            Admission::Accepted { .. } => panic!("expected rejection, got {a:?}"),
+            Admission::Accepted { .. } | Admission::Attached { .. } => {
+                panic!("expected rejection, got {a:?}")
+            }
         }
     }
 
@@ -521,7 +605,7 @@ mod tests {
         // `old` runs a job to completion and goes idle.
         assert!(accepted(&q.submit(job("old", "a"), 0.0)));
         q.try_next().expect("runnable");
-        q.complete("old", 5.0, false, 1.0);
+        q.complete("old", "a", 5.0, false, 1.0);
         // `busy` holds the second slot with queued work.
         assert!(accepted(&q.submit(job("busy", "a"), 1.0)));
         // A newcomer takes the idle tenant's slot instead of a reject.
@@ -541,11 +625,11 @@ mod tests {
         assert_eq!(reject_reason(&verdict), "server_full");
         match verdict {
             Admission::Rejected { retry_after_s, .. } => assert!(retry_after_s > 0.0),
-            Admission::Accepted { .. } => unreachable!(),
+            Admission::Accepted { .. } | Admission::Attached { .. } => unreachable!(),
         }
         // Completions free global capacity again.
         q.try_next().expect("runnable");
-        q.complete("t0", 1.0, false, 1.0);
+        q.complete("t0", "a", 1.0, false, 1.0);
         assert!(accepted(&q.submit(job("t2", "a"), 1.0)));
     }
 
@@ -566,8 +650,11 @@ mod tests {
         // One failed completion opens the tenant's breaker.
         assert!(accepted(&q.submit(job("acme", "a"), 0.0)));
         q.try_next().expect("runnable");
-        q.complete("acme", 1.0, true, 1.0);
-        assert_eq!(reject_reason(&q.submit(job("acme", "b"), 2.0)), "breaker_open");
+        q.complete("acme", "a", 1.0, true, 1.0);
+        assert_eq!(
+            reject_reason(&q.submit(job("acme", "b"), 2.0)),
+            "breaker_open"
+        );
         // Cooldown lapsed: the first submission is admitted as the
         // probe, a second is refused while the probe is outstanding.
         assert!(accepted(&q.submit(job("acme", "probe"), 20.0)));
@@ -583,7 +670,7 @@ mod tests {
         // tenant is fully admitted again.
         let probe = q.try_next().expect("probe runnable");
         assert_eq!(probe.spec.job, "probe");
-        q.complete("acme", 1.0, false, 21.0);
+        q.complete("acme", "probe", 1.0, false, 21.0);
         assert!(accepted(&q.submit(job("acme", "after"), 21.0)));
     }
 
@@ -599,7 +686,7 @@ mod tests {
         // half-open probe after the cooldown.
         assert!(accepted(&q.submit(job("acme", "a"), 0.0)));
         q.try_next().expect("runnable");
-        q.complete("acme", 1.0, true, 1.0);
+        q.complete("acme", "a", 1.0, true, 1.0);
         assert!(accepted(&q.submit(job("acme", "probe"), 20.0)));
         // Capacity (1) is exhausted: the rejection is `queue_full`,
         // reported before the breaker is consulted.
@@ -609,8 +696,89 @@ mod tests {
         );
         // The probe's outcome still resolves the breaker normally.
         q.try_next().expect("probe runnable");
-        q.complete("acme", 1.0, false, 21.0);
+        q.complete("acme", "probe", 1.0, false, 21.0);
         assert!(accepted(&q.submit(job("acme", "d"), 21.0)));
+    }
+
+    #[test]
+    fn resubmitting_an_active_job_attaches_instead_of_requeueing() {
+        let q = JobQueue::new(1, 1, ResiliencePolicy::default());
+        let first_frames = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink_frames = Arc::clone(&first_frames);
+        let first_sink: FrameSink = Arc::new(move |f: &str| {
+            sink_frames
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(f.to_string());
+        });
+        assert!(accepted(
+            &q.submit(job_with_sink("acme", "a", first_sink), 0.0)
+        ));
+        // The resubmission attaches: no second queue entry, and the
+        // job's frames now land at the new sink.
+        let second_frames = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink_frames = Arc::clone(&second_frames);
+        let second_sink: FrameSink = Arc::new(move |f: &str| {
+            sink_frames
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(f.to_string());
+        });
+        let verdict = q.submit(job_with_sink("acme", "a", second_sink), 1.0);
+        assert!(matches!(verdict, Admission::Attached { .. }), "{verdict:?}");
+        assert_eq!(q.stats().queued, 1, "attach queues nothing");
+        let claimed = q.try_next().expect("one runnable job");
+        claimed.send("frame");
+        assert!(first_frames.lock().unwrap().is_empty(), "old sink detached");
+        assert_eq!(*second_frames.lock().unwrap(), ["frame"]);
+        q.complete("acme", "a", 1.0, false, 2.0);
+        assert_eq!(q.active_jobs(), 0, "completion clears the identity");
+        // After completion the identity is free again: a fresh submit
+        // is a fresh admission, not an attach.
+        assert!(accepted(&q.submit(job("acme", "a"), 3.0)));
+    }
+
+    #[test]
+    fn replays_count_as_completions_without_modeled_time() {
+        let q = JobQueue::new(1, 1, ResiliencePolicy::default());
+        q.note_replay("acme");
+        assert_eq!(q.stats().completed, 1);
+        assert_eq!(q.stats().inflight, 0);
+    }
+
+    /// Regression: a breaker with an unbounded cooldown used to leak a
+    /// non-finite `retry_after_s` into the rejection (and from there
+    /// onto the wire). Hints are clamped into `[MIN_RETRY_S,
+    /// MAX_RETRY_S]` at the serialization boundary.
+    #[test]
+    fn rejection_hints_are_clamped_finite() {
+        let policy = ResiliencePolicy {
+            breaker_threshold: 1,
+            breaker_cooldown_s: f64::INFINITY,
+            ..ResiliencePolicy::default()
+        };
+        let q = JobQueue::new(1, 1, policy);
+        assert!(accepted(&q.submit(job("acme", "a"), 0.0)));
+        q.try_next().expect("runnable");
+        q.complete("acme", "a", 1.0, true, 1.0);
+        match q.submit(job("acme", "b"), 2.0) {
+            Admission::Rejected {
+                reason,
+                retry_after_s,
+            } => {
+                assert_eq!(reason, "breaker_open");
+                assert!(retry_after_s.is_finite(), "{retry_after_s}");
+                assert!((MIN_RETRY_S..=MAX_RETRY_S).contains(&retry_after_s));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // The pure clamp is total over the pathological inputs.
+        for bad in [f64::NAN, f64::NEG_INFINITY, -3.0, 0.0] {
+            let v = clamp_retry_hint(bad);
+            assert!(v.is_finite() && v >= MIN_RETRY_S, "{bad} -> {v}");
+        }
+        assert_eq!(clamp_retry_hint(f64::INFINITY), MAX_RETRY_S);
+        assert_eq!(clamp_retry_hint(7.0), 7.0);
     }
 
     #[test]
@@ -623,7 +791,7 @@ mod tests {
             other => panic!("expected rejection, got {other:?}"),
         }
         assert_eq!(q.next().expect("drains pending").spec.job, "a");
-        q.complete("acme", 1.0, false, 0.5);
+        q.complete("acme", "a", 1.0, false, 0.5);
         assert!(q.next().is_none(), "drained + shutdown ends the loop");
     }
 }

@@ -136,6 +136,7 @@ fn overload_rejects_structurally_and_never_queues_unbounded() {
             .expect("known task");
         match verdict {
             Admission::Accepted { .. } => accepted += 1,
+            Admission::Attached { .. } => panic!("distinct job ids never attach"),
             Admission::Rejected {
                 reason,
                 retry_after_s,
@@ -298,6 +299,193 @@ fn tcp_end_to_end_with_byte_identical_replay() {
         h.join().expect("workers exit after drain");
     }
     assert!(server.queue().is_shutdown());
+}
+
+/// Reads server frames from `reader` until the predicate matches,
+/// returning every line read (trimmed).
+fn read_until(reader: &mut BufReader<TcpStream>, stop: impl Fn(&str) -> bool) -> Vec<String> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert_ne!(reader.read_line(&mut line).expect("frame"), 0, "early EOF");
+        let line = line.trim_end().to_string();
+        let done = stop(&line);
+        lines.push(line);
+        if done {
+            return lines;
+        }
+    }
+}
+
+/// A client that submits, loses its connection, reconnects and
+/// resubmits the same job id must end up with one execution and the
+/// same bytes an uninterrupted client would have seen.
+#[test]
+fn reconnected_client_resubmits_into_one_execution() {
+    // Uninterrupted reference transcript for the same identity.
+    let reference = {
+        let mut config = small_config();
+        config.addr = "127.0.0.1:0".to_string();
+        let listener = TcpListener::bind(&config.addr).expect("bind ephemeral");
+        let addr = listener.local_addr().expect("bound");
+        let server = Arc::new(Server::new(config));
+        let workers = server.spawn_workers(1);
+        let accept = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve(&listener))
+        };
+        let transcript = submit_over_tcp(addr, "acme", "rc-1");
+        server.finish();
+        server.request_stop();
+        accept.join().expect("accept loop");
+        for h in workers {
+            h.join().expect("worker");
+        }
+        transcript
+    };
+
+    // The interrupted scenario: no workers yet, so the job is still
+    // admitted-but-unfinished when the first connection dies.
+    let mut config = small_config();
+    config.addr = "127.0.0.1:0".to_string();
+    let listener = TcpListener::bind(&config.addr).expect("bind ephemeral");
+    let addr = listener.local_addr().expect("bound");
+    let server = Arc::new(Server::new(config));
+    let accept = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(&listener))
+    };
+    let submit_line = "{\"type\":\"submit\",\"tenant\":\"acme\",\"job\":\"rc-1\",\
+         \"task\":\"prob001_or2\"}";
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        read_until(&mut reader, |l| l.contains("\"type\":\"hello\""));
+        writeln!(stream, "{submit_line}").expect("submit");
+        let ack = read_until(&mut reader, |l| l.contains("\"type\":\"ack\""));
+        assert_eq!(ack.last().unwrap(), &reference[0], "same ack bytes");
+        // Connection drops here with the job still queued.
+    }
+    assert_eq!(server.queue().active_jobs(), 1, "job survives the drop");
+
+    // Reconnect and resubmit the same id: the submission attaches to
+    // the queued job instead of admitting a second execution.
+    let mut stream = TcpStream::connect(addr).expect("reconnect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    read_until(&mut reader, |l| l.contains("\"type\":\"hello\""));
+    writeln!(stream, "{submit_line}").expect("resubmit");
+    let ack = read_until(&mut reader, |l| l.contains("\"type\":\"ack\""));
+    // Now let the job run; its frames land on the new connection.
+    server.drain();
+    let frames = read_until(&mut reader, |l| l.contains("\"type\":\"result\""));
+    let mut transcript = vec![ack.last().unwrap().clone()];
+    transcript.extend(frames);
+    assert_eq!(transcript, reference, "reconnected transcript matches");
+    assert_eq!(server.executions(), 1, "exactly one execution");
+
+    server.finish();
+    server.request_stop();
+    accept.join().expect("accept loop");
+}
+
+/// Killing a journaled server with admitted-but-unfinished jobs and
+/// restarting over the same journal directory completes those jobs
+/// with frames byte-identical to an uninterrupted run.
+#[test]
+fn killed_journaled_server_recovers_jobs_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("aivril-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Uninterrupted reference (journal-free server, same identity).
+    let reference = {
+        let mut config = small_config();
+        config.addr = "127.0.0.1:0".to_string();
+        let listener = TcpListener::bind(&config.addr).expect("bind ephemeral");
+        let addr = listener.local_addr().expect("bound");
+        let server = Arc::new(Server::new(config));
+        let workers = server.spawn_workers(1);
+        let accept = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve(&listener))
+        };
+        let transcript = submit_over_tcp(addr, "acme", "crashy-1");
+        server.finish();
+        server.request_stop();
+        accept.join().expect("accept loop");
+        for h in workers {
+            h.join().expect("worker");
+        }
+        transcript
+    };
+
+    let journal_config = |dir: &std::path::Path| {
+        let mut config = small_config();
+        config.addr = "127.0.0.1:0".to_string();
+        config.journal_dir = Some(dir.display().to_string());
+        config
+    };
+
+    // Phase 1: admit over a real socket, then die without executing —
+    // no workers ever run, so the admitted job is unfinished when the
+    // process state is dropped. Only the journal survives.
+    {
+        let config = journal_config(&dir);
+        let listener = TcpListener::bind(&config.addr).expect("bind ephemeral");
+        let addr = listener.local_addr().expect("bound");
+        let server = Arc::new(Server::new(config));
+        let accept = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve(&listener))
+        };
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        read_until(&mut reader, |l| l.contains("\"type\":\"hello\""));
+        writeln!(
+            stream,
+            "{{\"type\":\"submit\",\"tenant\":\"acme\",\"job\":\"crashy-1\",\
+             \"task\":\"prob001_or2\"}}"
+        )
+        .expect("submit");
+        read_until(&mut reader, |l| l.contains("\"type\":\"ack\""));
+        assert_eq!(server.executions(), 0, "no worker ran the job");
+        server.request_stop();
+        accept.join().expect("accept loop");
+    }
+
+    // Phase 2: a fresh server over the same journal recovers the job,
+    // completes it, and serves the reconnecting client the full
+    // transcript from the replay memo.
+    let config = journal_config(&dir);
+    let listener = TcpListener::bind(&config.addr).expect("bind ephemeral");
+    let addr = listener.local_addr().expect("bound");
+    let server = Arc::new(Server::new(config));
+    assert_eq!(server.recover(), 1, "one journaled job re-admitted");
+    let workers = server.spawn_workers(1);
+    let accept = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(&listener))
+    };
+    // Wait for the recovered job to finish before the client returns.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while server.queue().stats().completed < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "recovered job never completed: {:?}",
+            server.queue().stats()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let replayed = submit_over_tcp(addr, "acme", "crashy-1");
+    assert_eq!(replayed, reference, "recovered run is byte-identical");
+    assert_eq!(server.executions(), 1, "recovery executed the job once");
+
+    server.finish();
+    server.request_stop();
+    accept.join().expect("accept loop");
+    for h in workers {
+        h.join().expect("worker");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

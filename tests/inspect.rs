@@ -53,22 +53,6 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// The results artifact is byte-identical across schedules except for
-/// the one stats field that records the schedule itself. Mask it so the
-/// remaining bytes can be compared exactly.
-fn mask_threads(results: &str) -> String {
-    let mut out = String::with_capacity(results.len());
-    let mut rest = results;
-    while let Some(i) = rest.find("\"threads\":") {
-        let j = i + "\"threads\":".len();
-        out.push_str(&rest[..j]);
-        out.push('_');
-        rest = rest[j..].trim_start_matches(|c: char| c.is_ascii_digit());
-    }
-    out.push_str(rest);
-    out
-}
-
 /// Runs the built `aivril-inspect` binary; returns (exit code, stdout).
 fn inspect(args: &[&str]) -> (i32, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_aivril-inspect"))
@@ -90,8 +74,10 @@ fn reports_are_byte_identical_across_threads_and_shards() {
     let (res_c, jrn_c) = traced_run(&config(4, 2, 2), 3);
     assert_eq!(jrn_a, jrn_b);
     assert_eq!(jrn_a, jrn_c);
-    assert_eq!(mask_threads(&res_a), mask_threads(&res_b));
-    assert_eq!(mask_threads(&res_a), mask_threads(&res_c));
+    // Canonical mode masks the schedule-recording `threads` field, so
+    // the whole artifact compares byte-for-byte across schedules.
+    assert_eq!(res_a, res_b);
+    assert_eq!(res_a, res_c);
 
     // The derived reports are pure functions of those bytes — equal
     // inputs must give equal reports, and repeated renders are stable.
