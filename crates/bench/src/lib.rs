@@ -72,6 +72,12 @@ pub struct HarnessConfig {
     /// ([`EdaCache`]), shared across the worker pool. Off by default;
     /// results are bit-identical either way, only wall-clock changes.
     pub eda_cache: bool,
+    /// Enables the sub-compile incremental memos (per-file parse +
+    /// closure-keyed elaboration) inside the EDA cache
+    /// (`AIVRIL_INCREMENTAL`; on by default, `0` disables). Inert
+    /// unless [`HarnessConfig::eda_cache`] is on; results are
+    /// bit-identical either way, only wall-clock changes.
+    pub incremental: bool,
     /// Deterministic LLM fault plan ([`FaultConfig`]) injected into
     /// every worker's model. Off by default; fault decisions are pure
     /// functions of request content, so faulted runs are bit-identical
@@ -116,6 +122,7 @@ impl Default for HarnessConfig {
             task_limit: usize::MAX,
             threads: 0,
             eda_cache: false,
+            incremental: true,
             faults: FaultConfig::off(),
             eda_faults: EdaFaultPlan::off(),
             sim_max_deltas: None,
@@ -130,7 +137,8 @@ impl Default for HarnessConfig {
 
 impl HarnessConfig {
     /// Reads `AIVRIL_SAMPLES` / `AIVRIL_TASKS` / `AIVRIL_THREADS` /
-    /// `AIVRIL_EDA_CACHE` from the environment so the table binaries
+    /// `AIVRIL_EDA_CACHE` / `AIVRIL_INCREMENTAL` from the environment
+    /// so the table binaries
     /// can be scaled without recompiling, plus the resilience knobs:
     /// `AIVRIL_FAULTS` (fault plan, see [`FaultConfig::parse`]),
     /// `AIVRIL_RETRY_MAX`, `AIVRIL_BACKOFF_BASE_MS`,
@@ -183,6 +191,9 @@ impl HarnessConfig {
         }
         if let Some(v) = get("AIVRIL_EDA_CACHE") {
             c.eda_cache = !v.is_empty() && v != "0";
+        }
+        if let Some(v) = get("AIVRIL_INCREMENTAL") {
+            c.incremental = !v.is_empty() && v != "0";
         }
         if let Some(v) = get("AIVRIL_FAULTS") {
             match FaultConfig::parse(&v) {
@@ -395,11 +406,13 @@ impl fmt::Display for EvalStats {
         if self.kernel.instructions > 0 {
             write!(
                 f,
-                " | kernel: {} instrs @ {:.0} instrs/sim-s, {} spilled evals, {} compactions",
+                " | kernel: {} instrs @ {:.0} instrs/sim-s, {} spilled evals, \
+                 {} compactions, {} arena words",
                 self.kernel.instructions,
                 self.kernel.instrs_per_sim_sec(),
                 self.kernel.eval_allocs,
                 self.kernel.compactions,
+                self.kernel.arena_words,
             )?;
         }
         // Only printed when something actually went wrong, so fault-free
@@ -551,6 +564,7 @@ impl Harness {
         } else if config.eda_cache {
             tools = tools.with_cache(EdaCache::new());
         }
+        tools = tools.with_incremental(config.incremental);
         Harness {
             tools,
             problems: suite(),
@@ -1067,6 +1081,10 @@ impl Harness {
                             t.hits += d.hits;
                             t.misses += d.misses;
                             t.entries = t.entries.max(d.entries);
+                            t.parse_hits += d.parse_hits;
+                            t.parse_misses += d.parse_misses;
+                            t.elab_hits += d.elab_hits;
+                            t.elab_misses += d.elab_misses;
                             t
                         }
                     })
@@ -1251,9 +1269,11 @@ pub struct ResultSection {
 }
 
 /// Serialises evaluation results as schema-versioned JSON
-/// (`aivril.results` version 4; v2 added the per-section
+/// (`aivril.results` version 5; v2 added the per-section
 /// `stats.eda_cache` block, v3 the per-section `stats.resilience`
-/// block and the per-sample `crashed` flag, v4 the diagnostic
+/// block and the per-sample `crashed` flag, v5 the `arena_words`
+/// kernel gauge and the incremental parse/elab counters in the
+/// `eda_cache` block, v4 the diagnostic
 /// `stats.kernel` performance block) — the `--json <path>` payload of
 /// the table/figure binaries. Hand-rolled (the build has no registry
 /// access) but deterministic: fixed field order, fixed float format.
@@ -1297,6 +1317,10 @@ pub fn results_json(sections: &[ResultSection]) -> String {
                 ("misses", c.misses.to_string()),
                 ("entries", c.entries.to_string()),
                 ("hit_rate", json::number(c.hit_rate())),
+                ("parse_hits", c.parse_hits.to_string()),
+                ("parse_misses", c.parse_misses.to_string()),
+                ("elab_hits", c.elab_hits.to_string()),
+                ("elab_misses", c.elab_misses.to_string()),
             ]),
         };
         let resilience = json::object(&[
@@ -1320,6 +1344,7 @@ pub fn results_json(sections: &[ResultSection]) -> String {
             ),
             ("eval_allocs", s.kernel.eval_allocs.to_string()),
             ("compactions", s.kernel.compactions.to_string()),
+            ("arena_words", s.kernel.arena_words.to_string()),
         ]);
         json::object(&[
             ("runs", s.runs.to_string()),
@@ -1350,7 +1375,7 @@ pub fn results_json(sections: &[ResultSection]) -> String {
         "{}\n",
         json::object(&[
             ("schema", json::string("aivril.results")),
-            ("version", "4".to_string()),
+            ("version", "5".to_string()),
             ("sections", format!("[{}]", sections.join(","))),
         ])
     )

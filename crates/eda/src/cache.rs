@@ -54,6 +54,7 @@ use crate::disk::{DiskStats, DiskStore};
 use crate::latency::ToolLatencyModel;
 use crate::report::{CompileReport, SimReport};
 use crate::source::{HdlFile, Language};
+use aivril_hdl::diag::Diagnostics;
 use aivril_hdl::ir::Design;
 use aivril_sim::{KernelTelemetry, SimConfig};
 
@@ -73,6 +74,26 @@ pub(crate) struct SimEntry {
     pub(crate) report: SimReport,
     pub(crate) sim_latency: f64,
     pub(crate) kernel: Option<KernelTelemetry>,
+}
+
+/// A parse shard entry: one file's AST together with its syntax
+/// diagnostics, replayed verbatim on a hit. The AST nodes are
+/// `Arc`-shared by construction (see the frontends' `ast` modules), so
+/// cloning a unit to stitch it into a compile is pointer-cheap.
+#[derive(Debug, Clone)]
+pub(crate) enum ParsedFile {
+    /// A Verilog file's modules.
+    Verilog(aivril_verilog::ast::SourceUnit, Diagnostics),
+    /// A VHDL file's entities and architectures.
+    Vhdl(aivril_vhdl::ast::DesignFile, Diagnostics),
+}
+
+/// An elaboration shard entry: the elaborated design (when elaboration
+/// produced one) plus the elab-phase diagnostics to replay.
+#[derive(Debug, Clone)]
+pub(crate) struct ElabEntry {
+    pub(crate) design: Option<Arc<Design>>,
+    pub(crate) diags: Diagnostics,
 }
 
 /// A cache slot: present in the map from the moment some thread claims
@@ -129,6 +150,16 @@ struct Inner {
     sim: Shard<SimEntry>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Incremental-compile shards. These memoize *phases* of the whole
+    /// invocations above, so their counters are kept separate: the
+    /// `hits`/`misses` pair must keep meaning "whole tool invocations"
+    /// for the canonical metrics artifact.
+    parse: Shard<ParsedFile>,
+    elab: Shard<ElabEntry>,
+    parse_hits: AtomicU64,
+    parse_misses: AtomicU64,
+    elab_hits: AtomicU64,
+    elab_misses: AtomicU64,
     /// Optional persistent tier (`AIVRIL_EDA_CACHE_DIR`), probed only
     /// after a memory miss so the hit/miss accounting above stays
     /// schedule-independent with or without it.
@@ -204,6 +235,10 @@ impl EdaCache {
             misses: self.inner.misses.load(Ordering::Relaxed),
             entries: (self.inner.analyze.len() + self.inner.compile.len() + self.inner.sim.len())
                 as u64,
+            parse_hits: self.inner.parse_hits.load(Ordering::Relaxed),
+            parse_misses: self.inner.parse_misses.load(Ordering::Relaxed),
+            elab_hits: self.inner.elab_hits.load(Ordering::Relaxed),
+            elab_misses: self.inner.elab_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -228,6 +263,23 @@ impl EdaCache {
         self.inner
             .compile
             .slot(key, &self.inner.hits, &self.inner.misses)
+    }
+
+    /// Per-file parse memo (memory-only: ASTs have no serial form).
+    /// Counted separately from whole-invocation hits/misses.
+    pub(crate) fn parse_slot(&self, key: u128) -> (Slot<ParsedFile>, bool) {
+        self.inner
+            .parse
+            .slot(key, &self.inner.parse_hits, &self.inner.parse_misses)
+    }
+
+    /// Elaboration memo keyed by the top's instantiation-closure source
+    /// (memory-only). Counted separately from whole-invocation
+    /// hits/misses.
+    pub(crate) fn elab_slot(&self, key: u128) -> (Slot<ElabEntry>, bool) {
+        self.inner
+            .elab
+            .slot(key, &self.inner.elab_hits, &self.inner.elab_misses)
     }
 
     pub(crate) fn sim_slot(&self, key: u128) -> (Slot<SimEntry>, bool) {
@@ -272,6 +324,14 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct keys stored across all shards.
     pub entries: u64,
+    /// Per-file parse lookups served from the incremental-compile memo.
+    pub parse_hits: u64,
+    /// Per-file parse lookups that ran the frontend parser.
+    pub parse_misses: u64,
+    /// Elaboration lookups served from the incremental-compile memo.
+    pub elab_hits: u64,
+    /// Elaboration lookups that re-ran the elaborator.
+    pub elab_misses: u64,
 }
 
 impl CacheStats {
@@ -301,6 +361,10 @@ impl CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             entries: self.entries,
+            parse_hits: self.parse_hits - earlier.parse_hits,
+            parse_misses: self.parse_misses - earlier.parse_misses,
+            elab_hits: self.elab_hits - earlier.elab_hits,
+            elab_misses: self.elab_misses - earlier.elab_misses,
         }
     }
 }
@@ -309,11 +373,16 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate, {} entries)",
+            "{} hits / {} misses ({:.1}% hit rate, {} entries; \
+             incremental: parse {}/{}, elab {}/{})",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
-            self.entries
+            self.entries,
+            self.parse_hits,
+            self.parse_misses,
+            self.elab_hits,
+            self.elab_misses
         )
     }
 }
@@ -419,6 +488,47 @@ pub(crate) fn sim_key(
     h.write_u64(u64::from(config.max_deltas_per_step));
     h.write_u64(config.max_instrs_per_activation);
     h.write_u64(config.max_total_instrs);
+    h.finish()
+}
+
+fn language_tag(language: Language) -> u64 {
+    match language {
+        Language::Verilog => 0,
+        Language::Vhdl => 1,
+    }
+}
+
+/// Key for one file's parse in the incremental-compile path.
+///
+/// The file's *index* in the compile file list is part of the key:
+/// spans embed the `FileId` the file was parsed under, and diagnostics
+/// rendered from a replayed AST must point at the same position in the
+/// source map. Same text at a different index is therefore a different
+/// key — correctness over hit rate.
+pub(crate) fn parse_key(language: Language, index: usize, name: &str, text: &str) -> u128 {
+    let mut h = KeyHasher::new("parse");
+    h.write_u64(language_tag(language));
+    h.write_u64(index as u64);
+    h.write_str(name);
+    h.write_str(text);
+    h.finish()
+}
+
+/// Key for one elaboration in the incremental-compile path: the
+/// resolved top plus the ordered `(index, name, text)` set of files
+/// that contribute at least one design unit to the top's instantiation
+/// closure. Files outside the closure don't influence elaboration, so
+/// editing them must (and does) leave this key unchanged.
+pub(crate) fn elab_key(language: Language, top: &str, closure: &[(usize, &str, &str)]) -> u128 {
+    let mut h = KeyHasher::new("elab");
+    h.write_u64(language_tag(language));
+    h.write_str(top);
+    h.write_u64(closure.len() as u64);
+    for &(index, name, text) in closure {
+        h.write_u64(index as u64);
+        h.write_str(name);
+        h.write_str(text);
+    }
     h.finish()
 }
 
@@ -590,10 +700,89 @@ mod tests {
             hits: 3,
             misses: 1,
             entries: 1,
+            parse_hits: 4,
+            parse_misses: 2,
+            elab_hits: 1,
+            elab_misses: 1,
         };
         assert_eq!(
             s.to_string(),
-            "3 hits / 1 misses (75.0% hit rate, 1 entries)"
+            "3 hits / 1 misses (75.0% hit rate, 1 entries; \
+             incremental: parse 4/2, elab 1/1)"
+        );
+    }
+
+    #[test]
+    fn parse_and_elab_counters_are_separate_from_invocation_counters() {
+        let cache = EdaCache::new();
+        let pk = parse_key(Language::Verilog, 0, "a.v", "module a; endmodule\n");
+        let (slot, hit) = cache.parse_slot(pk);
+        assert!(!hit);
+        let _ = slot.set(ParsedFile::Verilog(
+            aivril_verilog::ast::SourceUnit::default(),
+            Diagnostics::new(),
+        ));
+        let (_, hit) = cache.parse_slot(pk);
+        assert!(hit);
+
+        let ek = elab_key(
+            Language::Verilog,
+            "a",
+            &[(0, "a.v", "module a; endmodule\n")],
+        );
+        let (slot, hit) = cache.elab_slot(ek);
+        assert!(!hit);
+        let _ = slot.set(ElabEntry {
+            design: None,
+            diags: Diagnostics::new(),
+        });
+        let (_, hit) = cache.elab_slot(ek);
+        assert!(hit);
+
+        let stats = cache.stats();
+        // Whole-invocation counters (and the entries gauge the exact
+        // count tests pin) must be untouched by phase-level lookups.
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!((stats.parse_hits, stats.parse_misses), (1, 1));
+        assert_eq!((stats.elab_hits, stats.elab_misses), (1, 1));
+    }
+
+    #[test]
+    fn incremental_keys_are_position_and_closure_sensitive() {
+        let base = parse_key(Language::Verilog, 0, "a.v", "text");
+        assert_eq!(base, parse_key(Language::Verilog, 0, "a.v", "text"));
+        assert_ne!(
+            base,
+            parse_key(Language::Verilog, 1, "a.v", "text"),
+            "index"
+        );
+        assert_ne!(
+            base,
+            parse_key(Language::Vhdl, 0, "a.v", "text"),
+            "language"
+        );
+        assert_ne!(base, parse_key(Language::Verilog, 0, "b.v", "text"), "name");
+        assert_ne!(
+            base,
+            parse_key(Language::Verilog, 0, "a.v", "other"),
+            "text"
+        );
+
+        let closure = [(0usize, "a.v", "ta"), (2usize, "c.v", "tc")];
+        let e = elab_key(Language::Verilog, "top", &closure);
+        assert_eq!(e, elab_key(Language::Verilog, "top", &closure));
+        assert_ne!(e, elab_key(Language::Verilog, "other", &closure), "top");
+        let edited = [(0usize, "a.v", "ta"), (2usize, "c.v", "TC")];
+        assert_ne!(
+            e,
+            elab_key(Language::Verilog, "top", &edited),
+            "closure text"
+        );
+        let shrunk = [(0usize, "a.v", "ta")];
+        assert_ne!(
+            e,
+            elab_key(Language::Verilog, "top", &shrunk),
+            "closure size"
         );
     }
 }

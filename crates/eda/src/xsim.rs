@@ -1,9 +1,10 @@
 //! The Vivado-like tool suite implementation.
 
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::cache::{self, CompileEntry, EdaCache, SimEntry};
+use crate::cache::{self, CompileEntry, EdaCache, ElabEntry, ParsedFile, SimEntry};
 use crate::faults::{EdaFaultPlan, ToolFault};
 use crate::latency::ToolLatencyModel;
 use crate::report::{extract_failures, CompileReport, SimReport, ToolMessage};
@@ -24,17 +25,36 @@ pub const PASS_MARKER: &str = "All tests passed successfully!";
 /// `compile` corresponds to `xvlog`/`xvhdl` + `xelab` (syntax, semantic
 /// and elaboration checks); `simulate` additionally runs the event
 /// kernel like `xsim -runall`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct XsimToolSuite {
     latency: ToolLatencyModel,
     sim_config: SimConfig,
     recorder: Recorder,
     cache: Option<EdaCache>,
     faults: EdaFaultPlan,
+    /// Incremental compile: memoize per-file parses and closure-keyed
+    /// elaborations in the attached cache. On by default, but only
+    /// active when a cache is attached; artifacts are byte-identical
+    /// either way.
+    incremental: bool,
     /// Kernel performance counters, summed over every simulation this
     /// suite (and its clones — the worker pool) executes or replays
     /// from cache. Diagnostic only; never feeds canonical artifacts.
     kernel: Arc<KernelCounters>,
+}
+
+impl Default for XsimToolSuite {
+    fn default() -> XsimToolSuite {
+        XsimToolSuite {
+            latency: ToolLatencyModel::default(),
+            sim_config: SimConfig::default(),
+            recorder: Recorder::default(),
+            cache: None,
+            faults: EdaFaultPlan::default(),
+            incremental: true,
+            kernel: Arc::new(KernelCounters::default()),
+        }
+    }
 }
 
 /// Thread-safe accumulator behind [`XsimToolSuite::kernel_stats`].
@@ -48,6 +68,7 @@ struct KernelCounters {
     eval_allocs: AtomicU64,
     compactions: AtomicU64,
     scratch_slots_max: AtomicU64,
+    arena_words_max: AtomicU64,
 }
 
 impl KernelCounters {
@@ -62,6 +83,8 @@ impl KernelCounters {
             .fetch_add(perf.compactions, Ordering::Relaxed);
         self.scratch_slots_max
             .fetch_max(perf.scratch_slots, Ordering::Relaxed);
+        self.arena_words_max
+            .fetch_max(perf.arena_words, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> KernelPerf {
@@ -71,6 +94,7 @@ impl KernelCounters {
             eval_allocs: self.eval_allocs.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             scratch_slots: self.scratch_slots_max.load(Ordering::Relaxed),
+            arena_words: self.arena_words_max.load(Ordering::Relaxed),
         }
     }
 }
@@ -121,6 +145,29 @@ impl XsimToolSuite {
     #[must_use]
     pub fn cache(&self) -> Option<&EdaCache> {
         self.cache.as_ref()
+    }
+
+    /// Toggles the incremental compile path: per-file parse results and
+    /// closure-keyed elaborations are memoized in the attached cache,
+    /// so editing one file of an N-file design re-parses one file and
+    /// re-elaborates only when the edit is inside the top's
+    /// instantiation closure. On by default; inert without a cache.
+    /// Reports and designs are byte-identical with it on or off — the
+    /// memo keys cover everything the phases read, and ambiguous inputs
+    /// (duplicate design-unit names) bypass the memo entirely.
+    #[must_use]
+    pub fn with_incremental(mut self, on: bool) -> XsimToolSuite {
+        self.incremental = on;
+        self
+    }
+
+    /// The cache, when the incremental compile path should use it.
+    fn incremental_cache(&self) -> Option<&EdaCache> {
+        if self.incremental {
+            self.cache.as_ref()
+        } else {
+            None
+        }
     }
 
     /// Installs a deterministic fault plan (`AIVRIL_EDA_FAULTS`). Every
@@ -476,16 +523,13 @@ impl XsimToolSuite {
     ) -> (CompileReport, Option<Arc<Design>>, Option<bool>) {
         let Some(cache) = &self.cache else {
             let (report, design) = self.compile_to_design_inner(files, top);
-            return (report, design.map(Arc::new), None);
+            return (report, design, None);
         };
         let key = cache::compile_key(files, top, &self.latency);
         let (slot, hit) = cache.compile_slot(key);
         let entry = slot.get_or_init(|| {
             let (report, design) = self.compile_to_design_inner(files, top);
-            CompileEntry {
-                report,
-                design: design.map(Arc::new),
-            }
+            CompileEntry { report, design }
         });
         (entry.report.clone(), entry.design.clone(), Some(hit))
     }
@@ -494,7 +538,7 @@ impl XsimToolSuite {
         &self,
         files: &[HdlFile],
         top: Option<&str>,
-    ) -> (CompileReport, Option<Design>) {
+    ) -> (CompileReport, Option<Arc<Design>>) {
         let mut sources = SourceMap::new();
         for f in files {
             sources.add_file(f.name.clone(), f.text.clone());
@@ -538,40 +582,8 @@ impl XsimToolSuite {
         // fell through to `elaborate(.., "")`, whose "unknown unit ''"
         // diagnostic was useless to the Review Agent.
         let (design, diags, no_top) = match language {
-            Language::Verilog => {
-                let (unit, mut diags) = aivril_verilog::analyze(&sources);
-                if diags.has_errors() {
-                    (None, diags, false)
-                } else {
-                    match top
-                        .map(String::from)
-                        .or_else(|| aivril_verilog::find_top(&unit))
-                    {
-                        Some(top) => {
-                            let design = aivril_verilog::elaborate(&unit, &top, &mut diags);
-                            (design.filter(|_| !diags.has_errors()), diags, false)
-                        }
-                        None => (None, diags, true),
-                    }
-                }
-            }
-            Language::Vhdl => {
-                let (unit, mut diags) = aivril_vhdl::analyze(&sources);
-                if diags.has_errors() {
-                    (None, diags, false)
-                } else {
-                    match top
-                        .map(String::from)
-                        .or_else(|| aivril_vhdl::find_top(&unit))
-                    {
-                        Some(top) => {
-                            let design = aivril_vhdl::elaborate(&unit, &top, &mut diags);
-                            (design.filter(|_| !diags.has_errors()), diags, false)
-                        }
-                        None => (None, diags, true),
-                    }
-                }
-            }
+            Language::Verilog => self.verilog_front(&sources, top),
+            Language::Vhdl => self.vhdl_front(&sources, top),
         };
         log.push_str(&diags.render(&sources));
         let success = design.is_some();
@@ -610,6 +622,288 @@ impl XsimToolSuite {
         };
         (report, design)
     }
+
+    /// Verilog analysis + elaboration; incremental when a cache is
+    /// attached. Returns `(design, diagnostics, no_top)`.
+    fn verilog_front(
+        &self,
+        sources: &SourceMap,
+        top: Option<&str>,
+    ) -> (Option<Arc<Design>>, Diagnostics, bool) {
+        let (unit, parts, mut diags) = self.parse_verilog(sources);
+        if diags.has_errors() {
+            return (None, diags, false);
+        }
+        let Some(top) = top
+            .map(String::from)
+            .or_else(|| aivril_verilog::find_top(&unit))
+        else {
+            return (None, diags, true);
+        };
+        let design = self.elaborate_verilog(&unit, parts.as_deref(), sources, &top, &mut diags);
+        (design.filter(|_| !diags.has_errors()), diags, false)
+    }
+
+    /// VHDL analysis + elaboration; incremental when a cache is
+    /// attached. Returns `(design, diagnostics, no_top)`.
+    fn vhdl_front(
+        &self,
+        sources: &SourceMap,
+        top: Option<&str>,
+    ) -> (Option<Arc<Design>>, Diagnostics, bool) {
+        let (file, parts, mut diags) = self.parse_vhdl(sources);
+        if diags.has_errors() {
+            return (None, diags, false);
+        }
+        let Some(top) = top
+            .map(String::from)
+            .or_else(|| aivril_vhdl::find_top(&file))
+        else {
+            return (None, diags, true);
+        };
+        let design = self.elaborate_vhdl(&file, parts.as_deref(), sources, &top, &mut diags);
+        (design.filter(|_| !diags.has_errors()), diags, false)
+    }
+
+    /// Parses every file, through the per-file memo when incremental.
+    /// The second element carries the per-file units (the elab closure
+    /// needs to know which file defines which module) — `None` on the
+    /// non-incremental path.
+    fn parse_verilog(
+        &self,
+        sources: &SourceMap,
+    ) -> (
+        aivril_verilog::ast::SourceUnit,
+        Option<Vec<aivril_verilog::ast::SourceUnit>>,
+        Diagnostics,
+    ) {
+        let Some(cache) = self.incremental_cache() else {
+            let (unit, diags) = aivril_verilog::analyze(sources);
+            return (unit, None, diags);
+        };
+        let mut unit = aivril_verilog::ast::SourceUnit::default();
+        let mut parts = Vec::new();
+        let mut diags = Diagnostics::new();
+        for (index, (id, source)) in sources.iter().enumerate() {
+            let key = cache::parse_key(Language::Verilog, index, source.name(), source.text());
+            let (slot, _) = cache.parse_slot(key);
+            let entry = slot.get_or_init(|| {
+                let (part, part_diags) = aivril_verilog::analyze_file(id, source.text());
+                ParsedFile::Verilog(part, part_diags)
+            });
+            // The language tag in the key makes the other arm
+            // unreachable; parse fresh rather than panic if it ever
+            // isn't.
+            let (part, part_diags) = match entry {
+                ParsedFile::Verilog(part, part_diags) => (part.clone(), part_diags.clone()),
+                ParsedFile::Vhdl(..) => aivril_verilog::analyze_file(id, source.text()),
+            };
+            unit.modules.extend(part.modules.iter().cloned());
+            parts.push(part);
+            diags.extend(part_diags);
+        }
+        (unit, Some(parts), diags)
+    }
+
+    /// VHDL twin of [`Self::parse_verilog`].
+    fn parse_vhdl(
+        &self,
+        sources: &SourceMap,
+    ) -> (
+        aivril_vhdl::ast::DesignFile,
+        Option<Vec<aivril_vhdl::ast::DesignFile>>,
+        Diagnostics,
+    ) {
+        let Some(cache) = self.incremental_cache() else {
+            let (file, diags) = aivril_vhdl::analyze(sources);
+            return (file, None, diags);
+        };
+        let mut file = aivril_vhdl::ast::DesignFile::default();
+        let mut parts = Vec::new();
+        let mut diags = Diagnostics::new();
+        for (index, (id, source)) in sources.iter().enumerate() {
+            let key = cache::parse_key(Language::Vhdl, index, source.name(), source.text());
+            let (slot, _) = cache.parse_slot(key);
+            let entry = slot.get_or_init(|| {
+                let (part, part_diags) = aivril_vhdl::analyze_file(id, source.text());
+                ParsedFile::Vhdl(part, part_diags)
+            });
+            let (part, part_diags) = match entry {
+                ParsedFile::Vhdl(part, part_diags) => (part.clone(), part_diags.clone()),
+                ParsedFile::Verilog(..) => aivril_vhdl::analyze_file(id, source.text()),
+            };
+            file.entities.extend(part.entities.iter().cloned());
+            file.architectures
+                .extend(part.architectures.iter().cloned());
+            parts.push(part);
+            diags.extend(part_diags);
+        }
+        (file, Some(parts), diags)
+    }
+
+    /// Elaborates through the closure-keyed memo when possible. The
+    /// memo stores elaboration's *own* diagnostics (the callers only
+    /// reach this point with error-free parse diags, so elaboration
+    /// against a fresh `Diagnostics` behaves identically) and replays
+    /// them on a hit.
+    fn elaborate_verilog(
+        &self,
+        unit: &aivril_verilog::ast::SourceUnit,
+        parts: Option<&[aivril_verilog::ast::SourceUnit]>,
+        sources: &SourceMap,
+        top: &str,
+        diags: &mut Diagnostics,
+    ) -> Option<Arc<Design>> {
+        if let (Some(cache), Some(parts)) = (self.incremental_cache(), parts) {
+            if let Some(closure) = verilog_closure(parts, top) {
+                let texts = closure_texts(sources, &closure);
+                let key = cache::elab_key(Language::Verilog, top, &texts);
+                let (slot, _) = cache.elab_slot(key);
+                let entry = slot.get_or_init(|| {
+                    let mut fresh = Diagnostics::new();
+                    let design = aivril_verilog::elaborate(unit, top, &mut fresh);
+                    ElabEntry {
+                        design: design.map(Arc::new),
+                        diags: fresh,
+                    }
+                });
+                diags.extend(entry.diags.clone());
+                return entry.design.clone();
+            }
+        }
+        aivril_verilog::elaborate(unit, top, diags).map(Arc::new)
+    }
+
+    /// VHDL twin of [`Self::elaborate_verilog`]. The memo key uses the
+    /// lowercased top, matching the elaborator's case folding.
+    fn elaborate_vhdl(
+        &self,
+        file: &aivril_vhdl::ast::DesignFile,
+        parts: Option<&[aivril_vhdl::ast::DesignFile]>,
+        sources: &SourceMap,
+        top: &str,
+        diags: &mut Diagnostics,
+    ) -> Option<Arc<Design>> {
+        if let (Some(cache), Some(parts)) = (self.incremental_cache(), parts) {
+            let top_lc = top.to_ascii_lowercase();
+            if let Some(closure) = vhdl_closure(parts, &top_lc) {
+                let texts = closure_texts(sources, &closure);
+                let key = cache::elab_key(Language::Vhdl, &top_lc, &texts);
+                let (slot, _) = cache.elab_slot(key);
+                let entry = slot.get_or_init(|| {
+                    let mut fresh = Diagnostics::new();
+                    let design = aivril_vhdl::elaborate(file, top, &mut fresh);
+                    ElabEntry {
+                        design: design.map(Arc::new),
+                        diags: fresh,
+                    }
+                });
+                diags.extend(entry.diags.clone());
+                return entry.design.clone();
+            }
+        }
+        aivril_vhdl::elaborate(file, top, diags).map(Arc::new)
+    }
+}
+
+/// The file indices contributing modules to `top`'s instantiation
+/// closure, or `None` when any module name is declared twice — the
+/// elaborator diagnoses redeclarations *globally*, so a closure key
+/// would not cover everything its output depends on. Unknown
+/// instantiated names contribute nothing (elaboration diagnoses them;
+/// the files defining nothing reachable can't influence that verdict).
+fn verilog_closure(
+    parts: &[aivril_verilog::ast::SourceUnit],
+    top: &str,
+) -> Option<BTreeSet<usize>> {
+    let mut def_file: HashMap<&str, usize> = HashMap::new();
+    let mut modules = HashMap::new();
+    for (index, part) in parts.iter().enumerate() {
+        for m in &part.modules {
+            if def_file.insert(m.name.as_str(), index).is_some() {
+                return None;
+            }
+            modules.insert(m.name.as_str(), m);
+        }
+    }
+    let mut files = BTreeSet::new();
+    let mut seen = HashSet::new();
+    let mut stack = vec![top];
+    while let Some(name) = stack.pop() {
+        if !seen.insert(name) {
+            continue;
+        }
+        let Some(m) = modules.get(name) else {
+            continue;
+        };
+        files.insert(def_file[name]);
+        for item in &m.items {
+            if let aivril_verilog::ast::Item::Instance { module, .. } = item {
+                stack.push(module.as_str());
+            }
+        }
+    }
+    Some(files)
+}
+
+/// VHDL twin of [`verilog_closure`]: walks entities plus their
+/// architectures. `None` on any duplicated entity name or second
+/// architecture for one entity — the elaborator resolves those
+/// last-wins, a dependency on file *order* the closure key doesn't
+/// express. `top` must already be lowercased.
+fn vhdl_closure(parts: &[aivril_vhdl::ast::DesignFile], top: &str) -> Option<BTreeSet<usize>> {
+    let mut ent_file: HashMap<&str, usize> = HashMap::new();
+    let mut arch_file: HashMap<&str, usize> = HashMap::new();
+    let mut archs = HashMap::new();
+    for (index, part) in parts.iter().enumerate() {
+        for e in &part.entities {
+            if ent_file.insert(e.name.as_str(), index).is_some() {
+                return None;
+            }
+        }
+        for a in &part.architectures {
+            if arch_file.insert(a.entity.as_str(), index).is_some() {
+                return None;
+            }
+            archs.insert(a.entity.as_str(), a);
+        }
+    }
+    let mut files = BTreeSet::new();
+    let mut seen = HashSet::new();
+    let mut stack = vec![top.to_string()];
+    while let Some(name) = stack.pop() {
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        if let Some(&index) = ent_file.get(name.as_str()) {
+            files.insert(index);
+        }
+        if let Some(&index) = arch_file.get(name.as_str()) {
+            files.insert(index);
+        }
+        if let Some(a) = archs.get(name.as_str()) {
+            for s in &a.stmts {
+                if let aivril_vhdl::ast::ConcurrentStmt::Instance { entity, .. } = s {
+                    stack.push(entity.to_ascii_lowercase());
+                }
+            }
+        }
+    }
+    Some(files)
+}
+
+/// The ordered `(index, name, text)` triples for `files`, ready for
+/// [`cache::elab_key`].
+fn closure_texts<'s>(
+    sources: &'s SourceMap,
+    files: &BTreeSet<usize>,
+) -> Vec<(usize, &'s str, &'s str)> {
+    sources
+        .iter()
+        .enumerate()
+        .filter(|(index, _)| files.contains(index))
+        .map(|(index, (_, source))| (index, source.name(), source.text()))
+        .collect()
 }
 
 fn total_bytes(files: &[HdlFile]) -> usize {
@@ -908,17 +1202,36 @@ impl XsimToolSuite {
                 f.language, f.name
             ));
         }
-        for (id, source) in sources.iter() {
+        for (index, (id, source)) in sources.iter().enumerate() {
             let name = source.name().to_ascii_lowercase();
-            if name.ends_with(".vhd") || name.ends_with(".vhdl") {
-                let mut sub = aivril_hdl::diag::Diagnostics::new();
-                let toks = aivril_vhdl::lex(id, source.text(), &mut sub);
-                let _ = aivril_vhdl::parse(toks, &mut sub);
+            let language = if name.ends_with(".vhd") || name.ends_with(".vhdl") {
+                Language::Vhdl
+            } else {
+                Language::Verilog
+            };
+            // Analysis only needs the syntax diagnostics, but parsing
+            // through the incremental memo lets a later compile of the
+            // same file set reuse the ASTs.
+            if let Some(cache) = self.incremental_cache() {
+                let key = cache::parse_key(language, index, source.name(), source.text());
+                let (slot, _) = cache.parse_slot(key);
+                let entry = slot.get_or_init(|| match language {
+                    Language::Vhdl => {
+                        let (part, sub) = aivril_vhdl::analyze_file(id, source.text());
+                        ParsedFile::Vhdl(part, sub)
+                    }
+                    Language::Verilog => {
+                        let (part, sub) = aivril_verilog::analyze_file(id, source.text());
+                        ParsedFile::Verilog(part, sub)
+                    }
+                });
+                let (ParsedFile::Verilog(_, sub) | ParsedFile::Vhdl(_, sub)) = entry;
+                diags.extend(sub.clone());
+            } else if language == Language::Vhdl {
+                let (_, sub) = aivril_vhdl::analyze_file(id, source.text());
                 diags.extend(sub);
             } else {
-                let mut sub = aivril_hdl::diag::Diagnostics::new();
-                let toks = aivril_verilog::lex(id, source.text(), &mut sub);
-                let _ = aivril_verilog::parse(toks, &mut sub);
+                let (_, sub) = aivril_verilog::analyze_file(id, source.text());
                 diags.extend(sub);
             }
         }

@@ -30,12 +30,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bits;
 pub mod diag;
 pub mod ir;
 pub mod logic;
 pub mod source;
 pub mod vec;
 
+pub use bits::{BitsRef, ScratchBuf};
 pub use diag::{Diagnostic, Severity};
 pub use logic::Logic;
 pub use source::{FileId, SourceMap, Span};

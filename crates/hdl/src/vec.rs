@@ -18,6 +18,7 @@
 //! one-word case, and the multi-word paths operate on whole words with
 //! implicit zero-extension rather than materialising resized copies.
 
+use crate::bits::{self, extract_word, low_mask, or_shifted, word_at, words_for, BitsRef};
 use crate::logic::Logic;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -101,52 +102,6 @@ pub struct LogicVec {
     bval: Words,
 }
 
-fn words_for(width: u32) -> usize {
-    (width as usize).div_ceil(64)
-}
-
-/// Mask covering the low `width` bits of a word (`width` clamped to 64).
-fn low_mask(width: u32) -> u64 {
-    if width >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << width) - 1
-    }
-}
-
-/// Word `i` of a plane, reading zero beyond its end (the implicit
-/// zero-extension every width-mixing operation relies on).
-fn word_at(plane: &[u64], i: usize) -> u64 {
-    plane.get(i).copied().unwrap_or(0)
-}
-
-/// The 64 plane bits starting at bit position `bit`, zero-extended.
-fn extract_word(plane: &[u64], bit: u32) -> u64 {
-    let (ws, bs) = ((bit / 64) as usize, bit % 64);
-    let lo = word_at(plane, ws) >> bs;
-    let hi = if bs > 0 {
-        word_at(plane, ws + 1) << (64 - bs)
-    } else {
-        0
-    };
-    lo | hi
-}
-
-/// ORs `src` shifted left by `shift` bits into `dst` (bits falling
-/// beyond `dst` are dropped). Used by concatenation.
-fn or_shifted(dst: &mut [u64], src: &[u64], shift: u32) {
-    let (ws, bs) = ((shift / 64) as usize, shift % 64);
-    for (i, &w) in src.iter().enumerate() {
-        let pos = ws + i;
-        if pos < dst.len() {
-            dst[pos] |= w << bs;
-        }
-        if bs > 0 && pos + 1 < dst.len() {
-            dst[pos + 1] |= w >> (64 - bs);
-        }
-    }
-}
-
 impl LogicVec {
     /// Builds a one-word vector from pre-computed planes, masking to
     /// `width`. Only valid for `width <= 64`.
@@ -213,6 +168,60 @@ impl LogicVec {
     #[must_use]
     pub fn is_spilled(&self) -> bool {
         matches!(self.aval, Words::Spilled(_))
+    }
+
+    /// A borrowed read-only view of the packed planes.
+    #[must_use]
+    pub fn as_bits(&self) -> BitsRef<'_> {
+        BitsRef::new(self.width, &self.aval, &self.bval)
+    }
+
+    /// Builds a canonical vector from a borrowed plane view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has zero width.
+    #[must_use]
+    pub fn from_bits(bits: BitsRef<'_>) -> LogicVec {
+        let width = bits.width();
+        assert!(width > 0, "LogicVec width must be non-zero");
+        if width <= 64 {
+            let (a, b) = bits.word(0);
+            return LogicVec::inline(width, a, b);
+        }
+        let (aval, bval) = bits.planes();
+        LogicVec {
+            width,
+            aval: Words::Spilled(aval.to_vec()),
+            bval: Words::Spilled(bval.to_vec()),
+        }
+    }
+
+    /// Overwrites this vector in place from `bits`, keeping its own
+    /// width (zero-extending or truncating `bits` — the same resize
+    /// semantics as a full-net assignment). Never reallocates.
+    pub fn assign_bits(&mut self, bits: BitsRef<'_>) {
+        for i in 0..self.aval.len() {
+            let (a, b) = bits.word(i);
+            self.aval[i] = a;
+            self.bval[i] = b;
+        }
+        self.mask_top();
+    }
+
+    /// Compares this vector against `bits` under the same resize
+    /// semantics as [`assign_bits`](Self::assign_bits): `true` iff the
+    /// assignment would leave the value unchanged.
+    #[must_use]
+    pub fn equals_bits(&self, bits: BitsRef<'_>) -> bool {
+        for i in 0..self.aval.len() {
+            let m = self.word_mask(i);
+            let (a, b) = bits.word(i);
+            if self.aval[i] != a & m || self.bval[i] != b & m {
+                return false;
+            }
+        }
+        true
     }
 
     /// Builds a vector from bits listed MSB-first, as they appear in a
@@ -368,11 +377,7 @@ impl LogicVec {
     /// operand is known-0, 1 where both are known-1, X otherwise.
     #[must_use]
     pub fn and(&self, rhs: &LogicVec) -> LogicVec {
-        self.word_bitwise(rhs, |a1, b1, a2, b2| {
-            let r0 = (!a1 & !b1) | (!a2 & !b2);
-            let r1 = (a1 & !b1) & (a2 & !b2);
-            (!r0, !r0 & !r1)
-        })
+        self.word_bitwise(rhs, bits::and_words)
     }
 
     /// Bitwise OR with Verilog four-state resolution (word-parallel):
@@ -380,30 +385,20 @@ impl LogicVec {
     /// otherwise.
     #[must_use]
     pub fn or(&self, rhs: &LogicVec) -> LogicVec {
-        self.word_bitwise(rhs, |a1, b1, a2, b2| {
-            let r1 = (a1 & !b1) | (a2 & !b2);
-            let r0 = (!a1 & !b1) & (!a2 & !b2);
-            (r1 | !(r0 | r1), !(r0 | r1))
-        })
+        self.word_bitwise(rhs, bits::or_words)
     }
 
     /// Bitwise XOR with Verilog four-state resolution (word-parallel):
     /// X wherever either operand is unknown, else the plain XOR.
     #[must_use]
     pub fn xor(&self, rhs: &LogicVec) -> LogicVec {
-        self.word_bitwise(rhs, |a1, b1, a2, b2| {
-            let unk = b1 | b2;
-            ((a1 ^ a2) | unk, unk)
-        })
+        self.word_bitwise(rhs, bits::xor_words)
     }
 
     /// Bitwise XNOR with Verilog four-state resolution (word-parallel).
     #[must_use]
     pub fn xnor(&self, rhs: &LogicVec) -> LogicVec {
-        self.word_bitwise(rhs, |a1, b1, a2, b2| {
-            let unk = b1 | b2;
-            (!(a1 ^ a2) | unk, unk)
-        })
+        self.word_bitwise(rhs, bits::xnor_words)
     }
 
     /// Word-parallel bitwise combinator: `f` receives one 64-bit word of

@@ -8,6 +8,7 @@
 //! an X/Z-heavy distribution so the four-state corners get real
 //! coverage.
 
+use aivril_hdl::bits::ScratchBuf;
 use aivril_hdl::vec::LogicVec;
 use aivril_hdl::Logic;
 use proptest::collection::vec as pvec;
@@ -419,6 +420,178 @@ proptest! {
             let want = if (i as usize) < a.len() { a[i as usize] } else { Logic::X };
             prop_assert_eq!(pa.get(i), want, "get({})", i);
         }
+    }
+}
+
+/// Ternary merge under an unknown condition: zero-extended arms, the
+/// shared value where both are known and agree, X otherwise.
+fn ref_select_merge(then: &Bits, els: &Bits) -> Bits {
+    let w = then.len().max(els.len());
+    (0..w)
+        .map(|i| {
+            let (x, y) = (bit(then, i), bit(els, i));
+            if is_known(x) && x == y {
+                x
+            } else {
+                Logic::X
+            }
+        })
+        .collect()
+}
+
+/// Loads the reference bits into a scratch buffer (via the packed form,
+/// which the random `LogicVec` suites above already pin to the oracle).
+fn sb(bits: &Bits) -> ScratchBuf {
+    let mut buf = ScratchBuf::new();
+    buf.load(lv(bits).as_bits());
+    buf
+}
+
+/// Asserts an in-place result matches the reference, bit for bit, and
+/// that the buffer never grew past its initial `load` (the zero-alloc
+/// contract: one sizing at load, none during the op).
+fn assert_same_sb(buf: &ScratchBuf, reference: &Bits, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(buf.width() as usize, reference.len(), "{} width", what);
+    prop_assert_eq!(&unpack(&buf.to_logic_vec()), reference, "{} bits", what);
+    Ok(())
+}
+
+// The word-parallel in-place ops of `ScratchBuf` against the same
+// scalar oracle as the packed suites, at the same boundary-pinned
+// widths (63/64/65/127/128/129 among 1-200). These are the kernels the
+// wide-value arena executes on borrowed slices, so any divergence here
+// is a simulation wrong-answer, not just a perf bug.
+proptest! {
+    #[test]
+    fn scratch_bitwise_ops_match_reference(
+        a in bits_strategy(logic_strategy),
+        b in bits_strategy(logic_strategy),
+    ) {
+        let pb = lv(&b);
+        let mut s = sb(&a);
+        s.and_assign(pb.as_bits());
+        assert_same_sb(&s, &ref_bitwise(&a, &b, Logic::and), "and_assign")?;
+        let mut s = sb(&a);
+        s.or_assign(pb.as_bits());
+        assert_same_sb(&s, &ref_bitwise(&a, &b, Logic::or), "or_assign")?;
+        let mut s = sb(&a);
+        s.xor_assign(pb.as_bits());
+        assert_same_sb(&s, &ref_bitwise(&a, &b, Logic::xor), "xor_assign")?;
+        let mut s = sb(&a);
+        s.xnor_assign(pb.as_bits());
+        assert_same_sb(&s, &ref_bitwise(&a, &b, |x, y| x.xor(y).not()), "xnor_assign")?;
+        let mut s = sb(&a);
+        s.not_self();
+        assert_same_sb(&s, &ref_not(&a), "not_self")?;
+        let mut s = sb(&a);
+        s.select_merge(lv(&a).as_bits(), pb.as_bits());
+        assert_same_sb(&s, &ref_select_merge(&a, &b), "select_merge")?;
+    }
+
+    #[test]
+    fn scratch_arithmetic_matches_reference(
+        a in bits_strategy(mostly_known_strategy),
+        b in bits_strategy(mostly_known_strategy),
+    ) {
+        let pb = lv(&b);
+        let mut s = sb(&a);
+        s.add_assign(pb.as_bits());
+        assert_same_sb(&s, &ref_add(&a, &b), "add_assign")?;
+        let mut s = sb(&a);
+        s.sub_assign(pb.as_bits());
+        assert_same_sb(&s, &ref_sub(&a, &b), "sub_assign")?;
+        let mut s = sb(&a);
+        s.neg_self();
+        assert_same_sb(&s, &ref_negate(&a), "neg_self")?;
+        let mut s = sb(&a);
+        s.mul_assign(pb.as_bits());
+        assert_same_sb(&s, &ref_mul(&a, &b), "mul_assign")?;
+        let mut s = sb(&a);
+        s.div_assign(pb.as_bits());
+        assert_same_sb(&s, &ref_divrem(&a, &b, false), "div_assign")?;
+        let mut s = sb(&a);
+        s.rem_assign(pb.as_bits());
+        assert_same_sb(&s, &ref_divrem(&a, &b, true), "rem_assign")?;
+    }
+
+    #[test]
+    fn scratch_shifts_and_structure_match_reference(
+        a in bits_strategy(logic_strategy),
+        b in bits_strategy(logic_strategy),
+        n in 0u32..210,
+        amt in bits_strategy(mostly_known_strategy),
+        count in 1u32..4,
+        msb in 0u32..210,
+        lsb in 0u32..210,
+    ) {
+        let (pa, pb, pamt) = (lv(&a), lv(&b), lv(&amt));
+        let mut s = sb(&a);
+        s.shl_assign_const(n);
+        assert_same_sb(&s, &ref_shl_const(&a, n as usize), "shl_assign_const")?;
+        let mut s = sb(&a);
+        s.shr_assign_const(n);
+        assert_same_sb(&s, &ref_shr_const(&a, n as usize), "shr_assign_const")?;
+        let mut s = sb(&a);
+        s.shl_assign(pamt.as_bits());
+        assert_same_sb(&s, &ref_shift(&a, &amt, true), "shl_assign")?;
+        let mut s = sb(&a);
+        s.shr_assign(pamt.as_bits());
+        assert_same_sb(&s, &ref_shift(&a, &amt, false), "shr_assign")?;
+        let mut s = ScratchBuf::new();
+        s.slice_from(pa.as_bits(), msb, lsb);
+        assert_same_sb(&s, &ref_slice(&a, msb as usize, lsb as usize), "slice_from")?;
+        let mut s = sb(&a);
+        s.concat_low(pb.as_bits());
+        assert_same_sb(&s, &ref_concat(&a, &b), "concat_low")?;
+        let mut s = sb(&a);
+        let mut spare = ScratchBuf::new();
+        s.replicate_self(count, &mut spare);
+        assert_same_sb(&s, &ref_replicate(&a, count as usize), "replicate_self")?;
+    }
+
+    #[test]
+    fn bits_ref_predicates_match_reference(
+        a in bits_strategy(logic_strategy),
+        b in bits_strategy(mostly_known_strategy),
+    ) {
+        let (pa, pb) = (lv(&a), lv(&b));
+        let (ra, rb) = (pa.as_bits(), pb.as_bits());
+        prop_assert_eq!(ra.logic_eq(rb), ref_logic_eq(&a, &b));
+        prop_assert_eq!(ra.case_eq(rb), ref_case_eq(&a, &b));
+        prop_assert_eq!(ra.value_cmp(rb), ref_value_cmp(&a, &b));
+        prop_assert_eq!(ra.to_bool(), ref_to_bool(&a));
+        prop_assert_eq!(ra.to_u64(), ref_to_u64(&a));
+        prop_assert_eq!(ra.has_unknown(), !all_known(&a));
+        prop_assert_eq!(ra.reduce_and(), ref_reduce(&a, Logic::One, Logic::and));
+        prop_assert_eq!(ra.reduce_or(), ref_reduce(&a, Logic::Zero, Logic::or));
+        prop_assert_eq!(ra.reduce_xor(), ref_reduce(&a, Logic::Zero, Logic::xor));
+        for i in 0..(a.len() as u32 + 3) {
+            let want = if (i as usize) < a.len() { a[i as usize] } else { Logic::X };
+            prop_assert_eq!(ra.get(i), want, "get({})", i);
+        }
+    }
+
+    /// The arena contract: a buffer pre-sized to the op's statically
+    /// known result width completes any op sequence without regrowing.
+    #[test]
+    fn presized_scratch_never_grows(
+        a in bits_strategy(logic_strategy),
+        b in bits_strategy(mostly_known_strategy),
+        n in 0u32..210,
+    ) {
+        let (pa, pb) = (lv(&a), lv(&b));
+        let max_w = (a.len().max(b.len()) as u32) * 4;
+        let mut s = ScratchBuf::with_width(max_w);
+        let mut spare = ScratchBuf::with_width(max_w);
+        s.load_resized(pa.as_bits(), a.len() as u32);
+        s.xor_assign(pb.as_bits());
+        s.add_assign(pb.as_bits());
+        s.shl_assign_const(n.min(s.width()));
+        s.not_self();
+        s.replicate_self(3, &mut spare);
+        s.select_merge(pa.as_bits(), pb.as_bits());
+        prop_assert_eq!(s.grows(), 0, "pre-sized buffer must not regrow");
+        prop_assert_eq!(spare.grows(), 0, "spare must not regrow");
     }
 }
 

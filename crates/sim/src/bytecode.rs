@@ -8,8 +8,19 @@
 //! expressions are lowered **once** into a flat [`ExprProgram`]: a
 //! post-order sequence of [`Op`]s reading and writing numbered scratch
 //! slots, executed by a tight non-recursive loop over a per-simulator
-//! scratch arena that is allocated once and reused for every
+//! [`ScratchArena`] that is allocated once and reused for every
 //! evaluation.
+//!
+//! Because every net's width is known at lowering time, `compile`
+//! additionally infers a static width bound for each scratch slot (all
+//! width rules — `max`, sum, `count * w` — are monotone in their
+//! operands, so the bound holds for every dynamic evaluation). The
+//! arena pre-sizes each slot's [`ScratchBuf`] to that bound once, and
+//! execution then proceeds entirely in place over borrowed plane
+//! slices: wide (>64-bit) operations never box a `LogicVec`, which is
+//! what drives the kernel's `eval_allocs` to zero on wide datapaths. If
+//! a bound is ever too small the buffer grows — correct, and *counted*,
+//! so the zero-alloc claim stays honest.
 //!
 //! The tree interpreter stays in the crate as the semantic oracle: the
 //! cold paths (`$display` arguments, `$monitor`, l-value indices) still
@@ -24,6 +35,7 @@
 //! arena height equals the expression tree's operand depth, not its
 //! size.
 
+use aivril_hdl::bits::{BitsRef, ScratchBuf};
 use aivril_hdl::ir::{BinaryOp, Expr, NetId, UnaryOp};
 use aivril_hdl::logic::Logic;
 use aivril_hdl::vec::LogicVec;
@@ -64,189 +76,362 @@ pub(crate) enum Op {
     EdgeFlag { dst: u32, net: NetId, rising: bool },
 }
 
-/// A compiled expression: the op sequence plus the arena height it
-/// needs. Executing it leaves the result in slot 0.
+/// A compiled expression: the op sequence, the arena height it needs,
+/// and a static per-slot width bound. Executing it leaves the result in
+/// slot 0.
 #[derive(Debug, Clone)]
 pub(crate) struct ExprProgram {
     ops: Vec<Op>,
     slots: u32,
+    /// Maximum width any op result can take in each slot, inferred at
+    /// compile time from the net-width environment.
+    slot_widths: Vec<u32>,
 }
 
 impl ExprProgram {
     /// Scratch slots this program requires.
+    #[cfg(test)]
     pub(crate) fn slots(&self) -> u32 {
         self.slots
     }
+
+    /// Static per-slot width bounds (one entry per slot).
+    #[cfg(test)]
+    pub(crate) fn slot_widths(&self) -> &[u32] {
+        &self.slot_widths
+    }
 }
 
-/// Lowers `expr` into a flat program. Pure function of the expression;
-/// called once per expression at simulator construction.
-pub(crate) fn compile(expr: &Expr) -> ExprProgram {
-    let mut ops = Vec::new();
-    let mut slots = 0;
-    compile_into(expr, 0, &mut ops, &mut slots);
-    ExprProgram { ops, slots }
+/// Lowers `expr` into a flat program against the design's net widths
+/// (`net_widths[net.0]`). Pure function of the expression; called once
+/// per expression at simulator construction.
+pub(crate) fn compile(expr: &Expr, net_widths: &[u32]) -> ExprProgram {
+    let mut prog = ExprProgram {
+        ops: Vec::new(),
+        slots: 0,
+        slot_widths: Vec::new(),
+    };
+    compile_into(expr, 0, net_widths, &mut prog);
+    prog
 }
 
-fn compile_into(expr: &Expr, dst: u32, ops: &mut Vec<Op>, slots: &mut u32) {
-    *slots = (*slots).max(dst + 1);
-    match expr {
-        Expr::Const(value) => ops.push(Op::Const {
-            dst,
-            value: value.clone(),
-        }),
-        Expr::Net(net) => ops.push(Op::Net { dst, net: *net }),
-        Expr::Index { net, index } => {
-            compile_into(index, dst, ops, slots);
-            ops.push(Op::Index { dst, net: *net });
+/// Records that slot `dst` can hold a `width`-bit result.
+fn note_width(prog: &mut ExprProgram, dst: u32, width: u32) {
+    let d = dst as usize;
+    if d >= prog.slot_widths.len() {
+        prog.slot_widths.resize(d + 1, 1);
+    }
+    prog.slot_widths[d] = prog.slot_widths[d].max(width.max(1));
+}
+
+/// Lowers `expr` with its result in `dst`; returns the static width
+/// bound of that result.
+fn compile_into(expr: &Expr, dst: u32, net_widths: &[u32], prog: &mut ExprProgram) -> u32 {
+    prog.slots = prog.slots.max(dst + 1);
+    let net_width = |net: &NetId| net_widths.get(net.0 as usize).copied().unwrap_or(1);
+    let width = match expr {
+        Expr::Const(value) => {
+            let w = value.width();
+            prog.ops.push(Op::Const {
+                dst,
+                value: value.clone(),
+            });
+            w
         }
-        Expr::Range { net, msb, lsb } => ops.push(Op::Range {
-            dst,
-            net: *net,
-            msb: *msb,
-            lsb: *lsb,
-        }),
+        Expr::Net(net) => {
+            prog.ops.push(Op::Net { dst, net: *net });
+            net_width(net)
+        }
+        Expr::Index { net, index } => {
+            compile_into(index, dst, net_widths, prog);
+            prog.ops.push(Op::Index { dst, net: *net });
+            1
+        }
+        Expr::Range { net, msb, lsb } => {
+            prog.ops.push(Op::Range {
+                dst,
+                net: *net,
+                msb: *msb,
+                lsb: *lsb,
+            });
+            msb.max(lsb) - msb.min(lsb) + 1
+        }
         Expr::Unary { op, operand } => {
-            compile_into(operand, dst, ops, slots);
-            ops.push(Op::Unary { dst, op: *op });
+            let w = compile_into(operand, dst, net_widths, prog);
+            prog.ops.push(Op::Unary { dst, op: *op });
+            match op {
+                UnaryOp::Not | UnaryOp::Negate => w,
+                _ => 1,
+            }
         }
         Expr::Binary { op, lhs, rhs } => {
-            compile_into(lhs, dst, ops, slots);
-            compile_into(rhs, dst + 1, ops, slots);
-            ops.push(Op::Binary { dst, op: *op });
+            let wl = compile_into(lhs, dst, net_widths, prog);
+            let wr = compile_into(rhs, dst + 1, net_widths, prog);
+            prog.ops.push(Op::Binary { dst, op: *op });
+            match op {
+                BinaryOp::And
+                | BinaryOp::Or
+                | BinaryOp::Xor
+                | BinaryOp::Xnor
+                | BinaryOp::Add
+                | BinaryOp::Sub
+                | BinaryOp::Mul
+                | BinaryOp::Div
+                | BinaryOp::Rem => wl.max(wr),
+                BinaryOp::Shl | BinaryOp::Shr => wl,
+                _ => 1,
+            }
         }
         Expr::Ternary { cond, then, els } => {
             // Both arms are always evaluated (expressions are pure, so
             // this is unobservable); Select picks per the tree walker's
             // exact rules, including the unknown-condition X-merge.
-            compile_into(cond, dst, ops, slots);
-            compile_into(then, dst + 1, ops, slots);
-            compile_into(els, dst + 2, ops, slots);
-            ops.push(Op::Select { dst });
+            compile_into(cond, dst, net_widths, prog);
+            let wt = compile_into(then, dst + 1, net_widths, prog);
+            let we = compile_into(els, dst + 2, net_widths, prog);
+            prog.ops.push(Op::Select { dst });
+            wt.max(we)
         }
         Expr::Concat(parts) => match parts.split_first() {
-            None => ops.push(Op::Const {
-                dst,
-                value: LogicVec::zeros(1),
-            }),
+            None => {
+                prog.ops.push(Op::Const {
+                    dst,
+                    value: LogicVec::zeros(1),
+                });
+                1
+            }
             Some((first, rest)) => {
-                compile_into(first, dst, ops, slots);
+                let mut acc = compile_into(first, dst, net_widths, prog);
                 for part in rest {
-                    compile_into(part, dst + 1, ops, slots);
-                    ops.push(Op::Concat2 { dst });
+                    let wp = compile_into(part, dst + 1, net_widths, prog);
+                    prog.ops.push(Op::Concat2 { dst });
+                    acc = acc.saturating_add(wp);
+                    note_width(prog, dst, acc);
                 }
+                acc
             }
         },
         Expr::Repeat { count, operand } => {
-            compile_into(operand, dst, ops, slots);
-            ops.push(Op::Repeat {
-                dst,
-                count: (*count).max(1),
-            });
+            let w = compile_into(operand, dst, net_widths, prog);
+            let count = (*count).max(1);
+            prog.ops.push(Op::Repeat { dst, count });
+            w.saturating_mul(count)
         }
-        Expr::Time => ops.push(Op::Time { dst }),
-        Expr::EdgeFlag { net, rising } => ops.push(Op::EdgeFlag {
-            dst,
-            net: *net,
-            rising: *rising,
-        }),
+        Expr::Time => {
+            prog.ops.push(Op::Time { dst });
+            64
+        }
+        Expr::EdgeFlag { net, rising } => {
+            prog.ops.push(Op::EdgeFlag {
+                dst,
+                net: *net,
+                rising: *rising,
+            });
+            1
+        }
+    };
+    note_width(prog, dst, width);
+    width
+}
+
+/// The pre-sized wide-value scratch arena shared by every compiled
+/// program of one simulator.
+///
+/// Slot `i` is sized to the maximum static width bound any program
+/// records for slot `i`; `spare` (the staging buffer for `Repeat`) is
+/// sized to the overall maximum. Sizing happens once at lowering, so
+/// steady-state execution performs no heap allocation — [`allocs`]
+/// reports any growth events that would falsify that claim, and
+/// [`total_words`] reports the arena's high-water footprint for the
+/// kernel telemetry.
+///
+/// [`allocs`]: Self::allocs
+/// [`total_words`]: Self::total_words
+#[derive(Debug, Default)]
+pub(crate) struct ScratchArena {
+    slots: Vec<ScratchBuf>,
+    /// Staging buffer for `Repeat`'s source pattern.
+    spare: ScratchBuf,
+}
+
+impl ScratchArena {
+    /// Builds an arena sized for every program in `progs`.
+    pub(crate) fn for_programs<'a, I>(progs: I) -> ScratchArena
+    where
+        I: IntoIterator<Item = &'a ExprProgram>,
+    {
+        let mut widths: Vec<u32> = Vec::new();
+        let mut max_width = 1u32;
+        for prog in progs {
+            for (i, &w) in prog.slot_widths.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.resize(i + 1, 1);
+                }
+                widths[i] = widths[i].max(w);
+                max_width = max_width.max(w);
+            }
+        }
+        ScratchArena {
+            slots: widths.iter().map(|&w| ScratchBuf::with_width(w)).collect(),
+            spare: ScratchBuf::with_width(max_width),
+        }
+    }
+
+    /// Number of scratch slots.
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total growth events across all buffers — zero on a correctly
+    /// pre-sized arena.
+    pub(crate) fn allocs(&self) -> u64 {
+        self.slots.iter().map(ScratchBuf::grows).sum::<u64>() + self.spare.grows()
+    }
+
+    /// High-water footprint: per-plane capacity words summed over every
+    /// buffer.
+    pub(crate) fn total_words(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.capacity_words() as u64)
+            .sum::<u64>()
+            + self.spare.capacity_words() as u64
+    }
+
+    /// Borrowed view of the last executed program's result (slot 0).
+    pub(crate) fn result(&self) -> BitsRef<'_> {
+        self.slots[0].as_bits()
+    }
+
+    /// Owned copy of the result — test and cold-path use only.
+    #[cfg(test)]
+    pub(crate) fn result_vec(&self) -> LogicVec {
+        self.slots[0].to_logic_vec()
     }
 }
 
-/// Runs `prog` against the current net `values` and moves the result
-/// out of slot 0 (leaving an inline placeholder behind, so the arena
-/// never shrinks or reallocates).
+/// Runs `prog` against the current net `values`, leaving the result in
+/// the arena's slot 0 (read it with [`ScratchArena::result`]).
 ///
-/// `spilled_writes` counts op results that landed in the spilled
-/// (heap-backed) representation — the evaluator's only possible source
-/// of steady-state allocation. A design whose nets all fit 64 bits
-/// reports zero here, which is exactly the claim the `eval_allocs`
-/// diagnostic stat surfaces.
+/// Every op executes in place over the pre-sized slot buffers; the only
+/// possible steady-state allocation is a slot outgrowing its static
+/// bound, which the arena counts in [`ScratchArena::allocs`].
 pub(crate) fn exec(
     prog: &ExprProgram,
     values: &[LogicVec],
     time: u64,
     last_wake: Option<NetId>,
-    slots: &mut [LogicVec],
-    spilled_writes: &mut u64,
-) -> LogicVec {
+    arena: &mut ScratchArena,
+) {
+    let ScratchArena { slots, spare } = arena;
     for op in &prog.ops {
-        let dst = match op {
-            Op::Const { dst, value } => {
-                slots[*dst as usize] = value.clone();
-                *dst
-            }
-            Op::Net { dst, net } => {
-                slots[*dst as usize] = values[net.0 as usize].clone();
-                *dst
-            }
+        match op {
+            Op::Const { dst, value } => slots[*dst as usize].load(value.as_bits()),
+            Op::Net { dst, net } => slots[*dst as usize].load(values[net.0 as usize].as_bits()),
             Op::Index { dst, net } => {
                 let value = &values[net.0 as usize];
                 let d = *dst as usize;
-                slots[d] = match slots[d].to_u64() {
-                    Some(i) if i < u64::from(value.width()) => {
-                        LogicVec::from_logic(value.get(i as u32))
-                    }
-                    _ => LogicVec::from_logic(Logic::X),
+                let bit = match slots[d].as_bits().to_u64() {
+                    Some(i) if i < u64::from(value.width()) => value.get(i as u32),
+                    _ => Logic::X,
                 };
-                *dst
+                slots[d].load_logic(bit);
             }
             Op::Range { dst, net, msb, lsb } => {
-                slots[*dst as usize] = values[net.0 as usize].slice(*msb, *lsb);
-                *dst
+                slots[*dst as usize].slice_from(values[net.0 as usize].as_bits(), *msb, *lsb);
             }
             Op::Unary { dst, op } => {
-                let d = *dst as usize;
-                let v = &slots[d];
-                slots[d] = match op {
-                    UnaryOp::Not => v.not(),
+                let v = &mut slots[*dst as usize];
+                match op {
+                    UnaryOp::Not => v.not_self(),
                     UnaryOp::LogicalNot => {
-                        let b = match v.to_bool() {
+                        let b = match v.as_bits().to_bool() {
                             Some(b) => Logic::from_bool(!b),
                             None => Logic::X,
                         };
-                        LogicVec::from_logic(b)
+                        v.load_logic(b);
                     }
-                    UnaryOp::Negate => v.negate(),
-                    UnaryOp::ReduceAnd => LogicVec::from_logic(v.reduce_and()),
-                    UnaryOp::ReduceOr => LogicVec::from_logic(v.reduce_or()),
-                    UnaryOp::ReduceXor => LogicVec::from_logic(v.reduce_xor()),
-                    UnaryOp::ReduceNand => LogicVec::from_logic(v.reduce_and().not()),
-                    UnaryOp::ReduceNor => LogicVec::from_logic(v.reduce_or().not()),
-                    UnaryOp::ReduceXnor => LogicVec::from_logic(v.reduce_xor().not()),
-                };
-                *dst
+                    UnaryOp::Negate => v.neg_self(),
+                    UnaryOp::ReduceAnd => {
+                        let b = v.as_bits().reduce_and();
+                        v.load_logic(b);
+                    }
+                    UnaryOp::ReduceOr => {
+                        let b = v.as_bits().reduce_or();
+                        v.load_logic(b);
+                    }
+                    UnaryOp::ReduceXor => {
+                        let b = v.as_bits().reduce_xor();
+                        v.load_logic(b);
+                    }
+                    UnaryOp::ReduceNand => {
+                        let b = v.as_bits().reduce_and().not();
+                        v.load_logic(b);
+                    }
+                    UnaryOp::ReduceNor => {
+                        let b = v.as_bits().reduce_or().not();
+                        v.load_logic(b);
+                    }
+                    UnaryOp::ReduceXnor => {
+                        let b = v.as_bits().reduce_xor().not();
+                        v.load_logic(b);
+                    }
+                }
             }
             Op::Binary { dst, op } => {
                 let d = *dst as usize;
                 let (lo, hi) = slots.split_at_mut(d + 1);
-                let a = &lo[d];
-                let b = &hi[0];
-                lo[d] = match op {
-                    BinaryOp::And => a.and(b),
-                    BinaryOp::Or => a.or(b),
-                    BinaryOp::Xor => a.xor(b),
-                    BinaryOp::Xnor => a.xnor(b),
-                    BinaryOp::Add => a.add(b),
-                    BinaryOp::Sub => a.sub(b),
-                    BinaryOp::Mul => a.mul(b),
-                    BinaryOp::Div => a.div(b),
-                    BinaryOp::Rem => a.rem(b),
-                    BinaryOp::Shl => a.shl(b),
-                    BinaryOp::Shr => a.shr(b),
-                    BinaryOp::Eq => LogicVec::from_logic(a.logic_eq(b)),
-                    BinaryOp::Ne => LogicVec::from_logic(a.logic_eq(b).not()),
-                    BinaryOp::CaseEq => LogicVec::from_logic(Logic::from_bool(a.case_eq(b))),
-                    BinaryOp::CaseNe => LogicVec::from_logic(Logic::from_bool(!a.case_eq(b))),
-                    BinaryOp::Lt => LogicVec::from_logic(a.lt(b)),
-                    BinaryOp::Le => LogicVec::from_logic(a.le(b)),
-                    BinaryOp::Gt => LogicVec::from_logic(a.gt(b)),
-                    BinaryOp::Ge => LogicVec::from_logic(a.ge(b)),
+                let a = &mut lo[d];
+                let b = hi[0].as_bits();
+                match op {
+                    BinaryOp::And => a.and_assign(b),
+                    BinaryOp::Or => a.or_assign(b),
+                    BinaryOp::Xor => a.xor_assign(b),
+                    BinaryOp::Xnor => a.xnor_assign(b),
+                    BinaryOp::Add => a.add_assign(b),
+                    BinaryOp::Sub => a.sub_assign(b),
+                    BinaryOp::Mul => a.mul_assign(b),
+                    BinaryOp::Div => a.div_assign(b),
+                    BinaryOp::Rem => a.rem_assign(b),
+                    BinaryOp::Shl => a.shl_assign(b),
+                    BinaryOp::Shr => a.shr_assign(b),
+                    BinaryOp::Eq => {
+                        let r = a.as_bits().logic_eq(b);
+                        a.load_logic(r);
+                    }
+                    BinaryOp::Ne => {
+                        let r = a.as_bits().logic_eq(b).not();
+                        a.load_logic(r);
+                    }
+                    BinaryOp::CaseEq => {
+                        let r = Logic::from_bool(a.as_bits().case_eq(b));
+                        a.load_logic(r);
+                    }
+                    BinaryOp::CaseNe => {
+                        let r = Logic::from_bool(!a.as_bits().case_eq(b));
+                        a.load_logic(r);
+                    }
+                    BinaryOp::Lt => {
+                        let r = cmp_logic(a.as_bits(), b, |o| o == std::cmp::Ordering::Less);
+                        a.load_logic(r);
+                    }
+                    BinaryOp::Le => {
+                        let r = cmp_logic(a.as_bits(), b, |o| o != std::cmp::Ordering::Greater);
+                        a.load_logic(r);
+                    }
+                    BinaryOp::Gt => {
+                        let r = cmp_logic(a.as_bits(), b, |o| o == std::cmp::Ordering::Greater);
+                        a.load_logic(r);
+                    }
+                    BinaryOp::Ge => {
+                        let r = cmp_logic(a.as_bits(), b, |o| o != std::cmp::Ordering::Less);
+                        a.load_logic(r);
+                    }
                     // The tree walker evaluates both operands' truth
                     // values unconditionally; with both already in
                     // slots this is the same computation.
                     BinaryOp::LogicalAnd | BinaryOp::LogicalOr => {
-                        let (x, y) = (a.to_bool(), b.to_bool());
+                        let (x, y) = (a.as_bits().to_bool(), b.to_bool());
                         let r = match (op, x, y) {
                             (BinaryOp::LogicalAnd, Some(false), _)
                             | (BinaryOp::LogicalAnd, _, Some(false)) => Logic::Zero,
@@ -256,58 +441,39 @@ pub(crate) fn exec(
                             (BinaryOp::LogicalOr, Some(false), Some(false)) => Logic::Zero,
                             _ => Logic::X,
                         };
-                        LogicVec::from_logic(r)
+                        a.load_logic(r);
                     }
-                };
-                *dst
+                }
             }
             Op::Select { dst } => {
                 let d = *dst as usize;
-                match slots[d].to_bool() {
+                let cond = slots[d].as_bits().to_bool();
+                let (lo, hi) = slots.split_at_mut(d + 1);
+                match cond {
                     // Known condition: the taken arm at its own width.
-                    // A swap moves it without touching the heap.
-                    Some(true) => slots.swap(d, d + 1),
-                    Some(false) => slots.swap(d, d + 2),
+                    Some(true) => {
+                        let src = hi[0].as_bits();
+                        lo[d].load(src);
+                    }
+                    Some(false) => {
+                        let src = hi[1].as_bits();
+                        lo[d].load(src);
+                    }
+                    // IEEE 1364: merge both arms; disagreeing bits go X.
+                    // Mirrors the tree walker bit for bit.
                     None => {
-                        // IEEE 1364: merge both arms; disagreeing bits
-                        // go X. Mirrors the tree walker bit for bit.
-                        let t = &slots[d + 1];
-                        let e = &slots[d + 2];
-                        let width = t.width().max(e.width());
-                        let t = t.resize(width);
-                        let e = e.resize(width);
-                        let mut out = LogicVec::zeros(width);
-                        for i in 0..width {
-                            let (a, b) = (t.get(i), e.get(i));
-                            out.set(
-                                i,
-                                if a == b && !a.is_unknown() {
-                                    a
-                                } else {
-                                    Logic::X
-                                },
-                            );
-                        }
-                        slots[d] = out;
+                        let (t, e) = (hi[0].as_bits(), hi[1].as_bits());
+                        lo[d].select_merge(t, e);
                     }
                 }
-                *dst
             }
             Op::Concat2 { dst } => {
                 let d = *dst as usize;
                 let (lo, hi) = slots.split_at_mut(d + 1);
-                lo[d] = lo[d].concat(&hi[0]);
-                *dst
+                lo[d].concat_low(hi[0].as_bits());
             }
-            Op::Repeat { dst, count } => {
-                let d = *dst as usize;
-                slots[d] = slots[d].replicate(*count);
-                *dst
-            }
-            Op::Time { dst } => {
-                slots[*dst as usize] = LogicVec::from_u64(64, time);
-                *dst
-            }
+            Op::Repeat { dst, count } => slots[*dst as usize].replicate_self(*count, spare),
+            Op::Time { dst } => slots[*dst as usize].load_u64(64, time),
             Op::EdgeFlag { dst, net, rising } => {
                 let fired = last_wake == Some(*net) && {
                     let bit = values[net.0 as usize].get(0);
@@ -317,15 +483,17 @@ pub(crate) fn exec(
                         bit == Logic::Zero
                     }
                 };
-                slots[*dst as usize] = LogicVec::from_logic(Logic::from_bool(fired));
-                *dst
+                slots[*dst as usize].load_logic(Logic::from_bool(fired));
             }
-        };
-        if slots[dst as usize].is_spilled() {
-            *spilled_writes += 1;
         }
     }
-    std::mem::replace(&mut slots[0], LogicVec::zeros(1))
+}
+
+fn cmp_logic(a: BitsRef<'_>, b: BitsRef<'_>, f: impl Fn(std::cmp::Ordering) -> bool) -> Logic {
+    match a.value_cmp(b) {
+        Some(ord) => Logic::from_bool(f(ord)),
+        None => Logic::X,
+    }
 }
 
 #[cfg(test)]
@@ -345,13 +513,18 @@ mod tests {
             last_wake,
         }
         .eval(expr);
-        let prog = compile(expr);
-        let mut slots = vec![LogicVec::zeros(1); prog.slots() as usize];
-        let mut spills = 0u64;
-        let compiled = exec(&prog, values, time, last_wake, &mut slots, &mut spills);
+        let prog = compile(expr, &NET_WIDTHS);
+        let mut arena = ScratchArena::for_programs(std::iter::once(&prog));
+        exec(&prog, values, time, last_wake, &mut arena);
         assert_eq!(
-            compiled, oracle,
+            arena.result_vec(),
+            oracle,
             "bytecode diverged from tree walker on {expr:?}"
+        );
+        assert_eq!(
+            arena.allocs(),
+            0,
+            "statically sized arena grew at runtime on {expr:?}"
         );
     }
 
@@ -484,7 +657,9 @@ mod tests {
 
     proptest! {
         /// Satellite: compiled bytecode must agree with the tree
-        /// interpreter bit-for-bit on arbitrary expression trees.
+        /// interpreter bit-for-bit on arbitrary expression trees — and
+        /// the statically sized arena must absorb every intermediate
+        /// without growing.
         #[test]
         fn bytecode_matches_tree_interpreter(
             expr in expr_strategy(3),
@@ -507,9 +682,8 @@ mod tests {
     }
 
     #[test]
-    fn inline_only_programs_report_zero_spills() {
-        // (n1 + 8'd3) ^ (n2 >> 2) over <=64-bit nets: the whole
-        // evaluation must stay in the inline representation.
+    fn inline_only_programs_run_without_allocation() {
+        // (n1 + 8'd3) ^ (n2 >> 2) over <=64-bit nets.
         let expr = Expr::Binary {
             op: BinaryOp::Xor,
             lhs: Box::new(Expr::Binary {
@@ -527,16 +701,19 @@ mod tests {
             .iter()
             .map(|&w| LogicVec::from_u64(w, 0x5a))
             .collect();
-        let prog = compile(&expr);
-        let mut slots = vec![LogicVec::zeros(1); prog.slots() as usize];
-        let mut spills = 0u64;
-        let out = exec(&prog, &values, 0, None, &mut slots, &mut spills);
-        assert_eq!(spills, 0, "no spilled values may be materialised");
-        assert!(!out.is_spilled());
+        let prog = compile(&expr, &NET_WIDTHS);
+        let mut arena = ScratchArena::for_programs(std::iter::once(&prog));
+        for _ in 0..100 {
+            exec(&prog, &values, 0, None, &mut arena);
+        }
+        assert_eq!(arena.allocs(), 0, "no growth events may occur");
     }
 
     #[test]
-    fn wide_programs_count_spills() {
+    fn wide_programs_run_without_allocation() {
+        // The zero-alloc tentpole: a 100-bit add used to spill three
+        // boxed values per evaluation; the pre-sized arena does not
+        // touch the heap at all.
         let expr = Expr::Binary {
             op: BinaryOp::Add,
             lhs: Box::new(Expr::Net(NetId(5))), // 100-bit net
@@ -546,11 +723,34 @@ mod tests {
             .iter()
             .map(|&w| LogicVec::from_u64(w, 1))
             .collect();
-        let prog = compile(&expr);
-        let mut slots = vec![LogicVec::zeros(1); prog.slots() as usize];
-        let mut spills = 0u64;
-        exec(&prog, &values, 0, None, &mut slots, &mut spills);
-        assert!(spills >= 3, "net read, const and sum all spill: {spills}");
+        let prog = compile(&expr, &NET_WIDTHS);
+        let mut arena = ScratchArena::for_programs(std::iter::once(&prog));
+        for _ in 0..1000 {
+            exec(&prog, &values, 0, None, &mut arena);
+        }
+        assert_eq!(arena.allocs(), 0, "wide ops must stay in the arena");
+        assert_eq!(arena.result_vec().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn understated_widths_grow_and_are_counted() {
+        // Compiling against an empty width environment understates the
+        // 100-bit net as 1 bit; execution must still be correct, with
+        // the growth honestly counted.
+        let expr = Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: Box::new(Expr::Net(NetId(5))),
+            rhs: Box::new(Expr::Net(NetId(5))),
+        };
+        let values: Vec<LogicVec> = NET_WIDTHS
+            .iter()
+            .map(|&w| LogicVec::from_u64(w, 1))
+            .collect();
+        let prog = compile(&expr, &[]);
+        let mut arena = ScratchArena::for_programs(std::iter::once(&prog));
+        exec(&prog, &values, 0, None, &mut arena);
+        assert_eq!(arena.result_vec().to_u64(), Some(2));
+        assert!(arena.allocs() > 0, "under-sized slots must count growth");
     }
 
     #[test]
@@ -564,15 +764,16 @@ mod tests {
                 rhs: Box::new(Expr::constant(8, i)),
             };
         }
-        assert_eq!(compile(&expr).slots(), 2);
+        let prog = compile(&expr, &NET_WIDTHS);
+        assert_eq!(prog.slots(), 2);
+        assert_eq!(prog.slot_widths(), &[8, 8]);
     }
 
     #[test]
     fn empty_concat_compiles_to_one_bit_zero() {
-        let prog = compile(&Expr::Concat(vec![]));
-        let mut slots = vec![LogicVec::zeros(1); prog.slots() as usize];
-        let mut spills = 0u64;
-        let out = exec(&prog, &[], 0, None, &mut slots, &mut spills);
-        assert_eq!(out, LogicVec::zeros(1));
+        let prog = compile(&Expr::Concat(vec![]), &[]);
+        let mut arena = ScratchArena::for_programs(std::iter::once(&prog));
+        exec(&prog, &[], 0, None, &mut arena);
+        assert_eq!(arena.result_vec(), LogicVec::zeros(1));
     }
 }

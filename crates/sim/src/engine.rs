@@ -1,15 +1,40 @@
 //! The event-driven simulation kernel.
 
-use crate::bytecode::{self, ExprProgram};
+use crate::bytecode::{self, ExprProgram, ScratchArena};
 use crate::eval::EvalCtx;
 use crate::format::render_format;
 use crate::result::{LimitKind, LogLine, SimConfig, SimResult};
 use crate::sched::FutureQueue;
 use crate::vcd;
-use aivril_hdl::ir::{Design, Expr, Instr, LValue, NetId, SysTaskKind, Trigger};
+use aivril_hdl::bits::{BitsRef, ScratchBuf};
+use aivril_hdl::ir::{Design, Instr, LValue, NetId, SysTaskKind, Trigger};
 use aivril_hdl::logic::Logic;
 use aivril_hdl::vec::LogicVec;
 use std::collections::VecDeque;
+
+/// Sentinel in [`Simulator::nba_slots`] for instructions without a
+/// pre-sized nonblocking staging buffer.
+const NO_NBA_SLOT: u32 = u32::MAX;
+
+/// One pending nonblocking commit, staged until the NBA region flushes.
+#[derive(Debug)]
+struct NbaEntry {
+    net: NetId,
+    msb: u32,
+    lsb: u32,
+    value: NbaValue,
+}
+
+/// Where a staged nonblocking value lives.
+#[derive(Debug)]
+enum NbaValue {
+    /// Index into [`Simulator::nba_bufs`] — the zero-alloc fast path for
+    /// whole-net assignments (`msb..lsb` spans the full net).
+    Buf(u32),
+    /// Boxed fallback: partial/concat l-values, or the same assignment
+    /// executing twice before a flush (its buffer is still busy).
+    Owned(LogicVec),
+}
 
 /// Floor for the per-net watcher compaction threshold: lists shorter
 /// than this are never compacted (the scan would cost more than the
@@ -58,9 +83,11 @@ pub struct Simulator<'d> {
     /// (`None` for instructions without a hot expression). Lowered once
     /// at [`Simulator::new`]; see [`crate::bytecode`].
     programs: Vec<Vec<Option<ExprProgram>>>,
-    /// The shared evaluation arena, sized for the deepest compiled
-    /// program. Allocated once; every compiled evaluation reuses it.
-    scratch: Vec<LogicVec>,
+    /// The shared evaluation arena: one pre-sized wide buffer per
+    /// scratch slot, sized at lowering from the static width bounds of
+    /// every compiled program. Allocated once; every compiled
+    /// evaluation runs in place against it.
+    arena: ScratchArena,
     runnable: VecDeque<usize>,
     /// `#0`-delayed processes (inactive region of the current step).
     inactive: Vec<usize>,
@@ -71,11 +98,22 @@ pub struct Simulator<'d> {
     sched: FutureQueue,
     /// Reused receive buffer for [`FutureQueue::pop_at`].
     wake_batch: Vec<(usize, u64)>,
-    /// Pending nonblocking commits: (net, msb, lsb, value).
-    nba: Vec<(NetId, u32, u32, LogicVec)>,
+    /// Pending nonblocking commits, in program order.
+    nba: Vec<NbaEntry>,
     /// Drained counterpart of `nba` (same double-buffer trick as
     /// `inactive_spare`).
-    nba_spare: Vec<(NetId, u32, u32, LogicVec)>,
+    nba_spare: Vec<NbaEntry>,
+    /// Pre-sized staging buffers for whole-net nonblocking assignments,
+    /// one per `NonblockingAssign`-to-a-net instruction in the design
+    /// (sized to that net's width at construction).
+    nba_bufs: Vec<ScratchBuf>,
+    /// Whether the matching `nba_bufs` entry currently holds a staged
+    /// value (cleared at flush). A busy buffer forces the boxed
+    /// [`NbaValue::Owned`] fallback.
+    nba_busy: Vec<bool>,
+    /// Per-process, per-pc index into `nba_bufs` (`NO_NBA_SLOT` when the
+    /// instruction has no staging buffer).
+    nba_slots: Vec<Vec<u32>>,
     /// Reused slice buffer for l-value resolution.
     lv_scratch: Vec<(NetId, u32, u32, LogicVec)>,
     /// Per-net list of (process, generation) waiting on that net.
@@ -85,8 +123,11 @@ pub struct Simulator<'d> {
     /// changes; a never-changing net would otherwise accumulate one
     /// stale entry per wait cycle, unboundedly.
     watcher_threshold: Vec<usize>,
-    /// Spilled (heap-backed) values materialised by the compiled
-    /// evaluator — zero for designs whose nets all fit one word.
+    /// Spilled (heap-backed) values materialised outside the arena by
+    /// the compiled evaluator (cold l-value shapes, busy NBA buffers) —
+    /// zero in steady state for net-shaped assignments at any width.
+    /// [`Simulator::perf`] adds the arena's and NBA buffers' growth
+    /// events on top.
     eval_allocs: u64,
     /// Watcher-list compactions performed.
     compactions: u64,
@@ -200,6 +241,7 @@ impl KernelTelemetry {
         w.u64(self.perf.eval_allocs);
         w.u64(self.perf.compactions);
         w.u64(self.perf.scratch_slots);
+        w.u64(self.perf.arena_words);
     }
 
     /// Rebuilds telemetry from a durable-artifact payload; `None` on
@@ -216,6 +258,7 @@ impl KernelTelemetry {
             eval_allocs: r.u64()?,
             compactions: r.u64()?,
             scratch_slots: r.u64()?,
+            arena_words: r.u64()?,
         };
         Some(KernelTelemetry {
             delta,
@@ -238,15 +281,22 @@ pub struct KernelPerf {
     pub instructions: u64,
     /// Final simulation time (the modeled clock, in ns).
     pub sim_time_ns: u64,
-    /// Spilled (heap-backed) values materialised by the compiled
-    /// evaluator. Zero when every net fits one 64-bit word — the
-    /// zero-allocation steady-state claim, as a measurable counter.
+    /// Heap events attributable to compiled evaluation: arena and NBA
+    /// staging-buffer growth beyond their static sizing, plus spilled
+    /// values materialised on the boxed fallback paths. Zero in steady
+    /// state for net-shaped assignments *at any width* — the
+    /// zero-allocation claim, as a measurable counter.
     pub eval_allocs: u64,
     /// Watcher-list compactions performed (stale-entry reclamation).
     pub compactions: u64,
     /// Evaluation-arena high-water mark, in slots (static per design:
     /// the deepest compiled expression).
     pub scratch_slots: u64,
+    /// Evaluation-arena high-water footprint: per-plane capacity words
+    /// across all scratch slots and NBA staging buffers. Static per
+    /// design unless a slot outgrows its bound (which `eval_allocs`
+    /// counts).
+    pub arena_words: u64,
 }
 
 impl KernelPerf {
@@ -272,6 +322,7 @@ impl KernelPerf {
             eval_allocs: self.eval_allocs - before.eval_allocs,
             compactions: self.compactions - before.compactions,
             scratch_slots: self.scratch_slots.max(before.scratch_slots),
+            arena_words: self.arena_words.max(before.arena_words),
         }
     }
 
@@ -283,6 +334,7 @@ impl KernelPerf {
         self.eval_allocs += other.eval_allocs;
         self.compactions += other.compactions;
         self.scratch_slots = self.scratch_slots.max(other.scratch_slots);
+        self.arena_words = self.arena_words.max(other.arena_words);
     }
 }
 
@@ -317,9 +369,12 @@ impl<'d> Simulator<'d> {
             })
             .collect();
         let runnable = (0..design.processes.len()).collect();
-        // Lower every hot expression to bytecode once, up front, and
-        // size the shared evaluation arena for the deepest program.
-        let mut max_slots: u32 = 0;
+        // Lower every hot expression to bytecode once, up front. Net
+        // widths are static, so compilation records per-slot width
+        // bounds and the shared arena is sized once, here, for every
+        // program's every slot — steady-state evaluation then never
+        // touches the heap, regardless of datapath width.
+        let net_widths: Vec<u32> = design.nets.iter().map(|n| n.width).collect();
         let programs: Vec<Vec<Option<ExprProgram>>> = design
             .processes
             .iter()
@@ -334,22 +389,48 @@ impl<'d> Simulator<'d> {
                             Instr::BranchIfFalse { cond, .. } => Some(cond),
                             _ => None,
                         };
-                        expr.map(|e| {
-                            let prog = bytecode::compile(e);
-                            max_slots = max_slots.max(prog.slots());
-                            prog
-                        })
+                        expr.map(|e| bytecode::compile(e, &net_widths))
                     })
                     .collect()
             })
             .collect();
+        let arena = ScratchArena::for_programs(
+            programs
+                .iter()
+                .flat_map(|per_pc| per_pc.iter().filter_map(Option::as_ref)),
+        );
+        // Whole-net nonblocking assignments get a staging buffer sized
+        // to the target net, so `a <= expr` never boxes the staged
+        // value either.
+        let mut nba_bufs: Vec<ScratchBuf> = Vec::new();
+        let nba_slots: Vec<Vec<u32>> = design
+            .processes
+            .iter()
+            .map(|p| {
+                p.body
+                    .iter()
+                    .map(|instr| match instr {
+                        Instr::NonblockingAssign {
+                            lvalue: LValue::Net(net),
+                            ..
+                        } => {
+                            let slot = nba_bufs.len() as u32;
+                            nba_bufs.push(ScratchBuf::with_width(design.net(*net).width));
+                            slot
+                        }
+                        _ => NO_NBA_SLOT,
+                    })
+                    .collect()
+            })
+            .collect();
+        let nba_busy = vec![false; nba_bufs.len()];
         Simulator {
             design,
             config,
             values,
             procs,
             programs,
-            scratch: vec![LogicVec::zeros(1); max_slots as usize],
+            arena,
             runnable,
             inactive: Vec::new(),
             inactive_spare: Vec::new(),
@@ -357,6 +438,9 @@ impl<'d> Simulator<'d> {
             wake_batch: Vec::new(),
             nba: Vec::new(),
             nba_spare: Vec::new(),
+            nba_bufs,
+            nba_busy,
+            nba_slots,
             lv_scratch: Vec::new(),
             watchers: vec![Vec::new(); design.nets.len()],
             watcher_threshold: vec![WATCHER_COMPACT_MIN; design.nets.len()],
@@ -464,9 +548,22 @@ impl<'d> Simulator<'d> {
                 if let Some(ks) = &mut self.kstats {
                     ks.nba.observe(batch.len() as f64);
                 }
-                for (net, msb, lsb, value) in batch.drain(..) {
-                    self.write_slice(net, msb, lsb, &value);
+                // The buffers come out of `self` for the duration of
+                // the flush so a staged value can be committed while
+                // `self` is mutably borrowed by the write.
+                let bufs = std::mem::take(&mut self.nba_bufs);
+                for entry in batch.drain(..) {
+                    match entry.value {
+                        NbaValue::Buf(slot) => {
+                            self.nba_busy[slot as usize] = false;
+                            self.commit_net(entry.net, bufs[slot as usize].as_bits());
+                        }
+                        NbaValue::Owned(value) => {
+                            self.write_slice(entry.net, entry.msb, entry.lsb, &value);
+                        }
+                    }
                 }
+                self.nba_bufs = bufs;
                 self.nba_spare = batch;
                 continue;
             }
@@ -561,41 +658,78 @@ impl<'d> Simulator<'d> {
         .eval(expr)
     }
 
-    /// Evaluates the expression at `(pid, pc)` through its compiled
-    /// program and the shared scratch arena. Falls back to the tree
-    /// interpreter when no program was lowered for that pc (cold paths:
-    /// `$display` arguments, l-value indices), which also keeps the
-    /// interpreter alive as the differential-testing oracle.
-    fn eval_compiled(
-        &mut self,
-        pid: usize,
-        pc: usize,
-        expr: &Expr,
-        last_wake: Option<NetId>,
-    ) -> LogicVec {
-        if let Some(prog) = self.programs[pid].get(pc).and_then(Option::as_ref) {
-            return bytecode::exec(
-                prog,
-                &self.values,
-                self.time,
-                last_wake,
-                &mut self.scratch,
-                &mut self.eval_allocs,
-            );
-        }
-        self.eval_with_wake(expr, last_wake)
+    /// Executes the compiled program at `(pid, pc)` into the shared
+    /// arena (result readable at `self.arena.result()` afterwards).
+    /// Returns `false` when no program was lowered for that pc — the
+    /// caller then falls back to the tree interpreter, which also keeps
+    /// the interpreter alive as the differential-testing oracle.
+    fn exec_program(&mut self, pid: usize, pc: usize, last_wake: Option<NetId>) -> bool {
+        let Some(prog) = self.programs[pid].get(pc).and_then(Option::as_ref) else {
+            return false;
+        };
+        bytecode::exec(prog, &self.values, self.time, last_wake, &mut self.arena);
+        true
+    }
+
+    /// Materialises the arena result as an owned value (the boxed cold
+    /// path for non-net l-value shapes), counting the spill.
+    fn arena_result_owned(&mut self) -> LogicVec {
+        let value = LogicVec::from_bits(self.arena.result());
+        self.eval_allocs += u64::from(value.is_spilled());
+        value
+    }
+
+    /// Commits a full-width value to `net` straight from the arena
+    /// (zero-copy: the net's planes are overwritten in place).
+    fn commit_net_from_arena(&mut self, net: NetId) {
+        let arena = std::mem::take(&mut self.arena);
+        self.commit_net(net, arena.result());
+        self.arena = arena;
+    }
+
+    /// Stages a whole-net nonblocking assignment from the arena into
+    /// its pre-sized staging buffer; falls back to a boxed value when
+    /// the buffer already holds a staged write from this flush window.
+    fn stage_nba_from_arena(&mut self, net: NetId, slot: u32) {
+        let arena = std::mem::take(&mut self.arena);
+        let width = self.design.net(net).width;
+        let i = slot as usize;
+        let value = if self.nba_busy[i] {
+            let mut v = LogicVec::zeros(width);
+            v.assign_bits(arena.result());
+            self.eval_allocs += u64::from(v.is_spilled());
+            NbaValue::Owned(v)
+        } else {
+            self.nba_busy[i] = true;
+            self.nba_bufs[i].load_resized(arena.result(), width);
+            NbaValue::Buf(slot)
+        };
+        self.nba.push(NbaEntry {
+            net,
+            msb: width - 1,
+            lsb: 0,
+            value,
+        });
+        self.arena = arena;
     }
 
     /// The run's flat performance counters so far (final after
     /// [`Simulator::run`] returns).
     #[must_use]
     pub fn perf(&self) -> KernelPerf {
+        let nba_grows: u64 = self.nba_bufs.iter().map(ScratchBuf::grows).sum();
+        let nba_words: u64 = self
+            .nba_bufs
+            .iter()
+            .map(|b| b.capacity_words() as u64)
+            .sum();
         KernelPerf {
             instructions: self.total_instrs,
             sim_time_ns: self.time,
-            eval_allocs: self.eval_allocs,
+            eval_allocs: self.eval_allocs + self.arena.allocs() + nba_grows,
             compactions: self.compactions,
-            scratch_slots: self.scratch.len() as u64,
+            scratch_slots: self.arena.slot_count() as u64,
+            arena_words: self.arena.total_words() + nba_words,
         }
     }
 
@@ -640,23 +774,60 @@ impl<'d> Simulator<'d> {
             }
             match &body[pc] {
                 Instr::BlockingAssign { lvalue, expr } => {
-                    let value = self.eval_compiled(pid, pc, expr, wake);
-                    self.write_lvalue(lvalue, value);
+                    match (lvalue, self.exec_program(pid, pc, wake)) {
+                        // Hot path: whole-net target, compiled program —
+                        // the value goes arena → net planes with no
+                        // intermediate boxing.
+                        (LValue::Net(net), true) => self.commit_net_from_arena(*net),
+                        (_, true) => {
+                            let value = self.arena_result_owned();
+                            self.write_lvalue(lvalue, value);
+                        }
+                        (_, false) => {
+                            let value = self.eval_with_wake(expr, wake);
+                            self.write_lvalue(lvalue, value);
+                        }
+                    }
                     self.procs[pid].pc = pc + 1;
                 }
                 Instr::NonblockingAssign { lvalue, expr } => {
-                    let value = self.eval_compiled(pid, pc, expr, wake);
-                    let mut slices = std::mem::take(&mut self.lv_scratch);
-                    self.resolve_lvalue(lvalue, &value, &mut slices);
-                    self.nba.append(&mut slices);
-                    self.lv_scratch = slices;
+                    let slot = self.nba_slots[pid][pc];
+                    match (slot, self.exec_program(pid, pc, wake)) {
+                        // Hot path: whole-net target, compiled program —
+                        // stage into the pre-sized buffer.
+                        (slot, true) if slot != NO_NBA_SLOT => {
+                            let LValue::Net(net) = lvalue else {
+                                unreachable!("nba_slots only maps whole-net targets");
+                            };
+                            self.stage_nba_from_arena(*net, slot);
+                        }
+                        (_, ran) => {
+                            let value = if ran {
+                                self.arena_result_owned()
+                            } else {
+                                self.eval_with_wake(expr, wake)
+                            };
+                            let mut slices = std::mem::take(&mut self.lv_scratch);
+                            self.resolve_lvalue(lvalue, &value, &mut slices);
+                            for (net, msb, lsb, v) in slices.drain(..) {
+                                self.nba.push(NbaEntry {
+                                    net,
+                                    msb,
+                                    lsb,
+                                    value: NbaValue::Owned(v),
+                                });
+                            }
+                            self.lv_scratch = slices;
+                        }
+                    }
                     self.procs[pid].pc = pc + 1;
                 }
                 Instr::Delay { amount } => {
-                    let amt = self
-                        .eval_compiled(pid, pc, amount, None)
-                        .to_u64()
-                        .unwrap_or(0);
+                    let amt = if self.exec_program(pid, pc, None) {
+                        self.arena.result().to_u64().unwrap_or(0)
+                    } else {
+                        self.eval_with_wake(amount, None).to_u64().unwrap_or(0)
+                    };
                     self.procs[pid].pc = pc + 1;
                     self.procs[pid].generation += 1;
                     if amt == 0 {
@@ -716,7 +887,12 @@ impl<'d> Simulator<'d> {
                     self.procs[pid].pc = *target;
                 }
                 Instr::BranchIfFalse { cond, target } => {
-                    let taken = self.eval_compiled(pid, pc, cond, wake).to_bool() != Some(true);
+                    let cond_true = if self.exec_program(pid, pc, wake) {
+                        self.arena.result().to_bool()
+                    } else {
+                        self.eval_with_wake(cond, wake).to_bool()
+                    };
+                    let taken = cond_true != Some(true);
                     self.procs[pid].pc = if taken { *target } else { pc + 1 };
                 }
                 Instr::SysCall {
@@ -899,31 +1075,60 @@ impl<'d> Simulator<'d> {
 
     fn write_slice(&mut self, net: NetId, msb: u32, lsb: u32, value: &LogicVec) {
         let idx = net.0 as usize;
+        let width = self.values[idx].width();
+        // Full-overwrite writes (the common shape) skip the clone-and-
+        // splice path entirely.
+        if lsb == 0 && msb + 1 >= width && value.width() == width {
+            return self.commit_net(net, value.as_bits());
+        }
         let old = self.values[idx].clone();
         let mut new = old.clone();
         new.set_slice(msb, lsb, value);
         if new == old {
             return;
         }
+        let (old_bit, new_bit) = (old.get(0), new.get(0));
         self.values[idx] = new.clone();
-        self.activation_changes.push((net, old.get(0), new.get(0)));
+        self.activation_changes.push((net, old_bit, new_bit));
         if let Some((_, changes)) = &mut self.waves {
             changes.push(vcd::Change {
                 time: self.time,
                 net: idx,
-                value: new.clone(),
+                value: new,
             });
         }
-        self.notify_watchers(net, &old, &new);
+        self.notify_watchers(net, old_bit, new_bit);
     }
 
-    fn notify_watchers(&mut self, net: NetId, old: &LogicVec, new: &LogicVec) {
+    /// Overwrites `net`'s full value from a borrowed bit view — the
+    /// zero-copy commit shared by blocking assigns, staged NBA buffers
+    /// and full-width `write_slice` calls. The net's existing planes
+    /// are reused (no allocation); resize semantics apply when `bits`
+    /// is narrower or wider than the net.
+    fn commit_net(&mut self, net: NetId, bits: BitsRef<'_>) {
+        let idx = net.0 as usize;
+        if self.values[idx].equals_bits(bits) {
+            return;
+        }
+        let old_bit = self.values[idx].get(0);
+        self.values[idx].assign_bits(bits);
+        let new_bit = self.values[idx].get(0);
+        self.activation_changes.push((net, old_bit, new_bit));
+        if let Some((_, changes)) = &mut self.waves {
+            changes.push(vcd::Change {
+                time: self.time,
+                net: idx,
+                value: self.values[idx].clone(),
+            });
+        }
+        self.notify_watchers(net, old_bit, new_bit);
+    }
+
+    fn notify_watchers(&mut self, net: NetId, old_bit: Logic, new_bit: Logic) {
         let idx = net.0 as usize;
         if self.watchers[idx].is_empty() {
             return;
         }
-        let old_bit = old.get(0);
-        let new_bit = new.get(0);
         // In-place retain: stale and woken entries drop out, pending
         // ones stay, with no transfer buffer. The triggers are read back
         // from the (immutable) process body at the recorded wait pc.

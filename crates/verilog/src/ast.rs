@@ -1,12 +1,17 @@
 //! Abstract syntax tree for the Verilog-2001 subset.
 
 use aivril_hdl::source::Span;
+use std::sync::Arc;
 
 /// A parsed compilation unit (one or more source files).
+///
+/// Modules are `Arc`-shared so per-file parse results can be memoized
+/// (the EDA parse cache) and stitched into fresh units without cloning
+/// the AST bodies.
 #[derive(Debug, Clone, Default)]
 pub struct SourceUnit {
     /// All module definitions in parse order.
-    pub modules: Vec<Module>,
+    pub modules: Vec<Arc<Module>>,
 }
 
 /// A `module ... endmodule` definition.

@@ -27,7 +27,7 @@ const MAX_DEPTH: u32 = 64;
 pub fn elaborate(unit: &ast::SourceUnit, top: &str, diags: &mut Diagnostics) -> Option<Design> {
     let mut modules: HashMap<&str, &Module> = HashMap::new();
     for m in &unit.modules {
-        if modules.insert(m.name.as_str(), m).is_some() {
+        if modules.insert(m.name.as_str(), &**m).is_some() {
             diags.push(Diagnostic::error(
                 codes::VLOG_REDECLARED,
                 format!("module '{}' is defined more than once", m.name),

@@ -47,7 +47,20 @@ pub use parser::parse;
 
 use aivril_hdl::diag::Diagnostics;
 use aivril_hdl::ir::Design;
-use aivril_hdl::source::SourceMap;
+use aivril_hdl::source::{FileId, SourceMap};
+
+/// Lexes and parses a single source file.
+///
+/// The per-file granularity exists so callers (the EDA layer's
+/// incremental compile path) can memoize parse results keyed by file
+/// content; [`analyze`] is a loop over this function.
+#[must_use]
+pub fn analyze_file(file: FileId, text: &str) -> (ast::SourceUnit, Diagnostics) {
+    let mut diags = Diagnostics::new();
+    let tokens = lexer::lex(file, text, &mut diags);
+    let unit = parser::parse(tokens, &mut diags);
+    (unit, diags)
+}
 
 /// Lexes and parses every file in `sources` (the `xvlog` analysis step).
 ///
@@ -58,9 +71,9 @@ pub fn analyze(sources: &SourceMap) -> (ast::SourceUnit, Diagnostics) {
     let mut diags = Diagnostics::new();
     let mut unit = ast::SourceUnit::default();
     for (file, source) in sources.iter() {
-        let tokens = lexer::lex(file, source.text(), &mut diags);
-        let mut part = parser::parse(tokens, &mut diags);
+        let (mut part, part_diags) = analyze_file(file, source.text());
         unit.modules.append(&mut part.modules);
+        diags.extend(part_diags);
     }
     (unit, diags)
 }

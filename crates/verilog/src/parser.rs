@@ -22,7 +22,7 @@ pub fn parse(tokens: Vec<Token>, diags: &mut Diagnostics) -> SourceUnit {
     while !p.at_eof() {
         if p.eat_kw(Kw::Module) {
             if let Some(m) = p.parse_module() {
-                unit.modules.push(m);
+                unit.modules.push(std::sync::Arc::new(m));
             }
         } else {
             let tok = p.peek().clone();

@@ -1,14 +1,19 @@
 //! Abstract syntax tree for the VHDL-93 subset.
 
 use aivril_hdl::source::Span;
+use std::sync::Arc;
 
 /// A parsed design file: entities and architectures.
+///
+/// Design units are `Arc`-shared so per-file parse results can be
+/// memoized (the EDA parse cache) and stitched into fresh files without
+/// cloning the AST bodies.
 #[derive(Debug, Clone, Default)]
 pub struct DesignFile {
     /// Entity declarations.
-    pub entities: Vec<Entity>,
+    pub entities: Vec<Arc<Entity>>,
     /// Architecture bodies.
-    pub architectures: Vec<Architecture>,
+    pub architectures: Vec<Arc<Architecture>>,
 }
 
 /// `entity NAME is [generic(...)] [port(...)] end;`

@@ -27,11 +27,11 @@ const MAX_DEPTH: u32 = 64;
 pub fn elaborate(file: &DesignFile, top: &str, diags: &mut Diagnostics) -> Option<Design> {
     let mut entities: HashMap<&str, &Entity> = HashMap::new();
     for e in &file.entities {
-        entities.insert(e.name.as_str(), e);
+        entities.insert(e.name.as_str(), &**e);
     }
     let mut archs: HashMap<&str, &Architecture> = HashMap::new();
     for a in &file.architectures {
-        archs.insert(a.entity.as_str(), a);
+        archs.insert(a.entity.as_str(), &**a);
     }
     let top = top.to_ascii_lowercase();
     let Some(&entity) = entities.get(top.as_str()) else {

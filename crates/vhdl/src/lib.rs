@@ -45,7 +45,20 @@ pub use parser::parse;
 
 use aivril_hdl::diag::Diagnostics;
 use aivril_hdl::ir::Design;
-use aivril_hdl::source::SourceMap;
+use aivril_hdl::source::{FileId, SourceMap};
+
+/// Lexes and parses a single source file.
+///
+/// The per-file granularity exists so callers (the EDA layer's
+/// incremental compile path) can memoize parse results keyed by file
+/// content; [`analyze`] is a loop over this function.
+#[must_use]
+pub fn analyze_file(file: FileId, text: &str) -> (ast::DesignFile, Diagnostics) {
+    let mut diags = Diagnostics::new();
+    let tokens = lexer::lex(file, text, &mut diags);
+    let unit = parser::parse(tokens, &mut diags);
+    (unit, diags)
+}
 
 /// Lexes and parses every file in `sources` (the `xvhdl` analysis step).
 #[must_use]
@@ -53,10 +66,10 @@ pub fn analyze(sources: &SourceMap) -> (ast::DesignFile, Diagnostics) {
     let mut diags = Diagnostics::new();
     let mut file = ast::DesignFile::default();
     for (id, source) in sources.iter() {
-        let tokens = lexer::lex(id, source.text(), &mut diags);
-        let mut part = parser::parse(tokens, &mut diags);
+        let (mut part, part_diags) = analyze_file(id, source.text());
         file.entities.append(&mut part.entities);
         file.architectures.append(&mut part.architectures);
+        diags.extend(part_diags);
     }
     (file, diags)
 }

@@ -21,14 +21,14 @@ pub fn parse(tokens: Vec<Token>, diags: &mut Diagnostics) -> DesignFile {
         } else if p.check_kw(Kw::Entity) {
             p.bump();
             if let Some(e) = p.parse_entity() {
-                file.entities.push(e);
+                file.entities.push(std::sync::Arc::new(e));
             } else {
                 p.skip_to_design_unit();
             }
         } else if p.check_kw(Kw::Architecture) {
             p.bump();
             if let Some(a) = p.parse_architecture() {
-                file.architectures.push(a);
+                file.architectures.push(std::sync::Arc::new(a));
             } else {
                 p.skip_to_design_unit();
             }
